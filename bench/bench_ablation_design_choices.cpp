@@ -1,0 +1,169 @@
+// Ablation bench: quantifies each design decision the paper argues for in
+// Sections 3-4.
+//
+//  A. 4x2 truncation target: truncating P0 vs truncating any higher bit.
+//  B. 4x4 summation: approximate single-chain (proposed) vs accurate
+//     two-chain summation (Fig. 3 black box, 16 LUTs).
+//  C. P3 conflict containment: accurate-generate (proposed, error 8) vs
+//     accurate-propagate (error 16).
+//  D. LUT7 recovery: with vs without the accurate P0/P2 realization.
+//  E. Higher-order summation: ternary carry chains (proposed) vs binary
+//     adder trees (IP style) at 8 and 16 bits.
+#include "bench_util.hpp"
+#include "error/metrics.hpp"
+#include "mult/correctable.hpp"
+#include "mult/elementary.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+using namespace axmult;
+
+namespace {
+
+/// Exhaustive 4x2 metrics when bit `k` of the product is truncated.
+void truncation_row(Table& t, unsigned k) {
+  unsigned errors = 0;
+  std::uint64_t max_err = 0;
+  double avg = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = exact & ~(std::uint64_t{1} << k);
+      if (approx != exact) {
+        ++errors;
+        max_err = std::max(max_err, exact - approx);
+        avg += static_cast<double>(exact - approx);
+      }
+    }
+  }
+  t.add_row({"truncate P" + std::to_string(k), Table::num(static_cast<std::uint64_t>(errors)),
+             Table::num(max_err), Table::num(avg / 64.0, 4),
+             Table::percent((64.0 - errors) / 64.0, 1)});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: the paper's design choices, quantified");
+
+  // A. Which 4x2 product bit to truncate.
+  {
+    Table t({"Variant", "Errors / 64", "Max |err|", "Avg |err|", "Accuracy"});
+    for (unsigned k = 0; k < 6; ++k) truncation_row(t, k);
+    t.print("A. 4x2 elementary module: truncation target (paper: P0 -> 75% accuracy, max 1)");
+  }
+
+  // B. 4x4 summation style.
+  {
+    Table t({"Variant", "LUTs", "Errors / 256", "Max |err|", "Avg rel err"});
+    auto row = [&](const char* name, std::uint64_t (*fn)(std::uint64_t, std::uint64_t),
+                   std::uint64_t luts) {
+      unsigned errors = 0;
+      std::uint64_t max_err = 0;
+      double rel = 0;
+      for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+          const std::uint64_t exact = a * b;
+          const std::uint64_t approx = fn(a, b);
+          if (approx != exact) {
+            ++errors;
+            max_err = std::max(max_err, exact - approx);
+            rel += static_cast<double>(exact - approx) / static_cast<double>(exact);
+          }
+        }
+      }
+      t.add_row({name, Table::num(luts), Table::num(static_cast<std::uint64_t>(errors)),
+                 Table::num(max_err), Table::num(rel / 256.0, 5)});
+    };
+    row("accurate summation of approx PPs (Fig. 3 black box)", &mult::approx_4x4_accurate_sum,
+        16);
+    row("proposed approximate summation (Table 3)", &mult::approx_4x4, 12);
+    t.print("B. 4x4 partial-product summation (paper: 12 vs 16 LUTs, 6 vs 96 error cases)");
+  }
+
+  // C. Conflict containment polarity.
+  {
+    Table t({"Variant", "Errors / 256", "Error magnitude"});
+    auto count = [](std::uint64_t (*fn)(std::uint64_t, std::uint64_t)) {
+      unsigned errors = 0;
+      std::uint64_t mag = 0;
+      for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+          if (fn(a, b) != a * b) {
+            ++errors;
+            mag = a * b - fn(a, b);
+          }
+        }
+      }
+      return std::pair<unsigned, std::uint64_t>{errors, mag};
+    };
+    const auto gen = count(&mult::approx_4x4);
+    const auto prop = count(&mult::approx_4x4_prop_only);
+    t.add_row({"accurate Gen, forced Prop=0 (proposed)", Table::num(std::uint64_t{gen.first}),
+               Table::num(gen.second)});
+    t.add_row({"accurate Prop, forced Gen=0 (ablation)", Table::num(std::uint64_t{prop.first}),
+               Table::num(prop.second)});
+    t.print("C. P3 conflict containment (paper: keeping Gen accurate bounds the error to 8)");
+  }
+
+  // D. LUT7 recovery of P0/P2.
+  {
+    unsigned with = 0;
+    unsigned without = 0;
+    for (std::uint64_t a = 0; a < 16; ++a) {
+      for (std::uint64_t b = 0; b < 16; ++b) {
+        const std::uint64_t exact = a * b;
+        if (mult::approx_4x4(a, b) != exact) ++with;
+        // Without recovery: P0 stays truncated and P2 misses PP1<0>.
+        const std::uint64_t pp0 = mult::approx_4x2(a, b & 3);
+        const std::uint64_t pp1 = mult::approx_4x2(a, b >> 2);
+        if ((pp0 + (pp1 << 2)) != exact) ++without;
+      }
+    }
+    Table t({"Variant", "Errors / 256"});
+    t.add_row({"with LUT7 recovery of P0/P2 (proposed)", Table::num(std::uint64_t{with})});
+    t.add_row({"without recovery (raw truncated PPs)", Table::num(std::uint64_t{without})});
+    t.print("D. Spending the recovered LUT on accurate P0/P2 (paper Sec. 3.2)");
+  }
+
+  // E. Ternary vs binary summation at higher orders.
+  {
+    Table t({"Width", "Ternary-sum LUTs / ns", "Binary-tree LUTs / ns"});
+    for (unsigned w : {8u, 16u}) {
+      multgen::GeneratorSpec tern{w, mult::Elementary::kApprox4x4, mult::Summation::kAccurate,
+                                  multgen::MappingStyle::kHandOptimized, true};
+      multgen::GeneratorSpec bin = tern;
+      bin.ternary_sum = false;
+      const auto nt = multgen::make_netlist(tern);
+      const auto nb = multgen::make_netlist(bin);
+      t.add_row({std::to_string(w) + "x" + std::to_string(w),
+                 Table::num(nt.area().luts) + " / " +
+                     Table::num(timing::analyze(nt).critical_path_ns, 3),
+                 Table::num(nb.area().luts) + " / " +
+                     Table::num(timing::analyze(nb).critical_path_ns, 3)});
+    }
+    t.print("E. Fig. 5(b) single-pass ternary summation vs conventional binary adder tree");
+  }
+
+  // F. Error-correction circuitry (Section 5) and Cb summation (Section 4.1).
+  {
+    Table t({"Variant", "LUTs", "Latency ns", "Avg rel err"});
+    auto row = [&](const char* name, const fabric::Netlist& nl, double err) {
+      t.add_row({name, Table::num(nl.area().luts),
+                 Table::num(timing::analyze(nl).critical_path_ns, 3), Table::num(err, 6)});
+    };
+    const auto ca = multgen::make_ca_netlist(8);
+    const auto corr = multgen::make_correctable_netlist(8, mult::Summation::kAccurate);
+    row("Ca 8x8", ca, error::characterize_exhaustive(*mult::make_ca(8)).avg_relative_error);
+    row("Ca 8x8 + correction circuit (en=1 -> exact)", corr, 0.0);
+    for (unsigned L : {2u, 4u, 6u}) {
+      const auto cb = multgen::make_cb_netlist(8, L);
+      row(("Cb(" + std::to_string(L) + ") 8x8 hybrid summation").c_str(), cb,
+          error::characterize_exhaustive(*mult::make_cb(8, L)).avg_relative_error);
+    }
+    const auto cc = multgen::make_cc_netlist(8);
+    row("Cc 8x8", cc, error::characterize_exhaustive(*mult::make_cc(8)).avg_relative_error);
+    t.print("F. Extensions: switchable error correction (+2 LUTs per 4x4) and Cb hybrids");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates Fig. 12: the distribution of 8x8 multiplication operands in
+// the SUSAN smoothing accelerator — the narrow high-weight band that makes
+// the operand-swap (Cas/Ccs) trick effective — plus trace-driven error
+// characterization of the library under this real operand distribution.
+#include "apps/image.hpp"
+#include "apps/susan.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "mult/recursive.hpp"
+
+using namespace axmult;
+
+int main() {
+  bench::print_header("Fig. 12: SUSAN 8x8 multiplication operand analysis");
+
+  const auto scene = apps::make_test_scene(192, 192, 7, 6.0);
+  apps::SusanSmoother smoother(mult::make_accurate(8));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trace;
+  (void)smoother.smooth_traced(scene, trace);
+
+  Histogram weights(0, 256, 16);
+  Histogram pixels(0, 256, 16);
+  for (const auto& [w, p] : trace) {
+    weights.add(static_cast<double>(w));
+    pixels.add(static_cast<double>(p));
+  }
+  Table t({"Operand band", "Weight operand share", "Pixel operand share"});
+  for (std::size_t b = 0; b < weights.bins(); ++b) {
+    t.add_row({"[" + Table::num(weights.bin_lo(b), 0) + ", " + Table::num(weights.bin_hi(b), 0) +
+                   ")",
+               Table::percent(weights.normalized(b), 2), Table::percent(pixels.normalized(b), 2)});
+  }
+  t.print("Operand histograms over " + std::to_string(trace.size()) + " multiplications");
+
+  // Trace-driven error characterization: the same multipliers evaluated
+  // under the accelerator's operand distribution instead of uniform.
+  Table e({"Design", "Avg Rel Error (uniform)", "Avg Rel Error (SUSAN trace)"});
+  for (const auto& [name, m] :
+       {std::pair<const char*, mult::MultiplierPtr>{"Ca", mult::make_ca(8)},
+        {"Cas", mult::make_cas(8)},
+        {"Cc", mult::make_cc(8)},
+        {"Ccs", mult::make_ccs(8)},
+        {"K[6]", mult::make_kulkarni(8)},
+        {"W[19]", mult::make_rehman_w(8)}}) {
+    const auto uniform = error::characterize_exhaustive(*m);
+    const auto traced = error::characterize(*m, error::trace_source(trace));
+    e.add_row({name, Table::num(uniform.avg_relative_error, 6),
+               Table::num(traced.avg_relative_error, 6)});
+  }
+  e.print("Error under the accelerator's operand distribution");
+
+  std::printf(
+      "\nPaper observation: most multiplications fall in a narrow band (high\n"
+      "weights x mid-range pixels); exploiting the asymmetric error profile by\n"
+      "swapping operands improves accelerator output quality.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates Fig. 7: area, latency and EDP gains of the 4/8/16-bit
+// approximate multipliers, normalized to Vivado's default (speed-
+// optimized) accurate multiplier implementation.
+#include "bench_util.hpp"
+#include "multgen/generators.hpp"
+
+using namespace axmult;
+
+int main() {
+  bench::print_header("Fig. 7: Area / Latency / EDP gains vs accurate Vivado IP");
+
+  for (unsigned width : {4u, 8u, 16u}) {
+    struct Entry {
+      std::string name;
+      fabric::Netlist nl;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"VivadoIP-Speed (baseline)", multgen::make_vivado_speed_netlist(width)});
+    entries.push_back({"VivadoIP-Area", multgen::make_vivado_area_netlist(width)});
+    if (width % 2 == 0) {
+      entries.push_back({"Radix4 IP model", multgen::make_radix4_netlist(width)});
+    }
+    if (width == 4) {
+      entries.push_back({"Approx 4x4 (proposed)", multgen::make_ca_netlist(4)});
+      entries.push_back({"Truncated 4x4 (3 LSBs)", multgen::make_result_truncated_netlist(4, 3)});
+    } else {
+      entries.push_back({"Approx1 = Ca (proposed)", multgen::make_ca_netlist(width)});
+      entries.push_back({"Approx2 = Cc (proposed)", multgen::make_cc_netlist(width)});
+      entries.push_back({"Mult(" + std::to_string(width) + ",4)",
+                         multgen::make_result_truncated_netlist(width, 4)});
+    }
+    entries.push_back({"K[6]", multgen::make_kulkarni_netlist(width)});
+    entries.push_back({"W[19]", multgen::make_rehman_netlist(width)});
+
+    const auto base = bench::implement(entries.front().nl, 512);
+    Table t({"Design", "LUTs", "Latency ns", "EDP a.u.", "Area gain", "Latency gain",
+             "EDP gain"});
+    for (const auto& e : entries) {
+      const auto impl = bench::implement(e.nl, 512);
+      t.add_row({e.name, Table::num(impl.luts), Table::num(impl.latency_ns, 3),
+                 Table::num(impl.edp_au, 1),
+                 bench::gain_str(static_cast<double>(base.luts), static_cast<double>(impl.luts)),
+                 bench::gain_str(base.latency_ns, impl.latency_ns),
+                 bench::gain_str(base.edp_au, impl.edp_au)});
+    }
+    t.print("Fig. 7 series, " + std::to_string(width) + "x" + std::to_string(width));
+  }
+  std::printf(
+      "\nPaper envelope for the proposed designs: 25%%-31.5%% area, 8.6%%-53.2%%\n"
+      "latency, 8.86%%-67%% EDP gains vs the accurate IP; K/W show little or\n"
+      "negative gain on FPGA.\n");
+  return 0;
+}

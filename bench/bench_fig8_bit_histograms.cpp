@@ -1,0 +1,73 @@
+// Regenerates Fig. 8: (a) normalized per-bit accuracy/error histograms of
+// the 4x4 and the 8x8/16x16 Ca and Cc multipliers, (b) the error PMFs
+// (unique error magnitudes and their occurrence counts) of the 8x8 Ca/Cc.
+#include "bench_util.hpp"
+#include "mult/recursive.hpp"
+
+using namespace axmult;
+
+namespace {
+
+void print_bit_histogram(const std::string& title, const mult::Multiplier& m,
+                         error::PairSource src) {
+  const auto p = error::bit_error_probability(m, std::move(src));
+  double total = 0.0;
+  for (double v : p) total += v;
+  Table t({"Bit", "P(error)", "Normalized"});
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    t.add_row({Table::num(static_cast<std::uint64_t>(i + 1)), Table::num(p[i], 6),
+               Table::num(total > 0 ? p[i] / total : 0.0, 4)});
+  }
+  t.print(title);
+}
+
+void print_pmf(const std::string& title, const mult::Multiplier& m, error::PairSource src) {
+  const auto pmf = error::error_pmf(m, std::move(src));
+  std::uint64_t total = 0;
+  for (const auto& [mag, count] : pmf) total += count;
+  Table t({"|Error|", "Occurrences", "Normalized"});
+  std::size_t shown = 0;
+  for (const auto& [mag, count] : pmf) {
+    if (++shown > 24) {
+      t.add_row({"... (" + std::to_string(pmf.size() - 24) + " more distinct values)", "", ""});
+      break;
+    }
+    t.add_row({Table::num(mag), Table::num(count),
+               Table::num(static_cast<double>(count) / static_cast<double>(total), 5)});
+  }
+  t.print(title + "  [" + std::to_string(pmf.size()) + " distinct error magnitudes]");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 8: per-bit error probabilities and error PMFs");
+
+  const auto ca4 = std::make_shared<mult::RecursiveMultiplier>(
+      4, mult::Elementary::kApprox4x4, mult::Summation::kAccurate);
+  print_bit_histogram("Fig 8(a): 4x4 proposed — bit error probabilities (exhaustive)", *ca4,
+                      error::exhaustive_source(4, 4));
+
+  const auto ca8 = mult::make_ca(8);
+  const auto cc8 = mult::make_cc(8);
+  print_bit_histogram("Fig 8(a): Ca 8x8 — bit error probabilities (exhaustive)", *ca8,
+                      error::exhaustive_source(8, 8));
+  print_bit_histogram("Fig 8(a): Cc 8x8 — bit error probabilities (exhaustive)", *cc8,
+                      error::exhaustive_source(8, 8));
+
+  const auto ca16 = mult::make_ca(16);
+  const auto cc16 = mult::make_cc(16);
+  print_bit_histogram("Fig 8(a): Ca 16x16 — bit error probabilities (1M samples)", *ca16,
+                      error::uniform_source(16, 16, 1000000));
+  print_bit_histogram("Fig 8(a): Cc 16x16 — bit error probabilities (1M samples)", *cc16,
+                      error::uniform_source(16, 16, 1000000));
+
+  print_pmf("Fig 8(b): Ca 8x8 error PMF (exhaustive)", *ca8, error::exhaustive_source(8, 8));
+  print_pmf("Fig 8(b): Cc 8x8 error PMF (exhaustive)", *cc8, error::exhaustive_source(8, 8));
+
+  std::printf(
+      "\nPaper shape: the proposed designs restrict errors to a few product bits\n"
+      "and few distinct magnitudes (Ca); Cc's carry-free summation spreads errors\n"
+      "across the middle bits — matching the low per-bit accuracy it reports.\n");
+  return 0;
+}

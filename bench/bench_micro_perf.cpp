@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks: throughput of the behavioral models,
+// the netlist evaluator, the STA engine and the error characterizer.
+#include <benchmark/benchmark.h>
+
+#include "error/metrics.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "timing/sta.hpp"
+
+using namespace axmult;
+
+namespace {
+
+void BM_BehavioralCa8(benchmark::State& state) {
+  const auto m = mult::make_ca(8);
+  std::uint64_t a = 123;
+  std::uint64_t b = 77;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->multiply(a, b));
+    a = (a * 131) & 0xFF;
+    b = (b * 137) & 0xFF;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BehavioralCa8);
+
+void BM_BehavioralCc16(benchmark::State& state) {
+  const auto m = mult::make_cc(16);
+  std::uint64_t a = 12345;
+  std::uint64_t b = 54321;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m->multiply(a, b));
+    a = (a * 131) & 0xFFFF;
+    b = (b * 137) & 0xFFFF;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BehavioralCc16);
+
+void BM_NetlistEvalCa8(benchmark::State& state) {
+  const auto nl = multgen::make_ca_netlist(8);
+  fabric::Evaluator ev(nl);
+  std::uint64_t a = 123;
+  std::uint64_t b = 77;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.eval_word(a, 8, b, 8));
+    a = (a * 131) & 0xFF;
+    b = (b * 137) & 0xFF;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetlistEvalCa8);
+
+void BM_StaCa16(benchmark::State& state) {
+  const auto nl = multgen::make_ca_netlist(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timing::analyze(nl).critical_path_ns);
+  }
+}
+BENCHMARK(BM_StaCa16);
+
+void BM_ExhaustiveCharacterization8x8(benchmark::State& state) {
+  const auto m = mult::make_ca(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(error::characterize_exhaustive(*m).occurrences);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_ExhaustiveCharacterization8x8);
+
+void BM_NetlistElaborationCa16(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multgen::make_ca_netlist(16).cells().size());
+  }
+}
+BENCHMARK(BM_NetlistElaborationCa16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

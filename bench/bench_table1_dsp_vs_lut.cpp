@@ -1,0 +1,48 @@
+// Regenerates Table 1 (motivational study): logic-only vs DSP-block
+// implementations of a Reed-Solomon encoder datapath and a JPEG-encoder
+// DCT stage — critical-path delay, LUTs and DSP blocks.
+#include "apps/jpeg.hpp"
+#include "apps/reed_solomon.hpp"
+#include "bench_util.hpp"
+
+using namespace axmult;
+
+int main() {
+  bench::print_header("Table 1: logic vs DSP-block implementations");
+
+  apps::RsEncoder rs(255, 239);
+  const auto rs_dsp = rs.datapath_netlist(true);
+  const auto rs_lut = rs.datapath_netlist(false);
+  const auto jpeg_dsp = apps::dct_stage_netlist(true, 4);
+  const auto jpeg_lut = apps::dct_stage_netlist(false, 4);
+
+  auto row = [](const char* name, const fabric::Netlist& dsp_nl,
+                const fabric::Netlist& lut_nl) {
+    const auto d = dsp_nl.area();
+    const auto l = lut_nl.area();
+    const double d_ns = timing::analyze(dsp_nl).critical_path_ns;
+    const double l_ns = timing::analyze(lut_nl).critical_path_ns;
+    Table t({"Design", "CPD ns", "LUTs", "DSP blocks"});
+    t.add_row({std::string(name) + " (DSP enabled)", Table::num(d_ns, 3), Table::num(d.luts),
+               Table::num(d.dsp)});
+    t.add_row({std::string(name) + " (DSP disabled)", Table::num(l_ns, 3), Table::num(l.luts),
+               Table::num(l.dsp)});
+    t.print(name);
+    return std::pair<double, double>{d_ns, l_ns};
+  };
+
+  const auto [rs_d, rs_l] = row("Reed-Solomon encoder RS(255,239) datapath", rs_dsp, rs_lut);
+  const auto [j_d, j_l] = row("JPEG encoder DCT stage (4 parallel units)", jpeg_dsp, jpeg_lut);
+
+  std::printf(
+      "\nPaper Table 1 shape (Virtex-7, Vivado 17.1):\n"
+      "  Reed-Solomon: DSP-enabled is SLOWER (5.115 vs 4.358 ns) — DSP column\n"
+      "  routing buys nothing for XOR-dominated GF logic.       Here: %.3f vs %.3f ns -> %s\n"
+      "  JPEG: DSP-enabled is faster and trades hundreds of DSPs for LUTs\n"
+      "  (8.637 vs 9.732 ns; 631 DSPs).                         Here: %.3f vs %.3f ns -> %s\n"
+      "Scale differs (we elaborate the arithmetic datapaths, not the full\n"
+      "OpenCores encoders); see EXPERIMENTS.md.\n",
+      rs_d, rs_l, rs_d > rs_l ? "reproduced" : "NOT reproduced", j_d, j_l,
+      j_d < j_l ? "reproduced" : "NOT reproduced");
+  return 0;
+}

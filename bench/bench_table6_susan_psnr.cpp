@@ -1,0 +1,78 @@
+// Regenerates Table 6 and Fig. 11: PSNR and output images of the SUSAN
+// image-smoothing accelerator with accurate and approximate 8x8
+// multipliers, including the operand-swapped Cas/Ccs configurations, plus
+// the accelerator-level area gains the paper reports in Section 5.
+#include "apps/image.hpp"
+#include "apps/susan.hpp"
+#include "bench_util.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+using namespace axmult;
+
+int main() {
+  bench::print_header("Table 6 / Fig. 11: SUSAN image-smoothing accelerator");
+
+  const auto scene = apps::make_test_scene(192, 192, 7, 6.0);
+  scene.write_pgm("fig11_input.pgm");
+
+  struct Row {
+    const char* name;
+    mult::MultiplierPtr m;
+    bool swap;
+    const char* paper_psnr;
+    const char* pgm;
+  };
+  const Row rows[] = {
+      {"Accurate", mult::make_accurate(8), false, "inf", "fig11_accurate.pgm"},
+      {"Ca", mult::make_ca(8), false, "33.7162", "fig11_ca.pgm"},
+      {"Cc", mult::make_cc(8), false, "25.6022", "fig11_cc.pgm"},
+      {"W[19]", mult::make_rehman_w(8), false, "47.4939", "fig11_w.pgm"},
+      {"K[6]", mult::make_kulkarni(8), false, "17.9443", "fig11_k.pgm"},
+      {"Cas (swapped)", mult::make_ca(8), true, "59.1198", "fig11_cas.pgm"},
+      {"Ccs (swapped)", mult::make_cc(8), true, "27.3665", "fig11_ccs.pgm"},
+  };
+
+  apps::Image reference;
+  Table t({"Multiplier", "PSNR dB (measured)", "PSNR dB (paper)", "Output image"});
+  for (const auto& row : rows) {
+    apps::SusanConfig cfg;
+    cfg.swap_operands = row.swap;
+    apps::SusanSmoother smoother(row.m, cfg);
+    const auto out = smoother.smooth(scene);
+    out.write_pgm(row.pgm);
+    if (std::string(row.name) == "Accurate") {
+      reference = out;
+      t.add_row({row.name, "inf (reference)", row.paper_psnr, row.pgm});
+      continue;
+    }
+    const double p = apps::psnr(reference, out);
+    t.add_row({row.name, Table::num(p, 4), row.paper_psnr, row.pgm});
+  }
+  t.print("SUSAN accelerator PSNR (reference = accurate multiplier output)");
+
+  // Accelerator-level area: the multiplier array dominates; the paper
+  // reports 17% / 17.2% area gains for Ca / Cc deployments.
+  const auto acc = multgen::make_vivado_speed_netlist(8).area().luts;
+  const auto ca = multgen::make_ca_netlist(8).area().luts;
+  const auto cc = multgen::make_cc_netlist(8).area().luts;
+  // SUSAN accelerator model: 20 multipliers (one per mask pixel) plus a
+  // fixed ~600-LUT datapath (weight LUT, accumulators, divider).
+  const double overhead = 600.0;
+  const double base = overhead + 20.0 * static_cast<double>(acc);
+  Table a({"Accelerator", "LUTs (model)", "Area gain"});
+  a.add_row({"SUSAN + accurate IP", Table::num(base, 0), "-"});
+  a.add_row({"SUSAN + Ca", Table::num(overhead + 20.0 * ca, 0),
+             bench::gain_str(base, overhead + 20.0 * ca)});
+  a.add_row({"SUSAN + Cc", Table::num(overhead + 20.0 * cc, 0),
+             bench::gain_str(base, overhead + 20.0 * cc)});
+  a.print("Accelerator area (paper: 17% / 17.2% gains for Ca / Cc)");
+
+  std::printf(
+      "\nFig. 11 equivalents written as PGM images (fig11_*.pgm). Shape anchors:\n"
+      "swap improves the asymmetric designs (Cas > Ca, Ccs >= Cc); Ca > Cc > K.\n"
+      "W's rank differs from the paper (see EXPERIMENTS.md: the W stand-in\n"
+      "matches W's uniform-input anchors but not its input-conditional error\n"
+      "placement).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/catalog.hpp"
+#include "common/table.hpp"
+#include "error/metrics.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::bench {
+
+/// Area/latency/energy of one design's netlist under the default models.
+struct Implementation {
+  std::uint64_t luts = 0;
+  std::uint64_t dsps = 0;
+  double latency_ns = 0.0;
+  double energy_au = 0.0;
+  double edp_au = 0.0;
+};
+
+inline Implementation implement(const fabric::Netlist& nl,
+                                std::uint64_t power_vectors = 1024) {
+  Implementation impl;
+  const auto area = nl.area();
+  impl.luts = area.luts;
+  impl.dsps = area.dsp;
+  impl.latency_ns = timing::analyze(nl).critical_path_ns;
+  power::PowerModel pm;
+  pm.vectors = power_vectors;
+  const auto pr = power::estimate(nl, pm);
+  impl.energy_au = pr.energy_au;
+  impl.edp_au = pr.edp_au;
+  return impl;
+}
+
+inline std::string gain_str(double baseline, double value) {
+  if (baseline == 0.0) return "n/a";
+  return Table::num(100.0 * (baseline - value) / baseline, 1) + "%";
+}
+
+inline void print_header(const std::string& what) {
+  std::printf("\n########################################################\n");
+  std::printf("# %s\n", what.c_str());
+  std::printf("########################################################\n");
+}
+
+}  // namespace axmult::bench

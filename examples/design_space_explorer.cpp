@@ -1,0 +1,45 @@
+// Example: explore the accuracy/area/latency design space and extract the
+// Pareto-optimal multipliers for a user-specified error budget — the
+// "design methodology" workflow the paper's library enables.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/catalog.hpp"
+#include "analysis/pareto.hpp"
+#include "error/metrics.hpp"
+#include "timing/sta.hpp"
+
+int main(int argc, char** argv) {
+  using namespace axmult;
+
+  // Error budget: maximum tolerable average relative error (default 1%).
+  const double budget = argc > 1 ? std::atof(argv[1]) : 0.01;
+  std::printf("exploring 8x8 designs with an average-relative-error budget of %.4f\n\n", budget);
+
+  std::vector<analysis::DesignPoint> designs = analysis::paper_designs(8);
+  for (auto& d : analysis::evo_family_8x8()) designs.push_back(std::move(d));
+
+  std::vector<analysis::ParetoPoint> pts;
+  std::printf("%-22s %6s %12s %12s %10s\n", "design", "LUTs", "latency ns", "avg rel err",
+              "in budget");
+  for (const auto& d : designs) {
+    const auto nl = d.netlist();
+    const auto err = error::characterize_exhaustive(*d.model);
+    const double latency = timing::analyze(nl).critical_path_ns;
+    const bool ok = err.avg_relative_error <= budget;
+    std::printf("%-22s %6llu %12.3f %12.6f %10s\n", d.name.c_str(),
+                static_cast<unsigned long long>(nl.area().luts), latency,
+                err.avg_relative_error, ok ? "yes" : "-");
+    if (ok) {
+      pts.push_back({d.name, static_cast<double>(nl.area().luts), latency, false});
+    }
+  }
+
+  const auto front = analysis::pareto_front(pts);
+  std::printf("\nPareto-optimal designs within budget (minimize LUTs and latency):\n");
+  for (const auto& p : front) {
+    std::printf("  %-22s %4.0f LUTs, %.3f ns\n", p.name.c_str(), p.x, p.y);
+  }
+  if (front.empty()) std::printf("  (none — relax the budget)\n");
+  return 0;
+}

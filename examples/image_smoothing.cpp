@@ -1,0 +1,57 @@
+// Example: the paper's SUSAN image-smoothing accelerator case study.
+//
+// Smooths a noisy synthetic scene with the accurate multiplier and with
+// several approximate ones (including the operand-swapped Cas), reports
+// PSNR against the accurate output, and writes PGM images you can open in
+// any viewer.
+#include <cstdio>
+
+#include "apps/image.hpp"
+#include "apps/filters.hpp"
+#include "apps/susan.hpp"
+#include "mult/recursive.hpp"
+
+int main() {
+  using namespace axmult;
+
+  const auto scene = apps::make_test_scene(256, 256, /*seed=*/42, /*noise_sigma=*/8.0);
+  scene.write_pgm("smoothing_input.pgm");
+  std::printf("input scene written to smoothing_input.pgm\n");
+
+  const auto accurate = apps::SusanSmoother(mult::make_accurate(8)).smooth(scene);
+  accurate.write_pgm("smoothing_accurate.pgm");
+
+  struct Config {
+    const char* label;
+    mult::MultiplierPtr m;
+    bool swap;
+    const char* file;
+  };
+  const Config configs[] = {
+      {"Ca  (proposed)", mult::make_ca(8), false, "smoothing_ca.pgm"},
+      {"Cas (proposed, swapped operands)", mult::make_ca(8), true, "smoothing_cas.pgm"},
+      {"Cc  (proposed, carry-free)", mult::make_cc(8), false, "smoothing_cc.pgm"},
+      {"K   (Kulkarni baseline)", mult::make_kulkarni(8), false, "smoothing_k.pgm"},
+  };
+  for (const auto& cfg : configs) {
+    apps::SusanConfig sc;
+    sc.swap_operands = cfg.swap;
+    const auto out = apps::SusanSmoother(cfg.m, sc).smooth(scene);
+    out.write_pgm(cfg.file);
+    std::printf("%-34s PSNR vs accurate: %7.3f dB  -> %s\n", cfg.label,
+                apps::psnr(accurate, out), cfg.file);
+  }
+  std::printf(
+      "\nNote how the operand swap (Cas) raises PSNR: the accelerator's weight\n"
+      "operand lives in a narrow high band, and the proposed multiplier's error\n"
+      "cases are asymmetric (paper Section 5, Table 6).\n");
+
+  // Second accelerator: separable Gaussian blur on the same scene.
+  const auto taps = apps::gaussian_taps(7);
+  const auto blur_ref = apps::blur_image(scene, taps, mult::make_accurate(8));
+  const auto blur_ca = apps::blur_image(scene, taps, mult::make_ca(8));
+  blur_ca.write_pgm("blur_ca.pgm");
+  std::printf("\nGaussian blur accelerator: Ca PSNR vs accurate = %.3f dB -> blur_ca.pgm\n",
+              apps::psnr(blur_ref, blur_ca));
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "analysis/catalog.hpp"
+
+#include <stdexcept>
+
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::analysis {
+
+using mult::Elementary;
+using mult::Summation;
+
+std::vector<DesignPoint> paper_designs(unsigned width) {
+  std::vector<DesignPoint> d;
+  d.push_back({"Ca_" + std::to_string(width), "proposed", mult::make_ca(width),
+               [width] { return multgen::make_ca_netlist(width); }});
+  d.push_back({"Cc_" + std::to_string(width), "proposed", mult::make_cc(width),
+               [width] { return multgen::make_cc_netlist(width); }});
+  d.push_back({"K_" + std::to_string(width), "state-of-the-art", mult::make_kulkarni(width),
+               [width] { return multgen::make_kulkarni_netlist(width); }});
+  d.push_back({"W_" + std::to_string(width), "state-of-the-art", mult::make_rehman_w(width),
+               [width] { return multgen::make_rehman_netlist(width); }});
+  d.push_back({"VivadoIP-Speed_" + std::to_string(width), "ip", mult::make_accurate(width),
+               [width] { return multgen::make_vivado_speed_netlist(width); }});
+  d.push_back({"VivadoIP-Area_" + std::to_string(width), "ip", mult::make_accurate(width),
+               [width] { return multgen::make_vivado_area_netlist(width); }});
+  const unsigned k = width == 4 ? 3 : 4;  // paper: 3 LSBs at 4x4, 4 at 8x8
+  d.push_back({"Mult(" + std::to_string(width) + "," + std::to_string(k) + ")",
+               "state-of-the-art", mult::make_result_truncated(width, k),
+               [width, k] { return multgen::make_result_truncated_netlist(width, k); }});
+  return d;
+}
+
+std::vector<DesignPoint> evo_family_8x8() {
+  std::vector<DesignPoint> d;
+  auto add = [&](std::string name, mult::MultiplierPtr m,
+                 std::function<fabric::Netlist()> nl) {
+    d.push_back({std::move(name), "family", std::move(m), std::move(nl)});
+  };
+
+  // Result truncation depths (high accuracy, almost no area savings —
+  // the points the paper's Pareto analysis filters out).
+  for (unsigned k = 1; k <= 6; ++k) {
+    add("Mult(8," + std::to_string(k) + ")", mult::make_result_truncated(8, k),
+        [k] { return multgen::make_result_truncated_netlist(8, k); });
+  }
+  // Operand truncation depths (shrinking cores).
+  for (unsigned k = 1; k <= 4; ++k) {
+    add("OpTrunc(8," + std::to_string(k) + ")", mult::make_operand_truncated(8, k),
+        [k] { return multgen::make_operand_truncated_netlist(8, k); });
+  }
+  // Elementary block x summation combinations.
+  struct Combo {
+    const char* name;
+    Elementary e;
+    Summation s;
+    multgen::MappingStyle style;
+    bool ternary;
+  };
+  const Combo combos[] = {
+      {"Acc4x4+CarryFree", Elementary::kAccurate4x4, Summation::kCarryFree,
+       multgen::MappingStyle::kHandOptimized, true},
+      {"K2x2+CarryFree", Elementary::kKulkarni2x2, Summation::kCarryFree,
+       multgen::MappingStyle::kSynthesized, true},
+      {"W2x2+CarryFree", Elementary::kRehman2x2, Summation::kCarryFree,
+       multgen::MappingStyle::kSynthesized, true},
+      {"K2x2+TernarySum", Elementary::kKulkarni2x2, Summation::kAccurate,
+       multgen::MappingStyle::kHandOptimized, true},
+      {"W2x2+TernarySum", Elementary::kRehman2x2, Summation::kAccurate,
+       multgen::MappingStyle::kHandOptimized, true},
+      {"Acc2x2Tree", Elementary::kAccurate2x2, Summation::kAccurate,
+       multgen::MappingStyle::kSynthesized, false},
+  };
+  for (const auto& c : combos) {
+    multgen::GeneratorSpec spec{8, c.e, c.s, c.style, c.ternary};
+    add(c.name, mult::make_recursive(8, c.e, c.s), [spec] { return multgen::make_netlist(spec); });
+  }
+  // A third accurate IP-style architecture (radix-4 digit products).
+  add("Radix4Acc", mult::make_accurate(8), [] { return multgen::make_radix4_netlist(8); });
+  // Cb(L): the paper's Section 4.1 "sophisticated approximate addition"
+  // extension — hybrid lower-OR summation between Ca and Cc.
+  for (unsigned L : {2u, 4u, 6u}) {
+    d.push_back({"Cb" + std::to_string(L) + "_8", "proposed-ext", mult::make_cb(8, L),
+                 [L] { return multgen::make_cb_netlist(8, L); }});
+  }
+  // Partial-product perforation built from the paper's approximate 4x4
+  // elementary modules — an extension of the proposed methodology.
+  for (const auto& [name, hl, lh] :
+       {std::tuple<const char*, bool, bool>{"Perf(8,-HL)", true, false},
+        {"Perf(8,-LH)", false, true},
+        {"Perf(8,-HL-LH)", true, true}}) {
+    d.push_back({name, "proposed-ext", mult::make_perforated(8, hl, lh),
+                 [hl, lh] { return multgen::make_perforated_netlist(8, hl, lh); }});
+  }
+  return d;
+}
+
+const DesignPoint& find_design(const std::vector<DesignPoint>& points, const std::string& name) {
+  for (const auto& p : points) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("design not found: " + name);
+}
+
+}  // namespace axmult::analysis

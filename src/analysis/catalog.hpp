@@ -1,0 +1,43 @@
+// The design catalog: every multiplier that appears in the paper's
+// evaluation, each with a coupled behavioral model and netlist factory.
+//
+// This is the "open-source library" surface of the reproduction: a bench
+// or an application asks the catalog for designs and gets both the thing
+// to simulate and the thing to synthesize.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+#include "mult/multiplier.hpp"
+
+namespace axmult::analysis {
+
+struct DesignPoint {
+  std::string name;
+  std::string category;  ///< "proposed" | "state-of-the-art" | "ip" | "family"
+  mult::MultiplierPtr model;
+  std::function<fabric::Netlist()> netlist;  ///< may be empty (behavioral-only)
+
+  [[nodiscard]] bool has_netlist() const { return static_cast<bool>(netlist); }
+};
+
+/// The paper's core comparison set at a given width: Ca, Cc, K [6],
+/// W [19], the Vivado-IP-style accurate multipliers (speed- and
+/// area-optimized) and the precision-reduced truncation baseline
+/// (3 zeroed LSBs at 4 bits, 4 at 8/16 bits — the paper's Fig. 7 set).
+[[nodiscard]] std::vector<DesignPoint> paper_designs(unsigned width);
+
+/// The EvoApprox8b-style approximate design-space cloud at 8x8 used for
+/// the Pareto studies (Figs. 9/10): systematic truncations, perforations,
+/// broken-summation variants and elementary-block mixes. Stand-in for the
+/// published 471-circuit evolved library (see DESIGN.md).
+[[nodiscard]] std::vector<DesignPoint> evo_family_8x8();
+
+/// Looks up a design by name in `points`; throws std::out_of_range.
+[[nodiscard]] const DesignPoint& find_design(const std::vector<DesignPoint>& points,
+                                             const std::string& name);
+
+}  // namespace axmult::analysis

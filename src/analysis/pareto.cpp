@@ -1,0 +1,32 @@
+#include "analysis/pareto.hpp"
+
+#include <algorithm>
+
+namespace axmult::analysis {
+
+void mark_pareto_front(std::vector<ParetoPoint>& points) {
+  for (auto& p : points) {
+    p.pareto = true;
+    for (const auto& q : points) {
+      const bool leq = q.x <= p.x && q.y <= p.y;
+      const bool strict = q.x < p.x || q.y < p.y;
+      if (leq && strict) {
+        p.pareto = false;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
+  mark_pareto_front(points);
+  std::vector<ParetoPoint> front;
+  for (const auto& p : points) {
+    if (p.pareto) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) { return a.x < b.x; });
+  return front;
+}
+
+}  // namespace axmult::analysis

@@ -1,0 +1,24 @@
+// Pareto-front extraction for the design-space studies of Figs. 9/10.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace axmult::analysis {
+
+struct ParetoPoint {
+  std::string name;
+  double x = 0.0;  ///< cost axis 1 (minimize), e.g. LUTs or latency
+  double y = 0.0;  ///< cost axis 2 (minimize), e.g. average relative error
+  bool pareto = false;
+};
+
+/// Marks the non-dominated points (minimizing both axes). A point is
+/// dominated when another point is <= on both axes and strictly < on at
+/// least one.
+void mark_pareto_front(std::vector<ParetoPoint>& points);
+
+/// Returns only the non-dominated points, sorted by x.
+[[nodiscard]] std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+}  // namespace axmult::analysis

@@ -1,0 +1,50 @@
+#include "apps/filters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace axmult::apps {
+
+std::vector<std::uint8_t> gaussian_taps(unsigned taps, double sigma) {
+  if (taps == 0) throw std::invalid_argument("gaussian_taps: taps must be positive");
+  if (sigma <= 0.0) sigma = taps / 5.0;
+  std::vector<std::uint8_t> c(taps);
+  const double mid = (taps - 1) / 2.0;
+  for (unsigned i = 0; i < taps; ++i) {
+    const double d = (i - mid) / sigma;
+    c[i] = static_cast<std::uint8_t>(std::lround(255.0 * std::exp(-0.5 * d * d)));
+  }
+  return c;
+}
+
+Image blur_image(const Image& input, const std::vector<std::uint8_t>& taps,
+                 mult::MultiplierPtr multiplier) {
+  const FirFilter fir(taps, std::move(multiplier));
+  const int delay = static_cast<int>(taps.size() / 2);
+
+  auto run = [&](const Image& src, bool columns) {
+    Image out(src.width(), src.height());
+    const unsigned outer = columns ? src.width() : src.height();
+    const unsigned inner = columns ? src.height() : src.width();
+    std::vector<std::uint8_t> line(inner);
+    for (unsigned o = 0; o < outer; ++o) {
+      for (unsigned i = 0; i < inner; ++i) {
+        line[i] = columns ? src.at(o, i) : src.at(i, o);
+      }
+      const auto filtered = fir.filter(line);
+      for (unsigned i = 0; i < inner; ++i) {
+        // Compensate the FIR group delay; clamp at the trailing edge.
+        const unsigned j = std::min<unsigned>(i + static_cast<unsigned>(delay), inner - 1);
+        if (columns) {
+          out.at(o, i) = filtered[j];
+        } else {
+          out.at(i, o) = filtered[j];
+        }
+      }
+    }
+    return out;
+  };
+  return run(run(input, false), true);
+}
+
+}  // namespace axmult::apps

@@ -1,0 +1,22 @@
+// 2-D image filtering built from the FIR core — a second image-processing
+// accelerator (separable Gaussian blur) exercising approximate multipliers
+// on the row/column filter datapath.
+#pragma once
+
+#include "apps/fir.hpp"
+#include "apps/image.hpp"
+
+namespace axmult::apps {
+
+/// Quantized Gaussian kernel: `taps` coefficients, sigma = taps/5, scaled
+/// to a 255 peak (odd tap counts keep the kernel symmetric).
+[[nodiscard]] std::vector<std::uint8_t> gaussian_taps(unsigned taps, double sigma = 0.0);
+
+/// Separable 2-D blur: the 1-D FIR runs over every row, then every column
+/// of the intermediate. Every tap product uses the supplied multiplier.
+/// The output is cropped-compensated for the FIR group delay so it stays
+/// aligned with the input.
+[[nodiscard]] Image blur_image(const Image& input, const std::vector<std::uint8_t>& taps,
+                               mult::MultiplierPtr multiplier);
+
+}  // namespace axmult::apps

@@ -1,0 +1,75 @@
+#include "apps/fir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace axmult::apps {
+
+FirFilter::FirFilter(std::vector<std::uint8_t> coefficients, mult::MultiplierPtr multiplier)
+    : coeffs_(std::move(coefficients)), multiplier_(std::move(multiplier)) {
+  if (coeffs_.empty()) throw std::invalid_argument("FirFilter: no coefficients");
+  if (!multiplier_ || multiplier_->a_bits() != 8 || multiplier_->b_bits() != 8) {
+    throw std::invalid_argument("FirFilter needs an 8x8 multiplier");
+  }
+  for (std::uint8_t c : coeffs_) coeff_sum_ += c;
+  if (coeff_sum_ == 0) throw std::invalid_argument("FirFilter: all-zero coefficients");
+}
+
+std::vector<std::uint8_t> FirFilter::filter(const std::vector<std::uint8_t>& signal) const {
+  std::vector<std::uint8_t> out(signal.size(), 0);
+  for (std::size_t n = 0; n < signal.size(); ++n) {
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+      if (k > n) break;  // zero-padded history
+      if (coeffs_[k] == 0) continue;
+      acc += multiplier_->multiply(coeffs_[k], signal[n - k]);
+    }
+    out[n] = static_cast<std::uint8_t>(std::min<std::uint64_t>(acc / coeff_sum_, 255));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> FirFilter::triangular_taps(unsigned taps) {
+  if (taps == 0) throw std::invalid_argument("triangular_taps: taps must be positive");
+  std::vector<std::uint8_t> c(taps);
+  const double mid = (taps - 1) / 2.0;
+  for (unsigned i = 0; i < taps; ++i) {
+    const double w = 1.0 - std::abs(i - mid) / (mid + 1.0);
+    c[i] = static_cast<std::uint8_t>(std::lround(255.0 * w));
+  }
+  return c;
+}
+
+std::vector<std::uint8_t> make_test_signal(std::size_t n, std::uint64_t seed, double noise_amp) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 128.0 + 70.0 * std::sin(t * 0.03) + 28.0 * std::sin(t * 0.31 + 1.0);
+    v += noise_amp * (rng.uniform01() * 2.0 - 1.0);
+    s[i] = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+  return s;
+}
+
+double snr_db(const std::vector<std::uint8_t>& reference, const std::vector<std::uint8_t>& test) {
+  if (reference.size() != test.size()) {
+    throw std::invalid_argument("snr_db: length mismatch");
+  }
+  long double signal = 0.0L;
+  long double noise = 0.0L;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double r = reference[i];
+    const double d = r - static_cast<double>(test[i]);
+    signal += r * r;
+    noise += d * d;
+  }
+  if (noise == 0.0L) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(static_cast<double>(signal / noise));
+}
+
+}  // namespace axmult::apps

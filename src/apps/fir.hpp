@@ -1,0 +1,46 @@
+// FIR filtering with a pluggable 8x8 multiplier — the DSP accelerator
+// class the paper's introduction motivates (digital signal processing as
+// the natural consumer of approximate multipliers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mult/multiplier.hpp"
+
+namespace axmult::apps {
+
+/// Direct-form FIR filter over unsigned 8-bit samples with unsigned 8-bit
+/// coefficients. Every tap product runs through the supplied multiplier;
+/// the accumulator divides by the coefficient sum so the output stays in
+/// the 8-bit sample range (a moving weighted average — low-pass).
+class FirFilter {
+ public:
+  FirFilter(std::vector<std::uint8_t> coefficients, mult::MultiplierPtr multiplier);
+
+  [[nodiscard]] std::vector<std::uint8_t> filter(const std::vector<std::uint8_t>& signal) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  /// Symmetric low-pass prototype: triangular window of `taps` coefficients
+  /// scaled to a maximum of 255.
+  [[nodiscard]] static std::vector<std::uint8_t> triangular_taps(unsigned taps);
+
+ private:
+  std::vector<std::uint8_t> coeffs_;
+  mult::MultiplierPtr multiplier_;
+  std::uint64_t coeff_sum_ = 0;
+};
+
+/// Test-signal generator: two sinusoids plus uniform noise, quantized to
+/// 8 bits. Deterministic per seed.
+[[nodiscard]] std::vector<std::uint8_t> make_test_signal(std::size_t n, std::uint64_t seed = 17,
+                                                         double noise_amp = 12.0);
+
+/// Signal-to-noise ratio (dB) of `test` against `reference`.
+[[nodiscard]] double snr_db(const std::vector<std::uint8_t>& reference,
+                            const std::vector<std::uint8_t>& test);
+
+}  // namespace axmult::apps

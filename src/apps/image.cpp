@@ -1,0 +1,79 @@
+#include "apps/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace axmult::apps {
+
+std::uint8_t Image::clamped(int x, int y) const {
+  const int cx = std::clamp(x, 0, static_cast<int>(width_) - 1);
+  const int cy = std::clamp(y, 0, static_cast<int>(height_) - 1);
+  return at(static_cast<unsigned>(cx), static_cast<unsigned>(cy));
+}
+
+void Image::write_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Image make_test_scene(unsigned width, unsigned height, std::uint64_t seed, double noise_sigma) {
+  Image img(width, height);
+  Xoshiro256 rng(seed);
+  const double w = width;
+  const double h = height;
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      // Smooth diagonal gradient background.
+      double v = 60.0 + 120.0 * (x / w) + 40.0 * (y / h);
+      // Bright disk (smooth blob with a hard rim).
+      const double dx1 = x - 0.30 * w;
+      const double dy1 = y - 0.35 * h;
+      if (dx1 * dx1 + dy1 * dy1 < 0.04 * w * h) v = 225.0 - 0.15 * std::sqrt(dx1 * dx1 + dy1 * dy1);
+      // Dark disk.
+      const double dx2 = x - 0.72 * w;
+      const double dy2 = y - 0.62 * h;
+      if (dx2 * dx2 + dy2 * dy2 < 0.02 * w * h) v = 35.0;
+      // Vertical bars (strong edges / texture).
+      if (y > 0.78 * h && ((x / std::max(1u, width / 16)) % 2) == 0) v = 200.0;
+      // Sinusoidal texture band.
+      if (y > 0.45 * h && y < 0.58 * h) v += 25.0 * std::sin(x * 0.35);
+      // Sensor noise (Box-Muller).
+      const double u1 = std::max(rng.uniform01(), 1e-12);
+      const double u2 = rng.uniform01();
+      v += noise_sigma * std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+double mse(const Image& reference, const Image& test) {
+  if (reference.width() != test.width() || reference.height() != test.height()) {
+    throw std::invalid_argument("mse: image dimensions differ");
+  }
+  long double acc = 0.0L;
+  const auto& a = reference.pixels();
+  const auto& b = test.pixels();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return a.empty() ? 0.0 : static_cast<double>(acc / a.size());
+}
+
+double psnr(const Image& reference, const Image& test) {
+  const double m = mse(reference, test);
+  if (m == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace axmult::apps

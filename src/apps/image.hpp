@@ -1,0 +1,54 @@
+// Grayscale images, synthetic test scenes and quality metrics.
+//
+// The paper evaluates the SUSAN smoothing accelerator on a photograph; no
+// photos ship with this reproduction, so image.hpp provides procedural
+// scenes with the same relevant structure (smooth regions, edges, texture
+// and sensor noise) plus PGM output so the Fig. 11 visual comparison can
+// be inspected with any viewer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axmult::apps {
+
+class Image {
+ public:
+  Image() = default;
+  Image(unsigned width, unsigned height, std::uint8_t fill = 0)
+      : width_(width), height_(height), pixels_(std::size_t{width} * height, fill) {}
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+  [[nodiscard]] std::uint8_t at(unsigned x, unsigned y) const {
+    return pixels_[std::size_t{y} * width_ + x];
+  }
+  std::uint8_t& at(unsigned x, unsigned y) { return pixels_[std::size_t{y} * width_ + x]; }
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept { return pixels_; }
+
+  /// Clamped access (edge replication) for window operators.
+  [[nodiscard]] std::uint8_t clamped(int x, int y) const;
+
+  /// Writes a binary PGM (P5). Throws std::runtime_error on I/O failure.
+  void write_pgm(const std::string& path) const;
+
+ private:
+  unsigned width_ = 0;
+  unsigned height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Procedural test scene: gradient background, disks, bars and speckle
+/// noise — smooth regions with edges, the structure SUSAN smoothing
+/// targets. Deterministic for a given seed.
+[[nodiscard]] Image make_test_scene(unsigned width, unsigned height, std::uint64_t seed = 11,
+                                    double noise_sigma = 6.0);
+
+/// Peak signal-to-noise ratio in dB; +infinity for identical images.
+[[nodiscard]] double psnr(const Image& reference, const Image& test);
+
+/// Mean squared error.
+[[nodiscard]] double mse(const Image& reference, const Image& test);
+
+}  // namespace axmult::apps

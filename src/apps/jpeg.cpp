@@ -1,0 +1,213 @@
+#include "apps/jpeg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "multgen/builders.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::apps {
+
+namespace {
+
+/// Standard JPEG luminance quantization table.
+constexpr int kLuminanceQ[8][8] = {
+    {16, 11, 10, 16, 24, 40, 51, 61},   {12, 12, 14, 19, 26, 58, 60, 55},
+    {14, 13, 16, 24, 40, 57, 69, 56},   {14, 17, 22, 29, 51, 87, 80, 62},
+    {18, 22, 37, 56, 68, 109, 103, 77}, {24, 35, 55, 64, 81, 104, 113, 92},
+    {49, 64, 78, 87, 103, 121, 120, 101}, {72, 92, 95, 98, 112, 100, 103, 99}};
+
+}  // namespace
+
+Dct8x8::Dct8x8(mult::MultiplierPtr multiplier) : multiplier_(std::move(multiplier)) {
+  if (!multiplier_ || multiplier_->a_bits() != 8 || multiplier_->b_bits() != 8) {
+    throw std::invalid_argument("Dct8x8 needs an 8x8 multiplier");
+  }
+  for (int u = 0; u < 8; ++u) {
+    const double norm = u == 0 ? std::sqrt(0.125) : 0.5;
+    for (int x = 0; x < 8; ++x) {
+      coeff_[u][x] =
+          static_cast<int>(std::lround(64.0 * norm * std::cos((2 * x + 1) * u * M_PI / 16.0)));
+    }
+  }
+}
+
+int Dct8x8::mac_row(const std::array<int, 8>& values, const std::array<int, 8>& coeffs) const {
+  long long acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int v = values[i];
+    const int c = coeffs[i];
+    if (v == 0 || c == 0) continue;
+    const std::uint64_t mag_v = static_cast<std::uint64_t>(std::min(std::abs(v), 255));
+    const std::uint64_t mag_c = static_cast<std::uint64_t>(std::min(std::abs(c), 255));
+    const long long p = static_cast<long long>(multiplier_->multiply(mag_v, mag_c));
+    acc += ((v < 0) != (c < 0)) ? -p : p;
+  }
+  return static_cast<int>(acc);
+}
+
+Block8x8 Dct8x8::forward(const Block8x8& spatial) const {
+  // Level shift to [-128, 127], rows then columns, rescaling by 64 (the
+  // coefficient scale) after each 1-D pass.
+  Block8x8 shifted{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) shifted[y][x] = spatial[y][x] - 128;
+  }
+  Block8x8 rows{};
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      std::array<int, 8> c{};
+      for (int x = 0; x < 8; ++x) c[x] = coeff_[u][x];
+      rows[y][u] = mac_row(shifted[y], c) / 64;
+    }
+  }
+  Block8x8 out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      std::array<int, 8> col{};
+      std::array<int, 8> c{};
+      for (int y = 0; y < 8; ++y) {
+        col[y] = rows[y][u];
+        c[y] = coeff_[v][y];
+      }
+      out[v][u] = mac_row(col, c) / 64;
+    }
+  }
+  return out;
+}
+
+Block8x8 Dct8x8::inverse(const Block8x8& freq) const {
+  Block8x8 cols{};
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      std::array<int, 8> col{};
+      std::array<int, 8> c{};
+      for (int v = 0; v < 8; ++v) {
+        col[v] = freq[v][u];
+        c[v] = coeff_[v][y];  // transpose: IDCT uses C^T
+      }
+      cols[y][u] = mac_row(col, c) / 64;
+    }
+  }
+  Block8x8 out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      std::array<int, 8> row{};
+      std::array<int, 8> c{};
+      for (int u = 0; u < 8; ++u) {
+        row[u] = cols[y][u];
+        c[u] = coeff_[u][x];
+      }
+      out[y][x] = std::clamp(mac_row(row, c) / 64 + 128, 0, 255);
+    }
+  }
+  return out;
+}
+
+Block8x8 Dct8x8::quantize(const Block8x8& freq, int quality_divisor) {
+  Block8x8 q{};
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      const int step = std::max(1, kLuminanceQ[v][u] / quality_divisor);
+      q[v][u] = freq[v][u] >= 0 ? (freq[v][u] + step / 2) / step
+                                : -((-freq[v][u] + step / 2) / step);
+    }
+  }
+  return q;
+}
+
+Block8x8 Dct8x8::dequantize(const Block8x8& q, int quality_divisor) {
+  Block8x8 f{};
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      const int step = std::max(1, kLuminanceQ[v][u] / quality_divisor);
+      f[v][u] = q[v][u] * step;
+    }
+  }
+  return f;
+}
+
+fabric::Netlist dct_stage_netlist(bool use_dsp, unsigned units) {
+  using fabric::kNetGnd;
+  using fabric::NetId;
+  using multgen::BitVec;
+  fabric::Netlist nl;
+
+  // Coefficient magnitudes of the scaled DCT matrix.
+  Dct8x8 ref(mult::make_accurate(8));
+  const auto& coeff = ref.coefficients();
+
+  for (unsigned unit = 0; unit < units; ++unit) {
+    const std::string up = "u" + std::to_string(unit);
+    std::array<BitVec, 8> x;
+    for (unsigned i = 0; i < 8; ++i) {
+      for (unsigned b = 0; b < 8; ++b) {
+        x[i].push_back(nl.add_input(up + ".x" + std::to_string(i) + "_" + std::to_string(b)));
+      }
+    }
+    for (unsigned u = 0; u < 8; ++u) {
+      // Each output coefficient: 8 constant multiplications + adder tree.
+      std::vector<BitVec> products;
+      for (unsigned i = 0; i < 8; ++i) {
+        const unsigned c = static_cast<unsigned>(std::abs(coeff[u][i]));
+        if (c == 0) continue;
+        const std::string mp = up + ".m" + std::to_string(u) + "_" + std::to_string(i);
+        if (use_dsp) {
+          std::vector<NetId> cbits;
+          for (unsigned b = 0; b < 8; ++b) {
+            cbits.push_back(bit(c, b) ? fabric::kNetVcc : kNetGnd);
+          }
+          products.push_back(nl.add_dsp(mp + ".dsp", x[i], cbits, 16));
+        } else {
+          // Shift-add constant multiplier: one binary add per extra set bit.
+          BitVec acc;
+          bool first = true;
+          unsigned first_shift = 0;
+          for (unsigned b = 0; b < 8; ++b) {
+            if (!bit(c, b)) continue;
+            if (first) {
+              acc = multgen::shifted(x[i], b);
+              first = false;
+              first_shift = b;
+            } else {
+              acc = multgen::build_binary_add(nl, acc, multgen::shifted(x[i], b),
+                                              static_cast<unsigned>(8 + b + 1),
+                                              mp + ".s" + std::to_string(b));
+            }
+          }
+          (void)first_shift;
+          products.push_back(acc);
+        }
+      }
+      // Adder tree over the products (ternary first, then binary).
+      while (products.size() > 1) {
+        std::vector<BitVec> next;
+        std::size_t idx = 0;
+        unsigned lvl = 0;
+        while (idx + 2 < products.size()) {
+          next.push_back(multgen::build_ternary_add(
+              nl, products[idx], products[idx + 1], products[idx + 2], 19,
+              up + ".t" + std::to_string(u) + "_" + std::to_string(lvl++)));
+          idx += 3;
+        }
+        if (idx + 1 < products.size()) {
+          next.push_back(multgen::build_binary_add(
+              nl, products[idx], products[idx + 1], 19,
+              up + ".b" + std::to_string(u) + "_" + std::to_string(lvl++)));
+          idx += 2;
+        }
+        while (idx < products.size()) next.push_back(products[idx++]);
+        products = std::move(next);
+      }
+      const BitVec& result = products.front();
+      for (std::size_t b = 0; b < result.size(); ++b) {
+        nl.add_output(up + ".y" + std::to_string(u) + "_" + std::to_string(b), result[b]);
+      }
+    }
+  }
+  return nl;
+}
+
+}  // namespace axmult::apps

@@ -1,0 +1,55 @@
+// JPEG-style 8x8 DCT pipeline: a software model with a pluggable
+// multiplier (approximate-computing case study) and a fabric datapath
+// elaboration (Table 1's DSP-vs-LUT study).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fabric/netlist.hpp"
+#include "mult/multiplier.hpp"
+
+namespace axmult::apps {
+
+using Block8x8 = std::array<std::array<int, 8>, 8>;
+
+/// Fixed-point 8-point DCT-II with 7-bit scaled cosine coefficients.
+/// All multiplications run |value| * |coefficient| through the supplied
+/// 8x8 unsigned multiplier (signs handled at accumulation), so the DCT
+/// exercises approximate multipliers exactly where a hardware datapath
+/// would place them.
+class Dct8x8 {
+ public:
+  explicit Dct8x8(mult::MultiplierPtr multiplier);
+
+  /// Forward 2-D DCT of a block of pixel values in [0, 255].
+  [[nodiscard]] Block8x8 forward(const Block8x8& spatial) const;
+
+  /// Inverse 2-D DCT back to pixel values (clamped to [0, 255]).
+  [[nodiscard]] Block8x8 inverse(const Block8x8& freq) const;
+
+  /// Quantize/dequantize with the standard JPEG luminance table scaled by
+  /// `quality_divisor` (1 = standard).
+  [[nodiscard]] static Block8x8 quantize(const Block8x8& freq, int quality_divisor = 1);
+  [[nodiscard]] static Block8x8 dequantize(const Block8x8& q, int quality_divisor = 1);
+
+  /// The scaled coefficient matrix (c[u][x] = round(cos(..) * 64 * norm)).
+  [[nodiscard]] const std::array<std::array<int, 8>, 8>& coefficients() const noexcept {
+    return coeff_;
+  }
+
+ private:
+  [[nodiscard]] int mac_row(const std::array<int, 8>& values,
+                            const std::array<int, 8>& coeffs) const;
+
+  mult::MultiplierPtr multiplier_;
+  std::array<std::array<int, 8>, 8> coeff_{};
+};
+
+/// Elaborates `units` parallel 1-D 8-point DCT datapaths. With
+/// `use_dsp = false` every coefficient multiplication becomes a shift-add
+/// LUT network; with `use_dsp = true` each claims a DSP block. Reproduces
+/// the Table 1 JPEG-encoder resource/latency trade-off.
+[[nodiscard]] fabric::Netlist dct_stage_netlist(bool use_dsp, unsigned units = 4);
+
+}  // namespace axmult::apps

@@ -1,0 +1,184 @@
+#include "apps/reed_solomon.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "fabric/lut6.hpp"
+
+namespace axmult::apps {
+
+GF256::GF256() {
+  // Generate alpha^i with alpha = 0x02 and the 0x11D primitive polynomial.
+  std::uint16_t x = 1;
+  log_.fill(-1);
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[static_cast<std::uint8_t>(x)] = static_cast<int>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+}
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  const int s = log_[a] + log_[b];
+  return exp_[static_cast<unsigned>(s) % 255];
+}
+
+std::uint8_t GF256::inverse(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  return exp_[(255 - static_cast<unsigned>(log_[a]) % 255) % 255];
+}
+
+std::uint8_t GF256::poly_eval(const std::vector<std::uint8_t>& coeffs, std::uint8_t x) const
+    noexcept {
+  std::uint8_t acc = 0;
+  for (std::uint8_t c : coeffs) acc = static_cast<std::uint8_t>(mul(acc, x) ^ c);
+  return acc;
+}
+
+RsEncoder::RsEncoder(unsigned n, unsigned k) : n_(n), k_(k) {
+  if (k == 0 || n <= k || n > 255) throw std::invalid_argument("RsEncoder: bad (n, k)");
+  // g(x) = prod_{i=0}^{n-k-1} (x - alpha^i); coefficients g_[0..n-k],
+  // lowest degree first, monic.
+  const unsigned t = n - k;
+  gen_.assign(1, 1);
+  for (unsigned i = 0; i < t; ++i) {
+    const std::uint8_t root = gf_.pow_alpha(i);
+    std::vector<std::uint8_t> next(gen_.size() + 1, 0);
+    for (std::size_t j = 0; j < gen_.size(); ++j) {
+      next[j] ^= gf_.mul(gen_[j], root);  // multiply by root (note: -r == r)
+      next[j + 1] ^= gen_[j];             // multiply by x
+    }
+    gen_ = std::move(next);
+  }
+}
+
+std::vector<std::uint8_t> RsEncoder::encode(const std::vector<std::uint8_t>& message) const {
+  if (message.size() != k_) throw std::invalid_argument("RsEncoder: message size != k");
+  const unsigned t = n_ - k_;
+  std::vector<std::uint8_t> rem(t, 0);
+  for (std::uint8_t m : message) {
+    const std::uint8_t fb = static_cast<std::uint8_t>(m ^ rem[t - 1]);
+    for (unsigned i = t - 1; i > 0; --i) {
+      rem[i] = static_cast<std::uint8_t>(rem[i - 1] ^ gf_.mul(fb, gen_[i]));
+    }
+    rem[0] = gf_.mul(fb, gen_[0]);
+  }
+  std::vector<std::uint8_t> codeword = message;
+  for (unsigned i = 0; i < t; ++i) codeword.push_back(rem[t - 1 - i]);
+  return codeword;
+}
+
+std::vector<std::uint8_t> RsEncoder::syndromes(const std::vector<std::uint8_t>& codeword) const {
+  std::vector<std::uint8_t> s;
+  for (unsigned i = 0; i < n_ - k_; ++i) {
+    s.push_back(gf_.poly_eval(codeword, gf_.pow_alpha(i)));
+  }
+  return s;
+}
+
+fabric::Netlist RsEncoder::datapath_netlist(bool use_dsp) const {
+  using fabric::kNetGnd;
+  using fabric::kNetVcc;
+  using fabric::NetId;
+  fabric::Netlist nl;
+  const unsigned t = n_ - k_;
+
+  std::vector<NetId> m;
+  for (unsigned b = 0; b < 8; ++b) m.push_back(nl.add_input("m" + std::to_string(b)));
+  std::vector<std::vector<NetId>> rem(t);
+  for (unsigned i = 0; i < t; ++i) {
+    for (unsigned b = 0; b < 8; ++b) {
+      rem[i].push_back(nl.add_input("r" + std::to_string(i) + "_" + std::to_string(b)));
+    }
+  }
+
+  // Feedback symbol: fb = m ^ rem[t-1], two XOR2 per dual-output LUT.
+  std::vector<NetId> fb(8);
+  for (unsigned b = 0; b < 8; b += 2) {
+    const std::uint64_t init = fabric::init_from_o5_o6(
+        [](const std::array<unsigned, 5>& in) { return (in[0] ^ in[1]) != 0; },
+        [](const std::array<unsigned, 5>& in) { return (in[2] ^ in[3]) != 0; });
+    const auto lut = nl.add_lut6(
+        "fb" + std::to_string(b), init,
+        {m[b], rem[t - 1][b], m[b + 1], rem[t - 1][b + 1], kNetGnd, kNetVcc}, true);
+    fb[b] = lut.o5;
+    fb[b + 1] = lut.o6;
+  }
+
+  // Constant GF multiplier matrix: bit j of (fb * g) = XOR of fb bits
+  // selected by column j of the GF(2)-linear map of multiplication by g.
+  auto const_mul_columns = [&](std::uint8_t g) {
+    std::array<std::uint8_t, 8> cols{};  // cols[j] = mask of fb bits in output j
+    for (unsigned in_bit = 0; in_bit < 8; ++in_bit) {
+      const std::uint8_t prod = gf_.mul(static_cast<std::uint8_t>(1u << in_bit), g);
+      for (unsigned j = 0; j < 8; ++j) {
+        if (bit(prod, j)) cols[j] = static_cast<std::uint8_t>(cols[j] | (1u << in_bit));
+      }
+    }
+    return cols;
+  };
+
+  for (unsigned i = 0; i < t; ++i) {
+    const std::string pre = "stage" + std::to_string(i);
+    std::vector<NetId> product(8, kNetGnd);
+    if (use_dsp) {
+      // Table 1 "DSP blocks enabled": each constant multiplier claims a
+      // DSP slice (Vivado maps the inferred multiply there); the GF
+      // reduction is not representable in a DSP, so this netlist is an
+      // area/latency model only (see DESIGN.md).
+      std::vector<NetId> cbits;
+      for (unsigned b = 0; b < 8; ++b) cbits.push_back(bit(gen_[i], b) ? kNetVcc : kNetGnd);
+      const auto p = nl.add_dsp(pre + ".dsp", fb, cbits, 16);
+      for (unsigned b = 0; b < 8; ++b) product[b] = p[b];
+    }
+    for (unsigned j = 0; j < 8; ++j) {
+      NetId next;
+      if (use_dsp) {
+        // next = rem[i-1][j] ^ product[j]
+        const NetId prev = i > 0 ? rem[i - 1][j] : kNetGnd;
+        const std::uint64_t init = fabric::init_from_o6(
+            [](const std::array<unsigned, 6>& in) { return (in[0] ^ in[1]) != 0; });
+        next = nl.add_lut6(pre + ".x" + std::to_string(j), init,
+                           {product[j], prev, kNetGnd, kNetGnd, kNetGnd, kNetGnd}).o6;
+      } else {
+        // next = rem[i-1][j] ^ XOR(selected fb bits): <= 6 pins fits one
+        // LUT, otherwise split into two.
+        const std::uint8_t mask = const_mul_columns(gen_[i])[j];
+        std::vector<NetId> taps;
+        if (i > 0) taps.push_back(rem[i - 1][j]);
+        for (unsigned b = 0; b < 8; ++b) {
+          if (bit(mask, b)) taps.push_back(fb[b]);
+        }
+        if (taps.empty()) {
+          next = kNetGnd;
+        } else if (taps.size() == 1) {
+          next = taps[0];
+        } else {
+          auto xor_lut = [&](const std::vector<NetId>& in, const std::string& name) {
+            std::array<NetId, 6> pins{kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd};
+            for (std::size_t p = 0; p < in.size(); ++p) pins[p] = in[p];
+            static const std::uint64_t init =
+                fabric::init_from_o6([](const std::array<unsigned, 6>& in6) {
+                  return (in6[0] ^ in6[1] ^ in6[2] ^ in6[3] ^ in6[4] ^ in6[5]) != 0;
+                });
+            return nl.add_lut6(name, init, pins).o6;
+          };
+          if (taps.size() <= 6) {
+            next = xor_lut(taps, pre + ".x" + std::to_string(j));
+          } else {
+            const std::vector<NetId> lo(taps.begin(), taps.begin() + 6);
+            std::vector<NetId> hi(taps.begin() + 6, taps.end());
+            hi.push_back(xor_lut(lo, pre + ".x" + std::to_string(j) + "a"));
+            next = xor_lut(hi, pre + ".x" + std::to_string(j) + "b");
+          }
+        }
+      }
+      nl.add_output("n" + std::to_string(i) + "_" + std::to_string(j), next);
+    }
+  }
+  return nl;
+}
+
+}  // namespace axmult::apps

@@ -1,0 +1,72 @@
+// GF(2^8) arithmetic and a Reed-Solomon encoder, both as a software model
+// and as a fabric datapath (Table 1's logic-vs-DSP motivational study).
+//
+// The encoder is the classic systematic LFSR form: shifting each message
+// symbol through a division-by-g(x) register built from constant GF
+// multipliers. Constant GF multipliers are *linear* over GF(2): each
+// output bit is an XOR of input bits, which maps to one or two LUT6s per
+// bit — the reason the LUT implementation of this encoder beats the
+// DSP-mapped one (DSP column routing adds latency and buys nothing for
+// XOR-dominated logic).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::apps {
+
+/// GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D).
+class GF256 {
+ public:
+  GF256();
+  [[nodiscard]] std::uint8_t add(std::uint8_t a, std::uint8_t b) const noexcept {
+    return a ^ b;
+  }
+  [[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) const noexcept;
+  [[nodiscard]] std::uint8_t pow_alpha(unsigned e) const noexcept {
+    return exp_[e % 255];
+  }
+  [[nodiscard]] std::uint8_t inverse(std::uint8_t a) const;
+  /// Evaluates polynomial `coeffs` (highest degree first) at x.
+  [[nodiscard]] std::uint8_t poly_eval(const std::vector<std::uint8_t>& coeffs,
+                                       std::uint8_t x) const noexcept;
+
+ private:
+  std::array<std::uint8_t, 255> exp_{};
+  std::array<int, 256> log_{};
+};
+
+/// Systematic RS(n, k) encoder over GF(2^8), n - k = 2t parity symbols.
+class RsEncoder {
+ public:
+  RsEncoder(unsigned n, unsigned k);
+
+  /// Appends n-k parity symbols to `message` (size k). Returns the
+  /// codeword (size n).
+  [[nodiscard]] std::vector<std::uint8_t> encode(const std::vector<std::uint8_t>& message) const;
+
+  /// Syndrome check: all zero iff `codeword` is valid.
+  [[nodiscard]] std::vector<std::uint8_t> syndromes(
+      const std::vector<std::uint8_t>& codeword) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& generator() const noexcept { return gen_; }
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+
+  /// Elaborates the encoder's per-cycle combinational datapath (feedback
+  /// XOR + n-k constant GF multipliers + register-input XORs) to the
+  /// fabric. `use_dsp` maps each constant multiplier onto a DSP block
+  /// instead of XOR LUT networks, reproducing the Table 1 configuration.
+  [[nodiscard]] fabric::Netlist datapath_netlist(bool use_dsp) const;
+
+ private:
+  unsigned n_;
+  unsigned k_;
+  GF256 gf_;
+  std::vector<std::uint8_t> gen_;  ///< generator polynomial, degree n-k
+};
+
+}  // namespace axmult::apps

@@ -1,0 +1,65 @@
+#include "apps/susan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace axmult::apps {
+
+SusanSmoother::SusanSmoother(mult::MultiplierPtr multiplier, SusanConfig config)
+    : multiplier_(std::move(multiplier)), config_(config) {
+  if (!multiplier_ || multiplier_->a_bits() != 8 || multiplier_->b_bits() != 8) {
+    throw std::invalid_argument("SusanSmoother needs an 8x8 multiplier");
+  }
+  // Quantized similarity kernel: w = round(255 * exp(-(d/t)^2)), d = |dI|.
+  weight_lut_.resize(256);
+  const double t = config_.brightness_threshold;
+  for (int d = 0; d < 256; ++d) {
+    const double w = 255.0 * std::exp(-(d / t) * (d / t));
+    weight_lut_[static_cast<std::size_t>(d)] = static_cast<std::uint8_t>(std::lround(w));
+  }
+  // Circular mask, centre pixel excluded (it gets full weight separately).
+  const int r = config_.radius;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      if (dx * dx + dy * dy <= r * r + 1) mask_.emplace_back(dx, dy);
+    }
+  }
+}
+
+Image SusanSmoother::smooth(const Image& input) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ignored;
+  return smooth_traced(input, ignored);
+}
+
+Image SusanSmoother::smooth_traced(
+    const Image& input, std::vector<std::pair<std::uint64_t, std::uint64_t>>& trace) const {
+  Image out(input.width(), input.height());
+  trace.clear();
+  for (unsigned y = 0; y < input.height(); ++y) {
+    for (unsigned x = 0; x < input.width(); ++x) {
+      const std::uint8_t centre = input.at(x, y);
+      // Centre contributes with full weight; the accelerator skips its
+      // multiplication (w = 255 would only scale both sums).
+      std::uint64_t num = 255ull * centre;
+      std::uint64_t den = 255;
+      for (const auto& [dx, dy] : mask_) {
+        const std::uint8_t p = input.clamped(static_cast<int>(x) + dx,
+                                             static_cast<int>(y) + dy);
+        const int d = std::abs(static_cast<int>(p) - static_cast<int>(centre));
+        const std::uint8_t w = weight_lut_[static_cast<std::size_t>(d)];
+        if (w == 0) continue;
+        const std::uint64_t op_a = config_.swap_operands ? p : w;
+        const std::uint64_t op_b = config_.swap_operands ? w : p;
+        trace.emplace_back(op_a, op_b);
+        num += multiplier_->multiply(op_a, op_b);
+        den += w;
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(std::min<std::uint64_t>(num / den, 255));
+    }
+  }
+  return out;
+}
+
+}  // namespace axmult::apps

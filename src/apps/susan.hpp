@@ -1,0 +1,52 @@
+// SUSAN image-smoothing accelerator with a pluggable 8x8 multiplier
+// (paper Section 5: area gains, Fig. 11/Table 6 output quality, Fig. 12
+// operand distribution, and the Cas/Ccs operand-swap study).
+//
+// SUSAN smoothing replaces each pixel by the similarity-weighted mean of
+// its circular neighborhood: w(r) = exp(-((I(r)-I(r0))/t)^2), so pixels on
+// the same "univalue segment" dominate and edges are preserved. The
+// hardware-relevant operation is the stream of w * I products, which the
+// accelerator computes on an 8x8 unsigned multiplier — the component this
+// paper approximates.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/image.hpp"
+#include "mult/multiplier.hpp"
+
+namespace axmult::apps {
+
+struct SusanConfig {
+  double brightness_threshold = 20.0;  ///< t in the similarity kernel
+  int radius = 2;                      ///< circular mask radius (2 -> 21 px? see mask())
+  bool swap_operands = false;          ///< multiply(pixel, weight) instead of
+                                       ///< multiply(weight, pixel) — Cas/Ccs
+};
+
+class SusanSmoother {
+ public:
+  explicit SusanSmoother(mult::MultiplierPtr multiplier, SusanConfig config = {});
+
+  /// Smooths `input` using the configured multiplier for every w*I product.
+  [[nodiscard]] Image smooth(const Image& input) const;
+
+  /// Same, additionally recording every (multiplier, multiplicand) operand
+  /// pair fed to the hardware multiplier (Fig. 12 histogram / trace-driven
+  /// error characterization).
+  [[nodiscard]] Image smooth_traced(
+      const Image& input, std::vector<std::pair<std::uint64_t, std::uint64_t>>& trace) const;
+
+  /// The circular neighborhood offsets for the configured radius.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& mask() const noexcept { return mask_; }
+
+ private:
+  mult::MultiplierPtr multiplier_;
+  SusanConfig config_;
+  std::vector<std::uint8_t> weight_lut_;     ///< |dI| -> 8-bit weight
+  std::vector<std::pair<int, int>> mask_;
+};
+
+}  // namespace axmult::apps

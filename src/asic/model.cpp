@@ -1,0 +1,115 @@
+#include "asic/model.hpp"
+
+#include <algorithm>
+
+#include "asic/qm.hpp"
+#include "common/bits.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::asic {
+
+namespace {
+
+struct BlockCost {
+  double area = 0.0;
+  unsigned depth = 0;
+};
+
+/// Two-level cost of one elementary block: QM-minimize every product bit
+/// over the block's full truth table.
+BlockCost block_cost(mult::Elementary e) {
+  std::uint64_t (*fn)(std::uint64_t, std::uint64_t) = nullptr;
+  unsigned op_bits = 2;
+  unsigned out_bits = 4;
+  switch (e) {
+    case mult::Elementary::kApprox4x4:
+      fn = &mult::approx_4x4;
+      op_bits = 4;
+      out_bits = 8;
+      break;
+    case mult::Elementary::kAccurate4x4:
+      fn = &mult::accurate_4x4;
+      op_bits = 4;
+      out_bits = 8;
+      break;
+    case mult::Elementary::kKulkarni2x2:
+      fn = &mult::kulkarni_2x2;
+      out_bits = 3;
+      break;
+    case mult::Elementary::kRehman2x2:
+      fn = &mult::rehman_2x2;
+      out_bits = 4;
+      break;
+    case mult::Elementary::kAccurate2x2:
+      fn = &mult::accurate_2x2;
+      out_bits = 4;
+      break;
+  }
+  const unsigned n = 2 * op_bits;
+  BlockCost cost;
+  for (unsigned bit_idx = 0; bit_idx < out_bits; ++bit_idx) {
+    std::vector<std::uint32_t> on;
+    for (std::uint32_t in = 0; in < (1u << n); ++in) {
+      const std::uint64_t a = in & low_mask(op_bits);
+      const std::uint64_t b = in >> op_bits;
+      if (bit(fn(a, b), bit_idx)) on.push_back(in);
+    }
+    const auto sop = sop_cost(minimize(on, n), n);
+    cost.area += sop.area;
+    cost.depth = std::max(cost.depth, sop.depth);
+  }
+  return cost;
+}
+
+struct SumCost {
+  double area = 0.0;
+  double delay_levels = 0.0;
+};
+
+/// Summation cost of one recursion level merging four m*m products into a
+/// 2m*2m product (columns m .. 4m-1 carry three operands).
+SumCost level_cost(unsigned m, mult::Summation s, const AsicModel& model) {
+  SumCost c;
+  const unsigned cols = 3 * m;
+  if (s == mult::Summation::kAccurate) {
+    // One CSA row (FA per column) reducing 3 -> 2, then a ripple adder.
+    c.area = cols * model.fa_area * 2.0;
+    c.delay_levels = model.fa_delay_levels /*CSA*/ + cols * model.fa_delay_levels /*ripple*/;
+  } else {
+    // Carry-free: two XOR2 per middle column (area 2.33 each), depth 2.
+    c.area = 2 * m * 2 * 2.33;
+    c.delay_levels = 2.0;
+  }
+  return c;
+}
+
+}  // namespace
+
+AsicReport estimate(unsigned width, mult::Elementary elementary, mult::Summation summation,
+                    const AsicModel& model) {
+  const unsigned ew = mult::elementary_width(elementary);
+  const BlockCost block = block_cost(elementary);
+  const unsigned blocks = (width / ew) * (width / ew);
+
+  AsicReport r;
+  r.area_nand2 = blocks * block.area;
+  double delay_levels = static_cast<double>(block.depth);
+
+  // Recursion levels: at merge size 2m there are (width / 2m)^2 merges,
+  // but only the levels on the critical path add delay once each.
+  for (unsigned m = ew; m < width; m *= 2) {
+    const unsigned merges = (width / (2 * m)) * (width / (2 * m));
+    const SumCost sc = level_cost(m, summation, model);
+    r.area_nand2 += merges * sc.area;
+    delay_levels += sc.delay_levels;
+  }
+  r.delay_ps = delay_levels * model.gate_delay_ps;
+  r.energy_au = r.area_nand2 * model.activity;
+  return r;
+}
+
+double gain_percent(double exact, double approx) {
+  return exact == 0.0 ? 0.0 : 100.0 * (exact - approx) / exact;
+}
+
+}  // namespace axmult::asic

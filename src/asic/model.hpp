@@ -1,0 +1,41 @@
+// Compositional ASIC cost model (Fig. 1 cross-platform study).
+//
+// A recursive multiplier on ASIC is: elementary blocks (two-level logic,
+// costed by Quine-McCluskey minimization of each output bit) feeding a
+// carry-save reduction tree and a final ripple adder. Area is in
+// NAND2-equivalents, delay in gate levels * a nominal per-level delay,
+// energy proportional to area * activity. Only *relative* gains (vs the
+// accurate multiplier of the same width) are reported — the same
+// normalization the paper's Fig. 1 uses.
+#pragma once
+
+#include "mult/recursive.hpp"
+
+namespace axmult::asic {
+
+struct AsicReport {
+  double area_nand2 = 0.0;
+  double delay_ps = 0.0;
+  double energy_au = 0.0;
+
+  [[nodiscard]] double edp() const noexcept { return energy_au * delay_ps; }
+};
+
+struct AsicModel {
+  double gate_delay_ps = 45.0;   ///< nominal per-level delay (incl. wire)
+  double fa_area = 6.0;          ///< full adder, NAND2-equivalents
+  double ha_area = 3.0;          ///< half adder
+  double fa_delay_levels = 2.0;  ///< carry levels through one FA
+  double activity = 0.5;         ///< toggling fraction folded into energy
+};
+
+/// Costs a recursive multiplier built from `elementary` blocks with a
+/// CSA + ripple summation (Summation::kAccurate) or the carry-free column
+/// XOR (Summation::kCarryFree).
+[[nodiscard]] AsicReport estimate(unsigned width, mult::Elementary elementary,
+                                  mult::Summation summation, const AsicModel& model = {});
+
+/// Relative gain (%) of `approx` vs `exact` for a metric pair.
+[[nodiscard]] double gain_percent(double exact, double approx);
+
+}  // namespace axmult::asic

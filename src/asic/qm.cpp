@@ -1,0 +1,128 @@
+#include "asic/qm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+
+namespace axmult::asic {
+
+unsigned Implicant::literal_count() const noexcept { return popcount(mask); }
+
+namespace {
+
+struct Key {
+  std::uint32_t bits;
+  std::uint32_t mask;
+  bool operator<(const Key& o) const {
+    return mask != o.mask ? mask < o.mask : bits < o.bits;
+  }
+};
+
+}  // namespace
+
+std::vector<Implicant> minimize(const std::vector<std::uint32_t>& minterms,
+                                unsigned num_inputs) {
+  if (minterms.empty()) return {};
+  const std::uint32_t full_mask = static_cast<std::uint32_t>(low_mask(num_inputs));
+
+  // Iteratively combine implicants differing in exactly one cared bit.
+  std::set<Key> current;
+  for (std::uint32_t m : minterms) current.insert({m & full_mask, full_mask});
+  std::vector<Implicant> primes;
+
+  while (!current.empty()) {
+    std::set<Key> next;
+    std::set<Key> combined;
+    for (auto it = current.begin(); it != current.end(); ++it) {
+      for (auto jt = std::next(it); jt != current.end(); ++jt) {
+        if (it->mask != jt->mask) continue;
+        const std::uint32_t diff = (it->bits ^ jt->bits) & it->mask;
+        if (popcount(diff) != 1) continue;
+        next.insert({it->bits & ~diff, it->mask & ~diff});
+        combined.insert(*it);
+        combined.insert(*jt);
+      }
+    }
+    for (const Key& k : current) {
+      if (!combined.count(k)) primes.push_back({k.bits, k.mask});
+    }
+    current = std::move(next);
+  }
+
+  // Greedy cover: essential primes first, then highest-coverage.
+  std::vector<std::uint32_t> uncovered = minterms;
+  std::vector<Implicant> cover;
+  // Essential primes.
+  for (std::uint32_t m : minterms) {
+    const Implicant* only = nullptr;
+    int count = 0;
+    for (const auto& p : primes) {
+      if (p.covers(m)) {
+        ++count;
+        only = &p;
+      }
+    }
+    if (count == 1 && only != nullptr) {
+      if (std::none_of(cover.begin(), cover.end(), [&](const Implicant& c) {
+            return c.bits == only->bits && c.mask == only->mask;
+          })) {
+        cover.push_back(*only);
+      }
+    }
+  }
+  auto prune = [&] {
+    uncovered.erase(std::remove_if(uncovered.begin(), uncovered.end(),
+                                   [&](std::uint32_t m) {
+                                     return std::any_of(
+                                         cover.begin(), cover.end(),
+                                         [&](const Implicant& c) { return c.covers(m); });
+                                   }),
+                    uncovered.end());
+  };
+  prune();
+  while (!uncovered.empty()) {
+    const Implicant* best = nullptr;
+    std::size_t best_count = 0;
+    for (const auto& p : primes) {
+      const std::size_t covered = static_cast<std::size_t>(
+          std::count_if(uncovered.begin(), uncovered.end(),
+                        [&](std::uint32_t m) { return p.covers(m); }));
+      if (covered > best_count) {
+        best_count = covered;
+        best = &p;
+      }
+    }
+    if (best == nullptr) break;  // unreachable for a consistent ON-set
+    cover.push_back(*best);
+    prune();
+  }
+  return cover;
+}
+
+SopCost sop_cost(const std::vector<Implicant>& cover, unsigned num_inputs) {
+  SopCost cost;
+  if (cover.empty()) return cost;  // constant 0: free
+  // Inverters: one per variable used complemented anywhere (shared).
+  std::uint32_t complemented = 0;
+  for (const auto& t : cover) complemented |= t.mask & ~t.bits;
+  cost.area += 0.67 * popcount(complemented & static_cast<std::uint32_t>(low_mask(num_inputs)));
+
+  unsigned max_lits = 0;
+  for (const auto& t : cover) {
+    const unsigned lits = t.literal_count();
+    max_lits = std::max(max_lits, lits);
+    if (lits >= 2) cost.area += 1.33 * (lits - 1);  // AND2 chain/tree
+  }
+  if (cover.size() >= 2) cost.area += 1.33 * (cover.size() - 1);  // OR tree
+
+  const auto levels = [](unsigned fanin) {
+    return fanin <= 1 ? 0u
+                      : static_cast<unsigned>(std::ceil(std::log2(static_cast<double>(fanin))));
+  };
+  cost.depth = 1 /*inverters*/ + levels(max_lits) + levels(static_cast<unsigned>(cover.size()));
+  return cost;
+}
+
+}  // namespace axmult::asic

@@ -1,0 +1,41 @@
+// Quine-McCluskey two-level logic minimization (exact prime generation,
+// greedy cover) for functions of up to 8 inputs.
+//
+// The ASIC side of the paper's Fig. 1 needs gate-level cost estimates for
+// the elementary approximate blocks; minimizing each output to a
+// sum-of-products and costing literals is the classic way to get them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace axmult::asic {
+
+/// One product term: for input i, (mask >> i & 1) == 0 means "don't care";
+/// otherwise the literal is a_i when (bits >> i & 1) == 1, else !a_i.
+struct Implicant {
+  std::uint32_t bits = 0;
+  std::uint32_t mask = 0;
+
+  [[nodiscard]] unsigned literal_count() const noexcept;
+  [[nodiscard]] bool covers(std::uint32_t minterm) const noexcept {
+    return (minterm & mask) == (bits & mask);
+  }
+};
+
+/// Minimizes the function whose ON-set over `num_inputs` variables is
+/// `minterms`. Returns a (near-minimal) prime-implicant cover; an empty
+/// vector means the constant-0 function. A full cover with an empty-mask
+/// implicant means constant 1.
+[[nodiscard]] std::vector<Implicant> minimize(const std::vector<std::uint32_t>& minterms,
+                                              unsigned num_inputs);
+
+/// Two-level cost of a cover: AND gates of `literal_count` inputs feeding
+/// one OR. Costs are in NAND2-equivalent gate area.
+struct SopCost {
+  double area = 0.0;    ///< NAND2-equivalent units
+  unsigned depth = 0;   ///< gate levels (balanced AND/OR trees)
+};
+[[nodiscard]] SopCost sop_cost(const std::vector<Implicant>& cover, unsigned num_inputs);
+
+}  // namespace axmult::asic

@@ -1,0 +1,57 @@
+// Bit-manipulation helpers shared across the library.
+//
+// All multiplier models in this project operate on unsigned operands held
+// in std::uint64_t, which comfortably covers the paper's 4/8/16/32-bit
+// design space (a 32x32 product still fits in 64 bits).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace axmult {
+
+/// Returns bit `pos` (0 = LSB) of `value` as 0 or 1.
+[[nodiscard]] constexpr std::uint64_t bit(std::uint64_t value, unsigned pos) noexcept {
+  return (value >> pos) & 1u;
+}
+
+/// Returns `value` with bit `pos` forced to `b` (0 or 1).
+[[nodiscard]] constexpr std::uint64_t with_bit(std::uint64_t value, unsigned pos,
+                                               std::uint64_t b) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << pos;
+  return (value & ~mask) | ((b & 1u) << pos);
+}
+
+/// Mask with the `n` least-significant bits set. `n` must be <= 64.
+[[nodiscard]] constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/// Extracts the bit field [lo, lo+width) of `value`.
+[[nodiscard]] constexpr std::uint64_t bits(std::uint64_t value, unsigned lo,
+                                           unsigned width) noexcept {
+  return (value >> lo) & low_mask(width);
+}
+
+/// Number of bits needed to represent `value` (0 -> 0).
+[[nodiscard]] constexpr unsigned bit_width(std::uint64_t value) noexcept {
+  return static_cast<unsigned>(std::bit_width(value));
+}
+
+/// True if `value` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && std::has_single_bit(value);
+}
+
+/// Population count.
+[[nodiscard]] constexpr unsigned popcount(std::uint64_t value) noexcept {
+  return static_cast<unsigned>(std::popcount(value));
+}
+
+/// Ceil(a / b) for unsigned integers; b must be nonzero.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace axmult

@@ -1,0 +1,67 @@
+// xoshiro256** PRNG (Blackman & Vigna), self-contained so experiment
+// sampling is reproducible across platforms and standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace axmult {
+
+/// Deterministic, fast 64-bit PRNG used by all sampled experiments.
+///
+/// Not cryptographic. Satisfies the UniformRandomBitGenerator concept so
+/// it can also feed <random> distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from a single 64-bit seed via splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound) without modulo bias for small bounds
+  /// (bound must be nonzero).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // 128-bit multiply-shift reduction (Lemire).
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(operator()()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace axmult

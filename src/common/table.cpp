@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace axmult {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << (c == 0 ? "| " : " | ") << cell
+         << std::string(width[c] - cell.size(), ' ');
+    }
+    os << " |\n";
+  };
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << '|';
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(("\n== " + title + " ==\n").c_str(), stdout);
+  std::fputs(str().c_str(), stdout);
+}
+
+}  // namespace axmult

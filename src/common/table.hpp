@@ -1,0 +1,37 @@
+// Minimal console table formatter so every bench prints paper-style rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace axmult {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+///
+/// Used by the bench harness to print the same rows/series the paper's
+/// tables and figures report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits.
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders the table with a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders and writes to stdout with a title line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace axmult

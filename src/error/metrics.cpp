@@ -1,0 +1,176 @@
+#include "error/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace axmult::error {
+
+PairSource exhaustive_source(unsigned a_bits, unsigned b_bits) {
+  auto state = std::make_shared<std::uint64_t>(0);
+  const std::uint64_t total = std::uint64_t{1} << (a_bits + b_bits);
+  const std::uint64_t amask = low_mask(a_bits);
+  return [state, total, amask, a_bits](std::uint64_t& a, std::uint64_t& b) {
+    if (*state >= total) return false;
+    a = *state & amask;
+    b = *state >> a_bits;
+    ++*state;
+    return true;
+  };
+}
+
+PairSource uniform_source(unsigned a_bits, unsigned b_bits, std::uint64_t n, std::uint64_t seed) {
+  auto rng = std::make_shared<Xoshiro256>(seed);
+  auto remaining = std::make_shared<std::uint64_t>(n);
+  const std::uint64_t amask = low_mask(a_bits);
+  const std::uint64_t bmask = low_mask(b_bits);
+  return [rng, remaining, amask, bmask](std::uint64_t& a, std::uint64_t& b) {
+    if (*remaining == 0) return false;
+    --*remaining;
+    a = (*rng)() & amask;
+    b = (*rng)() & bmask;
+    return true;
+  };
+}
+
+PairSource gaussian_source(unsigned a_bits, unsigned b_bits, std::uint64_t n, double mean,
+                           double sigma, std::uint64_t seed) {
+  auto rng = std::make_shared<Xoshiro256>(seed);
+  auto remaining = std::make_shared<std::uint64_t>(n);
+  const double amax = static_cast<double>(low_mask(a_bits));
+  const double bmax = static_cast<double>(low_mask(b_bits));
+  return [rng, remaining, mean, sigma, amax, bmax](std::uint64_t& a, std::uint64_t& b) {
+    if (*remaining == 0) return false;
+    --*remaining;
+    auto draw = [&](double maxv) {
+      // Box-Muller, clipped to the operand range.
+      const double u1 = std::max(rng->uniform01(), 1e-12);
+      const double u2 = rng->uniform01();
+      const double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double v = mean + sigma * g;
+      return static_cast<std::uint64_t>(std::llround(std::min(std::max(v, 0.0), maxv)));
+    };
+    a = draw(amax);
+    b = draw(bmax);
+    return true;
+  };
+}
+
+PairSource trace_source(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& trace) {
+  auto idx = std::make_shared<std::size_t>(0);
+  // Copy so the source owns its data (traces are modest in size).
+  auto data = std::make_shared<std::vector<std::pair<std::uint64_t, std::uint64_t>>>(trace);
+  return [idx, data](std::uint64_t& a, std::uint64_t& b) {
+    if (*idx >= data->size()) return false;
+    a = (*data)[*idx].first;
+    b = (*data)[*idx].second;
+    ++*idx;
+    return true;
+  };
+}
+
+ErrorMetrics characterize_op(const BinaryFn& approx_fn, const BinaryFn& exact_fn,
+                             PairSource source) {
+  ErrorMetrics r;
+  long double sum_abs = 0.0L;
+  long double sum_rel = 0.0L;
+  long double sum_signed = 0.0L;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  while (source(a, b)) {
+    ++r.samples;
+    const std::uint64_t exact = exact_fn(a, b);
+    const std::uint64_t approx = approx_fn(a, b);
+    if (approx == exact) continue;
+    const std::int64_t signed_err =
+        static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+    const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
+    ++r.occurrences;
+    sum_abs += static_cast<long double>(mag);
+    sum_signed += static_cast<long double>(signed_err);
+    if (exact != 0) sum_rel += static_cast<long double>(mag) / static_cast<long double>(exact);
+    if (mag > r.max_error) {
+      r.max_error = mag;
+      r.max_error_occurrences = 1;
+    } else if (mag == r.max_error) {
+      ++r.max_error_occurrences;
+    }
+  }
+  if (r.samples > 0) {
+    r.avg_error = static_cast<double>(sum_abs / static_cast<long double>(r.samples));
+    r.avg_relative_error = static_cast<double>(sum_rel / static_cast<long double>(r.samples));
+    r.mean_signed_error = static_cast<double>(sum_signed / static_cast<long double>(r.samples));
+  }
+  return r;
+}
+
+ErrorMetrics characterize(const mult::Multiplier& m, PairSource source) {
+  return characterize_op([&m](std::uint64_t a, std::uint64_t b) { return m.multiply(a, b); },
+                         [](std::uint64_t a, std::uint64_t b) { return a * b; },
+                         std::move(source));
+}
+
+ErrorMetrics characterize_exhaustive(const mult::Multiplier& m) {
+  return characterize(m, exhaustive_source(m.a_bits(), m.b_bits()));
+}
+
+ErrorMetrics characterize_sampled(const mult::Multiplier& m, std::uint64_t n, std::uint64_t seed) {
+  return characterize(m, uniform_source(m.a_bits(), m.b_bits(), n, seed));
+}
+
+std::vector<double> bit_error_probability(const mult::Multiplier& m, PairSource source) {
+  const unsigned nbits = m.product_bits();
+  std::vector<std::uint64_t> wrong(nbits, 0);
+  std::uint64_t samples = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  while (source(a, b)) {
+    ++samples;
+    const std::uint64_t diff = (a * b) ^ m.multiply(a, b);
+    if (diff == 0) continue;
+    for (unsigned i = 0; i < nbits; ++i) {
+      wrong[i] += bit(diff, i);
+    }
+  }
+  std::vector<double> prob(nbits, 0.0);
+  if (samples) {
+    for (unsigned i = 0; i < nbits; ++i) {
+      prob[i] = static_cast<double>(wrong[i]) / static_cast<double>(samples);
+    }
+  }
+  return prob;
+}
+
+std::map<std::uint64_t, std::uint64_t> error_pmf(const mult::Multiplier& m, PairSource source) {
+  std::map<std::uint64_t, std::uint64_t> pmf;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  while (source(a, b)) {
+    const std::uint64_t exact = a * b;
+    const std::uint64_t approx = m.multiply(a, b);
+    if (approx == exact) continue;
+    const std::int64_t err =
+        static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+    ++pmf[static_cast<std::uint64_t>(std::llabs(err))];
+  }
+  return pmf;
+}
+
+std::vector<ErrorCase> collect_error_cases(const mult::Multiplier& m, PairSource source,
+                                           std::size_t limit) {
+  std::vector<ErrorCase> cases;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  while (source(a, b) && cases.size() < limit) {
+    const std::uint64_t exact = a * b;
+    const std::uint64_t approx = m.multiply(a, b);
+    if (approx != exact) cases.push_back({a, b, exact, approx});
+  }
+  return cases;
+}
+
+}  // namespace axmult::error

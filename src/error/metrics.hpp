@@ -1,0 +1,107 @@
+// Error characterization of approximate multipliers (paper Sections 1.2, 5).
+//
+// The paper's quality metrics, evaluated for a uniform distribution of all
+// input combinations (exhaustively where the input space allows, sampled
+// otherwise):
+//   * Maximum Error Magnitude           max |approx - exact|
+//   * Average Error                     mean |approx - exact|
+//   * Average Relative Error            mean |approx - exact| / exact
+//   * (Number of) Error Occurrences     #inputs with approx != exact
+//   * Maximum Error Case Occurrences    #inputs hitting the max magnitude
+// plus the per-bit error probabilities and error PMFs of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mult/multiplier.hpp"
+
+namespace axmult::error {
+
+struct ErrorMetrics {
+  std::uint64_t samples = 0;
+  std::uint64_t max_error = 0;
+  double avg_error = 0.0;
+  double avg_relative_error = 0.0;
+  std::uint64_t occurrences = 0;
+  std::uint64_t max_error_occurrences = 0;
+  /// Mean signed error (approx - exact); negative for one-sided designs.
+  double mean_signed_error = 0.0;
+
+  [[nodiscard]] double error_probability() const noexcept {
+    return samples ? static_cast<double>(occurrences) / static_cast<double>(samples) : 0.0;
+  }
+
+  /// Normalized mean error distance: avg |err| / max product — the NMED
+  /// metric common in the approximate-arithmetic literature.
+  [[nodiscard]] double nmed(unsigned a_bits, unsigned b_bits) const noexcept {
+    const double max_product = static_cast<double>(((1ull << a_bits) - 1)) *
+                               static_cast<double>(((1ull << b_bits) - 1));
+    return max_product > 0 ? avg_error / max_product : 0.0;
+  }
+
+  /// Worst-case error normalized to the max product.
+  [[nodiscard]] double wce_normalized(unsigned a_bits, unsigned b_bits) const noexcept {
+    const double max_product = static_cast<double>(((1ull << a_bits) - 1)) *
+                               static_cast<double>(((1ull << b_bits) - 1));
+    return max_product > 0 ? static_cast<double>(max_error) / max_product : 0.0;
+  }
+};
+
+/// A source of operand pairs. Returns false when exhausted.
+using PairSource = std::function<bool(std::uint64_t& a, std::uint64_t& b)>;
+
+/// All 2^(a_bits+b_bits) combinations, lexicographic.
+[[nodiscard]] PairSource exhaustive_source(unsigned a_bits, unsigned b_bits);
+
+/// `n` uniform random pairs from a fixed seed.
+[[nodiscard]] PairSource uniform_source(unsigned a_bits, unsigned b_bits, std::uint64_t n,
+                                        std::uint64_t seed = 1);
+
+/// `n` pairs from a clipped discrete Gaussian (mean/sigma in operand
+/// units) — models sensor-like, non-uniform operand distributions.
+[[nodiscard]] PairSource gaussian_source(unsigned a_bits, unsigned b_bits, std::uint64_t n,
+                                         double mean, double sigma, std::uint64_t seed = 1);
+
+/// Pairs drawn from a recorded operand trace (e.g. the SUSAN accelerator).
+[[nodiscard]] PairSource trace_source(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& trace);
+
+/// Characterizes an arbitrary binary operator against its exact reference
+/// over `source` (used for adders and other datapath blocks).
+using BinaryFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+[[nodiscard]] ErrorMetrics characterize_op(const BinaryFn& approx, const BinaryFn& exact,
+                                           PairSource source);
+
+/// Characterizes `m` against the exact product over `source`.
+[[nodiscard]] ErrorMetrics characterize(const mult::Multiplier& m, PairSource source);
+
+/// Exhaustive characterization over the full input space (use only when
+/// a_bits + b_bits is small enough, e.g. <= 24).
+[[nodiscard]] ErrorMetrics characterize_exhaustive(const mult::Multiplier& m);
+
+/// Monte-Carlo characterization with `n` uniform samples.
+[[nodiscard]] ErrorMetrics characterize_sampled(const mult::Multiplier& m, std::uint64_t n,
+                                                std::uint64_t seed = 1);
+
+/// P(product bit i differs from the exact product bit), per bit (Fig 8a).
+[[nodiscard]] std::vector<double> bit_error_probability(const mult::Multiplier& m,
+                                                        PairSource source);
+
+/// Distribution of |error| values with their occurrence counts (Fig 8b).
+[[nodiscard]] std::map<std::uint64_t, std::uint64_t> error_pmf(const mult::Multiplier& m,
+                                                               PairSource source);
+
+/// Collects the erroneous inputs (up to `limit`) — regenerates Table 2.
+struct ErrorCase {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t approx = 0;
+};
+[[nodiscard]] std::vector<ErrorCase> collect_error_cases(const mult::Multiplier& m,
+                                                         PairSource source,
+                                                         std::size_t limit = 64);
+
+}  // namespace axmult::error

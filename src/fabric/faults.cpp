@@ -1,0 +1,78 @@
+#include "fabric/faults.hpp"
+
+namespace axmult::fabric {
+
+Netlist with_stuck_at(const Netlist& nl, const StuckAtFault& fault) {
+  Netlist out;
+  const NetId stuck = fault.stuck_value ? kNetVcc : kNetGnd;
+  // Rebuild with identical structure; only consumers of the faulty net
+  // are rewired. Net ids are preserved because construction order is
+  // replayed exactly.
+  std::vector<NetId> remap(nl.net_count());
+  remap[kNetGnd] = kNetGnd;
+  remap[kNetVcc] = kNetVcc;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    remap[nl.inputs()[i]] = out.add_input(nl.net_name(nl.inputs()[i]));
+  }
+  auto pin = [&](NetId n) {
+    if (n == kNoNet) return kNoNet;
+    if (n == fault.net) return stuck;
+    return remap[n];
+  };
+  for (const Cell& c : nl.cells()) {
+    switch (c.kind) {
+      case CellKind::kLut6: {
+        std::array<NetId, 6> pins{};
+        for (unsigned p = 0; p < 6; ++p) pins[p] = pin(c.in[p]);
+        const auto lut = out.add_lut6(c.name, c.init, pins, c.out[1] != kNoNet);
+        remap[c.out[0]] = lut.o6;
+        if (c.out[1] != kNoNet) remap[c.out[1]] = lut.o5;
+        break;
+      }
+      case CellKind::kCarry4: {
+        std::array<NetId, 4> s{};
+        std::array<NetId, 4> di{};
+        for (unsigned i = 0; i < 4; ++i) {
+          s[i] = pin(c.in[1 + i]);
+          di[i] = pin(c.in[5 + i]);
+        }
+        const auto cc = out.add_carry4(c.name, pin(c.in[0]), s, di);
+        for (unsigned i = 0; i < 4; ++i) {
+          remap[c.out[i]] = cc.o[i];
+          remap[c.out[4 + i]] = cc.co[i];
+        }
+        break;
+      }
+      case CellKind::kDsp: {
+        std::vector<NetId> a;
+        std::vector<NetId> b;
+        for (unsigned i = 0; i < c.dsp_a_width; ++i) a.push_back(pin(c.in[i]));
+        for (std::size_t i = c.dsp_a_width; i < c.in.size(); ++i) b.push_back(pin(c.in[i]));
+        const auto p = out.add_dsp(c.name, a, b, static_cast<unsigned>(c.out.size()));
+        for (std::size_t i = 0; i < c.out.size(); ++i) remap[c.out[i]] = p[i];
+        break;
+      }
+      case CellKind::kFdre: {
+        remap[c.out[0]] = out.add_fdre(c.name, pin(c.in[0]));
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out.add_output(nl.output_names()[i], pin(nl.outputs()[i]));
+  }
+  return out;
+}
+
+std::vector<NetId> fault_sites(const Netlist& nl) {
+  std::vector<NetId> sites;
+  const auto fanout = nl.fanout();
+  for (const Cell& c : nl.cells()) {
+    for (NetId n : c.out) {
+      if (n != kNoNet && fanout[n] > 0) sites.push_back(n);
+    }
+  }
+  return sites;
+}
+
+}  // namespace axmult::fabric

@@ -1,0 +1,33 @@
+// Stuck-at fault injection on fabric netlists.
+//
+// Reliability companion to the error analysis: a single-event stuck-at
+// fault on an internal net turns an (approximate) multiplier into a
+// different approximate multiplier; the same error metrics then quantify
+// fault criticality. Approximate architectures with confined error bits
+// degrade more gracefully than accurate ones — the analysis this module
+// enables.
+#pragma once
+
+#include <vector>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::fabric {
+
+struct StuckAtFault {
+  NetId net = kNoNet;
+  bool stuck_value = false;
+};
+
+/// Returns a copy of `nl` with every consumer of `fault.net` (cell pins
+/// and primary outputs) rewired to the stuck constant. The faulty driver
+/// cell is left in place (its output simply becomes unobservable), which
+/// keeps cell indices and area identical to the original.
+[[nodiscard]] Netlist with_stuck_at(const Netlist& nl, const StuckAtFault& fault);
+
+/// All injectable fault sites: nets driven by LUT O6/O5, CARRY4 O/CO and
+/// FDRE Q outputs (primary inputs are excluded — those are testbench
+/// faults, not fabric faults).
+[[nodiscard]] std::vector<NetId> fault_sites(const Netlist& nl);
+
+}  // namespace axmult::fabric

@@ -1,0 +1,27 @@
+// Structural HDL export (the form the paper's open-source library ships
+// in): every netlist can be written as VHDL or Verilog that instantiates
+// Xilinx unisim primitives (LUT6_2 with its INIT generic, CARRY4), ready
+// to drop into a Vivado project for on-device validation.
+//
+// DSP-modelled cells are evaluation-only stand-ins and are rejected here.
+#pragma once
+
+#include <string>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::fabric {
+
+/// Emits a structural VHDL entity/architecture pair.
+/// Throws std::invalid_argument if the netlist contains DSP model cells.
+[[nodiscard]] std::string to_vhdl(const Netlist& nl, const std::string& entity_name);
+
+/// Emits a structural Verilog module.
+/// Throws std::invalid_argument if the netlist contains DSP model cells.
+[[nodiscard]] std::string to_verilog(const Netlist& nl, const std::string& module_name);
+
+/// Sanitizes a net/cell name into a legal HDL identifier (shared by both
+/// emitters so the outputs cross-reference).
+[[nodiscard]] std::string hdl_identifier(const std::string& name);
+
+}  // namespace axmult::fabric

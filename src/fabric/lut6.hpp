@@ -1,0 +1,91 @@
+// Semantics of the Xilinx 7-series fracturable 6-input LUT (LUT6_2).
+//
+// A LUT6_2 holds a 64-bit INIT value and produces two outputs:
+//   O6 = INIT[{I5,I4,I3,I2,I1,I0}]        (all 64 bits)
+//   O5 = INIT[{ 0,I4,I3,I2,I1,I0}]        (lower 32 bits, I5 ignored)
+// Tying I5 = 1 therefore yields two independent 5-input functions:
+// O6 from INIT[63:32] and O5 from INIT[31:0] — exactly how Table 3 of the
+// paper programs its dual-output LUTs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace axmult::fabric {
+
+/// Truth-table index for pin values i5..i0 (each 0/1), i5 is the MSB.
+[[nodiscard]] constexpr unsigned lut_index(unsigned i5, unsigned i4, unsigned i3, unsigned i2,
+                                           unsigned i1, unsigned i0) noexcept {
+  return ((i5 & 1u) << 5) | ((i4 & 1u) << 4) | ((i3 & 1u) << 3) | ((i2 & 1u) << 2) |
+         ((i1 & 1u) << 1) | (i0 & 1u);
+}
+
+/// O6 output for a given INIT and 6-bit index.
+[[nodiscard]] constexpr bool lut_o6(std::uint64_t init, unsigned index6) noexcept {
+  return bit(init, index6 & 63u) != 0;
+}
+
+/// O5 output: lower 32 INIT bits addressed by I4..I0 only.
+[[nodiscard]] constexpr bool lut_o5(std::uint64_t init, unsigned index6) noexcept {
+  return bit(init, index6 & 31u) != 0;
+}
+
+/// Pins that O6 actually depends on, as a 6-bit mask (true input support).
+/// Static timing uses this to avoid false paths through don't-care pins.
+[[nodiscard]] constexpr unsigned lut_support_o6(std::uint64_t init) noexcept {
+  unsigned mask = 0;
+  for (unsigned p = 0; p < 6; ++p) {
+    for (unsigned idx = 0; idx < 64; ++idx) {
+      if (lut_o6(init, idx) != lut_o6(init, idx ^ (1u << p))) {
+        mask |= 1u << p;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+/// Pins that O5 actually depends on (I5 can never be in O5's support).
+[[nodiscard]] constexpr unsigned lut_support_o5(std::uint64_t init) noexcept {
+  unsigned mask = 0;
+  for (unsigned p = 0; p < 5; ++p) {
+    for (unsigned idx = 0; idx < 32; ++idx) {
+      if (lut_o5(init, idx) != lut_o5(init, idx ^ (1u << p))) {
+        mask |= 1u << p;
+        break;
+      }
+    }
+  }
+  return mask;
+}
+
+/// Builds an INIT for a single 6-input function.
+/// `fn` receives the pin values as {i0, i1, ..., i5}.
+template <typename Fn>
+[[nodiscard]] constexpr std::uint64_t init_from_o6(Fn&& fn) {
+  std::uint64_t init = 0;
+  for (unsigned idx = 0; idx < 64; ++idx) {
+    std::array<unsigned, 6> in{};
+    for (unsigned b = 0; b < 6; ++b) in[b] = (idx >> b) & 1u;
+    if (fn(in)) init |= std::uint64_t{1} << idx;
+  }
+  return init;
+}
+
+/// Builds an INIT for a dual-output (I5 tied high) LUT6_2.
+/// `fn5` (-> O5) and `fn6` (-> O6) receive pins {i0,...,i4}.
+template <typename Fn5, typename Fn6>
+[[nodiscard]] constexpr std::uint64_t init_from_o5_o6(Fn5&& fn5, Fn6&& fn6) {
+  std::uint64_t init = 0;
+  for (unsigned idx = 0; idx < 32; ++idx) {
+    std::array<unsigned, 5> in{};
+    for (unsigned b = 0; b < 5; ++b) in[b] = (idx >> b) & 1u;
+    if (fn5(in)) init |= std::uint64_t{1} << idx;         // O5 page
+    if (fn6(in)) init |= std::uint64_t{1} << (32 + idx);  // O6 page (I5 = 1)
+  }
+  return init;
+}
+
+}  // namespace axmult::fabric

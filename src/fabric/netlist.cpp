@@ -1,0 +1,327 @@
+#include "fabric/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "fabric/lut6.hpp"
+
+namespace axmult::fabric {
+
+Netlist::Netlist() {
+  add_net("GND");
+  add_net("VCC");
+}
+
+NetId Netlist::add_net(std::string name) {
+  net_names_.push_back(std::move(name));
+  return static_cast<NetId>(net_names_.size() - 1);
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = add_net(name);
+  inputs_.push_back(id);
+  return id;
+}
+
+void Netlist::add_output(std::string name, NetId net) {
+  outputs_.push_back(net);
+  output_names_.push_back(std::move(name));
+}
+
+LutOut Netlist::add_lut6(std::string name, std::uint64_t init, std::array<NetId, 6> inputs,
+                         bool with_o5) {
+  Cell cell;
+  cell.kind = CellKind::kLut6;
+  cell.name = std::move(name);
+  cell.init = init;
+  cell.in.assign(inputs.begin(), inputs.end());
+  LutOut out;
+  out.o6 = add_net(cell.name + ".O6");
+  cell.out.push_back(out.o6);
+  if (with_o5) {
+    out.o5 = add_net(cell.name + ".O5");
+    cell.out.push_back(out.o5);
+  } else {
+    cell.out.push_back(kNoNet);
+  }
+  cells_.push_back(std::move(cell));
+  return out;
+}
+
+CarryOut Netlist::add_carry4(std::string name, NetId cin, std::array<NetId, 4> s,
+                             std::array<NetId, 4> di) {
+  Cell cell;
+  cell.kind = CellKind::kCarry4;
+  cell.name = std::move(name);
+  cell.in.push_back(cin);
+  for (NetId n : s) cell.in.push_back(n);
+  for (NetId n : di) cell.in.push_back(n);
+  CarryOut out;
+  for (unsigned i = 0; i < 4; ++i) {
+    out.o[i] = add_net(cell.name + ".O" + std::to_string(i));
+    cell.out.push_back(out.o[i]);
+  }
+  for (unsigned i = 0; i < 4; ++i) {
+    out.co[i] = add_net(cell.name + ".CO" + std::to_string(i));
+    cell.out.push_back(out.co[i]);
+  }
+  cells_.push_back(std::move(cell));
+  return out;
+}
+
+std::vector<NetId> Netlist::add_dsp(std::string name, const std::vector<NetId>& a,
+                                    const std::vector<NetId>& b, unsigned product_bits) {
+  Cell cell;
+  cell.kind = CellKind::kDsp;
+  cell.name = std::move(name);
+  cell.dsp_a_width = static_cast<unsigned>(a.size());
+  cell.in = a;
+  cell.in.insert(cell.in.end(), b.begin(), b.end());
+  std::vector<NetId> product;
+  product.reserve(product_bits);
+  for (unsigned i = 0; i < product_bits; ++i) {
+    const NetId n = add_net(cell.name + ".P" + std::to_string(i));
+    product.push_back(n);
+    cell.out.push_back(n);
+  }
+  cells_.push_back(std::move(cell));
+  return product;
+}
+
+NetId Netlist::add_fdre(std::string name, NetId d) {
+  Cell cell;
+  cell.kind = CellKind::kFdre;
+  cell.name = std::move(name);
+  cell.in.push_back(d);
+  const NetId q = add_net(cell.name + ".Q");
+  cell.out.push_back(q);
+  cells_.push_back(std::move(cell));
+  return q;
+}
+
+Netlist::OpenFf Netlist::add_fdre_open(std::string name) {
+  Cell cell;
+  cell.kind = CellKind::kFdre;
+  cell.name = std::move(name);
+  cell.in.push_back(kNoNet);
+  OpenFf ff;
+  ff.q = add_net(cell.name + ".Q");
+  cell.out.push_back(ff.q);
+  cells_.push_back(std::move(cell));
+  ff.cell = static_cast<std::uint32_t>(cells_.size() - 1);
+  return ff;
+}
+
+void Netlist::close_fdre(const OpenFf& ff, NetId d) {
+  Cell& cell = cells_.at(ff.cell);
+  if (cell.kind != CellKind::kFdre || cell.in.at(0) != kNoNet) {
+    throw std::invalid_argument("close_fdre: not an open flip-flop");
+  }
+  cell.in[0] = d;
+}
+
+bool Netlist::is_sequential() const noexcept {
+  for (const Cell& c : cells_) {
+    if (c.kind == CellKind::kFdre) return true;
+  }
+  return false;
+}
+
+AreaReport Netlist::area() const {
+  AreaReport r;
+  for (const Cell& c : cells_) {
+    switch (c.kind) {
+      case CellKind::kLut6: ++r.luts; break;
+      case CellKind::kCarry4: ++r.carry4; break;
+      case CellKind::kDsp: ++r.dsp; break;
+      case CellKind::kFdre: ++r.ffs; break;
+    }
+  }
+  // A 7-series slice holds four LUT6_2s, one CARRY4 and eight flip-flops;
+  // whichever resource dominates sets the slice count.
+  r.slices = std::max({ceil_div(r.luts, 4), r.carry4, ceil_div(r.ffs, 8)});
+  return r;
+}
+
+std::vector<std::uint32_t> Netlist::fanout() const {
+  std::vector<std::uint32_t> fo(net_names_.size(), 0);
+  for (const Cell& c : cells_) {
+    for (NetId n : c.in) {
+      if (n != kNoNet) ++fo[n];
+    }
+  }
+  for (NetId n : outputs_) ++fo[n];
+  return fo;
+}
+
+std::vector<std::uint32_t> Netlist::topo_order() const {
+  // driver[net] = cell index, or kNoCell for inputs/constants.
+  constexpr std::uint32_t kNoCell = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> driver(net_names_.size(), kNoCell);
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    for (NetId n : cells_[ci].out) {
+      if (n != kNoNet) driver[n] = ci;
+    }
+  }
+  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> dependents(cells_.size());
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    unsigned deps = 0;
+    // Flip-flop outputs are state: a flip-flop never waits on its D input
+    // combinationally, which is what breaks registered feedback loops.
+    if (cells_[ci].kind != CellKind::kFdre) {
+      for (NetId n : cells_[ci].in) {
+        if (n == kNoNet || n == kNetGnd || n == kNetVcc) continue;
+        if (driver[n] != kNoCell) {
+          dependents[driver[n]].push_back(ci);
+          ++deps;
+        }
+      }
+    }
+    pending[ci] = deps;
+    if (deps == 0) ready.push(ci);
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(cells_.size());
+  while (!ready.empty()) {
+    const std::uint32_t ci = ready.front();
+    ready.pop();
+    order.push_back(ci);
+    for (std::uint32_t d : dependents[ci]) {
+      if (--pending[d] == 0) ready.push(d);
+    }
+  }
+  if (order.size() != cells_.size()) {
+    throw std::runtime_error("Netlist::topo_order: combinational loop detected");
+  }
+  return order;
+}
+
+Evaluator::Evaluator(const Netlist& nl) : nl_(nl), order_(nl.topo_order()) {
+  value_.assign(nl.net_count(), 0);
+  value_[kNetVcc] = 1;
+}
+
+std::vector<std::uint8_t> Evaluator::eval(const std::vector<std::uint8_t>& input_bits) {
+  return eval_impl(input_bits, nullptr);
+}
+
+std::vector<std::uint8_t> Evaluator::eval_impl(const std::vector<std::uint8_t>& input_bits,
+                                               std::vector<std::uint8_t>* ff_state) {
+  const auto& inputs = nl_.inputs();
+  if (input_bits.size() != inputs.size()) {
+    throw std::invalid_argument("Evaluator::eval: wrong number of input bits");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) value_[inputs[i]] = input_bits[i] & 1u;
+
+  std::size_t ff_read = 0;
+  const auto& cells = nl_.cells();
+  for (std::uint32_t ci : order_) {
+    const Cell& c = cells[ci];
+    switch (c.kind) {
+      case CellKind::kFdre: {
+        if (ff_state == nullptr) {
+          throw std::invalid_argument(
+              "Evaluator: sequential netlist — use SeqEvaluator instead");
+        }
+        // Note: flip-flops have zero dependencies, so the topological order
+        // schedules them all before any combinational consumer; ff_read
+        // therefore indexes them in a stable (cell) order.
+        value_[c.out[0]] = (*ff_state)[ff_read++];
+        break;
+      }
+      case CellKind::kLut6: {
+        unsigned idx = 0;
+        for (unsigned b = 0; b < 6; ++b) idx |= static_cast<unsigned>(value_[c.in[b]] & 1u) << b;
+        value_[c.out[0]] = lut_o6(c.init, idx) ? 1 : 0;
+        if (c.out[1] != kNoNet) value_[c.out[1]] = lut_o5(c.init, idx) ? 1 : 0;
+        break;
+      }
+      case CellKind::kCarry4: {
+        std::uint8_t carry = value_[c.in[0]] & 1u;
+        for (unsigned i = 0; i < 4; ++i) {
+          const std::uint8_t s = value_[c.in[1 + i]] & 1u;
+          const std::uint8_t di = value_[c.in[5 + i]] & 1u;
+          value_[c.out[i]] = s ^ carry;                                  // XORCY
+          carry = s ? carry : di;                                       // MUXCY
+          value_[c.out[4 + i]] = carry;
+        }
+        break;
+      }
+      case CellKind::kDsp: {
+        std::uint64_t a = 0;
+        std::uint64_t b = 0;
+        for (unsigned i = 0; i < c.dsp_a_width; ++i) {
+          a |= static_cast<std::uint64_t>(value_[c.in[i]] & 1u) << i;
+        }
+        for (unsigned i = c.dsp_a_width; i < c.in.size(); ++i) {
+          b |= static_cast<std::uint64_t>(value_[c.in[i]] & 1u) << (i - c.dsp_a_width);
+        }
+        const std::uint64_t p = a * b;
+        for (std::size_t i = 0; i < c.out.size(); ++i) {
+          value_[c.out[i]] = static_cast<std::uint8_t>(bit(p, static_cast<unsigned>(i)));
+        }
+        break;
+      }
+    }
+  }
+  if (ff_state != nullptr) {
+    // Clock edge: latch every D into the state (cell declaration order).
+    std::size_t idx = 0;
+    for (const Cell& c : cells) {
+      if (c.kind == CellKind::kFdre) (*ff_state)[idx++] = value_[c.in[0]] & 1u;
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(nl_.outputs().size());
+  for (NetId n : nl_.outputs()) out.push_back(value_[n]);
+  return out;
+}
+
+SeqEvaluator::SeqEvaluator(const Netlist& nl) : comb_(nl) {
+  std::size_t ffs = 0;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind == CellKind::kFdre) ++ffs;
+  }
+  state_.assign(ffs, 0);
+}
+
+std::vector<std::uint8_t> SeqEvaluator::step(const std::vector<std::uint8_t>& input_bits) {
+  return comb_.eval_impl(input_bits, &state_);
+}
+
+std::uint64_t SeqEvaluator::step_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
+                                      unsigned b_bits) {
+  std::vector<std::uint8_t> in;
+  in.reserve(a_bits + b_bits);
+  for (unsigned i = 0; i < a_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(a, i)));
+  for (unsigned i = 0; i < b_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(b, i)));
+  const auto out = step(in);
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    p |= static_cast<std::uint64_t>(out[i] & 1u) << i;
+  }
+  return p;
+}
+
+void SeqEvaluator::reset() { std::fill(state_.begin(), state_.end(), 0); }
+
+std::uint64_t Evaluator::eval_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
+                                   unsigned b_bits) {
+  std::vector<std::uint8_t> in;
+  in.reserve(a_bits + b_bits);
+  for (unsigned i = 0; i < a_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(a, i)));
+  for (unsigned i = 0; i < b_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(b, i)));
+  const auto out = eval(in);
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    p |= static_cast<std::uint64_t>(out[i] & 1u) << i;
+  }
+  return p;
+}
+
+}  // namespace axmult::fabric

@@ -1,0 +1,198 @@
+// Structural netlist over 7-series primitives: LUT6_2, CARRY4, DSP48-style
+// multiplier blocks, constants, and primary I/O.
+//
+// This is the "device" side of our Vivado substitution: every multiplier in
+// the library can be elaborated into one of these netlists, from which
+//   * area      = number of LUT6_2 cells (exact, same unit as the paper),
+//   * latency   = static timing analysis (timing/ module),
+//   * energy    = toggle-activity simulation (power/ module)
+// are derived.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace axmult::fabric {
+
+/// Index of a net within a Netlist. Net 0 is constant-0, net 1 constant-1.
+using NetId = std::uint32_t;
+
+inline constexpr NetId kNetGnd = 0;
+inline constexpr NetId kNetVcc = 1;
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+enum class CellKind : std::uint8_t {
+  kLut6,    ///< LUT6_2: 6 input pins, O6 and optional O5 outputs.
+  kCarry4,  ///< 4-bit carry chain: CIN, S[4], DI[4] -> O[4], CO[4].
+  kDsp,     ///< Hard multiplier block (Table 1 study): two operand buses.
+  kFdre,    ///< D flip-flop (single implicit clock): in[0] = D, out[0] = Q.
+};
+
+/// One primitive instance. Pin meaning depends on `kind`:
+///  kLut6:   in[0..5] = I0..I5; out[0] = O6, out[1] = O5 (kNoNet if unused).
+///  kCarry4: in[0] = CIN; in[1..4] = S0..S3; in[5..8] = DI0..DI3;
+///           out[0..3] = O0..O3; out[4..7] = CO0..CO3 (kNoNet if unused).
+///  kDsp:    in[] = A bits then B bits; out[] = product bits;
+///           `dsp_a_width` gives the split.
+struct Cell {
+  CellKind kind = CellKind::kLut6;
+  std::string name;
+  std::uint64_t init = 0;  ///< LUT truth table (kLut6 only).
+  unsigned dsp_a_width = 0;
+  std::vector<NetId> in;
+  std::vector<NetId> out;
+};
+
+/// Outputs of a dual-output LUT6_2 instance.
+struct LutOut {
+  NetId o6 = kNoNet;
+  NetId o5 = kNoNet;
+};
+
+/// Outputs of a CARRY4 instance.
+struct CarryOut {
+  std::array<NetId, 4> o{kNoNet, kNoNet, kNoNet, kNoNet};    ///< sum bits
+  std::array<NetId, 4> co{kNoNet, kNoNet, kNoNet, kNoNet};   ///< carry bits
+};
+
+/// Area summary of a netlist in device units.
+struct AreaReport {
+  std::uint64_t luts = 0;      ///< LUT6_2 count — the paper's area metric.
+  std::uint64_t carry4 = 0;    ///< carry-chain segments
+  std::uint64_t dsp = 0;       ///< DSP blocks
+  std::uint64_t ffs = 0;       ///< flip-flops (8 per slice)
+  std::uint64_t slices = 0;    ///< packed slice estimate (4 LUTs + 1 CARRY4)
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // ---- construction -----------------------------------------------------
+  NetId add_net(std::string name = {});
+  NetId add_input(std::string name);
+  void add_output(std::string name, NetId net);
+
+  /// Instantiates a LUT6_2. `inputs` are {I0..I5}; pass kNetVcc/kNetGnd for
+  /// tied pins. `with_o5` additionally exposes the O5 output.
+  LutOut add_lut6(std::string name, std::uint64_t init, std::array<NetId, 6> inputs,
+                  bool with_o5 = false);
+
+  /// Instantiates a CARRY4. Unused trailing stages may pass kNetGnd.
+  CarryOut add_carry4(std::string name, NetId cin, std::array<NetId, 4> s,
+                      std::array<NetId, 4> di);
+
+  /// Instantiates a hard multiplier block (product = A * B).
+  std::vector<NetId> add_dsp(std::string name, const std::vector<NetId>& a,
+                             const std::vector<NetId>& b, unsigned product_bits);
+
+  /// Instantiates a D flip-flop on the implicit clock; returns Q.
+  NetId add_fdre(std::string name, NetId d);
+
+  /// Flip-flop with a not-yet-available D input — the mechanism for
+  /// registered feedback (accumulators, LFSRs): take the Q net first,
+  /// build the downstream logic, then close the loop.
+  struct OpenFf {
+    NetId q = kNoNet;
+    std::uint32_t cell = 0;
+  };
+  OpenFf add_fdre_open(std::string name);
+  /// Binds the D input of an open flip-flop. Must be called exactly once.
+  void close_fdre(const OpenFf& ff, NetId d);
+
+  // ---- inspection -------------------------------------------------------
+  [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }
+  [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+  [[nodiscard]] const std::vector<NetId>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<NetId>& outputs() const noexcept { return outputs_; }
+  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept {
+    return output_names_;
+  }
+  [[nodiscard]] const std::string& net_name(NetId id) const { return net_names_.at(id); }
+
+  /// LUT/carry/DSP/slice counts.
+  [[nodiscard]] AreaReport area() const;
+
+  /// Fanout (number of cell input pins + primary outputs) per net.
+  [[nodiscard]] std::vector<std::uint32_t> fanout() const;
+
+  /// Topological order of cell indices; throws std::runtime_error on a
+  /// combinational loop or an undriven non-constant, non-input net.
+  /// Flip-flops break combinational dependencies (their Q is a source).
+  [[nodiscard]] std::vector<std::uint32_t> topo_order() const;
+
+  /// True if the netlist contains any flip-flop.
+  [[nodiscard]] bool is_sequential() const noexcept;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::vector<Cell> cells_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> output_names_;
+};
+
+/// Evaluates a netlist on scalar input vectors. The evaluator caches the
+/// topological order, so repeated calls (exhaustive error sweeps) are cheap.
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& nl);
+  /// The evaluator only references the netlist — binding a temporary would
+  /// dangle, so it is rejected at compile time.
+  explicit Evaluator(Netlist&&) = delete;
+
+  /// `input_bits[i]` is the value of `nl.inputs()[i]`; returns output bits
+  /// in declaration order.
+  std::vector<std::uint8_t> eval(const std::vector<std::uint8_t>& input_bits);
+
+  /// Convenience: packs inputs/outputs as integers, LSB-first in
+  /// declaration order (our generators declare a0..aN-1, b0..bN-1 and
+  /// p0..p2N-1, so this multiplies directly).
+  std::uint64_t eval_word(std::uint64_t a, unsigned a_bits, std::uint64_t b, unsigned b_bits);
+
+  /// Net values from the most recent eval (for toggle counting / debug).
+  [[nodiscard]] const std::vector<std::uint8_t>& net_values() const noexcept { return value_; }
+
+ private:
+  friend class SeqEvaluator;
+  std::vector<std::uint8_t> eval_impl(const std::vector<std::uint8_t>& input_bits,
+                                      std::vector<std::uint8_t>* ff_state);
+
+  const Netlist& nl_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint8_t> value_;
+};
+
+/// Cycle-accurate evaluation of sequential netlists: each step() applies
+/// the inputs, settles the combinational logic, returns the outputs, and
+/// then clocks every flip-flop.
+class SeqEvaluator {
+ public:
+  explicit SeqEvaluator(const Netlist& nl);
+  explicit SeqEvaluator(Netlist&&) = delete;
+
+  /// One clock cycle. Outputs reflect the state *before* the clock edge.
+  std::vector<std::uint8_t> step(const std::vector<std::uint8_t>& input_bits);
+
+  /// Word-packed convenience mirroring Evaluator::eval_word.
+  std::uint64_t step_word(std::uint64_t a, unsigned a_bits, std::uint64_t b, unsigned b_bits);
+
+  /// Resets all flip-flops to zero.
+  void reset();
+
+  [[nodiscard]] std::size_t ff_count() const noexcept { return state_.size(); }
+
+  /// Net values after the most recent step (for toggle counting / debug).
+  [[nodiscard]] const std::vector<std::uint8_t>& net_values() const noexcept {
+    return comb_.net_values();
+  }
+
+ private:
+  Evaluator comb_;
+  std::vector<std::uint8_t> state_;
+};
+
+}  // namespace axmult::fabric

@@ -1,0 +1,122 @@
+#include "fabric/transforms.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace axmult::fabric {
+
+Netlist sweep_dead_cells(const Netlist& nl) {
+  const auto& cells = nl.cells();
+  // driver[net] = producing cell.
+  constexpr std::uint32_t kNoCell = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> driver(nl.net_count(), kNoCell);
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) {
+    for (NetId n : cells[ci].out) {
+      if (n != kNoNet) driver[n] = ci;
+    }
+  }
+  // Mark live cells backwards from outputs; flip-flops keep their D cones.
+  std::vector<bool> live(cells.size(), false);
+  std::vector<std::uint32_t> work;
+  auto mark_net = [&](NetId n) {
+    if (n == kNoNet || n == kNetGnd || n == kNetVcc) return;
+    const std::uint32_t ci = driver[n];
+    if (ci != kNoCell && !live[ci]) {
+      live[ci] = true;
+      work.push_back(ci);
+    }
+  };
+  for (NetId n : nl.outputs()) mark_net(n);
+  while (!work.empty()) {
+    const std::uint32_t ci = work.back();
+    work.pop_back();
+    for (NetId n : cells[ci].in) mark_net(n);
+  }
+
+  // Rebuild only the live cells, preserving order.
+  Netlist out;
+  std::vector<NetId> remap(nl.net_count(), kNoNet);
+  remap[kNetGnd] = kNetGnd;
+  remap[kNetVcc] = kNetVcc;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    remap[nl.inputs()[i]] = out.add_input(nl.net_name(nl.inputs()[i]));
+  }
+  auto pin = [&](NetId n) { return n == kNoNet ? kNoNet : remap[n]; };
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) {
+    if (!live[ci]) continue;
+    const Cell& c = cells[ci];
+    switch (c.kind) {
+      case CellKind::kLut6: {
+        std::array<NetId, 6> pins{};
+        for (unsigned p = 0; p < 6; ++p) pins[p] = pin(c.in[p]);
+        const auto lut = out.add_lut6(c.name, c.init, pins, c.out[1] != kNoNet);
+        remap[c.out[0]] = lut.o6;
+        if (c.out[1] != kNoNet) remap[c.out[1]] = lut.o5;
+        break;
+      }
+      case CellKind::kCarry4: {
+        std::array<NetId, 4> s{};
+        std::array<NetId, 4> di{};
+        for (unsigned i = 0; i < 4; ++i) {
+          s[i] = pin(c.in[1 + i]);
+          di[i] = pin(c.in[5 + i]);
+        }
+        const auto cc = out.add_carry4(c.name, pin(c.in[0]), s, di);
+        for (unsigned i = 0; i < 4; ++i) {
+          remap[c.out[i]] = cc.o[i];
+          remap[c.out[4 + i]] = cc.co[i];
+        }
+        break;
+      }
+      case CellKind::kDsp: {
+        std::vector<NetId> a;
+        std::vector<NetId> b;
+        for (unsigned i = 0; i < c.dsp_a_width; ++i) a.push_back(pin(c.in[i]));
+        for (std::size_t i = c.dsp_a_width; i < c.in.size(); ++i) b.push_back(pin(c.in[i]));
+        const auto p = out.add_dsp(c.name, a, b, static_cast<unsigned>(c.out.size()));
+        for (std::size_t i = 0; i < c.out.size(); ++i) remap[c.out[i]] = p[i];
+        break;
+      }
+      case CellKind::kFdre: {
+        remap[c.out[0]] = out.add_fdre(c.name, pin(c.in[0]));
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const NetId n = nl.outputs()[i];
+    out.add_output(nl.output_names()[i], n == kNetGnd || n == kNetVcc ? n : remap[n]);
+  }
+  return out;
+}
+
+bool probably_equivalent(const Netlist& a, const Netlist& b, std::uint64_t samples,
+                         std::uint64_t seed) {
+  if (a.inputs().size() != b.inputs().size() || a.outputs().size() != b.outputs().size()) {
+    return false;
+  }
+  if (a.is_sequential() || b.is_sequential()) {
+    throw std::invalid_argument("probably_equivalent: combinational netlists only");
+  }
+  Evaluator ea(a);
+  Evaluator eb(b);
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> in(a.inputs().size());
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (auto& bit : in) bit = static_cast<std::uint8_t>(rng() & 1u);
+    if (ea.eval(in) != eb.eval(in)) return false;
+  }
+  return true;
+}
+
+std::map<std::string, std::size_t> cell_histogram(const Netlist& nl) {
+  std::map<std::string, std::size_t> hist;
+  for (const Cell& c : nl.cells()) {
+    const auto dot = c.name.find('.');
+    ++hist[dot == std::string::npos ? c.name : c.name.substr(0, dot)];
+  }
+  return hist;
+}
+
+}  // namespace axmult::fabric

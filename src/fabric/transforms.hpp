@@ -1,0 +1,29 @@
+// Netlist utility passes: dead-cell sweeping, random-vector equivalence
+// checking, and composition statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::fabric {
+
+/// Removes every cell none of whose outputs (transitively) reaches a
+/// primary output or a flip-flop D input. Used e.g. to prove that result
+/// truncation frees almost no logic: the low product bits' cones still
+/// feed the surviving carries.
+[[nodiscard]] Netlist sweep_dead_cells(const Netlist& nl);
+
+/// Random-vector equivalence check over `samples` input vectors (both
+/// netlists must declare the same number of inputs/outputs). Exhaustive
+/// proof is the tests' job; this is the quick structural-refactor guard.
+[[nodiscard]] bool probably_equivalent(const Netlist& a, const Netlist& b,
+                                       std::uint64_t samples = 4096, std::uint64_t seed = 3);
+
+/// Cell-count breakdown by instance-name prefix (up to the first '.'),
+/// e.g. {"u": 12, "acc": 24} — the CLI uses it for readable reports.
+[[nodiscard]] std::map<std::string, std::size_t> cell_histogram(const Netlist& nl);
+
+}  // namespace axmult::fabric

@@ -1,0 +1,88 @@
+#include "mult/adders.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/bits.hpp"
+
+namespace axmult::mult {
+
+namespace {
+
+class FnAdder final : public Adder {
+ public:
+  using Fn = std::uint64_t (*)(std::uint64_t, std::uint64_t, unsigned, unsigned);
+  FnAdder(unsigned bits, unsigned param, std::string name, Fn fn)
+      : bits_(bits), param_(param), name_(std::move(name)), fn_(fn) {
+    if (bits == 0 || bits > 32) throw std::invalid_argument("Adder: bits must be in [1, 32]");
+  }
+
+  [[nodiscard]] std::uint64_t add(std::uint64_t a, std::uint64_t b) const override {
+    return fn_(a & low_mask(bits_), b & low_mask(bits_), bits_, param_);
+  }
+  [[nodiscard]] unsigned bits() const noexcept override { return bits_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  unsigned bits_;
+  unsigned param_;
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace
+
+AdderPtr make_accurate_adder(unsigned bits) {
+  return std::make_shared<FnAdder>(
+      bits, 0, "RCA" + std::to_string(bits),
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned) { return a + b; });
+}
+
+AdderPtr make_loa(unsigned bits, unsigned or_bits) {
+  if (or_bits > bits) throw std::invalid_argument("make_loa: or_bits > bits");
+  return std::make_shared<FnAdder>(
+      bits, or_bits, "LOA(" + std::to_string(bits) + "," + std::to_string(or_bits) + ")",
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned l) {
+        const std::uint64_t lo = (a | b) & low_mask(l);
+        const std::uint64_t hi = ((a >> l) + (b >> l)) << l;
+        return hi | lo;
+      });
+}
+
+AdderPtr make_truncated_adder(unsigned bits, unsigned zeroed_bits) {
+  if (zeroed_bits > bits) throw std::invalid_argument("make_truncated_adder: depth > bits");
+  return std::make_shared<FnAdder>(
+      bits, zeroed_bits,
+      "TruncAdd(" + std::to_string(bits) + "," + std::to_string(zeroed_bits) + ")",
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned k) {
+        return ((a >> k) + (b >> k)) << k;
+      });
+}
+
+AdderPtr make_segmented_adder(unsigned bits, unsigned segment_bits) {
+  if (segment_bits == 0) throw std::invalid_argument("make_segmented_adder: zero segment");
+  return std::make_shared<FnAdder>(
+      bits, segment_bits,
+      "SegAdd(" + std::to_string(bits) + "," + std::to_string(segment_bits) + ")",
+      +[](std::uint64_t a, std::uint64_t b, unsigned w, unsigned seg) {
+        std::uint64_t sum = 0;
+        for (unsigned base = 0; base < w; base += seg) {
+          const unsigned sw = std::min(seg, w - base);
+          const std::uint64_t mask = low_mask(sw);
+          const std::uint64_t s = ((a >> base) & mask) + ((b >> base) & mask);
+          // Inter-segment carries are speculated to 0; the final segment's
+          // carry-out is the true top result bit and is kept.
+          const bool last = base + sw >= w;
+          sum |= (last ? s : (s & mask)) << base;
+        }
+        return sum;
+      });
+}
+
+AdderPtr make_xor_adder(unsigned bits) {
+  return std::make_shared<FnAdder>(
+      bits, 0, "XorAdd" + std::to_string(bits),
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned) { return a ^ b; });
+}
+
+}  // namespace axmult::mult

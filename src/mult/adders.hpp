@@ -1,0 +1,48 @@
+// Approximate adder sub-library.
+//
+// The paper's related work ([4] speculative, [5] low-latency generic
+// accuracy-configurable, [8]/[11] low-power approximate adders) all build
+// on a few canonical approximate-addition schemes. This module provides
+// them as first-class library components — they are also exactly the
+// pieces from which alternative partial-product summations (Cb/Cc and the
+// paper's suggested "sophisticated approximate addition") are assembled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace axmult::mult {
+
+/// An unsigned combinational adder model with fixed operand width.
+class Adder {
+ public:
+  virtual ~Adder() = default;
+  [[nodiscard]] virtual std::uint64_t add(std::uint64_t a, std::uint64_t b) const = 0;
+  [[nodiscard]] virtual unsigned bits() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using AdderPtr = std::shared_ptr<const Adder>;
+
+/// Exact ripple/carry-chain adder.
+[[nodiscard]] AdderPtr make_accurate_adder(unsigned bits);
+
+/// Lower-part OR adder (LOA, Mahdiani et al.): the low `or_bits` columns
+/// are OR'd with no carries; the upper part adds accurately with no carry
+/// in. |error| < 2^or_bits; errors can be both positive and negative.
+[[nodiscard]] AdderPtr make_loa(unsigned bits, unsigned or_bits);
+
+/// Truncated adder: the low `zeroed_bits` result bits are forced to zero
+/// (carry from the truncated part is dropped). One-sided error.
+[[nodiscard]] AdderPtr make_truncated_adder(unsigned bits, unsigned zeroed_bits);
+
+/// Carry-segmented (speculative / ACA-style) adder: the carry chain is cut
+/// every `segment_bits` columns, each segment assuming carry-in 0. Errors
+/// occur only when a real carry crosses a segment boundary.
+[[nodiscard]] AdderPtr make_segmented_adder(unsigned bits, unsigned segment_bits);
+
+/// Carry-free XOR adder (the Cc summation idiom applied to addition).
+[[nodiscard]] AdderPtr make_xor_adder(unsigned bits);
+
+}  // namespace axmult::mult

@@ -1,0 +1,54 @@
+#include "mult/correctable.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::mult {
+
+std::uint64_t approx_4x4_correctable(std::uint64_t a, std::uint64_t b, bool enable) noexcept {
+  const std::uint64_t raw = approx_4x4(a, b);
+  if (!enable) return raw;
+  // The conflict detector re-adds the suppressed P3 bit; since the carry
+  // (generate) was already accurate, flipping P3 restores exactness.
+  return approx_4x4_errs(a, b) ? raw + 8 : raw;
+}
+
+CorrectableMultiplier::CorrectableMultiplier(unsigned width, Summation summation)
+    : width_(width), summation_(summation) {
+  if (!is_pow2(width) || width < 4) {
+    throw std::invalid_argument("CorrectableMultiplier: width must be a power of two >= 4");
+  }
+}
+
+std::uint64_t CorrectableMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  return rec(a & low_mask(width_), b & low_mask(width_), width_);
+}
+
+std::uint64_t CorrectableMultiplier::rec(std::uint64_t a, std::uint64_t b, unsigned w) const {
+  if (w == 4) return approx_4x4_correctable(a, b, correct_.load());
+  const unsigned m = w / 2;
+  const std::uint64_t pp0 = rec(a & low_mask(m), b & low_mask(m), m);
+  const std::uint64_t pp1 = rec(a >> m, b & low_mask(m), m);
+  const std::uint64_t pp2 = rec(a & low_mask(m), b >> m, m);
+  const std::uint64_t pp3 = rec(a >> m, b >> m, m);
+  if (summation_ == Summation::kAccurate) {
+    return pp0 + ((pp1 + pp2) << m) + (pp3 << (2 * m));
+  }
+  std::uint64_t result = (pp0 & low_mask(m)) | ((pp3 >> m) << (3 * m));
+  for (unsigned i = m; i < 3 * m; ++i) {
+    std::uint64_t col = bit(pp0, i) ^ bit(pp1, i - m) ^ bit(pp2, i - m);
+    if (i >= 2 * m) col ^= bit(pp3, i - 2 * m);
+    result |= col << i;
+  }
+  return result;
+}
+
+std::string CorrectableMultiplier::name() const {
+  return std::string(summation_ == Summation::kAccurate ? "Ca" : "Cc") + "+corr" +
+         (correct_.load() ? "[on]" : "[off]") + "_" + std::to_string(width_) + "x" +
+         std::to_string(width_);
+}
+
+}  // namespace axmult::mult

@@ -1,0 +1,47 @@
+// Runtime-switchable error correction (paper Section 5: "architectures
+// with limited distinct errors can be easily configured to have an
+// error-correction circuitry that can be turned on/off according to
+// applications' requirements").
+//
+// The proposed 4x4 multiplier has exactly one error mechanism: the forced
+// propagate on the P3 conflict (A0 & B2 & PP0<2> & PP0<3> & PP1<1>). A
+// single 6-input LUT detects the conflict gated by an enable signal, and a
+// second LUT flips P3 back — two extra LUTs per 4x4 module buy an exact
+// multiplier on demand.
+#pragma once
+
+#include <atomic>
+
+#include "mult/recursive.hpp"
+
+namespace axmult::mult {
+
+/// Behavioral model of the corrected elementary module.
+/// With `enable` the result is the exact 4x4 product.
+[[nodiscard]] std::uint64_t approx_4x4_correctable(std::uint64_t a, std::uint64_t b,
+                                                   bool enable) noexcept;
+
+/// A Ca/Cc-style multiplier whose elementary 4x4 modules carry the
+/// correction circuit. Correction is a runtime mode switch; with
+/// Summation::kAccurate and correction on, the multiplier is exact.
+class CorrectableMultiplier final : public Multiplier {
+ public:
+  CorrectableMultiplier(unsigned width, Summation summation);
+
+  void set_correction(bool enabled) noexcept { correct_.store(enabled); }
+  [[nodiscard]] bool correction() const noexcept { return correct_.load(); }
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] unsigned a_bits() const noexcept override { return width_; }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return width_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] std::uint64_t rec(std::uint64_t a, std::uint64_t b, unsigned w) const;
+
+  unsigned width_;
+  Summation summation_;
+  std::atomic<bool> correct_{false};
+};
+
+}  // namespace axmult::mult

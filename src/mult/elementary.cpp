@@ -1,0 +1,105 @@
+#include "mult/elementary.hpp"
+
+#include "common/bits.hpp"
+
+namespace axmult::mult {
+
+std::uint64_t accurate_4x2(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a & 0xF) * (b & 0x3);
+}
+
+std::uint64_t approx_4x2(std::uint64_t a, std::uint64_t b) noexcept {
+  return accurate_4x2(a, b) & ~std::uint64_t{1};
+}
+
+namespace {
+
+/// Shared decomposition of the proposed 4x4 multiplier. `force_prop_zero`
+/// selects the paper's containment (generate kept accurate); otherwise the
+/// propagate signal is kept accurate and the generate zeroed (ablation).
+std::uint64_t approx_4x4_impl(std::uint64_t a, std::uint64_t b, bool force_prop_zero) noexcept {
+  a &= 0xF;
+  b &= 0xF;
+  const std::uint64_t pp0 = approx_4x2(a, b & 0x3);
+  const std::uint64_t pp1 = approx_4x2(a, b >> 2);
+
+  // LUT7: accurate recovery of P0 (= A0 B0, the bit truncated from PP0)
+  // and P2 (PP0<2> plus the bit truncated from PP1, A0 B2).
+  const std::uint64_t p0 = bit(a, 0) & bit(b, 0);
+  const std::uint64_t c2in = bit(a, 0) & bit(b, 2);  // truncated PP1<0>
+  const std::uint64_t p2 = bit(pp0, 2) ^ c2in;
+  const std::uint64_t carry2 = bit(pp0, 2) & c2in;   // carry out of P2
+
+  const std::uint64_t p1 = bit(pp0, 1);
+
+  // Carry-chain stage 0 (LUT8): P3 column adds PP0<3> + PP1<1> + carry2.
+  const unsigned t = static_cast<unsigned>(bit(pp0, 3) + bit(pp1, 1) + carry2);
+  std::uint64_t p3;
+  std::uint64_t c4;  // carry into the P4 column
+  if (force_prop_zero) {
+    // Paper design: propagate forced to 0 on the t == 3 conflict, generate
+    // accurate -> sum bit wrong (error -8), carry preserved.
+    p3 = (t == 1) ? 1 : 0;
+    c4 = (t >= 2) ? 1 : 0;
+  } else {
+    // Ablation: sum bit accurate, generate zeroed -> carry lost on t == 3
+    // (error -16).
+    p3 = t & 1u;
+    c4 = (t == 2) ? 1 : 0;
+  }
+
+  // Carry-chain stages 1..3: exact addition of PP0<5:4> + PP1<5:2> + c4.
+  // Implicit Prop3/Gen3 (Fig. 4) is exact because a 4x2 product can never
+  // have bits 4 and 5 set at once (max product 45).
+  const std::uint64_t high = (pp0 >> 4) + (pp1 >> 2) + c4;
+
+  return p0 | (p1 << 1) | (p2 << 2) | (p3 << 3) | (high << 4);
+}
+
+}  // namespace
+
+std::uint64_t approx_4x4(std::uint64_t a, std::uint64_t b) noexcept {
+  return approx_4x4_impl(a, b, /*force_prop_zero=*/true);
+}
+
+std::uint64_t approx_4x4_prop_only(std::uint64_t a, std::uint64_t b) noexcept {
+  return approx_4x4_impl(a, b, /*force_prop_zero=*/false);
+}
+
+bool approx_4x4_errs(std::uint64_t a, std::uint64_t b) noexcept {
+  a &= 0xF;
+  b &= 0xF;
+  const std::uint64_t pp0 = approx_4x2(a, b & 0x3);
+  const std::uint64_t pp1 = approx_4x2(a, b >> 2);
+  return bit(a, 0) && bit(b, 2) && bit(pp0, 2) && bit(pp0, 3) && bit(pp1, 1);
+}
+
+std::uint64_t approx_4x4_accurate_sum(std::uint64_t a, std::uint64_t b) noexcept {
+  a &= 0xF;
+  b &= 0xF;
+  return approx_4x2(a, b & 0x3) + (approx_4x2(a, b >> 2) << 2);
+}
+
+std::uint64_t accurate_4x4(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a & 0xF) * (b & 0xF);
+}
+
+std::uint64_t kulkarni_2x2(std::uint64_t a, std::uint64_t b) noexcept {
+  a &= 0x3;
+  b &= 0x3;
+  return (a == 3 && b == 3) ? 7 : a * b;
+}
+
+std::uint64_t rehman_2x2(std::uint64_t a, std::uint64_t b) noexcept {
+  a &= 0x3;
+  b &= 0x3;
+  const std::uint64_t p = a * b;
+  // One-sided error of magnitude 1 on the three highest-valued products.
+  return (p >= 6 && a >= 2 && b >= 2) ? p - 1 : p;
+}
+
+std::uint64_t accurate_2x2(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a & 0x3) * (b & 0x3);
+}
+
+}  // namespace axmult::mult

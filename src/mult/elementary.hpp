@@ -1,0 +1,64 @@
+// Elementary multiplier modules (paper Sections 2-3).
+//
+// These are the closed-form behavioral models of the smallest building
+// blocks. Each function documents the approximation it introduces and the
+// error bound the paper claims; tests/mult_elementary_test.cpp pins all of
+// the claims.
+#pragma once
+
+#include <cstdint>
+
+namespace axmult::mult {
+
+/// Accurate 4x2 product (a: 4 bits, b: 2 bits) — paper eqs. (1)-(6).
+[[nodiscard]] std::uint64_t accurate_4x2(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Proposed approximate 4x2 multiplier (Section 3.1): product bit P0 is
+/// truncated so the six product bits fit in four LUT6_2s (one slice).
+/// Error: magnitude 1 whenever A0&B0, i.e. exactly 25% of inputs.
+[[nodiscard]] std::uint64_t approx_4x2(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Proposed approximate, asymmetric 4x4 multiplier (Section 3.2, Table 3).
+///
+/// Built from two approx_4x2 modules plus a single carry chain:
+///  * P0 and P2 are recovered accurately by the LUT saved through implicit
+///    Prop3/Gen3 generation,
+///  * the only remaining approximation is at P3: when A0, B2, PP0<2>,
+///    PP0<3> and PP1<1> are simultaneously 1, the propagate signal is
+///    forced to 0 (the generate signal stays correct), giving exactly six
+///    erroneous input pairs, each with fixed error magnitude 8.
+[[nodiscard]] std::uint64_t approx_4x4(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// True iff (a, b) is one of the six error cases of approx_4x4 (Table 2).
+[[nodiscard]] bool approx_4x4_errs(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Ablation variant (Section 3.2, Fig. 3 black box): the same two
+/// approximate 4x2 partial products but summed *accurately* on two carry
+/// chains. Average relative error 0.049, error probability 0.375.
+[[nodiscard]] std::uint64_t approx_4x4_accurate_sum(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Ablation variant: contain the P3 conflict by computing the *propagate*
+/// signal correctly and zeroing the generate signal instead. The sum bit
+/// becomes correct but the carry is lost, doubling the error magnitude to
+/// 16 — this is why the paper keeps the generate signal accurate.
+[[nodiscard]] std::uint64_t approx_4x4_prop_only(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Accurate 4x4 product (elementary block of the Vivado-IP-style models).
+[[nodiscard]] std::uint64_t accurate_4x4(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Kulkarni et al. underdesigned 2x2 block ("K", [6]): 3x3 -> 7 (binary
+/// 111 instead of 1001), shaving the fourth product bit; all other inputs
+/// are exact. Error magnitude 2 with probability 1/16.
+[[nodiscard]] std::uint64_t kulkarni_2x2(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Rehman et al. ICCAD'16-style approximate 2x2 block ("W", [19]):
+/// 2x3 -> 5, 3x2 -> 5, 3x3 -> 8. Max error 1 with probability 3/16.
+/// Recursively composed, this reproduces every Table 5 anchor for W:
+/// max 7225 = 85^2, mean 3/16 * 7225 = 1354.6875, 53375 erroneous inputs
+/// and 31 maximum-error occurrences.
+[[nodiscard]] std::uint64_t rehman_2x2(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Accurate 2x2 product.
+[[nodiscard]] std::uint64_t accurate_2x2(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace axmult::mult

@@ -1,0 +1,54 @@
+// Behavioral multiplier interface.
+//
+// Every design in the library exists in two coupled forms:
+//   * a behavioral model (this interface) used for exhaustive/sampled
+//     error characterization and application-level studies, and
+//   * a structural fabric::Netlist (multgen/) used for area, timing and
+//     energy evaluation.
+// Tests assert that the two forms agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace axmult::mult {
+
+/// An unsigned combinational multiplier model with fixed operand widths.
+class Multiplier {
+ public:
+  virtual ~Multiplier() = default;
+
+  /// Computes the (possibly approximate) product. Operands are masked to
+  /// the declared widths by the implementation.
+  [[nodiscard]] virtual std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const = 0;
+
+  [[nodiscard]] virtual unsigned a_bits() const noexcept = 0;
+  [[nodiscard]] virtual unsigned b_bits() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] unsigned product_bits() const noexcept { return a_bits() + b_bits(); }
+};
+
+using MultiplierPtr = std::shared_ptr<const Multiplier>;
+
+/// Wraps another multiplier with its operands exchanged — the paper's
+/// "Cas"/"Ccs" configurations that exploit the asymmetric error profile of
+/// the proposed 4x4 module (Section 5, Table 6).
+class SwappedMultiplier final : public Multiplier {
+ public:
+  explicit SwappedMultiplier(MultiplierPtr inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override {
+    return inner_->multiply(b, a);
+  }
+  [[nodiscard]] unsigned a_bits() const noexcept override { return inner_->b_bits(); }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return inner_->a_bits(); }
+  [[nodiscard]] std::string name() const override { return inner_->name() + "s"; }
+
+ private:
+  MultiplierPtr inner_;
+};
+
+}  // namespace axmult::mult

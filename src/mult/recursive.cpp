@@ -1,0 +1,247 @@
+#include "mult/recursive.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::mult {
+
+unsigned elementary_width(Elementary e) noexcept {
+  switch (e) {
+    case Elementary::kApprox4x4:
+    case Elementary::kAccurate4x4: return 4;
+    case Elementary::kKulkarni2x2:
+    case Elementary::kRehman2x2:
+    case Elementary::kAccurate2x2: return 2;
+  }
+  return 0;
+}
+
+namespace {
+
+std::uint64_t eval_elementary(Elementary e, std::uint64_t a, std::uint64_t b) noexcept {
+  switch (e) {
+    case Elementary::kApprox4x4: return approx_4x4(a, b);
+    case Elementary::kAccurate4x4: return accurate_4x4(a, b);
+    case Elementary::kKulkarni2x2: return kulkarni_2x2(a, b);
+    case Elementary::kRehman2x2: return rehman_2x2(a, b);
+    case Elementary::kAccurate2x2: return accurate_2x2(a, b);
+  }
+  return 0;
+}
+
+std::string default_name(unsigned width, Elementary e, Summation s) {
+  std::string base;
+  switch (e) {
+    case Elementary::kApprox4x4:
+      base = s == Summation::kAccurate ? "Ca" : (s == Summation::kCarryFree ? "Cc" : "Cb");
+      break;
+    case Elementary::kAccurate4x4: base = "Acc4x4Tree"; break;
+    case Elementary::kKulkarni2x2: base = "K"; break;
+    case Elementary::kRehman2x2: base = "W"; break;
+    case Elementary::kAccurate2x2: base = "Acc2x2Tree"; break;
+  }
+  return base + "_" + std::to_string(width) + "x" + std::to_string(width);
+}
+
+}  // namespace
+
+RecursiveMultiplier::RecursiveMultiplier(unsigned width, Elementary elementary,
+                                         Summation summation, std::string display_name,
+                                         unsigned lower_or_bits)
+    : width_(width),
+      elementary_(elementary),
+      summation_(summation),
+      name_(display_name.empty() ? default_name(width, elementary, summation)
+                                 : std::move(display_name)),
+      lower_or_bits_(lower_or_bits) {
+  const unsigned ew = elementary_width(elementary);
+  if (!is_pow2(width) || width < ew) {
+    throw std::invalid_argument("RecursiveMultiplier: width must be a power of two >= " +
+                                std::to_string(ew));
+  }
+}
+
+std::uint64_t RecursiveMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
+  return rec(a & low_mask(width_), b & low_mask(width_), width_);
+}
+
+std::uint64_t RecursiveMultiplier::rec(std::uint64_t a, std::uint64_t b, unsigned w) const {
+  if (w == elementary_width(elementary_)) return eval_elementary(elementary_, a, b);
+  const unsigned m = w / 2;
+  const std::uint64_t al = a & low_mask(m);
+  const std::uint64_t ah = a >> m;
+  const std::uint64_t bl = b & low_mask(m);
+  const std::uint64_t bh = b >> m;
+  const std::uint64_t pp0 = rec(al, bl, m);
+  const std::uint64_t pp1 = rec(ah, bl, m);
+  const std::uint64_t pp2 = rec(al, bh, m);
+  const std::uint64_t pp3 = rec(ah, bh, m);
+
+  if (summation_ == Summation::kAccurate) {
+    return pp0 + ((pp1 + pp2) << m) + (pp3 << (2 * m));
+  }
+
+  if (summation_ == Summation::kLowerOr) {
+    // Hybrid summation: relative columns [0, L) of the middle section are
+    // OR'd without carries; the remaining columns are summed accurately
+    // (the carry into the accurate section is dropped at the boundary).
+    const unsigned L = std::min(lower_or_bits_, 2 * m);
+    // X = PP0's high half and (disjointly, from relative column m) PP3.
+    const std::uint64_t x = (pp0 >> m) + (pp3 << m);
+    std::uint64_t mid = 0;
+    for (unsigned c = 0; c < L; ++c) {
+      mid |= (bit(x, c) | bit(pp1, c) | bit(pp2, c)) << c;
+    }
+    const std::uint64_t hi = ((x >> L) + (pp1 >> L) + (pp2 >> L)) << L;
+    return (pp0 & low_mask(m)) | (((mid | hi) & low_mask(3 * m)) << m);
+  }
+
+  // Carry-free columnwise summation (Fig. 6). The low M bits come straight
+  // from PP0 and the top M bits straight from PP3; every middle column is
+  // the XOR of its (up to three) contributors.
+  std::uint64_t result = (pp0 & low_mask(m)) | ((pp3 >> m) << (3 * m));
+  for (unsigned i = m; i < 3 * m; ++i) {
+    std::uint64_t col = bit(pp0, i) ^ bit(pp1, i - m) ^ bit(pp2, i - m);
+    if (i >= 2 * m) col ^= bit(pp3, i - 2 * m);
+    result |= col << i;
+  }
+  return result;
+}
+
+namespace {
+
+/// Fixed-function wrapper for exact / truncated products.
+class SimpleMultiplier final : public Multiplier {
+ public:
+  using Fn = std::uint64_t (*)(std::uint64_t, std::uint64_t, unsigned, unsigned);
+  SimpleMultiplier(unsigned width, unsigned param, std::string name, Fn fn)
+      : width_(width), param_(param), name_(std::move(name)), fn_(fn) {}
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override {
+    return fn_(a & low_mask(width_), b & low_mask(width_), width_, param_);
+  }
+  [[nodiscard]] unsigned a_bits() const noexcept override { return width_; }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return width_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  unsigned width_;
+  unsigned param_;
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace
+
+MultiplierPtr make_ca(unsigned width) {
+  return std::make_shared<RecursiveMultiplier>(width, Elementary::kApprox4x4,
+                                               Summation::kAccurate);
+}
+
+MultiplierPtr make_cc(unsigned width) {
+  return std::make_shared<RecursiveMultiplier>(width, Elementary::kApprox4x4,
+                                               Summation::kCarryFree);
+}
+
+MultiplierPtr make_kulkarni(unsigned width) {
+  return std::make_shared<RecursiveMultiplier>(width, Elementary::kKulkarni2x2,
+                                               Summation::kAccurate);
+}
+
+MultiplierPtr make_rehman_w(unsigned width) {
+  return std::make_shared<RecursiveMultiplier>(width, Elementary::kRehman2x2,
+                                               Summation::kAccurate);
+}
+
+MultiplierPtr make_accurate(unsigned width) {
+  return std::make_shared<SimpleMultiplier>(
+      width, 0, "Accurate_" + std::to_string(width) + "x" + std::to_string(width),
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned) { return a * b; });
+}
+
+MultiplierPtr make_cb(unsigned width, unsigned lower_or_bits) {
+  return std::make_shared<RecursiveMultiplier>(
+      width, Elementary::kApprox4x4, Summation::kLowerOr,
+      "Cb" + std::to_string(lower_or_bits) + "_" + std::to_string(width) + "x" +
+          std::to_string(width),
+      lower_or_bits);
+}
+
+MultiplierPtr make_cas(unsigned width) {
+  return std::make_shared<SwappedMultiplier>(make_ca(width));
+}
+
+MultiplierPtr make_ccs(unsigned width) {
+  return std::make_shared<SwappedMultiplier>(make_cc(width));
+}
+
+MultiplierPtr make_result_truncated(unsigned width, unsigned zeroed_lsbs) {
+  return std::make_shared<SimpleMultiplier>(
+      width, zeroed_lsbs,
+      "Mult(" + std::to_string(width) + "," + std::to_string(zeroed_lsbs) + ")",
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned k) {
+        return (a * b) & ~low_mask(k);
+      });
+}
+
+MultiplierPtr make_recursive(unsigned width, Elementary elementary, Summation summation) {
+  return std::make_shared<RecursiveMultiplier>(width, elementary, summation);
+}
+
+namespace {
+
+/// Top-level partial-product perforation over approx-4x4-based halves.
+class PerforatedMultiplier final : public Multiplier {
+ public:
+  PerforatedMultiplier(unsigned width, bool drop_hl, bool drop_lh)
+      : width_(width),
+        half_(width / 2, Elementary::kApprox4x4, Summation::kAccurate),
+        drop_hl_(drop_hl),
+        drop_lh_(drop_lh) {}
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override {
+    const unsigned m = width_ / 2;
+    a &= low_mask(width_);
+    b &= low_mask(width_);
+    const std::uint64_t al = a & low_mask(m);
+    const std::uint64_t ah = a >> m;
+    const std::uint64_t bl = b & low_mask(m);
+    const std::uint64_t bh = b >> m;
+    std::uint64_t p = half_.multiply(al, bl) + (half_.multiply(ah, bh) << (2 * m));
+    if (!drop_hl_) p += half_.multiply(ah, bl) << m;
+    if (!drop_lh_) p += half_.multiply(al, bh) << m;
+    return p;
+  }
+  [[nodiscard]] unsigned a_bits() const noexcept override { return width_; }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return width_; }
+  [[nodiscard]] std::string name() const override {
+    std::string tag = drop_hl_ && drop_lh_ ? "HL+LH" : (drop_hl_ ? "HL" : "LH");
+    return "Perf(" + std::to_string(width_) + ",-" + tag + ")";
+  }
+
+ private:
+  unsigned width_;
+  RecursiveMultiplier half_;
+  bool drop_hl_;
+  bool drop_lh_;
+};
+
+}  // namespace
+
+MultiplierPtr make_perforated(unsigned width, bool drop_hl, bool drop_lh) {
+  return std::make_shared<PerforatedMultiplier>(width, drop_hl, drop_lh);
+}
+
+MultiplierPtr make_operand_truncated(unsigned width, unsigned zeroed_lsbs) {
+  return std::make_shared<SimpleMultiplier>(
+      width, zeroed_lsbs,
+      "OpTrunc(" + std::to_string(width) + "," + std::to_string(zeroed_lsbs) + ")",
+      +[](std::uint64_t a, std::uint64_t b, unsigned, unsigned k) {
+        return (a & ~low_mask(k)) * (b & ~low_mask(k));
+      });
+}
+
+}  // namespace axmult::mult

@@ -1,0 +1,101 @@
+// Recursive construction of higher-order multipliers (paper Section 4).
+//
+// A 2Mx2M multiplier is assembled from four MxM sub-multipliers
+//   PP0 = AL*BL, PP1 = AH*BL, PP2 = AL*BH, PP3 = AH*BH
+// whose partial products are combined with either
+//   * kAccurate  — exact summation on carry chains (design "Ca",
+//     Fig. 5(b)), or
+//   * kCarryFree — the highly-inaccurate LUT-only columnwise summation of
+//     Fig. 6 (design "Cc"): P[M-1:0] and P[4M-1:3M] are taken directly
+//     from PP0/PP3 and every middle column is the XOR of its three
+//     contributors, with all column carries dropped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mult/multiplier.hpp"
+
+namespace axmult::mult {
+
+enum class Summation : std::uint8_t {
+  kAccurate,   ///< carry-chain summation — the paper's Ca
+  kCarryFree,  ///< columnwise XOR summation — the paper's Cc
+  kLowerOr,    ///< hybrid: low columns OR'd carry-free, rest accurate —
+               ///< the "sophisticated approximate addition" extension the
+               ///< paper suggests in Section 4.1 (design "Cb")
+};
+
+enum class Elementary : std::uint8_t {
+  kApprox4x4,    ///< proposed approximate 4x4 (Table 3)
+  kAccurate4x4,  ///< accurate 4x4 (Vivado-IP-style baseline)
+  kKulkarni2x2,  ///< K [6] underdesigned 2x2
+  kRehman2x2,    ///< W [19]-style 2x2
+  kAccurate2x2,  ///< accurate 2x2
+};
+
+/// Width (bits) of an elementary block kind.
+[[nodiscard]] unsigned elementary_width(Elementary e) noexcept;
+
+/// Behavioral model of a recursively composed multiplier.
+class RecursiveMultiplier final : public Multiplier {
+ public:
+  /// `width` must be a power of two and a multiple of the elementary width.
+  /// `lower_or_bits` only applies to Summation::kLowerOr: the number of
+  /// middle columns (per recursion level) summed by carry-free OR.
+  RecursiveMultiplier(unsigned width, Elementary elementary, Summation summation,
+                      std::string display_name = {}, unsigned lower_or_bits = 0);
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
+  [[nodiscard]] unsigned a_bits() const noexcept override { return width_; }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return width_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] Elementary elementary() const noexcept { return elementary_; }
+  [[nodiscard]] Summation summation() const noexcept { return summation_; }
+  [[nodiscard]] unsigned lower_or_bits() const noexcept { return lower_or_bits_; }
+
+ private:
+  [[nodiscard]] std::uint64_t rec(std::uint64_t a, std::uint64_t b, unsigned w) const;
+
+  unsigned width_;
+  Elementary elementary_;
+  Summation summation_;
+  std::string name_;
+  unsigned lower_or_bits_ = 0;
+};
+
+/// The paper's named configurations.
+[[nodiscard]] MultiplierPtr make_ca(unsigned width);          ///< Ca: approx 4x4 + accurate sum
+[[nodiscard]] MultiplierPtr make_cc(unsigned width);          ///< Cc: approx 4x4 + carry-free sum
+[[nodiscard]] MultiplierPtr make_kulkarni(unsigned width);    ///< K [6]
+[[nodiscard]] MultiplierPtr make_rehman_w(unsigned width);    ///< W [19]
+[[nodiscard]] MultiplierPtr make_accurate(unsigned width);    ///< exact product
+[[nodiscard]] MultiplierPtr make_cas(unsigned width);         ///< Ca with swapped operands
+[[nodiscard]] MultiplierPtr make_ccs(unsigned width);         ///< Cc with swapped operands
+
+/// Cb(L): approx 4x4 modules + hybrid lower-OR summation — accuracy and
+/// cost between Ca and Cc (paper Section 4.1's suggested extension).
+[[nodiscard]] MultiplierPtr make_cb(unsigned width, unsigned lower_or_bits);
+
+/// Result-truncated multiplier Mult(n, k): exact product with the k least
+/// significant product bits forced to zero (the paper's precision-reduced
+/// baselines: Mult(8,4) in Table 5, truncated 4x4 with k = 3 in Fig. 7).
+[[nodiscard]] MultiplierPtr make_result_truncated(unsigned width, unsigned zeroed_lsbs);
+
+/// Operand-truncated multiplier: the k low bits of each operand are zeroed
+/// before an exact multiplication (used in the EvoApprox-style family).
+[[nodiscard]] MultiplierPtr make_operand_truncated(unsigned width, unsigned zeroed_lsbs);
+
+/// Generic recursive configuration (any elementary x summation combination;
+/// used to populate the EvoApprox-style design-space cloud of Figs. 9/10).
+[[nodiscard]] MultiplierPtr make_recursive(unsigned width, Elementary elementary,
+                                           Summation summation);
+
+/// Partial-product perforation: a Ca-style composition that drops the
+/// AH*BL and/or AL*BH quadrant entirely (a common ASIC approximation that
+/// trades large one-sided error for area).
+[[nodiscard]] MultiplierPtr make_perforated(unsigned width, bool drop_hl, bool drop_lh);
+
+}  // namespace axmult::mult

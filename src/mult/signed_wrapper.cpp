@@ -1,0 +1,24 @@
+#include "mult/signed_wrapper.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace axmult::mult {
+
+SignedMultiplier::SignedMultiplier(MultiplierPtr core) : core_(std::move(core)) {
+  if (!core_) throw std::invalid_argument("SignedMultiplier: null core");
+}
+
+std::int64_t SignedMultiplier::multiply(std::int64_t a, std::int64_t b) const {
+  const std::uint64_t mag_a = static_cast<std::uint64_t>(std::llabs(a));
+  const std::uint64_t mag_b = static_cast<std::uint64_t>(std::llabs(b));
+  if (mag_a > low_mask(core_->a_bits()) || mag_b > low_mask(core_->b_bits())) {
+    throw std::out_of_range("SignedMultiplier: magnitude exceeds core width");
+  }
+  const std::int64_t p = static_cast<std::int64_t>(core_->multiply(mag_a, mag_b));
+  return ((a < 0) != (b < 0)) ? -p : p;
+}
+
+}  // namespace axmult::mult

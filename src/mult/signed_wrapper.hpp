@@ -1,0 +1,31 @@
+// Signed multiplication on top of any unsigned core multiplier.
+//
+// The paper's library is unsigned (as are most approximate-multiplier
+// libraries); DSP pipelines need signed products. The classic
+// sign-magnitude wrapper costs two negations and keeps the unsigned
+// core's error profile on the magnitudes — in particular the one-sided
+// under-approximation of Ca/Cc becomes a magnitude shrink, so the signed
+// error is always toward zero (never overshoots).
+#pragma once
+
+#include <cstdint>
+
+#include "mult/multiplier.hpp"
+
+namespace axmult::mult {
+
+class SignedMultiplier {
+ public:
+  /// `core` multiplies magnitudes; operands must satisfy
+  /// |a| < 2^core->a_bits(), |b| < 2^core->b_bits().
+  explicit SignedMultiplier(MultiplierPtr core);
+
+  [[nodiscard]] std::int64_t multiply(std::int64_t a, std::int64_t b) const;
+
+  [[nodiscard]] const Multiplier& core() const noexcept { return *core_; }
+
+ private:
+  MultiplierPtr core_;
+};
+
+}  // namespace axmult::mult

@@ -1,0 +1,134 @@
+#include "multgen/builders.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "fabric/lut6.hpp"
+
+namespace axmult::multgen {
+
+using fabric::kNetGnd;
+using fabric::kNetVcc;
+using fabric::kNoNet;
+using fabric::NetId;
+using fabric::Netlist;
+
+NetId bit_or_gnd(const BitVec& v, std::size_t i) { return i < v.size() ? v[i] : kNetGnd; }
+
+BitVec shifted(const BitVec& v, unsigned k) {
+  BitVec out(k, kNetGnd);
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+ChainSum build_carry_chain(Netlist& nl, NetId cin, const BitVec& props, const BitVec& dis,
+                           const std::string& prefix) {
+  if (props.size() != dis.size()) {
+    throw std::invalid_argument("build_carry_chain: props/dis size mismatch");
+  }
+  ChainSum result;
+  result.sum.reserve(props.size());
+  NetId carry = cin;
+  for (std::size_t base = 0; base < props.size(); base += 4) {
+    std::array<NetId, 4> s{kNetGnd, kNetGnd, kNetGnd, kNetGnd};
+    std::array<NetId, 4> di{kNetGnd, kNetGnd, kNetGnd, kNetGnd};
+    const std::size_t n = std::min<std::size_t>(4, props.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = props[base + i];
+      di[i] = dis[base + i];
+    }
+    const auto cc = nl.add_carry4(prefix + ".cc" + std::to_string(base / 4), carry, s, di);
+    for (std::size_t i = 0; i < n; ++i) result.sum.push_back(cc.o[i]);
+    carry = cc.co[n - 1];
+  }
+  result.cout = carry;
+  return result;
+}
+
+BitVec build_binary_add(Netlist& nl, const BitVec& x, const BitVec& y, unsigned out_width,
+                        const std::string& prefix) {
+  // Per bit (I5 tied high): O6 = x ^ y (propagate -> S), O5 = x (-> DI;
+  // valid generate because propagate 0 implies x == y == x AND y).
+  static const std::uint64_t init = fabric::init_from_o5_o6(
+      [](const std::array<unsigned, 5>& in) { return in[0] != 0; },
+      [](const std::array<unsigned, 5>& in) { return (in[0] ^ in[1]) != 0; });
+  BitVec props;
+  BitVec dis;
+  props.reserve(out_width);
+  dis.reserve(out_width);
+  for (unsigned i = 0; i < out_width; ++i) {
+    const auto lut = nl.add_lut6(prefix + ".pg" + std::to_string(i), init,
+                                 {bit_or_gnd(x, i), bit_or_gnd(y, i), kNetGnd, kNetGnd,
+                                  kNetGnd, kNetVcc},
+                                 /*with_o5=*/true);
+    props.push_back(lut.o6);
+    dis.push_back(lut.o5);
+  }
+  return build_carry_chain(nl, kNetGnd, props, dis, prefix).sum;
+}
+
+BitVec build_ternary_add(Netlist& nl, const BitVec& x, const BitVec& y, const BitVec& z,
+                         unsigned out_width, const std::string& prefix) {
+  // Carry-save decomposition s_i = x^y^z, w_i = maj(x,y,z); the carry
+  // chain then adds s + (w << 1). One LUT6_2 per bit with I5 tied high:
+  //   I0..I2 = column bits, I3 = w_(i-1) (previous column's O5)
+  //   O6 = x ^ y ^ z ^ w_(i-1)   (propagate -> S)
+  //   O5 = maj(x, y, z) = w_i    (routed to the next LUT's I3)
+  //   DI = w_(i-1) via the slice bypass pin (generate: when the propagate
+  //   is 0, s_i == w_(i-1), so w_(i-1) equals the column's carry AND).
+  static const std::uint64_t init = fabric::init_from_o5_o6(
+      [](const std::array<unsigned, 5>& in) { return (in[0] + in[1] + in[2]) >= 2; },
+      [](const std::array<unsigned, 5>& in) { return (in[0] ^ in[1] ^ in[2] ^ in[3]) != 0; });
+  BitVec props;
+  BitVec dis;
+  props.reserve(out_width);
+  dis.reserve(out_width);
+  NetId w_prev = kNetGnd;
+  for (unsigned i = 0; i < out_width; ++i) {
+    const auto lut = nl.add_lut6(prefix + ".ts" + std::to_string(i), init,
+                                 {bit_or_gnd(x, i), bit_or_gnd(y, i), bit_or_gnd(z, i),
+                                  w_prev, kNetGnd, kNetVcc},
+                                 /*with_o5=*/true);
+    props.push_back(lut.o6);
+    dis.push_back(w_prev);
+    w_prev = lut.o5;
+  }
+  return build_carry_chain(nl, kNetGnd, props, dis, prefix).sum;
+}
+
+namespace {
+
+/// Shared implementation of the single-LUT column reducers.
+NetId build_column(Netlist& nl, const BitVec& column_bits, const std::string& name,
+                   std::uint64_t init) {
+  BitVec live;
+  for (NetId n : column_bits) {
+    if (n != kNetGnd && n != kNoNet) live.push_back(n);
+  }
+  if (live.empty()) return kNetGnd;
+  if (live.size() == 1) return live[0];
+  if (live.size() > 6) throw std::invalid_argument("build_column: too many bits");
+  std::array<NetId, 6> pins{kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd};
+  for (std::size_t i = 0; i < live.size(); ++i) pins[i] = live[i];
+  return nl.add_lut6(name, init, pins).o6;
+}
+
+}  // namespace
+
+NetId build_xor_column(Netlist& nl, const BitVec& column_bits, const std::string& name) {
+  static const std::uint64_t init =
+      fabric::init_from_o6([](const std::array<unsigned, 6>& in) {
+        return (in[0] ^ in[1] ^ in[2] ^ in[3] ^ in[4] ^ in[5]) != 0;
+      });
+  return build_column(nl, column_bits, name, init);
+}
+
+NetId build_or_column(Netlist& nl, const BitVec& column_bits, const std::string& name) {
+  static const std::uint64_t init =
+      fabric::init_from_o6([](const std::array<unsigned, 6>& in) {
+        return (in[0] | in[1] | in[2] | in[3] | in[4] | in[5]) != 0;
+      });
+  return build_column(nl, column_bits, name, init);
+}
+
+}  // namespace axmult::multgen

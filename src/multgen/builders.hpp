@@ -1,0 +1,62 @@
+// Low-level netlist builders: carry-chain adders and column logic.
+//
+// These encode the 7-series implementation idioms the paper relies on:
+//  * binary addition: one LUT6_2 per bit (O6 = propagate, O5 = generate
+//    routed to DI) driving a CARRY4 chain,
+//  * ternary addition (Fig. 5(b)): one LUT6_2 per bit computing the
+//    carry-save sum of three operand bits plus the carry-save carry of the
+//    previous column, so three partial products are added "in one single
+//    step" on a single carry chain,
+//  * carry-free column XOR (Fig. 6) for the Cc summation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::multgen {
+
+using BitVec = std::vector<fabric::NetId>;
+
+/// Bit `i` of `v`, or constant 0 when out of range.
+[[nodiscard]] fabric::NetId bit_or_gnd(const BitVec& v, std::size_t i);
+
+/// `v` shifted left by `k` (k constant-0 bits prepended).
+[[nodiscard]] BitVec shifted(const BitVec& v, unsigned k);
+
+/// Result of a carry-chain structure.
+struct ChainSum {
+  BitVec sum;
+  fabric::NetId cout = fabric::kNoNet;
+};
+
+/// Builds ceil(n/4) CARRY4s over per-bit propagate (S) and generate (DI)
+/// nets. Returns the per-bit sum outputs and the final carry.
+[[nodiscard]] ChainSum build_carry_chain(fabric::Netlist& nl, fabric::NetId cin,
+                                         const BitVec& props, const BitVec& dis,
+                                         const std::string& prefix);
+
+/// x + y on a carry chain, one LUT per bit. Produces exactly `out_width`
+/// bits (truncating carries the caller knows cannot occur).
+[[nodiscard]] BitVec build_binary_add(fabric::Netlist& nl, const BitVec& x, const BitVec& y,
+                                      unsigned out_width, const std::string& prefix);
+
+/// x + y + z on a single carry chain (the Fig. 5(b) ternary idiom), one
+/// LUT per output bit. Produces exactly `out_width` bits.
+[[nodiscard]] BitVec build_ternary_add(fabric::Netlist& nl, const BitVec& x, const BitVec& y,
+                                       const BitVec& z, unsigned out_width,
+                                       const std::string& prefix);
+
+/// One LUT computing the XOR of up to four column bits (carry-free
+/// summation, Fig. 6). Columns with a single live contributor are returned
+/// as plain wires (no LUT is spent).
+[[nodiscard]] fabric::NetId build_xor_column(fabric::Netlist& nl, const BitVec& column_bits,
+                                             const std::string& name);
+
+/// One LUT computing the OR of up to six column bits (the lower-OR hybrid
+/// summation, design Cb). Single live contributors become plain wires.
+[[nodiscard]] fabric::NetId build_or_column(fabric::Netlist& nl, const BitVec& column_bits,
+                                            const std::string& name);
+
+}  // namespace axmult::multgen

@@ -1,0 +1,759 @@
+#include "multgen/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "fabric/lut6.hpp"
+#include "fabric/transforms.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::multgen {
+
+using fabric::init_from_o5_o6;
+using fabric::init_from_o6;
+using fabric::kNetGnd;
+using fabric::kNetVcc;
+using fabric::NetId;
+using fabric::Netlist;
+
+namespace {
+
+// ---- Table 3: INIT values of the proposed approximate 4x4 multiplier ----
+// Row order and names follow the paper exactly.
+constexpr std::uint64_t kInitPp2Pp1 = 0xB4CCF00066AACC00ull;   // LUT0 / LUT4
+constexpr std::uint64_t kInitPp3 = 0xC738F0F0FF000000ull;      // LUT1 / LUT5
+constexpr std::uint64_t kInitPp4 = 0x07C0FF0000000000ull;      // LUT2 / LUT11
+constexpr std::uint64_t kInitPp5 = 0xF800000000000000ull;      // LUT3 / LUT6
+constexpr std::uint64_t kInitP2P0 = 0x5FA05FA088888888ull;     // LUT7
+constexpr std::uint64_t kInitProp0Gen0 = 0x007F7F80FF808000ull;  // LUT8
+constexpr std::uint64_t kInitPropGen = 0x6666666688888880ull;  // LUT9 / LUT10
+
+/// Builds one LUT computing `fn(a, b)`'s bit `out_bit` for 2-bit operands
+/// on pins {a0, a1, b0, b1}.
+NetId block_bit(Netlist& nl, const BitVec& a, const BitVec& b,
+                std::uint64_t (*fn)(std::uint64_t, std::uint64_t), unsigned out_bit,
+                const std::string& name) {
+  const std::uint64_t init = init_from_o6([&](const std::array<unsigned, 6>& in) {
+    const std::uint64_t av = in[0] | (in[1] << 1);
+    const std::uint64_t bv = in[2] | (in[3] << 1);
+    return bit(fn(av, bv), out_bit) != 0;
+  });
+  return nl.add_lut6(name, init, {a[0], a[1], b[0], b[1], kNetGnd, kNetGnd}).o6;
+}
+
+/// Builds one dual-output LUT computing bits (`lo`, `hi`) of `fn(a, b)`
+/// for 2-bit operands (I5 tied high).
+std::pair<NetId, NetId> block_bit_pair(Netlist& nl, const BitVec& a, const BitVec& b,
+                                       std::uint64_t (*fn)(std::uint64_t, std::uint64_t),
+                                       unsigned lo, unsigned hi, const std::string& name) {
+  const std::uint64_t init = init_from_o5_o6(
+      [&](const std::array<unsigned, 5>& in) {
+        return bit(fn(in[0] | (in[1] << 1), in[2] | (in[3] << 1)), lo) != 0;
+      },
+      [&](const std::array<unsigned, 5>& in) {
+        return bit(fn(in[0] | (in[1] << 1), in[2] | (in[3] << 1)), hi) != 0;
+      });
+  const auto lut =
+      nl.add_lut6(name, init, {a[0], a[1], b[0], b[1], kNetGnd, kNetVcc}, /*with_o5=*/true);
+  return {lut.o5, lut.o6};  // {low bit, high bit}
+}
+
+/// Generic 2x2 block with per-style packing. `bits` is the product width.
+BitVec build_2x2_block(Netlist& nl, const BitVec& a, const BitVec& b,
+                       std::uint64_t (*fn)(std::uint64_t, std::uint64_t), unsigned bits,
+                       MappingStyle style, const std::string& prefix) {
+  BitVec p(bits, kNetGnd);
+  if (style == MappingStyle::kHandOptimized) {
+    // Dual-pack adjacent product bits: ceil(bits/2) LUTs.
+    for (unsigned i = 0; i + 1 < bits; i += 2) {
+      const auto [lo, hi] =
+          block_bit_pair(nl, a, b, fn, i, i + 1, prefix + ".p" + std::to_string(i));
+      p[i] = lo;
+      p[i + 1] = hi;
+    }
+    if (bits % 2 != 0) {
+      p[bits - 1] = block_bit(nl, a, b, fn, bits - 1, prefix + ".p" + std::to_string(bits - 1));
+    }
+  } else {
+    // Synthesized RTL: P0/P1 still share a LUT (trivial functions Vivado
+    // packs opportunistically); each remaining bit costs a full LUT.
+    const auto [p0, p1] = block_bit_pair(nl, a, b, fn, 0, 1, prefix + ".p0");
+    p[0] = p0;
+    p[1] = p1;
+    for (unsigned i = 2; i < bits; ++i) {
+      p[i] = block_bit(nl, a, b, fn, i, prefix + ".p" + std::to_string(i));
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+BitVec build_approx_4x4_correctable(Netlist& nl, const BitVec& a, const BitVec& b,
+                                    fabric::NetId correct_en, const std::string& prefix) {
+  if (a.size() != 4 || b.size() != 4) {
+    throw std::invalid_argument("build_approx_4x4: operands must be 4 bits");
+  }
+  auto lut = [&](const std::string& n, std::uint64_t init, std::array<NetId, 6> pins,
+                 bool with_o5 = false) { return nl.add_lut6(prefix + "." + n, init, pins, with_o5); };
+
+  // Partial products of the first 4x2 multiplier (A x B1B0). Pin order in
+  // add_lut6 is {I0..I5}; Table 3 lists I5 first.
+  const auto lut0 = lut("LUT0", kInitPp2Pp1, {a[0], a[1], a[2], b[0], b[1], kNetVcc}, true);
+  const NetId pp0_2 = lut0.o6;
+  const NetId p1 = lut0.o5;  // PP0<1> is product bit P1 directly
+  const NetId pp0_3 = lut("LUT1", kInitPp3, {a[0], a[1], a[2], a[3], b[0], b[1]}).o6;
+  const NetId pp0_4 = lut("LUT2", kInitPp4, {a[0], a[1], a[2], a[3], b[0], b[1]}).o6;
+  const NetId pp0_5 = lut("LUT3", kInitPp5, {a[0], a[1], a[2], a[3], b[0], b[1]}).o6;
+
+  // Partial products of the second 4x2 multiplier (A x B3B2). PP1<4> and
+  // PP1<5> are only generated implicitly, as Prop3/Gen3 (Fig. 4).
+  const auto lut4 = lut("LUT4", kInitPp2Pp1, {a[0], a[1], a[2], b[2], b[3], kNetVcc}, true);
+  const NetId pp1_2 = lut4.o6;
+  const NetId pp1_1 = lut4.o5;
+  const NetId pp1_3 = lut("LUT5", kInitPp3, {a[0], a[1], a[2], a[3], b[2], b[3]}).o6;
+  const NetId gen3 = lut("LUT6", kInitPp5, {a[0], a[1], a[2], a[3], b[2], b[3]}).o6;
+  const NetId prop3 = lut("LUT11", kInitPp4, {a[0], a[1], a[2], a[3], b[2], b[3]}).o6;
+
+  // LUT7: the LUT recovered by the implicit Prop3/Gen3 generation is spent
+  // on the accurate realization of P0 and P2.
+  const auto lut7 = lut("LUT7", kInitP2P0, {a[0], b[0], b[2], pp0_2, kNetVcc, kNetVcc}, true);
+  const NetId p2 = lut7.o6;
+  const NetId p0 = lut7.o5;
+
+  // LUT8: Prop0/Gen0 for the P3 column (PP0<3> + PP1<1> + carry out of
+  // P2). The propagate is forced low on the all-ones conflict; the
+  // generate stays accurate, bounding the error to -8 on P3.
+  const auto lut8 =
+      lut("LUT8", kInitProp0Gen0, {pp0_2, a[0], b[2], pp0_3, pp1_1, kNetVcc}, true);
+  const NetId prop0 = lut8.o6;
+  const NetId gen0 = lut8.o5;
+
+  const auto lut9 = lut("LUT9", kInitPropGen, {pp0_4, pp1_2, kNetVcc, kNetVcc, kNetVcc, kNetVcc},
+                        true);
+  const auto lut10 = lut("LUT10", kInitPropGen,
+                         {pp0_5, pp1_3, kNetVcc, kNetVcc, kNetVcc, kNetVcc}, true);
+
+  const auto chain = nl.add_carry4(prefix + ".CC", kNetGnd,
+                                   {prop0, lut9.o6, lut10.o6, prop3},
+                                   {gen0, lut9.o5, lut10.o5, gen3});
+  NetId p3 = chain.o[0];
+  if (correct_en != fabric::kNoNet) {
+    // Error-correction circuitry (Section 5): one LUT detects the P3
+    // conflict gated by the enable, one LUT flips P3 back. The carry was
+    // already accurate, so this restores exactness when enabled.
+    static const std::uint64_t detect_init =
+        init_from_o6([](const std::array<unsigned, 6>& in) {
+          return (in[0] & in[1] & in[2] & in[3] & in[4] & in[5]) != 0;
+        });
+    const NetId conflict =
+        nl.add_lut6(prefix + ".CDET", detect_init,
+                    {correct_en, a[0], b[2], pp0_2, pp0_3, pp1_1}).o6;
+    static const std::uint64_t fix_init =
+        init_from_o6([](const std::array<unsigned, 6>& in) {
+          return (in[0] ^ in[1]) != 0;
+        });
+    p3 = nl.add_lut6(prefix + ".CFIX", fix_init,
+                     {p3, conflict, kNetGnd, kNetGnd, kNetGnd, kNetGnd}).o6;
+  }
+  return {p0, p1, p2, p3, chain.o[1], chain.o[2], chain.o[3], chain.co[3]};
+}
+
+BitVec build_approx_4x4(Netlist& nl, const BitVec& a, const BitVec& b,
+                        const std::string& prefix) {
+  return build_approx_4x4_correctable(nl, a, b, fabric::kNoNet, prefix);
+}
+
+BitVec build_accurate_4x2(Netlist& nl, const BitVec& a, const BitVec& b,
+                          const std::string& prefix) {
+  auto product_bit = [](const std::array<unsigned, 6>& in, unsigned k) {
+    const std::uint64_t av = in[0] | (in[1] << 1) | (in[2] << 2) | (in[3] << 3);
+    const std::uint64_t bv = in[4] | (in[5] << 1);
+    return bit(av * bv, k) != 0;
+  };
+  // P0/P1 dual-packed (both depend only on a0, a1, b0, b1).
+  const std::uint64_t init01 = init_from_o5_o6(
+      [&](const std::array<unsigned, 5>& in) {
+        return bit((in[0] | (in[1] << 1)) * std::uint64_t{in[2] | (in[3] << 1)}, 0) != 0;
+      },
+      [&](const std::array<unsigned, 5>& in) {
+        return bit((in[0] | (in[1] << 1)) * std::uint64_t{in[2] | (in[3] << 1)}, 1) != 0;
+      });
+  const auto lut01 = nl.add_lut6(prefix + ".p01", init01,
+                                 {a[0], a[1], b[0], b[1], kNetGnd, kNetVcc}, /*with_o5=*/true);
+  BitVec p(6, kNetGnd);
+  p[0] = lut01.o5;
+  p[1] = lut01.o6;
+  for (unsigned k = 2; k < 6; ++k) {
+    const std::uint64_t init =
+        init_from_o6([&](const std::array<unsigned, 6>& in) { return product_bit(in, k); });
+    p[k] = nl.add_lut6(prefix + ".p" + std::to_string(k), init,
+                       {a[0], a[1], a[2], a[3], b[0], b[1]}).o6;
+  }
+  return p;
+}
+
+BitVec build_approx_4x2(Netlist& nl, const BitVec& a, const BitVec& b,
+                        const std::string& prefix) {
+  // Section 3.1: P0 truncated; P1/P2 share one LUT6_2; P3..P5 take one
+  // LUT each — four LUTs, exactly one slice.
+  const std::uint64_t init12 = init_from_o5_o6(
+      [&](const std::array<unsigned, 5>& in) {
+        const std::uint64_t av = in[0] | (in[1] << 1) | (in[2] << 2);
+        return bit(av * (in[3] | (in[4] << 1)), 1) != 0;
+      },
+      [&](const std::array<unsigned, 5>& in) {
+        const std::uint64_t av = in[0] | (in[1] << 1) | (in[2] << 2);
+        return bit(av * (in[3] | (in[4] << 1)), 2) != 0;
+      });
+  const auto lut12 = nl.add_lut6(prefix + ".p12", init12,
+                                 {a[0], a[1], a[2], b[0], b[1], kNetVcc}, /*with_o5=*/true);
+  BitVec p(6, kNetGnd);
+  p[1] = lut12.o5;
+  p[2] = lut12.o6;
+  for (unsigned k = 3; k < 6; ++k) {
+    const std::uint64_t init = init_from_o6([&](const std::array<unsigned, 6>& in) {
+      const std::uint64_t av = in[0] | (in[1] << 1) | (in[2] << 2) | (in[3] << 3);
+      return bit(av * (in[4] | (in[5] << 1)), k) != 0;
+    });
+    p[k] = nl.add_lut6(prefix + ".p" + std::to_string(k), init,
+                       {a[0], a[1], a[2], a[3], b[0], b[1]}).o6;
+  }
+  return p;
+}
+
+BitVec build_accurate_4x4(Netlist& nl, const BitVec& a, const BitVec& b,
+                          const std::string& prefix) {
+  const BitVec bl{b[0], b[1]};
+  const BitVec bh{b[2], b[3]};
+  const BitVec pp0 = build_accurate_4x2(nl, a, bl, prefix + ".pp0");
+  const BitVec pp1 = build_accurate_4x2(nl, a, bh, prefix + ".pp1");
+  // P = PP0 + (PP1 << 2): bits 0..1 pass through, bits 2..7 on one chain.
+  const BitVec hi = build_binary_add(nl, BitVec(pp0.begin() + 2, pp0.end()), pp1, 6,
+                                     prefix + ".sum");
+  BitVec p{pp0[0], pp0[1]};
+  p.insert(p.end(), hi.begin(), hi.end());
+  return p;
+}
+
+BitVec build_kulkarni_2x2(Netlist& nl, const BitVec& a, const BitVec& b, MappingStyle style,
+                          const std::string& prefix) {
+  return build_2x2_block(nl, a, b, &mult::kulkarni_2x2, 3, style, prefix);
+}
+
+BitVec build_rehman_2x2(Netlist& nl, const BitVec& a, const BitVec& b, MappingStyle style,
+                        const std::string& prefix) {
+  return build_2x2_block(nl, a, b, &mult::rehman_2x2, 4, style, prefix);
+}
+
+BitVec build_accurate_2x2(Netlist& nl, const BitVec& a, const BitVec& b, MappingStyle style,
+                          const std::string& prefix) {
+  return build_2x2_block(nl, a, b, &mult::accurate_2x2, 4, style, prefix);
+}
+
+BitVec register_bits(Netlist& nl, const BitVec& bits, const std::string& prefix) {
+  BitVec q;
+  q.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == kNetGnd || bits[i] == kNetVcc) {
+      q.push_back(bits[i]);  // constants need no register
+    } else {
+      q.push_back(nl.add_fdre(prefix + ".r" + std::to_string(i), bits[i]));
+    }
+  }
+  return q;
+}
+
+unsigned pipeline_latency(unsigned width) {
+  unsigned levels = 1;  // the elementary stage
+  for (unsigned w = 4; w < width; w *= 2) ++levels;
+  return levels;
+}
+
+BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
+                       const GeneratorSpec& spec, const std::string& prefix) {
+  const unsigned w = spec.width;
+  if (a.size() != w || b.size() != w) {
+    throw std::invalid_argument("build_recursive: operand width mismatch");
+  }
+  auto stage = [&](BitVec v) {
+    return spec.pipelined ? register_bits(nl, v, prefix + ".pipe") : v;
+  };
+  const unsigned ew = mult::elementary_width(spec.elementary);
+  if (w == ew) {
+    switch (spec.elementary) {
+      case mult::Elementary::kApprox4x4: return stage(build_approx_4x4(nl, a, b, prefix));
+      case mult::Elementary::kAccurate4x4: return stage(build_accurate_4x4(nl, a, b, prefix));
+      case mult::Elementary::kKulkarni2x2:
+        return stage(build_kulkarni_2x2(nl, a, b, spec.style, prefix));
+      case mult::Elementary::kRehman2x2:
+        return stage(build_rehman_2x2(nl, a, b, spec.style, prefix));
+      case mult::Elementary::kAccurate2x2:
+        return stage(build_accurate_2x2(nl, a, b, spec.style, prefix));
+    }
+  }
+  const unsigned m = w / 2;
+  GeneratorSpec sub = spec;
+  sub.width = m;
+  const BitVec al(a.begin(), a.begin() + m);
+  const BitVec ah(a.begin() + m, a.end());
+  const BitVec bl(b.begin(), b.begin() + m);
+  const BitVec bh(b.begin() + m, b.end());
+  const BitVec pp0 = build_recursive(nl, al, bl, sub, prefix + ".ll");
+  const BitVec pp1 = build_recursive(nl, ah, bl, sub, prefix + ".hl");
+  const BitVec pp2 = build_recursive(nl, al, bh, sub, prefix + ".lh");
+  const BitVec pp3 = build_recursive(nl, ah, bh, sub, prefix + ".hh");
+
+  BitVec product(4 * m, kNetGnd);
+  for (unsigned i = 0; i < m; ++i) product[i] = bit_or_gnd(pp0, i);
+
+  if (spec.summation == mult::Summation::kAccurate) {
+    // The X operand holds PP0's high half and (disjointly, from relative
+    // column m) PP3; Y and Z hold PP1 and PP2.
+    BitVec x(3 * m, kNetGnd);
+    for (unsigned c = 0; c < 3 * m; ++c) {
+      if (m + c < pp0.size()) {
+        x[c] = pp0[m + c];
+      } else if (c >= m && c - m < pp3.size()) {
+        x[c] = pp3[c - m];
+      }
+    }
+    BitVec s;
+    if (spec.ternary_sum) {
+      // Fig. 5(b): one ternary pass over columns m .. 4m-1.
+      s = build_ternary_add(nl, x, pp1, pp2, 3 * m, prefix + ".sum");
+    } else {
+      // Conventional two-level binary adder tree (IP / ASIC-ported RTL).
+      const BitVec t = build_binary_add(nl, pp1, pp2, 2 * m + 1, prefix + ".sum0");
+      s = build_binary_add(nl, t, x, 3 * m, prefix + ".sum1");
+    }
+    for (unsigned c = 0; c < 3 * m; ++c) product[m + c] = s[c];
+  } else if (spec.summation == mult::Summation::kLowerOr) {
+    // Hybrid Cb summation: relative columns [0, L) OR'd without carries,
+    // the rest on one accurate ternary chain (carry into the accurate
+    // section dropped at the boundary).
+    const unsigned L = std::min(spec.lower_or_bits, 2 * m);
+    BitVec x(3 * m, kNetGnd);
+    for (unsigned c = 0; c < 3 * m; ++c) {
+      if (m + c < pp0.size()) {
+        x[c] = pp0[m + c];
+      } else if (c >= m && c - m < pp3.size()) {
+        x[c] = pp3[c - m];
+      }
+    }
+    for (unsigned c = 0; c < L; ++c) {
+      product[m + c] = build_or_column(
+          nl, {x[c], bit_or_gnd(pp1, c), bit_or_gnd(pp2, c)},
+          prefix + ".or" + std::to_string(c));
+    }
+    BitVec xh(x.begin() + L, x.end());
+    BitVec yh;
+    BitVec zh;
+    for (unsigned c = L; c < 3 * m; ++c) {
+      yh.push_back(bit_or_gnd(pp1, c));
+      zh.push_back(bit_or_gnd(pp2, c));
+    }
+    const BitVec s = build_ternary_add(nl, xh, yh, zh, 3 * m - L, prefix + ".sum");
+    for (unsigned c = L; c < 3 * m; ++c) product[m + c] = s[c - L];
+  } else {
+    // Fig. 6: carry-free columnwise XOR for the middle columns; the top m
+    // bits come straight from PP3.
+    for (unsigned c = m; c < 3 * m; ++c) {
+      BitVec col;
+      if (c < pp0.size()) col.push_back(pp0[c]);
+      if (c - m < pp1.size()) col.push_back(pp1[c - m]);
+      if (c - m < pp2.size()) col.push_back(pp2[c - m]);
+      if (c >= 2 * m && c - 2 * m < pp3.size()) col.push_back(pp3[c - 2 * m]);
+      product[c] = build_xor_column(nl, col, prefix + ".col" + std::to_string(c));
+    }
+    for (unsigned c = 3 * m; c < 4 * m; ++c) product[c] = bit_or_gnd(pp3, c - 2 * m);
+  }
+  return stage(product);
+}
+
+namespace {
+
+/// Declares a0..a(n-1), b0..b(n-1) inputs and p outputs around a fragment.
+fabric::Netlist wrap(unsigned width,
+                     const std::function<BitVec(Netlist&, const BitVec&, const BitVec&)>& body) {
+  Netlist nl;
+  BitVec a;
+  BitVec b;
+  for (unsigned i = 0; i < width; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const BitVec p = body(nl, a, b);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    nl.add_output("p" + std::to_string(i), p[i]);
+  }
+  return nl;
+}
+
+}  // namespace
+
+fabric::Netlist make_netlist(const GeneratorSpec& spec) {
+  return wrap(spec.width, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    return build_recursive(nl, a, b, spec, "u");
+  });
+}
+
+fabric::Netlist make_ca_netlist(unsigned width) {
+  return make_netlist({width, mult::Elementary::kApprox4x4, mult::Summation::kAccurate,
+                       MappingStyle::kHandOptimized});
+}
+
+fabric::Netlist make_cc_netlist(unsigned width) {
+  return make_netlist({width, mult::Elementary::kApprox4x4, mult::Summation::kCarryFree,
+                       MappingStyle::kHandOptimized});
+}
+
+fabric::Netlist make_cb_netlist(unsigned width, unsigned lower_or_bits) {
+  return make_netlist({width, mult::Elementary::kApprox4x4, mult::Summation::kLowerOr,
+                       MappingStyle::kHandOptimized, true, lower_or_bits});
+}
+
+fabric::Netlist make_kulkarni_netlist(unsigned width) {
+  return make_netlist({width, mult::Elementary::kKulkarni2x2, mult::Summation::kAccurate,
+                       MappingStyle::kSynthesized, /*ternary_sum=*/false});
+}
+
+fabric::Netlist make_rehman_netlist(unsigned width) {
+  return make_netlist({width, mult::Elementary::kRehman2x2, mult::Summation::kAccurate,
+                       MappingStyle::kSynthesized, /*ternary_sum=*/false});
+}
+
+fabric::Netlist make_vivado_speed_netlist(unsigned width) {
+  return make_netlist({width, mult::Elementary::kAccurate4x4, mult::Summation::kAccurate,
+                       MappingStyle::kHandOptimized, /*ternary_sum=*/false});
+}
+
+fabric::Netlist make_radix4_netlist(unsigned width) {
+  if (width % 2 != 0) throw std::invalid_argument("make_radix4_netlist: width must be even");
+  return wrap(width, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    // 3A = A + (A << 1), width + 2 bits.
+    const BitVec a3 = build_binary_add(nl, a, shifted(a, 1), width + 2, "a3");
+
+    // Row j selects d_j * A for d_j = (b[2j+1], b[2j]) in {0, A, 2A, 3A}.
+    // Per bit: I0 = A_i, I1 = A_(i-1) (= 2A bit), I2 = 3A_i, I3 = b_lo,
+    // I4 = b_hi; I5 tied high.
+    static const std::uint64_t sel_init = init_from_o6(
+        [](const std::array<unsigned, 6>& in) {
+          const unsigned digit = in[3] | (in[4] << 1);
+          switch (digit) {
+            case 1: return in[0] != 0;  // A
+            case 2: return in[1] != 0;  // 2A
+            case 3: return in[2] != 0;  // 3A
+            default: return false;      // 0
+          }
+        });
+    std::vector<BitVec> rows;
+    for (unsigned j = 0; j < width / 2; ++j) {
+      BitVec row;
+      for (unsigned i = 0; i < width + 2; ++i) {
+        row.push_back(nl.add_lut6("row" + std::to_string(j) + ".sel" + std::to_string(i),
+                                  sel_init,
+                                  {bit_or_gnd(a, i), i > 0 ? bit_or_gnd(a, i - 1) : kNetGnd,
+                                   a3[i], b[2 * j], b[2 * j + 1], kNetVcc})
+                          .o6);
+      }
+      rows.push_back(shifted(row, 2 * j));
+    }
+    // Ternary/binary reduction of the shifted rows.
+    while (rows.size() > 1) {
+      std::vector<BitVec> next;
+      std::size_t idx = 0;
+      unsigned lvl = 0;
+      while (idx + 2 < rows.size()) {
+        next.push_back(build_ternary_add(nl, rows[idx], rows[idx + 1], rows[idx + 2],
+                                         2 * width, "red.t" + std::to_string(lvl++)));
+        idx += 3;
+      }
+      if (idx + 1 < rows.size()) {
+        next.push_back(build_binary_add(nl, rows[idx], rows[idx + 1], 2 * width,
+                                        "red.b" + std::to_string(lvl++)));
+        idx += 2;
+      }
+      while (idx < rows.size()) next.push_back(rows[idx++]);
+      rows = std::move(next);
+    }
+    BitVec product = rows.front();
+    product.resize(2 * width, kNetGnd);
+    return product;
+  });
+}
+
+fabric::Netlist make_vivado_area_netlist(unsigned width) {
+  return wrap(width, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    // Row 0: A & b0, one LUT per bit (the IP generator predates aggressive
+    // O5/O6 packing; this reproduces the ~71-LUT footprint reported for
+    // the 8x8 LUT-based mult_gen).
+    BitVec acc;
+    for (unsigned i = 0; i < width; ++i) {
+      static const std::uint64_t and_init = init_from_o6(
+          [](const std::array<unsigned, 6>& in) { return (in[0] & in[1]) != 0; });
+      acc.push_back(nl.add_lut6("row0.and" + std::to_string(i), and_init,
+                                {a[i], b[0], kNetGnd, kNetGnd, kNetGnd, kNetGnd}).o6);
+    }
+    BitVec product(2 * width, kNetGnd);
+    product[0] = acc[0];
+
+    // Rows 1..width-1: acc = (acc >> 1) + (A & b_j); the AND folds into
+    // the adder LUT (O6 = (a_i & b_j) ^ acc_i, O5 = acc_i -> DI), and the
+    // row's carry-out is captured through a route-through LUT as the new
+    // accumulator MSB.
+    for (unsigned j = 1; j < width; ++j) {
+      const std::string prefix = "row" + std::to_string(j);
+      static const std::uint64_t init = init_from_o5_o6(
+          [](const std::array<unsigned, 5>& in) { return in[2] != 0; },
+          [](const std::array<unsigned, 5>& in) { return ((in[0] & in[1]) ^ in[2]) != 0; });
+      BitVec props;
+      BitVec dis;
+      for (unsigned i = 0; i < width; ++i) {
+        const NetId acc_i = i + 1 < acc.size() ? acc[i + 1] : kNetGnd;  // acc >> 1
+        const auto lut = nl.add_lut6(prefix + ".pg" + std::to_string(i), init,
+                                     {a[i], b[j], acc_i, kNetGnd, kNetGnd, kNetVcc},
+                                     /*with_o5=*/true);
+        props.push_back(lut.o6);
+        dis.push_back(lut.o5);
+      }
+      const auto chain = build_carry_chain(nl, kNetGnd, props, dis, prefix);
+      acc = chain.sum;
+      static const std::uint64_t buf_init = init_from_o6(
+          [](const std::array<unsigned, 6>& in) { return in[0] != 0; });
+      acc.push_back(nl.add_lut6(prefix + ".cobuf", buf_init,
+                                {chain.cout, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd}).o6);
+      product[j] = acc[0];
+    }
+    for (unsigned i = 1; i < acc.size() && width - 1 + i < 2 * width; ++i) {
+      product[width - 1 + i] = acc[i];
+    }
+    return product;
+  });
+}
+
+fabric::Netlist make_result_truncated_netlist(unsigned width, unsigned zeroed_lsbs) {
+  auto nl = wrap(width, [&](Netlist& nl_, const BitVec& a, const BitVec& b) {
+    GeneratorSpec spec{width, mult::Elementary::kAccurate4x4, mult::Summation::kAccurate,
+                       MappingStyle::kHandOptimized, /*ternary_sum=*/false};
+    BitVec p = build_recursive(nl_, a, b, spec, "u");
+    for (unsigned i = 0; i < zeroed_lsbs && i < p.size(); ++i) p[i] = kNetGnd;
+    return p;
+  });
+  // Sweep the (few) cells that only fed the zeroed outputs — this is the
+  // honest version of the paper's observation that truncation saves almost
+  // nothing: the low columns' logic still feeds the surviving carries.
+  return fabric::sweep_dead_cells(nl);
+}
+
+fabric::Netlist make_operand_truncated_netlist(unsigned width, unsigned zeroed_lsbs) {
+  if (zeroed_lsbs >= width) throw std::invalid_argument("operand truncation too deep");
+  return wrap(width, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    const unsigned core = width - zeroed_lsbs;
+    const BitVec ah(a.begin() + zeroed_lsbs, a.end());
+    const BitVec bh(b.begin() + zeroed_lsbs, b.end());
+    // Core widths that are not powers of two fall back to zero-padding up
+    // to the next supported recursive width.
+    unsigned padded = 4;
+    while (padded < core) padded *= 2;
+    BitVec ap = ah;
+    BitVec bp = bh;
+    while (ap.size() < padded) {
+      ap.push_back(kNetGnd);
+      bp.push_back(kNetGnd);
+    }
+    GeneratorSpec spec{padded, mult::Elementary::kAccurate4x4, mult::Summation::kAccurate,
+                       MappingStyle::kHandOptimized, /*ternary_sum=*/false};
+    const BitVec hi = build_recursive(nl, ap, bp, spec, "u");
+    BitVec p(2 * width, kNetGnd);
+    for (unsigned i = 0; i < 2 * padded && 2 * zeroed_lsbs + i < 2 * width; ++i) {
+      p[2 * zeroed_lsbs + i] = hi[i];
+    }
+    return p;
+  });
+}
+
+namespace {
+
+/// Recursive composition with correctable elementary modules.
+BitVec build_correctable_recursive(Netlist& nl, const BitVec& a, const BitVec& b, NetId en,
+                                   mult::Summation summation, const std::string& prefix) {
+  const unsigned w = static_cast<unsigned>(a.size());
+  if (w == 4) return build_approx_4x4_correctable(nl, a, b, en, prefix);
+  const unsigned m = w / 2;
+  const BitVec al(a.begin(), a.begin() + m);
+  const BitVec ah(a.begin() + m, a.end());
+  const BitVec bl(b.begin(), b.begin() + m);
+  const BitVec bh(b.begin() + m, b.end());
+  const BitVec pp0 = build_correctable_recursive(nl, al, bl, en, summation, prefix + ".ll");
+  const BitVec pp1 = build_correctable_recursive(nl, ah, bl, en, summation, prefix + ".hl");
+  const BitVec pp2 = build_correctable_recursive(nl, al, bh, en, summation, prefix + ".lh");
+  const BitVec pp3 = build_correctable_recursive(nl, ah, bh, en, summation, prefix + ".hh");
+  BitVec product(4 * m, kNetGnd);
+  for (unsigned i = 0; i < m; ++i) product[i] = bit_or_gnd(pp0, i);
+  if (summation == mult::Summation::kAccurate) {
+    BitVec x(3 * m, kNetGnd);
+    for (unsigned c = 0; c < 3 * m; ++c) {
+      if (m + c < pp0.size()) {
+        x[c] = pp0[m + c];
+      } else if (c >= m && c - m < pp3.size()) {
+        x[c] = pp3[c - m];
+      }
+    }
+    const BitVec s = build_ternary_add(nl, x, pp1, pp2, 3 * m, prefix + ".sum");
+    for (unsigned c = 0; c < 3 * m; ++c) product[m + c] = s[c];
+  } else {
+    for (unsigned c = m; c < 3 * m; ++c) {
+      BitVec col{bit_or_gnd(pp0, c), bit_or_gnd(pp1, c - m), bit_or_gnd(pp2, c - m)};
+      if (c >= 2 * m) col.push_back(bit_or_gnd(pp3, c - 2 * m));
+      product[c] = build_xor_column(nl, col, prefix + ".col" + std::to_string(c));
+    }
+    for (unsigned c = 3 * m; c < 4 * m; ++c) product[c] = bit_or_gnd(pp3, c - 2 * m);
+  }
+  return product;
+}
+
+}  // namespace
+
+fabric::Netlist make_pipelined_netlist(unsigned width, mult::Summation summation) {
+  return make_netlist({width, mult::Elementary::kApprox4x4, summation,
+                       MappingStyle::kHandOptimized, /*ternary_sum=*/true,
+                       /*lower_or_bits=*/0, /*pipelined=*/true});
+}
+
+fabric::Netlist make_mac_netlist(unsigned width, mult::Summation summation,
+                                 unsigned acc_bits) {
+  if (acc_bits < 2 * width) throw std::invalid_argument("make_mac_netlist: accumulator too narrow");
+  Netlist nl;
+  BitVec a;
+  BitVec b;
+  for (unsigned i = 0; i < width; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+
+  const GeneratorSpec spec{width, mult::Elementary::kApprox4x4, summation,
+                           MappingStyle::kHandOptimized};
+  const BitVec product = build_recursive(nl, a, b, spec, "mul");
+
+  // Registered feedback accumulator: take the Q nets first, close later.
+  std::vector<Netlist::OpenFf> acc;
+  BitVec acc_q;
+  for (unsigned i = 0; i < acc_bits; ++i) {
+    acc.push_back(nl.add_fdre_open("acc.r" + std::to_string(i)));
+    acc_q.push_back(acc.back().q);
+  }
+  const BitVec next = build_binary_add(nl, acc_q, product, acc_bits, "acc.add");
+  for (unsigned i = 0; i < acc_bits; ++i) nl.close_fdre(acc[i], next[i]);
+  for (unsigned i = 0; i < acc_bits; ++i) nl.add_output("s" + std::to_string(i), acc_q[i]);
+  return nl;
+}
+
+fabric::Netlist make_correctable_netlist(unsigned width, mult::Summation summation) {
+  Netlist nl;
+  BitVec a;
+  BitVec b;
+  for (unsigned i = 0; i < width; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (unsigned i = 0; i < width; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const NetId en = nl.add_input("correct_en");
+  const BitVec p = build_correctable_recursive(nl, a, b, en, summation, "u");
+  for (std::size_t i = 0; i < p.size(); ++i) nl.add_output("p" + std::to_string(i), p[i]);
+  return nl;
+}
+
+namespace {
+
+fabric::Netlist wrap_adder(unsigned bits,
+                           const std::function<BitVec(Netlist&, const BitVec&, const BitVec&)>& body) {
+  Netlist nl;
+  BitVec a;
+  BitVec b;
+  for (unsigned i = 0; i < bits; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (unsigned i = 0; i < bits; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const BitVec s = body(nl, a, b);
+  for (std::size_t i = 0; i < s.size(); ++i) nl.add_output("s" + std::to_string(i), s[i]);
+  return nl;
+}
+
+}  // namespace
+
+fabric::Netlist make_adder_netlist(unsigned bits) {
+  return wrap_adder(bits, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    return build_binary_add(nl, a, b, bits + 1, "add");
+  });
+}
+
+fabric::Netlist make_loa_netlist(unsigned bits, unsigned or_bits) {
+  return wrap_adder(bits, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    BitVec s(bits + 1, kNetGnd);
+    for (unsigned i = 0; i < or_bits; ++i) {
+      s[i] = build_or_column(nl, {a[i], b[i]}, "or" + std::to_string(i));
+    }
+    const BitVec ah(a.begin() + or_bits, a.end());
+    const BitVec bh(b.begin() + or_bits, b.end());
+    const BitVec hi = build_binary_add(nl, ah, bh, bits - or_bits + 1, "hi");
+    for (unsigned i = or_bits; i <= bits; ++i) s[i] = hi[i - or_bits];
+    return s;
+  });
+}
+
+fabric::Netlist make_segmented_adder_netlist(unsigned bits, unsigned segment_bits) {
+  return wrap_adder(bits, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    BitVec s(bits + 1, kNetGnd);
+    for (unsigned base = 0; base < bits; base += segment_bits) {
+      const unsigned w = std::min(segment_bits, bits - base);
+      const bool last = base + w >= bits;
+      const BitVec as(a.begin() + base, a.begin() + base + w);
+      const BitVec bs(b.begin() + base, b.begin() + base + w);
+      // The final segment keeps its carry-out (the true top result bit).
+      const BitVec seg =
+          build_binary_add(nl, as, bs, last ? w + 1 : w, "seg" + std::to_string(base));
+      for (unsigned i = 0; i < seg.size(); ++i) s[base + i] = seg[i];
+    }
+    return s;
+  });
+}
+
+fabric::Netlist make_perforated_netlist(unsigned width, bool drop_hl, bool drop_lh) {
+  return wrap(width, [&](Netlist& nl, const BitVec& a, const BitVec& b) {
+    const unsigned m = width / 2;
+    const GeneratorSpec sub{m, mult::Elementary::kApprox4x4, mult::Summation::kAccurate,
+                            MappingStyle::kHandOptimized};
+    const BitVec al(a.begin(), a.begin() + m);
+    const BitVec ah(a.begin() + m, a.end());
+    const BitVec bl(b.begin(), b.begin() + m);
+    const BitVec bh(b.begin() + m, b.end());
+    const BitVec pp0 = build_recursive(nl, al, bl, sub, "u.ll");
+    const BitVec pp3 = build_recursive(nl, ah, bh, sub, "u.hh");
+
+    // X holds PP0's high half and (disjointly) PP3, exactly as in the
+    // accurate composition.
+    BitVec x(3 * m, kNetGnd);
+    for (unsigned c = 0; c < 3 * m; ++c) {
+      if (m + c < pp0.size()) {
+        x[c] = pp0[m + c];
+      } else if (c >= m && c - m < pp3.size()) {
+        x[c] = pp3[c - m];
+      }
+    }
+    BitVec product(4 * m, kNetGnd);
+    for (unsigned i = 0; i < m; ++i) product[i] = bit_or_gnd(pp0, i);
+
+    if (drop_hl && drop_lh) {
+      // Nothing overlaps: the product is PP0 | (PP3 << 2m), pure wiring.
+      for (unsigned c = 0; c < 3 * m; ++c) product[m + c] = x[c];
+      return product;
+    }
+    const BitVec pp1 = drop_hl ? BitVec{} : build_recursive(nl, ah, bl, sub, "u.hl");
+    const BitVec pp2 = drop_lh ? BitVec{} : build_recursive(nl, al, bh, sub, "u.lh");
+    BitVec s;
+    if (drop_hl || drop_lh) {
+      s = build_binary_add(nl, x, drop_hl ? pp2 : pp1, 3 * m, "u.sum");
+    } else {
+      s = build_ternary_add(nl, x, pp1, pp2, 3 * m, "u.sum");
+    }
+    for (unsigned c = 0; c < 3 * m; ++c) product[m + c] = s[c];
+    return product;
+  });
+}
+
+}  // namespace axmult::multgen

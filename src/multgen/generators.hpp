@@ -1,0 +1,164 @@
+// Structural netlist generators for every multiplier in the library.
+//
+// The proposed 4x4 multiplier is instantiated verbatim from the paper's
+// Table 3 (LUT pin assignments and INIT values); everything else is
+// composed from the builders in builders.hpp. Each generator produces a
+// netlist with inputs a0..a(n-1), b0..b(n-1) and outputs p0..p(2n-1), so
+// fabric::Evaluator::eval_word computes the product directly and the
+// equivalence tests can compare against the behavioral models bit-for-bit.
+#pragma once
+
+#include <string>
+
+#include "fabric/netlist.hpp"
+#include "multgen/builders.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::multgen {
+
+/// How ASIC-ported baselines (K, W) are assumed to reach the fabric.
+/// Our designs and the Vivado-IP models are hand-mapped (dual-output LUT
+/// packing); baseline RTL synthesized by Vivado typically spends one LUT
+/// per non-trivial block output (calibrated against the paper's Fig. 7).
+enum class MappingStyle : std::uint8_t { kHandOptimized, kSynthesized };
+
+// ---- elementary fragments (operate on an existing netlist) --------------
+
+/// Table 3: the proposed approximate 4x4 multiplier — 12 LUTs + 1 CARRY4.
+[[nodiscard]] BitVec build_approx_4x4(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                      const std::string& prefix);
+
+/// Accurate 4x2 partial-product block — 5 LUTs (P1/P2 dual-packed).
+[[nodiscard]] BitVec build_accurate_4x2(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                        const std::string& prefix);
+
+/// Proposed approximate 4x2 block (Section 3.1) — 4 LUTs (one slice).
+[[nodiscard]] BitVec build_approx_4x2(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                      const std::string& prefix);
+
+/// Accurate 4x4 (two accurate 4x2 + carry-chain summation) — 16 LUTs.
+[[nodiscard]] BitVec build_accurate_4x4(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                        const std::string& prefix);
+
+/// Kulkarni-style approximate 2x2 block (3 product bits).
+[[nodiscard]] BitVec build_kulkarni_2x2(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                        MappingStyle style, const std::string& prefix);
+
+/// Rehman-style approximate 2x2 block (4 product bits).
+[[nodiscard]] BitVec build_rehman_2x2(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                      MappingStyle style, const std::string& prefix);
+
+/// Accurate 2x2 block (4 product bits).
+[[nodiscard]] BitVec build_accurate_2x2(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                        MappingStyle style, const std::string& prefix);
+
+// ---- recursive composition ----------------------------------------------
+
+struct GeneratorSpec {
+  unsigned width = 8;
+  mult::Elementary elementary = mult::Elementary::kApprox4x4;
+  mult::Summation summation = mult::Summation::kAccurate;
+  MappingStyle style = MappingStyle::kHandOptimized;
+  /// Accurate summation idiom: true = single-pass ternary carry chain (the
+  /// paper's Fig. 5(b) FPGA-specific trick); false = conventional two-level
+  /// binary adder tree (what IP generators and ASIC-ported RTL produce).
+  bool ternary_sum = true;
+  /// For Summation::kLowerOr: middle columns (per level) OR'd carry-free.
+  unsigned lower_or_bits = 0;
+  /// Insert a register stage after every recursion level (including the
+  /// elementary modules): latency = log2(width/4) + 1 cycles, minimum
+  /// clock period = one level of logic.
+  bool pipelined = false;
+};
+
+/// Recursively composes a width x width multiplier fragment (Section 4).
+[[nodiscard]] BitVec build_recursive(fabric::Netlist& nl, const BitVec& a, const BitVec& b,
+                                     const GeneratorSpec& spec, const std::string& prefix);
+
+// ---- complete netlists ---------------------------------------------------
+
+/// Wraps a fragment builder with primary I/O declarations.
+[[nodiscard]] fabric::Netlist make_netlist(const GeneratorSpec& spec);
+
+[[nodiscard]] fabric::Netlist make_ca_netlist(unsigned width);
+[[nodiscard]] fabric::Netlist make_cc_netlist(unsigned width);
+[[nodiscard]] fabric::Netlist make_kulkarni_netlist(unsigned width);
+
+/// Cb(L): hybrid lower-OR summation (see mult::make_cb).
+[[nodiscard]] fabric::Netlist make_cb_netlist(unsigned width, unsigned lower_or_bits);
+
+/// Registers every bit of `bits` through FDREs (one pipeline stage).
+[[nodiscard]] BitVec register_bits(fabric::Netlist& nl, const BitVec& bits,
+                                   const std::string& prefix);
+
+/// Pipelined Ca/Cc multiplier; see GeneratorSpec::pipelined. The result
+/// appears `pipeline_latency(width)` cycles after the operands.
+[[nodiscard]] fabric::Netlist make_pipelined_netlist(unsigned width, mult::Summation summation);
+
+/// Cycles from operand to product for the pipelined generators.
+[[nodiscard]] unsigned pipeline_latency(unsigned width);
+
+/// Multiply-accumulate unit: acc <= acc + multiply(a, b) every cycle
+/// (registered feedback accumulator, `acc_bits` wide, wraps modulo
+/// 2^acc_bits). Outputs the accumulator value *before* the clock edge.
+[[nodiscard]] fabric::Netlist make_mac_netlist(unsigned width, mult::Summation summation,
+                                               unsigned acc_bits);
+[[nodiscard]] fabric::Netlist make_rehman_netlist(unsigned width);
+
+/// Vivado-IP-style accurate soft multiplier, speed-optimized: accurate 4x4
+/// blocks + single-pass ternary summation (shallow).
+[[nodiscard]] fabric::Netlist make_vivado_speed_netlist(unsigned width);
+
+/// Radix-4 accurate soft multiplier: B is consumed two bits per row; each
+/// row selects {0, A, 2A, 3A} with one LUT per bit (3A precomputed once),
+/// and the half-count of rows is summed on ternary carry chains. A third
+/// IP-style architecture point between the speed and area variants.
+[[nodiscard]] fabric::Netlist make_radix4_netlist(unsigned width);
+
+/// Vivado-IP-style accurate soft multiplier, area-optimized: row-by-row
+/// shift-add array (one carry-chain row per multiplier bit — fewer LUTs on
+/// odd widths, much longer critical path).
+[[nodiscard]] fabric::Netlist make_vivado_area_netlist(unsigned width);
+
+/// Result-truncated multiplier: accurate speed netlist with the low
+/// `zeroed_lsbs` product bits tied to constant zero (the logic that feeds
+/// the surviving carries is retained — truncation saves almost nothing,
+/// as the paper observes for Mult(8,4)).
+[[nodiscard]] fabric::Netlist make_result_truncated_netlist(unsigned width,
+                                                            unsigned zeroed_lsbs);
+
+/// Operand-truncated multiplier: (width-k)x(width-k) accurate core with
+/// the low 2k product bits tied to zero.
+[[nodiscard]] fabric::Netlist make_operand_truncated_netlist(unsigned width,
+                                                             unsigned zeroed_lsbs);
+
+/// Proposed 4x4 module with the Section 5 error-correction circuitry
+/// (+2 LUTs); `correct_en` gates the conflict detector. Pass
+/// fabric::kNoNet for the plain module.
+[[nodiscard]] BitVec build_approx_4x4_correctable(fabric::Netlist& nl, const BitVec& a,
+                                                  const BitVec& b, fabric::NetId correct_en,
+                                                  const std::string& prefix);
+
+/// Ca/Cc-style multiplier with correctable 4x4 modules and a
+/// `correct_en` primary input (declared after the operand inputs).
+[[nodiscard]] fabric::Netlist make_correctable_netlist(unsigned width,
+                                                       mult::Summation summation);
+
+// ---- standalone adder netlists (companions to mult/adders.hpp) -----------
+
+/// Accurate carry-chain adder: outputs s0..s(bits) including the carry.
+[[nodiscard]] fabric::Netlist make_adder_netlist(unsigned bits);
+
+/// Lower-part OR adder netlist. Must match mult::make_loa.
+[[nodiscard]] fabric::Netlist make_loa_netlist(unsigned bits, unsigned or_bits);
+
+/// Carry-segmented adder netlist. Must match mult::make_segmented_adder.
+[[nodiscard]] fabric::Netlist make_segmented_adder_netlist(unsigned bits,
+                                                           unsigned segment_bits);
+
+/// Partial-product perforation (approx-4x4 halves, Ca-style summation of
+/// the surviving quadrants). Must match mult::make_perforated.
+[[nodiscard]] fabric::Netlist make_perforated_netlist(unsigned width, bool drop_hl,
+                                                      bool drop_lh);
+
+}  // namespace axmult::multgen

@@ -1,0 +1,41 @@
+// Toggle-activity energy model and EDP computation.
+//
+// The energy half of the Vivado substitution: dynamic energy is
+// proportional to switched capacitance, which we estimate by simulating a
+// stream of random operand transitions and accumulating per-net toggles
+// weighted by a fanout-dependent capacitance plus a per-cell-type input
+// capacitance. Absolute units are arbitrary ("a.u."); the paper's Fig. 7
+// reports *gains relative to the accurate Vivado IP*, which only needs
+// consistent relative energy.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/netlist.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::power {
+
+struct PowerModel {
+  double net_cap = 1.0;          ///< capacitance per routed net
+  double cap_per_fanout = 0.35;  ///< extra capacitance per additional load
+  double lut_cap = 0.6;          ///< internal LUT switching
+  double carry_cap = 0.12;       ///< per-bit MUXCY switching
+  double ff_cap = 0.25;          ///< flip-flop clocking + output switching
+  double dsp_cap = 45.0;         ///< DSP block switching per operation
+  std::uint64_t vectors = 2048;  ///< random transitions to simulate
+  std::uint64_t seed = 7;
+};
+
+struct PowerReport {
+  double switched_cap_per_op = 0.0;  ///< average switched capacitance (a.u.)
+  double energy_au = 0.0;            ///< = switched_cap_per_op (V^2 folded in)
+  double edp_au = 0.0;               ///< energy * critical-path delay
+};
+
+/// Estimates dynamic energy per operation and the energy-delay product
+/// using the supplied (or default) timing model for the delay term.
+[[nodiscard]] PowerReport estimate(const fabric::Netlist& nl, const PowerModel& model = {},
+                                   const timing::DelayModel& delay_model = {});
+
+}  // namespace axmult::power

@@ -1,0 +1,227 @@
+#include "synth/mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+
+namespace axmult::synth {
+
+namespace {
+
+/// A cut: sorted leaf set, at most 6 entries.
+struct Cut {
+  std::vector<NodeId> leaves;
+  unsigned depth = 0;  ///< mapped depth if this cut is chosen
+
+  bool operator==(const Cut& o) const { return leaves == o.leaves; }
+};
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const std::vector<NodeId>& a, const std::vector<NodeId>& b, unsigned k,
+                  std::vector<NodeId>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    out.push_back(next);
+    if (out.size() > k) return false;
+  }
+  return true;
+}
+
+/// Evaluates the cone of `root` with the given leaf values.
+std::uint8_t eval_cone(const Network& net, NodeId root,
+                       const std::unordered_map<NodeId, std::uint8_t>& leaf_values,
+                       std::unordered_map<NodeId, std::uint8_t>& memo) {
+  const auto lv = leaf_values.find(root);
+  if (lv != leaf_values.end()) return lv->second;
+  const auto mv = memo.find(root);
+  if (mv != memo.end()) return mv->second;
+  const Node& n = net.node(root);
+  std::uint8_t v = 0;
+  switch (n.kind) {
+    case NodeKind::kConst0: v = 0; break;
+    case NodeKind::kInput:
+      throw std::logic_error("mapper: reached an input that is not a cut leaf");
+    case NodeKind::kAnd:
+      v = eval_cone(net, n.a, leaf_values, memo) & eval_cone(net, n.b, leaf_values, memo);
+      break;
+    case NodeKind::kOr:
+      v = eval_cone(net, n.a, leaf_values, memo) | eval_cone(net, n.b, leaf_values, memo);
+      break;
+    case NodeKind::kXor:
+      v = eval_cone(net, n.a, leaf_values, memo) ^ eval_cone(net, n.b, leaf_values, memo);
+      break;
+    case NodeKind::kNot: v = eval_cone(net, n.a, leaf_values, memo) ^ 1u; break;
+  }
+  memo.emplace(root, v);
+  return v;
+}
+
+}  // namespace
+
+MappingResult map_to_luts(const Network& net, const MapperOptions& options) {
+  if (options.cut_size == 0 || options.cut_size > 6) {
+    throw std::invalid_argument("map_to_luts: cut_size must be in [1, 6]");
+  }
+  const unsigned k = options.cut_size;
+  const std::size_t n = net.node_count();
+
+  // Node ids are topological by construction.
+  std::vector<std::vector<Cut>> cuts(n);
+  std::vector<unsigned> best_depth(n, 0);
+  std::vector<Cut> best_cut(n);
+
+  auto leaf_depth = [&](const std::vector<NodeId>& leaves) {
+    unsigned d = 0;
+    for (NodeId l : leaves) d = std::max(d, best_depth[l]);
+    return d;
+  };
+
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = net.node(id);
+    if (node.kind == NodeKind::kConst0 || node.kind == NodeKind::kInput ||
+        (id == 1 && node.kind == NodeKind::kNot)) {
+      // Constants and inputs are free; their only cut is themselves.
+      cuts[id] = {{{id}, 0}};
+      best_depth[id] = 0;
+      best_cut[id] = {{id}, 0};
+      continue;
+    }
+    std::vector<Cut> mine;
+    const auto& ca = cuts[node.a];
+    if (node.kind == NodeKind::kNot) {
+      for (const Cut& c : ca) mine.push_back({c.leaves, 0});
+    } else {
+      std::vector<NodeId> merged;
+      for (const Cut& x : ca) {
+        for (const Cut& y : cuts[node.b]) {
+          if (merge_leaves(x.leaves, y.leaves, k, merged)) {
+            mine.push_back({merged, 0});
+          }
+        }
+      }
+    }
+    mine.push_back({{id}, 0});  // trivial cut
+    // Score, dedup, prune.
+    for (Cut& c : mine) {
+      c.depth = (c.leaves.size() == 1 && c.leaves[0] == id)
+                    ? 0  // placeholder; scored against fanins below
+                    : 1 + leaf_depth(c.leaves);
+    }
+    // The trivial cut's real depth is 1 + the node's own best via fanins,
+    // which equals the min over non-trivial cuts; drop it from selection
+    // but keep it for parents' merging.
+    std::sort(mine.begin(), mine.end(), [](const Cut& a, const Cut& b) {
+      if (a.depth != b.depth) return a.depth < b.depth;
+      return a.leaves.size() < b.leaves.size();
+    });
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    // Selection ignores the trivial self-cut.
+    const Cut* chosen = nullptr;
+    for (const Cut& c : mine) {
+      if (c.leaves.size() == 1 && c.leaves[0] == id) continue;
+      chosen = &c;
+      break;
+    }
+    if (chosen == nullptr) {
+      throw std::logic_error("map_to_luts: node without a non-trivial cut");
+    }
+    best_depth[id] = chosen->depth;
+    best_cut[id] = *chosen;
+    // Fix the trivial cut's depth for parents, then prune.
+    for (Cut& c : mine) {
+      if (c.leaves.size() == 1 && c.leaves[0] == id) c.depth = best_depth[id];
+    }
+    std::sort(mine.begin(), mine.end(), [](const Cut& a, const Cut& b) {
+      if (a.depth != b.depth) return a.depth < b.depth;
+      return a.leaves.size() < b.leaves.size();
+    });
+    if (mine.size() > options.cut_limit) mine.resize(options.cut_limit);
+    cuts[id] = std::move(mine);
+  }
+
+  // Cover extraction from the outputs.
+  std::vector<bool> required(n, false);
+  std::vector<NodeId> work;
+  for (const auto& [name, id] : net.outputs()) {
+    (void)name;
+    const Node& node = net.node(id);
+    if (node.kind != NodeKind::kConst0 && node.kind != NodeKind::kInput && id != 1) {
+      if (!required[id]) {
+        required[id] = true;
+        work.push_back(id);
+      }
+    }
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (NodeId leaf : best_cut[id].leaves) {
+      const Node& ln = net.node(leaf);
+      if (ln.kind == NodeKind::kConst0 || ln.kind == NodeKind::kInput || leaf == 1) continue;
+      if (!required[leaf]) {
+        required[leaf] = true;
+        work.push_back(leaf);
+      }
+    }
+  }
+
+  // Emission.
+  MappingResult result;
+  fabric::Netlist& out = result.netlist;
+  std::vector<fabric::NetId> net_of(n, fabric::kNoNet);
+  net_of[0] = fabric::kNetGnd;
+  net_of[1] = fabric::kNetVcc;
+  for (std::size_t i = 0; i < net.inputs().size(); ++i) {
+    net_of[net.inputs()[i]] = out.add_input(net.input_name(i));
+  }
+  for (NodeId id = 2; id < n; ++id) {
+    if (!required[id]) continue;
+    const auto& leaves = best_cut[id].leaves;
+    // Truth table of the cone over the leaves.
+    std::uint64_t init = 0;
+    for (unsigned idx = 0; idx < (1u << leaves.size()); ++idx) {
+      std::unordered_map<NodeId, std::uint8_t> leaf_values;
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        leaf_values[leaves[l]] = static_cast<std::uint8_t>((idx >> l) & 1);
+      }
+      std::unordered_map<NodeId, std::uint8_t> memo;
+      if (eval_cone(net, id, leaf_values, memo)) {
+        // Replicate across the unused upper pins so any tie value works.
+        for (unsigned rep = idx; rep < 64; rep += (1u << leaves.size())) {
+          init |= std::uint64_t{1} << rep;
+        }
+      }
+    }
+    std::array<fabric::NetId, 6> pins{fabric::kNetGnd, fabric::kNetGnd, fabric::kNetGnd,
+                                      fabric::kNetGnd, fabric::kNetGnd, fabric::kNetGnd};
+    for (std::size_t l = 0; l < leaves.size(); ++l) pins[l] = net_of[leaves[l]];
+    net_of[id] = out.add_lut6("m" + std::to_string(id), init, pins).o6;
+  }
+  for (const auto& [name, id] : net.outputs()) {
+    out.add_output(name, net_of[id]);
+  }
+
+  result.stats.luts = out.area().luts;
+  unsigned depth = 0;
+  for (const auto& [name, id] : net.outputs()) {
+    (void)name;
+    depth = std::max(depth, best_depth[id]);
+  }
+  result.stats.depth = depth;
+  return result;
+}
+
+}  // namespace axmult::synth

@@ -1,0 +1,38 @@
+// Cut-based technology mapping of a boolean network onto 6-input LUTs.
+//
+// Classic FlowMap-style depth-oriented mapping with bounded cut
+// enumeration: every node collects up to `cut_limit` irredundant cuts of
+// at most `cut_size` leaves; the best cut minimizes mapped depth, then
+// leaf count. The chosen cover is emitted as a fabric::Netlist whose LUT
+// INITs are computed by simulating each cut cone over all leaf
+// assignments.
+//
+// Deliberately *no* carry-chain or dual-output inference: this models what
+// a generic synthesis flow produces from ASIC-style RTL, the baseline the
+// paper's hand-structured designs beat.
+#pragma once
+
+#include "fabric/netlist.hpp"
+#include "synth/network.hpp"
+
+namespace axmult::synth {
+
+struct MapperOptions {
+  unsigned cut_size = 6;   ///< K of the K-LUT target (<= 6)
+  unsigned cut_limit = 8;  ///< cuts retained per node
+};
+
+struct MappingStats {
+  std::size_t luts = 0;
+  unsigned depth = 0;  ///< mapped depth in LUT levels
+};
+
+struct MappingResult {
+  fabric::Netlist netlist;
+  MappingStats stats;
+};
+
+/// Maps `net` to LUTs. Throws std::invalid_argument for cut_size > 6 or 0.
+[[nodiscard]] MappingResult map_to_luts(const Network& net, const MapperOptions& options = {});
+
+}  // namespace axmult::synth

@@ -1,0 +1,172 @@
+#include "synth/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace axmult::synth {
+
+Network::Network() {
+  nodes_.push_back({NodeKind::kConst0, 0, 0});  // id 0
+  nodes_.push_back({NodeKind::kNot, 0, 0});     // id 1 = const 1
+  // Register the const-1 node so lnot(const0) resolves to it.
+  hash_.emplace(static_cast<std::uint64_t>(NodeKind::kNot) << 60, NodeId{1});
+}
+
+NodeId Network::add_input(std::string name) {
+  nodes_.push_back({NodeKind::kInput, 0, 0});
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId Network::intern(NodeKind kind, NodeId a, NodeId b) {
+  // Commutative operators are canonicalized so hashing catches both orders.
+  if (kind != NodeKind::kNot && a > b) std::swap(a, b);
+  const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 60) |
+                            (static_cast<std::uint64_t>(a) << 30) | b;
+  const auto it = hash_.find(key);
+  if (it != hash_.end()) return it->second;
+  nodes_.push_back({kind, a, b});
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  hash_.emplace(key, id);
+  return id;
+}
+
+NodeId Network::land(NodeId a, NodeId b) {
+  if (a == const0() || b == const0()) return const0();
+  if (a == const1()) return b;
+  if (b == const1()) return a;
+  if (a == b) return a;
+  return intern(NodeKind::kAnd, a, b);
+}
+
+NodeId Network::lor(NodeId a, NodeId b) {
+  if (a == const1() || b == const1()) return const1();
+  if (a == const0()) return b;
+  if (b == const0()) return a;
+  if (a == b) return a;
+  return intern(NodeKind::kOr, a, b);
+}
+
+NodeId Network::lxor(NodeId a, NodeId b) {
+  if (a == b) return const0();
+  if (a == const0()) return b;
+  if (b == const0()) return a;
+  if (a == const1()) return lnot(b);
+  if (b == const1()) return lnot(a);
+  return intern(NodeKind::kXor, a, b);
+}
+
+NodeId Network::lnot(NodeId a) {
+  // NOT(NOT(x)) = x.
+  if (nodes_[a].kind == NodeKind::kNot) return nodes_[a].a;
+  return intern(NodeKind::kNot, a, 0);
+}
+
+void Network::set_output(std::string name, NodeId id) {
+  outputs_.emplace_back(std::move(name), id);
+}
+
+Network::Sum Network::half_adder(NodeId a, NodeId b) {
+  return {lxor(a, b), land(a, b)};
+}
+
+Network::Sum Network::full_adder(NodeId a, NodeId b, NodeId c) {
+  const NodeId axb = lxor(a, b);
+  return {lxor(axb, c), lor(land(a, b), land(axb, c))};
+}
+
+std::vector<NodeId> Network::ripple_add(const std::vector<NodeId>& x,
+                                        const std::vector<NodeId>& y) {
+  const std::size_t w = std::max(x.size(), y.size());
+  std::vector<NodeId> sum(w + 1, const0());
+  NodeId carry = const0();
+  for (std::size_t i = 0; i < w; ++i) {
+    const NodeId xi = i < x.size() ? x[i] : const0();
+    const NodeId yi = i < y.size() ? y[i] : const0();
+    const Sum fa = full_adder(xi, yi, carry);
+    sum[i] = fa.s;
+    carry = fa.c;
+  }
+  sum[w] = carry;
+  return sum;
+}
+
+std::vector<NodeId> Network::array_multiplier(const std::vector<NodeId>& a,
+                                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> acc;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    std::vector<NodeId> row(j, const0());
+    for (NodeId abit : a) row.push_back(land(abit, b[j]));
+    acc = j == 0 ? row : ripple_add(acc, row);
+  }
+  acc.resize(a.size() + b.size(), const0());
+  return acc;
+}
+
+std::size_t Network::gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    if (node.kind != NodeKind::kConst0 && node.kind != NodeKind::kInput) ++n;
+  }
+  return n - 1;  // exclude the implicit const-1 NOT node
+}
+
+unsigned Network::depth() const {
+  std::vector<unsigned> d(nodes_.size(), 0);
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind == NodeKind::kInput) continue;
+    const unsigned da = d[n.a];
+    const unsigned db = n.kind == NodeKind::kNot ? 0 : d[n.b];
+    d[id] = 1 + std::max(da, db);
+  }
+  unsigned worst = 0;
+  for (const auto& [name, id] : outputs_) {
+    (void)name;
+    worst = std::max(worst, d[id]);
+  }
+  return worst;
+}
+
+std::vector<std::uint8_t> Network::eval(const std::vector<std::uint8_t>& in) const {
+  if (in.size() != inputs_.size()) {
+    throw std::invalid_argument("Network::eval: wrong number of input bits");
+  }
+  std::vector<std::uint8_t> v(nodes_.size(), 0);
+  v[const1()] = 1;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) v[inputs_[i]] = in[i] & 1u;
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kInput: break;
+      case NodeKind::kAnd: v[id] = v[n.a] & v[n.b]; break;
+      case NodeKind::kOr: v[id] = v[n.a] | v[n.b]; break;
+      case NodeKind::kXor: v[id] = v[n.a] ^ v[n.b]; break;
+      case NodeKind::kNot: v[id] = v[n.a] ^ 1u; break;
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(outputs_.size());
+  for (const auto& [name, id] : outputs_) {
+    (void)name;
+    out.push_back(v[id]);
+  }
+  return out;
+}
+
+std::uint64_t Network::eval_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
+                                 unsigned b_bits) const {
+  std::vector<std::uint8_t> in;
+  in.reserve(a_bits + b_bits);
+  for (unsigned i = 0; i < a_bits; ++i) in.push_back(static_cast<std::uint8_t>((a >> i) & 1));
+  for (unsigned i = 0; i < b_bits; ++i) in.push_back(static_cast<std::uint8_t>((b >> i) & 1));
+  const auto out = eval(in);
+  std::uint64_t p = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) p |= std::uint64_t{out[i]} << i;
+  return p;
+}
+
+}  // namespace axmult::synth

@@ -1,0 +1,89 @@
+// Gate-level boolean network with structural hashing and constant folding.
+//
+// This is the "RTL synthesis" front-end of the flow: baseline designs are
+// described as gates (what ASIC-oriented papers publish), then mapped to
+// 6-input LUTs by synth/mapper.hpp. Comparing the mapped results against
+// the hand-structured netlists in multgen/ quantifies exactly the gap the
+// paper builds its case on: generic mapping cannot use dual outputs or
+// carry chains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace axmult::synth {
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t { kConst0, kInput, kAnd, kOr, kXor, kNot };
+
+struct Node {
+  NodeKind kind = NodeKind::kConst0;
+  NodeId a = 0;  ///< first fanin (unused for const/input)
+  NodeId b = 0;  ///< second fanin (unused for kNot)
+};
+
+class Network {
+ public:
+  Network();
+
+  // ---- construction (hashed + folded) -----------------------------------
+  [[nodiscard]] NodeId const0() const noexcept { return 0; }
+  [[nodiscard]] NodeId const1() const noexcept { return 1; }  // = NOT const0
+  NodeId add_input(std::string name);
+  NodeId land(NodeId a, NodeId b);
+  NodeId lor(NodeId a, NodeId b);
+  NodeId lxor(NodeId a, NodeId b);
+  NodeId lnot(NodeId a);
+  void set_output(std::string name, NodeId id);
+
+  // ---- arithmetic helpers -------------------------------------------------
+  struct Sum {
+    NodeId s;
+    NodeId c;
+  };
+  Sum half_adder(NodeId a, NodeId b);
+  Sum full_adder(NodeId a, NodeId b, NodeId c);
+  /// Ripple-carry addition; result has max(|x|,|y|)+1 bits.
+  [[nodiscard]] std::vector<NodeId> ripple_add(const std::vector<NodeId>& x,
+                                               const std::vector<NodeId>& y);
+  /// Gate-level accurate array multiplier (AND partial products + ripple
+  /// rows) — the canonical ASIC-style description.
+  [[nodiscard]] std::vector<NodeId> array_multiplier(const std::vector<NodeId>& a,
+                                                     const std::vector<NodeId>& b);
+
+  // ---- inspection ---------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const std::vector<NodeId>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, NodeId>>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] const std::string& input_name(std::size_t i) const {
+    return input_names_.at(i);
+  }
+  /// Gate count excluding constants and inputs.
+  [[nodiscard]] std::size_t gate_count() const noexcept;
+  /// Logic depth in gate levels.
+  [[nodiscard]] unsigned depth() const;
+
+  // ---- evaluation -----------------------------------------------------------
+  /// Evaluates all outputs for the given input bits (declaration order).
+  [[nodiscard]] std::vector<std::uint8_t> eval(const std::vector<std::uint8_t>& in) const;
+  /// Packs inputs/outputs as LSB-first words (mirrors fabric::Evaluator).
+  [[nodiscard]] std::uint64_t eval_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
+                                        unsigned b_bits) const;
+
+ private:
+  NodeId intern(NodeKind kind, NodeId a, NodeId b);
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::pair<std::string, NodeId>> outputs_;
+  std::unordered_map<std::uint64_t, NodeId> hash_;
+};
+
+}  // namespace axmult::synth

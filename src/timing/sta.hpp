@@ -1,0 +1,56 @@
+// Static timing analysis over fabric netlists.
+//
+// This is the latency half of the Vivado substitution. The delay library
+// is calibrated against Virtex-7 (-2 speed grade) style numbers so that
+// the absolute values land in the same few-nanosecond range the paper
+// reports (Table 4); what the model guarantees structurally is the
+// *composition*: IBUF/OBUF boundary costs, one LUT delay per logic level,
+// a fanout-dependent net delay per routed connection, a fast per-bit MUXCY
+// hop along carry chains, and a penalty for reaching a DSP column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::timing {
+
+struct DelayModel {
+  double ibuf_ns = 0.95;            ///< input buffer + pad
+  double obuf_ns = 1.90;            ///< output buffer + pad
+  double lut_ns = 0.124;            ///< LUT6 logic delay (UG474 ballpark)
+  double net_base_ns = 0.45;        ///< routed net, fanout 1
+  double net_per_fanout_ns = 0.04;  ///< additional delay per extra load
+  double net_max_ns = 1.10;         ///< routing congestion cap
+  double carry_in_ns = 0.25;        ///< S/DI entry into the carry chain
+  double carry_mux_ns = 0.045;      ///< per-bit MUXCY hop
+  double carry_out_ns = 0.22;       ///< O/CO exit back into fabric routing
+  double dsp_ns = 3.35;             ///< combinational pass through DSP48
+  double dsp_route_ns = 1.60;       ///< placement penalty to the DSP column
+  double ff_clk2q_ns = 0.45;        ///< flip-flop clock-to-Q
+  double ff_setup_ns = 0.10;        ///< flip-flop setup requirement
+};
+
+struct PathElement {
+  std::string point;  ///< cell or port name
+  double arrival_ns = 0.0;
+};
+
+struct TimingReport {
+  /// Worst endpoint arrival: primary outputs (incl. OBUF) and flip-flop D
+  /// pins (incl. setup). For a pipelined netlist this is the minimum
+  /// usable clock period.
+  double critical_path_ns = 0.0;
+  std::string critical_output;
+  std::vector<PathElement> path;  ///< driver chain of the critical output
+
+  [[nodiscard]] double fmax_mhz() const noexcept {
+    return critical_path_ns > 0 ? 1000.0 / critical_path_ns : 0.0;
+  }
+};
+
+/// Longest-path analysis. Throws on combinational loops.
+[[nodiscard]] TimingReport analyze(const fabric::Netlist& nl, const DelayModel& model = {});
+
+}  // namespace axmult::timing

@@ -1,0 +1,126 @@
+// Tests for the approximate adder sub-library.
+#include <gtest/gtest.h>
+
+#include "error/metrics.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/adders.hpp"
+#include "multgen/generators.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::mult {
+namespace {
+
+error::ErrorMetrics characterize_adder(const Adder& adder) {
+  return error::characterize_op(
+      [&](std::uint64_t a, std::uint64_t b) { return adder.add(a, b); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      error::exhaustive_source(adder.bits(), adder.bits()));
+}
+
+TEST(Adders, AccurateAdderIsExact) {
+  const auto add = make_accurate_adder(8);
+  const auto r = characterize_adder(*add);
+  EXPECT_EQ(r.occurrences, 0u);
+  EXPECT_EQ(add->add(255, 255), 510u);
+}
+
+TEST(Adders, LoaErrorIsBoundedByLowPart) {
+  for (unsigned l : {1u, 2u, 3u, 4u}) {
+    const auto loa = make_loa(8, l);
+    const auto r = characterize_adder(*loa);
+    EXPECT_LT(r.max_error, std::uint64_t{1} << l) << l;
+    EXPECT_GT(r.occurrences, 0u);
+  }
+  // Error grows monotonically with the OR depth.
+  EXPECT_LT(characterize_adder(*make_loa(8, 2)).avg_error,
+            characterize_adder(*make_loa(8, 4)).avg_error);
+}
+
+TEST(Adders, LoaIsExactWhenOperandsShareNoLowBits) {
+  const auto loa = make_loa(8, 4);
+  // Disjoint low nibbles: OR == ADD, no carries lost.
+  EXPECT_EQ(loa->add(0b10100101, 0b01011010), 0b10100101u + 0b01011010u);
+}
+
+TEST(Adders, TruncatedAdderClosedForm) {
+  const auto t = make_truncated_adder(8, 3);
+  const auto r = characterize_adder(*t);
+  EXPECT_LT(r.max_error, 16u);  // two 3-bit tails < 8 + 8
+  EXPECT_EQ(t->add(7, 7), 0u);  // both 3-bit tails dropped entirely
+}
+
+TEST(Adders, SegmentedAdderErrsOnlyOnSegmentBoundaryCarries) {
+  const auto seg = make_segmented_adder(8, 4);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const bool low_carry = ((a & 0xF) + (b & 0xF)) > 0xF;
+      const std::uint64_t got = seg->add(a, b);
+      if (low_carry) {
+        ASSERT_NE(got, a + b) << a << "+" << b;
+      } else {
+        ASSERT_EQ(got, a + b) << a << "+" << b;
+      }
+    }
+  }
+}
+
+TEST(Adders, XorAdderIsTheCarryFreeLimit) {
+  const auto x = make_xor_adder(8);
+  EXPECT_EQ(x->add(0b1010, 0b0101), 0b1111u);
+  EXPECT_EQ(x->add(0b1111, 0b0001), 0b1110u);
+}
+
+TEST(Adders, RejectBadConfigurations) {
+  EXPECT_THROW(make_loa(8, 9), std::invalid_argument);
+  EXPECT_THROW(make_truncated_adder(8, 9), std::invalid_argument);
+  EXPECT_THROW(make_segmented_adder(8, 0), std::invalid_argument);
+  EXPECT_THROW(make_accurate_adder(0), std::invalid_argument);
+}
+
+// ---- netlist equivalence ---------------------------------------------------
+
+TEST(AdderNetlists, AccurateMatchesExhaustively) {
+  const auto nl = multgen::make_adder_netlist(8);
+  fabric::Evaluator ev(nl);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(ev.eval_word(a, 8, b, 8), a + b);
+    }
+  }
+  EXPECT_EQ(nl.area().luts, 9u);  // one per output bit
+}
+
+TEST(AdderNetlists, LoaMatchesModelExhaustively) {
+  for (unsigned l : {2u, 4u}) {
+    const auto model = make_loa(8, l);
+    const auto nl = multgen::make_loa_netlist(8, l);
+    fabric::Evaluator ev(nl);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(ev.eval_word(a, 8, b, 8), model->add(a, b)) << l;
+      }
+    }
+  }
+}
+
+TEST(AdderNetlists, SegmentedMatchesModelExhaustively) {
+  const auto model = make_segmented_adder(8, 4);
+  const auto nl = multgen::make_segmented_adder_netlist(8, 4);
+  fabric::Evaluator ev(nl);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(ev.eval_word(a, 8, b, 8), model->add(a, b));
+    }
+  }
+}
+
+TEST(AdderNetlists, ApproximationShortensTheCriticalPath) {
+  const double exact = timing::analyze(multgen::make_adder_netlist(16)).critical_path_ns;
+  const double loa = timing::analyze(multgen::make_loa_netlist(16, 8)).critical_path_ns;
+  const double seg = timing::analyze(multgen::make_segmented_adder_netlist(16, 4)).critical_path_ns;
+  EXPECT_LT(loa, exact);
+  EXPECT_LT(seg, exact);
+}
+
+}  // namespace
+}  // namespace axmult::mult

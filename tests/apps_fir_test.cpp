@@ -1,0 +1,142 @@
+// Tests for the FIR application and the Gaussian operand source.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/filters.hpp"
+#include "apps/fir.hpp"
+#include "error/metrics.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::apps {
+namespace {
+
+TEST(Fir, ImpulseResponseIsNormalizedCoefficients) {
+  const std::vector<std::uint8_t> taps = {100, 200, 50};
+  FirFilter fir(taps, mult::make_accurate(8));
+  // A scaled impulse: x = [255, 0, 0, 0, ...].
+  std::vector<std::uint8_t> x(8, 0);
+  x[0] = 255;
+  const auto y = fir.filter(x);
+  const double sum = 350.0;
+  EXPECT_EQ(y[0], static_cast<std::uint8_t>(255.0 * 100 / sum));
+  EXPECT_EQ(y[1], static_cast<std::uint8_t>(255.0 * 200 / sum));
+  EXPECT_EQ(y[2], static_cast<std::uint8_t>(255.0 * 50 / sum));
+  EXPECT_EQ(y[3], 0);
+}
+
+TEST(Fir, ConstantSignalPassesThrough) {
+  FirFilter fir(FirFilter::triangular_taps(9), mult::make_accurate(8));
+  std::vector<std::uint8_t> x(64, 200);
+  const auto y = fir.filter(x);
+  // After the warm-up region the weighted average of a constant is itself
+  // (up to integer division).
+  for (std::size_t i = 16; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], 200, 1) << i;
+  }
+}
+
+TEST(Fir, LowPassReducesNoisePower) {
+  const auto noisy = make_test_signal(2048, 3, 20.0);
+  const auto clean = make_test_signal(2048, 3, 0.0);
+  FirFilter fir(FirFilter::triangular_taps(11), mult::make_accurate(8));
+  const auto filtered = fir.filter(noisy);
+  // Compare against the clean signal in the steady-state region.
+  long double err_raw = 0;
+  long double err_filt = 0;
+  for (std::size_t i = 32; i < clean.size(); ++i) {
+    err_raw += std::pow(static_cast<double>(noisy[i]) - clean[i], 2);
+    err_filt += std::pow(static_cast<double>(filtered[i]) - clean[i - 5], 2);  // group delay
+  }
+  EXPECT_LT(err_filt, err_raw);
+}
+
+TEST(Fir, ApproximateMultipliersDegradeInOrder) {
+  const auto signal = make_test_signal(2048, 9, 10.0);
+  const auto taps = FirFilter::triangular_taps(15);
+  const auto ref = FirFilter(taps, mult::make_accurate(8)).filter(signal);
+  const double snr_ca = snr_db(ref, FirFilter(taps, mult::make_ca(8)).filter(signal));
+  const double snr_cb = snr_db(ref, FirFilter(taps, mult::make_cb(8, 4)).filter(signal));
+  const double snr_cc = snr_db(ref, FirFilter(taps, mult::make_cc(8)).filter(signal));
+  EXPECT_GT(snr_ca, snr_cb);
+  EXPECT_GT(snr_cb, snr_cc);
+  EXPECT_GT(snr_ca, 35.0);
+}
+
+TEST(Fir, SnrOfIdenticalSignalsIsInfinite) {
+  const auto s = make_test_signal(128, 1, 5.0);
+  EXPECT_TRUE(std::isinf(snr_db(s, s)));
+}
+
+TEST(Fir, RejectsBadConfigurations) {
+  EXPECT_THROW(FirFilter({}, mult::make_accurate(8)), std::invalid_argument);
+  EXPECT_THROW(FirFilter({0, 0}, mult::make_accurate(8)), std::invalid_argument);
+  EXPECT_THROW(FirFilter({1}, mult::make_ca(16)), std::invalid_argument);
+  EXPECT_THROW(FirFilter::triangular_taps(0), std::invalid_argument);
+}
+
+TEST(GaussianSource, StatisticsMatchParameters) {
+  auto src = error::gaussian_source(8, 8, 20000, 128.0, 20.0, 7);
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  long double sum = 0;
+  long double sum2 = 0;
+  std::uint64_t n = 0;
+  while (src(a, b)) {
+    sum += static_cast<long double>(a) + static_cast<long double>(b);
+    sum2 += static_cast<long double>(a) * a + static_cast<long double>(b) * b;
+    n += 2;
+    ASSERT_LT(a, 256u);
+    ASSERT_LT(b, 256u);
+  }
+  const double mean = static_cast<double>(sum / n);
+  const double var = static_cast<double>(sum2 / n) - mean * mean;
+  EXPECT_NEAR(mean, 128.0, 1.0);
+  EXPECT_NEAR(std::sqrt(var), 20.0, 1.5);
+}
+
+TEST(GaussianSource, NarrowBandChangesErrorProfile) {
+  // A narrow band around 64 (binary 01000000) avoids most of Cc's error
+  // cases relative to the uniform distribution.
+  const auto cc = mult::make_cc(8);
+  const auto uniform = error::characterize_exhaustive(*cc);
+  const auto narrow =
+      error::characterize(*cc, error::gaussian_source(8, 8, 50000, 64.0, 4.0, 11));
+  EXPECT_NE(uniform.avg_relative_error, narrow.avg_relative_error);
+}
+
+TEST(Filters, GaussianTapsAreSymmetricAndPeaked) {
+  const auto taps = gaussian_taps(9);
+  ASSERT_EQ(taps.size(), 9u);
+  EXPECT_EQ(taps[4], 255);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(taps[i], taps[8 - i]);
+    EXPECT_LT(taps[i], taps[i + 1]);
+  }
+  EXPECT_THROW(gaussian_taps(0), std::invalid_argument);
+}
+
+TEST(Filters, BlurAttenuatesNoise) {
+  // Blurring both the clean and the noisy scene must bring them closer
+  // together than the raw pair (the filter attenuates the independent
+  // noise much more than the shared content).
+  const auto clean = make_test_scene(96, 96, 21, 0.0);
+  const auto noisy = make_test_scene(96, 96, 21, 12.0);
+  const auto taps = gaussian_taps(5);
+  const auto bc = blur_image(clean, taps, mult::make_accurate(8));
+  const auto bn = blur_image(noisy, taps, mult::make_accurate(8));
+  EXPECT_LT(mse(bc, bn), 0.5 * mse(clean, noisy));
+}
+
+TEST(Filters, ApproximateBlurStaysCloseToAccurate) {
+  const auto scene = make_test_scene(96, 96, 23, 6.0);
+  const auto taps = gaussian_taps(5);
+  const auto ref = blur_image(scene, taps, mult::make_accurate(8));
+  const double ca = psnr(ref, blur_image(scene, taps, mult::make_ca(8)));
+  const double cc = psnr(ref, blur_image(scene, taps, mult::make_cc(8)));
+  EXPECT_GT(ca, 32.0);
+  EXPECT_GT(ca, cc);
+}
+
+}  // namespace
+}  // namespace axmult::apps

@@ -1,0 +1,316 @@
+// Tests for the application substrate: images, SUSAN, Reed-Solomon, DCT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "apps/image.hpp"
+#include "apps/jpeg.hpp"
+#include "apps/reed_solomon.hpp"
+#include "apps/susan.hpp"
+#include "common/rng.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/recursive.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::apps {
+namespace {
+
+// ---------------------------------------------------------------- images
+
+TEST(Image, SceneIsDeterministicPerSeed) {
+  const auto a = make_test_scene(64, 64, 3);
+  const auto b = make_test_scene(64, 64, 3);
+  const auto c = make_test_scene(64, 64, 4);
+  EXPECT_EQ(a.pixels(), b.pixels());
+  EXPECT_NE(a.pixels(), c.pixels());
+}
+
+TEST(Image, PsnrProperties) {
+  const auto a = make_test_scene(64, 64, 3, 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+  const auto noisy = make_test_scene(64, 64, 3, 8.0);
+  const auto noisier = make_test_scene(64, 64, 3, 20.0);
+  EXPECT_GT(psnr(a, noisy), psnr(a, noisier));
+  EXPECT_GT(mse(a, noisier), mse(a, noisy));
+}
+
+TEST(Image, ClampedAccessReplicatesEdges) {
+  Image img(4, 4);
+  img.at(0, 0) = 42;
+  img.at(3, 3) = 17;
+  EXPECT_EQ(img.clamped(-5, -5), 42);
+  EXPECT_EQ(img.clamped(9, 9), 17);
+}
+
+TEST(Image, WritesPgm) {
+  const auto img = make_test_scene(16, 16);
+  const std::string path = "/tmp/axmult_test.pgm";
+  img.write_pgm(path);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+  EXPECT_EQ(magic[0], 'P');
+  EXPECT_EQ(magic[1], '5');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- SUSAN
+
+TEST(Susan, AccurateSmoothingReducesNoise) {
+  const auto clean = make_test_scene(96, 96, 5, 0.0);
+  const auto noisy = make_test_scene(96, 96, 5, 10.0);
+  SusanSmoother smoother(mult::make_accurate(8));
+  const auto smoothed = smoother.smooth(noisy);
+  EXPECT_GT(psnr(clean, smoothed), psnr(clean, noisy));
+}
+
+TEST(Susan, Table6QualityOrderings) {
+  // Table 6 shape anchors that must hold on our scenes:
+  //  * swap improves the asymmetric designs (Cas > Ca, Ccs >= Cc),
+  //  * Ca beats Cc beats K,
+  //  * everything approximate is worse than accurate (finite PSNR).
+  const auto img = make_test_scene(96, 96, 7);
+  auto run = [&](mult::MultiplierPtr m, bool swap) {
+    SusanConfig cfg;
+    cfg.swap_operands = swap;
+    return SusanSmoother(std::move(m), cfg).smooth(img);
+  };
+  const auto ref = run(mult::make_accurate(8), false);
+  const double ca = psnr(ref, run(mult::make_ca(8), false));
+  const double cas = psnr(ref, run(mult::make_ca(8), true));
+  const double cc = psnr(ref, run(mult::make_cc(8), false));
+  const double ccs = psnr(ref, run(mult::make_cc(8), true));
+  const double k = psnr(ref, run(mult::make_kulkarni(8), false));
+  EXPECT_GT(cas, ca);
+  EXPECT_GE(ccs, cc - 0.1);
+  EXPECT_GT(ca, cc);
+  EXPECT_GT(cc, k);
+  EXPECT_GT(ca, 30.0);  // "insignificant output quality loss"
+  EXPECT_TRUE(std::isfinite(ca));
+}
+
+TEST(Susan, TraceRecordsEveryMultiplication) {
+  const auto img = make_test_scene(32, 32, 9);
+  SusanSmoother smoother(mult::make_accurate(8));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trace;
+  const auto out = smoother.smooth_traced(img, trace);
+  (void)out;
+  EXPECT_FALSE(trace.empty());
+  // Every recorded operand must be 8-bit.
+  for (const auto& [a, b] : trace) {
+    EXPECT_LT(a, 256u);
+    EXPECT_LT(b, 256u);
+  }
+  // Fig. 12: the weight operand concentrates in a narrow high band on
+  // smooth regions — the mode of the weight histogram is near 255.
+  std::array<std::uint64_t, 256> hist{};
+  for (const auto& [w, p] : trace) {
+    (void)p;
+    ++hist[w];
+  }
+  const auto mode = std::max_element(hist.begin(), hist.end()) - hist.begin();
+  EXPECT_GT(mode, 200);
+}
+
+TEST(Susan, SwapActuallySwapsOperands) {
+  const auto img = make_test_scene(16, 16, 9);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> t1;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> t2;
+  SusanConfig swap_cfg;
+  swap_cfg.swap_operands = true;
+  (void)SusanSmoother(mult::make_accurate(8)).smooth_traced(img, t1);
+  (void)SusanSmoother(mult::make_accurate(8), swap_cfg).smooth_traced(img, t2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].first, t2[i].second);
+    EXPECT_EQ(t1[i].second, t2[i].first);
+  }
+}
+
+TEST(Susan, RejectsWrongWidthMultiplier) {
+  EXPECT_THROW(SusanSmoother(mult::make_ca(16)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- Reed-Solomon
+
+TEST(GF256Test, FieldAxioms) {
+  GF256 gf;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto b = static_cast<std::uint8_t>(rng() & 0xFF);
+    const auto c = static_cast<std::uint8_t>(rng() & 0xFF);
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
+    EXPECT_EQ(gf.mul(a, 1), a);
+    EXPECT_EQ(gf.mul(a, 0), 0);
+    // Distributivity over XOR.
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+    if (a != 0) {
+      EXPECT_EQ(gf.mul(a, gf.inverse(a)), 1);
+    }
+  }
+}
+
+TEST(ReedSolomon, EncodedCodewordsHaveZeroSyndromes) {
+  RsEncoder rs(255, 239);
+  Xoshiro256 rng(11);
+  std::vector<std::uint8_t> msg(239);
+  for (auto& m : msg) m = static_cast<std::uint8_t>(rng() & 0xFF);
+  const auto cw = rs.encode(msg);
+  ASSERT_EQ(cw.size(), 255u);
+  for (std::uint8_t s : rs.syndromes(cw)) EXPECT_EQ(s, 0);
+}
+
+TEST(ReedSolomon, CorruptionBreaksSyndromes) {
+  RsEncoder rs(255, 239);
+  std::vector<std::uint8_t> msg(239, 0x5A);
+  auto cw = rs.encode(msg);
+  cw[100] ^= 0x01;
+  const auto syn = rs.syndromes(cw);
+  EXPECT_TRUE(std::any_of(syn.begin(), syn.end(), [](std::uint8_t s) { return s != 0; }));
+}
+
+TEST(ReedSolomon, SystematicPrefixIsTheMessage) {
+  RsEncoder rs(64, 48);
+  std::vector<std::uint8_t> msg(48);
+  std::iota(msg.begin(), msg.end(), 1);
+  const auto cw = rs.encode(msg);
+  for (unsigned i = 0; i < 48; ++i) EXPECT_EQ(cw[i], msg[i]);
+}
+
+TEST(ReedSolomon, LutDatapathMatchesSoftwareLfsrStep) {
+  // One combinational step: feed symbol + register state, compare every
+  // next-state bit against the software shift.
+  RsEncoder rs(255, 239);
+  const auto nl = rs.datapath_netlist(/*use_dsp=*/false);
+  fabric::Evaluator ev(nl);
+  GF256 gf;
+  const auto& g = rs.generator();
+  const unsigned t = 16;
+
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = static_cast<std::uint8_t>(rng() & 0xFF);
+    std::vector<std::uint8_t> rem(t);
+    for (auto& r : rem) r = static_cast<std::uint8_t>(rng() & 0xFF);
+
+    // Software step.
+    const std::uint8_t fb = static_cast<std::uint8_t>(m ^ rem[t - 1]);
+    std::vector<std::uint8_t> next(t);
+    next[0] = gf.mul(fb, g[0]);
+    for (unsigned i = 1; i < t; ++i) {
+      next[i] = static_cast<std::uint8_t>(rem[i - 1] ^ gf.mul(fb, g[i]));
+    }
+
+    // Netlist step: inputs are m bits then rem bits in declaration order.
+    std::vector<std::uint8_t> in;
+    for (unsigned b = 0; b < 8; ++b) in.push_back((m >> b) & 1);
+    for (unsigned i = 0; i < t; ++i) {
+      for (unsigned b = 0; b < 8; ++b) in.push_back((rem[i] >> b) & 1);
+    }
+    const auto out = ev.eval(in);
+    ASSERT_EQ(out.size(), t * 8);
+    for (unsigned i = 0; i < t; ++i) {
+      std::uint8_t v = 0;
+      for (unsigned b = 0; b < 8; ++b) v |= static_cast<std::uint8_t>(out[i * 8 + b] << b);
+      ASSERT_EQ(v, next[i]) << "stage " << i;
+    }
+  }
+}
+
+TEST(ReedSolomon, DspVariantIsSlowerAndUsesDsps) {
+  // Table 1 shape: the DSP-mapped RS encoder has a *longer* critical path
+  // than the LUT version and claims one DSP per parity stage.
+  RsEncoder rs(255, 239);
+  const auto lut = rs.datapath_netlist(false);
+  const auto dsp = rs.datapath_netlist(true);
+  EXPECT_EQ(lut.area().dsp, 0u);
+  EXPECT_EQ(dsp.area().dsp, 16u);
+  EXPECT_GT(lut.area().luts, dsp.area().luts);
+  EXPECT_GT(timing::analyze(dsp).critical_path_ns, timing::analyze(lut).critical_path_ns);
+}
+
+// ------------------------------------------------------------------- DCT
+
+TEST(Dct, AccurateRoundTripIsNearLossless) {
+  Dct8x8 dct(mult::make_accurate(8));
+  Xoshiro256 rng(17);
+  Block8x8 block{};
+  for (auto& row : block) {
+    for (auto& v : row) v = static_cast<int>(rng() & 0xFF);
+  }
+  const auto rec = dct.inverse(dct.forward(block));
+  double err = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) err += std::abs(rec[y][x] - block[y][x]);
+  }
+  EXPECT_LT(err / 64.0, 3.0);  // fixed-point rounding only
+}
+
+TEST(Dct, DcCoefficientOfFlatBlock) {
+  Dct8x8 dct(mult::make_accurate(8));
+  Block8x8 flat{};
+  for (auto& row : flat) row.fill(200);
+  const auto f = dct.forward(flat);
+  // Orthonormal 2-D DC: (1/8) * 64 * (200-128) = 576, plus fixed-point
+  // rounding of the 7-bit coefficients.
+  EXPECT_NEAR(f[0][0], 576, 40);
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      if (u || v) {
+        EXPECT_LT(std::abs(f[v][u]), 4) << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(Dct, ApproximateMultiplierDegradesGracefully) {
+  Dct8x8 exact(mult::make_accurate(8));
+  Dct8x8 approx(mult::make_ca(8));
+  Xoshiro256 rng(19);
+  double total_err = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Block8x8 block{};
+    for (auto& row : block) {
+      for (auto& v : row) v = static_cast<int>(rng() & 0xFF);
+    }
+    const auto re = exact.inverse(exact.forward(block));
+    const auto ra = approx.inverse(approx.forward(block));
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) total_err += std::abs(re[y][x] - ra[y][x]);
+    }
+  }
+  EXPECT_LT(total_err / (10 * 64), 6.0);  // Ca stays close to exact
+}
+
+TEST(Dct, QuantizeRoundTrip) {
+  Block8x8 f{};
+  f[0][0] = 200;
+  f[3][4] = -77;
+  const auto q = Dct8x8::quantize(f);
+  const auto d = Dct8x8::dequantize(q);
+  EXPECT_NEAR(d[0][0], 200, 16);
+  EXPECT_NEAR(d[3][4], -77, 51);
+  EXPECT_EQ(q[7][7], 0);
+}
+
+TEST(DctDatapath, Table1ResourceShape) {
+  // Table 1 shape for the JPEG encoder: the DSP build claims hundreds of
+  // DSPs and few LUTs; the LUT build claims ~5x the LUTs and no DSPs, and
+  // is slower than the DSP build.
+  const auto dsp = dct_stage_netlist(true, 2);
+  const auto lut = dct_stage_netlist(false, 2);
+  EXPECT_GT(dsp.area().dsp, 100u);
+  EXPECT_EQ(lut.area().dsp, 0u);
+  // The adder trees stay in LUTs either way; only the multipliers move.
+  EXPECT_GT(lut.area().luts, 3 * dsp.area().luts);
+  EXPECT_GT(timing::analyze(lut).critical_path_ns, timing::analyze(dsp).critical_path_ns);
+}
+
+}  // namespace
+}  // namespace axmult::apps

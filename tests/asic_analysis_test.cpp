@@ -1,0 +1,179 @@
+// Tests for the ASIC cost model (Fig. 1) and the analysis layer
+// (catalog + Pareto).
+#include <gtest/gtest.h>
+
+#include "analysis/catalog.hpp"
+#include "analysis/pareto.hpp"
+#include "asic/model.hpp"
+#include "asic/qm.hpp"
+#include "multgen/generators.hpp"
+#include "common/rng.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult {
+namespace {
+
+// ------------------------------------------------------------------ QM
+
+TEST(QuineMcCluskey, MinimizesKnownFunctions) {
+  // f = a (minterms where bit0 set, 2 vars) -> single implicant "a".
+  const auto cover_a = asic::minimize({1, 3}, 2);
+  ASSERT_EQ(cover_a.size(), 1u);
+  EXPECT_EQ(cover_a[0].mask, 1u);
+  EXPECT_EQ(cover_a[0].bits & 1u, 1u);
+
+  // XOR needs two implicants, each with both literals.
+  const auto cover_xor = asic::minimize({1, 2}, 2);
+  ASSERT_EQ(cover_xor.size(), 2u);
+  for (const auto& t : cover_xor) EXPECT_EQ(t.literal_count(), 2u);
+
+  // Constant 1 over 2 vars -> one empty-mask implicant.
+  const auto cover_one = asic::minimize({0, 1, 2, 3}, 2);
+  ASSERT_EQ(cover_one.size(), 1u);
+  EXPECT_EQ(cover_one[0].mask, 0u);
+
+  // Constant 0 -> empty cover.
+  EXPECT_TRUE(asic::minimize({}, 2).empty());
+}
+
+TEST(QuineMcCluskey, CoverIsFunctionallyCorrect) {
+  // Property: for random 4-input functions, the cover evaluates exactly
+  // to the original truth table.
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint16_t truth = static_cast<std::uint16_t>(rng() & 0xFFFF);
+    std::vector<std::uint32_t> on;
+    for (std::uint32_t m = 0; m < 16; ++m) {
+      if ((truth >> m) & 1) on.push_back(m);
+    }
+    const auto cover = asic::minimize(on, 4);
+    for (std::uint32_t m = 0; m < 16; ++m) {
+      const bool expected = ((truth >> m) & 1) != 0;
+      const bool got = std::any_of(cover.begin(), cover.end(),
+                                   [&](const asic::Implicant& t) { return t.covers(m); });
+      ASSERT_EQ(got, expected) << "truth=" << truth << " m=" << m;
+    }
+  }
+}
+
+TEST(QuineMcCluskey, MajorityCost) {
+  // maj(a,b,c) = ab + ac + bc: 3 implicants x 2 literals.
+  const auto cover = asic::minimize({3, 5, 6, 7}, 3);
+  EXPECT_EQ(cover.size(), 3u);
+  const auto cost = asic::sop_cost(cover, 3);
+  EXPECT_GT(cost.area, 0.0);
+  EXPECT_GE(cost.depth, 2u);
+}
+
+// ------------------------------------------------------------ ASIC model
+
+TEST(AsicModel, ApproximateBlocksSaveAsicArea) {
+  // Fig. 1 premise: on ASIC, K and W do provide area gains over accurate.
+  const auto acc = asic::estimate(8, mult::Elementary::kAccurate2x2, mult::Summation::kAccurate);
+  const auto k = asic::estimate(8, mult::Elementary::kKulkarni2x2, mult::Summation::kAccurate);
+  EXPECT_GT(asic::gain_percent(acc.area_nand2, k.area_nand2), 5.0);
+  EXPECT_GT(asic::gain_percent(acc.edp(), k.edp()), 0.0);
+  // Note: the W stand-in does NOT save ASIC area under two-level costing —
+  // the published W gains come from its (unpublished) compressor
+  // structure; bench_fig1 reports our measured value next to the paper's
+  // claim (see EXPERIMENTS.md).
+}
+
+TEST(AsicModel, Figure1GainsShrinkOnFpga) {
+  // Fig. 1 message: the ASIC area gains of K/W do not translate to the
+  // FPGA — the FPGA-side gain is smaller (in fact negative here).
+  const auto acc_asic =
+      asic::estimate(8, mult::Elementary::kAccurate2x2, mult::Summation::kAccurate);
+  const auto k_asic =
+      asic::estimate(8, mult::Elementary::kKulkarni2x2, mult::Summation::kAccurate);
+  const double k_asic_gain = asic::gain_percent(acc_asic.area_nand2, k_asic.area_nand2);
+
+  const double ip_luts =
+      static_cast<double>(multgen::make_vivado_speed_netlist(8).area().luts);
+  const double k_luts = static_cast<double>(multgen::make_kulkarni_netlist(8).area().luts);
+  const double k_fpga_gain = asic::gain_percent(ip_luts, k_luts);
+
+  EXPECT_GT(k_asic_gain, k_fpga_gain);
+  EXPECT_LT(k_fpga_gain, 5.0);  // little or no FPGA gain for the ASIC design
+}
+
+TEST(AsicModel, CarryFreeSummationIsCheaper) {
+  const auto acc = asic::estimate(8, mult::Elementary::kApprox4x4, mult::Summation::kAccurate);
+  const auto cf = asic::estimate(8, mult::Elementary::kApprox4x4, mult::Summation::kCarryFree);
+  EXPECT_LT(cf.area_nand2, acc.area_nand2);
+  EXPECT_LT(cf.delay_ps, acc.delay_ps);
+}
+
+// --------------------------------------------------------------- Pareto
+
+TEST(Pareto, MarksNonDominatedPoints) {
+  std::vector<analysis::ParetoPoint> pts = {
+      {"a", 1.0, 5.0, false}, {"b", 2.0, 2.0, false}, {"c", 5.0, 1.0, false},
+      {"d", 3.0, 3.0, false},  // dominated by b
+      {"e", 2.0, 2.0, false},  // tie with b: both stay non-dominated
+  };
+  analysis::mark_pareto_front(pts);
+  EXPECT_TRUE(pts[0].pareto);
+  EXPECT_TRUE(pts[1].pareto);
+  EXPECT_TRUE(pts[2].pareto);
+  EXPECT_FALSE(pts[3].pareto);
+  EXPECT_TRUE(pts[4].pareto);
+
+  const auto front = analysis::pareto_front(pts);
+  EXPECT_EQ(front.size(), 4u);
+  EXPECT_EQ(front.front().name, "a");
+}
+
+TEST(Pareto, SinglePointIsAlwaysPareto) {
+  std::vector<analysis::ParetoPoint> pts = {{"only", 9.0, 9.0, false}};
+  analysis::mark_pareto_front(pts);
+  EXPECT_TRUE(pts[0].pareto);
+}
+
+// --------------------------------------------------------------- catalog
+
+TEST(Catalog, PaperDesignsArePresentAndConsistent) {
+  const auto designs = analysis::paper_designs(8);
+  EXPECT_EQ(designs.size(), 7u);
+  for (const auto& d : designs) {
+    ASSERT_TRUE(d.model) << d.name;
+    ASSERT_TRUE(d.has_netlist()) << d.name;
+    EXPECT_EQ(d.model->a_bits(), 8u) << d.name;
+  }
+  EXPECT_EQ(analysis::find_design(designs, "Ca_8").category, "proposed");
+  EXPECT_THROW((void)analysis::find_design(designs, "nope"), std::out_of_range);
+}
+
+TEST(Catalog, FamilyNetlistsMatchTheirModels) {
+  // Property: every design-space point's netlist agrees with its
+  // behavioral model (sampled).
+  Xoshiro256 rng(29);
+  for (const auto& d : analysis::evo_family_8x8()) {
+    ASSERT_TRUE(d.has_netlist()) << d.name;
+    const auto nl = d.netlist();
+    fabric::Evaluator ev(nl);
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t a = rng() & 0xFF;
+      const std::uint64_t b = rng() & 0xFF;
+      ASSERT_EQ(ev.eval_word(a, 8, b, 8), d.model->multiply(a, b))
+          << d.name << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Catalog, FamilySpansAreaAndAccuracy) {
+  // The cloud must actually spread: some member below 40 LUTs, some above
+  // 80, some with tiny error, some with large error.
+  std::uint64_t min_luts = ~0ull;
+  std::uint64_t max_luts = 0;
+  for (const auto& d : analysis::evo_family_8x8()) {
+    const auto luts = d.netlist().area().luts;
+    min_luts = std::min(min_luts, luts);
+    max_luts = std::max(max_luts, luts);
+  }
+  EXPECT_LT(min_luts, 45u);
+  EXPECT_GT(max_luts, 80u);
+}
+
+}  // namespace
+}  // namespace axmult

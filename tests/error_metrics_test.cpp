@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "error/metrics.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::error {
+namespace {
+
+TEST(PairSources, ExhaustiveCoversWholeSpace) {
+  auto src = exhaustive_source(3, 2);
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  unsigned count = 0;
+  std::uint64_t seen = 0;
+  while (src(a, b)) {
+    ++count;
+    seen |= std::uint64_t{1} << (a + 8 * b);
+  }
+  EXPECT_EQ(count, 32u);
+  EXPECT_EQ(seen, (std::uint64_t{1} << 32) - 1);
+}
+
+TEST(PairSources, UniformIsDeterministicAndBounded) {
+  auto src1 = uniform_source(8, 8, 100, 42);
+  auto src2 = uniform_source(8, 8, 100, 42);
+  std::uint64_t a1 = 0;
+  std::uint64_t b1 = 0;
+  std::uint64_t a2 = 0;
+  std::uint64_t b2 = 0;
+  unsigned n = 0;
+  while (src1(a1, b1)) {
+    ASSERT_TRUE(src2(a2, b2));
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(b1, b2);
+    EXPECT_LT(a1, 256u);
+    EXPECT_LT(b1, 256u);
+    ++n;
+  }
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(PairSources, TraceReplaysExactly) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> trace = {{1, 2}, {3, 4}, {250, 17}};
+  auto src = trace_source(trace);
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  for (const auto& [ea, eb] : trace) {
+    ASSERT_TRUE(src(a, b));
+    EXPECT_EQ(a, ea);
+    EXPECT_EQ(b, eb);
+  }
+  EXPECT_FALSE(src(a, b));
+}
+
+TEST(Characterize, AccurateMultiplierHasZeroError) {
+  const auto m = mult::make_accurate(8);
+  const auto r = characterize_exhaustive(*m);
+  EXPECT_EQ(r.samples, 65536u);
+  EXPECT_EQ(r.max_error, 0u);
+  EXPECT_EQ(r.occurrences, 0u);
+  EXPECT_EQ(r.avg_error, 0.0);
+  EXPECT_EQ(r.error_probability(), 0.0);
+}
+
+TEST(Characterize, SignedMeanIsNegativeForOneSidedDesigns) {
+  const auto r = characterize_exhaustive(*mult::make_ca(8));
+  EXPECT_LT(r.mean_signed_error, 0.0);
+  EXPECT_NEAR(-r.mean_signed_error, r.avg_error, 1e-9);
+}
+
+TEST(BitErrorProbability, Approx4x4ConfinedToBit3) {
+  // The proposed 4x4 multiplier's errors are confined to product bit P3.
+  const auto m = std::make_shared<mult::RecursiveMultiplier>(
+      4, mult::Elementary::kApprox4x4, mult::Summation::kAccurate);
+  const auto p = bit_error_probability(*m, exhaustive_source(4, 4));
+  ASSERT_EQ(p.size(), 8u);
+  for (unsigned i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_NEAR(p[i], 6.0 / 256.0, 1e-12);
+    } else {
+      EXPECT_EQ(p[i], 0.0) << "bit " << i;
+    }
+  }
+}
+
+TEST(ErrorPmf, Approx4x4HasSingleErrorValue) {
+  const auto m = std::make_shared<mult::RecursiveMultiplier>(
+      4, mult::Elementary::kApprox4x4, mult::Summation::kAccurate);
+  const auto pmf = error_pmf(*m, exhaustive_source(4, 4));
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_EQ(pmf.at(8), 6u);
+}
+
+TEST(CollectErrorCases, RegeneratesTable2Rows) {
+  const auto m = std::make_shared<mult::RecursiveMultiplier>(
+      4, mult::Elementary::kApprox4x4, mult::Summation::kAccurate);
+  const auto cases = collect_error_cases(*m, exhaustive_source(4, 4));
+  ASSERT_EQ(cases.size(), 6u);
+  for (const auto& c : cases) {
+    EXPECT_EQ(c.exact - c.approx, 8u);
+    EXPECT_EQ(c.exact, c.a * c.b);
+  }
+}
+
+}  // namespace
+}  // namespace axmult::error

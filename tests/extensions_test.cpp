@@ -1,0 +1,247 @@
+// Tests for the extension features: Cb hybrid summation (paper Sec. 4.1's
+// suggestion), the Section-5 error-correction circuitry, and HDL export.
+#include <gtest/gtest.h>
+
+#include "analysis/catalog.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "error/metrics.hpp"
+#include "mult/elementary.hpp"
+#include "fabric/hdl_export.hpp"
+#include "mult/correctable.hpp"
+#include "mult/signed_wrapper.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult {
+namespace {
+
+// --------------------------------------------------------------- Cb(L)
+
+TEST(CbHybrid, NetlistMatchesModelExhaustively) {
+  for (unsigned L : {2u, 4u, 6u}) {
+    const auto model = mult::make_cb(8, L);
+    const auto nl = multgen::make_cb_netlist(8, L);
+    fabric::Evaluator ev(nl);
+    for (std::uint64_t a = 0; a < 256; ++a) {
+      for (std::uint64_t b = 0; b < 256; ++b) {
+        ASSERT_EQ(ev.eval_word(a, 8, b, 8), model->multiply(a, b))
+            << "L=" << L << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CbHybrid, DegenerateConfigsMatchCa) {
+  // L = 0 means every middle column is summed accurately -> identical to Ca.
+  const auto cb0 = mult::make_cb(8, 0);
+  const auto ca = mult::make_ca(8);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(cb0->multiply(a, b), ca->multiply(a, b));
+    }
+  }
+}
+
+TEST(CbHybrid, InterpolatesBetweenCaAndCc) {
+  // Paper Sec 4.1: "sophisticated approximate addition" should yield
+  // designs with higher accuracy than Cc at lower cost than Ca. Error
+  // must increase monotonically with L, staying between Ca's and Cc's.
+  const double ca_err = error::characterize_exhaustive(*mult::make_ca(8)).avg_relative_error;
+  const double cc_err = error::characterize_exhaustive(*mult::make_cc(8)).avg_relative_error;
+  double prev = ca_err;
+  for (unsigned L : {2u, 4u, 6u, 8u}) {
+    const double err = error::characterize_exhaustive(*mult::make_cb(8, L)).avg_relative_error;
+    EXPECT_GE(err, prev - 1e-12) << "L=" << L;
+    EXPECT_GE(err, ca_err);
+    prev = err;
+  }
+  EXPECT_LT(error::characterize_exhaustive(*mult::make_cb(8, 4)).avg_relative_error, cc_err);
+}
+
+TEST(CbHybrid, LatencyBetweenCcAndCa) {
+  const double t_ca = timing::analyze(multgen::make_ca_netlist(8)).critical_path_ns;
+  const double t_cc = timing::analyze(multgen::make_cc_netlist(8)).critical_path_ns;
+  const double t_cb = timing::analyze(multgen::make_cb_netlist(8, 4)).critical_path_ns;
+  EXPECT_LT(t_cb, t_ca);
+  EXPECT_GT(t_cb, t_cc - 0.5);
+}
+
+// ------------------------------------------------------ error correction
+
+TEST(Correction, EnabledElementaryIsExact) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(mult::approx_4x4_correctable(a, b, true), a * b);
+      EXPECT_EQ(mult::approx_4x4_correctable(a, b, false), mult::approx_4x4(a, b));
+    }
+  }
+}
+
+TEST(Correction, CorrectableCaTogglesBetweenApproxAndExact) {
+  mult::CorrectableMultiplier m(8, mult::Summation::kAccurate);
+  const auto ca = mult::make_ca(8);
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t b = 0; b < 256; b += 5) {
+      m.set_correction(false);
+      ASSERT_EQ(m.multiply(a, b), ca->multiply(a, b));
+      m.set_correction(true);
+      ASSERT_EQ(m.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(Correction, NetlistHonoursEnablePin) {
+  const auto nl = multgen::make_correctable_netlist(8, mult::Summation::kAccurate);
+  fabric::Evaluator ev(nl);
+  const auto ca = mult::make_ca(8);
+  auto run = [&](std::uint64_t a, std::uint64_t b, std::uint8_t en) {
+    std::vector<std::uint8_t> in;
+    for (unsigned i = 0; i < 8; ++i) in.push_back(static_cast<std::uint8_t>(bit(a, i)));
+    for (unsigned i = 0; i < 8; ++i) in.push_back(static_cast<std::uint8_t>(bit(b, i)));
+    in.push_back(en);
+    const auto out = ev.eval(in);
+    std::uint64_t p = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) p |= std::uint64_t{out[i]} << i;
+    return p;
+  };
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng() & 0xFF;
+    const std::uint64_t b = rng() & 0xFF;
+    ASSERT_EQ(run(a, b, 0), ca->multiply(a, b)) << a << "*" << b;
+    ASSERT_EQ(run(a, b, 1), a * b) << a << "*" << b;
+  }
+  // Also hit all six elementary error cases in the LL quadrant directly.
+  for (const auto& [a, b] : {std::pair<std::uint64_t, std::uint64_t>{5, 15},
+                             {15, 5},
+                             {7, 6},
+                             {15, 6},
+                             {15, 7},
+                             {13, 13}}) {
+    ASSERT_EQ(run(a, b, 1), a * b);
+  }
+}
+
+TEST(Correction, CostsTwoLutsPerElementaryModule) {
+  const auto plain = multgen::make_ca_netlist(8).area().luts;
+  const auto corr = multgen::make_correctable_netlist(8, mult::Summation::kAccurate).area().luts;
+  EXPECT_EQ(corr, plain + 4 * 2);  // four 4x4 modules, +2 LUTs each
+}
+
+// -------------------------------------------------------------- HDL export
+
+TEST(HdlExport, VhdlContainsEveryPrimitive) {
+  const auto nl = multgen::make_ca_netlist(4);
+  const auto vhdl = fabric::to_vhdl(nl, "approx4x4");
+  EXPECT_NE(vhdl.find("entity approx4x4 is"), std::string::npos);
+  EXPECT_NE(vhdl.find("architecture structural of approx4x4"), std::string::npos);
+  std::size_t luts = 0;
+  for (std::size_t pos = 0; (pos = vhdl.find(": LUT6_2", pos)) != std::string::npos; ++pos) {
+    ++luts;
+  }
+  EXPECT_EQ(luts, nl.area().luts);
+  std::size_t carries = 0;
+  for (std::size_t pos = 0; (pos = vhdl.find(": CARRY4", pos)) != std::string::npos; ++pos) {
+    ++carries;
+  }
+  EXPECT_EQ(carries, nl.area().carry4);
+  // Table 3 INIT values appear verbatim.
+  EXPECT_NE(vhdl.find("X\"B4CCF00066AACC00\""), std::string::npos);
+  EXPECT_NE(vhdl.find("X\"007F7F80FF808000\""), std::string::npos);
+}
+
+TEST(HdlExport, VerilogContainsEveryPrimitive) {
+  const auto nl = multgen::make_ca_netlist(8);
+  const auto v = fabric::to_verilog(nl, "ca8");
+  EXPECT_NE(v.find("module ca8"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  std::size_t luts = 0;
+  for (std::size_t pos = 0; (pos = v.find("LUT6_2 #", pos)) != std::string::npos; ++pos) ++luts;
+  EXPECT_EQ(luts, nl.area().luts);
+}
+
+TEST(HdlExport, DeterministicOutput) {
+  const auto a = fabric::to_vhdl(multgen::make_cc_netlist(8), "cc8");
+  const auto b = fabric::to_vhdl(multgen::make_cc_netlist(8), "cc8");
+  EXPECT_EQ(a, b);
+}
+
+TEST(HdlExport, RejectsDspModelCells) {
+  fabric::Netlist nl;
+  std::vector<fabric::NetId> a{nl.add_input("a0")};
+  std::vector<fabric::NetId> b{nl.add_input("b0")};
+  const auto p = nl.add_dsp("d", a, b, 2);
+  nl.add_output("p0", p[0]);
+  EXPECT_THROW((void)fabric::to_vhdl(nl, "x"), std::invalid_argument);
+  EXPECT_THROW((void)fabric::to_verilog(nl, "x"), std::invalid_argument);
+}
+
+TEST(HdlExport, IdentifierSanitization) {
+  EXPECT_EQ(fabric::hdl_identifier("u.ll.LUT0.O6"), "u_ll_LUT0_O6");
+  EXPECT_EQ(fabric::hdl_identifier("0abc"), "n0abc");
+  EXPECT_EQ(fabric::hdl_identifier("_x"), "x");
+}
+
+TEST(HdlExport, EveryCombinationalCatalogDesignExports) {
+  // Smoke property: both emitters succeed on every netlist in the library
+  // and the primitive counts always match the area report.
+  std::vector<analysis::DesignPoint> designs = analysis::paper_designs(8);
+  for (auto& d : analysis::evo_family_8x8()) designs.push_back(std::move(d));
+  for (const auto& d : designs) {
+    const auto nl = d.netlist();
+    if (nl.area().dsp > 0) continue;
+    const auto v = fabric::to_verilog(nl, "m");
+    std::size_t luts = 0;
+    for (std::size_t pos = 0; (pos = v.find("LUT6_2 #", pos)) != std::string::npos; ++pos) {
+      ++luts;
+    }
+    ASSERT_EQ(luts, nl.area().luts) << d.name;
+    ASSERT_FALSE(fabric::to_vhdl(nl, "m").empty()) << d.name;
+  }
+}
+
+TEST(Metrics, NmedAndWceNormalization) {
+  const auto r = error::characterize_exhaustive(*mult::make_kulkarni(8));
+  // K 8x8: avg 903.125, max 14450, max product 255^2 = 65025.
+  EXPECT_NEAR(r.nmed(8, 8), 903.125 / 65025.0, 1e-9);
+  EXPECT_NEAR(r.wce_normalized(8, 8), 14450.0 / 65025.0, 1e-9);
+}
+
+// ------------------------------------------------------------- signed
+
+TEST(SignedWrapper, ExactCoreGivesExactSignedProducts) {
+  const mult::SignedMultiplier sm(mult::make_accurate(8));
+  for (std::int64_t a = -255; a <= 255; a += 17) {
+    for (std::int64_t b = -255; b <= 255; b += 13) {
+      ASSERT_EQ(sm.multiply(a, b), a * b);
+    }
+  }
+}
+
+TEST(SignedWrapper, ApproximateCoreShrinksTowardZero) {
+  // Ca under-approximates magnitudes, so the signed product never
+  // overshoots: |approx| <= |exact| and the sign is always right.
+  const mult::SignedMultiplier sm(mult::make_ca(8));
+  for (std::int64_t a = -255; a <= 255; a += 7) {
+    for (std::int64_t b = -255; b <= 255; b += 11) {
+      const std::int64_t exact = a * b;
+      const std::int64_t approx = sm.multiply(a, b);
+      ASSERT_LE(std::llabs(approx), std::llabs(exact));
+      if (approx != 0) {
+        ASSERT_EQ(approx < 0, exact < 0);
+      }
+    }
+  }
+}
+
+TEST(SignedWrapper, RejectsOutOfRangeMagnitudes) {
+  const mult::SignedMultiplier sm(mult::make_accurate(8));
+  EXPECT_THROW((void)sm.multiply(256, 1), std::out_of_range);
+  EXPECT_THROW((void)sm.multiply(1, -256), std::out_of_range);
+  EXPECT_EQ(sm.multiply(-255, -255), 255 * 255);
+}
+
+}  // namespace
+}  // namespace axmult

@@ -1,0 +1,145 @@
+// Unit tests for the fabric substrate: LUT6_2 semantics, CARRY4 semantics,
+// netlist construction, topological evaluation, area reporting.
+#include <gtest/gtest.h>
+
+#include "fabric/lut6.hpp"
+#include "fabric/netlist.hpp"
+
+namespace axmult::fabric {
+namespace {
+
+TEST(Lut6Semantics, O6UsesAll64BitsO5IgnoresI5) {
+  // INIT chosen so upper and lower halves differ.
+  const std::uint64_t init = 0xFFFF00000000FFFFull;
+  for (unsigned idx = 0; idx < 64; ++idx) {
+    EXPECT_EQ(lut_o6(init, idx), ((init >> idx) & 1) != 0);
+    EXPECT_EQ(lut_o5(init, idx), ((init >> (idx & 31)) & 1) != 0);
+  }
+}
+
+TEST(Lut6Semantics, InitFromO6RoundTrips) {
+  // XOR of all six pins.
+  const auto init = init_from_o6([](const std::array<unsigned, 6>& in) {
+    unsigned x = 0;
+    for (unsigned v : in) x ^= v;
+    return x != 0;
+  });
+  for (unsigned idx = 0; idx < 64; ++idx) {
+    const bool expected = (axmult::popcount(idx) % 2) != 0;
+    EXPECT_EQ(lut_o6(init, idx), expected);
+  }
+}
+
+TEST(Lut6Semantics, DualOutputInitPlacesO5LowO6High) {
+  // O5 = i0 & i1, O6 = i0 | i1 as 5-input functions with I5 tied high.
+  const auto init = init_from_o5_o6(
+      [](const std::array<unsigned, 5>& in) { return (in[0] & in[1]) != 0; },
+      [](const std::array<unsigned, 5>& in) { return (in[0] | in[1]) != 0; });
+  for (unsigned idx5 = 0; idx5 < 32; ++idx5) {
+    const unsigned i0 = idx5 & 1;
+    const unsigned i1 = (idx5 >> 1) & 1;
+    EXPECT_EQ(lut_o5(init, 32 + idx5), (i0 & i1) != 0);
+    EXPECT_EQ(lut_o6(init, 32 + idx5), (i0 | i1) != 0);
+  }
+}
+
+TEST(Netlist, LutEvaluation) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  // AND of two pins, others tied low.
+  const auto init = init_from_o6([](const std::array<unsigned, 6>& in) {
+    return (in[0] & in[1]) != 0;
+  });
+  const auto out = nl.add_lut6("and2", init, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  nl.add_output("y", out.o6);
+
+  Evaluator ev(nl);
+  EXPECT_EQ(ev.eval({0, 0})[0], 0);
+  EXPECT_EQ(ev.eval({1, 0})[0], 0);
+  EXPECT_EQ(ev.eval({0, 1})[0], 0);
+  EXPECT_EQ(ev.eval({1, 1})[0], 1);
+}
+
+TEST(Netlist, Carry4ImplementsFourBitAdder) {
+  // Classic RCA: S_i = a_i ^ b_i via LUT O6, DI = a_i via O5.
+  Netlist nl;
+  std::array<NetId, 4> a{};
+  std::array<NetId, 4> b{};
+  for (int i = 0; i < 4; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+
+  std::array<NetId, 4> s{};
+  std::array<NetId, 4> di{};
+  for (int i = 0; i < 4; ++i) {
+    const auto init = init_from_o5_o6(
+        [](const std::array<unsigned, 5>& in) { return in[0] != 0; },          // O5 = a
+        [](const std::array<unsigned, 5>& in) { return (in[0] ^ in[1]) != 0; }  // O6 = a^b
+    );
+    const auto lut = nl.add_lut6("pg" + std::to_string(i), init,
+                                 {a[i], b[i], kNetGnd, kNetGnd, kNetGnd, kNetVcc},
+                                 /*with_o5=*/true);
+    s[i] = lut.o6;
+    di[i] = lut.o5;
+  }
+  const auto carry = nl.add_carry4("cc", kNetGnd, s, di);
+  for (int i = 0; i < 4; ++i) nl.add_output("s" + std::to_string(i), carry.o[i]);
+  nl.add_output("cout", carry.co[3]);
+
+  Evaluator ev(nl);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    for (std::uint64_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(ev.eval_word(x, 4, y, 4), x + y) << x << "+" << y;
+    }
+  }
+}
+
+TEST(Netlist, AreaReportCountsPrimitives) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  for (int i = 0; i < 5; ++i) {
+    nl.add_lut6("l" + std::to_string(i), 0xAAAAAAAAAAAAAAAAull,
+                {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  }
+  nl.add_carry4("c0", kNetGnd, {kNetGnd, kNetGnd, kNetGnd, kNetGnd},
+                {kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  const auto area = nl.area();
+  EXPECT_EQ(area.luts, 5u);
+  EXPECT_EQ(area.carry4, 1u);
+  EXPECT_EQ(area.slices, 2u);  // ceil(5/4) = 2 dominates 1 carry segment
+}
+
+TEST(Netlist, FanoutCountsLoadsAndOutputs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const auto l = nl.add_lut6("l", 0x2ull, {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  nl.add_lut6("m", 0x2ull, {l.o6, a, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  nl.add_output("y", l.o6);
+  const auto fo = nl.fanout();
+  EXPECT_EQ(fo[a], 2u);
+  EXPECT_EQ(fo[l.o6], 2u);  // one LUT load + one primary output
+}
+
+TEST(Netlist, DspCellMultiplies) {
+  Netlist nl;
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+  for (int i = 0; i < 8; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const auto p = nl.add_dsp("dsp", a, b, 16);
+  for (std::size_t i = 0; i < p.size(); ++i) nl.add_output("p" + std::to_string(i), p[i]);
+
+  Evaluator ev(nl);
+  EXPECT_EQ(ev.eval_word(123, 8, 217, 8), 123u * 217u);
+  EXPECT_EQ(nl.area().dsp, 1u);
+}
+
+TEST(Netlist, EvaluatorRejectsWrongInputCount) {
+  Netlist nl;
+  nl.add_input("a");
+  Evaluator ev(nl);
+  EXPECT_THROW(ev.eval({0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axmult::fabric

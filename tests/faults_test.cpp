@@ -1,0 +1,92 @@
+// Tests for stuck-at fault injection.
+#include <gtest/gtest.h>
+
+#include "fabric/faults.hpp"
+#include "mult/elementary.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::fabric {
+namespace {
+
+TEST(Faults, StuckOutputForcesConstant) {
+  // Fault the net feeding output p0 of the 4x4: p0 becomes the constant.
+  const auto nl = multgen::make_ca_netlist(4);
+  const NetId p0_net = nl.outputs()[0];
+  for (bool v : {false, true}) {
+    const auto faulty = with_stuck_at(nl, {p0_net, v});
+    Evaluator ev(faulty);
+    for (std::uint64_t a = 0; a < 16; ++a) {
+      for (std::uint64_t b = 0; b < 16; ++b) {
+        const std::uint64_t p = ev.eval_word(a, 4, b, 4);
+        ASSERT_EQ(p & 1u, v ? 1u : 0u);
+        // Other bits unaffected.
+        ASSERT_EQ(p >> 1, mult::approx_4x4(a, b) >> 1);
+      }
+    }
+  }
+}
+
+TEST(Faults, FaultFreeCopyIsIdentical) {
+  // Injecting on an unused net id (kNoNet never matches) replays the
+  // netlist exactly.
+  const auto nl = multgen::make_ca_netlist(8);
+  const auto copy = with_stuck_at(nl, {kNoNet, false});
+  ASSERT_EQ(copy.cells().size(), nl.cells().size());
+  Evaluator e1(nl);
+  Evaluator e2(copy);
+  for (std::uint64_t a = 0; a < 256; a += 17) {
+    for (std::uint64_t b = 0; b < 256; b += 13) {
+      ASSERT_EQ(e1.eval_word(a, 8, b, 8), e2.eval_word(a, 8, b, 8));
+    }
+  }
+}
+
+TEST(Faults, AreaIsPreservedUnderInjection) {
+  const auto nl = multgen::make_ca_netlist(8);
+  const auto sites = fault_sites(nl);
+  ASSERT_FALSE(sites.empty());
+  const auto faulty = with_stuck_at(nl, {sites[sites.size() / 2], true});
+  EXPECT_EQ(faulty.area().luts, nl.area().luts);
+  EXPECT_EQ(faulty.area().carry4, nl.area().carry4);
+}
+
+TEST(Faults, SitesAreDrivenAndLoaded) {
+  const auto nl = multgen::make_ca_netlist(4);
+  const auto fanout = nl.fanout();
+  for (NetId site : fault_sites(nl)) {
+    EXPECT_GT(fanout[site], 0u);
+    EXPECT_NE(site, kNetGnd);
+    EXPECT_NE(site, kNetVcc);
+  }
+}
+
+TEST(Faults, EveryFaultOnThe4x4IsBounded) {
+  // Single stuck-at faults on the 4x4 can corrupt at most the full output
+  // range; sanity-check the campaign math on the smallest module.
+  const auto nl = multgen::make_ca_netlist(4);
+  for (NetId site : fault_sites(nl)) {
+    for (bool v : {false, true}) {
+      const auto faulty = with_stuck_at(nl, {site, v});
+      Evaluator ev(faulty);
+      for (std::uint64_t a = 0; a < 16; ++a) {
+        for (std::uint64_t b = 0; b < 16; ++b) {
+          ASSERT_LT(ev.eval_word(a, 4, b, 4), 256u);
+        }
+      }
+    }
+  }
+}
+
+TEST(Faults, SequentialNetlistsSurviveInjection) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const auto sites = fault_sites(nl);
+  const auto faulty = with_stuck_at(nl, {sites.front(), true});
+  SeqEvaluator ev(faulty);
+  (void)ev.step_word(10, 8, 10, 8);
+  (void)ev.step_word(10, 8, 10, 8);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace axmult::fabric

@@ -1,0 +1,149 @@
+// Pins every closed-form claim the paper makes about the elementary
+// modules (Sections 3.1-3.2, Table 2).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "mult/elementary.hpp"
+
+namespace axmult::mult {
+namespace {
+
+TEST(Approx4x2, TruncatesOnlyP0) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = approx_4x2(a, b);
+      EXPECT_EQ(approx, exact & ~std::uint64_t{1}) << "a=" << a << " b=" << b;
+      EXPECT_LE(exact - approx, 1u);
+    }
+  }
+}
+
+TEST(Approx4x2, AccuracyIsExactly75Percent) {
+  // Paper 3.1: truncating P0 limits accuracy to 75% with max magnitude 1.
+  unsigned correct = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      if (approx_4x2(a, b) == a * b) ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 48u);  // 75% of 64
+}
+
+TEST(Accurate4x2, MatchesProduct) {
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) EXPECT_EQ(accurate_4x2(a, b), a * b);
+  }
+}
+
+TEST(Approx4x4, ExactlySixErrorCasesOfMagnitudeEight) {
+  // Paper Table 2 / Section 3.2: six erroneous outputs, fixed magnitude 8,
+  // confined to product bit P3.
+  unsigned errors = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = approx_4x4(a, b);
+      if (approx != exact) {
+        ++errors;
+        EXPECT_EQ(exact - approx, 8u) << "a=" << a << " b=" << b;
+        EXPECT_EQ((approx ^ exact), 8u) << "error not confined to P3";
+        EXPECT_TRUE(approx_4x4_errs(a, b));
+      } else {
+        EXPECT_FALSE(approx_4x4_errs(a, b));
+      }
+    }
+  }
+  EXPECT_EQ(errors, 6u);
+}
+
+TEST(Approx4x4, Table2ErrorPairs) {
+  // The six (multiplicand, multiplier) pairs of Table 2, as (a, b) with
+  // a = A (multiplicand) and b = B (multiplier).
+  const std::set<std::pair<std::uint64_t, std::uint64_t>> expected = {
+      {15, 5}, {7, 6}, {15, 6}, {15, 7}, {13, 13}, {5, 15}};
+  std::set<std::pair<std::uint64_t, std::uint64_t>> got;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      if (approx_4x4(a, b) != a * b) got.insert({a, b});
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Approx4x4, SwappingFixesFourOfSixCases) {
+  // Paper: the highlighted Table 2 inputs are error-free with the operands
+  // mutually swapped; only the symmetric pairs {5,15} and {13,13} remain.
+  unsigned fixed_by_swap = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      if (approx_4x4(a, b) != a * b && approx_4x4(b, a) == a * b) ++fixed_by_swap;
+    }
+  }
+  EXPECT_EQ(fixed_by_swap, 3u);  // (7,6), (15,6), (15,7)
+}
+
+TEST(Approx4x4AccurateSum, MatchesPaperErrorProbability) {
+  // Paper 3.2: average relative error 0.049, error probability 0.375.
+  unsigned errors = 0;
+  double rel = 0.0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = approx_4x4_accurate_sum(a, b);
+      EXPECT_LE(approx, exact);
+      if (approx != exact) {
+        ++errors;
+        rel += static_cast<double>(exact - approx) / static_cast<double>(exact);
+      }
+    }
+  }
+  EXPECT_EQ(errors, 96u);  // 0.375 * 256
+  EXPECT_NEAR(rel / 256.0, 0.049, 0.002);
+}
+
+TEST(Approx4x4PropOnly, DoublesErrorMagnitude) {
+  // Design-choice ablation: zeroing the generate signal instead of the
+  // propagate signal loses the carry and doubles the error to 16.
+  unsigned errors = 0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = approx_4x4_prop_only(a, b);
+      if (approx != exact) {
+        ++errors;
+        EXPECT_EQ(exact - approx, 16u) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+  EXPECT_EQ(errors, 6u);
+}
+
+TEST(Kulkarni2x2, OnlyThreeTimesThreeErrs) {
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t expected = (a == 3 && b == 3) ? 7u : a * b;
+      EXPECT_EQ(kulkarni_2x2(a, b), expected);
+    }
+  }
+}
+
+TEST(Rehman2x2, ThreeErrorCasesOfMagnitudeOne) {
+  unsigned errors = 0;
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      const std::uint64_t exact = a * b;
+      const std::uint64_t approx = rehman_2x2(a, b);
+      if (approx != exact) {
+        ++errors;
+        EXPECT_EQ(exact - approx, 1u);
+      }
+    }
+  }
+  EXPECT_EQ(errors, 3u);
+}
+
+}  // namespace
+}  // namespace axmult::mult

@@ -1,0 +1,183 @@
+// Parameterized property sweeps across the whole design space:
+// every (configuration x width) must satisfy the library's structural
+// invariants — netlist/behavioral agreement, one-sided error where the
+// architecture guarantees it, monotone area and latency in width, and
+// sane implementation reports.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "error/metrics.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult {
+namespace {
+
+using mult::Elementary;
+using mult::Summation;
+using multgen::MappingStyle;
+
+struct SweepConfig {
+  std::string label;
+  Elementary elementary;
+  Summation summation;
+  MappingStyle style;
+  bool ternary;
+};
+
+std::vector<SweepConfig> sweep_configs() {
+  return {
+      {"Ca", Elementary::kApprox4x4, Summation::kAccurate, MappingStyle::kHandOptimized, true},
+      {"Cc", Elementary::kApprox4x4, Summation::kCarryFree, MappingStyle::kHandOptimized, true},
+      {"AccTree", Elementary::kAccurate4x4, Summation::kAccurate,
+       MappingStyle::kHandOptimized, true},
+      {"AccTreeBinary", Elementary::kAccurate4x4, Summation::kAccurate,
+       MappingStyle::kHandOptimized, false},
+      {"K", Elementary::kKulkarni2x2, Summation::kAccurate, MappingStyle::kSynthesized, false},
+      {"W", Elementary::kRehman2x2, Summation::kAccurate, MappingStyle::kSynthesized, false},
+      {"KHand", Elementary::kKulkarni2x2, Summation::kAccurate,
+       MappingStyle::kHandOptimized, true},
+      {"AccCc", Elementary::kAccurate4x4, Summation::kCarryFree,
+       MappingStyle::kHandOptimized, true},
+  };
+}
+
+class DesignSweep : public ::testing::TestWithParam<std::tuple<SweepConfig, unsigned>> {};
+
+TEST_P(DesignSweep, NetlistAgreesWithBehavioralModel) {
+  const auto& [cfg, width] = GetParam();
+  const multgen::GeneratorSpec spec{width, cfg.elementary, cfg.summation, cfg.style,
+                                    cfg.ternary};
+  const mult::RecursiveMultiplier model(width, cfg.elementary, cfg.summation);
+  const auto nl = multgen::make_netlist(spec);
+  fabric::Evaluator ev(nl);
+  if (width <= 8) {
+    const std::uint64_t n = std::uint64_t{1} << width;
+    for (std::uint64_t a = 0; a < n; ++a) {
+      for (std::uint64_t b = 0; b < n; ++b) {
+        ASSERT_EQ(ev.eval_word(a, width, b, width), model.multiply(a, b))
+            << cfg.label << " " << a << "*" << b;
+      }
+    }
+  } else {
+    Xoshiro256 rng(width * 1000003);
+    for (int i = 0; i < 1500; ++i) {
+      const std::uint64_t a = rng() & low_mask(width);
+      const std::uint64_t b = rng() & low_mask(width);
+      ASSERT_EQ(ev.eval_word(a, width, b, width), model.multiply(a, b))
+          << cfg.label << " " << a << "*" << b;
+    }
+  }
+}
+
+TEST_P(DesignSweep, ErrorIsOneSidedAndZeroPreserving) {
+  const auto& [cfg, width] = GetParam();
+  const mult::RecursiveMultiplier model(width, cfg.elementary, cfg.summation);
+  // Every architecture in the sweep only ever under-approximates, and
+  // multiplication by zero must stay exact.
+  Xoshiro256 rng(width * 7919);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t a = rng() & low_mask(width);
+    const std::uint64_t b = rng() & low_mask(width);
+    ASSERT_LE(model.multiply(a, b), a * b) << cfg.label;
+  }
+  for (std::uint64_t v = 0; v < (1u << std::min(width, 10u)); ++v) {
+    ASSERT_EQ(model.multiply(0, v), 0u);
+    ASSERT_EQ(model.multiply(v, 0), 0u);
+    ASSERT_EQ(model.multiply(1, v & low_mask(width)), v & low_mask(width)) << cfg.label;
+  }
+}
+
+TEST_P(DesignSweep, ImplementationReportIsSane) {
+  const auto& [cfg, width] = GetParam();
+  const multgen::GeneratorSpec spec{width, cfg.elementary, cfg.summation, cfg.style,
+                                    cfg.ternary};
+  const auto nl = multgen::make_netlist(spec);
+  const auto area = nl.area();
+  EXPECT_GT(area.luts, 0u);
+  EXPECT_GT(area.slices, 0u);
+  const auto sta = timing::analyze(nl);
+  EXPECT_GT(sta.critical_path_ns, 2.0);
+  EXPECT_LT(sta.critical_path_ns, 40.0);
+  EXPECT_FALSE(sta.path.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsAndWidths, DesignSweep,
+    ::testing::Combine(::testing::ValuesIn(sweep_configs()),
+                       ::testing::Values(4u, 8u, 16u, 32u)),
+    [](const ::testing::TestParamInfo<DesignSweep::ParamType>& info) {
+      return std::get<0>(info.param).label + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- width scaling properties (not per-config) ---------------------------
+
+class WidthScaling : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WidthScaling, AreaGrowsRoughlyQuadratically) {
+  const unsigned w = GetParam();
+  const auto small = multgen::make_ca_netlist(w).area().luts;
+  const auto big = multgen::make_ca_netlist(2 * w).area().luts;
+  EXPECT_GT(big, 4 * small);        // 4 sub-multipliers plus summation
+  EXPECT_LT(big, 5 * small + 40);   // summation overhead is linear-ish
+}
+
+TEST_P(WidthScaling, LatencyGrowsSubLinearly) {
+  const unsigned w = GetParam();
+  const double t1 = timing::analyze(multgen::make_ca_netlist(w)).critical_path_ns;
+  const double t2 = timing::analyze(multgen::make_ca_netlist(2 * w)).critical_path_ns;
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.0 * t1);
+}
+
+TEST_P(WidthScaling, CcLatencyIsNearlyWidthIndependent) {
+  const unsigned w = GetParam();
+  const double t1 = timing::analyze(multgen::make_cc_netlist(w)).critical_path_ns;
+  const double t2 = timing::analyze(multgen::make_cc_netlist(2 * w)).critical_path_ns;
+  EXPECT_LT(t2 - t1, 1.5);  // one extra XOR-column level per doubling
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthScaling, ::testing::Values(4u, 8u, 16u));
+
+// ---- truncation sweep -----------------------------------------------------
+
+class TruncationSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TruncationSweep, MetricsFollowClosedForms) {
+  const unsigned k = GetParam();
+  const auto m = mult::make_result_truncated(8, k);
+  const auto r = error::characterize_exhaustive(*m);
+  EXPECT_EQ(r.max_error, (std::uint64_t{1} << k) - 1);
+  // Average error grows roughly like 2^(k-1) (half the truncated range).
+  EXPECT_GT(r.avg_error, 0.25 * static_cast<double>(std::uint64_t{1} << k) - 1.0);
+  EXPECT_LT(r.avg_error, 0.55 * static_cast<double>(std::uint64_t{1} << k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TruncationSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---- Cb sweep ---------------------------------------------------------------
+
+class CbSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CbSweep, NetlistMatchesModelSampled) {
+  const unsigned L = GetParam();
+  const auto model = mult::make_cb(16, L);
+  const auto nl = multgen::make_cb_netlist(16, L);
+  fabric::Evaluator ev(nl);
+  Xoshiro256 rng(L + 99);
+  for (int i = 0; i < 800; ++i) {
+    const std::uint64_t a = rng() & 0xFFFF;
+    const std::uint64_t b = rng() & 0xFFFF;
+    ASSERT_EQ(ev.eval_word(a, 16, b, 16), model->multiply(a, b)) << L;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LowerOrBits, CbSweep, ::testing::Values(0u, 2u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace axmult

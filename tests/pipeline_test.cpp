@@ -1,0 +1,182 @@
+// Tests for the sequential fabric support and pipelined multipliers.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "fabric/hdl_export.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult {
+namespace {
+
+using fabric::kNetGnd;
+using fabric::Netlist;
+using fabric::SeqEvaluator;
+
+TEST(Sequential, RegisteredPassthroughHasOneCycleLatency) {
+  Netlist nl;
+  const auto d = nl.add_input("d");
+  nl.add_output("q", nl.add_fdre("ff", d));
+  SeqEvaluator ev(nl);
+  EXPECT_EQ(ev.ff_count(), 1u);
+  EXPECT_EQ(ev.step({1})[0], 0);  // state before the first edge
+  EXPECT_EQ(ev.step({0})[0], 1);  // captured the 1
+  EXPECT_EQ(ev.step({0})[0], 0);
+}
+
+TEST(Sequential, TwoStageDelayLine) {
+  // Two cascaded registers delay the input by exactly two cycles.
+  Netlist nl;
+  const auto d = nl.add_input("d");
+  const auto q1 = nl.add_fdre("ff1", d);
+  const auto q2 = nl.add_fdre("ff2", q1);
+  nl.add_output("q", q2);
+  SeqEvaluator ev(nl);
+  std::vector<std::uint8_t> seen;
+  for (std::uint8_t v : {1, 0, 1, 1, 0, 0}) seen.push_back(ev.step({v})[0]);
+  EXPECT_EQ(seen, (std::vector<std::uint8_t>{0, 0, 1, 0, 1, 1}));
+}
+
+TEST(Sequential, CombinationalEvaluatorRejectsSequentialNetlists) {
+  Netlist nl;
+  const auto d = nl.add_input("d");
+  nl.add_output("q", nl.add_fdre("ff", d));
+  fabric::Evaluator ev(nl);
+  EXPECT_THROW((void)ev.eval({1}), std::invalid_argument);
+}
+
+TEST(Sequential, AreaCountsFlipFlops) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const auto area = nl.area();
+  EXPECT_TRUE(nl.is_sequential());
+  EXPECT_GT(area.ffs, 30u);  // four 8-bit sub-products + 16-bit product
+  EXPECT_EQ(area.luts, multgen::make_ca_netlist(8).area().luts);
+}
+
+TEST(Pipeline, LatencyHelper) {
+  EXPECT_EQ(multgen::pipeline_latency(4), 1u);
+  EXPECT_EQ(multgen::pipeline_latency(8), 2u);
+  EXPECT_EQ(multgen::pipeline_latency(16), 3u);
+  EXPECT_EQ(multgen::pipeline_latency(32), 4u);
+}
+
+TEST(Pipeline, StreamedCa8MatchesBehavioralModelWithLatency) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const auto model = mult::make_ca(8);
+  SeqEvaluator ev(nl);
+  const unsigned latency = multgen::pipeline_latency(8);
+
+  Xoshiro256 rng(57);
+  std::deque<std::uint64_t> expected;
+  for (unsigned cycle = 0; cycle < 400; ++cycle) {
+    const std::uint64_t a = rng() & 0xFF;
+    const std::uint64_t b = rng() & 0xFF;
+    expected.push_back(model->multiply(a, b));
+    const std::uint64_t out = ev.step_word(a, 8, b, 8);
+    if (cycle >= latency) {
+      ASSERT_EQ(out, expected.front()) << "cycle " << cycle;
+      expected.pop_front();
+    }
+  }
+}
+
+TEST(Pipeline, StreamedCc16MatchesBehavioralModelWithLatency) {
+  const auto nl = multgen::make_pipelined_netlist(16, mult::Summation::kCarryFree);
+  const auto model = mult::make_cc(16);
+  SeqEvaluator ev(nl);
+  const unsigned latency = multgen::pipeline_latency(16);
+
+  Xoshiro256 rng(59);
+  std::deque<std::uint64_t> expected;
+  for (unsigned cycle = 0; cycle < 200; ++cycle) {
+    const std::uint64_t a = rng() & 0xFFFF;
+    const std::uint64_t b = rng() & 0xFFFF;
+    expected.push_back(model->multiply(a, b));
+    const std::uint64_t out = ev.step_word(a, 16, b, 16);
+    if (cycle >= latency) {
+      ASSERT_EQ(out, expected.front());
+      expected.pop_front();
+    }
+  }
+}
+
+TEST(Pipeline, ResetClearsState) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  SeqEvaluator ev(nl);
+  (void)ev.step_word(255, 8, 255, 8);
+  (void)ev.step_word(255, 8, 255, 8);
+  ev.reset();
+  // After reset the first outputs are the zero state again.
+  EXPECT_EQ(ev.step_word(1, 8, 1, 8), 0u);
+}
+
+TEST(Pipeline, ShortensTheCriticalPath) {
+  // The pipelined Ca splits the logic into per-level stages, so the
+  // minimum clock period is far below the combinational latency.
+  const auto comb = multgen::make_ca_netlist(16);
+  const auto pipe = multgen::make_pipelined_netlist(16, mult::Summation::kAccurate);
+  const double t_comb = timing::analyze(comb).critical_path_ns;
+  const double t_pipe = timing::analyze(pipe).critical_path_ns;
+  EXPECT_LT(t_pipe, t_comb - 1.0);
+  EXPECT_GT(timing::analyze(pipe).fmax_mhz(), timing::analyze(comb).fmax_mhz());
+}
+
+TEST(Pipeline, HdlExportEmitsFdreAndClock) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const auto vhdl = fabric::to_vhdl(nl, "ca8_pipe");
+  EXPECT_NE(vhdl.find("clk : in  std_logic"), std::string::npos);
+  EXPECT_NE(vhdl.find(": FDRE"), std::string::npos);
+  const auto verilog = fabric::to_verilog(nl, "ca8_pipe");
+  EXPECT_NE(verilog.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(verilog.find("FDRE "), std::string::npos);
+}
+
+// ---------------------------------------------------------------- MAC
+
+TEST(Mac, AccumulatesApproximateProducts) {
+  const auto nl = multgen::make_mac_netlist(8, mult::Summation::kAccurate, 24);
+  const auto model = mult::make_ca(8);
+  SeqEvaluator ev(nl);
+  Xoshiro256 rng(61);
+  std::uint64_t expected = 0;
+  for (unsigned t = 0; t < 300; ++t) {
+    const std::uint64_t a = rng() & 0xFF;
+    const std::uint64_t b = rng() & 0xFF;
+    // Output reflects the accumulator BEFORE this cycle's product lands.
+    ASSERT_EQ(ev.step_word(a, 8, b, 8), expected & ((1u << 24) - 1)) << "cycle " << t;
+    expected += model->multiply(a, b);
+  }
+}
+
+TEST(Mac, RegisteredFeedbackLoopIsNotACombinationalLoop) {
+  const auto nl = multgen::make_mac_netlist(8, mult::Summation::kCarryFree, 20);
+  EXPECT_NO_THROW((void)nl.topo_order());
+  EXPECT_TRUE(nl.is_sequential());
+  EXPECT_EQ(nl.area().ffs, 20u);
+}
+
+TEST(Mac, TimingReportsRegisterToRegisterPath) {
+  const auto nl = multgen::make_mac_netlist(8, mult::Summation::kAccurate, 24);
+  const auto r = timing::analyze(nl);
+  // The loop multiplier + accumulator adder defines the clock period.
+  EXPECT_GT(r.critical_path_ns, 3.0);
+  EXPECT_LT(r.critical_path_ns, 12.0);
+  EXPECT_NE(r.critical_output.find(".D"), std::string::npos);
+}
+
+TEST(Mac, OpenFfMisuseIsRejected) {
+  fabric::Netlist nl;
+  const auto in = nl.add_input("x");
+  const auto ff = nl.add_fdre_open("ff");
+  nl.close_fdre(ff, in);
+  EXPECT_THROW(nl.close_fdre(ff, in), std::invalid_argument);
+  EXPECT_THROW(multgen::make_mac_netlist(8, mult::Summation::kAccurate, 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axmult

@@ -1,0 +1,139 @@
+// Sanity and shape tests for the STA and power models — these pin the
+// *orderings* the paper's Table 4 and Fig. 7 rely on, not absolute ns.
+#include <gtest/gtest.h>
+
+#include "multgen/generators.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::timing {
+namespace {
+
+TEST(Sta, EmptyNetlistHasOnlyBoundaryDelay) {
+  fabric::Netlist nl;
+  const auto in = nl.add_input("a");
+  nl.add_output("y", in);
+  const DelayModel m;
+  const auto r = analyze(nl, m);
+  EXPECT_NEAR(r.critical_path_ns, m.ibuf_ns + m.net_base_ns + m.obuf_ns, 1e-9);
+  EXPECT_EQ(r.critical_output, "y");
+}
+
+TEST(Sta, DelayGrowsWithLogicDepth) {
+  // A chain of k LUTs must be ~k LUT+net delays longer than a single LUT.
+  auto chain = [](unsigned k) {
+    fabric::Netlist nl;
+    fabric::NetId n = nl.add_input("a");
+    for (unsigned i = 0; i < k; ++i) {
+      n = nl.add_lut6("l" + std::to_string(i), 0x2ull,
+                      {n, fabric::kNetGnd, fabric::kNetGnd, fabric::kNetGnd, fabric::kNetGnd,
+                       fabric::kNetGnd})
+              .o6;
+    }
+    nl.add_output("y", n);
+    return analyze(nl).critical_path_ns;
+  };
+  const double d1 = chain(1);
+  const double d5 = chain(5);
+  const DelayModel m;
+  EXPECT_NEAR(d5 - d1, 4 * (m.lut_ns + m.net_base_ns), 1e-9);
+}
+
+TEST(Sta, CarryChainIsFasterThanLutHops) {
+  // 16 MUXCY hops must cost far less than 16 LUT levels.
+  const DelayModel m;
+  EXPECT_LT(16 * m.carry_mux_ns, 4 * (m.lut_ns + m.net_base_ns));
+}
+
+TEST(Sta, Table4LatencyOrderings) {
+  // Table 4 shape anchors:
+  //   * 4x4 is the fastest of all proposed configurations,
+  //   * Cc is faster than Ca at 8 and 16 bits,
+  //   * Ca latency grows with width much faster than Cc's.
+  const auto t44 = analyze(multgen::make_ca_netlist(4)).critical_path_ns;
+  const auto tca8 = analyze(multgen::make_ca_netlist(8)).critical_path_ns;
+  const auto tcc8 = analyze(multgen::make_cc_netlist(8)).critical_path_ns;
+  const auto tca16 = analyze(multgen::make_ca_netlist(16)).critical_path_ns;
+  const auto tcc16 = analyze(multgen::make_cc_netlist(16)).critical_path_ns;
+  EXPECT_LT(t44, tca8);
+  EXPECT_LT(t44, tcc8);
+  EXPECT_LT(tcc8, tca8);
+  EXPECT_LT(tcc16, tca16);
+  EXPECT_LT(tca16 - tca8, 2.0 * (tca8 - t44) + 2.0);  // roughly linear growth
+  EXPECT_LT(tcc16 - tcc8, tca16 - tca8);              // Cc scales flatter
+}
+
+TEST(Sta, Table4AbsoluteBallpark) {
+  // Calibration guard: Table 4 reports 5.846 / 7.746 / 6.946 / 10.765 /
+  // 7.613 ns. The model must land within 20% of each.
+  EXPECT_NEAR(analyze(multgen::make_ca_netlist(4)).critical_path_ns, 5.846, 0.2 * 5.846);
+  EXPECT_NEAR(analyze(multgen::make_ca_netlist(8)).critical_path_ns, 7.746, 0.2 * 7.746);
+  EXPECT_NEAR(analyze(multgen::make_cc_netlist(8)).critical_path_ns, 6.946, 0.2 * 6.946);
+  EXPECT_NEAR(analyze(multgen::make_ca_netlist(16)).critical_path_ns, 10.765, 0.2 * 10.765);
+  EXPECT_NEAR(analyze(multgen::make_cc_netlist(16)).critical_path_ns, 7.613, 0.2 * 7.613);
+}
+
+TEST(Sta, ProposedDesignsAreFasterThanVivadoIp) {
+  // Fig. 7: 8.6%-53.2% latency reduction vs the Vivado IP.
+  for (unsigned w : {8u, 16u}) {
+    const double ip = analyze(multgen::make_vivado_speed_netlist(w)).critical_path_ns;
+    EXPECT_LT(analyze(multgen::make_ca_netlist(w)).critical_path_ns, ip) << w;
+    EXPECT_LT(analyze(multgen::make_cc_netlist(w)).critical_path_ns, ip) << w;
+  }
+}
+
+TEST(Sta, AreaOptimizedIpIsSlowerThanSpeedOptimized) {
+  for (unsigned w : {8u, 16u}) {
+    EXPECT_GT(analyze(multgen::make_vivado_area_netlist(w)).critical_path_ns,
+              analyze(multgen::make_vivado_speed_netlist(w)).critical_path_ns)
+        << w;
+  }
+}
+
+TEST(Sta, CriticalPathIsTraceable) {
+  const auto r = analyze(multgen::make_ca_netlist(8));
+  EXPECT_FALSE(r.path.empty());
+  EXPECT_FALSE(r.critical_output.empty());
+  // Arrival times along the path must be non-decreasing.
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    EXPECT_LE(r.path[i - 1].arrival_ns, r.path[i].arrival_ns + 1e-9);
+  }
+}
+
+}  // namespace
+
+namespace ptest {
+
+TEST(Power, AccurateIpConsumesMoreThanProposed) {
+  // Fig. 7: EDP gains of 8.86%-67% over the accurate IP.
+  power::PowerModel pm;
+  pm.vectors = 512;
+  const auto ip = power::estimate(multgen::make_vivado_speed_netlist(8), pm);
+  const auto ca = power::estimate(multgen::make_ca_netlist(8), pm);
+  const auto cc = power::estimate(multgen::make_cc_netlist(8), pm);
+  EXPECT_GT(ip.energy_au, 0.0);
+  EXPECT_LT(ca.edp_au, ip.edp_au);
+  EXPECT_LT(cc.edp_au, ip.edp_au);
+  EXPECT_LT(cc.edp_au, ca.edp_au);  // Cc trades accuracy for energy/delay
+}
+
+TEST(Power, DeterministicAcrossRuns) {
+  const auto nl = multgen::make_ca_netlist(8);
+  power::PowerModel pm;
+  pm.vectors = 128;
+  const auto r1 = power::estimate(nl, pm);
+  const auto r2 = power::estimate(nl, pm);
+  EXPECT_EQ(r1.energy_au, r2.energy_au);
+  EXPECT_EQ(r1.edp_au, r2.edp_au);
+}
+
+TEST(Power, EnergyScalesWithActivityAndSize) {
+  power::PowerModel pm;
+  pm.vectors = 256;
+  const auto small = power::estimate(multgen::make_ca_netlist(4), pm);
+  const auto big = power::estimate(multgen::make_ca_netlist(16), pm);
+  EXPECT_GT(big.energy_au, 4.0 * small.energy_au);
+}
+
+}  // namespace ptest
+}  // namespace axmult::timing

@@ -1,0 +1,80 @@
+// Tests for the netlist utility passes (DCE, equivalence, statistics).
+#include <gtest/gtest.h>
+
+#include "fabric/transforms.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::fabric {
+namespace {
+
+TEST(Sweep, RemovesUnobservableCells) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const std::uint64_t and_init = 0x8888888888888888ull;  // a & b on I0, I1
+  const auto live = nl.add_lut6("live", and_init, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  (void)nl.add_lut6("dead", and_init, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  nl.add_output("y", live.o6);
+
+  const auto swept = sweep_dead_cells(nl);
+  EXPECT_EQ(swept.area().luts, 1u);
+  EXPECT_TRUE(probably_equivalent(nl, swept, 64));
+}
+
+TEST(Sweep, KeepsEverythingInALiveDesign) {
+  const auto nl = multgen::make_ca_netlist(8);
+  const auto swept = sweep_dead_cells(nl);
+  EXPECT_EQ(swept.area().luts, nl.area().luts);
+  EXPECT_EQ(swept.area().carry4, nl.area().carry4);
+  EXPECT_TRUE(probably_equivalent(nl, swept, 2048));
+}
+
+TEST(Sweep, TruncationFreesAlmostNothing) {
+  // The paper's Mult(8,4) observation, proven structurally: even after
+  // dead-cell sweeping, the truncated multiplier keeps nearly all logic
+  // because the low columns feed the surviving carries.
+  const auto full = multgen::make_vivado_speed_netlist(8).area().luts;
+  const auto truncated = multgen::make_result_truncated_netlist(8, 4).area().luts;
+  EXPECT_GE(truncated + 6, full);
+  EXPECT_LE(truncated, full);
+}
+
+TEST(Sweep, TransitiveDeadConesAreRemoved) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const std::uint64_t buf_init = 0xAAAAAAAAAAAAAAAAull;  // identity on I0
+  const auto l1 = nl.add_lut6("l1", buf_init, {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  const auto l2 = nl.add_lut6("l2", buf_init, {l1.o6, kNetGnd, kNetGnd, kNetGnd, kNetGnd,
+                                               kNetGnd});
+  (void)l2;  // l1 -> l2, neither observable
+  const auto keep = nl.add_lut6("keep", buf_init, {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd,
+                                                   kNetGnd});
+  nl.add_output("y", keep.o6);
+  EXPECT_EQ(sweep_dead_cells(nl).area().luts, 1u);
+}
+
+TEST(Equivalence, DetectsFunctionalDifferences) {
+  const auto ca = multgen::make_ca_netlist(8);
+  const auto acc = multgen::make_vivado_speed_netlist(8);
+  EXPECT_FALSE(probably_equivalent(ca, acc, 4096));  // Ca errs on 5482/65536
+  EXPECT_TRUE(probably_equivalent(ca, ca, 256));
+}
+
+TEST(Equivalence, RejectsShapeMismatches) {
+  EXPECT_FALSE(probably_equivalent(multgen::make_ca_netlist(4), multgen::make_ca_netlist(8)));
+  EXPECT_THROW((void)probably_equivalent(
+                   multgen::make_pipelined_netlist(8, mult::Summation::kAccurate),
+                   multgen::make_pipelined_netlist(8, mult::Summation::kAccurate)),
+               std::invalid_argument);
+}
+
+TEST(Histogram, GroupsByInstancePrefix) {
+  const auto hist = cell_histogram(multgen::make_ca_netlist(8));
+  // Four sub-multipliers (u.ll/u.hl/u.lh/u.hh) plus the summation (u.sum)
+  // all share the "u" prefix.
+  ASSERT_TRUE(hist.count("u"));
+  EXPECT_EQ(hist.at("u"), multgen::make_ca_netlist(8).cells().size());
+}
+
+}  // namespace
+}  // namespace axmult::fabric

@@ -1,0 +1,165 @@
+// axmult command-line interface.
+//
+//   axmult_cli list
+//   axmult_cli characterize <design> [samples]
+//   axmult_cli implement <design>
+//   axmult_cli export-vhdl <design> [file]
+//   axmult_cli export-verilog <design> [file]
+//
+// <design> is a name from `list` (the paper's designs at 4/8/16 bits plus
+// the design-space family at 8 bits).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/catalog.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "error/metrics.hpp"
+#include "fabric/hdl_export.hpp"
+#include "fabric/transforms.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+using namespace axmult;
+
+std::vector<analysis::DesignPoint> all_designs() {
+  std::vector<analysis::DesignPoint> all;
+  for (unsigned w : {4u, 8u, 16u}) {
+    for (auto& d : analysis::paper_designs(w)) all.push_back(std::move(d));
+  }
+  for (auto& d : analysis::evo_family_8x8()) all.push_back(std::move(d));
+  // Extension designs: pipelined and error-correctable variants.
+  for (unsigned w : {8u, 16u}) {
+    all.push_back({"Ca_" + std::to_string(w) + "_pipe", "proposed-ext", mult::make_ca(w),
+                   [w] { return multgen::make_pipelined_netlist(w, mult::Summation::kAccurate); }});
+    all.push_back({"Cc_" + std::to_string(w) + "_pipe", "proposed-ext", mult::make_cc(w),
+                   [w] { return multgen::make_pipelined_netlist(w, mult::Summation::kCarryFree); }});
+    all.push_back({"Ca_" + std::to_string(w) + "_corr", "proposed-ext", mult::make_ca(w),
+                   [w] { return multgen::make_correctable_netlist(w, mult::Summation::kAccurate); }});
+  }
+  return all;
+}
+
+std::optional<analysis::DesignPoint> lookup(const std::string& name) {
+  for (auto& d : all_designs()) {
+    if (d.name == name) return d;
+  }
+  return std::nullopt;
+}
+
+int cmd_list() {
+  std::printf("%-22s %-18s %s\n", "name", "category", "size");
+  for (const auto& d : all_designs()) {
+    std::printf("%-22s %-18s %ux%u\n", d.name.c_str(), d.category.c_str(), d.model->a_bits(),
+                d.model->b_bits());
+  }
+  return 0;
+}
+
+int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples) {
+  const bool exhaustive = d.model->a_bits() + d.model->b_bits() <= 20;
+  const auto r = exhaustive ? error::characterize_exhaustive(*d.model)
+                            : error::characterize_sampled(*d.model, samples);
+  std::printf("%s (%s, %llu inputs)\n", d.name.c_str(),
+              exhaustive ? "exhaustive" : "sampled",
+              static_cast<unsigned long long>(r.samples));
+  std::printf("  max error magnitude      %llu\n",
+              static_cast<unsigned long long>(r.max_error));
+  std::printf("  average error            %.6f\n", r.avg_error);
+  std::printf("  average relative error   %.6f\n", r.avg_relative_error);
+  std::printf("  error occurrences        %llu (p = %.4f)\n",
+              static_cast<unsigned long long>(r.occurrences), r.error_probability());
+  std::printf("  max-error occurrences    %llu\n",
+              static_cast<unsigned long long>(r.max_error_occurrences));
+  return 0;
+}
+
+int cmd_implement(const analysis::DesignPoint& d) {
+  if (!d.has_netlist()) {
+    std::fprintf(stderr, "%s has no structural netlist\n", d.name.c_str());
+    return 1;
+  }
+  const auto nl = d.netlist();
+  const auto area = nl.area();
+  const auto sta = timing::analyze(nl);
+  const auto pwr = power::estimate(nl);
+  std::printf("%s implementation (Virtex-7 model):\n", d.name.c_str());
+  std::printf("  LUT6_2      %llu\n", static_cast<unsigned long long>(area.luts));
+  std::printf("  CARRY4      %llu\n", static_cast<unsigned long long>(area.carry4));
+  std::printf("  DSP         %llu\n", static_cast<unsigned long long>(area.dsp));
+  std::printf("  slices est. %llu\n", static_cast<unsigned long long>(area.slices));
+  std::printf("  latency     %.3f ns (critical output %s)\n", sta.critical_path_ns,
+              sta.critical_output.c_str());
+  std::printf("  energy      %.2f a.u./op, EDP %.2f a.u.\n", pwr.energy_au, pwr.edp_au);
+  std::printf("  critical path:\n");
+  for (const auto& el : sta.path) {
+    std::printf("    %8.3f ns  %s\n", el.arrival_ns, el.point.c_str());
+  }
+  std::printf("  composition:\n");
+  for (const auto& [prefix, count] : fabric::cell_histogram(nl)) {
+    std::printf("    %-20s %zu cells\n", prefix.c_str(), count);
+  }
+  return 0;
+}
+
+int cmd_export(const analysis::DesignPoint& d, bool vhdl, const std::string& file) {
+  if (!d.has_netlist()) {
+    std::fprintf(stderr, "%s has no structural netlist\n", d.name.c_str());
+    return 1;
+  }
+  const std::string entity = fabric::hdl_identifier(d.name);
+  const std::string text =
+      vhdl ? fabric::to_vhdl(d.netlist(), entity) : fabric::to_verilog(d.netlist(), entity);
+  if (file.empty() || file == "-") {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    out << text;
+    std::printf("wrote %s (%zu bytes)\n", file.c_str(), text.size());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: axmult_cli <command> [args]\n"
+      "  list                              all library designs\n"
+      "  characterize <design> [samples]   error metrics (exhaustive when feasible)\n"
+      "  implement <design>                area / timing / energy report\n"
+      "  export-vhdl <design> [file]       structural VHDL (unisim primitives)\n"
+      "  export-verilog <design> [file]    structural Verilog\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (argc < 3) return usage();
+  const auto design = lookup(argv[2]);
+  if (!design) {
+    std::fprintf(stderr, "unknown design '%s' (see `axmult_cli list`)\n", argv[2]);
+    return 1;
+  }
+  if (cmd == "characterize") {
+    const std::uint64_t samples = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
+    return cmd_characterize(*design, samples);
+  }
+  if (cmd == "implement") return cmd_implement(*design);
+  if (cmd == "export-vhdl") return cmd_export(*design, true, argc > 3 ? argv[3] : "");
+  if (cmd == "export-verilog") return cmd_export(*design, false, argc > 3 ? argv[3] : "");
+  return usage();
+}
