@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_adders.dir/bench/bench_approx_adders.cpp.o"
+  "CMakeFiles/bench_approx_adders.dir/bench/bench_approx_adders.cpp.o.d"
+  "bench/bench_approx_adders"
+  "bench/bench_approx_adders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_adders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

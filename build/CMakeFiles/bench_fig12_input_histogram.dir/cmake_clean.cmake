@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_input_histogram.dir/bench/bench_fig12_input_histogram.cpp.o"
+  "CMakeFiles/bench_fig12_input_histogram.dir/bench/bench_fig12_input_histogram.cpp.o.d"
+  "bench/bench_fig12_input_histogram"
+  "bench/bench_fig12_input_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_input_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gains.dir/bench/bench_fig7_gains.cpp.o"
+  "CMakeFiles/bench_fig7_gains.dir/bench/bench_fig7_gains.cpp.o.d"
+  "bench/bench_fig7_gains"
+  "bench/bench_fig7_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bit_histograms.dir/bench/bench_fig8_bit_histograms.cpp.o"
+  "CMakeFiles/bench_fig8_bit_histograms.dir/bench/bench_fig8_bit_histograms.cpp.o.d"
+  "bench/bench_fig8_bit_histograms"
+  "bench/bench_fig8_bit_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bit_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synth_flow.dir/bench/bench_synth_flow.cpp.o"
+  "CMakeFiles/bench_synth_flow.dir/bench/bench_synth_flow.cpp.o.d"
+  "bench/bench_synth_flow"
+  "bench/bench_synth_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synth_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

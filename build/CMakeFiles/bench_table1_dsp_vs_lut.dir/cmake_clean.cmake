@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dsp_vs_lut.dir/bench/bench_table1_dsp_vs_lut.cpp.o"
+  "CMakeFiles/bench_table1_dsp_vs_lut.dir/bench/bench_table1_dsp_vs_lut.cpp.o.d"
+  "bench/bench_table1_dsp_vs_lut"
+  "bench/bench_table1_dsp_vs_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dsp_vs_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_area_latency.dir/bench/bench_table4_area_latency.cpp.o"
+  "CMakeFiles/bench_table4_area_latency.dir/bench/bench_table4_area_latency.cpp.o.d"
+  "bench/bench_table4_area_latency"
+  "bench/bench_table4_area_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_area_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

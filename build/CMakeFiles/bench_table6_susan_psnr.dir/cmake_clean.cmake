@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_susan_psnr.dir/bench/bench_table6_susan_psnr.cpp.o"
+  "CMakeFiles/bench_table6_susan_psnr.dir/bench/bench_table6_susan_psnr.cpp.o.d"
+  "bench/bench_table6_susan_psnr"
+  "bench/bench_table6_susan_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_susan_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

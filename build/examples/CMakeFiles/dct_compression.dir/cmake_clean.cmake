@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_compression.dir/dct_compression.cpp.o"
+  "CMakeFiles/dct_compression.dir/dct_compression.cpp.o.d"
+  "dct_compression"
+  "dct_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

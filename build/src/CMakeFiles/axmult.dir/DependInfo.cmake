@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/catalog.cpp" "src/CMakeFiles/axmult.dir/analysis/catalog.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/analysis/catalog.cpp.o.d"
+  "/root/repo/src/analysis/pareto.cpp" "src/CMakeFiles/axmult.dir/analysis/pareto.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/analysis/pareto.cpp.o.d"
+  "/root/repo/src/apps/filters.cpp" "src/CMakeFiles/axmult.dir/apps/filters.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/filters.cpp.o.d"
+  "/root/repo/src/apps/fir.cpp" "src/CMakeFiles/axmult.dir/apps/fir.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/fir.cpp.o.d"
+  "/root/repo/src/apps/image.cpp" "src/CMakeFiles/axmult.dir/apps/image.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/image.cpp.o.d"
+  "/root/repo/src/apps/jpeg.cpp" "src/CMakeFiles/axmult.dir/apps/jpeg.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/jpeg.cpp.o.d"
+  "/root/repo/src/apps/reed_solomon.cpp" "src/CMakeFiles/axmult.dir/apps/reed_solomon.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/reed_solomon.cpp.o.d"
+  "/root/repo/src/apps/susan.cpp" "src/CMakeFiles/axmult.dir/apps/susan.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/apps/susan.cpp.o.d"
+  "/root/repo/src/asic/model.cpp" "src/CMakeFiles/axmult.dir/asic/model.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/asic/model.cpp.o.d"
+  "/root/repo/src/asic/qm.cpp" "src/CMakeFiles/axmult.dir/asic/qm.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/asic/qm.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/axmult.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/common/table.cpp.o.d"
+  "/root/repo/src/error/metrics.cpp" "src/CMakeFiles/axmult.dir/error/metrics.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/error/metrics.cpp.o.d"
+  "/root/repo/src/fabric/faults.cpp" "src/CMakeFiles/axmult.dir/fabric/faults.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/faults.cpp.o.d"
+  "/root/repo/src/fabric/hdl_export.cpp" "src/CMakeFiles/axmult.dir/fabric/hdl_export.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/hdl_export.cpp.o.d"
+  "/root/repo/src/fabric/netlist.cpp" "src/CMakeFiles/axmult.dir/fabric/netlist.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/netlist.cpp.o.d"
+  "/root/repo/src/fabric/transforms.cpp" "src/CMakeFiles/axmult.dir/fabric/transforms.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/transforms.cpp.o.d"
+  "/root/repo/src/mult/adders.cpp" "src/CMakeFiles/axmult.dir/mult/adders.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/mult/adders.cpp.o.d"
+  "/root/repo/src/mult/correctable.cpp" "src/CMakeFiles/axmult.dir/mult/correctable.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/mult/correctable.cpp.o.d"
+  "/root/repo/src/mult/elementary.cpp" "src/CMakeFiles/axmult.dir/mult/elementary.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/mult/elementary.cpp.o.d"
+  "/root/repo/src/mult/recursive.cpp" "src/CMakeFiles/axmult.dir/mult/recursive.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/mult/recursive.cpp.o.d"
+  "/root/repo/src/mult/signed_wrapper.cpp" "src/CMakeFiles/axmult.dir/mult/signed_wrapper.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/mult/signed_wrapper.cpp.o.d"
+  "/root/repo/src/multgen/builders.cpp" "src/CMakeFiles/axmult.dir/multgen/builders.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/multgen/builders.cpp.o.d"
+  "/root/repo/src/multgen/generators.cpp" "src/CMakeFiles/axmult.dir/multgen/generators.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/multgen/generators.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/CMakeFiles/axmult.dir/power/power.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/power/power.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/CMakeFiles/axmult.dir/synth/mapper.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/synth/mapper.cpp.o.d"
+  "/root/repo/src/synth/network.cpp" "src/CMakeFiles/axmult.dir/synth/network.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/synth/network.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/CMakeFiles/axmult.dir/timing/sta.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/timing/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_elementary_test.dir/mult_elementary_test.cpp.o"
+  "CMakeFiles/mult_elementary_test.dir/mult_elementary_test.cpp.o.d"
+  "mult_elementary_test"
+  "mult_elementary_test.pdb"
+  "mult_elementary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_elementary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mult_recursive_test.dir/mult_recursive_test.cpp.o"
+  "CMakeFiles/mult_recursive_test.dir/mult_recursive_test.cpp.o.d"
+  "mult_recursive_test"
+  "mult_recursive_test.pdb"
+  "mult_recursive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mult_recursive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

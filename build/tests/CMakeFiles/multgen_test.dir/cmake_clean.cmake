@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multgen_test.dir/multgen_test.cpp.o"
+  "CMakeFiles/multgen_test.dir/multgen_test.cpp.o.d"
+  "multgen_test"
+  "multgen_test.pdb"
+  "multgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mult_elementary_test[1]_include.cmake")
+include("/root/repo/build/tests/mult_recursive_test[1]_include.cmake")
+include("/root/repo/build/tests/error_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/multgen_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_power_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/asic_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_fir_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/adders_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axmult_cli.dir/axmult_cli.cpp.o"
+  "CMakeFiles/axmult_cli.dir/axmult_cli.cpp.o.d"
+  "axmult_cli"
+  "axmult_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axmult_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
