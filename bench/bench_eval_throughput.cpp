@@ -1,0 +1,164 @@
+// Scalar vs bit-parallel netlist-replay throughput (Mpairs/s), plus the
+// end-to-end multithreaded sweep rate. Emits BENCH_eval_throughput.json in
+// the working directory for the perf-tracking harness. Thread count follows
+// AXMULT_THREADS (or --threads N), defaulting to hardware_concurrency.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bits.hpp"
+#include "common/parallel_for.hpp"
+#include "error/metrics.hpp"
+#include "fabric/bitparallel.hpp"
+#include "fabric/netlist.hpp"
+#include "multgen/generators.hpp"
+
+using namespace axmult;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Pairs/s of the scalar evaluator replaying the operand space in order —
+/// the per-pair loop an exhaustive characterization runs.
+double scalar_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t pairs) {
+  fabric::Evaluator ev(nl);
+  const std::uint64_t mask = low_mask(width);
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    sink ^= ev.eval_word(i & mask, width, (i >> width) & mask, width);
+  }
+  const double dt = seconds_since(t0);
+  if (sink == 0xdeadbeef) std::printf("?");  // keep the loop observable
+  return static_cast<double>(pairs) / dt;
+}
+
+/// Same in-order replay through the 64-lane evaluator: consecutive pair
+/// indices pack transpose-free (kLanePattern planes + broadcast high bits).
+double packed_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t pairs) {
+  fabric::BitParallelEvaluator ev(nl);
+  std::vector<std::uint64_t> in(2 * width);
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t base = 0; base < pairs; base += 64) {
+    for (unsigned k = 0; k < 2 * width; ++k) {
+      in[k] = k < 6 ? fabric::kLanePattern[k]
+                    : (bit(base, k) ? ~std::uint64_t{0} : 0);
+    }
+    sink ^= ev.eval(in)[0];
+  }
+  const double dt = seconds_since(t0);
+  if (sink == 0xdeadbeef) std::printf("?");
+  return static_cast<double>(pairs) / dt;
+}
+
+/// Random 64-pair batches through the eval_mul_batch convenience API; pays
+/// two 64x64 bit transposes per batch on top of the netlist evaluation.
+double batch_api_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t pairs) {
+  fabric::BitParallelEvaluator ev(nl);
+  const std::uint64_t mask = low_mask(width);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  std::uint64_t a = 123;
+  std::uint64_t b = 77;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < pairs; i += 64) {
+    for (unsigned l = 0; l < 64; ++l) {
+      av[l] = a;
+      bv[l] = b;
+      a = (a * 131 + 1) & mask;
+      b = (b * 137 + 3) & mask;
+    }
+    ev.eval_mul_batch(av, bv, pv, 64, width, width);
+    sink ^= pv[0] ^ pv[63];
+  }
+  const double dt = seconds_since(t0);
+  if (sink == 0xdeadbeef) std::printf("?");
+  return static_cast<double>(pairs) / dt;
+}
+
+struct Row {
+  std::string name;
+  double scalar_mpairs = 0.0;
+  double packed_mpairs = 0.0;
+  double batch_mpairs = 0.0;
+  double speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      set_thread_count(static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
+    }
+  }
+  const unsigned threads = thread_count();
+  bench::print_header("Netlist evaluation throughput: scalar vs 64-lane bit-parallel");
+  std::printf("threads for sweep benches: %u (AXMULT_THREADS / --threads)\n", threads);
+
+  std::vector<Row> rows;
+  struct Case {
+    const char* name;
+    unsigned width;
+    std::uint64_t scalar_pairs;
+    std::uint64_t packed_pairs;
+  };
+  const Case cases[] = {
+      {"netlist_replay_8x8_Ca", 8, std::uint64_t{1} << 18, std::uint64_t{1} << 23},
+      {"netlist_replay_16x16_Ca", 16, std::uint64_t{1} << 16, std::uint64_t{1} << 21},
+  };
+  for (const auto& c : cases) {
+    const auto nl = multgen::make_ca_netlist(c.width);
+    Row r;
+    r.name = c.name;
+    r.scalar_mpairs = scalar_rate(nl, c.width, c.scalar_pairs) / 1e6;
+    r.packed_mpairs = packed_rate(nl, c.width, c.packed_pairs) / 1e6;
+    r.batch_mpairs = batch_api_rate(nl, c.width, c.packed_pairs) / 1e6;
+    r.speedup = r.packed_mpairs / r.scalar_mpairs;
+    rows.push_back(r);
+  }
+
+  Table t({"Replay workload", "Scalar Mpairs/s", "Bit-parallel Mpairs/s",
+           "Batch API Mpairs/s", "Speedup"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, Table::num(r.scalar_mpairs, 2), Table::num(r.packed_mpairs, 2),
+               Table::num(r.batch_mpairs, 2), Table::num(r.speedup, 1) + "x"});
+  }
+  t.print("Single-thread replay throughput");
+
+  // End-to-end sweep rates through the batched + threaded characterizer.
+  const auto nl8 = multgen::make_ca_netlist(8);
+  error::SweepConfig cfg;
+  cfg.threads = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = error::sweep_netlist_exhaustive(nl8, 8, 8, cfg);
+  const double sweep_s = seconds_since(t0);
+  const double sweep_mpairs = 65536.0 / sweep_s / 1e6;
+  std::printf("\nsweep_netlist_exhaustive 8x8 (metrics+pmf+bit-probabilities): %.2f Mpairs/s"
+              " (%llu error cases)\n",
+              sweep_mpairs, static_cast<unsigned long long>(sweep.metrics.occurrences));
+
+  std::ofstream json("BENCH_eval_throughput.json");
+  json << "{\n  \"threads\": " << threads << ",\n  \"replay\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"scalar_mpairs_per_s\": " << r.scalar_mpairs
+         << ", \"bitparallel_mpairs_per_s\": " << r.packed_mpairs
+         << ", \"batch_api_mpairs_per_s\": " << r.batch_mpairs
+         << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"sweep_netlist_exhaustive_8x8_mpairs_per_s\": " << sweep_mpairs << "\n}\n";
+  std::printf("wrote BENCH_eval_throughput.json\n");
+  return 0;
+}

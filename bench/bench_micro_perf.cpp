@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "error/metrics.hpp"
+#include "fabric/bitparallel.hpp"
 #include "fabric/netlist.hpp"
 #include "mult/recursive.hpp"
 #include "multgen/generators.hpp"
@@ -52,6 +53,72 @@ void BM_NetlistEvalCa8(benchmark::State& state) {
 }
 BENCHMARK(BM_NetlistEvalCa8);
 
+void BM_NetlistEvalBitParallelCa8(benchmark::State& state) {
+  // 64 pairs per eval: items processed counts pairs, so the per-item rate is
+  // directly comparable with BM_NetlistEvalCa8 above.
+  const auto nl = multgen::make_ca_netlist(8);
+  fabric::BitParallelEvaluator ev(nl);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  std::uint64_t a = 123;
+  std::uint64_t b = 77;
+  for (auto _ : state) {
+    for (unsigned l = 0; l < 64; ++l) {
+      av[l] = a;
+      bv[l] = b;
+      a = (a * 131 + 1) & 0xFF;
+      b = (b * 137 + 3) & 0xFF;
+    }
+    ev.eval_mul_batch(av, bv, pv, 64, 8, 8);
+    benchmark::DoNotOptimize(pv[63]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_NetlistEvalBitParallelCa8);
+
+void BM_NetlistReplayBitParallelCa8(benchmark::State& state) {
+  // In-order replay of the operand space (the sweep inner loop): packing is
+  // transpose-free via kLanePattern planes, so this is the pure evaluation
+  // rate of the bit-parallel backend.
+  const auto nl = multgen::make_ca_netlist(8);
+  fabric::BitParallelEvaluator ev(nl);
+  std::vector<std::uint64_t> in(16);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    for (unsigned k = 0; k < 16; ++k) {
+      in[k] = k < 6 ? fabric::kLanePattern[k]
+                    : ((base >> k) & 1u ? ~std::uint64_t{0} : 0);
+    }
+    benchmark::DoNotOptimize(ev.eval(in)[0]);
+    base = (base + 64) & 0xFFFF;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_NetlistReplayBitParallelCa8);
+
+void BM_NetlistEvalBitParallelCa16(benchmark::State& state) {
+  const auto nl = multgen::make_ca_netlist(16);
+  fabric::BitParallelEvaluator ev(nl);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  std::uint64_t a = 12345;
+  std::uint64_t b = 54321;
+  for (auto _ : state) {
+    for (unsigned l = 0; l < 64; ++l) {
+      av[l] = a;
+      bv[l] = b;
+      a = (a * 131 + 1) & 0xFFFF;
+      b = (b * 137 + 3) & 0xFFFF;
+    }
+    ev.eval_mul_batch(av, bv, pv, 64, 16, 16);
+    benchmark::DoNotOptimize(pv[63]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_NetlistEvalBitParallelCa16);
+
 void BM_StaCa16(benchmark::State& state) {
   const auto nl = multgen::make_ca_netlist(16);
   for (auto _ : state) {
@@ -68,6 +135,17 @@ void BM_ExhaustiveCharacterization8x8(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
 }
 BENCHMARK(BM_ExhaustiveCharacterization8x8);
+
+void BM_SweepNetlistExhaustive8x8(benchmark::State& state) {
+  // Full batched + threaded pipeline (honors AXMULT_THREADS): bit-parallel
+  // netlist replay feeding metrics, PMF and per-bit error probabilities.
+  const auto nl = multgen::make_ca_netlist(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(error::sweep_netlist_exhaustive(nl, 8, 8).metrics.occurrences);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_SweepNetlistExhaustive8x8);
 
 void BM_NetlistElaborationCa16(benchmark::State& state) {
   for (auto _ : state) {

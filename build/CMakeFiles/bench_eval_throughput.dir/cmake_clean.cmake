@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval_throughput.dir/bench/bench_eval_throughput.cpp.o"
+  "CMakeFiles/bench_eval_throughput.dir/bench/bench_eval_throughput.cpp.o.d"
+  "bench/bench_eval_throughput"
+  "bench/bench_eval_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

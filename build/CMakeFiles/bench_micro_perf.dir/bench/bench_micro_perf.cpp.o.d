@@ -189,7 +189,8 @@ CMakeFiles/bench_micro_perf.dir/bench/bench_micro_perf.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/mult/multiplier.hpp /usr/include/c++/12/memory \
+ /root/repo/src/fabric/netlist.hpp /root/repo/src/mult/multiplier.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -218,6 +219,6 @@ CMakeFiles/bench_micro_perf.dir/bench/bench_micro_perf.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/fabric/netlist.hpp /root/repo/src/mult/recursive.hpp \
+ /root/repo/src/fabric/bitparallel.hpp /root/repo/src/mult/recursive.hpp \
  /root/repo/src/multgen/generators.hpp \
  /root/repo/src/multgen/builders.hpp /root/repo/src/timing/sta.hpp

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/asic/qm.cpp" "src/CMakeFiles/axmult.dir/asic/qm.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/asic/qm.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/CMakeFiles/axmult.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/common/table.cpp.o.d"
   "/root/repo/src/error/metrics.cpp" "src/CMakeFiles/axmult.dir/error/metrics.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/error/metrics.cpp.o.d"
+  "/root/repo/src/fabric/bitparallel.cpp" "src/CMakeFiles/axmult.dir/fabric/bitparallel.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/bitparallel.cpp.o.d"
   "/root/repo/src/fabric/faults.cpp" "src/CMakeFiles/axmult.dir/fabric/faults.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/faults.cpp.o.d"
   "/root/repo/src/fabric/hdl_export.cpp" "src/CMakeFiles/axmult.dir/fabric/hdl_export.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/hdl_export.cpp.o.d"
   "/root/repo/src/fabric/netlist.cpp" "src/CMakeFiles/axmult.dir/fabric/netlist.cpp.o" "gcc" "src/CMakeFiles/axmult.dir/fabric/netlist.cpp.o.d"

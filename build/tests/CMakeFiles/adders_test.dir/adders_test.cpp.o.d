@@ -293,8 +293,8 @@ tests/CMakeFiles/adders_test.dir/adders_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/error/metrics.hpp /root/repo/src/mult/multiplier.hpp \
- /root/repo/src/fabric/netlist.hpp /root/repo/src/mult/adders.hpp \
+ /root/repo/src/error/metrics.hpp /root/repo/src/fabric/netlist.hpp \
+ /root/repo/src/mult/multiplier.hpp /root/repo/src/mult/adders.hpp \
  /root/repo/src/multgen/generators.hpp \
  /root/repo/src/multgen/builders.hpp /root/repo/src/mult/recursive.hpp \
  /root/repo/src/timing/sta.hpp

@@ -317,4 +317,4 @@ tests/CMakeFiles/apps_fir_test.dir/apps_fir_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/apps/filters.hpp \
  /root/repo/src/apps/fir.hpp /root/repo/src/mult/multiplier.hpp \
  /root/repo/src/apps/image.hpp /root/repo/src/error/metrics.hpp \
- /root/repo/src/mult/recursive.hpp
+ /root/repo/src/fabric/netlist.hpp /root/repo/src/mult/recursive.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitparallel_test.dir/bitparallel_test.cpp.o"
+  "CMakeFiles/bitparallel_test.dir/bitparallel_test.cpp.o.d"
+  "bitparallel_test"
+  "bitparallel_test.pdb"
+  "bitparallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitparallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_sweep_test.dir/heavy_sweep_test.cpp.o"
+  "CMakeFiles/heavy_sweep_test.dir/heavy_sweep_test.cpp.o.d"
+  "heavy_sweep_test"
+  "heavy_sweep_test.pdb"
+  "heavy_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

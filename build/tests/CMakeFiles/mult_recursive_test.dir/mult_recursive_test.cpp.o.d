@@ -293,5 +293,5 @@ tests/CMakeFiles/mult_recursive_test.dir/mult_recursive_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/error/metrics.hpp /root/repo/src/mult/multiplier.hpp \
- /root/repo/src/mult/recursive.hpp
+ /root/repo/src/error/metrics.hpp /root/repo/src/fabric/netlist.hpp \
+ /root/repo/src/mult/multiplier.hpp /root/repo/src/mult/recursive.hpp

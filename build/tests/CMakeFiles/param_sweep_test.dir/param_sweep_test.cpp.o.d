@@ -294,7 +294,8 @@ tests/CMakeFiles/param_sweep_test.dir/param_sweep_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/bits.hpp /root/repo/src/common/rng.hpp \
- /root/repo/src/error/metrics.hpp /root/repo/src/mult/multiplier.hpp \
- /root/repo/src/mult/recursive.hpp /root/repo/src/multgen/generators.hpp \
- /root/repo/src/fabric/netlist.hpp /root/repo/src/multgen/builders.hpp \
- /root/repo/src/power/power.hpp /root/repo/src/timing/sta.hpp
+ /root/repo/src/error/metrics.hpp /root/repo/src/fabric/netlist.hpp \
+ /root/repo/src/mult/multiplier.hpp /root/repo/src/mult/recursive.hpp \
+ /root/repo/src/multgen/generators.hpp \
+ /root/repo/src/multgen/builders.hpp /root/repo/src/power/power.hpp \
+ /root/repo/src/timing/sta.hpp

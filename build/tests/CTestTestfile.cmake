@@ -20,3 +20,6 @@ include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
 include("/root/repo/build/tests/faults_test[1]_include.cmake")
 include("/root/repo/build/tests/adders_test[1]_include.cmake")
 include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/bitparallel_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/heavy_sweep_test[1]_include.cmake")

@@ -1,0 +1,93 @@
+// Work-sharding helpers for the multithreaded sweep paths.
+//
+// The unit of distribution is a *chunk* (a fixed, thread-count-independent
+// slice of the iteration space). Threads pull chunks from a shared atomic
+// counter, so the chunk -> thread assignment is dynamic, but because every
+// reduction in this codebase is either exact-integer (order-independent) or
+// performed per chunk and folded in chunk order afterwards, results are
+// bit-identical for any thread count.
+//
+// Thread-count resolution order: explicit argument > set_thread_count() >
+// AXMULT_THREADS environment variable > std::thread::hardware_concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace axmult {
+
+namespace detail {
+inline unsigned& thread_count_override() {
+  static unsigned count = 0;  // 0 = not set
+  return count;
+}
+}  // namespace detail
+
+/// Process-wide default thread count for sweeps (0 restores auto detection).
+inline void set_thread_count(unsigned n) { detail::thread_count_override() = n; }
+
+/// Resolves the effective thread count: `requested` if nonzero, otherwise
+/// set_thread_count(), otherwise AXMULT_THREADS, otherwise the hardware
+/// concurrency (at least 1).
+inline unsigned thread_count(unsigned requested = 0) {
+  if (requested != 0) return requested;
+  if (detail::thread_count_override() != 0) return detail::thread_count_override();
+  if (const char* env = std::getenv("AXMULT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+/// Runs `num_chunks` chunk indices across `threads` workers.
+///
+/// `make_worker()` is invoked once per worker thread and must return a
+/// callable `void(std::uint64_t chunk_index)`; per-thread state (evaluators,
+/// scratch buffers, partial accumulators) lives in that closure. With one
+/// thread (or one chunk) everything runs inline on the calling thread.
+/// The first exception thrown by any worker is rethrown on the caller.
+template <typename MakeWorker>
+void parallel_chunks(std::uint64_t num_chunks, unsigned threads, MakeWorker&& make_worker) {
+  threads = thread_count(threads);
+  if (num_chunks == 0) return;
+  if (threads <= 1 || num_chunks == 1) {
+    auto worker = make_worker();
+    for (std::uint64_t c = 0; c < num_chunks; ++c) worker(c);
+    return;
+  }
+  if (threads > num_chunks) threads = static_cast<unsigned>(num_chunks);
+
+  std::atomic<std::uint64_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto body = [&] {
+    try {
+      auto worker = make_worker();
+      for (;;) {
+        const std::uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks) break;
+        worker(c);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+      // Drain remaining chunks so sibling threads stop promptly.
+      next.store(num_chunks, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(body);
+  body();
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace axmult

@@ -4,11 +4,73 @@
 #include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 
 #include "common/bits.hpp"
+#include "common/parallel_for.hpp"
 #include "common/rng.hpp"
+#include "fabric/bitparallel.hpp"
 
 namespace axmult::error {
+
+namespace {
+
+/// Batch width for the PairSource adapter: pairs are pulled from the
+/// (type-erased) source into flat operand buffers, then characterized in a
+/// tight loop — one std::function call per pair for the *source* only, and
+/// none for the operator being measured.
+constexpr std::size_t kBatchPairs = 256;
+
+/// Fills up to `cap` pairs from `source`; returns how many were produced.
+inline std::size_t fill_batch(const PairSource& source, std::uint64_t* a, std::uint64_t* b,
+                              std::size_t cap) {
+  std::size_t n = 0;
+  while (n < cap && source(a[n], b[n])) ++n;
+  return n;
+}
+
+template <typename ApproxFn, typename ExactFn>
+ErrorMetrics characterize_batched(const ApproxFn& approx_fn, const ExactFn& exact_fn,
+                                  const PairSource& source) {
+  ErrorMetrics r;
+  long double sum_abs = 0.0L;
+  long double sum_rel = 0.0L;
+  long double sum_signed = 0.0L;
+  std::uint64_t av[kBatchPairs];
+  std::uint64_t bv[kBatchPairs];
+  for (;;) {
+    const std::size_t n = fill_batch(source, av, bv, kBatchPairs);
+    if (n == 0) break;
+    r.samples += n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t exact = exact_fn(av[k], bv[k]);
+      const std::uint64_t approx = approx_fn(av[k], bv[k]);
+      if (approx == exact) continue;
+      const std::int64_t signed_err =
+          static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+      const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
+      ++r.occurrences;
+      sum_abs += static_cast<long double>(mag);
+      sum_signed += static_cast<long double>(signed_err);
+      if (exact != 0) sum_rel += static_cast<long double>(mag) / static_cast<long double>(exact);
+      if (mag > r.max_error) {
+        r.max_error = mag;
+        r.max_error_occurrences = 1;
+      } else if (mag == r.max_error) {
+        ++r.max_error_occurrences;
+      }
+    }
+    if (n < kBatchPairs) break;  // source exhausted mid-batch
+  }
+  if (r.samples > 0) {
+    r.avg_error = static_cast<double>(sum_abs / static_cast<long double>(r.samples));
+    r.avg_relative_error = static_cast<double>(sum_rel / static_cast<long double>(r.samples));
+    r.mean_signed_error = static_cast<double>(sum_signed / static_cast<long double>(r.samples));
+  }
+  return r;
+}
+
+}  // namespace
 
 PairSource exhaustive_source(unsigned a_bits, unsigned b_bits) {
   auto state = std::make_shared<std::uint64_t>(0);
@@ -75,43 +137,14 @@ PairSource trace_source(const std::vector<std::pair<std::uint64_t, std::uint64_t
 
 ErrorMetrics characterize_op(const BinaryFn& approx_fn, const BinaryFn& exact_fn,
                              PairSource source) {
-  ErrorMetrics r;
-  long double sum_abs = 0.0L;
-  long double sum_rel = 0.0L;
-  long double sum_signed = 0.0L;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  while (source(a, b)) {
-    ++r.samples;
-    const std::uint64_t exact = exact_fn(a, b);
-    const std::uint64_t approx = approx_fn(a, b);
-    if (approx == exact) continue;
-    const std::int64_t signed_err =
-        static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
-    const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
-    ++r.occurrences;
-    sum_abs += static_cast<long double>(mag);
-    sum_signed += static_cast<long double>(signed_err);
-    if (exact != 0) sum_rel += static_cast<long double>(mag) / static_cast<long double>(exact);
-    if (mag > r.max_error) {
-      r.max_error = mag;
-      r.max_error_occurrences = 1;
-    } else if (mag == r.max_error) {
-      ++r.max_error_occurrences;
-    }
-  }
-  if (r.samples > 0) {
-    r.avg_error = static_cast<double>(sum_abs / static_cast<long double>(r.samples));
-    r.avg_relative_error = static_cast<double>(sum_rel / static_cast<long double>(r.samples));
-    r.mean_signed_error = static_cast<double>(sum_signed / static_cast<long double>(r.samples));
-  }
-  return r;
+  return characterize_batched(approx_fn, exact_fn, source);
 }
 
 ErrorMetrics characterize(const mult::Multiplier& m, PairSource source) {
-  return characterize_op([&m](std::uint64_t a, std::uint64_t b) { return m.multiply(a, b); },
-                         [](std::uint64_t a, std::uint64_t b) { return a * b; },
-                         std::move(source));
+  // Direct virtual dispatch per pair (no std::function hop for the model).
+  return characterize_batched(
+      [&m](std::uint64_t a, std::uint64_t b) { return m.multiply(a, b); },
+      [](std::uint64_t a, std::uint64_t b) { return a * b; }, source);
 }
 
 ErrorMetrics characterize_exhaustive(const mult::Multiplier& m) {
@@ -126,15 +159,20 @@ std::vector<double> bit_error_probability(const mult::Multiplier& m, PairSource 
   const unsigned nbits = m.product_bits();
   std::vector<std::uint64_t> wrong(nbits, 0);
   std::uint64_t samples = 0;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  while (source(a, b)) {
-    ++samples;
-    const std::uint64_t diff = (a * b) ^ m.multiply(a, b);
-    if (diff == 0) continue;
-    for (unsigned i = 0; i < nbits; ++i) {
-      wrong[i] += bit(diff, i);
+  std::uint64_t av[kBatchPairs];
+  std::uint64_t bv[kBatchPairs];
+  for (;;) {
+    const std::size_t n = fill_batch(source, av, bv, kBatchPairs);
+    if (n == 0) break;
+    samples += n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t diff = (av[k] * bv[k]) ^ m.multiply(av[k], bv[k]);
+      if (diff == 0) continue;
+      for (unsigned i = 0; i < nbits; ++i) {
+        wrong[i] += bit(diff, i);
+      }
     }
+    if (n < kBatchPairs) break;
   }
   std::vector<double> prob(nbits, 0.0);
   if (samples) {
@@ -147,17 +185,223 @@ std::vector<double> bit_error_probability(const mult::Multiplier& m, PairSource 
 
 std::map<std::uint64_t, std::uint64_t> error_pmf(const mult::Multiplier& m, PairSource source) {
   std::map<std::uint64_t, std::uint64_t> pmf;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  while (source(a, b)) {
-    const std::uint64_t exact = a * b;
-    const std::uint64_t approx = m.multiply(a, b);
-    if (approx == exact) continue;
-    const std::int64_t err =
-        static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
-    ++pmf[static_cast<std::uint64_t>(std::llabs(err))];
+  std::uint64_t av[kBatchPairs];
+  std::uint64_t bv[kBatchPairs];
+  for (;;) {
+    const std::size_t n = fill_batch(source, av, bv, kBatchPairs);
+    if (n == 0) break;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t exact = av[k] * bv[k];
+      const std::uint64_t approx = m.multiply(av[k], bv[k]);
+      if (approx == exact) continue;
+      const std::int64_t err =
+          static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+      ++pmf[static_cast<std::uint64_t>(std::llabs(err))];
+    }
+    if (n < kBatchPairs) break;
   }
   return pmf;
+}
+
+// ---- batched + multithreaded sweeps --------------------------------------
+
+namespace {
+
+/// Per-worker accumulator. Everything here is exact-integer arithmetic, so
+/// merging workers in any order yields bit-identical results; the relative
+/// error (the one float sum) is handled per chunk by the driver instead.
+struct SweepAccum {
+  std::uint64_t samples = 0;
+  std::uint64_t occurrences = 0;
+  std::uint64_t max_error = 0;
+  std::uint64_t max_error_occurrences = 0;
+  unsigned __int128 sum_abs = 0;   // <= 2^32 pairs * 2^32 error: needs 128 bits
+  __int128 sum_signed = 0;
+  std::vector<std::uint64_t> bit_wrong;  // empty when not collected
+  std::map<std::uint64_t, std::uint64_t> pmf;
+  bool collect_pmf = false;
+
+  void init(const SweepConfig& cfg, unsigned product_bits) {
+    if (cfg.collect_bit_probability) bit_wrong.assign(product_bits, 0);
+    collect_pmf = cfg.collect_pmf;
+  }
+
+  inline void add(std::uint64_t exact, std::uint64_t approx, long double& rel_sum) {
+    ++samples;
+    if (approx == exact) return;
+    const std::int64_t signed_err =
+        static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+    const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
+    ++occurrences;
+    sum_abs += mag;
+    sum_signed += signed_err;
+    if (exact != 0) {
+      rel_sum += static_cast<long double>(mag) / static_cast<long double>(exact);
+    }
+    if (mag > max_error) {
+      max_error = mag;
+      max_error_occurrences = 1;
+    } else if (mag == max_error) {
+      ++max_error_occurrences;
+    }
+    if (!bit_wrong.empty()) {
+      const std::uint64_t diff = exact ^ approx;
+      for (std::size_t i = 0; i < bit_wrong.size(); ++i) {
+        bit_wrong[i] += bit(diff, static_cast<unsigned>(i));
+      }
+    }
+    if (collect_pmf) ++pmf[mag];
+  }
+
+  void merge(const SweepAccum& o) {
+    samples += o.samples;
+    occurrences += o.occurrences;
+    sum_abs += o.sum_abs;
+    sum_signed += o.sum_signed;
+    if (o.max_error > max_error) {
+      max_error = o.max_error;
+      max_error_occurrences = o.max_error_occurrences;
+    } else if (o.max_error == max_error) {
+      max_error_occurrences += o.max_error_occurrences;
+    }
+    for (std::size_t i = 0; i < bit_wrong.size(); ++i) bit_wrong[i] += o.bit_wrong[i];
+    for (const auto& [mag, count] : o.pmf) pmf[mag] += count;
+  }
+};
+
+/// Sweep driver: shards `total_pairs` into fixed 64-aligned chunks, runs
+/// `make_processor()` workers over them, and reduces deterministically.
+/// A processor is a callable (SweepAccum&, long double& rel, begin, end).
+template <typename MakeProcessor>
+SweepResult run_sweep(std::uint64_t total_pairs, unsigned product_bits, const SweepConfig& cfg,
+                      MakeProcessor&& make_processor) {
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(64, (cfg.chunk_pairs + 63) & ~std::uint64_t{63});
+  const std::uint64_t num_chunks = total_pairs == 0 ? 0 : ceil_div(total_pairs, chunk);
+  std::vector<long double> chunk_rel(num_chunks, 0.0L);
+  std::vector<std::shared_ptr<SweepAccum>> partials;
+  std::mutex partials_mutex;
+
+  parallel_chunks(num_chunks, cfg.threads, [&] {
+    auto accum = std::make_shared<SweepAccum>();
+    accum->init(cfg, product_bits);
+    {
+      const std::lock_guard<std::mutex> lock(partials_mutex);
+      partials.push_back(accum);
+    }
+    return [accum, processor = make_processor(), &chunk_rel, chunk,
+            total_pairs](std::uint64_t c) mutable {
+      const std::uint64_t begin = c * chunk;
+      const std::uint64_t end = std::min(total_pairs, begin + chunk);
+      processor(*accum, chunk_rel[c], begin, end);
+    };
+  });
+
+  SweepAccum total;
+  total.init(cfg, product_bits);
+  // Worker merge order is registration order (nondeterministic) — safe,
+  // because every merged quantity is exact-integer.
+  for (const auto& p : partials) total.merge(*p);
+  // The one floating-point reduction folds in chunk-index order.
+  long double rel = 0.0L;
+  for (const long double r : chunk_rel) rel += r;
+
+  SweepResult result;
+  result.metrics.samples = total.samples;
+  result.metrics.occurrences = total.occurrences;
+  result.metrics.max_error = total.max_error;
+  result.metrics.max_error_occurrences = total.max_error_occurrences;
+  if (total.samples > 0) {
+    const long double n = static_cast<long double>(total.samples);
+    result.metrics.avg_error = static_cast<double>(static_cast<long double>(total.sum_abs) / n);
+    result.metrics.avg_relative_error = static_cast<double>(rel / n);
+    result.metrics.mean_signed_error =
+        static_cast<double>(static_cast<long double>(total.sum_signed) / n);
+  }
+  if (cfg.collect_bit_probability && total.samples > 0) {
+    result.bit_error_probability.resize(product_bits);
+    for (unsigned i = 0; i < product_bits; ++i) {
+      result.bit_error_probability[i] =
+          static_cast<double>(total.bit_wrong[i]) / static_cast<double>(total.samples);
+    }
+  }
+  result.pmf = std::move(total.pmf);
+  return result;
+}
+
+}  // namespace
+
+SweepResult sweep_exhaustive(const mult::Multiplier& m, const SweepConfig& cfg) {
+  const unsigned a_bits = m.a_bits();
+  const std::uint64_t amask = low_mask(a_bits);
+  const std::uint64_t total = std::uint64_t{1} << (a_bits + m.b_bits());
+  return run_sweep(total, m.product_bits(), cfg, [&m, a_bits, amask] {
+    return [&m, a_bits, amask](SweepAccum& acc, long double& rel, std::uint64_t begin,
+                               std::uint64_t end) {
+      for (std::uint64_t idx = begin; idx < end; ++idx) {
+        const std::uint64_t a = idx & amask;
+        const std::uint64_t b = idx >> a_bits;
+        acc.add(a * b, m.multiply(a, b), rel);
+      }
+    };
+  });
+}
+
+SweepResult sweep_netlist_exhaustive(const fabric::Netlist& nl, unsigned a_bits, unsigned b_bits,
+                                     const SweepConfig& cfg) {
+  const unsigned nbits = a_bits + b_bits;
+  if (nl.inputs().size() != nbits) {
+    throw std::invalid_argument("sweep_netlist_exhaustive: input width mismatch");
+  }
+  const std::uint64_t amask = low_mask(a_bits);
+  const std::uint64_t total = std::uint64_t{1} << nbits;
+  return run_sweep(total, nbits, cfg, [&nl, a_bits, nbits, amask] {
+    // One 64-lane evaluator per worker thread. Chunks are 64-aligned, so
+    // the 64 consecutive operand indices of each group need no transpose:
+    // bit-plane k of the packed index is a fixed lane pattern below bit 6
+    // and a broadcast of the group base above it.
+    auto ev = std::make_shared<fabric::BitParallelEvaluator>(nl);
+    std::vector<std::uint64_t> in(nbits);
+    return [ev, in, a_bits, nbits, amask](SweepAccum& acc, long double& rel,
+                                          std::uint64_t begin, std::uint64_t end) mutable {
+      for (std::uint64_t base = begin; base < end; base += 64) {
+        for (unsigned k = 0; k < nbits; ++k) {
+          in[k] = k < 6 ? fabric::kLanePattern[k]
+                        : (bit(base, k) ? ~std::uint64_t{0} : std::uint64_t{0});
+        }
+        const auto& out = ev->eval(in);
+        const std::uint64_t lanes = std::min<std::uint64_t>(64, end - base);
+        for (std::uint64_t l = 0; l < lanes; ++l) {
+          std::uint64_t approx = 0;
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            approx |= ((out[i] >> l) & 1u) << i;
+          }
+          const std::uint64_t idx = base + l;
+          const std::uint64_t a = idx & amask;
+          acc.add(a * (idx >> a_bits), approx, rel);
+        }
+      }
+    };
+  });
+}
+
+SweepResult sweep_sampled(const mult::Multiplier& m, std::uint64_t n, std::uint64_t seed,
+                          const SweepConfig& cfg) {
+  const std::uint64_t amask = low_mask(m.a_bits());
+  const std::uint64_t bmask = low_mask(m.b_bits());
+  return run_sweep(n, m.product_bits(), cfg, [&m, amask, bmask, seed] {
+    return [&m, amask, bmask, seed](SweepAccum& acc, long double& rel, std::uint64_t begin,
+                                    std::uint64_t end) {
+      // Chunk-local stream: the sample set depends on (seed, chunk_pairs)
+      // but not on which thread drew it.
+      Xoshiro256 rng(seed ^ ((begin + 1) * 0x9E3779B97F4A7C15ULL));
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const std::uint64_t a = rng() & amask;
+        const std::uint64_t b = rng() & bmask;
+        acc.add(a * b, m.multiply(a, b), rel);
+      }
+    };
+  });
 }
 
 std::vector<ErrorCase> collect_error_cases(const mult::Multiplier& m, PairSource source,

@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "fabric/netlist.hpp"
 #include "mult/multiplier.hpp"
 
 namespace axmult::error {
@@ -92,6 +93,56 @@ using BinaryFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
 /// Distribution of |error| values with their occurrence counts (Fig 8b).
 [[nodiscard]] std::map<std::uint64_t, std::uint64_t> error_pmf(const mult::Multiplier& m,
                                                                PairSource source);
+
+// ---- batched + multithreaded sweeps --------------------------------------
+//
+// The per-pair PairSource/std::function loop above stays the flexible
+// public API; the functions below are the high-throughput path: operands
+// are enumerated in 64-wide batches (matching fabric::BitParallelEvaluator
+// lanes) and fanned out across std::threads in fixed-size chunks.
+//
+// Determinism: results are bit-identical for ANY thread count. Integer
+// accumulators (counts, |error| sums in 128-bit) are exactly associative,
+// so per-thread partials can merge in any order; the only floating-point
+// accumulation (relative error) is kept per chunk and folded in chunk-index
+// order after the join.
+
+struct SweepConfig {
+  /// Worker threads; 0 = auto (set_thread_count() / AXMULT_THREADS env /
+  /// hardware_concurrency — see common/parallel_for.hpp).
+  unsigned threads = 0;
+  /// Pairs per work chunk (rounded up to a multiple of 64). Fixed chunking
+  /// is what makes float results independent of the thread count.
+  std::uint64_t chunk_pairs = std::uint64_t{1} << 20;
+  bool collect_pmf = true;              ///< Fig. 8b |error| histogram
+  bool collect_bit_probability = true;  ///< Fig. 8a per-bit error rates
+};
+
+/// Everything one pass over the input space can produce: the Table 2/5
+/// metrics plus the Fig. 8 artifacts (empty when not collected).
+struct SweepResult {
+  ErrorMetrics metrics;
+  std::vector<double> bit_error_probability;
+  std::map<std::uint64_t, std::uint64_t> pmf;
+};
+
+/// Exhaustive sweep of the behavioral model over all 2^(a_bits+b_bits)
+/// pairs. This is the path that makes full 2^32-pair characterization of
+/// the 16x16 designs practical.
+[[nodiscard]] SweepResult sweep_exhaustive(const mult::Multiplier& m,
+                                           const SweepConfig& cfg = {});
+
+/// Exhaustive sweep replaying the structural netlist through one 64-lane
+/// fabric::BitParallelEvaluator per worker thread. Inputs must be declared
+/// a0..a(n-1), b0..b(n-1) as the multgen generators do.
+[[nodiscard]] SweepResult sweep_netlist_exhaustive(const fabric::Netlist& nl, unsigned a_bits,
+                                                   unsigned b_bits, const SweepConfig& cfg = {});
+
+/// Sampled sweep: `n` uniform pairs. Each chunk draws from its own
+/// seed-derived stream, so the sample set depends on (seed, chunk_pairs)
+/// but not on the thread count.
+[[nodiscard]] SweepResult sweep_sampled(const mult::Multiplier& m, std::uint64_t n,
+                                        std::uint64_t seed = 1, const SweepConfig& cfg = {});
 
 /// Collects the erroneous inputs (up to `limit`) — regenerates Table 2.
 struct ErrorCase {

@@ -1,0 +1,323 @@
+#include "fabric/bitparallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace axmult::fabric {
+
+namespace {
+
+/// 64-lane 2:1 mux: lane-wise `sel ? hi : lo`, branchless.
+inline std::uint64_t mux64(std::uint64_t sel, std::uint64_t hi, std::uint64_t lo) noexcept {
+  return lo ^ (sel & (hi ^ lo));
+}
+
+/// Restricts variable `pos` of an `nv`-variable truth table to `val`,
+/// returning the cofactor over the remaining nv-1 variables.
+std::uint64_t cofactor(std::uint64_t tt, unsigned nv, unsigned pos, unsigned val) {
+  std::uint64_t r = 0;
+  for (unsigned m = 0; m < (1u << (nv - 1)); ++m) {
+    const unsigned idx = (m & ((1u << pos) - 1)) | (val << pos) | ((m >> pos) << (pos + 1));
+    r |= ((tt >> idx) & 1u) << m;
+  }
+  return r;
+}
+
+/// In-place 64x64 bit-matrix transpose: afterwards a[i] bit l == (original)
+/// a[l] bit i. Used to convert between lane-major operand words and the
+/// bit-plane words the evaluator consumes. Involution.
+void transpose64(std::uint64_t a[64]) noexcept {
+  for (unsigned t = 6; t-- > 0;) {
+    const unsigned j = 1u << t;
+    const std::uint64_t m = kLanePattern[t];
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t x = (a[k] ^ (a[k + j] << j)) & m;
+      a[k] ^= x;
+      a[k + j] ^= x >> j;
+    }
+  }
+}
+
+}  // namespace
+
+void BitParallelEvaluator::compile_lut(std::uint64_t tt, unsigned nvars, const NetId* in,
+                                       NetId out) {
+  // Cofactor away constant inputs (GND / VCC / unconnected), then variables
+  // the function does not actually depend on. What remains is the true
+  // support — typically 2..5 nets even for "6-input" LUT instances.
+  std::array<std::uint32_t, 6> net{};
+  unsigned nv = nvars;
+  for (unsigned v = 0; v < nvars; ++v) net[v] = in[v];
+  auto remove_var = [&](unsigned v) {
+    for (unsigned i = v; i + 1 < nv; ++i) net[i] = net[i + 1];
+    --nv;
+  };
+  for (unsigned v = 0; v < nv;) {
+    if (net[v] == kNetGnd || net[v] == kNoNet) {
+      tt = cofactor(tt, nv, v, 0);
+      remove_var(v);
+    } else if (net[v] == kNetVcc) {
+      tt = cofactor(tt, nv, v, 1);
+      remove_var(v);
+    } else {
+      ++v;
+    }
+  }
+  for (unsigned v = 0; v < nv;) {
+    if (cofactor(tt, nv, v, 0) == cofactor(tt, nv, v, 1)) {
+      tt = cofactor(tt, nv, v, 0);
+      remove_var(v);
+    } else {
+      ++v;
+    }
+  }
+
+  LutFn f{};
+  f.out = out;
+  f.k = static_cast<std::uint8_t>(nv);
+  f.in = net;
+  if (nv == 0) {
+    f.const_word = (tt & 1u) ? ~std::uint64_t{0} : 0;
+    luts_.push_back(f);
+    return;
+  }
+
+  // Algebraic normal form via the XOR Mobius transform, computed directly on
+  // the packed truth-table word: anf bit m = XOR of tt over all submasks of
+  // m. Multiplier cells (partial-product ANDs, compressor sums/carries) have
+  // a handful of monomials, making XOR-of-ANDs far cheaper than a mux tree.
+  std::uint64_t anf = tt;
+  for (unsigned v = 0; v < nv; ++v) {
+    anf ^= (anf & ~kLanePattern[v]) << (1u << v);
+  }
+  anf &= nv == 6 ? ~std::uint64_t{0} : low_mask(1u << nv);
+  const unsigned monos = static_cast<unsigned>(popcount(anf));
+
+  // Break-even vs the mux tree (~3 ops/node) sits around half the minterm
+  // count; arithmetic logic is always far below it.
+  if (monos <= (1u << nv) / 2 + 1) {
+    f.n_monos = static_cast<std::uint8_t>(monos);
+    f.prog_base = static_cast<std::uint32_t>(anf_.size());
+    for (unsigned m = 0; m < (1u << nv); ++m) {
+      if (((anf >> m) & 1u) == 0) continue;
+      anf_.push_back(static_cast<std::uint32_t>(popcount(std::uint64_t{m})));
+      for (unsigned v = 0; v < nv; ++v) {
+        if (m & (1u << v)) anf_.push_back(net[v]);  // net ids resolved here
+      }
+    }
+  } else {
+    // Dense function: first Shannon level (selector = in[0]) precomputed as
+    // branchless (lo, lo^hi) broadcast-mask pairs: leaf_j = lo ^ (x & i0).
+    f.n_monos = 0xFF;
+    f.prog_base = static_cast<std::uint32_t>(leaf_.size());
+    for (unsigned j = 0; j < (1u << (nv - 1)); ++j) {
+      const std::uint64_t lo = ((tt >> (2 * j)) & 1u) ? ~std::uint64_t{0} : 0;
+      const std::uint64_t hi = ((tt >> (2 * j + 1)) & 1u) ? ~std::uint64_t{0} : 0;
+      leaf_.push_back({lo, lo ^ hi});
+    }
+  }
+  luts_.push_back(f);
+}
+
+BitParallelEvaluator::BitParallelEvaluator(const Netlist& nl) : nl_(nl) {
+  // One trash slot past the last net absorbs writes to unconnected outputs.
+  const std::uint32_t trash = static_cast<std::uint32_t>(nl.net_count());
+  value_.assign(nl.net_count() + 1, 0);
+  value_[kNetVcc] = ~std::uint64_t{0};
+  const auto remap = [trash](NetId n) { return n == kNoNet ? trash : n; };
+
+  std::uint32_t ff_slot = 0;
+  const auto& cells = nl.cells();
+  for (std::uint32_t ci : nl.topo_order()) {
+    const Cell& c = cells[ci];
+    switch (c.kind) {
+      case CellKind::kLut6: {
+        tape_.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts_.size())});
+        compile_lut(c.init, 6, c.in.data(), c.out[0]);
+        if (c.out[1] != kNoNet) {
+          tape_.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts_.size())});
+          compile_lut(c.init & 0xFFFFFFFFu, 5, c.in.data(), c.out[1]);
+        }
+        break;
+      }
+      case CellKind::kCarry4: {
+        CarryFn f{};
+        f.cyinit = c.in[0];
+        for (unsigned i = 0; i < 4; ++i) {
+          f.s[i] = remap(c.in[1 + i]);
+          f.di[i] = remap(c.in[5 + i]);
+          f.o[i] = remap(c.out[i]);
+          f.co[i] = remap(c.out[4 + i]);
+        }
+        tape_.push_back({TapeKind::kCarry, static_cast<std::uint32_t>(carries_.size())});
+        carries_.push_back(f);
+        break;
+      }
+      case CellKind::kDsp:
+        tape_.push_back({TapeKind::kDsp, ci});
+        break;
+      case CellKind::kFdre:
+        // Zero combinational dependencies put flip-flops first in the topo
+        // order; slots count up in cell order, matching the latch loop in
+        // eval_impl and the scalar evaluator.
+        tape_.push_back({TapeKind::kFf, ff_slot++});
+        ff_q_.push_back(c.out[0]);
+        break;
+    }
+  }
+}
+
+const std::vector<std::uint64_t>& BitParallelEvaluator::eval(
+    const std::vector<std::uint64_t>& input_words) {
+  if (input_words.size() != nl_.inputs().size()) {
+    throw std::invalid_argument("BitParallelEvaluator::eval: wrong number of input words");
+  }
+  eval_impl(input_words.data(), input_words.size(), nullptr);
+  return out_;
+}
+
+void BitParallelEvaluator::eval_impl(const std::uint64_t* input_words, std::size_t n_inputs,
+                                     std::vector<std::uint64_t>* ff_state) {
+  const auto& inputs = nl_.inputs();
+  for (std::size_t i = 0; i < n_inputs; ++i) value_[inputs[i]] = input_words[i];
+
+  std::uint64_t* const val = value_.data();
+  std::uint64_t buf[32];
+  for (const TapeEntry& e : tape_) {
+    switch (e.kind) {
+      case TapeKind::kLut: {
+        const LutFn& f = luts_[e.idx];
+        if (f.k == 0) {
+          val[f.out] = f.const_word;
+          break;
+        }
+        if (f.n_monos != 0xFF) {
+          // XOR of AND-monomials over the packed words.
+          const std::uint32_t* mp = anf_.data() + f.prog_base;
+          std::uint64_t r = 0;
+          for (unsigned m = 0; m < f.n_monos; ++m) {
+            const unsigned nv = *mp++;
+            std::uint64_t term = ~std::uint64_t{0};
+            for (unsigned j = 0; j < nv; ++j) term &= val[*mp++];
+            r ^= term;
+          }
+          val[f.out] = r;
+          break;
+        }
+        const Leaf* lp = leaf_.data() + f.prog_base;
+        const std::uint64_t i0 = val[f.in[0]];
+        unsigned nodes = 1u << (f.k - 1);
+        for (unsigned j = 0; j < nodes; ++j) buf[j] = lp[j].lo ^ (lp[j].x & i0);
+        for (unsigned l = 1; l < f.k; ++l) {
+          const std::uint64_t sel = val[f.in[l]];
+          nodes >>= 1;
+          for (unsigned j = 0; j < nodes; ++j) buf[j] = mux64(sel, buf[2 * j + 1], buf[2 * j]);
+        }
+        val[f.out] = buf[0];
+        break;
+      }
+      case TapeKind::kCarry: {
+        const CarryFn& f = carries_[e.idx];
+        std::uint64_t carry = val[f.cyinit];
+        for (unsigned i = 0; i < 4; ++i) {
+          const std::uint64_t s = val[f.s[i]];
+          val[f.o[i]] = s ^ carry;        // XORCY, all 64 lanes at once
+          carry = mux64(s, carry, val[f.di[i]]);  // MUXCY
+          val[f.co[i]] = carry;
+        }
+        break;
+      }
+      case TapeKind::kDsp: {
+        // Per-lane multiply: gather operand bits, multiply, scatter product
+        // bits. O(64 * pins) but DSP cells are rare and tiny.
+        const Cell& c = nl_.cells()[e.idx];
+        dsp_scratch_.assign(c.out.size(), 0);
+        const unsigned aw = c.dsp_a_width;
+        const unsigned bw = static_cast<unsigned>(c.in.size()) - aw;
+        for (unsigned l = 0; l < kLanes; ++l) {
+          std::uint64_t a = 0;
+          std::uint64_t b = 0;
+          for (unsigned i = 0; i < aw; ++i) a |= ((val[c.in[i]] >> l) & 1u) << i;
+          for (unsigned i = 0; i < bw; ++i) b |= ((val[c.in[aw + i]] >> l) & 1u) << i;
+          const std::uint64_t p = a * b;
+          for (std::size_t i = 0; i < c.out.size(); ++i) {
+            dsp_scratch_[i] |= bit(p, static_cast<unsigned>(i)) << l;
+          }
+        }
+        for (std::size_t i = 0; i < c.out.size(); ++i) val[c.out[i]] = dsp_scratch_[i];
+        break;
+      }
+      case TapeKind::kFf: {
+        if (ff_state == nullptr) {
+          throw std::invalid_argument(
+              "BitParallelEvaluator: sequential netlist — use BitParallelSeqEvaluator instead");
+        }
+        val[ff_q_[e.idx]] = (*ff_state)[e.idx];
+        break;
+      }
+    }
+  }
+  if (ff_state != nullptr) {
+    // Clock edge: latch every D word into the state (cell declaration order).
+    std::size_t idx = 0;
+    for (const Cell& c : nl_.cells()) {
+      if (c.kind == CellKind::kFdre) (*ff_state)[idx++] = val[c.in[0]];
+    }
+  }
+  const auto& outputs = nl_.outputs();
+  out_.resize(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) out_[i] = val[outputs[i]];
+}
+
+void BitParallelEvaluator::eval_mul_batch(const std::uint64_t* a, const std::uint64_t* b,
+                                          std::uint64_t* p, std::size_t n, unsigned a_bits,
+                                          unsigned b_bits) {
+  if (n == 0) return;
+  if (n > kLanes) {
+    throw std::invalid_argument("BitParallelEvaluator::eval_mul_batch: n > 64");
+  }
+  if (nl_.inputs().size() != a_bits + b_bits) {
+    throw std::invalid_argument("BitParallelEvaluator::eval_mul_batch: input width mismatch");
+  }
+  // Lane-major -> bit-plane conversion in one 64x64 transpose: row l holds
+  // b[l]:a[l] concatenated, so after the transpose row i is the packed word
+  // of input bit i.
+  std::uint64_t rows[64] = {};
+  const std::uint64_t amask = low_mask(a_bits);
+  const std::uint64_t bmask = low_mask(b_bits);
+  for (std::size_t l = 0; l < n; ++l) {
+    rows[l] = (a[l] & amask) | ((b[l] & bmask) << a_bits);
+  }
+  transpose64(rows);
+  eval_impl(rows, a_bits + b_bits, nullptr);
+  // Same trick backwards for the products (outputs are at most 64 bits).
+  std::uint64_t prows[64] = {};
+  for (std::size_t i = 0; i < out_.size() && i < 64; ++i) prows[i] = out_[i];
+  transpose64(prows);
+  for (std::size_t l = 0; l < n; ++l) p[l] = prows[l];
+}
+
+BitParallelSeqEvaluator::BitParallelSeqEvaluator(const Netlist& nl) : comb_(nl) {
+  std::size_t ffs = 0;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind == CellKind::kFdre) ++ffs;
+  }
+  state_.assign(ffs, 0);
+}
+
+const std::vector<std::uint64_t>& BitParallelSeqEvaluator::step(
+    const std::vector<std::uint64_t>& input_words) {
+  if (input_words.size() != comb_.nl_.inputs().size()) {
+    throw std::invalid_argument("BitParallelSeqEvaluator::step: wrong number of input words");
+  }
+  comb_.eval_impl(input_words.data(), input_words.size(), &state_);
+  return comb_.out_;
+}
+
+void BitParallelSeqEvaluator::reset() {
+  std::fill(state_.begin(), state_.end(), 0);
+}
+
+}  // namespace axmult::fabric

@@ -206,12 +206,12 @@ Evaluator::Evaluator(const Netlist& nl) : nl_(nl), order_(nl.topo_order()) {
   value_[kNetVcc] = 1;
 }
 
-std::vector<std::uint8_t> Evaluator::eval(const std::vector<std::uint8_t>& input_bits) {
+const std::vector<std::uint8_t>& Evaluator::eval(const std::vector<std::uint8_t>& input_bits) {
   return eval_impl(input_bits, nullptr);
 }
 
-std::vector<std::uint8_t> Evaluator::eval_impl(const std::vector<std::uint8_t>& input_bits,
-                                               std::vector<std::uint8_t>* ff_state) {
+const std::vector<std::uint8_t>& Evaluator::eval_impl(const std::vector<std::uint8_t>& input_bits,
+                                                      std::vector<std::uint8_t>* ff_state) {
   const auto& inputs = nl_.inputs();
   if (input_bits.size() != inputs.size()) {
     throw std::invalid_argument("Evaluator::eval: wrong number of input bits");
@@ -276,10 +276,10 @@ std::vector<std::uint8_t> Evaluator::eval_impl(const std::vector<std::uint8_t>& 
       if (c.kind == CellKind::kFdre) (*ff_state)[idx++] = value_[c.in[0]] & 1u;
     }
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(nl_.outputs().size());
-  for (NetId n : nl_.outputs()) out.push_back(value_[n]);
-  return out;
+  const auto& outputs = nl_.outputs();
+  out_.resize(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) out_[i] = value_[outputs[i]];
+  return out_;
 }
 
 SeqEvaluator::SeqEvaluator(const Netlist& nl) : comb_(nl) {
@@ -290,17 +290,18 @@ SeqEvaluator::SeqEvaluator(const Netlist& nl) : comb_(nl) {
   state_.assign(ffs, 0);
 }
 
-std::vector<std::uint8_t> SeqEvaluator::step(const std::vector<std::uint8_t>& input_bits) {
+const std::vector<std::uint8_t>& SeqEvaluator::step(const std::vector<std::uint8_t>& input_bits) {
   return comb_.eval_impl(input_bits, &state_);
 }
 
 std::uint64_t SeqEvaluator::step_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
                                       unsigned b_bits) {
-  std::vector<std::uint8_t> in;
+  auto& in = comb_.in_scratch_;
+  in.clear();
   in.reserve(a_bits + b_bits);
   for (unsigned i = 0; i < a_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(a, i)));
   for (unsigned i = 0; i < b_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(b, i)));
-  const auto out = step(in);
+  const auto& out = step(in);
   std::uint64_t p = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
     p |= static_cast<std::uint64_t>(out[i] & 1u) << i;
@@ -312,11 +313,15 @@ void SeqEvaluator::reset() { std::fill(state_.begin(), state_.end(), 0); }
 
 std::uint64_t Evaluator::eval_word(std::uint64_t a, unsigned a_bits, std::uint64_t b,
                                    unsigned b_bits) {
-  std::vector<std::uint8_t> in;
-  in.reserve(a_bits + b_bits);
-  for (unsigned i = 0; i < a_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(a, i)));
-  for (unsigned i = 0; i < b_bits; ++i) in.push_back(static_cast<std::uint8_t>(bit(b, i)));
-  const auto out = eval(in);
+  in_scratch_.clear();
+  in_scratch_.reserve(a_bits + b_bits);
+  for (unsigned i = 0; i < a_bits; ++i) {
+    in_scratch_.push_back(static_cast<std::uint8_t>(bit(a, i)));
+  }
+  for (unsigned i = 0; i < b_bits; ++i) {
+    in_scratch_.push_back(static_cast<std::uint8_t>(bit(b, i)));
+  }
+  const auto& out = eval(in_scratch_);
   std::uint64_t p = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
     p |= static_cast<std::uint64_t>(out[i] & 1u) << i;

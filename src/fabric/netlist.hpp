@@ -145,8 +145,10 @@ class Evaluator {
   explicit Evaluator(Netlist&&) = delete;
 
   /// `input_bits[i]` is the value of `nl.inputs()[i]`; returns output bits
-  /// in declaration order.
-  std::vector<std::uint8_t> eval(const std::vector<std::uint8_t>& input_bits);
+  /// in declaration order. The returned reference points at an internal
+  /// buffer reused across calls (no per-call allocation — this is the
+  /// error-sweep hot path); it is valid until the next eval.
+  const std::vector<std::uint8_t>& eval(const std::vector<std::uint8_t>& input_bits);
 
   /// Convenience: packs inputs/outputs as integers, LSB-first in
   /// declaration order (our generators declare a0..aN-1, b0..bN-1 and
@@ -158,12 +160,14 @@ class Evaluator {
 
  private:
   friend class SeqEvaluator;
-  std::vector<std::uint8_t> eval_impl(const std::vector<std::uint8_t>& input_bits,
-                                      std::vector<std::uint8_t>* ff_state);
+  const std::vector<std::uint8_t>& eval_impl(const std::vector<std::uint8_t>& input_bits,
+                                             std::vector<std::uint8_t>* ff_state);
 
   const Netlist& nl_;
   std::vector<std::uint32_t> order_;
   std::vector<std::uint8_t> value_;
+  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t> in_scratch_;
 };
 
 /// Cycle-accurate evaluation of sequential netlists: each step() applies
@@ -175,7 +179,8 @@ class SeqEvaluator {
   explicit SeqEvaluator(Netlist&&) = delete;
 
   /// One clock cycle. Outputs reflect the state *before* the clock edge.
-  std::vector<std::uint8_t> step(const std::vector<std::uint8_t>& input_bits);
+  /// Returns a reference to an internal buffer, valid until the next step.
+  const std::vector<std::uint8_t>& step(const std::vector<std::uint8_t>& input_bits);
 
   /// Word-packed convenience mirroring Evaluator::eval_word.
   std::uint64_t step_word(std::uint64_t a, unsigned a_bits, std::uint64_t b, unsigned b_bits);

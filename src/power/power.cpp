@@ -1,8 +1,11 @@
 #include "power/power.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "fabric/bitparallel.hpp"
 
 namespace axmult::power {
 
@@ -10,44 +13,107 @@ using fabric::Cell;
 using fabric::CellKind;
 using fabric::NetId;
 
-PowerReport estimate(const fabric::Netlist& nl, const PowerModel& model,
-                     const timing::DelayModel& delay_model) {
-  fabric::SeqEvaluator ev(nl);
-  const auto fanout = nl.fanout();
-  const std::size_t n_inputs = nl.inputs().size();
+namespace {
 
-  // Per-net capacitance: wire + input pins of the loads it drives.
+/// Per-net capacitance: wire + input pins of the loads it drives.
+std::vector<double> net_caps(const fabric::Netlist& nl, const PowerModel& model) {
+  const auto fanout = nl.fanout();
   std::vector<double> cap(nl.net_count(), 0.0);
   for (NetId n = 2; n < nl.net_count(); ++n) {
     if (fanout[n] > 0) cap[n] = model.net_cap + model.cap_per_fanout * fanout[n];
   }
-  double cell_cap_per_toggle = 0.0;  // folded into driving-net toggles below
-  (void)cell_cap_per_toggle;
+  return cap;
+}
 
+double cell_cap(const Cell& c, const PowerModel& model) {
+  switch (c.kind) {
+    case CellKind::kLut6: return model.lut_cap;
+    case CellKind::kCarry4: return 4 * model.carry_cap;
+    case CellKind::kDsp: return model.dsp_cap;
+    case CellKind::kFdre: return model.ff_cap;
+  }
+  return 0.0;
+}
+
+/// Combinational fast path: the random vector stream is packed 64 per word
+/// (lane l = vector index base+l), evaluated through the bit-parallel
+/// backend, and toggles are counted with popcount over lane-adjacent
+/// transition masks. Draws the RNG in exactly the scalar order, so the
+/// simulated vector sequence is identical to the scalar path's.
+long double switched_cap_packed(const fabric::Netlist& nl, const PowerModel& model,
+                                const std::vector<double>& cap) {
+  fabric::BitParallelEvaluator ev(nl);
   Xoshiro256 rng(model.seed);
-  auto random_inputs = [&] {
-    std::vector<std::uint8_t> v(n_inputs);
-    for (auto& b : v) b = static_cast<std::uint8_t>(rng() & 1u);
-    return v;
-  };
+  const std::size_t n_inputs = nl.inputs().size();
+  const std::size_t nets = nl.net_count();
+  const std::uint64_t total_vectors = model.vectors + 1;  // v0 + one per transition
 
-  std::vector<std::uint8_t> prev_values;
+  std::vector<std::uint64_t> in_words(n_inputs);
+  std::vector<std::uint64_t> tmask(nets, 0);
+  std::vector<std::uint8_t> prev_last(nets, 0);
   long double switched = 0.0L;
-  std::uint64_t transitions = 0;
 
-  auto run = [&](const std::vector<std::uint8_t>& in) -> const std::vector<std::uint8_t>& {
+  for (std::uint64_t w0 = 0; w0 < total_vectors; w0 += 64) {
+    const unsigned lanes =
+        static_cast<unsigned>(std::min<std::uint64_t>(64, total_vectors - w0));
+    std::fill(in_words.begin(), in_words.end(), 0);
+    for (unsigned l = 0; l < lanes; ++l) {
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        in_words[i] |= static_cast<std::uint64_t>(rng() & 1u) << l;
+      }
+    }
+    (void)ev.eval(in_words);
+    const auto& val = ev.net_values();
+
+    // Transition l is "into vector w0+l" (from the previous lane, or from
+    // the previous window's last lane at l = 0). Vector 0 has no inbound
+    // transition; lanes beyond the stream tail are invalid.
+    std::uint64_t valid = lanes == 64 ? ~std::uint64_t{0} : low_mask(lanes);
+    if (w0 == 0) valid &= ~std::uint64_t{1};
+
+    for (NetId n = 2; n < nets; ++n) {
+      const std::uint64_t w = val[n];
+      const std::uint64_t carry_in = prev_last[n] ? 1u : 0u;
+      const std::uint64_t t = (w ^ ((w << 1) | carry_in)) & valid;
+      tmask[n] = t;
+      if (t != 0) switched += cap[n] * popcount(t);
+      prev_last[n] = static_cast<std::uint8_t>((w >> (lanes - 1)) & 1u);
+    }
+    // Cell-internal switching: charge each cell once per transition in
+    // which any of its outputs toggled.
+    for (const Cell& c : nl.cells()) {
+      std::uint64_t m = 0;
+      for (NetId out : c.out) {
+        if (out != fabric::kNoNet) m |= tmask[out];
+      }
+      if (m != 0) switched += cell_cap(c, model) * popcount(m);
+    }
+  }
+  return switched;
+}
+
+/// Sequential path: state evolution is serial, so vectors are replayed one
+/// at a time through the cycle-accurate scalar evaluator.
+long double switched_cap_scalar(const fabric::Netlist& nl, const PowerModel& model,
+                                const std::vector<double>& cap) {
+  fabric::SeqEvaluator ev(nl);
+  Xoshiro256 rng(model.seed);
+  const std::size_t n_inputs = nl.inputs().size();
+
+  std::vector<std::uint8_t> in(n_inputs);
+  auto run = [&]() -> const std::vector<std::uint8_t>& {
+    for (auto& b : in) b = static_cast<std::uint8_t>(rng() & 1u);
     (void)ev.step(in);
     return ev.net_values();
   };
-  prev_values = run(random_inputs());
 
+  std::vector<std::uint8_t> prev_values = run();
+  long double switched = 0.0L;
   for (std::uint64_t i = 0; i < model.vectors; ++i) {
-    const auto& cur = run(random_inputs());
+    const auto& cur = run();
     for (NetId n = 2; n < nl.net_count(); ++n) {
       if (cur[n] != prev_values[n]) switched += cap[n];
     }
-    // Cell-internal switching: approximate by charging each cell whose
-    // output toggled with its internal capacitance.
     for (const Cell& c : nl.cells()) {
       bool toggled = false;
       for (NetId out : c.out) {
@@ -56,21 +122,23 @@ PowerReport estimate(const fabric::Netlist& nl, const PowerModel& model,
           break;
         }
       }
-      if (!toggled) continue;
-      switch (c.kind) {
-        case CellKind::kLut6: switched += model.lut_cap; break;
-        case CellKind::kCarry4: switched += 4 * model.carry_cap; break;
-        case CellKind::kDsp: switched += model.dsp_cap; break;
-        case CellKind::kFdre: switched += model.ff_cap; break;
-      }
+      if (toggled) switched += cell_cap(c, model);
     }
     prev_values = cur;
-    ++transitions;
   }
+  return switched;
+}
 
+}  // namespace
+
+PowerReport estimate(const fabric::Netlist& nl, const PowerModel& model,
+                     const timing::DelayModel& delay_model) {
+  const auto cap = net_caps(nl, model);
+  const long double switched = nl.is_sequential() ? switched_cap_scalar(nl, model, cap)
+                                                  : switched_cap_packed(nl, model, cap);
   PowerReport report;
-  if (transitions > 0) {
-    report.switched_cap_per_op = static_cast<double>(switched / transitions);
+  if (model.vectors > 0) {
+    report.switched_cap_per_op = static_cast<double>(switched / model.vectors);
   }
   report.energy_au = report.switched_cap_per_op;
   report.edp_au = report.energy_au * timing::analyze(nl, delay_model).critical_path_ns;

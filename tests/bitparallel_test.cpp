@@ -1,0 +1,220 @@
+// Cross-checks of the 64-lane BitParallelEvaluator against the scalar
+// Evaluator: exhaustive agreement on the paper's 4x4 and 8x8 netlists,
+// DSP cells, ragged (<64 lane) batches, and sequential (FDRE) netlists.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "fabric/bitparallel.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::fabric {
+namespace {
+
+/// Replays every (a, b) pair through both evaluators in 64-wide batches and
+/// asserts bit-for-bit agreement of the products.
+void expect_exhaustive_match(const Netlist& nl, unsigned width) {
+  Evaluator scalar(nl);
+  BitParallelEvaluator packed(nl);
+  const std::uint64_t total = std::uint64_t{1} << (2 * width);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    const std::size_t lanes = static_cast<std::size_t>(std::min<std::uint64_t>(64, total - base));
+    for (std::size_t l = 0; l < lanes; ++l) {
+      av[l] = (base + l) & low_mask(width);
+      bv[l] = (base + l) >> width;
+    }
+    packed.eval_mul_batch(av, bv, pv, lanes, width, width);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ASSERT_EQ(pv[l], scalar.eval_word(av[l], width, bv[l], width))
+          << "a=" << av[l] << " b=" << bv[l];
+    }
+  }
+}
+
+TEST(BitParallel, MatchesScalarExhaustively4x4Ca) {
+  expect_exhaustive_match(multgen::make_ca_netlist(4), 4);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively4x4Cc) {
+  expect_exhaustive_match(multgen::make_cc_netlist(4), 4);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively4x4Kulkarni) {
+  expect_exhaustive_match(multgen::make_kulkarni_netlist(4), 4);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively4x4RehmanW) {
+  expect_exhaustive_match(multgen::make_rehman_netlist(4), 4);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively8x8Ca) {
+  expect_exhaustive_match(multgen::make_ca_netlist(8), 8);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively8x8Cc) {
+  expect_exhaustive_match(multgen::make_cc_netlist(8), 8);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively8x8Kulkarni) {
+  expect_exhaustive_match(multgen::make_kulkarni_netlist(8), 8);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively8x8RehmanW) {
+  expect_exhaustive_match(multgen::make_rehman_netlist(8), 8);
+}
+
+TEST(BitParallel, MatchesScalarExhaustively8x8AccurateIp) {
+  expect_exhaustive_match(multgen::make_vivado_speed_netlist(8), 8);
+}
+
+TEST(BitParallel, RaggedTailBatchesMatch) {
+  const auto nl = multgen::make_ca_netlist(8);
+  Evaluator scalar(nl);
+  BitParallelEvaluator packed(nl);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  for (const std::size_t n : {std::size_t{1}, std::size_t{17}, std::size_t{63}}) {
+    for (std::size_t l = 0; l < n; ++l) {
+      av[l] = (l * 131 + 7) & 0xFF;
+      bv[l] = (l * 137 + 3) & 0xFF;
+    }
+    packed.eval_mul_batch(av, bv, pv, n, 8, 8);
+    for (std::size_t l = 0; l < n; ++l) {
+      ASSERT_EQ(pv[l], scalar.eval_word(av[l], 8, bv[l], 8)) << "n=" << n << " lane=" << l;
+    }
+  }
+}
+
+TEST(BitParallel, RejectsOversizedBatchAndWidthMismatch) {
+  const auto nl = multgen::make_ca_netlist(4);
+  BitParallelEvaluator packed(nl);
+  std::uint64_t buf[65] = {};
+  EXPECT_THROW(packed.eval_mul_batch(buf, buf, buf, 65, 4, 4), std::invalid_argument);
+  EXPECT_THROW(packed.eval_mul_batch(buf, buf, buf, 4, 8, 8), std::invalid_argument);
+}
+
+TEST(BitParallel, DspCellMultipliesPerLane) {
+  Netlist nl;
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+  for (int i = 0; i < 8; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < 8; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const auto p = nl.add_dsp("dsp", a, b, 16);
+  for (std::size_t i = 0; i < p.size(); ++i) nl.add_output("p" + std::to_string(i), p[i]);
+
+  BitParallelEvaluator packed(nl);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  for (unsigned l = 0; l < 64; ++l) {
+    av[l] = (l * 67 + 123) & 0xFF;
+    bv[l] = (l * 41 + 217) & 0xFF;
+  }
+  packed.eval_mul_batch(av, bv, pv, 64, 8, 8);
+  for (unsigned l = 0; l < 64; ++l) ASSERT_EQ(pv[l], av[l] * bv[l]);
+}
+
+TEST(BitParallel, CombinationalEvaluatorRejectsSequentialNetlist) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  BitParallelEvaluator packed(nl);
+  const std::vector<std::uint64_t> in(nl.inputs().size(), 0);
+  EXPECT_THROW((void)packed.eval(in), std::invalid_argument);
+}
+
+TEST(BitParallelSeq, PipelinedNetlistMatchesScalarPerLane) {
+  // 64 independent machines: lane l streams its own operand sequence; each
+  // lane must reproduce the scalar SeqEvaluator run of the same sequence.
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const unsigned cycles = multgen::pipeline_latency(8) + 4;
+
+  // Per-lane operand streams.
+  auto a_at = [](unsigned lane, unsigned t) { return std::uint64_t{(lane * 31 + t * 7 + 1) & 0xFF}; };
+  auto b_at = [](unsigned lane, unsigned t) { return std::uint64_t{(lane * 57 + t * 13 + 5) & 0xFF}; };
+
+  BitParallelSeqEvaluator packed(nl);
+  std::vector<std::vector<std::uint64_t>> packed_out;  // per cycle, packed product words
+  std::vector<std::uint64_t> in(nl.inputs().size());
+  for (unsigned t = 0; t < cycles; ++t) {
+    std::fill(in.begin(), in.end(), 0);
+    for (unsigned l = 0; l < 64; ++l) {
+      const std::uint64_t a = a_at(l, t);
+      const std::uint64_t b = b_at(l, t);
+      for (unsigned i = 0; i < 8; ++i) {
+        in[i] |= bit(a, i) << l;
+        in[8 + i] |= bit(b, i) << l;
+      }
+    }
+    packed_out.push_back(packed.step(in));
+  }
+
+  for (unsigned l = 0; l < 64; l += 9) {  // spot-check a spread of lanes
+    SeqEvaluator scalar(nl);
+    for (unsigned t = 0; t < cycles; ++t) {
+      const std::uint64_t expected = scalar.step_word(a_at(l, t), 8, b_at(l, t), 8);
+      std::uint64_t got = 0;
+      for (std::size_t i = 0; i < packed_out[t].size(); ++i) {
+        got |= ((packed_out[t][i] >> l) & 1u) << i;
+      }
+      ASSERT_EQ(got, expected) << "lane=" << l << " cycle=" << t;
+    }
+  }
+}
+
+TEST(BitParallelSeq, MacAccumulatorFeedbackMatchesScalar) {
+  // Registered feedback (acc <= acc + a*b): the packed lanes must track 64
+  // independent accumulators.
+  const auto nl = multgen::make_mac_netlist(8, mult::Summation::kAccurate, 24);
+  const unsigned cycles = 6;
+  auto a_at = [](unsigned lane, unsigned t) { return std::uint64_t{(lane * 19 + t * 3 + 2) & 0xFF}; };
+  auto b_at = [](unsigned lane, unsigned t) { return std::uint64_t{(lane * 73 + t * 11 + 9) & 0xFF}; };
+
+  BitParallelSeqEvaluator packed(nl);
+  std::vector<std::vector<std::uint64_t>> packed_out;
+  std::vector<std::uint64_t> in(nl.inputs().size());
+  for (unsigned t = 0; t < cycles; ++t) {
+    std::fill(in.begin(), in.end(), 0);
+    for (unsigned l = 0; l < 64; ++l) {
+      const std::uint64_t a = a_at(l, t);
+      const std::uint64_t b = b_at(l, t);
+      for (unsigned i = 0; i < 8; ++i) {
+        in[i] |= bit(a, i) << l;
+        in[8 + i] |= bit(b, i) << l;
+      }
+    }
+    packed_out.push_back(packed.step(in));
+  }
+
+  for (unsigned l = 0; l < 64; l += 13) {
+    SeqEvaluator scalar(nl);
+    for (unsigned t = 0; t < cycles; ++t) {
+      const std::uint64_t expected = scalar.step_word(a_at(l, t), 8, b_at(l, t), 8);
+      std::uint64_t got = 0;
+      for (std::size_t i = 0; i < packed_out[t].size(); ++i) {
+        got |= ((packed_out[t][i] >> l) & 1u) << i;
+      }
+      ASSERT_EQ(got, expected) << "lane=" << l << " cycle=" << t;
+    }
+  }
+}
+
+TEST(BitParallelSeq, ResetClearsAllLanes) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  BitParallelSeqEvaluator packed(nl);
+  std::vector<std::uint64_t> in(nl.inputs().size(), ~std::uint64_t{0});
+  for (unsigned t = 0; t < 4; ++t) (void)packed.step(in);
+  packed.reset();
+  std::fill(in.begin(), in.end(), 0);
+  const auto& out = packed.step(in);
+  for (const std::uint64_t w : out) EXPECT_EQ(w, 0u);
+}
+
+}  // namespace
+}  // namespace axmult::fabric

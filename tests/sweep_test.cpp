@@ -1,0 +1,171 @@
+// Batched + multithreaded sweep API (error/metrics.hpp): agreement with the
+// per-pair PairSource path, netlist-vs-behavioral agreement, and bit-exact
+// determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/parallel_for.hpp"
+#include "error/metrics.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::error {
+namespace {
+
+void expect_same_metrics(const ErrorMetrics& a, const ErrorMetrics& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.occurrences, b.occurrences);
+  EXPECT_EQ(a.max_error, b.max_error);
+  EXPECT_EQ(a.max_error_occurrences, b.max_error_occurrences);
+  EXPECT_NEAR(a.avg_error, b.avg_error, 1e-9 * (1.0 + a.avg_error));
+  EXPECT_NEAR(a.avg_relative_error, b.avg_relative_error, 1e-9 * (1.0 + a.avg_relative_error));
+  EXPECT_NEAR(a.mean_signed_error, b.mean_signed_error,
+              1e-9 * (1.0 + std::abs(a.mean_signed_error)));
+}
+
+TEST(Sweep, ExhaustiveMatchesPairSourcePath8x8) {
+  const auto m = mult::make_ca(8);
+  const auto reference = characterize_exhaustive(*m);
+  const auto swept = sweep_exhaustive(*m);
+  expect_same_metrics(swept.metrics, reference);
+
+  // Fig. 8 artifacts agree with the per-pair implementations too.
+  const auto ref_prob = bit_error_probability(*m, exhaustive_source(8, 8));
+  ASSERT_EQ(swept.bit_error_probability.size(), ref_prob.size());
+  for (std::size_t i = 0; i < ref_prob.size(); ++i) {
+    EXPECT_DOUBLE_EQ(swept.bit_error_probability[i], ref_prob[i]) << "bit " << i;
+  }
+  EXPECT_EQ(swept.pmf, error_pmf(*m, exhaustive_source(8, 8)));
+}
+
+TEST(Sweep, NetlistReplayMatchesBehavioralModel) {
+  // The bit-parallel netlist sweep and the behavioral sweep must agree on
+  // every field: the two forms of each design are bit-for-bit equivalent.
+  for (const unsigned width : {4u, 8u}) {
+    const auto nl_ca = multgen::make_ca_netlist(width);
+    const auto swept_nl = sweep_netlist_exhaustive(nl_ca, width, width);
+    const auto swept_model = sweep_exhaustive(*mult::make_ca(width));
+    expect_same_metrics(swept_nl.metrics, swept_model.metrics);
+    EXPECT_EQ(swept_nl.pmf, swept_model.pmf);
+    EXPECT_EQ(swept_nl.bit_error_probability, swept_model.bit_error_probability);
+  }
+}
+
+TEST(Sweep, CarryFreeNetlistReplayMatchesBehavioralModel) {
+  const auto nl = multgen::make_cc_netlist(8);
+  const auto swept_nl = sweep_netlist_exhaustive(nl, 8, 8);
+  const auto swept_model = sweep_exhaustive(*mult::make_cc(8));
+  expect_same_metrics(swept_nl.metrics, swept_model.metrics);
+  EXPECT_EQ(swept_nl.pmf, swept_model.pmf);
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  // Small chunks force many chunks per worker so the dynamic chunk->thread
+  // assignment actually varies; every field must still be bit-identical.
+  const auto m = mult::make_cc(8);
+  SweepConfig cfg;
+  cfg.chunk_pairs = 1024;
+  cfg.threads = 1;
+  const auto r1 = sweep_exhaustive(*m, cfg);
+  for (const unsigned threads : {2u, 5u, 16u}) {
+    cfg.threads = threads;
+    const auto rn = sweep_exhaustive(*m, cfg);
+    EXPECT_EQ(rn.metrics.samples, r1.metrics.samples) << threads;
+    EXPECT_EQ(rn.metrics.occurrences, r1.metrics.occurrences) << threads;
+    EXPECT_EQ(rn.metrics.max_error, r1.metrics.max_error) << threads;
+    EXPECT_EQ(rn.metrics.max_error_occurrences, r1.metrics.max_error_occurrences) << threads;
+    // Bit-exact float equality is the whole point of chunk-ordered reduction.
+    EXPECT_EQ(rn.metrics.avg_error, r1.metrics.avg_error) << threads;
+    EXPECT_EQ(rn.metrics.avg_relative_error, r1.metrics.avg_relative_error) << threads;
+    EXPECT_EQ(rn.metrics.mean_signed_error, r1.metrics.mean_signed_error) << threads;
+    EXPECT_EQ(rn.bit_error_probability, r1.bit_error_probability) << threads;
+    EXPECT_EQ(rn.pmf, r1.pmf) << threads;
+  }
+}
+
+TEST(Sweep, NetlistSweepDeterministicAcrossThreadCounts) {
+  const auto nl = multgen::make_ca_netlist(8);
+  SweepConfig cfg;
+  cfg.chunk_pairs = 512;
+  cfg.threads = 1;
+  const auto r1 = sweep_netlist_exhaustive(nl, 8, 8, cfg);
+  for (const unsigned threads : {3u, 8u}) {
+    cfg.threads = threads;
+    const auto rn = sweep_netlist_exhaustive(nl, 8, 8, cfg);
+    EXPECT_EQ(rn.metrics.avg_error, r1.metrics.avg_error) << threads;
+    EXPECT_EQ(rn.metrics.avg_relative_error, r1.metrics.avg_relative_error) << threads;
+    EXPECT_EQ(rn.metrics.max_error, r1.metrics.max_error) << threads;
+    EXPECT_EQ(rn.metrics.max_error_occurrences, r1.metrics.max_error_occurrences) << threads;
+    EXPECT_EQ(rn.pmf, r1.pmf) << threads;
+    EXPECT_EQ(rn.bit_error_probability, r1.bit_error_probability) << threads;
+  }
+}
+
+TEST(Sweep, SampledDeterministicAcrossThreadCounts) {
+  const auto m = mult::make_ca(8);
+  SweepConfig cfg;
+  cfg.chunk_pairs = 4096;
+  cfg.threads = 1;
+  const auto r1 = sweep_sampled(*m, 100000, /*seed=*/42, cfg);
+  EXPECT_EQ(r1.metrics.samples, 100000u);
+  for (const unsigned threads : {2u, 7u}) {
+    cfg.threads = threads;
+    const auto rn = sweep_sampled(*m, 100000, /*seed=*/42, cfg);
+    EXPECT_EQ(rn.metrics.occurrences, r1.metrics.occurrences) << threads;
+    EXPECT_EQ(rn.metrics.avg_error, r1.metrics.avg_error) << threads;
+    EXPECT_EQ(rn.metrics.avg_relative_error, r1.metrics.avg_relative_error) << threads;
+    EXPECT_EQ(rn.pmf, r1.pmf) << threads;
+  }
+}
+
+TEST(Sweep, CollectionFlagsDisableArtifacts) {
+  const auto m = mult::make_ca(4);
+  SweepConfig cfg;
+  cfg.collect_pmf = false;
+  cfg.collect_bit_probability = false;
+  const auto r = sweep_exhaustive(*m, cfg);
+  EXPECT_TRUE(r.pmf.empty());
+  EXPECT_TRUE(r.bit_error_probability.empty());
+  EXPECT_EQ(r.metrics.samples, 256u);
+}
+
+TEST(Sweep, SmallInputSpacesBelow64Pairs) {
+  // 2+2 operand bits -> 16 pairs, less than one lane group: the ragged
+  // packing path must still cover the whole space exactly once.
+  const auto m = mult::make_kulkarni(2);
+  const auto swept = sweep_exhaustive(*m);
+  const auto reference = characterize_exhaustive(*m);
+  expect_same_metrics(swept.metrics, reference);
+  EXPECT_EQ(swept.metrics.samples, 16u);
+
+  const auto nl = multgen::make_kulkarni_netlist(2);
+  const auto swept_nl = sweep_netlist_exhaustive(nl, 2, 2);
+  expect_same_metrics(swept_nl.metrics, reference);
+}
+
+TEST(Sweep, NetlistSweepRejectsWidthMismatch) {
+  const auto nl = multgen::make_ca_netlist(8);
+  EXPECT_THROW((void)sweep_netlist_exhaustive(nl, 4, 4), std::invalid_argument);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  EXPECT_THROW(parallel_chunks(8, 2,
+                               [] {
+                                 return [](std::uint64_t c) {
+                                   if (c == 3) throw std::runtime_error("boom");
+                                 };
+                               }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ThreadCountResolutionPrefersExplicit) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  EXPECT_EQ(thread_count(7), 7u);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace axmult::error

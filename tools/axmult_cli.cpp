@@ -16,6 +16,7 @@
 #include <string>
 
 #include "analysis/catalog.hpp"
+#include "common/parallel_for.hpp"
 #include "mult/recursive.hpp"
 #include "multgen/generators.hpp"
 #include "error/metrics.hpp"
@@ -62,10 +63,15 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples) {
-  const bool exhaustive = d.model->a_bits() + d.model->b_bits() <= 20;
-  const auto r = exhaustive ? error::characterize_exhaustive(*d.model)
-                            : error::characterize_sampled(*d.model, samples);
+int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, bool force_full) {
+  // Exhaustive characterization goes through the batched multithreaded sweep,
+  // which makes even the 2^32-pair 16x16 space feasible (`--full`).
+  const bool exhaustive = force_full || d.model->a_bits() + d.model->b_bits() <= 20;
+  error::SweepConfig cfg;
+  cfg.collect_pmf = false;  // only the summary metrics are printed
+  cfg.collect_bit_probability = false;
+  const auto r = exhaustive ? error::sweep_exhaustive(*d.model, cfg).metrics
+                            : error::sweep_sampled(*d.model, samples, /*seed=*/1, cfg).metrics;
   std::printf("%s (%s, %llu inputs)\n", d.name.c_str(),
               exhaustive ? "exhaustive" : "sampled",
               static_cast<unsigned long long>(r.samples));
@@ -132,12 +138,16 @@ int cmd_export(const analysis::DesignPoint& d, bool vhdl, const std::string& fil
 
 int usage() {
   std::fputs(
-      "usage: axmult_cli <command> [args]\n"
+      "usage: axmult_cli [--threads N] <command> [args]\n"
       "  list                              all library designs\n"
       "  characterize <design> [samples]   error metrics (exhaustive when feasible)\n"
+      "    [--full]                        force exhaustive even for 16x16 (2^32 pairs)\n"
       "  implement <design>                area / timing / energy report\n"
       "  export-vhdl <design> [file]       structural VHDL (unisim primitives)\n"
-      "  export-verilog <design> [file]    structural Verilog\n",
+      "  export-verilog <design> [file]    structural Verilog\n"
+      "\n"
+      "Sweep parallelism: --threads N or the AXMULT_THREADS environment\n"
+      "variable (default: hardware concurrency).\n",
       stderr);
   return 2;
 }
@@ -145,21 +155,35 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip global options so commands keep their positional argument layout.
+  std::vector<std::string> args;
+  bool force_full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      set_thread_count(static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (a == "--full") {
+      force_full = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
   if (cmd == "list") return cmd_list();
-  if (argc < 3) return usage();
-  const auto design = lookup(argv[2]);
+  if (args.size() < 2) return usage();
+  const auto design = lookup(args[1]);
   if (!design) {
-    std::fprintf(stderr, "unknown design '%s' (see `axmult_cli list`)\n", argv[2]);
+    std::fprintf(stderr, "unknown design '%s' (see `axmult_cli list`)\n", args[1].c_str());
     return 1;
   }
   if (cmd == "characterize") {
-    const std::uint64_t samples = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
-    return cmd_characterize(*design, samples);
+    const std::uint64_t samples =
+        args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1000000;
+    return cmd_characterize(*design, samples, force_full);
   }
   if (cmd == "implement") return cmd_implement(*design);
-  if (cmd == "export-vhdl") return cmd_export(*design, true, argc > 3 ? argv[3] : "");
-  if (cmd == "export-verilog") return cmd_export(*design, false, argc > 3 ? argv[3] : "");
+  if (cmd == "export-vhdl") return cmd_export(*design, true, args.size() > 2 ? args[2] : "");
+  if (cmd == "export-verilog") return cmd_export(*design, false, args.size() > 2 ? args[2] : "");
   return usage();
 }
