@@ -98,11 +98,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
-      set_thread_count(static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10)));
-    }
-  }
+  (void)strip_thread_args(argc, argv);  // applies --threads N / --threads=N
   const unsigned threads = thread_count();
   bench::print_header("Netlist evaluation throughput: scalar vs 64-lane bit-parallel");
   std::printf("threads for sweep benches: %u (AXMULT_THREADS / --threads)\n", threads);

@@ -1,0 +1,49 @@
+// Example: quantized NN inference on approximate multipliers — the
+// accelerator case study at network scale. Runs the bundled MNIST-like
+// digits classifier (train-free: fixed conv filters + computed centroid
+// weights) across MAC backends and prints the accuracy-vs-EDP trade-off
+// the paper's Fig. 10 Pareto analysis makes at multiplier scale.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "nn/dataset.hpp"
+#include "nn/graph.hpp"
+#include "nn/mac.hpp"
+
+int main() {
+  using namespace axmult;
+  using namespace axmult::nn;
+
+  // Calibration fixes all scales/zero-points once; each backend then runs
+  // the identical quantized network — only the MAC array changes.
+  Sequential net = make_digits_network();
+  const Dataset calib = make_digits(256, 21);
+  net.calibrate(calib.images, 8);
+
+  const Dataset test = make_digits(512, 33);
+  const QTensor inputs = net.quantize_input(test.images);
+
+  std::printf("digits classifier: conv 3x3x4 -> relu -> maxpool 2x2 -> dense 256x10\n");
+  std::printf("8-bit operands, %zu test samples\n\n", test.labels.size());
+
+  const NetworkReport exact = net.evaluate(inputs, test.labels);
+
+  const char* backends[] = {"exact", "ca8", "cas8", "cc8", "cb8", "trunc8_4"};
+  Table t({"Backend", "Top-1", "Accuracy drop", "Energy/inf (a.u.)", "EDP (a.u.)",
+           "EDP saved"});
+  for (const char* name : backends) {
+    net.set_backend(make_mac_backend(name));
+    const NetworkReport r = net.evaluate(inputs, test.labels);
+    t.add_row({name, Table::num(r.top1_accuracy, 4),
+               Table::num(exact.top1_accuracy - r.top1_accuracy, 4),
+               Table::num(r.energy_per_inference_au, 1), Table::num(r.edp_au, 1),
+               Table::num(100.0 * (exact.edp_au - r.edp_au) / exact.edp_au, 1) + "%"});
+  }
+  t.print("Task accuracy vs per-inference energy-delay product");
+
+  std::printf(
+      "\nReading: Ca-family backends keep exact-level accuracy at a double-digit\n"
+      "EDP saving; the carry-free Cc trades real accuracy for the largest saving —\n"
+      "the same Pareto shape the paper reports for PSNR on the SUSAN accelerator.\n");
+  return 0;
+}

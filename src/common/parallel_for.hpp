@@ -14,8 +14,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -44,6 +46,26 @@ inline unsigned thread_count(unsigned requested = 0) {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw != 0 ? hw : 1;
+}
+
+/// Strips every `--threads N` / `--threads=N` occurrence from an argv-style
+/// argument list, applying set_thread_count() for each, and returns the
+/// remaining arguments (argv[0] excluded). Shared by the CLIs and benches so
+/// the thread knob parses identically everywhere; non-numeric or zero values
+/// mean "auto", matching AXMULT_THREADS semantics.
+inline std::vector<std::string> strip_thread_args(int argc, char** argv) {
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      set_thread_count(static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      set_thread_count(static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10)));
+    } else {
+      rest.emplace_back(a);
+    }
+  }
+  return rest;
 }
 
 /// Runs `num_chunks` chunk indices across `threads` workers.

@@ -135,6 +135,14 @@ PairSource trace_source(const std::vector<std::pair<std::uint64_t, std::uint64_t
   };
 }
 
+PairSource swapped_source(PairSource inner) {
+  auto src = std::make_shared<PairSource>(std::move(inner));
+  return [src](std::uint64_t& a, std::uint64_t& b) {
+    if (!(*src)(b, a)) return false;
+    return true;
+  };
+}
+
 ErrorMetrics characterize_op(const BinaryFn& approx_fn, const BinaryFn& exact_fn,
                              PairSource source) {
   return characterize_batched(approx_fn, exact_fn, source);

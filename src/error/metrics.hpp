@@ -69,6 +69,13 @@ using PairSource = std::function<bool(std::uint64_t& a, std::uint64_t& b)>;
 /// Pairs drawn from a recorded operand trace (e.g. the SUSAN accelerator).
 [[nodiscard]] PairSource trace_source(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& trace);
 
+/// `inner` with each pair's operands exchanged. Characterizing a design
+/// against swapped_source(s) equals characterizing its SwappedMultiplier
+/// against s — the identity behind the paper's Cas/Ccs operand-swap trick,
+/// which only pays off under operand distributions that are themselves
+/// asymmetric (Section 6 / Fig. 12).
+[[nodiscard]] PairSource swapped_source(PairSource inner);
+
 /// Characterizes an arbitrary binary operator against its exact reference
 /// over `source` (used for adders and other datapath blocks).
 using BinaryFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;

@@ -1,0 +1,153 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace axmult::nn {
+
+namespace {
+
+constexpr unsigned kGlyphW = 5;
+constexpr unsigned kGlyphH = 7;
+
+// Classic 5x7 digit font; '#' marks lit pixels.
+constexpr const char* kGlyphs[kDigitClasses][kGlyphH] = {
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
+    {"#####", "   # ", "  #  ", "   # ", "    #", "#   #", " ### "},
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
+    {"  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "},
+    {"#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "},
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
+    {" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "},
+};
+
+/// Renders one glyph at 2x scale into a 16x16 canvas, shifted by (dx, dy)
+/// from the centered position, at the given amplitude.
+void render_digit(int digit, int dx, int dy, float amplitude, float* canvas) {
+  std::fill(canvas, canvas + kDigitImage * kDigitImage, 0.0f);
+  const int x0 = (kDigitImage - 2 * kGlyphW) / 2 + dx;  // centered 10x14 glyph
+  const int y0 = (kDigitImage - 2 * kGlyphH) / 2 + dy;
+  for (unsigned gy = 0; gy < kGlyphH; ++gy) {
+    for (unsigned gx = 0; gx < kGlyphW; ++gx) {
+      if (kGlyphs[digit][gy][gx] != '#') continue;
+      for (int sy = 0; sy < 2; ++sy) {
+        for (int sx = 0; sx < 2; ++sx) {
+          const int y = y0 + static_cast<int>(2 * gy) + sy;
+          const int x = x0 + static_cast<int>(2 * gx) + sx;
+          if (y >= 0 && y < static_cast<int>(kDigitImage) && x >= 0 &&
+              x < static_cast<int>(kDigitImage)) {
+            canvas[y * kDigitImage + x] = amplitude;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// One jittered sample: shift within +-1 px, amplitude in [0.75, 1.0],
+/// additive uniform noise +-0.1, clamped to [0, 1]. Jitter is sized so a
+/// calibrated nearest-centroid classifier stays clearly above 90% top-1
+/// with the exact backend while approximate backends still measurably
+/// erode it.
+void render_sample(Xoshiro256& rng, int digit, float* canvas) {
+  const int dx = static_cast<int>(rng.below(3)) - 1;
+  const int dy = static_cast<int>(rng.below(3)) - 1;
+  const float amplitude = 0.75f + 0.25f * static_cast<float>(rng.uniform01());
+  render_digit(digit, dx, dy, amplitude, canvas);
+  for (unsigned i = 0; i < kDigitImage * kDigitImage; ++i) {
+    const float noise = 0.2f * (static_cast<float>(rng.uniform01()) - 0.5f);
+    canvas[i] = std::clamp(canvas[i] + noise, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+Dataset make_digits(std::size_t n, std::uint64_t seed) {
+  Dataset ds;
+  ds.images = Tensor({static_cast<unsigned>(n), kDigitImage, kDigitImage, 1});
+  ds.labels.resize(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.below(kDigitClasses));
+    ds.labels[i] = digit;
+    render_sample(rng, digit, ds.images.data.data() + i * kDigitImage * kDigitImage);
+  }
+  return ds;
+}
+
+Tensor digit_templates() {
+  Tensor t({kDigitClasses, kDigitImage, kDigitImage, 1});
+  for (unsigned d = 0; d < kDigitClasses; ++d) {
+    render_digit(static_cast<int>(d), 0, 0, 1.0f,
+                 t.data.data() + static_cast<std::size_t>(d) * kDigitImage * kDigitImage);
+  }
+  return t;
+}
+
+Sequential make_digits_network() {
+  Sequential net;
+
+  // Fixed 3x3 filters: identity, box blur, and the two Sobel gradients —
+  // generic local features, deliberately not tuned to the glyph set.
+  auto conv = std::make_unique<Conv2D>("conv1", 3, 3, 1, 4, /*stride=*/1, /*pad=*/1);
+  Tensor cw({3, 3, 1, 4});
+  const float id3[9] = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  const float box[9] = {1, 1, 1, 1, 1, 1, 1, 1, 1};
+  const float sobel_x[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+  const float sobel_y[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+  for (unsigned k = 0; k < 9; ++k) {
+    cw.data[k * 4 + 0] = id3[k];
+    cw.data[k * 4 + 1] = box[k] / 9.0f;
+    cw.data[k * 4 + 2] = sobel_x[k] / 4.0f;
+    cw.data[k * 4 + 3] = sobel_y[k] / 4.0f;
+  }
+  conv->set_weights(std::move(cw), std::vector<float>(4, 0.0f));
+
+  net.add(std::move(conv));
+  net.add(std::make_unique<ReLU>("relu1"));
+  net.add(std::make_unique<MaxPool2D>("pool1", 2));
+
+  // Nearest-centroid classifier in feature space: run jittered glyph
+  // samples through the float feature extractor and average per class.
+  // argmax_j (c_j . x - |c_j|^2 / 2) == argmin_j |x - c_j|^2.
+  constexpr unsigned kPerClass = 64;
+  constexpr unsigned kFeatures = (kDigitImage / 2) * (kDigitImage / 2) * 4;
+  Xoshiro256 rng(0xd161757u);
+  Tensor batch({kDigitClasses * kPerClass, kDigitImage, kDigitImage, 1});
+  for (unsigned d = 0; d < kDigitClasses; ++d) {
+    for (unsigned s = 0; s < kPerClass; ++s) {
+      render_sample(rng, static_cast<int>(d),
+                    batch.data.data() + (static_cast<std::size_t>(d) * kPerClass + s) *
+                                            kDigitImage * kDigitImage);
+    }
+  }
+  const Tensor features = net.run_float(batch);  // {10 * kPerClass, kFeatures}
+  Tensor dw({kFeatures, kDigitClasses});
+  std::vector<float> bias(kDigitClasses, 0.0f);
+  for (unsigned d = 0; d < kDigitClasses; ++d) {
+    double norm2 = 0.0;
+    for (unsigned f = 0; f < kFeatures; ++f) {
+      double centroid = 0.0;
+      for (unsigned s = 0; s < kPerClass; ++s) {
+        centroid += features.data[(static_cast<std::size_t>(d) * kPerClass + s) * kFeatures + f];
+      }
+      centroid /= kPerClass;
+      dw.data[static_cast<std::size_t>(f) * kDigitClasses + d] = static_cast<float>(centroid);
+      norm2 += centroid * centroid;
+    }
+    bias[d] = static_cast<float>(-0.5 * norm2);
+  }
+  auto dense = std::make_unique<Dense>("dense1", kFeatures, kDigitClasses);
+  dense->set_weights(std::move(dw), std::move(bias));
+  net.add(std::move(dense));
+  net.add(std::make_unique<Softmax>("softmax"));
+  return net;
+}
+
+}  // namespace axmult::nn

@@ -1,0 +1,42 @@
+// Bundled synthetic MNIST-like workload: procedurally generated 16x16
+// grayscale digit images (glyph templates + random shift, amplitude jitter
+// and noise, all from the repo's deterministic PRNG) and a train-free
+// classifier network over them.
+//
+// The network mirrors the paper's accelerator framing (Section 6 / SUSAN
+// case study): a fixed-filter convolutional feature extractor followed by
+// a nearest-centroid classifier whose Dense weights are *computed* from
+// jittered glyph templates — no training loop, no external data, yet high
+// top-1 accuracy with the exact backend, leaving real headroom for the
+// approximate backends to erode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/tensor.hpp"
+
+namespace axmult::nn {
+
+inline constexpr unsigned kDigitImage = 16;   ///< image height == width
+inline constexpr unsigned kDigitClasses = 10;
+
+struct Dataset {
+  Tensor images;  ///< {N, 16, 16, 1}, values in [0, 1]
+  std::vector<int> labels;
+};
+
+/// `n` jittered digit samples (uniform random class per sample).
+[[nodiscard]] Dataset make_digits(std::size_t n, std::uint64_t seed = 1);
+
+/// The ten clean glyph templates, one image per class ({10, 16, 16, 1}).
+[[nodiscard]] Tensor digit_templates();
+
+/// Builds the demo classifier (conv 3x3x4 fixed filters -> ReLU -> maxpool
+/// 2x2 -> dense 256x10 centroid matcher -> softmax) with float weights
+/// set. Callers must calibrate() it (typically on make_digits output)
+/// before quantized inference.
+[[nodiscard]] Sequential make_digits_network();
+
+}  // namespace axmult::nn

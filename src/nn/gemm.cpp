@@ -1,0 +1,67 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+
+#include "common/parallel_for.hpp"
+
+namespace axmult::nn {
+
+namespace {
+
+/// Rows per work chunk. Fixed (not thread-count derived) so the sharding —
+/// and therefore the result, trivially, since cells don't race — is
+/// independent of the worker count.
+constexpr std::size_t kRowsPerChunk = 8;
+
+template <bool kSwap>
+void gemm_rows(const MacBackend& mac, const std::uint8_t* a, const std::uint8_t* b,
+               std::int64_t* acc, std::size_t row_begin, std::size_t row_end,
+               std::size_t k_dim, std::size_t n) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::uint8_t* arow = a + i * k_dim;
+    std::int64_t* out = acc + i * n;
+    std::fill(out, out + n, std::int64_t{0});
+    for (std::size_t kk = 0; kk < k_dim; ++kk) {
+      const unsigned av = arow[kk];
+      const std::uint8_t* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out[j] += kSwap ? mac.mul_swapped(av, brow[j]) : mac.mul(av, brow[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+                     const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                     std::size_t k_dim, std::size_t n, unsigned threads) {
+  if (m == 0 || n == 0) return;
+  const std::uint64_t chunks = (m + kRowsPerChunk - 1) / kRowsPerChunk;
+  parallel_chunks(chunks, threads, [&] {
+    return [&, swap_operands](std::uint64_t chunk) {
+      const std::size_t row_begin = static_cast<std::size_t>(chunk) * kRowsPerChunk;
+      const std::size_t row_end = std::min(m, row_begin + kRowsPerChunk);
+      if (swap_operands) {
+        gemm_rows<true>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+      } else {
+        gemm_rows<false>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+      }
+    };
+  });
+}
+
+void gemm_reference(const std::uint8_t* a, const std::uint8_t* b, std::int64_t* acc,
+                    std::size_t m, std::size_t k_dim, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t sum = 0;
+      for (std::size_t kk = 0; kk < k_dim; ++kk) {
+        sum += static_cast<std::int64_t>(a[i * k_dim + kk]) * b[kk * n + j];
+      }
+      acc[i * n + j] = sum;
+    }
+  }
+}
+
+}  // namespace axmult::nn

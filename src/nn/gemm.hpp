@@ -1,0 +1,36 @@
+// Quantized integer GEMM over a pluggable MAC backend.
+//
+// This is the engine's single hot loop: Dense consumes it directly and
+// Conv2D reaches it through im2col. Raw uint8 x uint8 products go through
+// the backend's product table (i.e. through the approximate multiplier);
+// everything around them — zero-point corrections, bias, requantization —
+// is exact arithmetic, matching how an accelerator would instantiate
+// approximate multipliers only in the MAC array.
+//
+// Rows are sharded across worker threads with common/parallel_for (chunk
+// size is thread-count independent and every output cell is written by
+// exactly one thread, so results are bit-identical for any thread count,
+// AXMULT_THREADS included).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/mac.hpp"
+
+namespace axmult::nn {
+
+/// acc[i*n + j] = sum_k mac(a[i*k_dim + kk], b[kk*n + j]) for the m x k_dim
+/// lhs and k_dim x n rhs. `swap_operands` dispatches mul(b, a) instead of
+/// mul(a, b) — the paper's Cas/Ccs trick at layer granularity.
+/// Accumulation is int64 (no saturation), so the exact backend reproduces
+/// the reference integer GEMM bit-for-bit.
+void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+                     const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                     std::size_t k_dim, std::size_t n, unsigned threads = 0);
+
+/// Scalar int64 reference: acc[i*n + j] = sum_k a[...] * b[...] (exact).
+void gemm_reference(const std::uint8_t* a, const std::uint8_t* b, std::int64_t* acc,
+                    std::size_t m, std::size_t k_dim, std::size_t n);
+
+}  // namespace axmult::nn

@@ -1,0 +1,214 @@
+#include "nn/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "mult/recursive.hpp"
+#include "nn/quantize.hpp"
+
+namespace axmult::nn {
+
+namespace {
+
+/// First `rows` batch rows of a quantized batch tensor.
+QTensor head_rows(const QTensor& t, std::size_t rows) {
+  QTensor out;
+  out.shape = t.shape;
+  out.shape[0] = static_cast<unsigned>(rows);
+  out.q = t.q;
+  const std::size_t per_row = t.elems() / t.shape[0];
+  out.data.assign(t.data.begin(),
+                  t.data.begin() + static_cast<std::ptrdiff_t>(rows * per_row));
+  return out;
+}
+
+/// Mean relative error between two quantized tensors sharing quantization,
+/// in the real domain; the denominator floors at one output quantum so
+/// near-zero exact values don't blow the metric up.
+double output_mre(const QTensor& approx, const QTensor& exact) {
+  double sum = 0.0;
+  const double floor_val = exact.q.scale;
+  for (std::size_t i = 0; i < exact.elems(); ++i) {
+    const double ye = exact.q.dequantize(exact.data[i]);
+    const double ya = approx.q.dequantize(approx.data[i]);
+    sum += std::abs(ya - ye) / std::max(std::abs(ye), floor_val);
+  }
+  return exact.elems() ? sum / static_cast<double>(exact.elems()) : 0.0;
+}
+
+void json_kv(std::ostringstream& os, const char* key, double v) {
+  os << '"' << key << "\": " << v;
+}
+
+}  // namespace
+
+Sequential::Sequential() = default;
+
+std::size_t Sequential::add(LayerPtr layer) {
+  slots_.push_back({std::move(layer), nullptr, false});
+  return slots_.size() - 1;
+}
+
+void Sequential::set_backend(MacBackendPtr backend) { default_ = std::move(backend); }
+
+void Sequential::set_layer_backend(std::size_t i, MacBackendPtr backend, bool swap_operands) {
+  slots_.at(i).backend = std::move(backend);
+  slots_.at(i).swap = swap_operands;
+}
+
+void Sequential::set_layer_swap(std::size_t i, bool swap_operands) {
+  slots_.at(i).swap = swap_operands;
+}
+
+const MacBackend& Sequential::backend_for(const Slot& s) const {
+  const MacBackendPtr& b = s.backend ? s.backend : default_;
+  if (!b) throw std::logic_error("Sequential: no MacBackend configured");
+  return *b;
+}
+
+void Sequential::calibrate(const Tensor& batch, unsigned bits) {
+  bits_ = bits;
+  input_q_ = Quantizer::fit(batch, bits);
+  QuantParams q = input_q_;
+  Tensor x = batch;
+  for (Slot& s : slots_) {
+    Tensor y;
+    q = s.layer->calibrate(x, q, bits, y);
+    x = std::move(y);
+  }
+  if (!default_) default_ = make_exact_backend(bits);
+  calibrated_ = true;
+}
+
+QTensor Sequential::quantize_input(const Tensor& batch) const {
+  return Quantizer::quantize(batch, input_q_);
+}
+
+Tensor Sequential::run_float(const Tensor& in) const {
+  Tensor x = in;
+  for (const Slot& s : slots_) x = s.layer->forward_float(x);
+  return x;
+}
+
+QTensor Sequential::run(const QTensor& in, unsigned threads) const {
+  if (!calibrated_) throw std::logic_error("Sequential: calibrate() before run()");
+  QTensor x = in;
+  for (const Slot& s : slots_) {
+    x = s.layer->forward(x, backend_for(s), s.swap, threads);
+  }
+  return x;
+}
+
+std::vector<int> Sequential::classify(const QTensor& in, unsigned threads) const {
+  const QTensor out = run(in, threads);
+  if (out.shape.size() != 2) throw std::logic_error("classify: final layer must emit {N, F}");
+  const std::size_t f = out.shape[1];
+  std::vector<int> labels(out.shape[0]);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto* row = out.data.data() + i * f;
+    labels[i] = static_cast<int>(std::max_element(row, row + f) - row);
+  }
+  return labels;
+}
+
+NetworkReport Sequential::evaluate(const QTensor& inputs, const std::vector<int>& labels,
+                                   unsigned threads, std::size_t mre_samples) const {
+  if (inputs.shape.empty() || inputs.shape[0] != labels.size()) {
+    throw std::invalid_argument("evaluate: inputs/labels size mismatch");
+  }
+  NetworkReport report;
+  report.default_backend = default_ ? default_->name() : "";
+  report.bits = bits_;
+  report.samples = labels.size();
+
+  // Top-1 accuracy over the full set.
+  const std::vector<int> predicted = classify(inputs, threads);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  report.top1_accuracy = static_cast<double>(correct) / static_cast<double>(labels.size());
+
+  // Per-layer roll-up + output MRE on a bounded sub-batch. The approximate
+  // activations propagate layer to layer (as they would in hardware); each
+  // layer's MRE compares its output against the exact backend applied to
+  // the *same approximate input*, isolating that layer's contribution.
+  const MacBackend exact_ref("exact_ref", mult::make_accurate(bits_));
+  QTensor x = head_rows(inputs, std::min<std::size_t>(mre_samples, inputs.shape[0]));
+  Shape unit_shape = inputs.shape;
+  unit_shape[0] = 1;
+  for (const Slot& s : slots_) {
+    LayerReport lr;
+    lr.name = s.layer->name();
+    lr.kind = s.layer->kind();
+    lr.macs = s.layer->mac_count(unit_shape);
+    QTensor y = s.layer->forward(x, backend_for(s), s.swap, threads);
+    if (s.layer->uses_mac()) {
+      const MacBackend& b = backend_for(s);
+      lr.backend = b.name();
+      lr.swapped = s.swap;
+      lr.cost = b.cost();
+      lr.energy_au = static_cast<double>(lr.macs) * lr.cost.energy_per_mac_au;
+      if (!b.exact()) {
+        const QTensor y_exact = s.layer->forward(x, exact_ref, false, threads);
+        lr.output_mre = output_mre(y, y_exact);
+      }
+      report.macs += lr.macs;
+      report.energy_per_inference_au += lr.energy_au;
+      report.critical_path_ns = std::max(report.critical_path_ns, lr.cost.critical_path_ns);
+    }
+    unit_shape = s.layer->out_shape(unit_shape);
+    x = std::move(y);
+    report.layers.push_back(std::move(lr));
+  }
+  report.edp_au = report.energy_per_inference_au * report.critical_path_ns;
+  return report;
+}
+
+TensorMap Sequential::export_weights() const {
+  TensorMap weights;
+  for (const Slot& s : slots_) s.layer->export_weights(weights);
+  return weights;
+}
+
+void Sequential::import_weights(const TensorMap& weights) {
+  for (Slot& s : slots_) s.layer->import_weights(weights);
+  calibrated_ = false;
+}
+
+std::string to_json(const NetworkReport& report) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\n  \"backend\": \"" << report.default_backend << "\",\n"
+     << "  \"bits\": " << report.bits << ",\n"
+     << "  \"samples\": " << report.samples << ",\n  ";
+  json_kv(os, "top1_accuracy", report.top1_accuracy);
+  os << ",\n  \"macs_per_inference\": " << report.macs << ",\n  ";
+  json_kv(os, "energy_per_inference_au", report.energy_per_inference_au);
+  os << ",\n  ";
+  json_kv(os, "critical_path_ns", report.critical_path_ns);
+  os << ",\n  ";
+  json_kv(os, "edp_au", report.edp_au);
+  os << ",\n  \"layers\": [\n";
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const LayerReport& lr = report.layers[i];
+    os << "    {\"name\": \"" << lr.name << "\", \"kind\": \"" << lr.kind
+       << "\", \"backend\": \"" << lr.backend << "\", \"swapped\": "
+       << (lr.swapped ? "true" : "false") << ", \"macs\": " << lr.macs
+       << ", \"luts\": " << lr.cost.luts << ", \"carry4\": " << lr.cost.carry4 << ", ";
+    json_kv(os, "critical_path_ns", lr.cost.critical_path_ns);
+    os << ", ";
+    json_kv(os, "energy_per_mac_au", lr.cost.energy_per_mac_au);
+    os << ", ";
+    json_kv(os, "energy_au", lr.energy_au);
+    os << ", ";
+    json_kv(os, "output_mre", lr.output_mre);
+    os << "}" << (i + 1 < report.layers.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace axmult::nn

@@ -1,0 +1,110 @@
+// Sequential network graph: calibration, quantized inference, and the
+// accuracy-vs-hardware-cost report that ties the NN workload back to the
+// paper's Pareto metrics (Fig. 10) at network granularity.
+//
+// Backend plumbing: the graph holds a default MacBackend; every MAC layer
+// can override it and/or enable the operand-swap trick individually, so a
+// network can, e.g., run its convolution on Cc and its classifier on Cas.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace axmult::nn {
+
+/// Per-layer slice of the inference report.
+struct LayerReport {
+  std::string name;
+  std::string kind;
+  std::string backend;  ///< empty for non-MAC layers
+  bool swapped = false;
+  std::uint64_t macs = 0;          ///< per inference (batch 1)
+  MacCost cost;                    ///< per MAC unit (modeled = false if none)
+  double energy_au = 0.0;          ///< macs x energy per MAC
+  double output_mre = 0.0;         ///< vs exact backend on the same inputs
+};
+
+/// Whole-network report (the axnn JSON payload).
+struct NetworkReport {
+  std::string default_backend;
+  unsigned bits = 8;
+  std::uint64_t samples = 0;
+  std::vector<LayerReport> layers;
+  std::uint64_t macs = 0;
+  double top1_accuracy = 0.0;
+  double energy_per_inference_au = 0.0;
+  double critical_path_ns = 0.0;  ///< worst MAC unit across layers
+  double edp_au = 0.0;            ///< energy per inference x critical path
+};
+
+/// Serializes a report as a JSON document.
+[[nodiscard]] std::string to_json(const NetworkReport& report);
+
+class Sequential {
+ public:
+  Sequential();
+
+  /// Appends a layer; returns its index.
+  std::size_t add(LayerPtr layer);
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *slots_.at(i).layer; }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *slots_.at(i).layer; }
+
+  /// Default backend for every MAC layer without an override.
+  void set_backend(MacBackendPtr backend);
+  /// Per-layer override (pass nullptr to fall back to the default).
+  void set_layer_backend(std::size_t i, MacBackendPtr backend, bool swap_operands = false);
+  /// Toggles the operand-swap trick on one MAC layer.
+  void set_layer_swap(std::size_t i, bool swap_operands);
+  [[nodiscard]] const MacBackendPtr& default_backend() const noexcept { return default_; }
+
+  /// Calibrates quantization layer by layer over a float batch (weights
+  /// must be set first). `bits` is the operand width fed to the MACs.
+  void calibrate(const Tensor& batch, unsigned bits = 8);
+  [[nodiscard]] const QuantParams& input_qparams() const noexcept { return input_q_; }
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+  /// Quantizes a float input batch with the calibrated input params.
+  [[nodiscard]] QTensor quantize_input(const Tensor& batch) const;
+
+  /// Float reference forward through every layer.
+  [[nodiscard]] Tensor run_float(const Tensor& in) const;
+
+  /// Quantized forward through the configured backends.
+  [[nodiscard]] QTensor run(const QTensor& in, unsigned threads = 0) const;
+
+  /// Argmax over the final layer's rows, one label per batch row.
+  [[nodiscard]] std::vector<int> classify(const QTensor& in, unsigned threads = 0) const;
+
+  /// Full evaluation: top-1 accuracy over (inputs, labels), per-layer MACs
+  /// and hardware roll-up, and per-layer output MRE measured against the
+  /// exact backend on at most `mre_samples` inputs.
+  [[nodiscard]] NetworkReport evaluate(const QTensor& inputs, const std::vector<int>& labels,
+                                       unsigned threads = 0,
+                                       std::size_t mre_samples = 64) const;
+
+  /// All float weights, keyed "<layer>.weight" / "<layer>.bias".
+  [[nodiscard]] TensorMap export_weights() const;
+  /// Replaces weights; the network must be re-calibrated afterwards.
+  void import_weights(const TensorMap& weights);
+
+ private:
+  struct Slot {
+    LayerPtr layer;
+    MacBackendPtr backend;  ///< null -> default_
+    bool swap = false;
+  };
+  [[nodiscard]] const MacBackend& backend_for(const Slot& s) const;
+
+  std::vector<Slot> slots_;
+  MacBackendPtr default_;
+  QuantParams input_q_;
+  unsigned bits_ = 8;
+  bool calibrated_ = false;
+};
+
+}  // namespace axmult::nn

@@ -1,0 +1,418 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "nn/quantize.hpp"
+
+namespace axmult::nn {
+
+namespace {
+
+[[noreturn]] void shape_error(const std::string& layer, const char* what) {
+  throw std::invalid_argument(layer + ": " + what);
+}
+
+std::size_t trailing_elems(const Shape& s) {
+  std::size_t n = 1;
+  for (std::size_t i = 1; i < s.size(); ++i) n *= s[i];
+  return n;
+}
+
+/// Freezes the requantization state shared by Dense and Conv2D: quantizes
+/// the float weights per-tensor, precomputes per-output-channel weight sums
+/// and the bias at accumulator scale.
+QTensor freeze_mac_state(const Tensor& w, const std::vector<float>& bias, std::size_t depth,
+                         std::size_t out_channels, const QuantParams& in_q, unsigned bits,
+                         RequantState& rq) {
+  QTensor wq = Quantizer::quantize(w, Quantizer::fit(w, bits));
+  rq.in_q = in_q;
+  rq.w_q = wq.q;
+  rq.depth = depth;
+  rq.col_sums.assign(out_channels, 0);
+  // Weights are stored {depth, out_channels} row-major (Dense directly,
+  // Conv2D after its {KH,KW,C,M} layout collapses to {KH*KW*C, M}).
+  for (std::size_t k = 0; k < depth; ++k) {
+    for (std::size_t j = 0; j < out_channels; ++j) {
+      rq.col_sums[j] += wq.data[k * out_channels + j];
+    }
+  }
+  const double bias_scale = in_q.scale * wq.q.scale;
+  rq.bias_q.assign(out_channels, 0);
+  for (std::size_t j = 0; j < out_channels; ++j) {
+    rq.bias_q[j] = std::llround(static_cast<double>(bias[j]) / bias_scale);
+  }
+  return wq;
+}
+
+/// Applies zero-point corrections, bias and the scale conversion to the
+/// raw-product accumulators, producing output bytes:
+///   real = s_in*s_w * (acc - za*col_sum - zw*row_sum + K*za*zw + bias_q)
+void requantize_rows(const RequantState& rq, const std::uint8_t* a_rows,
+                     const std::int64_t* acc, std::size_t rows, std::size_t cols,
+                     std::uint8_t* out) {
+  const std::int64_t za = rq.in_q.zero_point;
+  const std::int64_t zw = rq.w_q.zero_point;
+  const std::int64_t kzz = static_cast<std::int64_t>(rq.depth) * za * zw;
+  const double multiplier = rq.in_q.scale * rq.w_q.scale / rq.out_q.scale;
+  const long out_max = rq.out_q.qmax();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::int64_t row_sum = 0;
+    const std::uint8_t* arow = a_rows + i * rq.depth;
+    for (std::size_t k = 0; k < rq.depth; ++k) row_sum += arow[k];
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::int64_t corrected =
+          acc[i * cols + j] - za * rq.col_sums[j] - zw * row_sum + kzz + rq.bias_q[j];
+      const long q = std::llround(multiplier * static_cast<double>(corrected)) +
+                     rq.out_q.zero_point;
+      out[i * cols + j] = static_cast<std::uint8_t>(std::clamp(q, 0L, out_max));
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Dense ----------------------------------------------------------------
+
+Dense::Dense(std::string name, unsigned in_features, unsigned out_features)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      w_({in_features, out_features}),
+      bias_(out_features, 0.0f) {}
+
+void Dense::set_weights(Tensor w, std::vector<float> bias) {
+  if (w.elems() != static_cast<std::size_t>(in_features_) * out_features_ ||
+      bias.size() != out_features_) {
+    shape_error(name(), "weight/bias size mismatch");
+  }
+  w_ = std::move(w);
+  w_.shape = {in_features_, out_features_};
+  bias_ = std::move(bias);
+}
+
+Shape Dense::out_shape(const Shape& in) const {
+  if (in.empty() || trailing_elems(in) != in_features_) {
+    shape_error(name(), "input features mismatch");
+  }
+  return {in[0], out_features_};
+}
+
+std::uint64_t Dense::mac_count(const Shape& in) const {
+  return static_cast<std::uint64_t>(in.empty() ? 0 : in[0]) * in_features_ * out_features_;
+}
+
+Tensor Dense::forward_float(const Tensor& in) const {
+  const Shape out_s = out_shape(in.shape);
+  Tensor out(out_s);
+  const std::size_t batch = in.shape[0];
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      double sum = bias_[j];
+      for (std::size_t k = 0; k < in_features_; ++k) {
+        sum += static_cast<double>(in.data[i * in_features_ + k]) *
+               w_.data[k * out_features_ + j];
+      }
+      out.data[i * out_features_ + j] = static_cast<float>(sum);
+    }
+  }
+  return out;
+}
+
+QuantParams Dense::calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                             Tensor& out) {
+  wq_ = freeze_mac_state(w_, bias_, in_features_, out_features_, in_q, bits, rq_);
+  out = forward_float(in);
+  rq_.out_q = Quantizer::fit(out, bits);
+  return rq_.out_q;
+}
+
+QTensor Dense::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                       unsigned threads) const {
+  const Shape out_s = out_shape(in.shape);
+  const std::size_t batch = in.shape[0];
+  std::vector<std::int64_t> acc(batch * out_features_);
+  gemm_accumulate(mac, swap, in.data.data(), wq_.data.data(), acc.data(), batch, in_features_,
+                  out_features_, threads);
+  QTensor out;
+  out.shape = out_s;
+  out.q = rq_.out_q;
+  out.data.resize(batch * out_features_);
+  requantize_rows(rq_, in.data.data(), acc.data(), batch, out_features_, out.data.data());
+  return out;
+}
+
+void Dense::export_weights(TensorMap& out) const {
+  out[name() + ".weight"] = w_;
+  out[name() + ".bias"] = Tensor({out_features_}, std::vector<float>(bias_));
+}
+
+void Dense::import_weights(const TensorMap& in) {
+  set_weights(in.at(name() + ".weight"), in.at(name() + ".bias").data);
+}
+
+// ---- Conv2D ---------------------------------------------------------------
+
+Conv2D::Conv2D(std::string name, unsigned kernel_h, unsigned kernel_w, unsigned in_channels,
+               unsigned out_channels, unsigned stride, unsigned pad)
+    : Layer(std::move(name)),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      in_c_(in_channels),
+      out_c_(out_channels),
+      stride_(stride),
+      pad_(pad),
+      w_({kernel_h, kernel_w, in_channels, out_channels}),
+      bias_(out_channels, 0.0f) {
+  if (stride_ == 0) shape_error(this->name(), "stride must be nonzero");
+}
+
+void Conv2D::set_weights(Tensor w, std::vector<float> bias) {
+  if (w.elems() != static_cast<std::size_t>(kh_) * kw_ * in_c_ * out_c_ ||
+      bias.size() != out_c_) {
+    shape_error(name(), "weight/bias size mismatch");
+  }
+  w_ = std::move(w);
+  w_.shape = {kh_, kw_, in_c_, out_c_};
+  bias_ = std::move(bias);
+}
+
+Shape Conv2D::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[3] != in_c_) shape_error(name(), "expects NHWC input");
+  if (in[1] + 2 * pad_ < kh_ || in[2] + 2 * pad_ < kw_) {
+    shape_error(name(), "kernel larger than padded input");
+  }
+  const unsigned oh = (in[1] + 2 * pad_ - kh_) / stride_ + 1;
+  const unsigned ow = (in[2] + 2 * pad_ - kw_) / stride_ + 1;
+  return {in[0], oh, ow, out_c_};
+}
+
+std::uint64_t Conv2D::mac_count(const Shape& in) const {
+  const Shape o = out_shape(in);
+  return static_cast<std::uint64_t>(o[0]) * o[1] * o[2] * out_c_ * kh_ * kw_ * in_c_;
+}
+
+Tensor Conv2D::forward_float(const Tensor& in) const {
+  const Shape o = out_shape(in.shape);
+  Tensor out(o);
+  const unsigned h = in.shape[1], w = in.shape[2];
+  std::size_t idx = 0;
+  for (unsigned n = 0; n < o[0]; ++n) {
+    for (unsigned oy = 0; oy < o[1]; ++oy) {
+      for (unsigned ox = 0; ox < o[2]; ++ox) {
+        for (unsigned m = 0; m < out_c_; ++m) {
+          double sum = bias_[m];
+          for (unsigned ky = 0; ky < kh_; ++ky) {
+            for (unsigned kx = 0; kx < kw_; ++kx) {
+              const int iy = static_cast<int>(oy * stride_ + ky) - static_cast<int>(pad_);
+              const int ix = static_cast<int>(ox * stride_ + kx) - static_cast<int>(pad_);
+              if (iy < 0 || iy >= static_cast<int>(h) || ix < 0 || ix >= static_cast<int>(w)) {
+                continue;  // zero padding
+              }
+              for (unsigned c = 0; c < in_c_; ++c) {
+                sum += static_cast<double>(
+                           in.data[((static_cast<std::size_t>(n) * h + iy) * w + ix) * in_c_ +
+                                   c]) *
+                       w_.data[((static_cast<std::size_t>(ky) * kw_ + kx) * in_c_ + c) *
+                                   out_c_ +
+                               m];
+              }
+            }
+          }
+          out.data[idx++] = static_cast<float>(sum);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+QuantParams Conv2D::calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                              Tensor& out) {
+  wq_ = freeze_mac_state(w_, bias_, static_cast<std::size_t>(kh_) * kw_ * in_c_, out_c_, in_q,
+                         bits, rq_);
+  out = forward_float(in);
+  rq_.out_q = Quantizer::fit(out, bits);
+  return rq_.out_q;
+}
+
+QTensor Conv2D::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                        unsigned threads) const {
+  const Shape o = out_shape(in.shape);
+  const unsigned h = in.shape[1], w = in.shape[2];
+  const std::size_t rows = static_cast<std::size_t>(o[0]) * o[1] * o[2];
+  const std::size_t depth = static_cast<std::size_t>(kh_) * kw_ * in_c_;
+  // im2col: out-of-bounds taps read the input zero-point, which the
+  // zero-point correction cancels exactly (true zero padding).
+  std::vector<std::uint8_t> patches(rows * depth);
+  const std::uint8_t zp = static_cast<std::uint8_t>(in.q.zero_point);
+  std::size_t r = 0;
+  for (unsigned n = 0; n < o[0]; ++n) {
+    for (unsigned oy = 0; oy < o[1]; ++oy) {
+      for (unsigned ox = 0; ox < o[2]; ++ox, ++r) {
+        std::uint8_t* row = patches.data() + r * depth;
+        std::size_t t = 0;
+        for (unsigned ky = 0; ky < kh_; ++ky) {
+          for (unsigned kx = 0; kx < kw_; ++kx) {
+            const int iy = static_cast<int>(oy * stride_ + ky) - static_cast<int>(pad_);
+            const int ix = static_cast<int>(ox * stride_ + kx) - static_cast<int>(pad_);
+            const bool inside =
+                iy >= 0 && iy < static_cast<int>(h) && ix >= 0 && ix < static_cast<int>(w);
+            for (unsigned c = 0; c < in_c_; ++c, ++t) {
+              row[t] = inside
+                           ? in.data[((static_cast<std::size_t>(n) * h + iy) * w + ix) *
+                                         in_c_ +
+                                     c]
+                           : zp;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<std::int64_t> acc(rows * out_c_);
+  gemm_accumulate(mac, swap, patches.data(), wq_.data.data(), acc.data(), rows, depth, out_c_,
+                  threads);
+  QTensor out;
+  out.shape = o;
+  out.q = rq_.out_q;
+  out.data.resize(rows * out_c_);
+  requantize_rows(rq_, patches.data(), acc.data(), rows, out_c_, out.data.data());
+  return out;
+}
+
+void Conv2D::export_weights(TensorMap& out) const {
+  out[name() + ".weight"] = w_;
+  out[name() + ".bias"] = Tensor({out_c_}, std::vector<float>(bias_));
+}
+
+void Conv2D::import_weights(const TensorMap& in) {
+  set_weights(in.at(name() + ".weight"), in.at(name() + ".bias").data);
+}
+
+// ---- ReLU -----------------------------------------------------------------
+
+Tensor ReLU::forward_float(const Tensor& in) const {
+  Tensor out = in;
+  for (float& v : out.data) v = std::max(v, 0.0f);
+  return out;
+}
+
+QTensor ReLU::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                      unsigned threads) const {
+  (void)mac;
+  (void)swap;
+  (void)threads;
+  QTensor out = in;
+  const std::uint8_t zp = static_cast<std::uint8_t>(in.q.zero_point);
+  for (std::uint8_t& v : out.data) v = std::max(v, zp);
+  return out;
+}
+
+// ---- MaxPool2D ------------------------------------------------------------
+
+MaxPool2D::MaxPool2D(std::string name, unsigned pool, unsigned stride)
+    : Layer(std::move(name)), pool_(pool), stride_(stride == 0 ? pool : stride) {
+  if (pool_ == 0) shape_error(this->name(), "pool must be nonzero");
+}
+
+Shape MaxPool2D::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] < pool_ || in[2] < pool_) {
+    shape_error(name(), "expects NHWC input at least one window large");
+  }
+  return {in[0], (in[1] - pool_) / stride_ + 1, (in[2] - pool_) / stride_ + 1, in[3]};
+}
+
+namespace {
+
+template <typename T>
+void maxpool_nhwc(const std::vector<T>& in, const Shape& in_s, unsigned pool, unsigned stride,
+                  const Shape& out_s, std::vector<T>& out) {
+  const unsigned h = in_s[1], w = in_s[2], c = in_s[3];
+  std::size_t idx = 0;
+  for (unsigned n = 0; n < out_s[0]; ++n) {
+    for (unsigned oy = 0; oy < out_s[1]; ++oy) {
+      for (unsigned ox = 0; ox < out_s[2]; ++ox) {
+        for (unsigned ch = 0; ch < c; ++ch) {
+          T best = in[((static_cast<std::size_t>(n) * h + oy * stride) * w + ox * stride) * c +
+                      ch];
+          for (unsigned ky = 0; ky < pool; ++ky) {
+            for (unsigned kx = 0; kx < pool; ++kx) {
+              best = std::max(
+                  best, in[((static_cast<std::size_t>(n) * h + oy * stride + ky) * w +
+                            ox * stride + kx) *
+                               c +
+                           ch]);
+            }
+          }
+          out[idx++] = best;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MaxPool2D::forward_float(const Tensor& in) const {
+  const Shape o = out_shape(in.shape);
+  Tensor out(o);
+  maxpool_nhwc(in.data, in.shape, pool_, stride_, o, out.data);
+  return out;
+}
+
+QTensor MaxPool2D::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                           unsigned threads) const {
+  (void)mac;
+  (void)swap;
+  (void)threads;
+  const Shape o = out_shape(in.shape);
+  QTensor out;
+  out.shape = o;
+  out.q = in.q;
+  out.data.resize(shape_elems(o));
+  maxpool_nhwc(in.data, in.shape, pool_, stride_, o, out.data);
+  return out;
+}
+
+// ---- Softmax --------------------------------------------------------------
+
+Tensor Softmax::forward_float(const Tensor& in) const {
+  if (in.shape.size() != 2) shape_error(name(), "expects {N, F} input");
+  Tensor out = in;
+  const std::size_t f = in.shape[1];
+  for (std::size_t i = 0; i < in.shape[0]; ++i) {
+    float* row = out.data.data() + i * f;
+    const float mx = *std::max_element(row, row + f);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < f; ++j) sum += std::exp(static_cast<double>(row[j] - mx));
+    for (std::size_t j = 0; j < f; ++j) {
+      row[j] = static_cast<float>(std::exp(static_cast<double>(row[j] - mx)) / sum);
+    }
+  }
+  return out;
+}
+
+QuantParams Softmax::calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                               Tensor& out) {
+  (void)in_q;
+  out = forward_float(in);
+  out_q_.bits = bits;
+  out_q_.zero_point = 0;
+  out_q_.scale = 1.0 / out_q_.qmax();  // probabilities span [0, 1] exactly
+  return out_q_;
+}
+
+QTensor Softmax::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                         unsigned threads) const {
+  (void)mac;
+  (void)swap;
+  (void)threads;
+  Tensor logits = Quantizer::dequantize(in);
+  const Tensor probs = forward_float(logits);
+  return Quantizer::quantize(probs, out_q_);
+}
+
+}  // namespace axmult::nn

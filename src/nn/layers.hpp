@@ -1,0 +1,194 @@
+// Inference layers over the quantized MAC substrate.
+//
+// Every layer exists in two coupled forms (the library's recurring split):
+// a float reference (`forward_float`, used for range calibration and
+// validation) and a quantized data path (`forward`) whose only inexact
+// operation is the backend's multiplier — zero-point corrections, bias
+// addition and requantization are exact integer/float arithmetic, the way
+// an accelerator surrounds an approximate MAC array with exact glue logic.
+//
+// Calibration protocol (driven by nn::Sequential): each layer observes the
+// float calibration batch flowing through, freezes its weight quantization
+// and output scale/zero-point, and hands the output batch to the next
+// layer. After calibration the quantized path is self-contained.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mac.hpp"
+#include "nn/tensor.hpp"
+
+namespace axmult::nn {
+
+/// Named float tensors — the unit of the flat .axnn weight container.
+using TensorMap = std::map<std::string, Tensor>;
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] virtual std::string kind() const = 0;
+  [[nodiscard]] virtual Shape out_shape(const Shape& in) const = 0;
+
+  /// True for layers that multiply (Dense/Conv2D) — the hardware cost
+  /// roll-up and the operand-swap option apply only to these.
+  [[nodiscard]] virtual bool uses_mac() const noexcept { return false; }
+  /// Multiplications performed for one input of shape `in` (batch included).
+  [[nodiscard]] virtual std::uint64_t mac_count(const Shape& in) const {
+    (void)in;
+    return 0;
+  }
+
+  /// Float reference forward.
+  [[nodiscard]] virtual Tensor forward_float(const Tensor& in) const = 0;
+
+  /// Quantized forward through `mac`; `swap` routes each product through
+  /// the swapped operand order (Cas/Ccs trick). Must be calibrated first.
+  [[nodiscard]] virtual QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                        unsigned threads) const = 0;
+
+  /// Observes the float calibration batch `in` (quantized as `in_q`),
+  /// freezes internal quantized state at `bits` operand width, writes the
+  /// float output batch to `out` and returns the output quantization.
+  /// Default: pass-through quantization.
+  [[nodiscard]] virtual QuantParams calibrate(const Tensor& in, const QuantParams& in_q,
+                                              unsigned bits, Tensor& out) {
+    (void)bits;
+    out = forward_float(in);
+    return in_q;
+  }
+
+  virtual void export_weights(TensorMap& out) const { (void)out; }
+  /// Replaces float weights from the map (missing keys throw); the layer
+  /// must be (re-)calibrated afterwards.
+  virtual void import_weights(const TensorMap& in) { (void)in; }
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Shared requantization state of the two MAC layers: maps the int64
+/// accumulator of raw uint8 products back to the output's uint8 domain
+/// (zero-point corrections, bias, scale conversion) — all exact.
+struct RequantState {
+  QuantParams in_q;
+  QuantParams w_q;
+  QuantParams out_q;
+  std::vector<std::int64_t> col_sums;  ///< per output channel: sum of quantized weights
+  std::vector<std::int64_t> bias_q;    ///< bias at scale in.scale * w.scale
+  std::size_t depth = 0;               ///< reduction length K
+};
+
+/// Fully connected layer. Accepts any input shape {N, ...} whose trailing
+/// dimensions multiply to `in_features` (so it subsumes Flatten).
+class Dense final : public Layer {
+ public:
+  Dense(std::string name, unsigned in_features, unsigned out_features);
+
+  /// `w` is {in_features, out_features}; `bias` has out_features entries.
+  void set_weights(Tensor w, std::vector<float> bias);
+
+  [[nodiscard]] std::string kind() const override { return "dense"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] bool uses_mac() const noexcept override { return true; }
+  [[nodiscard]] std::uint64_t mac_count(const Shape& in) const override;
+  [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
+  [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                unsigned threads) const override;
+  [[nodiscard]] QuantParams calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                                      Tensor& out) override;
+  void export_weights(TensorMap& out) const override;
+  void import_weights(const TensorMap& in) override;
+
+ private:
+  unsigned in_features_;
+  unsigned out_features_;
+  Tensor w_;                  // float weights {K, M}
+  std::vector<float> bias_;   // M
+  QTensor wq_;                // frozen at calibration
+  RequantState rq_;
+};
+
+/// 2-D convolution (NHWC, HWCM filters) lowered to GEMM via im2col.
+/// Padding inserts the input zero-point, which dequantizes to exactly 0.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::string name, unsigned kernel_h, unsigned kernel_w, unsigned in_channels,
+         unsigned out_channels, unsigned stride = 1, unsigned pad = 0);
+
+  /// `w` is {KH, KW, C, M}; `bias` has M entries.
+  void set_weights(Tensor w, std::vector<float> bias);
+
+  [[nodiscard]] std::string kind() const override { return "conv2d"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] bool uses_mac() const noexcept override { return true; }
+  [[nodiscard]] std::uint64_t mac_count(const Shape& in) const override;
+  [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
+  [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                unsigned threads) const override;
+  [[nodiscard]] QuantParams calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                                      Tensor& out) override;
+  void export_weights(TensorMap& out) const override;
+  void import_weights(const TensorMap& in) override;
+
+ private:
+  unsigned kh_, kw_, in_c_, out_c_, stride_, pad_;
+  Tensor w_;                 // {KH, KW, C, M}
+  std::vector<float> bias_;  // M
+  QTensor wq_;
+  RequantState rq_;
+};
+
+/// max(x, 0): in the quantized domain, max(q, zero_point) — exact.
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : Layer(std::move(name)) {}
+  [[nodiscard]] std::string kind() const override { return "relu"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
+  [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                unsigned threads) const override;
+};
+
+/// Non-overlapping-by-default max pooling over NHWC windows. Quantization
+/// is monotone, so the quantized max equals the real max — exact.
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(std::string name, unsigned pool, unsigned stride = 0);
+  [[nodiscard]] std::string kind() const override { return "maxpool2d"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
+  [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                unsigned threads) const override;
+
+ private:
+  unsigned pool_, stride_;
+};
+
+/// Row-wise softmax over {N, F}. Computed in float (an accelerator would
+/// run this on the host or an exact unit); output re-quantized onto the
+/// fixed probability scale 1/(2^bits - 1), zero-point 0.
+class Softmax final : public Layer {
+ public:
+  explicit Softmax(std::string name) : Layer(std::move(name)) {}
+  [[nodiscard]] std::string kind() const override { return "softmax"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
+  [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
+                                unsigned threads) const override;
+  [[nodiscard]] QuantParams calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
+                                      Tensor& out) override;
+
+ private:
+  QuantParams out_q_;
+};
+
+}  // namespace axmult::nn

@@ -1,0 +1,133 @@
+#include "nn/mac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::nn {
+
+namespace {
+
+/// Exhaustive metrics straight off the product table (the operand space the
+/// data path sees — at most 2^16 entries, so this is instant).
+error::ErrorMetrics table_metrics(const std::vector<std::uint32_t>& table, unsigned bits) {
+  error::ErrorMetrics m;
+  const unsigned n = 1u << bits;
+  m.samples = static_cast<std::uint64_t>(n) * n;
+  unsigned __int128 abs_sum = 0;
+  double rel_sum = 0.0;
+  long double signed_sum = 0.0L;
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = 0; b < n; ++b) {
+      const std::uint64_t exact = static_cast<std::uint64_t>(a) * b;
+      const std::uint64_t approx = table[(a << bits) | b];
+      if (approx == exact) continue;
+      const std::uint64_t err = approx > exact ? approx - exact : exact - approx;
+      ++m.occurrences;
+      abs_sum += err;
+      signed_sum += static_cast<long double>(approx) - static_cast<long double>(exact);
+      if (exact != 0) rel_sum += static_cast<double>(err) / static_cast<double>(exact);
+      if (err > m.max_error) {
+        m.max_error = err;
+        m.max_error_occurrences = 1;
+      } else if (err == m.max_error) {
+        ++m.max_error_occurrences;
+      }
+    }
+  }
+  const double samples = static_cast<double>(m.samples);
+  m.avg_error = static_cast<double>(static_cast<long double>(abs_sum)) / samples;
+  m.avg_relative_error = rel_sum / samples;
+  m.mean_signed_error = static_cast<double>(signed_sum / samples);
+  return m;
+}
+
+}  // namespace
+
+MacBackend::MacBackend(std::string name, mult::MultiplierPtr model,
+                       std::function<fabric::Netlist()> netlist)
+    : name_(std::move(name)), model_(std::move(model)) {
+  if (model_->a_bits() != model_->b_bits()) {
+    throw std::invalid_argument("MacBackend requires a square multiplier");
+  }
+  data_bits_ = std::min(8u, model_->a_bits());
+  const unsigned n = 1u << data_bits_;
+  table_.resize(static_cast<std::size_t>(n) * n);
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = 0; b < n; ++b) {
+      const std::uint64_t p = model_->multiply(a, b);
+      table_[(a << data_bits_) | b] = static_cast<std::uint32_t>(p);
+      if (p != static_cast<std::uint64_t>(a) * b) exact_ = false;
+    }
+  }
+  metrics_ = table_metrics(table_, data_bits_);
+  if (netlist) {
+    const fabric::Netlist nl = netlist();
+    const auto area = nl.area();
+    cost_.modeled = true;
+    cost_.luts = area.luts;
+    cost_.carry4 = area.carry4;
+    cost_.critical_path_ns = timing::analyze(nl).critical_path_ns;
+    const auto pwr = power::estimate(nl);
+    cost_.energy_per_mac_au = pwr.energy_au;
+    cost_.edp_per_mac_au = pwr.edp_au;
+  }
+}
+
+namespace {
+
+struct BackendSpec {
+  const char* name;
+  mult::MultiplierPtr (*model)();
+  fabric::Netlist (*netlist)();
+};
+
+// Operand swapping is wiring-only, so Cas/Ccs share the Ca/Cc netlists.
+const BackendSpec kBackends[] = {
+    {"exact", [] { return mult::make_accurate(8); },
+     [] { return multgen::make_vivado_speed_netlist(8); }},
+    {"ca8", [] { return mult::make_ca(8); }, [] { return multgen::make_ca_netlist(8); }},
+    {"cc8", [] { return mult::make_cc(8); }, [] { return multgen::make_cc_netlist(8); }},
+    {"cas8", [] { return mult::make_cas(8); }, [] { return multgen::make_ca_netlist(8); }},
+    {"ccs8", [] { return mult::make_ccs(8); }, [] { return multgen::make_cc_netlist(8); }},
+    {"cb8", [] { return mult::make_cb(8, 4); }, [] { return multgen::make_cb_netlist(8, 4); }},
+    {"k8", [] { return mult::make_kulkarni(8); },
+     [] { return multgen::make_kulkarni_netlist(8); }},
+    {"w8", [] { return mult::make_rehman_w(8); },
+     [] { return multgen::make_rehman_netlist(8); }},
+    {"trunc8_4", [] { return mult::make_result_truncated(8, 4); },
+     [] { return multgen::make_result_truncated_netlist(8, 4); }},
+    {"ca16", [] { return mult::make_ca(16); }, [] { return multgen::make_ca_netlist(16); }},
+    {"cc16", [] { return mult::make_cc(16); }, [] { return multgen::make_cc_netlist(16); }},
+    {"approx4", [] { return mult::make_ca(4); }, [] { return multgen::make_ca_netlist(4); }},
+};
+
+}  // namespace
+
+std::vector<std::string> mac_backend_names() {
+  std::vector<std::string> names;
+  for (const auto& s : kBackends) names.emplace_back(s.name);
+  return names;
+}
+
+MacBackendPtr make_mac_backend(const std::string& name) {
+  for (const auto& s : kBackends) {
+    if (name == s.name) {
+      return std::make_shared<MacBackend>(s.name, s.model(), s.netlist);
+    }
+  }
+  throw std::out_of_range("unknown MAC backend '" + name + "'");
+}
+
+MacBackendPtr make_exact_backend(unsigned data_bits) {
+  return std::make_shared<MacBackend>(
+      "exact" + std::to_string(data_bits), mult::make_accurate(data_bits),
+      [data_bits] { return multgen::make_vivado_speed_netlist(data_bits); });
+}
+
+}  // namespace axmult::nn

@@ -1,0 +1,100 @@
+// Pluggable multiply-accumulate backends for the inference engine.
+//
+// A MacBackend couples the two forms every library design has:
+//   * functionally, a precomputed product table over the full operand space
+//     (256x256 for 8-bit data), built once from the behavioral model, so
+//     the inference hot loop is a single indexed load per MAC regardless of
+//     how complex the underlying multiplier is;
+//   * physically, the structural netlist rolled up through the timing/ STA
+//     and power/ toggle models into per-MAC-unit LUTs, critical path and
+//     energy, which the network report aggregates into per-inference EDP.
+//
+// Operand-swap (the paper's Cas/Ccs trick, Section 6) is a per-use-site
+// flag: swapped dispatch indexes table[b][a], which is free in hardware
+// (pure wiring) and therefore carries the same MacCost.
+//
+// Data wider than 8 bits per operand is out of scope (the table would not
+// fit); 16x16 multipliers are still usable as backends for 8-bit data —
+// the accelerator-with-wide-multipliers deployment — because the table
+// only ever indexes the low 8 bits of each operand port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "error/metrics.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/multiplier.hpp"
+
+namespace axmult::nn {
+
+/// Implementation cost of one MAC unit (multiplier instance) under the
+/// default Virtex-7 delay/power models. `modeled` is false for backends
+/// without a structural netlist (cost fields stay zero).
+struct MacCost {
+  bool modeled = false;
+  std::uint64_t luts = 0;
+  std::uint64_t carry4 = 0;
+  double critical_path_ns = 0.0;
+  double energy_per_mac_au = 0.0;  ///< dynamic energy per operation (a.u.)
+  double edp_per_mac_au = 0.0;     ///< energy x critical path
+};
+
+class MacBackend {
+ public:
+  /// `model` must be square (a_bits == b_bits) and at most 8x8 wide on
+  /// each port... of *data*: wider multipliers are accepted and tabulated
+  /// over the low 8 bits of each operand. `netlist` may be empty.
+  MacBackend(std::string name, mult::MultiplierPtr model,
+             std::function<fabric::Netlist()> netlist = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Operand width of the *data* path (table index width per port).
+  [[nodiscard]] unsigned data_bits() const noexcept { return data_bits_; }
+  /// True when the table equals the exact product everywhere.
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
+  [[nodiscard]] const mult::MultiplierPtr& model() const noexcept { return model_; }
+  [[nodiscard]] const MacCost& cost() const noexcept { return cost_; }
+  /// Exhaustive error metrics of the tabulated operand space (the error
+  /// the NN data path actually sees, e.g. a 16x16 Ca driven by 8-bit data).
+  [[nodiscard]] const error::ErrorMetrics& metrics() const noexcept { return metrics_; }
+
+  /// The product — one load from the precomputed table.
+  [[nodiscard]] std::uint32_t mul(unsigned a, unsigned b) const noexcept {
+    return table_[(a << data_bits_) | b];
+  }
+  /// Swapped-operand dispatch (free in hardware: wiring only).
+  [[nodiscard]] std::uint32_t mul_swapped(unsigned a, unsigned b) const noexcept {
+    return table_[(b << data_bits_) | a];
+  }
+
+ private:
+  std::string name_;
+  mult::MultiplierPtr model_;
+  unsigned data_bits_ = 8;
+  bool exact_ = true;
+  std::vector<std::uint32_t> table_;
+  MacCost cost_;
+  error::ErrorMetrics metrics_;
+};
+
+using MacBackendPtr = std::shared_ptr<const MacBackend>;
+
+/// Names accepted by make_mac_backend: "exact", the paper's 8x8 designs
+/// ("ca8", "cc8", "cas8", "ccs8", "cb8", "k8", "w8"), the truncation
+/// baseline "trunc8_4", wide-hardware variants "ca16"/"cc16" (8-bit data
+/// through 16x16 multipliers) and the elementary module "approx4"
+/// (4-bit data through the paper's Table 3 core).
+[[nodiscard]] std::vector<std::string> mac_backend_names();
+
+/// Builds (and cost-models) a backend by name; throws std::out_of_range
+/// for unknown names.
+[[nodiscard]] MacBackendPtr make_mac_backend(const std::string& name);
+
+/// The exact reference backend at `data_bits` operand width.
+[[nodiscard]] MacBackendPtr make_exact_backend(unsigned data_bits = 8);
+
+}  // namespace axmult::nn

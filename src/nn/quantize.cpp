@@ -1,0 +1,57 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace axmult::nn {
+
+std::uint8_t QuantParams::quantize(float real) const noexcept {
+  const long q = std::lround(static_cast<double>(real) / scale) + zero_point;
+  return static_cast<std::uint8_t>(std::clamp<long>(q, 0, qmax()));
+}
+
+QuantParams Quantizer::fit(float lo, float hi, unsigned bits) {
+  QuantParams q;
+  q.bits = bits;
+  // Zero must be inside the represented range (and exactly representable).
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  if (hi <= lo) {
+    q.scale = 1.0;
+    q.zero_point = 0;
+    return q;
+  }
+  q.scale = (static_cast<double>(hi) - static_cast<double>(lo)) / q.qmax();
+  q.zero_point = static_cast<int>(
+      std::clamp<long>(std::lround(-static_cast<double>(lo) / q.scale), 0, q.qmax()));
+  return q;
+}
+
+QuantParams Quantizer::fit(const Tensor& t, unsigned bits) {
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (const float v : t.data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return fit(lo, hi, bits);
+}
+
+QTensor Quantizer::quantize(const Tensor& t, const QuantParams& q) {
+  QTensor out;
+  out.shape = t.shape;
+  out.q = q;
+  out.data.resize(t.data.size());
+  for (std::size_t i = 0; i < t.data.size(); ++i) out.data[i] = q.quantize(t.data[i]);
+  return out;
+}
+
+Tensor Quantizer::dequantize(const QTensor& t) {
+  Tensor out;
+  out.shape = t.shape;
+  out.data.resize(t.data.size());
+  for (std::size_t i = 0; i < t.data.size(); ++i) out.data[i] = t.q.dequantize(t.data[i]);
+  return out;
+}
+
+}  // namespace axmult::nn

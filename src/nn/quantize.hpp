@@ -1,0 +1,26 @@
+// Range-based quantizer (TFLite-style asymmetric uint8 scheme).
+//
+// Scale and zero-point are fitted from observed min/max so that zero is
+// exactly representable (required for zero-cost padding and ReLU clamps:
+// a padded operand equal to the zero-point contributes exactly nothing
+// after the zero-point correction, even under an approximate multiplier).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace axmult::nn {
+
+class Quantizer {
+ public:
+  /// Fits scale/zero-point covering [lo, hi] (widened to include 0) onto
+  /// [0, 2^bits - 1]. Degenerate ranges get scale 1.
+  [[nodiscard]] static QuantParams fit(float lo, float hi, unsigned bits);
+
+  /// Fit over a tensor's observed values.
+  [[nodiscard]] static QuantParams fit(const Tensor& t, unsigned bits);
+
+  [[nodiscard]] static QTensor quantize(const Tensor& t, const QuantParams& q);
+  [[nodiscard]] static Tensor dequantize(const QTensor& t);
+};
+
+}  // namespace axmult::nn

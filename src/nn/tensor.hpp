@@ -1,0 +1,65 @@
+// Minimal dense tensors for the quantized inference engine.
+//
+// Two coupled representations, mirroring the multiplier library's
+// behavioral/structural split:
+//   * Tensor  — float32, row-major; the calibration / reference form,
+//   * QTensor — uint8 (or narrower) with asymmetric scale/zero-point
+//     quantization; the form the approximate MAC hardware consumes.
+// Layouts are NHWC for images ({N, H, W, C}) and {N, F} for features.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace axmult::nn {
+
+/// Dimension list, outermost first (row-major storage).
+using Shape = std::vector<unsigned>;
+
+[[nodiscard]] inline std::size_t shape_elems(const Shape& s) {
+  std::size_t n = 1;
+  for (const unsigned d : s) n *= d;
+  return s.empty() ? 0 : n;
+}
+
+/// Asymmetric uniform quantization: real = scale * (q - zero_point).
+/// `bits` is the operand width fed to the approximate multipliers, so a
+/// network quantized at 8 bits exercises the 8x8 designs and one at 4 bits
+/// the paper's elementary 4x4 module directly.
+struct QuantParams {
+  double scale = 1.0;
+  int zero_point = 0;
+  unsigned bits = 8;
+
+  [[nodiscard]] int qmax() const noexcept { return (1 << bits) - 1; }
+
+  [[nodiscard]] std::uint8_t quantize(float real) const noexcept;
+  [[nodiscard]] float dequantize(unsigned q) const noexcept {
+    return static_cast<float>(scale * (static_cast<int>(q) - zero_point));
+  }
+};
+
+/// Row-major float tensor.
+struct Tensor {
+  Shape shape;
+  std::vector<float> data;
+
+  Tensor() = default;
+  explicit Tensor(Shape s) : shape(std::move(s)), data(shape_elems(shape), 0.0f) {}
+  Tensor(Shape s, std::vector<float> d) : shape(std::move(s)), data(std::move(d)) {}
+
+  [[nodiscard]] std::size_t elems() const noexcept { return data.size(); }
+};
+
+/// Row-major quantized tensor. Values occupy the low `q.bits` bits of each
+/// byte — exactly the operand a `nn::MacBackend` product table indexes.
+struct QTensor {
+  Shape shape;
+  std::vector<std::uint8_t> data;
+  QuantParams q;
+
+  [[nodiscard]] std::size_t elems() const noexcept { return data.size(); }
+};
+
+}  // namespace axmult::nn

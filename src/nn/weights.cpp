@@ -1,0 +1,79 @@
+#include "nn/weights.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace axmult::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'X', 'N', 'N', '0', '0', '0', '1'};
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error(path + ": " + what);
+}
+
+}  // namespace
+
+void save_tensors(const std::string& path, const TensorMap& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail(path, "cannot open for writing");
+  os.write(kMagic, sizeof kMagic);
+  write_u32(os, static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& [name, t] : tensors) {
+    write_u32(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u32(os, static_cast<std::uint32_t>(t.shape.size()));
+    for (const unsigned d : t.shape) write_u32(os, d);
+    os.write(reinterpret_cast<const char*>(t.data.data()),
+             static_cast<std::streamsize>(t.data.size() * sizeof(float)));
+  }
+  if (!os) fail(path, "write failed");
+}
+
+TensorMap load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail(path, "cannot open");
+  char magic[sizeof kMagic];
+  is.read(magic, sizeof magic);
+  if (!is || !std::equal(magic, magic + sizeof magic, kMagic)) fail(path, "bad magic");
+  const std::uint32_t count = read_u32(is);
+  TensorMap tensors;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = read_u32(is);
+    if (!is || name_len > 4096) fail(path, "malformed tensor name");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const std::uint32_t rank = read_u32(is);
+    if (!is || rank > 8) fail(path, "malformed tensor rank");
+    Shape shape(rank);
+    std::size_t elems = 1;
+    for (auto& d : shape) {
+      d = read_u32(is);
+      if (d == 0 || elems > std::numeric_limits<std::uint32_t>::max() / d) {
+        fail(path, "malformed tensor dims");
+      }
+      elems *= d;
+    }
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data.data()),
+            static_cast<std::streamsize>(elems * sizeof(float)));
+    if (!is) fail(path, "truncated tensor data");
+    tensors.emplace(std::move(name), std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace axmult::nn

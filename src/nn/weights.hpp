@@ -1,0 +1,31 @@
+// Flat binary weight container (".axnn"): named float32 tensors.
+//
+// An npz-like single-file format kept deliberately simple (no compression,
+// no dtype zoo) so weights survive round trips between tools without any
+// external dependency:
+//
+//   bytes 0..7   magic "AXNN0001"
+//   u32          tensor count
+//   per tensor:  u32 name length, name bytes,
+//                u32 rank, u32 dims[rank],
+//                f32 data[prod(dims)]           (little-endian, row-major)
+//
+// Multi-byte values are written in the host's native byte order; the
+// format targets same-architecture tool pipelines (this repo's CLIs), not
+// archival interchange.
+#pragma once
+
+#include <string>
+
+#include "nn/layers.hpp"
+
+namespace axmult::nn {
+
+/// Writes the map to `path`; throws std::runtime_error on I/O failure.
+void save_tensors(const std::string& path, const TensorMap& tensors);
+
+/// Reads a container written by save_tensors; throws std::runtime_error on
+/// I/O failure or malformed content.
+[[nodiscard]] TensorMap load_tensors(const std::string& path);
+
+}  // namespace axmult::nn

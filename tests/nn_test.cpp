@@ -1,0 +1,308 @@
+// Quantized NN inference engine (src/nn): GEMM bit-exactness against the
+// int64 reference and against scalar multiplier loops, quantization
+// round-trip accuracy, layer semantics, network-level accuracy and the
+// report/weight-container plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mult/recursive.hpp"
+#include "nn/dataset.hpp"
+#include "nn/gemm.hpp"
+#include "nn/graph.hpp"
+#include "nn/mac.hpp"
+#include "nn/quantize.hpp"
+#include "nn/weights.hpp"
+
+namespace axmult::nn {
+namespace {
+
+/// Table-only backend (no netlist, so construction stays cheap in tests).
+MacBackend table_backend(const char* name, mult::MultiplierPtr m) {
+  return MacBackend(name, std::move(m));
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, unsigned bits, Xoshiro256& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.below(1u << bits));
+  return v;
+}
+
+TEST(NnGemm, ExactBackendBitMatchesInt64Reference) {
+  const MacBackend exact = table_backend("exact", mult::make_accurate(8));
+  Xoshiro256 rng(11);
+  // Ragged / non-multiple-of-tile shapes on purpose (incl. single rows,
+  // single columns, and sizes straddling the 8-row chunk boundary).
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 1, 1}, {3, 5, 2}, {7, 13, 9}, {8, 8, 8},
+                {9, 17, 7}, {33, 19, 5}, {64, 31, 3}, {65, 1, 11}};
+  for (const auto& s : shapes) {
+    const auto a = random_bytes(s.m * s.k, 8, rng);
+    const auto b = random_bytes(s.k * s.n, 8, rng);
+    std::vector<std::int64_t> acc(s.m * s.n), ref(s.m * s.n);
+    gemm_accumulate(exact, false, a.data(), b.data(), acc.data(), s.m, s.k, s.n);
+    gemm_reference(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    EXPECT_EQ(acc, ref) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(NnGemm, DeterministicAcrossThreadCounts) {
+  const MacBackend ca = table_backend("ca8", mult::make_ca(8));
+  Xoshiro256 rng(5);
+  const std::size_t m = 37, k = 23, n = 13;
+  const auto a = random_bytes(m * k, 8, rng);
+  const auto b = random_bytes(k * n, 8, rng);
+  std::vector<std::int64_t> acc1(m * n), acc7(m * n);
+  gemm_accumulate(ca, false, a.data(), b.data(), acc1.data(), m, k, n, /*threads=*/1);
+  gemm_accumulate(ca, false, a.data(), b.data(), acc7.data(), m, k, n, /*threads=*/7);
+  EXPECT_EQ(acc1, acc7);
+}
+
+TEST(NnGemm, ApproximateBackendsBitMatchScalarMultiplierLoop) {
+  // Every approximate backend's GEMM must equal a plain scalar loop that
+  // calls the same multiplier's behavioral eval — both plain and with the
+  // operand-swap trick enabled.
+  struct Case {
+    const char* name;
+    mult::MultiplierPtr model;
+  };
+  const Case cases[] = {{"ca8", mult::make_ca(8)},
+                        {"cc8", mult::make_cc(8)},
+                        {"k8", mult::make_kulkarni(8)},
+                        {"w8", mult::make_rehman_w(8)},
+                        {"trunc8_4", mult::make_result_truncated(8, 4)},
+                        {"ca16", mult::make_ca(16)}};
+  Xoshiro256 rng(17);
+  const std::size_t m = 19, k = 11, n = 6;
+  const auto a = random_bytes(m * k, 8, rng);
+  const auto b = random_bytes(k * n, 8, rng);
+  for (const auto& c : cases) {
+    const MacBackend backend = table_backend(c.name, c.model);
+    for (const bool swap : {false, true}) {
+      std::vector<std::int64_t> acc(m * n);
+      gemm_accumulate(backend, swap, a.data(), b.data(), acc.data(), m, k, n);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          std::int64_t want = 0;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const std::uint64_t x = a[i * k + kk];
+            const std::uint64_t y = b[kk * n + j];
+            want += static_cast<std::int64_t>(swap ? c.model->multiply(y, x)
+                                                   : c.model->multiply(x, y));
+          }
+          ASSERT_EQ(acc[i * n + j], want) << c.name << " swap=" << swap;
+        }
+      }
+    }
+  }
+}
+
+TEST(NnMac, SwappedDispatchEqualsSwappedDesign) {
+  // backend(ca8) with swapped dispatch == backend(cas8): the per-layer
+  // swap flag is exactly the paper's Cas configuration.
+  const MacBackend ca = table_backend("ca8", mult::make_ca(8));
+  const MacBackend cas = table_backend("cas8", mult::make_cas(8));
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(ca.mul_swapped(a, b), cas.mul(a, b));
+    }
+  }
+}
+
+TEST(NnMac, MetricsMatchErrorModule) {
+  const MacBackend ca = table_backend("ca8", mult::make_ca(8));
+  const auto ref = error::characterize_exhaustive(*mult::make_ca(8));
+  const auto& m = ca.metrics();
+  EXPECT_EQ(m.samples, ref.samples);
+  EXPECT_EQ(m.max_error, ref.max_error);
+  EXPECT_EQ(m.occurrences, ref.occurrences);
+  EXPECT_EQ(m.max_error_occurrences, ref.max_error_occurrences);
+  EXPECT_NEAR(m.avg_error, ref.avg_error, 1e-9);
+  EXPECT_NEAR(m.avg_relative_error, ref.avg_relative_error, 1e-9);
+  EXPECT_FALSE(ca.exact());
+  EXPECT_TRUE(table_backend("exact", mult::make_accurate(8)).exact());
+}
+
+TEST(NnMac, CostRollupIsModeled) {
+  const auto ca = make_mac_backend("ca8");
+  ASSERT_TRUE(ca->cost().modeled);
+  EXPECT_GT(ca->cost().luts, 0u);
+  EXPECT_GT(ca->cost().critical_path_ns, 0.0);
+  EXPECT_GT(ca->cost().energy_per_mac_au, 0.0);
+  EXPECT_NEAR(ca->cost().edp_per_mac_au,
+              ca->cost().energy_per_mac_au * ca->cost().critical_path_ns, 1e-9);
+}
+
+TEST(NnQuantize, RoundTripWithinOneQuantum) {
+  Tensor t({2, 3});
+  t.data = {-1.5f, -0.25f, 0.0f, 0.75f, 2.0f, 3.25f};
+  const QuantParams q = Quantizer::fit(t, 8);
+  const Tensor back = Quantizer::dequantize(Quantizer::quantize(t, q));
+  for (std::size_t i = 0; i < t.data.size(); ++i) {
+    EXPECT_NEAR(back.data[i], t.data[i], q.scale * 0.5 + 1e-7);
+  }
+  // Zero is exactly representable.
+  EXPECT_FLOAT_EQ(q.dequantize(q.quantize(0.0f)), 0.0f);
+}
+
+TEST(NnLayers, DenseQuantizedTracksFloatReference) {
+  Xoshiro256 rng(23);
+  Dense dense("d", 12, 5);
+  Tensor w({12, 5});
+  for (auto& v : w.data) v = static_cast<float>(rng.uniform01() - 0.5);
+  std::vector<float> bias(5);
+  for (auto& v : bias) v = static_cast<float>(rng.uniform01() - 0.5);
+  dense.set_weights(w, bias);
+
+  Tensor in({16, 12});
+  for (auto& v : in.data) v = static_cast<float>(rng.uniform01());
+  const QuantParams in_q = Quantizer::fit(in, 8);
+  Tensor calib_out;
+  const QuantParams out_q = dense.calibrate(in, in_q, 8, calib_out);
+
+  const MacBackend exact = table_backend("exact", mult::make_accurate(8));
+  const QTensor out = dense.forward(Quantizer::quantize(in, in_q), exact, false, 0);
+  ASSERT_EQ(out.shape, (Shape{16, 5}));
+  const Tensor deq = Quantizer::dequantize(out);
+  for (std::size_t i = 0; i < deq.data.size(); ++i) {
+    // Input quantization + output rounding: a few quanta of tolerance.
+    EXPECT_NEAR(deq.data[i], calib_out.data[i], 4.0 * out_q.scale + 0.05)
+        << "element " << i;
+  }
+}
+
+TEST(NnLayers, ConvQuantizedTracksFloatReference) {
+  Xoshiro256 rng(29);
+  Conv2D conv("c", 3, 3, 2, 3, /*stride=*/1, /*pad=*/1);
+  Tensor w({3, 3, 2, 3});
+  for (auto& v : w.data) v = static_cast<float>(rng.uniform01() - 0.5);
+  conv.set_weights(w, {0.1f, -0.1f, 0.0f});
+
+  Tensor in({2, 6, 7, 2});  // ragged spatial dims on purpose
+  for (auto& v : in.data) v = static_cast<float>(rng.uniform01());
+  const QuantParams in_q = Quantizer::fit(in, 8);
+  Tensor calib_out;
+  const QuantParams out_q = conv.calibrate(in, in_q, 8, calib_out);
+
+  const MacBackend exact = table_backend("exact", mult::make_accurate(8));
+  const QTensor out = conv.forward(Quantizer::quantize(in, in_q), exact, false, 0);
+  ASSERT_EQ(out.shape, (Shape{2, 6, 7, 3}));
+  const Tensor deq = Quantizer::dequantize(out);
+  for (std::size_t i = 0; i < deq.data.size(); ++i) {
+    EXPECT_NEAR(deq.data[i], calib_out.data[i], 6.0 * out_q.scale + 0.05);
+  }
+}
+
+TEST(NnNetwork, DigitsAccuracyAndReport) {
+  Sequential net = make_digits_network();
+  const Dataset calib = make_digits(128, /*seed=*/7);
+  net.calibrate(calib.images, 8);
+
+  const Dataset test = make_digits(192, /*seed=*/9);
+  const QTensor inputs = net.quantize_input(test.images);
+  const NetworkReport exact_report = net.evaluate(inputs, test.labels);
+  EXPECT_GE(exact_report.top1_accuracy, 0.85);
+  EXPECT_GT(exact_report.macs, 0u);
+  EXPECT_GT(exact_report.energy_per_inference_au, 0.0);
+  EXPECT_GT(exact_report.critical_path_ns, 0.0);
+  ASSERT_EQ(exact_report.layers.size(), net.size());
+  for (const auto& lr : exact_report.layers) {
+    if (lr.kind == "conv2d" || lr.kind == "dense") {
+      EXPECT_TRUE(lr.cost.modeled) << lr.name;
+      EXPECT_GT(lr.macs, 0u) << lr.name;
+      EXPECT_EQ(lr.output_mre, 0.0) << lr.name;  // exact backend
+    }
+  }
+
+  // JSON payload exposes the acceptance-criteria keys.
+  const std::string json = to_json(exact_report);
+  for (const char* key :
+       {"top1_accuracy", "edp_au", "macs", "luts", "critical_path_ns", "energy",
+        "output_mre"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+
+  // An approximate backend must report nonzero layer MRE and still beat
+  // chance by a wide margin (Cc is the aggressive design).
+  net.set_backend(std::make_shared<MacBackend>("cc8", mult::make_cc(8)));
+  const NetworkReport cc_report = net.evaluate(inputs, test.labels);
+  bool any_mre = false;
+  for (const auto& lr : cc_report.layers) any_mre |= lr.output_mre > 0.0;
+  EXPECT_TRUE(any_mre);
+  EXPECT_GE(cc_report.top1_accuracy, 0.3);
+}
+
+TEST(NnNetwork, PerLayerBackendOverrideAndSwap) {
+  Sequential net = make_digits_network();
+  const Dataset calib = make_digits(64, 7);
+  net.calibrate(calib.images, 8);
+  const Dataset test = make_digits(64, 13);
+  const QTensor inputs = net.quantize_input(test.images);
+
+  // Swapping operands on an exact backend changes nothing.
+  const std::vector<int> base = net.classify(inputs);
+  for (std::size_t i = 0; i < net.size(); ++i) net.set_layer_swap(i, true);
+  EXPECT_EQ(net.classify(inputs), base);
+
+  // ca8 + swap == cas8 as a network-level identity.
+  Sequential net_a = make_digits_network();
+  net_a.calibrate(calib.images, 8);
+  net_a.set_backend(std::make_shared<MacBackend>("ca8", mult::make_ca(8)));
+  for (std::size_t i = 0; i < net_a.size(); ++i) net_a.set_layer_swap(i, true);
+  Sequential net_b = make_digits_network();
+  net_b.calibrate(calib.images, 8);
+  net_b.set_backend(std::make_shared<MacBackend>("cas8", mult::make_cas(8)));
+  const QTensor in_a = net_a.quantize_input(test.images);
+  const QTensor out_a = net_a.run(in_a);
+  const QTensor out_b = net_b.run(net_b.quantize_input(test.images));
+  EXPECT_EQ(out_a.data, out_b.data);
+}
+
+TEST(NnWeights, ContainerRoundTrip) {
+  Sequential net = make_digits_network();
+  const TensorMap exported = net.export_weights();
+  ASSERT_EQ(exported.size(), 4u);  // conv1/dense1 weight + bias
+
+  const std::string path = ::testing::TempDir() + "axnn_roundtrip.axnn";
+  save_tensors(path, exported);
+  const TensorMap loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), exported.size());
+  for (const auto& [name, t] : exported) {
+    ASSERT_TRUE(loaded.count(name)) << name;
+    EXPECT_EQ(loaded.at(name).shape, t.shape) << name;
+    EXPECT_EQ(loaded.at(name).data, t.data) << name;
+  }
+
+  // Import into a fresh network: after re-calibration the quantized
+  // outputs are identical.
+  Sequential net2 = make_digits_network();
+  net2.import_weights(loaded);
+  const Dataset calib = make_digits(64, 7);
+  net.calibrate(calib.images, 8);
+  net2.calibrate(calib.images, 8);
+  const Dataset test = make_digits(32, 21);
+  EXPECT_EQ(net.run(net.quantize_input(test.images)).data,
+            net2.run(net2.quantize_input(test.images)).data);
+  std::remove(path.c_str());
+}
+
+TEST(NnMac, RegistryNamesBuild) {
+  // Every advertised backend constructs, tabulates and cost-models. The
+  // 16x16 entries are the expensive ones; keep to a spot check plus the
+  // full 8-bit set.
+  for (const std::string& name : mac_backend_names()) {
+    if (name == "ca16" || name == "cc16") continue;  // covered elsewhere
+    const auto b = make_mac_backend(name);
+    EXPECT_EQ(b->name(), name);
+    EXPECT_TRUE(b->cost().modeled) << name;
+    EXPECT_GT(b->cost().luts, 0u) << name;
+  }
+  EXPECT_THROW((void)make_mac_backend("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace axmult::nn

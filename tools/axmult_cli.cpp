@@ -156,16 +156,14 @@ int usage() {
 
 int main(int argc, char** argv) {
   // Strip global options so commands keep their positional argument layout.
+  // --threads is consumed by the shared knob parser (common/parallel_for.hpp).
   std::vector<std::string> args;
   bool force_full = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--threads" && i + 1 < argc) {
-      set_thread_count(static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
-    } else if (a == "--full") {
+  for (std::string& a : strip_thread_args(argc, argv)) {
+    if (a == "--full") {
       force_full = true;
     } else {
-      args.push_back(a);
+      args.push_back(std::move(a));
     }
   }
   if (args.empty()) return usage();

@@ -1,0 +1,242 @@
+// axnn — quantized NN inference driver over the approximate-multiplier
+// MAC backends.
+//
+// Train-free workflow: the bundled digits network computes its weights from
+// jittered glyph templates, so every command works offline with no
+// training artifacts. Weights still round-trip through the flat .axnn
+// container so external pipelines can swap in their own.
+//
+//   axnn backends                 list MAC backends (cost + error metrics)
+//   axnn save-demo <file.axnn>    export the demo network's float weights
+//   axnn run [options]            evaluate one backend, emit a JSON report
+//   axnn compare [options]        accuracy-vs-EDP sweep across backends
+//
+// Common options:
+//   --backend NAME   MAC backend for every layer       (default exact)
+//   --swap           enable the operand-swap trick on every MAC layer
+//   --weights FILE   load weights from an .axnn container
+//   --samples N      test-set size                     (default 512)
+//   --calib N        calibration-set size              (default 256)
+//   --seed S         dataset seed                      (default 9)
+//   --bits B         operand width                     (default 8)
+//   --json FILE      write the report JSON to FILE     (run: default stdout)
+//   --backends A,B   compare: comma-separated backend list
+//   --threads N      worker threads (also AXMULT_THREADS)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "common/table.hpp"
+#include "nn/dataset.hpp"
+#include "nn/graph.hpp"
+#include "nn/mac.hpp"
+#include "nn/weights.hpp"
+
+using namespace axmult;
+using namespace axmult::nn;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string backend = "exact";
+  std::string backends;  // compare: comma-separated
+  std::string weights;
+  std::string json;
+  std::string positional;
+  std::uint64_t samples = 512;
+  std::uint64_t calib = 256;
+  std::uint64_t seed = 9;
+  unsigned bits = 8;
+  bool swap = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: axnn <backends|save-demo|run|compare> [options]\n"
+               "  see the header of tools/axnn.cpp for the option list\n");
+  std::exit(2);
+}
+
+Options parse(const std::vector<std::string>& args) {
+  Options opt;
+  if (args.empty()) usage();
+  opt.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage();
+      return args[++i];
+    };
+    if (a == "--backend") {
+      opt.backend = value();
+    } else if (a == "--backends") {
+      opt.backends = value();
+    } else if (a == "--weights") {
+      opt.weights = value();
+    } else if (a == "--json") {
+      opt.json = value();
+    } else if (a == "--samples") {
+      opt.samples = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--calib") {
+      opt.calib = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--bits") {
+      opt.bits = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--swap") {
+      opt.swap = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "axnn: unknown option '%s'\n", a.c_str());
+      usage();
+    } else if (opt.positional.empty()) {
+      opt.positional = a;
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// The demo network, optionally re-weighted from an .axnn container, and
+/// calibrated on a dedicated calibration set.
+Sequential prepare_network(const Options& opt) {
+  Sequential net = make_digits_network();
+  if (!opt.weights.empty()) net.import_weights(load_tensors(opt.weights));
+  const Dataset calib = make_digits(opt.calib, opt.seed + 1);
+  net.calibrate(calib.images, opt.bits);
+  return net;
+}
+
+NetworkReport evaluate_backend(Sequential& net, const std::string& backend_name, bool swap,
+                               const Dataset& test) {
+  net.set_backend(make_mac_backend(backend_name));
+  for (std::size_t i = 0; i < net.size(); ++i) net.set_layer_swap(i, swap);
+  const QTensor inputs = net.quantize_input(test.images);
+  return net.evaluate(inputs, test.labels);
+}
+
+void emit_json(const NetworkReport& report, const std::string& path) {
+  const std::string doc = to_json(report);
+  if (path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("axnn: cannot write '" + path + "'");
+  out << doc;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int cmd_backends() {
+  Table t({"Backend", "Data bits", "Exact", "LUTs", "CARRY4", "Crit path (ns)",
+           "Energy/MAC (a.u.)", "MRE", "Max error"});
+  for (const std::string& name : mac_backend_names()) {
+    const auto b = make_mac_backend(name);
+    const auto& m = b->metrics();
+    t.add_row({name, std::to_string(b->data_bits()), b->exact() ? "yes" : "no",
+               std::to_string(b->cost().luts), std::to_string(b->cost().carry4),
+               Table::num(b->cost().critical_path_ns, 3),
+               Table::num(b->cost().energy_per_mac_au, 3),
+               Table::num(m.avg_relative_error, 6), std::to_string(m.max_error)});
+  }
+  t.print("MAC backends (cost per multiplier instance; metrics over the tabulated space)");
+  return 0;
+}
+
+int cmd_save_demo(const Options& opt) {
+  if (opt.positional.empty()) usage();
+  save_tensors(opt.positional, make_digits_network().export_weights());
+  std::printf("wrote %s\n", opt.positional.c_str());
+  return 0;
+}
+
+int cmd_run(const Options& opt) {
+  Sequential net = prepare_network(opt);
+  const Dataset test = make_digits(opt.samples, opt.seed);
+  const NetworkReport report = evaluate_backend(net, opt.backend, opt.swap, test);
+  std::printf("backend=%s swap=%d samples=%llu top1=%.4f macs=%llu edp_au=%.4g\n",
+              opt.backend.c_str(), opt.swap ? 1 : 0,
+              static_cast<unsigned long long>(report.samples), report.top1_accuracy,
+              static_cast<unsigned long long>(report.macs), report.edp_au);
+  emit_json(report, opt.json);
+  return 0;
+}
+
+int cmd_compare(const Options& opt) {
+  const std::vector<std::string> names =
+      opt.backends.empty()
+          ? std::vector<std::string>{"exact", "ca8", "cas8", "cc8", "cb8", "trunc8_4"}
+          : split_csv(opt.backends);
+  Sequential net = prepare_network(opt);
+  const Dataset test = make_digits(opt.samples, opt.seed);
+
+  std::vector<NetworkReport> reports;
+  for (const std::string& name : names) {
+    reports.push_back(evaluate_backend(net, name, opt.swap, test));
+  }
+
+  Table t({"Backend", "Top-1", "MAC LUTs", "Crit path (ns)", "Energy/inf (a.u.)",
+           "EDP (a.u.)", "Worst layer MRE"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const NetworkReport& r = reports[i];
+    std::uint64_t luts = 0;
+    double worst_mre = 0.0;
+    for (const auto& lr : r.layers) {
+      if (lr.backend.empty()) continue;
+      luts = std::max(luts, lr.cost.luts);
+      worst_mre = std::max(worst_mre, lr.output_mre);
+    }
+    t.add_row({names[i], Table::num(r.top1_accuracy, 4), std::to_string(luts),
+               Table::num(r.critical_path_ns, 3), Table::num(r.energy_per_inference_au, 1),
+               Table::num(r.edp_au, 1), Table::num(worst_mre, 5)});
+  }
+  t.print("Accuracy vs hardware cost (" + std::to_string(opt.samples) + " samples, swap=" +
+          (opt.swap ? std::string("on") : std::string("off")) + ")");
+
+  if (!opt.json.empty()) {
+    std::ofstream out(opt.json);
+    if (!out) throw std::runtime_error("axnn: cannot write '" + opt.json + "'");
+    out << "[\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      out << to_json(reports[i]) << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %s\n", opt.json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(strip_thread_args(argc, argv));
+    if (opt.command == "backends") return cmd_backends();
+    if (opt.command == "save-demo") return cmd_save_demo(opt);
+    if (opt.command == "run") return cmd_run(opt);
+    if (opt.command == "compare") return cmd_compare(opt);
+    std::fprintf(stderr, "axnn: unknown command '%s'\n", opt.command.c_str());
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axnn: %s\n", e.what());
+    return 1;
+  }
+}
