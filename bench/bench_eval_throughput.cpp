@@ -1,7 +1,10 @@
-// Scalar vs bit-parallel netlist-replay throughput (Mpairs/s), plus the
-// end-to-end multithreaded sweep rate. Emits BENCH_eval_throughput.json in
-// the working directory for the perf-tracking harness. Thread count follows
-// AXMULT_THREADS (or --threads N), defaulting to hardware_concurrency.
+// Scalar vs bit-parallel netlist-replay throughput (Mpairs/s) across the
+// supported lane widths (64..512), plus the end-to-end multithreaded sweep
+// rate. Emits BENCH_eval_throughput.json at the repo root for the
+// perf-tracking harness (working directory under --smoke). Thread count
+// follows AXMULT_THREADS (or --threads N), defaulting to
+// hardware_concurrency.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,17 +44,21 @@ double scalar_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t pair
   return static_cast<double>(pairs) / dt;
 }
 
-/// Same in-order replay through the 64-lane evaluator: consecutive pair
+/// Same in-order replay through the W-word wide evaluator: consecutive pair
 /// indices pack transpose-free (kLanePattern planes + broadcast high bits).
+template <unsigned W>
 double packed_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t pairs) {
-  fabric::BitParallelEvaluator ev(nl);
-  std::vector<std::uint64_t> in(2 * width);
+  fabric::WideEvaluator<W> ev(nl);
+  std::vector<std::uint64_t> in(std::size_t{2} * width * W);
   std::uint64_t sink = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::uint64_t base = 0; base < pairs; base += 64) {
-    for (unsigned k = 0; k < 2 * width; ++k) {
-      in[k] = k < 6 ? fabric::kLanePattern[k]
-                    : (bit(base, k) ? ~std::uint64_t{0} : 0);
+  for (std::uint64_t base = 0; base < pairs; base += 64 * W) {
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t wb = base + std::uint64_t{w} * 64;
+      for (unsigned k = 0; k < 2 * width; ++k) {
+        in[std::size_t{k} * W + w] =
+            k < 6 ? fabric::kLanePattern[k] : (bit(wb, k) ? ~std::uint64_t{0} : 0);
+      }
     }
     sink ^= ev.eval(in)[0];
   }
@@ -90,18 +97,20 @@ double batch_api_rate(const fabric::Netlist& nl, unsigned width, std::uint64_t p
 struct Row {
   std::string name;
   double scalar_mpairs = 0.0;
-  double packed_mpairs = 0.0;
+  double w_mpairs[4] = {};  ///< W = 1, 2, 4, 8
   double batch_mpairs = 0.0;
-  double speedup = 0.0;
+  double speedup = 0.0;  ///< best width vs scalar
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   (void)strip_thread_args(argc, argv);  // applies --threads N / --threads=N
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
   const unsigned threads = thread_count();
-  bench::print_header("Netlist evaluation throughput: scalar vs 64-lane bit-parallel");
-  std::printf("threads for sweep benches: %u (AXMULT_THREADS / --threads)\n", threads);
+  bench::print_header("Netlist evaluation throughput: scalar vs wide-lane bit-parallel");
+  std::printf("threads for sweep benches: %u (AXMULT_THREADS / --threads)%s\n", threads,
+              smoke ? " [smoke]" : "");
 
   std::vector<Row> rows;
   struct Case {
@@ -111,50 +120,72 @@ int main(int argc, char** argv) {
     std::uint64_t packed_pairs;
   };
   const Case cases[] = {
-      {"netlist_replay_8x8_Ca", 8, std::uint64_t{1} << 18, std::uint64_t{1} << 23},
-      {"netlist_replay_16x16_Ca", 16, std::uint64_t{1} << 16, std::uint64_t{1} << 21},
+      {"netlist_replay_8x8_Ca", 8, std::uint64_t{1} << (smoke ? 12 : 18),
+       std::uint64_t{1} << (smoke ? 16 : 24)},
+      {"netlist_replay_16x16_Ca", 16, std::uint64_t{1} << (smoke ? 10 : 16),
+       std::uint64_t{1} << (smoke ? 14 : 22)},
   };
   for (const auto& c : cases) {
     const auto nl = multgen::make_ca_netlist(c.width);
     Row r;
     r.name = c.name;
     r.scalar_mpairs = scalar_rate(nl, c.width, c.scalar_pairs) / 1e6;
-    r.packed_mpairs = packed_rate(nl, c.width, c.packed_pairs) / 1e6;
-    r.batch_mpairs = batch_api_rate(nl, c.width, c.packed_pairs) / 1e6;
-    r.speedup = r.packed_mpairs / r.scalar_mpairs;
+    r.w_mpairs[0] = packed_rate<1>(nl, c.width, c.packed_pairs) / 1e6;
+    r.w_mpairs[1] = packed_rate<2>(nl, c.width, c.packed_pairs) / 1e6;
+    r.w_mpairs[2] = packed_rate<4>(nl, c.width, c.packed_pairs) / 1e6;
+    r.w_mpairs[3] = packed_rate<8>(nl, c.width, c.packed_pairs) / 1e6;
+    r.batch_mpairs = batch_api_rate(nl, c.width, c.packed_pairs / 4) / 1e6;
+    double best = 0.0;
+    for (const double w : r.w_mpairs) best = std::max(best, w);
+    r.speedup = best / r.scalar_mpairs;
     rows.push_back(r);
   }
 
-  Table t({"Replay workload", "Scalar Mpairs/s", "Bit-parallel Mpairs/s",
-           "Batch API Mpairs/s", "Speedup"});
+  Table t({"Replay workload", "Scalar", "W=1 (64)", "W=2 (128)", "W=4 (256)", "W=8 (512)",
+           "Batch API", "Best/scalar"});
   for (const auto& r : rows) {
-    t.add_row({r.name, Table::num(r.scalar_mpairs, 2), Table::num(r.packed_mpairs, 2),
-               Table::num(r.batch_mpairs, 2), Table::num(r.speedup, 1) + "x"});
+    t.add_row({r.name, Table::num(r.scalar_mpairs, 2), Table::num(r.w_mpairs[0], 2),
+               Table::num(r.w_mpairs[1], 2), Table::num(r.w_mpairs[2], 2),
+               Table::num(r.w_mpairs[3], 2), Table::num(r.batch_mpairs, 2),
+               Table::num(r.speedup, 1) + "x"});
   }
-  t.print("Single-thread replay throughput");
+  t.print("Single-thread replay throughput (Mpairs/s, by lane width)");
 
-  // End-to-end sweep rates through the batched + threaded characterizer.
+  // End-to-end sweep rate through the batched + threaded characterizer,
+  // looped to steady state (construction amortizes over the repeats).
   const auto nl8 = multgen::make_ca_netlist(8);
   error::SweepConfig cfg;
   cfg.threads = threads;
-  auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = error::sweep_netlist_exhaustive(nl8, 8, 8, cfg);
-  const double sweep_s = seconds_since(t0);
-  const double sweep_mpairs = 65536.0 / sweep_s / 1e6;
+  std::uint64_t sweeps = 0;
+  std::uint64_t occurrences = 0;
+  double sweep_dt = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  do {
+    const auto sweep = error::sweep_netlist_exhaustive(nl8, 8, 8, cfg);
+    occurrences = sweep.metrics.occurrences;
+    ++sweeps;
+    sweep_dt = seconds_since(t0);
+  } while (!smoke && sweep_dt < 0.25);
+  const double sweep_mpairs = 65536.0 * static_cast<double>(sweeps) / sweep_dt / 1e6;
   std::printf("\nsweep_netlist_exhaustive 8x8 (metrics+pmf+bit-probabilities): %.2f Mpairs/s"
               " (%llu error cases)\n",
-              sweep_mpairs, static_cast<unsigned long long>(sweep.metrics.occurrences));
+              sweep_mpairs, static_cast<unsigned long long>(occurrences));
 
-  std::ofstream json("BENCH_eval_throughput.json");
-  json << "{\n  \"threads\": " << threads << ",\n  \"replay\": [\n";
+  const std::string path = bench::bench_json_path("BENCH_eval_throughput.json", smoke);
+  std::ofstream json(path);
+  json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"threads\": " << threads
+       << ",\n  \"lane_widths_words\": [1, 2, 4, 8],\n  \"replay\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"name\": \"" << r.name << "\", \"scalar_mpairs_per_s\": " << r.scalar_mpairs
-         << ", \"bitparallel_mpairs_per_s\": " << r.packed_mpairs
+         << ", \"bitparallel_mpairs_per_s\": " << r.w_mpairs[0]
+         << ", \"mpairs_per_s_w2\": " << r.w_mpairs[1]
+         << ", \"mpairs_per_s_w4\": " << r.w_mpairs[2]
+         << ", \"mpairs_per_s_w8\": " << r.w_mpairs[3]
          << ", \"batch_api_mpairs_per_s\": " << r.batch_mpairs
          << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"sweep_netlist_exhaustive_8x8_mpairs_per_s\": " << sweep_mpairs << "\n}\n";
-  std::printf("wrote BENCH_eval_throughput.json\n");
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

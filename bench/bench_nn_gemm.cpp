@@ -1,7 +1,9 @@
 // Quantized GEMM throughput through the MAC backends (table-dispatched
-// approximate multipliers) plus end-to-end digits-network inference rate.
-// Emits BENCH_nn_gemm.json in the working directory for the perf-tracking
-// harness. Thread count follows AXMULT_THREADS (or --threads N).
+// approximate multipliers): the naive one-load-per-MAC walk vs the
+// cache-blocked kernels, plus end-to-end digits-network inference rate.
+// Emits BENCH_nn_gemm.json at the repo root for the perf-tracking harness
+// (working directory under --smoke). Thread count follows AXMULT_THREADS
+// (or --threads N).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -27,23 +29,21 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 struct GemmRow {
   std::string backend;
-  double mmacs_single = 0.0;   ///< Mmacs/s, 1 thread
-  double mmacs_threads = 0.0;  ///< Mmacs/s, configured thread count
+  double mmacs_naive = 0.0;    ///< Mmacs/s, naive kernel, 1 thread
+  double mmacs_single = 0.0;   ///< Mmacs/s, blocked path, 1 thread
+  double mmacs_threads = 0.0;  ///< Mmacs/s, blocked path, configured threads
 };
 
-/// MACs/s of the full GEMM (m x k x n) repeated until ~0.2 s elapsed.
-double gemm_rate(const MacBackend& mac, const std::vector<std::uint8_t>& a,
-                 const std::vector<std::uint8_t>& b, std::size_t m, std::size_t k,
-                 std::size_t n, unsigned threads) {
-  std::vector<std::int64_t> acc(m * n);
+/// MACs/s of the full GEMM (m x k x n) repeated until `budget` s elapsed.
+template <typename Gemm>
+double gemm_rate(const Gemm& gemm, std::size_t m, std::size_t k, std::size_t n, double budget) {
   const double macs_per_call = static_cast<double>(m) * k * n;
-  // Warm-up (touches the table + threads once).
-  gemm_accumulate(mac, false, a.data(), b.data(), acc.data(), m, k, n, threads);
+  gemm();  // warm-up (touches the tables + threads once)
   std::uint64_t calls = 0;
   const auto t0 = std::chrono::steady_clock::now();
   double dt = 0.0;
-  while (dt < 0.2) {
-    gemm_accumulate(mac, false, a.data(), b.data(), acc.data(), m, k, n, threads);
+  while (dt < budget) {
+    gemm();
     ++calls;
     dt = seconds_since(t0);
   }
@@ -54,16 +54,21 @@ double gemm_rate(const MacBackend& mac, const std::vector<std::uint8_t>& a,
 
 int main(int argc, char** argv) {
   (void)strip_thread_args(argc, argv);  // applies --threads N / --threads=N
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
   const unsigned threads = thread_count();
   bench::print_header("Quantized GEMM throughput through the MAC backends");
-  std::printf("threads: %u (AXMULT_THREADS / --threads)\n", threads);
+  std::printf("threads: %u (AXMULT_THREADS / --threads), blocked kernel: %s%s\n", threads,
+              gemm_kernel_name(), smoke ? " [smoke]" : "");
 
-  // One mid-size GEMM (im2col shape of a 32x32 conv layer, roughly).
-  const std::size_t m = 256, k = 144, n = 64;
+  // One mid-size GEMM (im2col shape of a 32x32 conv layer, roughly). The
+  // smoke shape keeps n = 64 so the full-tile SIMD path still runs.
+  const std::size_t m = smoke ? 32 : 256, k = smoke ? 48 : 144, n = 64;
+  const double budget = smoke ? 0.01 : 0.2;
   Xoshiro256 rng(3);
   std::vector<std::uint8_t> a(m * k), b(k * n);
   for (auto& v : a) v = static_cast<std::uint8_t>(rng.below(256));
   for (auto& v : b) v = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<std::int64_t> acc(m * n);
 
   const char* backends[] = {"exact", "ca8", "cc8", "cb8", "trunc8_4", "ca16"};
   std::vector<GemmRow> rows;
@@ -71,15 +76,24 @@ int main(int argc, char** argv) {
     const auto mac = make_mac_backend(name);
     GemmRow r;
     r.backend = name;
-    r.mmacs_single = gemm_rate(*mac, a, b, m, k, n, 1) / 1e6;
-    r.mmacs_threads = gemm_rate(*mac, a, b, m, k, n, threads) / 1e6;
+    r.mmacs_naive = gemm_rate(
+        [&] { gemm_accumulate_naive(*mac, false, a.data(), b.data(), acc.data(), m, k, n, 1); },
+        m, k, n, budget) / 1e6;
+    r.mmacs_single = gemm_rate(
+        [&] { gemm_accumulate(*mac, false, a.data(), b.data(), acc.data(), m, k, n, 1); },
+        m, k, n, budget) / 1e6;
+    r.mmacs_threads = gemm_rate(
+        [&] { gemm_accumulate(*mac, false, a.data(), b.data(), acc.data(), m, k, n, threads); },
+        m, k, n, budget) / 1e6;
     rows.push_back(r);
   }
 
-  Table t({"Backend", "Mmacs/s (1 thread)",
-           "Mmacs/s (" + std::to_string(threads) + " threads)"});
+  Table t({"Backend", "Naive Mmacs/s", "Blocked Mmacs/s", "Speedup",
+           "Blocked (" + std::to_string(threads) + " thr)"});
   for (const auto& r : rows) {
-    t.add_row({r.backend, Table::num(r.mmacs_single, 1), Table::num(r.mmacs_threads, 1)});
+    t.add_row({r.backend, Table::num(r.mmacs_naive, 1), Table::num(r.mmacs_single, 1),
+               Table::num(r.mmacs_single / r.mmacs_naive, 1) + "x",
+               Table::num(r.mmacs_threads, 1)});
   }
   t.print("GEMM " + std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n) +
           " (uint8 operands, int64 accumulate)");
@@ -88,16 +102,16 @@ int main(int argc, char** argv) {
   // approximate backend; the table dispatch makes all backends run at the
   // same speed, so one suffices here).
   Sequential net = make_digits_network();
-  const Dataset calib = make_digits(128, 7);
+  const Dataset calib = make_digits(smoke ? 32 : 128, 7);
   net.calibrate(calib.images, 8);
   net.set_backend(make_mac_backend("ca8"));
-  const Dataset batch = make_digits(256, 5);
+  const Dataset batch = make_digits(smoke ? 32 : 256, 5);
   const QTensor inputs = net.quantize_input(batch.images);
   (void)net.run(inputs, threads);  // warm-up
   std::uint64_t inferences = 0;
   const auto t0 = std::chrono::steady_clock::now();
   double dt = 0.0;
-  while (dt < 0.3) {
+  while (dt < (smoke ? 0.01 : 0.3)) {
     (void)net.run(inputs, threads);
     inferences += batch.labels.size();
     dt = seconds_since(t0);
@@ -106,17 +120,21 @@ int main(int argc, char** argv) {
   std::printf("\ndigits network end-to-end (ca8, %u threads): %.0f inferences/s\n", threads,
               inf_rate);
 
-  std::ofstream json("BENCH_nn_gemm.json");
-  json << "{\n  \"threads\": " << threads << ",\n  \"gemm_shape\": [" << m << ", " << k << ", "
-       << n << "],\n  \"backends\": [\n";
+  const std::string path = bench::bench_json_path("BENCH_nn_gemm.json", smoke);
+  std::ofstream json(path);
+  json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"threads\": " << threads
+       << ",\n  \"kernel\": \"" << gemm_kernel_name() << "\",\n  \"gemm_shape\": [" << m << ", "
+       << k << ", " << n << "],\n  \"backends\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"name\": \"" << r.backend
-         << "\", \"mmacs_per_s_single\": " << r.mmacs_single
-         << ", \"mmacs_per_s_threaded\": " << r.mmacs_threads << "}"
+         << "\", \"mmacs_per_s_naive\": " << r.mmacs_naive
+         << ", \"mmacs_per_s_single\": " << r.mmacs_single
+         << ", \"mmacs_per_s_threaded\": " << r.mmacs_threads
+         << ", \"speedup_vs_naive\": " << r.mmacs_single / r.mmacs_naive << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"digits_net_inferences_per_s_ca8\": " << inf_rate << "\n}\n";
-  std::printf("wrote BENCH_nn_gemm.json\n");
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

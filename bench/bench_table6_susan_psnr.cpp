@@ -14,7 +14,7 @@ int main() {
   bench::print_header("Table 6 / Fig. 11: SUSAN image-smoothing accelerator");
 
   const auto scene = apps::make_test_scene(192, 192, 7, 6.0);
-  scene.write_pgm("fig11_input.pgm");
+  scene.write_pgm(bench::out_path("fig11_input.pgm"));
 
   struct Row {
     const char* name;
@@ -40,7 +40,7 @@ int main() {
     cfg.swap_operands = row.swap;
     apps::SusanSmoother smoother(row.m, cfg);
     const auto out = smoother.smooth(scene);
-    out.write_pgm(row.pgm);
+    out.write_pgm(bench::out_path(row.pgm));
     if (std::string(row.name) == "Accurate") {
       reference = out;
       t.add_row({row.name, "inf (reference)", row.paper_psnr, row.pgm});
@@ -69,7 +69,7 @@ int main() {
   a.print("Accelerator area (paper: 17% / 17.2% gains for Ca / Cc)");
 
   std::printf(
-      "\nFig. 11 equivalents written as PGM images (fig11_*.pgm). Shape anchors:\n"
+      "\nFig. 11 equivalents written as PGM images (out/fig11_*.pgm). Shape anchors:\n"
       "swap improves the asymmetric designs (Cas > Ca, Ccs >= Cc); Ca > Cc > K.\n"
       "W's rank differs from the paper (see EXPERIMENTS.md: the W stand-in\n"
       "matches W's uniform-input anchors but not its input-conditional error\n"

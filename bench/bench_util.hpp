@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "analysis/catalog.hpp"
@@ -11,6 +13,54 @@
 #include "timing/sta.hpp"
 
 namespace axmult::bench {
+
+/// Consumes `flag` (e.g. "--smoke") from argv; returns whether it was there.
+inline bool strip_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Where a BENCH_*.json artifact goes: next to the repo root (the perf
+/// harness diffs the checked-in copies), except for smoke runs, which stay
+/// in the working directory so a `ctest` pass never dirties the checkout.
+inline std::string bench_json_path(const std::string& filename, bool smoke) {
+#ifdef AXMULT_SOURCE_DIR
+  if (!smoke) return std::string(AXMULT_SOURCE_DIR) + "/" + filename;
+#endif
+  return filename;
+}
+
+/// Path for a generated image/artifact: everything lands in the gitignored
+/// out/ directory under the working directory (created on demand).
+inline std::string out_path(const std::string& filename) {
+  std::filesystem::create_directories("out");
+  return "out/" + filename;
+}
+
+/// Abbreviated git revision of the source tree, for the JSON provenance
+/// fields; "unknown" outside a git checkout.
+inline std::string bench_git_sha() {
+#ifdef AXMULT_SOURCE_DIR
+  FILE* p = popen("git -C \"" AXMULT_SOURCE_DIR "\" rev-parse --short HEAD 2>/dev/null", "r");
+  if (p != nullptr) {
+    char buf[64] = {};
+    const bool ok = std::fgets(buf, sizeof(buf), p) != nullptr;
+    pclose(p);
+    if (ok) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+      if (!sha.empty()) return sha;
+    }
+  }
+#endif
+  return "unknown";
+}
 
 /// Area/latency/energy of one design's netlist under the default models.
 struct Implementation {

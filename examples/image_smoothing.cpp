@@ -5,21 +5,29 @@
 // PSNR against the accurate output, and writes PGM images you can open in
 // any viewer.
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "apps/image.hpp"
 #include "apps/filters.hpp"
 #include "apps/susan.hpp"
 #include "mult/recursive.hpp"
 
+/// Images land in the gitignored out/ directory next to the working dir.
+static std::string out_path(const std::string& name) {
+  std::filesystem::create_directories("out");
+  return "out/" + name;
+}
+
 int main() {
   using namespace axmult;
 
   const auto scene = apps::make_test_scene(256, 256, /*seed=*/42, /*noise_sigma=*/8.0);
-  scene.write_pgm("smoothing_input.pgm");
-  std::printf("input scene written to smoothing_input.pgm\n");
+  scene.write_pgm(out_path("smoothing_input.pgm"));
+  std::printf("input scene written to out/smoothing_input.pgm\n");
 
   const auto accurate = apps::SusanSmoother(mult::make_accurate(8)).smooth(scene);
-  accurate.write_pgm("smoothing_accurate.pgm");
+  accurate.write_pgm(out_path("smoothing_accurate.pgm"));
 
   struct Config {
     const char* label;
@@ -37,8 +45,8 @@ int main() {
     apps::SusanConfig sc;
     sc.swap_operands = cfg.swap;
     const auto out = apps::SusanSmoother(cfg.m, sc).smooth(scene);
-    out.write_pgm(cfg.file);
-    std::printf("%-34s PSNR vs accurate: %7.3f dB  -> %s\n", cfg.label,
+    out.write_pgm(out_path(cfg.file));
+    std::printf("%-34s PSNR vs accurate: %7.3f dB  -> out/%s\n", cfg.label,
                 apps::psnr(accurate, out), cfg.file);
   }
   std::printf(
@@ -50,8 +58,8 @@ int main() {
   const auto taps = apps::gaussian_taps(7);
   const auto blur_ref = apps::blur_image(scene, taps, mult::make_accurate(8));
   const auto blur_ca = apps::blur_image(scene, taps, mult::make_ca(8));
-  blur_ca.write_pgm("blur_ca.pgm");
-  std::printf("\nGaussian blur accelerator: Ca PSNR vs accurate = %.3f dB -> blur_ca.pgm\n",
+  blur_ca.write_pgm(out_path("blur_ca.pgm"));
+  std::printf("\nGaussian blur accelerator: Ca PSNR vs accurate = %.3f dB -> out/blur_ca.pgm\n",
               apps::psnr(blur_ref, blur_ca));
   return 0;
 }

@@ -226,17 +226,24 @@ struct SweepAccum {
   unsigned __int128 sum_abs = 0;   // <= 2^32 pairs * 2^32 error: needs 128 bits
   __int128 sum_signed = 0;
   std::vector<std::uint64_t> bit_wrong;  // empty when not collected
+  // PMF storage: a flat |error| histogram when the product space is small
+  // enough (<= 16 product bits bounds |error| < 2^16), sparse map above.
+  // The flat vector turns the hot-loop map insert into one indexed add.
+  std::vector<std::uint64_t> pmf_flat;
   std::map<std::uint64_t, std::uint64_t> pmf;
   bool collect_pmf = false;
 
   void init(const SweepConfig& cfg, unsigned product_bits) {
     if (cfg.collect_bit_probability) bit_wrong.assign(product_bits, 0);
     collect_pmf = cfg.collect_pmf;
+    if (collect_pmf && product_bits <= 16) {
+      pmf_flat.assign(std::size_t{1} << product_bits, 0);
+    }
   }
 
-  inline void add(std::uint64_t exact, std::uint64_t approx, long double& rel_sum) {
-    ++samples;
-    if (approx == exact) return;
+  /// The mismatch bookkeeping shared by the scalar and packed paths
+  /// (everything except the sample count and the per-bit stats).
+  inline void add_mismatch(std::uint64_t exact, std::uint64_t approx, long double& rel_sum) {
     const std::int64_t signed_err =
         static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
     const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
@@ -252,13 +259,45 @@ struct SweepAccum {
     } else if (mag == max_error) {
       ++max_error_occurrences;
     }
+    if (collect_pmf) {
+      if (mag < pmf_flat.size()) {
+        ++pmf_flat[mag];
+      } else {
+        ++pmf[mag];
+      }
+    }
+  }
+
+  inline void add(std::uint64_t exact, std::uint64_t approx, long double& rel_sum) {
+    ++samples;
+    if (approx == exact) return;
+    add_mismatch(exact, approx, rel_sum);
     if (!bit_wrong.empty()) {
       const std::uint64_t diff = exact ^ approx;
       for (std::size_t i = 0; i < bit_wrong.size(); ++i) {
         bit_wrong[i] += bit(diff, static_cast<unsigned>(i));
       }
     }
-    if (collect_pmf) ++pmf[mag];
+  }
+
+  /// One 64-lane block of lane-major products (approx[l] vs exact[l] for
+  /// l < lanes). Per-bit error counts come from one 64x64 transpose of the
+  /// XOR rows plus a popcount per plane instead of a bit loop per lane.
+  inline void add_block(std::uint64_t* diff_rows, const std::uint64_t* approx,
+                        const std::uint64_t* exact, unsigned lanes, long double& rel_sum) {
+    samples += lanes;
+    std::uint64_t any = 0;
+    for (unsigned l = 0; l < lanes; ++l) any |= diff_rows[l];
+    if (any == 0) return;
+    for (unsigned l = 0; l < lanes; ++l) {
+      if (diff_rows[l] != 0) add_mismatch(exact[l], approx[l], rel_sum);
+    }
+    if (!bit_wrong.empty()) {
+      for (unsigned l = lanes; l < 64; ++l) diff_rows[l] = 0;
+      fabric::transpose64(diff_rows);
+      const std::size_t nb = std::min<std::size_t>(bit_wrong.size(), 64);
+      for (std::size_t i = 0; i < nb; ++i) bit_wrong[i] += popcount(diff_rows[i]);
+    }
   }
 
   void merge(const SweepAccum& o) {
@@ -273,6 +312,7 @@ struct SweepAccum {
       max_error_occurrences += o.max_error_occurrences;
     }
     for (std::size_t i = 0; i < bit_wrong.size(); ++i) bit_wrong[i] += o.bit_wrong[i];
+    for (std::size_t m = 0; m < pmf_flat.size(); ++m) pmf_flat[m] += o.pmf_flat[m];
     for (const auto& [mag, count] : o.pmf) pmf[mag] += count;
   }
 };
@@ -334,6 +374,9 @@ SweepResult run_sweep(std::uint64_t total_pairs, unsigned product_bits, const Sw
     }
   }
   result.pmf = std::move(total.pmf);
+  for (std::size_t mag = 0; mag < total.pmf_flat.size(); ++mag) {
+    if (total.pmf_flat[mag] != 0) result.pmf[mag] += total.pmf_flat[mag];
+  }
   return result;
 }
 
@@ -355,6 +398,60 @@ SweepResult sweep_exhaustive(const mult::Multiplier& m, const SweepConfig& cfg) 
   });
 }
 
+namespace {
+
+/// Wide-lane netlist sweep worker: one WideEvaluator<W> per thread, windows
+/// of 64*W consecutive operand indices per eval. Chunks are 64-aligned, so
+/// the packed index planes need no transpose: bit-plane k of each 64-lane
+/// word is a fixed lane pattern below bit 6 and a broadcast of that word's
+/// base above it. Per-64-lane words are consumed in stream order, so the
+/// relative-error fold is bit-identical for every W.
+template <unsigned W>
+SweepResult sweep_netlist_wide(const fabric::Netlist& nl, unsigned a_bits, unsigned nbits,
+                               std::uint64_t amask, std::uint64_t total, const SweepConfig& cfg) {
+  return run_sweep(total, nbits, cfg, [&nl, a_bits, nbits, amask] {
+    auto ev = std::make_shared<fabric::WideEvaluator<W>>(nl);
+    return [ev, a_bits, nbits, amask](SweepAccum& acc, long double& rel, std::uint64_t begin,
+                                      std::uint64_t end) mutable {
+      std::vector<std::uint64_t> in(std::size_t{nbits} * W);
+      for (std::uint64_t base0 = begin; base0 < end; base0 += 64 * W) {
+        for (unsigned w = 0; w < W; ++w) {
+          const std::uint64_t wb = base0 + std::uint64_t{w} * 64;
+          for (unsigned k = 0; k < nbits; ++k) {
+            in[std::size_t{k} * W + w] =
+                k < 6 ? fabric::kLanePattern[k]
+                      : (bit(wb, k) ? ~std::uint64_t{0} : std::uint64_t{0});
+          }
+        }
+        const auto& out = ev->eval(in);
+        const std::size_t n_out = out.size() / W;
+        const std::uint64_t span = std::min<std::uint64_t>(64 * W, end - base0);
+        for (unsigned w = 0; w * 64 < span; ++w) {
+          const std::uint64_t base = base0 + std::uint64_t{w} * 64;
+          const unsigned lanes =
+              static_cast<unsigned>(std::min<std::uint64_t>(64, span - std::uint64_t{w} * 64));
+          // Transpose the output bit-planes into lane-major product words:
+          // afterwards row l is the full approximate product of lane l.
+          std::uint64_t approx[64] = {};
+          for (std::size_t i = 0; i < n_out && i < 64; ++i) approx[i] = out[i * W + w];
+          fabric::transpose64(approx);
+          std::uint64_t exact[64];
+          std::uint64_t diff[64];
+          for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t idx = base + l;
+            const std::uint64_t a = idx & amask;
+            exact[l] = a * (idx >> a_bits);
+            diff[l] = approx[l] ^ exact[l];
+          }
+          acc.add_block(diff, approx, exact, lanes, rel);
+        }
+      }
+    };
+  });
+}
+
+}  // namespace
+
 SweepResult sweep_netlist_exhaustive(const fabric::Netlist& nl, unsigned a_bits, unsigned b_bits,
                                      const SweepConfig& cfg) {
   const unsigned nbits = a_bits + b_bits;
@@ -363,34 +460,11 @@ SweepResult sweep_netlist_exhaustive(const fabric::Netlist& nl, unsigned a_bits,
   }
   const std::uint64_t amask = low_mask(a_bits);
   const std::uint64_t total = std::uint64_t{1} << nbits;
-  return run_sweep(total, nbits, cfg, [&nl, a_bits, nbits, amask] {
-    // One 64-lane evaluator per worker thread. Chunks are 64-aligned, so
-    // the 64 consecutive operand indices of each group need no transpose:
-    // bit-plane k of the packed index is a fixed lane pattern below bit 6
-    // and a broadcast of the group base above it.
-    auto ev = std::make_shared<fabric::BitParallelEvaluator>(nl);
-    std::vector<std::uint64_t> in(nbits);
-    return [ev, in, a_bits, nbits, amask](SweepAccum& acc, long double& rel,
-                                          std::uint64_t begin, std::uint64_t end) mutable {
-      for (std::uint64_t base = begin; base < end; base += 64) {
-        for (unsigned k = 0; k < nbits; ++k) {
-          in[k] = k < 6 ? fabric::kLanePattern[k]
-                        : (bit(base, k) ? ~std::uint64_t{0} : std::uint64_t{0});
-        }
-        const auto& out = ev->eval(in);
-        const std::uint64_t lanes = std::min<std::uint64_t>(64, end - base);
-        for (std::uint64_t l = 0; l < lanes; ++l) {
-          std::uint64_t approx = 0;
-          for (std::size_t i = 0; i < out.size(); ++i) {
-            approx |= ((out[i] >> l) & 1u) << i;
-          }
-          const std::uint64_t idx = base + l;
-          const std::uint64_t a = idx & amask;
-          acc.add(a * (idx >> a_bits), approx, rel);
-        }
-      }
-    };
-  });
+  // Widest profitable lane count for the pair budget; every width produces
+  // identical results (the windows only batch evaluation).
+  if (total >= 512) return sweep_netlist_wide<8>(nl, a_bits, nbits, amask, total, cfg);
+  if (total >= 128) return sweep_netlist_wide<2>(nl, a_bits, nbits, amask, total, cfg);
+  return sweep_netlist_wide<1>(nl, a_bits, nbits, amask, total, cfg);
 }
 
 SweepResult sweep_sampled(const mult::Multiplier& m, std::uint64_t n, std::uint64_t seed,

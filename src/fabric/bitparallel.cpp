@@ -9,7 +9,7 @@ namespace axmult::fabric {
 
 namespace {
 
-/// 64-lane 2:1 mux: lane-wise `sel ? hi : lo`, branchless.
+/// Packed 2:1 mux: lane-wise `sel ? hi : lo`, branchless.
 inline std::uint64_t mux64(std::uint64_t sel, std::uint64_t hi, std::uint64_t lo) noexcept {
   return lo ^ (sel & (hi ^ lo));
 }
@@ -25,28 +25,16 @@ std::uint64_t cofactor(std::uint64_t tt, unsigned nv, unsigned pos, unsigned val
   return r;
 }
 
-/// In-place 64x64 bit-matrix transpose: afterwards a[i] bit l == (original)
-/// a[l] bit i. Used to convert between lane-major operand words and the
-/// bit-plane words the evaluator consumes. Involution.
-void transpose64(std::uint64_t a[64]) noexcept {
-  for (unsigned t = 6; t-- > 0;) {
-    const unsigned j = 1u << t;
-    const std::uint64_t m = kLanePattern[t];
-    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t x = (a[k] ^ (a[k + j] << j)) & m;
-      a[k] ^= x;
-      a[k + j] ^= x >> j;
-    }
-  }
-}
-
 }  // namespace
 
-void BitParallelEvaluator::compile_lut(std::uint64_t tt, unsigned nvars, const NetId* in,
-                                       NetId out) {
+namespace detail {
+
+void CompiledTape::compile_lut(std::uint64_t tt, unsigned nvars, const NetId* in, NetId out) {
   // Cofactor away constant inputs (GND / VCC / unconnected), then variables
   // the function does not actually depend on. What remains is the true
-  // support — typically 2..5 nets even for "6-input" LUT instances.
+  // support — typically 2..5 nets even for "6-input" LUT instances. (The
+  // optimize pass already folds most of this away netlist-side; doing it
+  // again here keeps optimize-off construction correct.)
   std::array<std::uint32_t, 6> net{};
   unsigned nv = nvars;
   for (unsigned v = 0; v < nvars; ++v) net[v] = in[v];
@@ -80,7 +68,7 @@ void BitParallelEvaluator::compile_lut(std::uint64_t tt, unsigned nvars, const N
   f.in = net;
   if (nv == 0) {
     f.const_word = (tt & 1u) ? ~std::uint64_t{0} : 0;
-    luts_.push_back(f);
+    luts.push_back(f);
     return;
   }
 
@@ -88,56 +76,62 @@ void BitParallelEvaluator::compile_lut(std::uint64_t tt, unsigned nvars, const N
   // the packed truth-table word: anf bit m = XOR of tt over all submasks of
   // m. Multiplier cells (partial-product ANDs, compressor sums/carries) have
   // a handful of monomials, making XOR-of-ANDs far cheaper than a mux tree.
-  std::uint64_t anf = tt;
+  std::uint64_t anf_word = tt;
   for (unsigned v = 0; v < nv; ++v) {
-    anf ^= (anf & ~kLanePattern[v]) << (1u << v);
+    anf_word ^= (anf_word & ~kLanePattern[v]) << (1u << v);
   }
-  anf &= nv == 6 ? ~std::uint64_t{0} : low_mask(1u << nv);
-  const unsigned monos = static_cast<unsigned>(popcount(anf));
+  anf_word &= nv == 6 ? ~std::uint64_t{0} : low_mask(1u << nv);
+  const unsigned monos = static_cast<unsigned>(popcount(anf_word));
 
   // Break-even vs the mux tree (~3 ops/node) sits around half the minterm
   // count; arithmetic logic is always far below it.
   if (monos <= (1u << nv) / 2 + 1) {
     f.n_monos = static_cast<std::uint8_t>(monos);
-    f.prog_base = static_cast<std::uint32_t>(anf_.size());
+    f.prog_base = static_cast<std::uint32_t>(anf.size());
     for (unsigned m = 0; m < (1u << nv); ++m) {
-      if (((anf >> m) & 1u) == 0) continue;
-      anf_.push_back(static_cast<std::uint32_t>(popcount(std::uint64_t{m})));
+      if (((anf_word >> m) & 1u) == 0) continue;
+      anf.push_back(static_cast<std::uint32_t>(popcount(std::uint64_t{m})));
       for (unsigned v = 0; v < nv; ++v) {
-        if (m & (1u << v)) anf_.push_back(net[v]);  // net ids resolved here
+        if (m & (1u << v)) anf.push_back(net[v]);  // net ids resolved here
       }
     }
   } else {
     // Dense function: first Shannon level (selector = in[0]) precomputed as
     // branchless (lo, lo^hi) broadcast-mask pairs: leaf_j = lo ^ (x & i0).
     f.n_monos = 0xFF;
-    f.prog_base = static_cast<std::uint32_t>(leaf_.size());
+    f.prog_base = static_cast<std::uint32_t>(leaf.size());
     for (unsigned j = 0; j < (1u << (nv - 1)); ++j) {
       const std::uint64_t lo = ((tt >> (2 * j)) & 1u) ? ~std::uint64_t{0} : 0;
       const std::uint64_t hi = ((tt >> (2 * j + 1)) & 1u) ? ~std::uint64_t{0} : 0;
-      leaf_.push_back({lo, lo ^ hi});
+      leaf.push_back({lo, lo ^ hi});
     }
   }
-  luts_.push_back(f);
+  luts.push_back(f);
 }
 
-BitParallelEvaluator::BitParallelEvaluator(const Netlist& nl) : nl_(nl) {
-  // One trash slot past the last net absorbs writes to unconnected outputs.
-  const std::uint32_t trash = static_cast<std::uint32_t>(nl.net_count());
-  value_.assign(nl.net_count() + 1, 0);
-  value_[kNetVcc] = ~std::uint64_t{0};
+CompiledTape::CompiledTape(const Netlist& source, const EvalOptions& options) {
+  if (options.optimize) {
+    auto opt = fabric::optimize(source);
+    opt_stats = opt.stats;
+    owned = std::make_unique<const Netlist>(std::move(opt.netlist));
+    nl = owned.get();
+  } else {
+    nl = &source;
+  }
+
+  const std::uint32_t trash = static_cast<std::uint32_t>(nl->net_count());
   const auto remap = [trash](NetId n) { return n == kNoNet ? trash : n; };
 
   std::uint32_t ff_slot = 0;
-  const auto& cells = nl.cells();
-  for (std::uint32_t ci : nl.topo_order()) {
+  const auto& cells = nl->cells();
+  for (std::uint32_t ci : nl->topo_order()) {
     const Cell& c = cells[ci];
     switch (c.kind) {
       case CellKind::kLut6: {
-        tape_.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts_.size())});
+        tape.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts.size())});
         compile_lut(c.init, 6, c.in.data(), c.out[0]);
         if (c.out[1] != kNoNet) {
-          tape_.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts_.size())});
+          tape.push_back({TapeKind::kLut, static_cast<std::uint32_t>(luts.size())});
           compile_lut(c.init & 0xFFFFFFFFu, 5, c.in.data(), c.out[1]);
         }
         break;
@@ -151,165 +145,233 @@ BitParallelEvaluator::BitParallelEvaluator(const Netlist& nl) : nl_(nl) {
           f.o[i] = remap(c.out[i]);
           f.co[i] = remap(c.out[4 + i]);
         }
-        tape_.push_back({TapeKind::kCarry, static_cast<std::uint32_t>(carries_.size())});
-        carries_.push_back(f);
+        tape.push_back({TapeKind::kCarry, static_cast<std::uint32_t>(carries.size())});
+        carries.push_back(f);
         break;
       }
       case CellKind::kDsp:
-        tape_.push_back({TapeKind::kDsp, ci});
+        tape.push_back({TapeKind::kDsp, ci});
         break;
       case CellKind::kFdre:
         // Zero combinational dependencies put flip-flops first in the topo
         // order; slots count up in cell order, matching the latch loop in
         // eval_impl and the scalar evaluator.
-        tape_.push_back({TapeKind::kFf, ff_slot++});
-        ff_q_.push_back(c.out[0]);
+        tape.push_back({TapeKind::kFf, ff_slot++});
+        ff_q.push_back(c.out[0]);
         break;
     }
   }
 }
 
-const std::vector<std::uint64_t>& BitParallelEvaluator::eval(
+}  // namespace detail
+
+template <unsigned W>
+WideEvaluator<W>::WideEvaluator(const Netlist& nl, EvalOptions options) : tape_(nl, options) {
+  // One trash block past the last net absorbs writes to unconnected outputs.
+  value_.assign((tape_.nl->net_count() + 1) * W, 0);
+  for (unsigned w = 0; w < W; ++w) value_[kNetVcc * W + w] = ~std::uint64_t{0};
+}
+
+template <unsigned W>
+const std::vector<std::uint64_t>& WideEvaluator<W>::eval(
     const std::vector<std::uint64_t>& input_words) {
-  if (input_words.size() != nl_.inputs().size()) {
-    throw std::invalid_argument("BitParallelEvaluator::eval: wrong number of input words");
+  if (input_words.size() != tape_.nl->inputs().size() * W) {
+    throw std::invalid_argument("WideEvaluator::eval: wrong number of input words");
   }
-  eval_impl(input_words.data(), input_words.size(), nullptr);
+  eval_impl(input_words.data(), tape_.nl->inputs().size(), nullptr);
   return out_;
 }
 
-void BitParallelEvaluator::eval_impl(const std::uint64_t* input_words, std::size_t n_inputs,
-                                     std::vector<std::uint64_t>* ff_state) {
-  const auto& inputs = nl_.inputs();
-  for (std::size_t i = 0; i < n_inputs; ++i) value_[inputs[i]] = input_words[i];
-
+template <unsigned W>
+void WideEvaluator<W>::eval_impl(const std::uint64_t* input_words, std::size_t n_inputs,
+                                 std::vector<std::uint64_t>* ff_state) {
+  const Netlist& nl = *tape_.nl;
+  const auto& inputs = nl.inputs();
   std::uint64_t* const val = value_.data();
-  std::uint64_t buf[32];
-  for (const TapeEntry& e : tape_) {
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    for (unsigned w = 0; w < W; ++w) val[std::size_t{inputs[i]} * W + w] = input_words[i * W + w];
+  }
+
+  std::uint64_t buf[32 * W];
+  for (const detail::CompiledTape::TapeEntry& e : tape_.tape) {
     switch (e.kind) {
-      case TapeKind::kLut: {
-        const LutFn& f = luts_[e.idx];
+      case detail::CompiledTape::TapeKind::kLut: {
+        const auto& f = tape_.luts[e.idx];
+        std::uint64_t* const o = val + std::size_t{f.out} * W;
         if (f.k == 0) {
-          val[f.out] = f.const_word;
+          for (unsigned w = 0; w < W; ++w) o[w] = f.const_word;
           break;
         }
         if (f.n_monos != 0xFF) {
-          // XOR of AND-monomials over the packed words.
-          const std::uint32_t* mp = anf_.data() + f.prog_base;
-          std::uint64_t r = 0;
+          // XOR of AND-monomials over the packed word blocks. With W known
+          // at compile time the w-loops are straight SIMD ops.
+          const std::uint32_t* mp = tape_.anf.data() + f.prog_base;
+          std::uint64_t r[W] = {};
           for (unsigned m = 0; m < f.n_monos; ++m) {
             const unsigned nv = *mp++;
-            std::uint64_t term = ~std::uint64_t{0};
-            for (unsigned j = 0; j < nv; ++j) term &= val[*mp++];
-            r ^= term;
+            std::uint64_t term[W];
+            for (unsigned w = 0; w < W; ++w) term[w] = ~std::uint64_t{0};
+            for (unsigned j = 0; j < nv; ++j) {
+              const std::uint64_t* const v = val + std::size_t{*mp++} * W;
+              for (unsigned w = 0; w < W; ++w) term[w] &= v[w];
+            }
+            for (unsigned w = 0; w < W; ++w) r[w] ^= term[w];
           }
-          val[f.out] = r;
+          for (unsigned w = 0; w < W; ++w) o[w] = r[w];
           break;
         }
-        const Leaf* lp = leaf_.data() + f.prog_base;
-        const std::uint64_t i0 = val[f.in[0]];
+        const auto* lp = tape_.leaf.data() + f.prog_base;
+        const std::uint64_t* const i0 = val + std::size_t{f.in[0]} * W;
         unsigned nodes = 1u << (f.k - 1);
-        for (unsigned j = 0; j < nodes; ++j) buf[j] = lp[j].lo ^ (lp[j].x & i0);
+        for (unsigned j = 0; j < nodes; ++j) {
+          for (unsigned w = 0; w < W; ++w) buf[j * W + w] = lp[j].lo ^ (lp[j].x & i0[w]);
+        }
         for (unsigned l = 1; l < f.k; ++l) {
-          const std::uint64_t sel = val[f.in[l]];
+          const std::uint64_t* const sel = val + std::size_t{f.in[l]} * W;
           nodes >>= 1;
-          for (unsigned j = 0; j < nodes; ++j) buf[j] = mux64(sel, buf[2 * j + 1], buf[2 * j]);
+          for (unsigned j = 0; j < nodes; ++j) {
+            for (unsigned w = 0; w < W; ++w) {
+              buf[j * W + w] = mux64(sel[w], buf[(2 * j + 1) * W + w], buf[2 * j * W + w]);
+            }
+          }
         }
-        val[f.out] = buf[0];
+        for (unsigned w = 0; w < W; ++w) o[w] = buf[w];
         break;
       }
-      case TapeKind::kCarry: {
-        const CarryFn& f = carries_[e.idx];
-        std::uint64_t carry = val[f.cyinit];
+      case detail::CompiledTape::TapeKind::kCarry: {
+        const auto& f = tape_.carries[e.idx];
+        std::uint64_t carry[W];
+        const std::uint64_t* const ci = val + std::size_t{f.cyinit} * W;
+        for (unsigned w = 0; w < W; ++w) carry[w] = ci[w];
         for (unsigned i = 0; i < 4; ++i) {
-          const std::uint64_t s = val[f.s[i]];
-          val[f.o[i]] = s ^ carry;        // XORCY, all 64 lanes at once
-          carry = mux64(s, carry, val[f.di[i]]);  // MUXCY
-          val[f.co[i]] = carry;
+          const std::uint64_t* const s = val + std::size_t{f.s[i]} * W;
+          const std::uint64_t* const di = val + std::size_t{f.di[i]} * W;
+          std::uint64_t* const o = val + std::size_t{f.o[i]} * W;
+          std::uint64_t* const co = val + std::size_t{f.co[i]} * W;
+          for (unsigned w = 0; w < W; ++w) {
+            const std::uint64_t sw = s[w];
+            o[w] = sw ^ carry[w];                 // XORCY, all lanes at once
+            carry[w] = mux64(sw, carry[w], di[w]);  // MUXCY
+            co[w] = carry[w];
+          }
         }
         break;
       }
-      case TapeKind::kDsp: {
+      case detail::CompiledTape::TapeKind::kDsp: {
         // Per-lane multiply: gather operand bits, multiply, scatter product
-        // bits. O(64 * pins) but DSP cells are rare and tiny.
-        const Cell& c = nl_.cells()[e.idx];
-        dsp_scratch_.assign(c.out.size(), 0);
+        // bits. O(lanes * pins) but DSP cells are rare and tiny.
+        const Cell& c = nl.cells()[e.idx];
+        dsp_scratch_.assign(c.out.size() * W, 0);
         const unsigned aw = c.dsp_a_width;
         const unsigned bw = static_cast<unsigned>(c.in.size()) - aw;
         for (unsigned l = 0; l < kLanes; ++l) {
+          const unsigned w = l / 64;
+          const unsigned bpos = l % 64;
           std::uint64_t a = 0;
           std::uint64_t b = 0;
-          for (unsigned i = 0; i < aw; ++i) a |= ((val[c.in[i]] >> l) & 1u) << i;
-          for (unsigned i = 0; i < bw; ++i) b |= ((val[c.in[aw + i]] >> l) & 1u) << i;
+          for (unsigned i = 0; i < aw; ++i) {
+            a |= ((val[std::size_t{c.in[i]} * W + w] >> bpos) & 1u) << i;
+          }
+          for (unsigned i = 0; i < bw; ++i) {
+            b |= ((val[std::size_t{c.in[aw + i]} * W + w] >> bpos) & 1u) << i;
+          }
           const std::uint64_t p = a * b;
           for (std::size_t i = 0; i < c.out.size(); ++i) {
-            dsp_scratch_[i] |= bit(p, static_cast<unsigned>(i)) << l;
+            dsp_scratch_[i * W + w] |= bit(p, static_cast<unsigned>(i)) << bpos;
           }
         }
-        for (std::size_t i = 0; i < c.out.size(); ++i) val[c.out[i]] = dsp_scratch_[i];
+        for (std::size_t i = 0; i < c.out.size(); ++i) {
+          for (unsigned w = 0; w < W; ++w) {
+            val[std::size_t{c.out[i]} * W + w] = dsp_scratch_[i * W + w];
+          }
+        }
         break;
       }
-      case TapeKind::kFf: {
+      case detail::CompiledTape::TapeKind::kFf: {
         if (ff_state == nullptr) {
           throw std::invalid_argument(
-              "BitParallelEvaluator: sequential netlist — use BitParallelSeqEvaluator instead");
+              "WideEvaluator: sequential netlist — use BitParallelSeqEvaluator instead");
         }
-        val[ff_q_[e.idx]] = (*ff_state)[e.idx];
+        const std::uint64_t* const st = ff_state->data() + std::size_t{e.idx} * W;
+        std::uint64_t* const q = val + std::size_t{tape_.ff_q[e.idx]} * W;
+        for (unsigned w = 0; w < W; ++w) q[w] = st[w];
         break;
       }
     }
   }
   if (ff_state != nullptr) {
-    // Clock edge: latch every D word into the state (cell declaration order).
+    // Clock edge: latch every D block into the state (cell declaration order).
     std::size_t idx = 0;
-    for (const Cell& c : nl_.cells()) {
-      if (c.kind == CellKind::kFdre) (*ff_state)[idx++] = val[c.in[0]];
+    for (const Cell& c : nl.cells()) {
+      if (c.kind != CellKind::kFdre) continue;
+      std::uint64_t* const st = ff_state->data() + idx * W;
+      const std::uint64_t* const d = val + std::size_t{c.in[0]} * W;
+      for (unsigned w = 0; w < W; ++w) st[w] = d[w];
+      ++idx;
     }
   }
-  const auto& outputs = nl_.outputs();
-  out_.resize(outputs.size());
-  for (std::size_t i = 0; i < outputs.size(); ++i) out_[i] = val[outputs[i]];
+  const auto& outputs = nl.outputs();
+  out_.resize(outputs.size() * W);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    for (unsigned w = 0; w < W; ++w) out_[i * W + w] = val[std::size_t{outputs[i]} * W + w];
+  }
 }
 
-void BitParallelEvaluator::eval_mul_batch(const std::uint64_t* a, const std::uint64_t* b,
-                                          std::uint64_t* p, std::size_t n, unsigned a_bits,
-                                          unsigned b_bits) {
+template <unsigned W>
+void WideEvaluator<W>::eval_mul_batch(const std::uint64_t* a, const std::uint64_t* b,
+                                      std::uint64_t* p, std::size_t n, unsigned a_bits,
+                                      unsigned b_bits) {
   if (n == 0) return;
   if (n > kLanes) {
-    throw std::invalid_argument("BitParallelEvaluator::eval_mul_batch: n > 64");
+    throw std::invalid_argument("WideEvaluator::eval_mul_batch: n > lane count");
   }
-  if (nl_.inputs().size() != a_bits + b_bits) {
-    throw std::invalid_argument("BitParallelEvaluator::eval_mul_batch: input width mismatch");
+  const std::size_t n_inputs = tape_.nl->inputs().size();
+  if (n_inputs != a_bits + b_bits) {
+    throw std::invalid_argument("WideEvaluator::eval_mul_batch: input width mismatch");
   }
-  // Lane-major -> bit-plane conversion in one 64x64 transpose: row l holds
-  // b[l]:a[l] concatenated, so after the transpose row i is the packed word
-  // of input bit i.
-  std::uint64_t rows[64] = {};
+  // Lane-major -> bit-plane conversion, one 64x64 transpose per 64-lane
+  // group: row l holds b[l]:a[l] concatenated, so after the transpose row i
+  // is the packed word of input bit i.
   const std::uint64_t amask = low_mask(a_bits);
   const std::uint64_t bmask = low_mask(b_bits);
-  for (std::size_t l = 0; l < n; ++l) {
-    rows[l] = (a[l] & amask) | ((b[l] & bmask) << a_bits);
+  std::vector<std::uint64_t> in(n_inputs * W, 0);
+  for (unsigned w = 0; w * 64 < n; ++w) {
+    std::uint64_t rows[64] = {};
+    const std::size_t lanes = std::min<std::size_t>(64, n - std::size_t{w} * 64);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t src = std::size_t{w} * 64 + l;
+      rows[l] = (a[src] & amask) | ((b[src] & bmask) << a_bits);
+    }
+    transpose64(rows);
+    for (std::size_t i = 0; i < n_inputs; ++i) in[i * W + w] = rows[i];
   }
-  transpose64(rows);
-  eval_impl(rows, a_bits + b_bits, nullptr);
+  eval_impl(in.data(), n_inputs, nullptr);
   // Same trick backwards for the products (outputs are at most 64 bits).
-  std::uint64_t prows[64] = {};
-  for (std::size_t i = 0; i < out_.size() && i < 64; ++i) prows[i] = out_[i];
-  transpose64(prows);
-  for (std::size_t l = 0; l < n; ++l) p[l] = prows[l];
+  const std::size_t n_outputs = out_.size() / W;
+  for (unsigned w = 0; w * 64 < n; ++w) {
+    std::uint64_t prows[64] = {};
+    for (std::size_t i = 0; i < n_outputs && i < 64; ++i) prows[i] = out_[i * W + w];
+    transpose64(prows);
+    const std::size_t lanes = std::min<std::size_t>(64, n - std::size_t{w} * 64);
+    for (std::size_t l = 0; l < lanes; ++l) p[std::size_t{w} * 64 + l] = prows[l];
+  }
 }
 
-BitParallelSeqEvaluator::BitParallelSeqEvaluator(const Netlist& nl) : comb_(nl) {
-  std::size_t ffs = 0;
-  for (const Cell& c : nl.cells()) {
-    if (c.kind == CellKind::kFdre) ++ffs;
-  }
-  state_.assign(ffs, 0);
+template class WideEvaluator<1>;
+template class WideEvaluator<2>;
+template class WideEvaluator<4>;
+template class WideEvaluator<8>;
+
+BitParallelSeqEvaluator::BitParallelSeqEvaluator(const Netlist& nl, EvalOptions options)
+    : comb_(nl, options) {
+  // Size the state from the *evaluated* netlist: the optimize pass may have
+  // removed dead flip-flops.
+  state_.assign(comb_.tape_.ff_q.size(), 0);
 }
 
 const std::vector<std::uint64_t>& BitParallelSeqEvaluator::step(
     const std::vector<std::uint64_t>& input_words) {
-  if (input_words.size() != comb_.nl_.inputs().size()) {
+  if (input_words.size() != comb_.tape_.nl->inputs().size()) {
     throw std::invalid_argument("BitParallelSeqEvaluator::step: wrong number of input words");
   }
   comb_.eval_impl(input_words.data(), input_words.size(), &state_);

@@ -1,27 +1,38 @@
-// Bit-sliced (64-lane) netlist evaluation.
+// Bit-sliced wide-lane netlist evaluation.
 //
 // The scalar fabric::Evaluator spends one uint8_t per net and one pass of
-// the topological order per input vector. This backend packs 64 independent
-// input vectors into one std::uint64_t per net ("lane l" = bit l of every
-// packed word) and evaluates each cell once per 64 vectors with word-level
-// bitwise ops:
-//   * LUT6_2  — the 64-bit INIT is expanded onto lane masks and folded
-//               through a Shannon mux tree (one 64-lane mux per INIT pair),
-//   * CARRY4  — XORCY/MUXCY as bitwise ops, the carry rippling over all 64
+// the topological order per input vector. This backend packs 64*W
+// independent input vectors into W contiguous std::uint64_t words per net
+// ("lane l" = bit l%64 of word l/64) and evaluates each cell once per 64*W
+// vectors with word-level bitwise ops:
+//   * LUT6_2  — the 64-bit INIT is reduced to its true support and
+//               evaluated via its (sparse) algebraic normal form, with a
+//               Shannon mux tree as fallback for dense functions,
+//   * CARRY4  — XORCY/MUXCY as bitwise ops, the carry rippling over all
 //               lanes at once,
 //   * DSP     — per-lane integer multiply (gather/scatter; DSP netlists are
 //               tiny so this never dominates),
-//   * FDRE    — one packed state word per flip-flop, i.e. 64 independent
+//   * FDRE    — W packed state words per flip-flop, i.e. 64*W independent
 //               state machines advancing in lockstep.
-// Exhaustive and sampled error sweeps (error/metrics.hpp) and toggle-based
-// power estimation (power/) are built on top of this evaluator.
+// The W-word blocks are contiguous, so the fixed-trip-count inner loops
+// auto-vectorize (AVX2: W=4 is one 256-bit op per net op; AVX-512/NEON
+// accordingly). W=1 is the classic 64-lane evaluator; error/ sweeps and
+// power/ toggle counting pick the widest profitable width.
+//
+// Both evaluators run fabric::optimize() on the netlist before compiling
+// their tape (EvalOptions::optimize, on by default): constant folding,
+// CSE and dead-cone elimination shrink the tape, and output-cone
+// scheduling improves its locality. Callers that index net_values() by the
+// original NetIds (power/'s toggle counting) must disable this.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fabric/netlist.hpp"
+#include "fabric/optimize.hpp"
 
 namespace axmult::fabric {
 
@@ -35,51 +46,48 @@ inline constexpr std::array<std::uint64_t, 6> kLanePattern{
     0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
 };
 
-/// Evaluates a combinational netlist on 64 packed input vectors at a time.
-/// Roughly 64x the single-thread throughput of the scalar Evaluator; the
-/// multithreaded sweeps in error/ run one instance per worker thread.
-class BitParallelEvaluator {
- public:
-  static constexpr unsigned kLanes = 64;
+/// In-place 64x64 bit-matrix transpose: afterwards a[i] bit l == (original)
+/// a[l] bit i. Converts between lane-major operand words and the bit-plane
+/// words the evaluator consumes. Involution.
+inline void transpose64(std::uint64_t a[64]) noexcept {
+  for (unsigned t = 6; t-- > 0;) {
+    const unsigned j = 1u << t;
+    const std::uint64_t m = kLanePattern[t];
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t x = (a[k] ^ (a[k + j] << j)) & m;
+      a[k] ^= x;
+      a[k + j] ^= x >> j;
+    }
+  }
+}
 
-  explicit BitParallelEvaluator(const Netlist& nl);
-  /// Binding a temporary netlist would dangle (only a reference is kept).
-  explicit BitParallelEvaluator(Netlist&&) = delete;
+/// Construction-time knobs shared by the packed evaluators.
+struct EvalOptions {
+  /// Run fabric::optimize() and evaluate the optimized copy. Disable when
+  /// net_values() must be indexed by the original netlist's NetIds.
+  bool optimize = true;
+};
 
-  /// `input_words[i]` packs the 64 lane values of `nl.inputs()[i]`.
-  /// Returns packed output words in declaration order; the reference stays
-  /// valid until the next eval on this instance.
-  const std::vector<std::uint64_t>& eval(const std::vector<std::uint64_t>& input_words);
+class BitParallelSeqEvaluator;
 
-  /// Batch convenience mirroring Evaluator::eval_word: multiplies operand
-  /// pairs (a[k], b[k]) for k < n (n <= 64, ragged tails fine) through the
-  /// netlist and writes the products to p[0..n). Operand/product bits map
-  /// to inputs/outputs LSB-first in declaration order.
-  void eval_mul_batch(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* p,
-                      std::size_t n, unsigned a_bits, unsigned b_bits);
+namespace detail {
 
-  /// Packed net values from the most recent eval (lane l = vector l); used
-  /// by the popcount-based toggle counting in power/.
-  [[nodiscard]] const std::vector<std::uint64_t>& net_values() const noexcept { return value_; }
-
- private:
-  friend class BitParallelSeqEvaluator;
-
-  // The constructor compiles the netlist into a flat evaluation tape. Each
-  // LUT output becomes a LutFn: its INIT is cofactored against constant
-  // (GND/VCC) inputs and reduced to its true support. Multiplier logic is
-  // XOR/AND-dominated, so the reduced function is evaluated via its (very
-  // sparse) algebraic normal form — an XOR of AND-monomials over the packed
-  // words — with a Shannon mux tree as fallback for dense functions: the
-  // first level precomputed as per-leaf (lo, lo^hi) masks so evaluation is
-  // branchless (leaf = lo ^ (x & i0)), then one 64-lane mux per node pair.
+// The netlist compiled into a flat, width-independent evaluation tape.
+// Each LUT output becomes a LutFn: its INIT is cofactored against constant
+// (GND/VCC) inputs and reduced to its true support. Multiplier logic is
+// XOR/AND-dominated, so the reduced function is evaluated via its (very
+// sparse) algebraic normal form — an XOR of AND-monomials over the packed
+// words — with a Shannon mux tree as fallback for dense functions: the
+// first level precomputed as per-leaf (lo, lo^hi) masks so evaluation is
+// branchless (leaf = lo ^ (x & i0)), then one packed mux per node pair.
+struct CompiledTape {
   struct Leaf {
     std::uint64_t lo;
     std::uint64_t x;
   };
   struct LutFn {
     std::uint32_t out;
-    std::uint32_t prog_base;          ///< index into anf_ (ANF) or leaf_ (mux)
+    std::uint32_t prog_base;          ///< index into anf (ANF) or leaf (mux)
     std::array<std::uint32_t, 6> in;  ///< support net ids (first k valid)
     std::uint8_t k;                   ///< support size; 0 = constant function
     std::uint8_t n_monos;             ///< ANF monomial count; 0xFF = use mux tree
@@ -95,26 +103,90 @@ class BitParallelEvaluator {
   enum class TapeKind : std::uint8_t { kLut, kCarry, kDsp, kFf };
   struct TapeEntry {
     TapeKind kind;
-    std::uint32_t idx;  ///< index into luts_/carries_, cell index for kDsp,
+    std::uint32_t idx;  ///< index into luts/carries, cell index for kDsp,
                         ///< flip-flop slot for kFf
   };
 
+  CompiledTape(const Netlist& source, const EvalOptions& options);
+  CompiledTape(CompiledTape&&) noexcept = default;
+
+  const Netlist* nl;                  ///< the netlist the tape evaluates
+  std::unique_ptr<const Netlist> owned;  ///< optimized copy (when optimizing)
+  OptimizeStats opt_stats;            ///< zeros when optimize was off
+  std::vector<TapeEntry> tape;
+  std::vector<LutFn> luts;
+  std::vector<Leaf> leaf;
+  std::vector<std::uint32_t> anf;  ///< monomial stream: [n_vars, net_id...]*
+  std::vector<CarryFn> carries;
+  std::vector<std::uint32_t> ff_q;  ///< Q net of flip-flop slot i
+
+ private:
+  void compile_lut(std::uint64_t tt, unsigned nvars, const NetId* in, NetId out);
+};
+
+}  // namespace detail
+
+/// Evaluates a combinational netlist on 64*W packed input vectors at a
+/// time. W=1 is the classic 64-lane bit-parallel evaluator; wider widths
+/// trade register pressure for SIMD (the W-word inner loops vectorize).
+/// The multithreaded sweeps in error/ run one instance per worker thread.
+template <unsigned W>
+class WideEvaluator {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8, "supported widths: 1/2/4/8 words");
+
+ public:
+  static constexpr unsigned kWords = W;
+  static constexpr unsigned kLanes = 64 * W;
+
+  explicit WideEvaluator(const Netlist& nl, EvalOptions options = {});
+  /// Binding a temporary netlist would dangle (only a reference is kept).
+  explicit WideEvaluator(Netlist&&, EvalOptions = {}) = delete;
+
+  /// `input_words[i*W + w]` packs lanes 64w..64w+63 of `nl.inputs()[i]`.
+  /// Returns packed output words in the same layout (out[i*W + w]); the
+  /// reference stays valid until the next eval on this instance.
+  const std::vector<std::uint64_t>& eval(const std::vector<std::uint64_t>& input_words);
+
+  /// Batch convenience mirroring Evaluator::eval_word: multiplies operand
+  /// pairs (a[k], b[k]) for k < n (n <= kLanes, ragged tails fine) through
+  /// the netlist and writes the products to p[0..n). Operand/product bits
+  /// map to inputs/outputs LSB-first in declaration order.
+  void eval_mul_batch(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* p,
+                      std::size_t n, unsigned a_bits, unsigned b_bits);
+
+  /// Packed net values from the most recent eval (net n's block starts at
+  /// n*W); used by the popcount-based toggle counting in power/. Indexed by
+  /// the *evaluated* netlist's ids — construct with {.optimize = false}
+  /// when the original ids are needed.
+  [[nodiscard]] const std::vector<std::uint64_t>& net_values() const noexcept { return value_; }
+
+  /// The netlist the tape actually evaluates (the optimized copy when
+  /// optimization ran, `nl` itself otherwise).
+  [[nodiscard]] const Netlist& evaluated_netlist() const noexcept { return *tape_.nl; }
+
+  /// Cell-count deltas of the construction-time optimize pass (all zeros
+  /// when it was disabled).
+  [[nodiscard]] const OptimizeStats& optimize_stats() const noexcept { return tape_.opt_stats; }
+
+ private:
+  friend class BitParallelSeqEvaluator;
+
   void eval_impl(const std::uint64_t* input_words, std::size_t n_inputs,
                  std::vector<std::uint64_t>* ff_state);
-  void compile_lut(std::uint64_t tt, unsigned nvars, const NetId* in, NetId out);
 
-  const Netlist& nl_;
-  std::vector<TapeEntry> tape_;
-  std::vector<LutFn> luts_;
-  std::vector<Leaf> leaf_;
-  std::vector<std::uint32_t> anf_;  ///< monomial stream: [n_vars, net_id...]*
-  std::vector<CarryFn> carries_;
-  std::vector<std::uint32_t> ff_q_;  ///< Q net of flip-flop slot i
-  std::vector<std::uint64_t> value_;  ///< net_count() words + one trash slot
+  detail::CompiledTape tape_;
+  std::vector<std::uint64_t> value_;  ///< (net_count + 1 trash slot) * W words
   std::vector<std::uint64_t> out_;
-  std::vector<std::uint64_t> in_scratch_;
   std::vector<std::uint64_t> dsp_scratch_;
 };
+
+extern template class WideEvaluator<1>;
+extern template class WideEvaluator<2>;
+extern template class WideEvaluator<4>;
+extern template class WideEvaluator<8>;
+
+/// The PR-1 name for the 64-lane width, kept as the default backend.
+using BitParallelEvaluator = WideEvaluator<1>;
 
 /// 64 independent cycle-accurate machines over one sequential netlist.
 /// Each step() applies one packed input vector per lane, settles the logic,
@@ -124,8 +196,8 @@ class BitParallelSeqEvaluator {
  public:
   static constexpr unsigned kLanes = BitParallelEvaluator::kLanes;
 
-  explicit BitParallelSeqEvaluator(const Netlist& nl);
-  explicit BitParallelSeqEvaluator(Netlist&&) = delete;
+  explicit BitParallelSeqEvaluator(const Netlist& nl, EvalOptions options = {});
+  explicit BitParallelSeqEvaluator(Netlist&&, EvalOptions = {}) = delete;
 
   const std::vector<std::uint64_t>& step(const std::vector<std::uint64_t>& input_words);
 

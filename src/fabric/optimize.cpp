@@ -1,0 +1,453 @@
+#include "fabric/optimize.hpp"
+
+#include <array>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace axmult::fabric {
+
+namespace {
+
+constexpr std::uint32_t kNoCell = std::numeric_limits<std::uint32_t>::max();
+
+/// Restricts variable `pos` of an `nv`-variable truth table to `val`,
+/// returning the cofactor over the remaining nv-1 variables.
+std::uint64_t cofactor(std::uint64_t tt, unsigned nv, unsigned pos, unsigned val) {
+  std::uint64_t r = 0;
+  for (unsigned m = 0; m < (1u << (nv - 1)); ++m) {
+    const unsigned idx = (m & ((1u << pos) - 1)) | (val << pos) | ((m >> pos) << (pos + 1));
+    r |= ((tt >> idx) & 1u) << m;
+  }
+  return r;
+}
+
+/// Replicates an nv-variable truth table across all 64 INIT entries, making
+/// the emitted LUT independent of its (GND-tied) upper pins.
+std::uint64_t expand_tt(std::uint64_t tt, unsigned nv) {
+  if (nv >= 6) return tt;
+  const unsigned span = 1u << nv;
+  std::uint64_t r = 0;
+  for (unsigned m = 0; m < 64; m += span) r |= (tt & low_mask(span)) << m;
+  return r;
+}
+
+/// A LUT output reduced to its true support: constant pins cofactored away,
+/// don't-care variables removed. nv == 0 means a constant function.
+struct FoldedFn {
+  std::uint64_t tt = 0;
+  unsigned nv = 0;
+  std::array<NetId, 6> sup{};
+};
+
+FoldedFn fold_lut(std::uint64_t tt, unsigned nvars, const NetId* rp) {
+  FoldedFn f;
+  unsigned nv = nvars;
+  std::array<NetId, 6> net{};
+  for (unsigned v = 0; v < nvars; ++v) net[v] = rp[v];
+  auto remove_var = [&](unsigned v) {
+    for (unsigned i = v; i + 1 < nv; ++i) net[i] = net[i + 1];
+    --nv;
+  };
+  for (unsigned v = 0; v < nv;) {
+    if (net[v] == kNetGnd || net[v] == kNoNet) {
+      tt = cofactor(tt, nv, v, 0);
+      remove_var(v);
+    } else if (net[v] == kNetVcc) {
+      tt = cofactor(tt, nv, v, 1);
+      remove_var(v);
+    } else {
+      ++v;
+    }
+  }
+  for (unsigned v = 0; v < nv;) {
+    if (cofactor(tt, nv, v, 0) == cofactor(tt, nv, v, 1)) {
+      tt = cofactor(tt, nv, v, 0);
+      remove_var(v);
+    } else {
+      ++v;
+    }
+  }
+  f.tt = tt;
+  f.nv = nv;
+  f.sup = net;
+  return f;
+}
+
+/// What one original cell becomes after folding + CSE.
+struct CellPlan {
+  enum class Kind : std::uint8_t {
+    kDropped,    ///< every output resolved to a constant/alias or CSE'd away
+    kOrig,       ///< re-emit as-is with resolved input pins (`rin`)
+    kLutSingle,  ///< re-emit as a single-output LUT of the reduced function
+  };
+  Kind kind = Kind::kDropped;
+  std::vector<NetId> rin;  ///< resolved input pins (kOrig)
+  FoldedFn fn;             ///< reduced function (kLutSingle)
+  NetId fn_out = kNoNet;   ///< original output net of `fn` (kLutSingle)
+};
+
+}  // namespace
+
+OptimizeResult optimize(const Netlist& nl) {
+  const auto& cells = nl.cells();
+  const auto order = nl.topo_order();  // also validates the netlist
+
+  OptimizeStats stats;
+  stats.cells_before = cells.size();
+  stats.nets_before = nl.net_count();
+  for (const Cell& c : cells) {
+    if (c.kind == CellKind::kLut6) ++stats.luts_before;
+  }
+
+  // repr[n]: what net n's value actually is — itself, another (earlier
+  // resolved) net, or a constant. Assignments always store fully resolved
+  // targets, so chains stay shallow; resolve() walks them to be safe.
+  std::vector<NetId> repr(nl.net_count());
+  for (NetId n = 0; n < repr.size(); ++n) repr[n] = n;
+  auto resolve = [&repr](NetId n) {
+    while (repr[n] != n) n = repr[n];
+    return n;
+  };
+  auto is_const = [](NetId n) { return n == kNetGnd || n == kNetVcc; };
+  auto const_of = [](unsigned bit_val) { return bit_val ? kNetVcc : kNetGnd; };
+
+  std::vector<CellPlan> plan(cells.size());
+  // CSE: resolved structural key -> representative cell index. Keys are
+  // resolved-input based, so chains of duplicates collapse transitively in
+  // topological order.
+  std::map<std::vector<std::uint64_t>, std::uint32_t> cse;
+
+  for (const std::uint32_t ci : order) {
+    const Cell& c = cells[ci];
+    CellPlan& p = plan[ci];
+    switch (c.kind) {
+      case CellKind::kLut6: {
+        std::array<NetId, 6> rp{};
+        for (unsigned v = 0; v < 6; ++v) rp[v] = c.in[v] == kNoNet ? kNoNet : resolve(c.in[v]);
+        // Classify each output independently: constant, buffer (alias), or
+        // a function that must stay in silicon.
+        struct OutFn {
+          NetId net = kNoNet;
+          FoldedFn fn;
+          bool keep = false;
+        };
+        OutFn fns[2];
+        unsigned n_outs = 0;
+        fns[n_outs].net = c.out[0];
+        fns[n_outs++].fn = fold_lut(c.init, 6, rp.data());
+        if (c.out[1] != kNoNet) {
+          fns[n_outs].net = c.out[1];
+          fns[n_outs++].fn = fold_lut(c.init & 0xFFFFFFFFu, 5, rp.data());
+        }
+        unsigned kept = 0;
+        for (unsigned o = 0; o < n_outs; ++o) {
+          OutFn& f = fns[o];
+          if (f.fn.nv == 0) {
+            repr[f.net] = const_of(static_cast<unsigned>(f.fn.tt & 1u));
+          } else if (f.fn.nv == 1 && f.fn.tt == 0b10) {
+            repr[f.net] = f.fn.sup[0];  // buffer: pass the input through
+          } else {
+            f.keep = true;
+            ++kept;
+          }
+        }
+        if (kept == 0) {
+          ++stats.folded_cells;
+          break;
+        }
+        std::vector<std::uint64_t> key;
+        if (kept == 2) {
+          // Both halves live: keep the fused LUT6_2 (splitting would double
+          // the LUT count, the paper's area metric).
+          p.kind = CellPlan::Kind::kOrig;
+          p.rin.assign(rp.begin(), rp.end());
+          key = {1, c.init};
+          for (NetId n : rp) key.push_back(n);
+        } else {
+          const OutFn& f = fns[0].keep ? fns[0] : fns[1];
+          p.kind = CellPlan::Kind::kLutSingle;
+          p.fn = f.fn;
+          p.fn_out = f.net;
+          key = {2, f.fn.tt, f.fn.nv};
+          for (unsigned v = 0; v < f.fn.nv; ++v) key.push_back(f.fn.sup[v]);
+        }
+        const auto [it, inserted] = cse.emplace(std::move(key), ci);
+        if (!inserted) {
+          const Cell& rep = cells[it->second];
+          if (p.kind == CellPlan::Kind::kLutSingle) {
+            repr[p.fn_out] = resolve(plan[it->second].fn_out);
+          } else {
+            repr[c.out[0]] = resolve(rep.out[0]);
+            repr[c.out[1]] = resolve(rep.out[1]);
+          }
+          p = CellPlan{};
+          ++stats.cse_merged;
+        }
+        break;
+      }
+      case CellKind::kCarry4: {
+        std::array<NetId, 9> rp{};
+        for (unsigned v = 0; v < 9; ++v) rp[v] = resolve(c.in[v]);
+        // Ripple the carry symbolically: it is either a known constant or
+        // exactly the value of some existing net (CIN, a DI pin, or a CO
+        // net of this very cell), which is all we need to fold the stages
+        // truncation ties off.
+        bool ck = is_const(rp[0]);
+        unsigned cv = rp[0] == kNetVcc ? 1 : 0;
+        NetId cn = rp[0];
+        for (unsigned i = 0; i < 4; ++i) {
+          const NetId s = rp[1 + i];
+          const NetId di = rp[5 + i];
+          if (!is_const(s)) {
+            // Unknown select: both o[i] and the new carry are cell-computed;
+            // from here on the carry is exactly this stage's CO net.
+            ck = false;
+            cn = c.out[4 + i];
+            continue;
+          }
+          const unsigned sv = s == kNetVcc ? 1 : 0;
+          // XORCY: O = S xor carry.
+          if (ck) {
+            repr[c.out[i]] = const_of(sv ^ cv);
+          } else if (sv == 0) {
+            repr[c.out[i]] = cn;
+          }
+          // MUXCY: carry' = S ? carry : DI.
+          if (sv == 0) {
+            ck = is_const(di);
+            cv = di == kNetVcc ? 1 : 0;
+            cn = di;
+          }
+          if (ck) {
+            repr[c.out[4 + i]] = const_of(cv);
+          } else if (cn != c.out[4 + i]) {
+            repr[c.out[4 + i]] = cn;
+          }
+        }
+        // A stage whose carry is still cell-computed keeps the cell alive;
+        // only a fully constant/aliased chain lets it disappear.
+        bool all_resolved = true;
+        for (unsigned o = 0; o < 8; ++o) {
+          if (resolve(c.out[o]) == c.out[o]) {
+            all_resolved = false;
+            break;
+          }
+        }
+        if (all_resolved) {
+          ++stats.folded_cells;
+          break;
+        }
+        p.kind = CellPlan::Kind::kOrig;
+        p.rin.assign(rp.begin(), rp.end());
+        std::vector<std::uint64_t> key = {3};
+        for (NetId n : rp) key.push_back(n);
+        const auto [it, inserted] = cse.emplace(std::move(key), ci);
+        if (!inserted) {
+          const Cell& rep = cells[it->second];
+          for (unsigned o = 0; o < 8; ++o) {
+            if (resolve(c.out[o]) == c.out[o]) repr[c.out[o]] = resolve(rep.out[o]);
+          }
+          p = CellPlan{};
+          ++stats.cse_merged;
+        }
+        break;
+      }
+      case CellKind::kDsp: {
+        std::vector<NetId> rp(c.in.size());
+        bool all_const = true;
+        for (std::size_t v = 0; v < c.in.size(); ++v) {
+          rp[v] = resolve(c.in[v]);
+          all_const = all_const && is_const(rp[v]);
+        }
+        if (all_const) {
+          std::uint64_t a = 0;
+          std::uint64_t b = 0;
+          for (unsigned v = 0; v < c.dsp_a_width; ++v) {
+            a |= static_cast<std::uint64_t>(rp[v] == kNetVcc) << v;
+          }
+          for (std::size_t v = c.dsp_a_width; v < rp.size(); ++v) {
+            b |= static_cast<std::uint64_t>(rp[v] == kNetVcc) << (v - c.dsp_a_width);
+          }
+          const std::uint64_t prod = a * b;
+          for (std::size_t o = 0; o < c.out.size(); ++o) {
+            repr[c.out[o]] = const_of(static_cast<unsigned>(bit(prod, static_cast<unsigned>(o))));
+          }
+          ++stats.folded_cells;
+          break;
+        }
+        p.kind = CellPlan::Kind::kOrig;
+        p.rin = std::move(rp);
+        std::vector<std::uint64_t> key = {4, c.dsp_a_width, c.out.size()};
+        for (NetId n : p.rin) key.push_back(n);
+        const auto [it, inserted] = cse.emplace(std::move(key), ci);
+        if (!inserted) {
+          const Cell& rep = cells[it->second];
+          for (std::size_t o = 0; o < c.out.size(); ++o) repr[c.out[o]] = resolve(rep.out[o]);
+          p = CellPlan{};
+          ++stats.cse_merged;
+        }
+        break;
+      }
+      case CellKind::kFdre: {
+        if (c.in[0] == kNoNet) {
+          throw std::invalid_argument("fabric::optimize: open flip-flop (close_fdre missing)");
+        }
+        // The D cone may be defined later (registered feedback), so D is
+        // resolved at emission time; Q stays its own representative.
+        p.kind = CellPlan::Kind::kOrig;
+        break;
+      }
+    }
+  }
+
+  // ---- emission: DFS post-order per output cone --------------------------
+  Netlist out;
+  std::vector<NetId> remap(nl.net_count(), kNoNet);
+  remap[kNetGnd] = kNetGnd;
+  remap[kNetVcc] = kNetVcc;
+  for (const NetId in : nl.inputs()) remap[in] = out.add_input(nl.net_name(in));
+
+  std::vector<std::uint32_t> driver(nl.net_count(), kNoCell);
+  std::uint64_t kept_cells = 0;
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) {
+    if (plan[ci].kind == CellPlan::Kind::kDropped) continue;
+    ++kept_cells;
+    for (const NetId n : cells[ci].out) {
+      if (n != kNoNet) driver[n] = ci;
+    }
+  }
+
+  std::vector<bool> emitted(cells.size(), false);
+  std::vector<Netlist::OpenFf> ff_open(cells.size());
+  std::vector<std::uint32_t> ff_queue;
+
+  auto mapped = [&](NetId n) {
+    const NetId r = resolve(n);
+    const NetId m = remap[r];
+    if (m == kNoNet) throw std::runtime_error("fabric::optimize: unmapped net " + nl.net_name(r));
+    return m;
+  };
+
+  auto cell_inputs = [&](std::uint32_t ci) -> std::pair<const NetId*, std::size_t> {
+    const CellPlan& p = plan[ci];
+    if (cells[ci].kind == CellKind::kFdre) return {nullptr, 0};  // D handled via ff_queue
+    if (p.kind == CellPlan::Kind::kLutSingle) return {p.fn.sup.data(), p.fn.nv};
+    return {p.rin.data(), p.rin.size()};
+  };
+
+  auto emit_cell = [&](std::uint32_t ci) {
+    const Cell& c = cells[ci];
+    const CellPlan& p = plan[ci];
+    switch (c.kind) {
+      case CellKind::kLut6: {
+        if (p.kind == CellPlan::Kind::kLutSingle) {
+          std::array<NetId, 6> pins{kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd};
+          for (unsigned v = 0; v < p.fn.nv; ++v) pins[v] = mapped(p.fn.sup[v]);
+          remap[p.fn_out] = out.add_lut6(c.name, expand_tt(p.fn.tt, p.fn.nv), pins).o6;
+          break;
+        }
+        std::array<NetId, 6> pins{};
+        for (unsigned v = 0; v < 6; ++v) {
+          pins[v] = p.rin[v] == kNoNet ? kNetGnd : mapped(p.rin[v]);
+        }
+        const auto lut = out.add_lut6(c.name, c.init, pins, true);
+        remap[c.out[0]] = lut.o6;
+        remap[c.out[1]] = lut.o5;
+        break;
+      }
+      case CellKind::kCarry4: {
+        std::array<NetId, 4> s{};
+        std::array<NetId, 4> di{};
+        for (unsigned i = 0; i < 4; ++i) {
+          s[i] = mapped(p.rin[1 + i]);
+          di[i] = mapped(p.rin[5 + i]);
+        }
+        const auto cc = out.add_carry4(c.name, mapped(p.rin[0]), s, di);
+        for (unsigned i = 0; i < 4; ++i) {
+          remap[c.out[i]] = cc.o[i];
+          remap[c.out[4 + i]] = cc.co[i];
+        }
+        break;
+      }
+      case CellKind::kDsp: {
+        std::vector<NetId> a;
+        std::vector<NetId> b;
+        for (unsigned v = 0; v < c.dsp_a_width; ++v) a.push_back(mapped(p.rin[v]));
+        for (std::size_t v = c.dsp_a_width; v < p.rin.size(); ++v) b.push_back(mapped(p.rin[v]));
+        const auto prod = out.add_dsp(c.name, a, b, static_cast<unsigned>(c.out.size()));
+        for (std::size_t o = 0; o < c.out.size(); ++o) remap[c.out[o]] = prod[o];
+        break;
+      }
+      case CellKind::kFdre: {
+        ff_open[ci] = out.add_fdre_open(c.name);
+        remap[c.out[0]] = ff_open[ci].q;
+        ff_queue.push_back(ci);
+        break;
+      }
+    }
+    emitted[ci] = true;
+  };
+
+  struct Frame {
+    std::uint32_t ci;
+    unsigned next;
+  };
+  std::vector<Frame> stack;
+  auto emit_cone = [&](NetId root) {
+    const NetId r0 = resolve(root);
+    if (remap[r0] != kNoNet) return;
+    const std::uint32_t c0 = driver[r0];
+    if (c0 == kNoCell) {
+      throw std::runtime_error("fabric::optimize: undriven net " + nl.net_name(r0));
+    }
+    if (emitted[c0]) return;
+    stack.push_back({c0, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto [ins, n_ins] = cell_inputs(f.ci);
+      if (f.next < n_ins) {
+        const NetId raw = ins[f.next++];
+        if (raw == kNoNet) continue;  // unconnected LUT pin
+        const NetId r = resolve(raw);
+        if (remap[r] != kNoNet) continue;
+        const std::uint32_t ci = driver[r];
+        if (ci == kNoCell) {
+          throw std::runtime_error("fabric::optimize: undriven net " + nl.net_name(r));
+        }
+        if (!emitted[ci]) stack.push_back({ci, 0});
+        continue;
+      }
+      emit_cell(f.ci);
+      stack.pop_back();
+    }
+  };
+
+  for (const NetId n : nl.outputs()) emit_cone(n);
+  // Live flip-flops pull in their D cones (which may reveal more
+  // flip-flops); the open Q / deferred close pattern supports feedback.
+  for (std::size_t head = 0; head < ff_queue.size(); ++head) {
+    const std::uint32_t ci = ff_queue[head];
+    emit_cone(cells[ci].in[0]);
+    out.close_fdre(ff_open[ci], mapped(cells[ci].in[0]));
+  }
+
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    out.add_output(nl.output_names()[i], mapped(nl.outputs()[i]));
+  }
+
+  std::uint64_t emitted_count = 0;
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) emitted_count += emitted[ci] ? 1 : 0;
+  stats.dead_removed = kept_cells - emitted_count;
+  stats.cells_after = out.cells().size();
+  stats.nets_after = out.net_count();
+  for (const Cell& c : out.cells()) {
+    if (c.kind == CellKind::kLut6) ++stats.luts_after;
+  }
+  return {std::move(out), stats};
+}
+
+}  // namespace axmult::fabric

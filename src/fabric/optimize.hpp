@@ -1,0 +1,59 @@
+// Pre-evaluation netlist optimization.
+//
+// Generated multiplier netlists carry systematic redundancy: truncated
+// designs tie LUT pins to GND/VCC, compressor trees replicate identical
+// partial-product cells, and result truncation leaves whole cones driving
+// nothing. The scalar Evaluator shrugs this off (it is slow anyway) but the
+// bit-parallel tape pays for every dead word op, so both packed evaluators
+// run this pass automatically before compiling their tape:
+//   * constant folding  — LUT truth tables are cofactored against constant
+//                         pins, CARRY4 stages with constant selects are
+//                         simulated, buffers (identity LUTs) are aliased
+//                         through, fully constant cells disappear;
+//   * duplicate-cell CSE — structurally identical cells (same function,
+//                         same resolved inputs) merge, cascading in
+//                         topological order;
+//   * dead-cone elimination — cells outside every primary output's (and
+//                         live flip-flop's) fan-in are dropped;
+//   * output-cone scheduling — surviving cells are re-emitted cone by cone
+//                         in DFS post-order, so tape locality follows the
+//                         order results are consumed.
+// The result is a fresh, compact Netlist with identical I/O behavior:
+// same inputs (count, order, names), same outputs, same sequential
+// semantics (flip-flops reset to zero; live flip-flops are preserved).
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::fabric {
+
+/// Before/after counters of one optimize() run.
+struct OptimizeStats {
+  std::uint64_t cells_before = 0;
+  std::uint64_t cells_after = 0;
+  std::uint64_t luts_before = 0;
+  std::uint64_t luts_after = 0;
+  std::uint64_t nets_before = 0;
+  std::uint64_t nets_after = 0;
+  std::uint64_t folded_cells = 0;   ///< cells whose outputs became constants/aliases
+  std::uint64_t cse_merged = 0;     ///< duplicate cells merged into a representative
+  std::uint64_t dead_removed = 0;   ///< live-looking cells outside every output cone
+
+  [[nodiscard]] std::uint64_t cells_removed() const noexcept {
+    return cells_before - cells_after;
+  }
+};
+
+struct OptimizeResult {
+  Netlist netlist;
+  OptimizeStats stats;
+};
+
+/// Optimizes `nl` as described above. Throws std::runtime_error (via
+/// topo_order) on malformed netlists. The returned netlist evaluates
+/// identically to `nl` on every input vector (and cycle, if sequential).
+[[nodiscard]] OptimizeResult optimize(const Netlist& nl);
+
+}  // namespace axmult::fabric

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#if defined(__AVX512VBMI__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define AXMULT_GEMM_VBMI 1
+#endif
+
 #include "common/parallel_for.hpp"
 
 namespace axmult::nn {
@@ -12,6 +17,15 @@ namespace {
 /// and therefore the result, trivially, since cells don't race — is
 /// independent of the worker count.
 constexpr std::size_t kRowsPerChunk = 8;
+
+/// Column-tile width of the blocked kernels: 64 u32 accumulators live in
+/// L1 (and in 4 zmm registers on the AVX-512 path).
+constexpr std::size_t kNr = 64;
+
+/// k-panel length between u32 -> int64 accumulator flushes. The largest
+/// 16-bit product summed 32768 times stays below 2^31, so the packed u32
+/// tile can never wrap within a panel.
+constexpr std::size_t kPanel = 32768;
 
 template <bool kSwap>
 void gemm_rows(const MacBackend& mac, const std::uint8_t* a, const std::uint8_t* b,
@@ -31,23 +45,196 @@ void gemm_rows(const MacBackend& mac, const std::uint8_t* a, const std::uint8_t*
   }
 }
 
+/// Portable blocked kernel over columns [j_begin, n): the 256-entry u16
+/// product row of each a-value is hoisted out of the column loop (one
+/// row per table lookup stream instead of a 256 KiB u32 table walk), the
+/// j-tile accumulates in u32, and a 4-row unroll shares each b-row load
+/// across four product rows.
+void gemm_rows_blocked(const std::uint16_t* tbl, const std::uint8_t* a, const std::uint8_t* b,
+                       std::int64_t* acc, std::size_t row_begin, std::size_t row_end,
+                       std::size_t k_dim, std::size_t n, std::size_t j_begin) {
+  for (std::size_t j0 = j_begin; j0 < n; j0 += kNr) {
+    const std::size_t nb = std::min(kNr, n - j0);
+    std::size_t i = row_begin;
+    for (; i + 4 <= row_end; i += 4) {
+      std::int64_t* o0 = acc + (i + 0) * n + j0;
+      std::int64_t* o1 = acc + (i + 1) * n + j0;
+      std::int64_t* o2 = acc + (i + 2) * n + j0;
+      std::int64_t* o3 = acc + (i + 3) * n + j0;
+      std::fill(o0, o0 + nb, std::int64_t{0});
+      std::fill(o1, o1 + nb, std::int64_t{0});
+      std::fill(o2, o2 + nb, std::int64_t{0});
+      std::fill(o3, o3 + nb, std::int64_t{0});
+      for (std::size_t k0 = 0; k0 < k_dim; k0 += kPanel) {
+        const std::size_t ke = std::min(k_dim, k0 + kPanel);
+        std::uint32_t l0[kNr] = {};
+        std::uint32_t l1[kNr] = {};
+        std::uint32_t l2[kNr] = {};
+        std::uint32_t l3[kNr] = {};
+        for (std::size_t kk = k0; kk < ke; ++kk) {
+          const std::uint16_t* r0 = tbl + (std::size_t{a[(i + 0) * k_dim + kk]} << 8);
+          const std::uint16_t* r1 = tbl + (std::size_t{a[(i + 1) * k_dim + kk]} << 8);
+          const std::uint16_t* r2 = tbl + (std::size_t{a[(i + 2) * k_dim + kk]} << 8);
+          const std::uint16_t* r3 = tbl + (std::size_t{a[(i + 3) * k_dim + kk]} << 8);
+          const std::uint8_t* brow = b + kk * n + j0;
+          for (std::size_t j = 0; j < nb; ++j) {
+            const std::uint8_t bj = brow[j];
+            l0[j] += r0[bj];
+            l1[j] += r1[bj];
+            l2[j] += r2[bj];
+            l3[j] += r3[bj];
+          }
+        }
+        for (std::size_t j = 0; j < nb; ++j) {
+          o0[j] += l0[j];
+          o1[j] += l1[j];
+          o2[j] += l2[j];
+          o3[j] += l3[j];
+        }
+      }
+    }
+    for (; i < row_end; ++i) {
+      std::int64_t* out = acc + i * n + j0;
+      std::fill(out, out + nb, std::int64_t{0});
+      for (std::size_t k0 = 0; k0 < k_dim; k0 += kPanel) {
+        const std::size_t ke = std::min(k_dim, k0 + kPanel);
+        std::uint32_t local[kNr] = {};
+        for (std::size_t kk = k0; kk < ke; ++kk) {
+          const std::uint16_t* row = tbl + (std::size_t{a[i * k_dim + kk]} << 8);
+          const std::uint8_t* brow = b + kk * n + j0;
+          for (std::size_t j = 0; j < nb; ++j) local[j] += row[brow[j]];
+        }
+        for (std::size_t j = 0; j < nb; ++j) out[j] += local[j];
+      }
+    }
+  }
+}
+
+#ifdef AXMULT_GEMM_VBMI
+
+/// AVX512-VBMI kernel over the full 64-wide column tiles [0, n_full): the
+/// 256-entry byte planes of the product row live in 8 zmm registers and
+/// vpermi2b + a blend on the index MSB looks up 64 b-values per plane in
+/// two shuffles. The u16 products are rebuilt by byte interleave and
+/// widened into 4 u32 zmm accumulators; the spill un-permutes the fixed
+/// within-lane unpack pattern back to column order.
+void gemm_rows_vbmi(const std::uint8_t* lo_plane, const std::uint8_t* hi_plane,
+                    const std::uint8_t* a, const std::uint8_t* b, std::int64_t* acc,
+                    std::size_t row_begin, std::size_t row_end, std::size_t k_dim,
+                    std::size_t n, std::size_t n_full) {
+  for (std::size_t j0 = 0; j0 < n_full; j0 += kNr) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const std::uint8_t* arow = a + i * k_dim;
+      std::int64_t* out = acc + i * n + j0;
+      std::fill(out, out + kNr, std::int64_t{0});
+      for (std::size_t k0 = 0; k0 < k_dim; k0 += kPanel) {
+        const std::size_t ke = std::min(k_dim, k0 + kPanel);
+        __m512i acc0 = _mm512_setzero_si512();
+        __m512i acc1 = _mm512_setzero_si512();
+        __m512i acc2 = _mm512_setzero_si512();
+        __m512i acc3 = _mm512_setzero_si512();
+        for (std::size_t kk = k0; kk < ke; ++kk) {
+          const std::size_t base = std::size_t{arow[kk]} << 8;
+          const std::uint8_t* lp = lo_plane + base;
+          const std::uint8_t* hp = hi_plane + base;
+          const __m512i idx = _mm512_loadu_si512(b + kk * n + j0);
+          const __mmask64 msb = _mm512_movepi8_mask(idx);  // selects entries 128..255
+          const __m512i lo01 =
+              _mm512_permutex2var_epi8(_mm512_loadu_si512(lp), idx, _mm512_loadu_si512(lp + 64));
+          const __m512i lo23 = _mm512_permutex2var_epi8(_mm512_loadu_si512(lp + 128), idx,
+                                                        _mm512_loadu_si512(lp + 192));
+          const __m512i lo = _mm512_mask_blend_epi8(msb, lo01, lo23);
+          const __m512i hi01 =
+              _mm512_permutex2var_epi8(_mm512_loadu_si512(hp), idx, _mm512_loadu_si512(hp + 64));
+          const __m512i hi23 = _mm512_permutex2var_epi8(_mm512_loadu_si512(hp + 128), idx,
+                                                        _mm512_loadu_si512(hp + 192));
+          const __m512i hi = _mm512_mask_blend_epi8(msb, hi01, hi23);
+          const __m512i p01 = _mm512_unpacklo_epi8(lo, hi);  // u16 products, lane-permuted
+          const __m512i p23 = _mm512_unpackhi_epi8(lo, hi);
+          const __m512i z = _mm512_setzero_si512();
+          acc0 = _mm512_add_epi32(acc0, _mm512_unpacklo_epi16(p01, z));
+          acc1 = _mm512_add_epi32(acc1, _mm512_unpackhi_epi16(p01, z));
+          acc2 = _mm512_add_epi32(acc2, _mm512_unpacklo_epi16(p23, z));
+          acc3 = _mm512_add_epi32(acc3, _mm512_unpackhi_epi16(p23, z));
+        }
+        // Within each 128-bit lane L the unpack pattern put columns
+        // L*16 + {q*4..q*4+3} into accumulator q.
+        alignas(64) std::uint32_t t[4][16];
+        _mm512_store_si512(t[0], acc0);
+        _mm512_store_si512(t[1], acc1);
+        _mm512_store_si512(t[2], acc2);
+        _mm512_store_si512(t[3], acc3);
+        for (unsigned lane = 0; lane < 4; ++lane) {
+          for (unsigned q = 0; q < 4; ++q) {
+            for (unsigned e = 0; e < 4; ++e) {
+              out[lane * 16 + q * 4 + e] += t[q][lane * 4 + e];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+#endif  // AXMULT_GEMM_VBMI
+
+/// Blocked fast path for one row range: the SIMD kernel covers the full
+/// 64-wide column tiles, the portable blocked kernel the ragged remainder
+/// (and everything, on targets without AVX512-VBMI).
+void gemm_rows_fast(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+                    const std::uint8_t* b, std::int64_t* acc, std::size_t row_begin,
+                    std::size_t row_end, std::size_t k_dim, std::size_t n) {
+  const auto& pt = mac.packed_tables(swap_operands);
+#ifdef AXMULT_GEMM_VBMI
+  const std::size_t n_full = n - n % kNr;
+  if (n_full > 0) {
+    gemm_rows_vbmi(pt.lo.data(), pt.hi.data(), a, b, acc, row_begin, row_end, k_dim, n, n_full);
+  }
+  if (n_full < n) {
+    gemm_rows_blocked(pt.p16.data(), a, b, acc, row_begin, row_end, k_dim, n, n_full);
+  }
+#else
+  gemm_rows_blocked(pt.p16.data(), a, b, acc, row_begin, row_end, k_dim, n, 0);
+#endif
+}
+
+template <typename RowKernel>
+void gemm_sharded(std::size_t m, unsigned threads, const RowKernel& kernel) {
+  const std::uint64_t chunks = (m + kRowsPerChunk - 1) / kRowsPerChunk;
+  parallel_chunks(chunks, threads, [&] {
+    return [&kernel, m](std::uint64_t chunk) {
+      const std::size_t row_begin = static_cast<std::size_t>(chunk) * kRowsPerChunk;
+      const std::size_t row_end = std::min(m, row_begin + kRowsPerChunk);
+      kernel(row_begin, row_end);
+    };
+  });
+}
+
 }  // namespace
 
 void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
                      const std::uint8_t* b, std::int64_t* acc, std::size_t m,
                      std::size_t k_dim, std::size_t n, unsigned threads) {
   if (m == 0 || n == 0) return;
-  const std::uint64_t chunks = (m + kRowsPerChunk - 1) / kRowsPerChunk;
-  parallel_chunks(chunks, threads, [&] {
-    return [&, swap_operands](std::uint64_t chunk) {
-      const std::size_t row_begin = static_cast<std::size_t>(chunk) * kRowsPerChunk;
-      const std::size_t row_end = std::min(m, row_begin + kRowsPerChunk);
-      if (swap_operands) {
-        gemm_rows<true>(mac, a, b, acc, row_begin, row_end, k_dim, n);
-      } else {
-        gemm_rows<false>(mac, a, b, acc, row_begin, row_end, k_dim, n);
-      }
-    };
+  if (mac.has_packed_tables()) {
+    gemm_sharded(m, threads, [&](std::size_t row_begin, std::size_t row_end) {
+      gemm_rows_fast(mac, swap_operands, a, b, acc, row_begin, row_end, k_dim, n);
+    });
+    return;
+  }
+  gemm_accumulate_naive(mac, swap_operands, a, b, acc, m, k_dim, n, threads);
+}
+
+void gemm_accumulate_naive(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+                           const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                           std::size_t k_dim, std::size_t n, unsigned threads) {
+  if (m == 0 || n == 0) return;
+  gemm_sharded(m, threads, [&](std::size_t row_begin, std::size_t row_end) {
+    if (swap_operands) {
+      gemm_rows<true>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+    } else {
+      gemm_rows<false>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+    }
   });
 }
 
@@ -62,6 +249,14 @@ void gemm_reference(const std::uint8_t* a, const std::uint8_t* b, std::int64_t* 
       acc[i * n + j] = sum;
     }
   }
+}
+
+const char* gemm_kernel_name() noexcept {
+#ifdef AXMULT_GEMM_VBMI
+  return "avx512-vbmi";
+#else
+  return "portable-blocked4";
+#endif
 }
 
 }  // namespace axmult::nn

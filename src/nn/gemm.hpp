@@ -25,9 +25,25 @@ namespace axmult::nn {
 /// mul(a, b) — the paper's Cas/Ccs trick at layer granularity.
 /// Accumulation is int64 (no saturation), so the exact backend reproduces
 /// the reference integer GEMM bit-for-bit.
+///
+/// When the backend carries packed tables (every 8-bit design), the inner
+/// loop runs cache-blocked u16-table kernels — an AVX512-VBMI in-register
+/// lookup where available, a 4-row-unrolled u32-tile kernel otherwise —
+/// producing the exact same int64 results as the naive table walk.
 void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
                      const std::uint8_t* b, std::int64_t* acc, std::size_t m,
                      std::size_t k_dim, std::size_t n, unsigned threads = 0);
+
+/// The PR-2 kernel — one u32 table load per MAC, no blocking — kept as the
+/// baseline the benches measure the blocked path against.
+void gemm_accumulate_naive(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+                           const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                           std::size_t k_dim, std::size_t n, unsigned threads = 0);
+
+/// Compile-time selected blocked inner kernel ("avx512-vbmi" or
+/// "portable-blocked4"); the naive path is used for backends without
+/// packed tables regardless.
+[[nodiscard]] const char* gemm_kernel_name() noexcept;
 
 /// Scalar int64 reference: acc[i*n + j] = sum_k a[...] * b[...] (exact).
 void gemm_reference(const std::uint8_t* a, const std::uint8_t* b, std::int64_t* acc,

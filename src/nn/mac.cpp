@@ -1,5 +1,6 @@
 #include "nn/mac.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -66,6 +67,23 @@ MacBackend::MacBackend(std::string name, mult::MultiplierPtr model,
     }
   }
   metrics_ = table_metrics(table_, data_bits_);
+  if (data_bits_ == 8 &&
+      std::all_of(table_.begin(), table_.end(), [](std::uint32_t v) { return v <= 0xFFFFu; })) {
+    for (int s = 0; s < 2; ++s) {
+      auto& pt = packed_[s];
+      pt.p16.resize(table_.size());
+      pt.lo.resize(table_.size());
+      pt.hi.resize(table_.size());
+      for (unsigned a = 0; a < n; ++a) {
+        for (unsigned b = 0; b < n; ++b) {
+          const std::uint32_t v = s == 0 ? table_[(a << 8) | b] : table_[(b << 8) | a];
+          pt.p16[(a << 8) | b] = static_cast<std::uint16_t>(v);
+          pt.lo[(a << 8) | b] = static_cast<std::uint8_t>(v & 0xFFu);
+          pt.hi[(a << 8) | b] = static_cast<std::uint8_t>(v >> 8);
+        }
+      }
+    }
+  }
   if (netlist) {
     const fabric::Netlist nl = netlist();
     const auto area = nl.area();

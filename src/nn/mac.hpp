@@ -19,6 +19,7 @@
 // only ever indexes the low 8 bits of each operand port.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -71,12 +72,32 @@ class MacBackend {
     return table_[(b << data_bits_) | a];
   }
 
+  /// Auxiliary layouts of the product table for the blocked GEMM kernels
+  /// (nn/gemm.cpp): a narrow uint16 copy (one cache line holds 32 products
+  /// instead of 16) plus its low/high byte planes for the in-register
+  /// byte-shuffle lookup. Built only when the operand space is 8x8 and
+  /// every tabulated product fits in 16 bits — true for all the paper's
+  /// 8-bit designs; wide-hardware backends whose approximation overshoots
+  /// 0xFFFF fall back to the uint32 table.
+  struct PackedTables {
+    std::vector<std::uint16_t> p16;  ///< u16 products, row a = 256 entries
+    std::vector<std::uint8_t> lo;    ///< p16 & 0xFF
+    std::vector<std::uint8_t> hi;    ///< p16 >> 8
+  };
+  [[nodiscard]] bool has_packed_tables() const noexcept { return !packed_[0].p16.empty(); }
+  /// `swapped` selects the transposed layout (row b, column a), so the
+  /// operand-swap dispatch runs the same kernel on different tables.
+  [[nodiscard]] const PackedTables& packed_tables(bool swapped) const noexcept {
+    return packed_[swapped ? 1 : 0];
+  }
+
  private:
   std::string name_;
   mult::MultiplierPtr model_;
   unsigned data_bits_ = 8;
   bool exact_ = true;
   std::vector<std::uint32_t> table_;
+  std::array<PackedTables, 2> packed_;
   MacCost cost_;
   error::ErrorMetrics metrics_;
 };

@@ -35,58 +35,66 @@ double cell_cap(const Cell& c, const PowerModel& model) {
   return 0.0;
 }
 
-/// Combinational fast path: the random vector stream is packed 64 per word
-/// (lane l = vector index base+l), evaluated through the bit-parallel
-/// backend, and toggles are counted with popcount over lane-adjacent
-/// transition masks. Draws the RNG in exactly the scalar order, so the
-/// simulated vector sequence is identical to the scalar path's.
+/// Combinational fast path: the random vector stream is packed 64*W per
+/// window (lane l = vector index base+l), evaluated through the wide-lane
+/// bit-parallel backend, and toggles are counted with popcount over
+/// lane-adjacent transition masks. Draws the RNG in exactly the scalar
+/// order (vector-major, input-minor) and folds the per-64-vector words in
+/// stream order, so both the simulated sequence and the long-double sum are
+/// bit-identical for every width W — widening only batches the evaluation.
+/// The evaluator runs with optimize=false: toggle counting indexes
+/// net_values() by the original NetIds and must see every physical net.
+template <unsigned W>
 long double switched_cap_packed(const fabric::Netlist& nl, const PowerModel& model,
                                 const std::vector<double>& cap) {
-  fabric::BitParallelEvaluator ev(nl);
+  fabric::WideEvaluator<W> ev(nl, {.optimize = false});
   Xoshiro256 rng(model.seed);
   const std::size_t n_inputs = nl.inputs().size();
   const std::size_t nets = nl.net_count();
   const std::uint64_t total_vectors = model.vectors + 1;  // v0 + one per transition
 
-  std::vector<std::uint64_t> in_words(n_inputs);
+  std::vector<std::uint64_t> in_words(n_inputs * W);
   std::vector<std::uint64_t> tmask(nets, 0);
   std::vector<std::uint8_t> prev_last(nets, 0);
   long double switched = 0.0L;
 
-  for (std::uint64_t w0 = 0; w0 < total_vectors; w0 += 64) {
-    const unsigned lanes =
-        static_cast<unsigned>(std::min<std::uint64_t>(64, total_vectors - w0));
+  for (std::uint64_t v0 = 0; v0 < total_vectors; v0 += 64 * W) {
+    const std::uint64_t span = std::min<std::uint64_t>(64 * W, total_vectors - v0);
     std::fill(in_words.begin(), in_words.end(), 0);
-    for (unsigned l = 0; l < lanes; ++l) {
+    for (std::uint64_t l = 0; l < span; ++l) {
       for (std::size_t i = 0; i < n_inputs; ++i) {
-        in_words[i] |= static_cast<std::uint64_t>(rng() & 1u) << l;
+        in_words[i * W + l / 64] |= static_cast<std::uint64_t>(rng() & 1u) << (l % 64);
       }
     }
     (void)ev.eval(in_words);
     const auto& val = ev.net_values();
 
-    // Transition l is "into vector w0+l" (from the previous lane, or from
-    // the previous window's last lane at l = 0). Vector 0 has no inbound
-    // transition; lanes beyond the stream tail are invalid.
-    std::uint64_t valid = lanes == 64 ? ~std::uint64_t{0} : low_mask(lanes);
-    if (w0 == 0) valid &= ~std::uint64_t{1};
+    for (unsigned w = 0; w * 64 < span; ++w) {
+      const std::uint64_t w0 = v0 + std::uint64_t{w} * 64;
+      const unsigned lanes = static_cast<unsigned>(std::min<std::uint64_t>(64, span - w * 64));
+      // Transition l is "into vector w0+l" (from the previous lane, or from
+      // the previous word's last lane at l = 0). Vector 0 has no inbound
+      // transition; lanes beyond the stream tail are invalid.
+      std::uint64_t valid = lanes == 64 ? ~std::uint64_t{0} : low_mask(lanes);
+      if (w0 == 0) valid &= ~std::uint64_t{1};
 
-    for (NetId n = 2; n < nets; ++n) {
-      const std::uint64_t w = val[n];
-      const std::uint64_t carry_in = prev_last[n] ? 1u : 0u;
-      const std::uint64_t t = (w ^ ((w << 1) | carry_in)) & valid;
-      tmask[n] = t;
-      if (t != 0) switched += cap[n] * popcount(t);
-      prev_last[n] = static_cast<std::uint8_t>((w >> (lanes - 1)) & 1u);
-    }
-    // Cell-internal switching: charge each cell once per transition in
-    // which any of its outputs toggled.
-    for (const Cell& c : nl.cells()) {
-      std::uint64_t m = 0;
-      for (NetId out : c.out) {
-        if (out != fabric::kNoNet) m |= tmask[out];
+      for (NetId n = 2; n < nets; ++n) {
+        const std::uint64_t word = val[std::size_t{n} * W + w];
+        const std::uint64_t carry_in = prev_last[n] ? 1u : 0u;
+        const std::uint64_t t = (word ^ ((word << 1) | carry_in)) & valid;
+        tmask[n] = t;
+        if (t != 0) switched += cap[n] * popcount(t);
+        prev_last[n] = static_cast<std::uint8_t>((word >> (lanes - 1)) & 1u);
       }
-      if (m != 0) switched += cell_cap(c, model) * popcount(m);
+      // Cell-internal switching: charge each cell once per transition in
+      // which any of its outputs toggled.
+      for (const Cell& c : nl.cells()) {
+        std::uint64_t m = 0;
+        for (NetId out : c.out) {
+          if (out != fabric::kNoNet) m |= tmask[out];
+        }
+        if (m != 0) switched += cell_cap(c, model) * popcount(m);
+      }
     }
   }
   return switched;
@@ -134,8 +142,13 @@ long double switched_cap_scalar(const fabric::Netlist& nl, const PowerModel& mod
 PowerReport estimate(const fabric::Netlist& nl, const PowerModel& model,
                      const timing::DelayModel& delay_model) {
   const auto cap = net_caps(nl, model);
-  const long double switched = nl.is_sequential() ? switched_cap_scalar(nl, model, cap)
-                                                  : switched_cap_packed(nl, model, cap);
+  // Widest profitable lane count for the vector budget: the windows batch
+  // evaluation only, so every width produces bit-identical results.
+  const long double switched =
+      nl.is_sequential()          ? switched_cap_scalar(nl, model, cap)
+      : model.vectors + 1 >= 512  ? switched_cap_packed<8>(nl, model, cap)
+      : model.vectors + 1 >= 128  ? switched_cap_packed<2>(nl, model, cap)
+                                  : switched_cap_packed<1>(nl, model, cap);
   PowerReport report;
   if (model.vectors > 0) {
     report.switched_cap_per_op = static_cast<double>(switched / model.vectors);

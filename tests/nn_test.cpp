@@ -50,6 +50,55 @@ TEST(NnGemm, ExactBackendBitMatchesInt64Reference) {
   }
 }
 
+TEST(NnGemm, BlockedKernelsBitMatchNaivePath) {
+  // The cache-blocked kernels (portable tile and, where compiled in, the
+  // AVX512-VBMI lookup) must reproduce the naive one-load-per-MAC walk
+  // exactly, for both operand orders, including ragged column tiles and
+  // row tails around the 4-row unroll and 8-row chunk boundaries.
+  Xoshiro256 rng(29);
+  struct Shape { std::size_t m, k, n; };
+  const Shape shapes[] = {{1, 7, 1},   {3, 16, 64},  {13, 200, 77}, {8, 144, 64},
+                          {17, 31, 65}, {9, 300, 128}, {5, 64, 63}};
+  const MacBackend backends[] = {
+      table_backend("exact", mult::make_accurate(8)),
+      table_backend("ca8", mult::make_ca(8)),
+      table_backend("cc8", mult::make_cc(8)),
+      table_backend("trunc8_4", mult::make_result_truncated(8, 4)),
+      table_backend("ca16", mult::make_ca(16)),
+  };
+  for (const MacBackend& backend : backends) {
+    for (const auto& s : shapes) {
+      const auto a = random_bytes(s.m * s.k, 8, rng);
+      const auto b = random_bytes(s.k * s.n, 8, rng);
+      for (const bool swap : {false, true}) {
+        std::vector<std::int64_t> fast(s.m * s.n, -1), naive(s.m * s.n, -2);
+        gemm_accumulate(backend, swap, a.data(), b.data(), fast.data(), s.m, s.k, s.n);
+        gemm_accumulate_naive(backend, swap, a.data(), b.data(), naive.data(), s.m, s.k, s.n);
+        ASSERT_EQ(fast, naive) << backend.name() << " swap=" << swap << " " << s.m << "x" << s.k
+                               << "x" << s.n;
+      }
+    }
+  }
+}
+
+TEST(NnGemm, PackedTablesGateOnProductWidth) {
+  // 8-bit designs always pack; a 4-bit data path doesn't (table too small
+  // to be worth a second layout, and the kernel assumes 256-entry rows).
+  EXPECT_TRUE(table_backend("ca8", mult::make_ca(8)).has_packed_tables());
+  EXPECT_FALSE(table_backend("approx4", mult::make_ca(4)).has_packed_tables());
+  // Swapped tables are the transpose of the plain ones.
+  const MacBackend cc = table_backend("cc8", mult::make_cc(8));
+  const auto& plain = cc.packed_tables(false);
+  const auto& swapped = cc.packed_tables(true);
+  for (unsigned a = 0; a < 256; a += 37) {
+    for (unsigned b = 0; b < 256; b += 41) {
+      EXPECT_EQ(plain.p16[(a << 8) | b], swapped.p16[(b << 8) | a]);
+      EXPECT_EQ(plain.p16[(a << 8) | b] & 0xFF, plain.lo[(a << 8) | b]);
+      EXPECT_EQ(plain.p16[(a << 8) | b] >> 8, plain.hi[(a << 8) | b]);
+    }
+  }
+}
+
 TEST(NnGemm, DeterministicAcrossThreadCounts) {
   const MacBackend ca = table_backend("ca8", mult::make_ca(8));
   Xoshiro256 rng(5);

@@ -1,0 +1,177 @@
+// fabric::optimize() correctness: the optimized netlist must be a drop-in
+// functional replacement for the original. Every catalog multiplier is
+// checked exhaustively over the 8-bit operand space (sampled at 16 bits),
+// sequential netlists cycle-accurately, and a synthetic netlist pins down
+// the individual transforms (constant folding, CSE, dead-cone removal).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/catalog.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "fabric/bitparallel.hpp"
+#include "fabric/netlist.hpp"
+#include "fabric/optimize.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::fabric {
+namespace {
+
+void expect_stats_sane(const OptimizeStats& s) {
+  EXPECT_LE(s.cells_after, s.cells_before);
+  EXPECT_LE(s.luts_after, s.luts_before);
+  EXPECT_EQ(s.cells_before - s.cells_after, s.cells_removed());
+}
+
+/// Replays the exhaustive operand space through the scalar Evaluator on the
+/// original netlist and the packed evaluator on the *optimized* netlist
+/// (optimization off — it already ran) and asserts identical products.
+void expect_optimized_equivalent(const Netlist& nl, unsigned width) {
+  const OptimizeResult opt = optimize(nl);
+  expect_stats_sane(opt.stats);
+  Evaluator scalar(nl);
+  BitParallelEvaluator packed(opt.netlist, {.optimize = false});
+  const std::uint64_t total = std::uint64_t{1} << (2 * width);
+  std::uint64_t av[64];
+  std::uint64_t bv[64];
+  std::uint64_t pv[64];
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    const std::size_t lanes = static_cast<std::size_t>(std::min<std::uint64_t>(64, total - base));
+    for (std::size_t l = 0; l < lanes; ++l) {
+      av[l] = (base + l) & low_mask(width);
+      bv[l] = (base + l) >> width;
+    }
+    packed.eval_mul_batch(av, bv, pv, lanes, width, width);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ASSERT_EQ(pv[l], scalar.eval_word(av[l], width, bv[l], width))
+          << "a=" << av[l] << " b=" << bv[l];
+    }
+  }
+}
+
+TEST(Optimize, EveryCatalogDesignExhaustive8Bit) {
+  for (const auto& d : analysis::paper_designs(8)) {
+    if (!d.has_netlist()) continue;
+    SCOPED_TRACE(d.name);
+    expect_optimized_equivalent(d.netlist(), 8);
+  }
+}
+
+TEST(Optimize, EvoFamilyExhaustive8Bit) {
+  for (const auto& d : analysis::evo_family_8x8()) {
+    if (!d.has_netlist()) continue;
+    SCOPED_TRACE(d.name);
+    expect_optimized_equivalent(d.netlist(), 8);
+  }
+}
+
+TEST(Optimize, PaperDesignsExhaustive4Bit) {
+  for (const auto& d : analysis::paper_designs(4)) {
+    if (!d.has_netlist()) continue;
+    SCOPED_TRACE(d.name);
+    expect_optimized_equivalent(d.netlist(), 4);
+  }
+}
+
+TEST(Optimize, CatalogDesignsSampled16Bit) {
+  Xoshiro256 rng(0xA1B2C3D4);
+  for (const auto& d : analysis::paper_designs(16)) {
+    if (!d.has_netlist()) continue;
+    SCOPED_TRACE(d.name);
+    const Netlist nl = d.netlist();
+    const OptimizeResult opt = optimize(nl);
+    expect_stats_sane(opt.stats);
+    Evaluator scalar(nl);
+    Evaluator optimized(opt.netlist);
+    for (int i = 0; i < 2048; ++i) {
+      const std::uint64_t a = rng() & 0xFFFF;
+      const std::uint64_t b = rng() & 0xFFFF;
+      ASSERT_EQ(optimized.eval_word(a, 16, b, 16), scalar.eval_word(a, 16, b, 16))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Optimize, SequentialPipelineMatchesCycleAccurately) {
+  const Netlist nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const OptimizeResult opt = optimize(nl);
+  expect_stats_sane(opt.stats);
+  SeqEvaluator scalar(nl);
+  SeqEvaluator optimized(opt.netlist);
+  for (unsigned t = 0; t < multgen::pipeline_latency(8) + 8; ++t) {
+    const std::uint64_t a = (t * 37 + 11) & 0xFF;
+    const std::uint64_t b = (t * 101 + 3) & 0xFF;
+    ASSERT_EQ(optimized.step_word(a, 8, b, 8), scalar.step_word(a, 8, b, 8)) << "cycle " << t;
+  }
+}
+
+TEST(Optimize, RegisteredFeedbackMatchesCycleAccurately) {
+  const Netlist nl = multgen::make_mac_netlist(8, mult::Summation::kAccurate, 24);
+  const OptimizeResult opt = optimize(nl);
+  SeqEvaluator scalar(nl);
+  SeqEvaluator optimized(opt.netlist);
+  for (unsigned t = 0; t < 12; ++t) {
+    const std::uint64_t a = (t * 53 + 7) & 0xFF;
+    const std::uint64_t b = (t * 29 + 17) & 0xFF;
+    ASSERT_EQ(optimized.step_word(a, 8, b, 8), scalar.step_word(a, 8, b, 8)) << "cycle " << t;
+  }
+}
+
+TEST(Optimize, FoldsAliasesMergesAndRemovesDeadCells) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  // Two identical AND cells -> CSE keeps one.
+  const auto and1 = nl.add_lut6("and1", 0x8888888888888888ull, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  const auto and2 = nl.add_lut6("and2", 0x8888888888888888ull, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  // XOR against GND is a buffer of `a` -> folded to an alias.
+  const auto buf = nl.add_lut6("buf", 0x6666666666666666ull, {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  // AND against GND is constant 0 -> folded to GND.
+  const auto zero = nl.add_lut6("zero", 0x8888888888888888ull, {a, kNetGnd, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  // Never reaches an output -> dead.
+  (void)nl.add_lut6("dead", 0x6666666666666666ull, {a, b, kNetGnd, kNetGnd, kNetGnd, kNetGnd});
+  nl.add_output("p0", and1.o6);
+  nl.add_output("p1", and2.o6);
+  nl.add_output("p2", buf.o6);
+  nl.add_output("p3", zero.o6);
+
+  const OptimizeResult opt = optimize(nl);
+  expect_stats_sane(opt.stats);
+  EXPECT_GE(opt.stats.cse_merged, 1u);
+  EXPECT_GE(opt.stats.folded_cells, 2u);  // buf + zero
+  EXPECT_GE(opt.stats.dead_removed, 1u);
+  EXPECT_EQ(opt.stats.cells_after, 1u);  // only one AND survives
+
+  Evaluator scalar(nl);
+  Evaluator optimized(opt.netlist);
+  for (std::uint8_t va = 0; va < 2; ++va) {
+    for (std::uint8_t vb = 0; vb < 2; ++vb) {
+      const std::vector<std::uint8_t> in{va, vb};
+      ASSERT_EQ(optimized.eval(in), scalar.eval(in)) << "a=" << int(va) << " b=" << int(vb);
+    }
+  }
+}
+
+TEST(Optimize, PackedEvaluatorsReportStats) {
+  const Netlist nl = multgen::make_ca_netlist(8);
+  BitParallelEvaluator on(nl);  // optimization defaults on
+  EXPECT_GT(on.optimize_stats().cells_before, 0u);
+  EXPECT_LE(on.evaluated_netlist().cells().size(), nl.cells().size());
+  BitParallelEvaluator off(nl, {.optimize = false});
+  EXPECT_EQ(off.optimize_stats().cells_before, 0u);
+  EXPECT_EQ(&off.evaluated_netlist(), &nl);
+}
+
+TEST(Optimize, RejectsOpenFlipFlop) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)nl.add_fdre_open("ff");
+  nl.add_output("p0", a);
+  EXPECT_THROW((void)optimize(nl), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axmult::fabric
