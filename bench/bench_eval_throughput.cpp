@@ -174,10 +174,15 @@ int main(int argc, char** argv) {
   const std::string path = bench::bench_json_path("BENCH_eval_throughput.json", smoke);
   std::ofstream json(path);
   json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"threads\": " << threads
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
        << ",\n  \"lane_widths_words\": [1, 2, 4, 8],\n  \"replay\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    json << "    {\"name\": \"" << r.name << "\", \"scalar_mpairs_per_s\": " << r.scalar_mpairs
+    const auto& c = cases[i];
+    json << "    {\"name\": \"" << r.name
+         << "\", \"scalar_pairs\": " << c.scalar_pairs
+         << ", \"packed_pairs\": " << c.packed_pairs
+         << ", \"scalar_mpairs_per_s\": " << r.scalar_mpairs
          << ", \"bitparallel_mpairs_per_s\": " << r.w_mpairs[0]
          << ", \"mpairs_per_s_w2\": " << r.w_mpairs[1]
          << ", \"mpairs_per_s_w4\": " << r.w_mpairs[2]
@@ -185,7 +190,8 @@ int main(int argc, char** argv) {
          << ", \"batch_api_mpairs_per_s\": " << r.batch_mpairs
          << ", \"speedup\": " << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"sweep_netlist_exhaustive_8x8_mpairs_per_s\": " << sweep_mpairs << "\n}\n";
+  json << "  ],\n  \"sweep_pairs\": " << 65536 * sweeps
+       << ",\n  \"sweep_netlist_exhaustive_8x8_mpairs_per_s\": " << sweep_mpairs << "\n}\n";
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
   // smoke shape keeps n = 64 so the full-tile SIMD path still runs.
   const std::size_t m = smoke ? 32 : 256, k = smoke ? 48 : 144, n = 64;
   const double budget = smoke ? 0.01 : 0.2;
-  Xoshiro256 rng(3);
+  const std::uint64_t data_seed = 3;
+  Xoshiro256 rng(data_seed);
   std::vector<std::uint8_t> a(m * k), b(k * n);
   for (auto& v : a) v = static_cast<std::uint8_t>(rng.below(256));
   for (auto& v : b) v = static_cast<std::uint8_t>(rng.below(256));
@@ -102,10 +103,12 @@ int main(int argc, char** argv) {
   // approximate backend; the table dispatch makes all backends run at the
   // same speed, so one suffices here).
   Sequential net = make_digits_network();
-  const Dataset calib = make_digits(smoke ? 32 : 128, 7);
+  const std::uint64_t calib_seed = 7, batch_seed = 5;
+  const std::size_t calib_samples = smoke ? 32 : 128, batch_samples = smoke ? 32 : 256;
+  const Dataset calib = make_digits(calib_samples, calib_seed);
   net.calibrate(calib.images, 8);
   net.set_backend(make_mac_backend("ca8"));
-  const Dataset batch = make_digits(smoke ? 32 : 256, 5);
+  const Dataset batch = make_digits(batch_samples, batch_seed);
   const QTensor inputs = net.quantize_input(batch.images);
   (void)net.run(inputs, threads);  // warm-up
   std::uint64_t inferences = 0;
@@ -123,8 +126,12 @@ int main(int argc, char** argv) {
   const std::string path = bench::bench_json_path("BENCH_nn_gemm.json", smoke);
   std::ofstream json(path);
   json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"threads\": " << threads
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
        << ",\n  \"kernel\": \"" << gemm_kernel_name() << "\",\n  \"gemm_shape\": [" << m << ", "
-       << k << ", " << n << "],\n  \"backends\": [\n";
+       << k << ", " << n << "],\n  \"data_seed\": " << data_seed
+       << ",\n  \"calib_seed\": " << calib_seed << ",\n  \"calib_samples\": " << calib_samples
+       << ",\n  \"batch_seed\": " << batch_seed << ",\n  \"batch_samples\": " << batch_samples
+       << ",\n  \"backends\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"name\": \"" << r.backend

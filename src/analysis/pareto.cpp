@@ -1,6 +1,8 @@
 #include "analysis/pareto.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 namespace axmult::analysis {
 
@@ -27,6 +29,82 @@ std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points) {
   std::sort(front.begin(), front.end(),
             [](const ParetoPoint& a, const ParetoPoint& b) { return a.x < b.x; });
   return front;
+}
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<unsigned> nondominated_rank(const std::vector<std::vector<double>>& costs) {
+  const std::size_t n = costs.size();
+  std::vector<unsigned> rank(n, 0);
+  if (n == 0) return rank;
+  // Deb's bookkeeping: how many points dominate i, and whom i dominates.
+  std::vector<unsigned> dominated_by(n, 0);
+  std::vector<std::vector<std::size_t>> dominating(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dominates(costs[i], costs[j])) {
+        dominating[i].push_back(j);
+        ++dominated_by[j];
+      } else if (dominates(costs[j], costs[i])) {
+        dominating[j].push_back(i);
+        ++dominated_by[i];
+      }
+    }
+  }
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dominated_by[i] == 0) current.push_back(i);
+  }
+  unsigned level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : current) {
+      rank[i] = level;
+      for (const std::size_t j : dominating[i]) {
+        if (--dominated_by[j] == 0) next.push_back(j);
+      }
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return rank;
+}
+
+std::vector<double> crowding_distance(const std::vector<std::vector<double>>& costs,
+                                      const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const std::size_t m = costs[front[0]].size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(n);
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double va = costs[front[a]][obj];
+      const double vb = costs[front[b]][obj];
+      // Stable tie-break by point index keeps the result deterministic.
+      return va != vb ? va < vb : front[a] < front[b];
+    });
+    const double lo = costs[front[order.front()]][obj];
+    const double hi = costs[front[order.back()]][obj];
+    dist[order.front()] = kInf;
+    dist[order.back()] = kInf;
+    if (hi <= lo) continue;  // degenerate objective: no spread information
+    for (std::size_t k = 1; k + 1 < n; ++k) {
+      if (dist[order[k]] == kInf) continue;
+      dist[order[k]] +=
+          (costs[front[order[k + 1]]][obj] - costs[front[order[k - 1]]][obj]) / (hi - lo);
+    }
+  }
+  return dist;
 }
 
 }  // namespace axmult::analysis

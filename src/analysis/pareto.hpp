@@ -1,6 +1,9 @@
-// Pareto-front extraction for the design-space studies of Figs. 9/10.
+// Pareto-front extraction for the design-space studies of Figs. 9/10 and
+// the multi-objective machinery (non-dominated sorting + crowding distance)
+// behind the src/dse/ search engine.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -20,5 +23,26 @@ void mark_pareto_front(std::vector<ParetoPoint>& points);
 
 /// Returns only the non-dominated points, sorted by x.
 [[nodiscard]] std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+// ---- N-objective machinery (all objectives minimized) --------------------
+
+/// True when `a` dominates `b`: a <= b on every objective and a < b on at
+/// least one. Equal cost vectors do not dominate each other (ties and
+/// duplicate points all stay non-dominated). Vectors must be equal length.
+[[nodiscard]] bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fast non-dominated sort (Deb's NSGA-II): rank[i] is the index of the
+/// non-dominated front point i belongs to — 0 for the Pareto front, 1 for
+/// the front once rank-0 points are removed, and so on. O(n^2 * m).
+[[nodiscard]] std::vector<unsigned> nondominated_rank(
+    const std::vector<std::vector<double>>& costs);
+
+/// NSGA-II crowding distance of the points whose indices (into `costs`)
+/// are listed in `front`, returned in the same order as `front`. Boundary
+/// points of each objective get +infinity; degenerate objectives (all
+/// values equal) contribute nothing. Ties sort stably by index, so the
+/// result is deterministic for any input order.
+[[nodiscard]] std::vector<double> crowding_distance(const std::vector<std::vector<double>>& costs,
+                                                    const std::vector<std::size_t>& front);
 
 }  // namespace axmult::analysis

@@ -1,11 +1,38 @@
-// xoshiro256** PRNG (Blackman & Vigna), self-contained so experiment
-// sampling is reproducible across platforms and standard libraries.
+// Shared deterministic randomness: splitmix64 + xoshiro256** (Blackman &
+// Vigna), self-contained so experiment sampling is reproducible across
+// platforms and standard libraries.
+//
+// Every stochastic path in the repo — sampled error sweeps, the Gaussian
+// operand sources, power-model toggle vectors, DSE mutation/selection — is
+// seeded through this header, so one (seed, stream) pair pins an entire
+// experiment.
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace axmult {
+
+/// One splitmix64 step: advances `state` and returns the next value.
+/// This is the canonical seed-expansion function (also how Xoshiro256
+/// derives its four lanes from a single 64-bit seed).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of sub-stream `stream` from a base seed. Used by the
+/// chunked sampled sweeps (stream = chunk begin index) and the DSE engine
+/// (stream = generation / operator id) so that parallel consumers draw
+/// from disjoint, thread-count-independent streams.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                                         std::uint64_t stream) noexcept {
+  return seed ^ ((stream + 1) * 0x9E3779B97F4A7C15ULL);
+}
 
 /// Deterministic, fast 64-bit PRNG used by all sampled experiments.
 ///
@@ -18,13 +45,7 @@ class Xoshiro256 {
   /// Seeds the four lanes from a single 64-bit seed via splitmix64.
   explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
     std::uint64_t x = seed;
-    for (auto& lane : state_) {
-      x += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      lane = z ^ (z >> 31);
-    }
+    for (auto& lane : state_) lane = splitmix64(x);
   }
 
   static constexpr result_type min() noexcept { return 0; }
@@ -63,5 +84,14 @@ class Xoshiro256 {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+/// One standard-normal draw (Box-Muller, cosine branch; two uniforms per
+/// value). The shared implementation behind every Gaussian operand source.
+[[nodiscard]] inline double gaussian01(Xoshiro256& rng) noexcept {
+  double u1 = rng.uniform01();
+  if (u1 < 1e-12) u1 = 1e-12;
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
 
 }  // namespace axmult

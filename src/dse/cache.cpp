@@ -1,0 +1,104 @@
+#include "dse/cache.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "dse/jsonio.hpp"
+
+namespace axmult::dse {
+
+namespace {
+
+/// Shortest representation that round-trips a double exactly.
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string EvalCache::serialize_objectives(const Objectives& obj) {
+  std::ostringstream os;
+  os << "\"mre\": " << fmt_double(obj.mre) << ", \"nmed\": " << fmt_double(obj.nmed)
+     << ", \"errprob\": " << fmt_double(obj.error_probability)
+     << ", \"maxerr\": " << obj.max_error << ", \"luts\": " << obj.luts
+     << ", \"carry4\": " << obj.carry4 << ", \"ffs\": " << obj.ffs
+     << ", \"delay_ns\": " << fmt_double(obj.critical_path_ns)
+     << ", \"energy_au\": " << fmt_double(obj.energy_au)
+     << ", \"edp_au\": " << fmt_double(obj.edp_au) << ", \"samples\": " << obj.samples
+     << ", \"seed\": " << obj.seed << ", \"exhaustive\": " << (obj.exhaustive ? "true" : "false");
+  return os.str();
+}
+
+std::optional<Objectives> EvalCache::parse_objectives(const std::string& line) {
+  Objectives obj;
+  const auto mre = jsonio::find_number(line, "mre");
+  const auto luts = jsonio::find_number(line, "luts");
+  if (!mre || !luts) return std::nullopt;
+  obj.mre = *mre;
+  obj.luts = static_cast<std::uint64_t>(*luts);
+  obj.nmed = jsonio::find_number(line, "nmed").value_or(0.0);
+  obj.error_probability = jsonio::find_number(line, "errprob").value_or(0.0);
+  obj.max_error = static_cast<std::uint64_t>(jsonio::find_number(line, "maxerr").value_or(0.0));
+  obj.carry4 = static_cast<std::uint64_t>(jsonio::find_number(line, "carry4").value_or(0.0));
+  obj.ffs = static_cast<std::uint64_t>(jsonio::find_number(line, "ffs").value_or(0.0));
+  obj.critical_path_ns = jsonio::find_number(line, "delay_ns").value_or(0.0);
+  obj.energy_au = jsonio::find_number(line, "energy_au").value_or(0.0);
+  obj.edp_au = jsonio::find_number(line, "edp_au").value_or(0.0);
+  obj.samples = static_cast<std::uint64_t>(jsonio::find_number(line, "samples").value_or(0.0));
+  obj.seed = static_cast<std::uint64_t>(jsonio::find_number(line, "seed").value_or(0.0));
+  obj.exhaustive = jsonio::find_bool(line, "exhaustive").value_or(false);
+  return obj;
+}
+
+EvalCache::EvalCache(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in) return;  // fresh cache — the first insert creates the file
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto version = jsonio::find_number(line, "v");
+    if (!version || static_cast<unsigned>(*version) != kEvaluatorVersion) continue;
+    const auto key = jsonio::find_string(line, "key");
+    if (!key) continue;
+    const auto obj = parse_objectives(line);
+    if (!obj) continue;
+    entries_[*key] = *obj;  // later duplicates win
+  }
+  loaded_ = entries_.size();
+}
+
+std::string EvalCache::full_key(const Config& c, const EvalOptions& opts) {
+  return opts.context() + "|" + config_key(c);
+}
+
+std::optional<Objectives> EvalCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void EvalCache::insert(const std::string& key, const Objectives& obj) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, obj);
+  if (!inserted) return;  // already cached — keep the file append-only
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;  // unwritable cache path degrades to in-memory
+  out << "{\"v\": " << kEvaluatorVersion << ", \"key\": \"" << key << "\", "
+      << serialize_objectives(obj) << "}\n";
+}
+
+std::size_t EvalCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace axmult::dse

@@ -1,0 +1,68 @@
+// Persistent evaluation cache of the DSE engine.
+//
+// Config evaluation is the expensive step of a search (an exhaustive 8x8
+// netlist sweep plus STA plus toggle simulation per point), and searches
+// revisit points constantly — across NSGA-II generations, across resumed
+// runs, across different strategies over the same space. The cache
+// memoizes `full key -> Objectives` where the full key is the evaluator
+// context (version, operand distribution, sample budget) joined with the
+// canonical config key, so a cache file is safely shared between searches
+// with different options: mismatching contexts simply miss.
+//
+// On-disk format: JSON lines, one entry per line, append-only. A load
+// tolerates a missing file (fresh cache), skips malformed lines and
+// entries from other evaluator versions, and lets later duplicates win
+// (last write is the freshest).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "dse/evaluate.hpp"
+
+namespace axmult::dse {
+
+class EvalCache {
+ public:
+  /// Binds the cache to `path` and loads any existing entries. An empty
+  /// path makes a purely in-memory cache (no persistence).
+  explicit EvalCache(std::string path = {});
+
+  /// Full cache key of one evaluation: `opts.context() + "|" + config_key`.
+  [[nodiscard]] static std::string full_key(const Config& c, const EvalOptions& opts);
+
+  /// Thread-safe lookup; counts a hit or a miss.
+  [[nodiscard]] std::optional<Objectives> lookup(const std::string& key);
+
+  /// Thread-safe insert; appends to the backing file when persistent.
+  void insert(const std::string& key, const Objectives& obj);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  /// Entries served from the file loaded at construction.
+  [[nodiscard]] std::size_t loaded_entries() const noexcept { return loaded_; }
+
+  /// One cache line (exposed for the front/checkpoint writers, which store
+  /// objective vectors in the same dialect).
+  [[nodiscard]] static std::string serialize_objectives(const Objectives& obj);
+  [[nodiscard]] static std::optional<Objectives> parse_objectives(const std::string& line);
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Objectives> entries_;
+  std::size_t loaded_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace axmult::dse

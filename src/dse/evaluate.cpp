@@ -1,0 +1,442 @@
+#include "dse/evaluate.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bits.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "dse/cache.hpp"
+#include "error/metrics.hpp"
+#include "fabric/lut6.hpp"
+#include "fabric/optimize.hpp"
+#include "multgen/builders.hpp"
+#include "multgen/generators.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::dse {
+
+namespace {
+
+using multgen::BitVec;
+
+// ---- perturbed 4x2 leaf ---------------------------------------------------
+
+LeafTables perturbed_tables(const Config& c) {
+  LeafTables tables = approx_4x2_tables();
+  for (const TableFlip& f : c.flips) tables[f.output] ^= std::uint64_t{1} << f.index;
+  return tables;
+}
+
+/// Behavioral 4x2 partial product straight from the truth tables.
+std::uint64_t tables_4x2(const LeafTables& t, std::uint64_t a, std::uint64_t b) {
+  const unsigned idx = static_cast<unsigned>((a & 15) | ((b & 3) << 4));
+  std::uint64_t p = 0;
+  for (unsigned k = 0; k < 6; ++k) p |= ((t[k] >> idx) & 1) << k;
+  return p;
+}
+
+/// Behavioral 4x4 leaf: two table-driven 4x2 partial products summed the
+/// way build_accurate_4x4 sums them — bits 0..1 pass through, the rest go
+/// through a 6-bit adder, so any overflow a perturbed table can provoke
+/// wraps exactly like the hardware's truncated carry chain. With zero
+/// flips this equals mult::approx_4x4_accurate_sum (pinned in tests).
+std::uint64_t tables_4x4(const LeafTables& t, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t pp0 = tables_4x2(t, a, b & 3);
+  const std::uint64_t pp1 = tables_4x2(t, a, (b >> 2) & 3);
+  return (pp0 & 3) | ((((pp0 >> 2) + pp1) & 63) << 2);
+}
+
+/// True when O6 of a table ignores pin a3 (index bit 3) — the condition
+/// for sharing a dual-output LUT6_2 between two product bits.
+bool a3_independent(std::uint64_t table) {
+  for (unsigned idx = 0; idx < 64; ++idx) {
+    if (((table >> idx) & 1) != ((table >> (idx ^ 8)) & 1)) return false;
+  }
+  return true;
+}
+
+/// Structural 4x2 block from truth tables. Identically-zero product bits
+/// cost nothing (GND); adjacent a3-independent bits share one dual-output
+/// LUT (I5 tied high); the rest get one LUT each on pins {a0..a3,b0,b1}.
+/// For the unperturbed base tables this reproduces build_approx_4x2's
+/// 4-LUT mapping exactly.
+BitVec build_tables_4x2(fabric::Netlist& nl, const LeafTables& t, const BitVec& a,
+                        const BitVec& b, const std::string& prefix) {
+  BitVec p(6, fabric::kNetGnd);
+  const std::array<fabric::NetId, 6> pins{multgen::bit_or_gnd(a, 0), multgen::bit_or_gnd(a, 1),
+                                          multgen::bit_or_gnd(a, 2), multgen::bit_or_gnd(a, 3),
+                                          multgen::bit_or_gnd(b, 0), multgen::bit_or_gnd(b, 1)};
+  for (unsigned k = 0; k < 6; ++k) {
+    if (t[k] == 0) continue;
+    if (k + 1 < 6 && t[k + 1] != 0 && a3_independent(t[k]) && a3_independent(t[k + 1])) {
+      // Dual-pack: O5 = bit k, O6 = bit k+1, both 5-input functions of
+      // {a0,a1,a2,b0,b1} with I5 tied high.
+      const std::uint64_t lo = t[k];
+      const std::uint64_t hi = t[k + 1];
+      const auto page = [](std::uint64_t table, const std::array<unsigned, 5>& in) {
+        const unsigned idx = in[0] | (in[1] << 1) | (in[2] << 2) | (in[3] << 4) | (in[4] << 5);
+        return ((table >> idx) & 1) != 0;
+      };
+      const std::uint64_t init = fabric::init_from_o5_o6(
+          [&](const std::array<unsigned, 5>& in) { return page(lo, in); },
+          [&](const std::array<unsigned, 5>& in) { return page(hi, in); });
+      const fabric::LutOut out =
+          nl.add_lut6(prefix + ".p" + std::to_string(k) + std::to_string(k + 1), init,
+                      {pins[0], pins[1], pins[2], pins[4], pins[5], fabric::kNetVcc},
+                      /*with_o5=*/true);
+      p[k] = out.o5;
+      p[k + 1] = out.o6;
+      ++k;
+      continue;
+    }
+    // Pins {a0,a1,a2,a3,b0,b1} address the table as a | b << 4, so the
+    // LUT INIT is the truth table verbatim.
+    p[k] = nl.add_lut6(prefix + ".p" + std::to_string(k), t[k],
+                       {pins[0], pins[1], pins[2], pins[3], pins[4], pins[5]})
+               .o6;
+  }
+  return p;
+}
+
+/// Structural 4x4 perturbed leaf, mirroring build_accurate_4x4's shape.
+BitVec build_perturbed_4x4(fabric::Netlist& nl, const LeafTables& t, const BitVec& a,
+                           const BitVec& b, const std::string& prefix) {
+  const BitVec b_lo{multgen::bit_or_gnd(b, 0), multgen::bit_or_gnd(b, 1)};
+  const BitVec b_hi{multgen::bit_or_gnd(b, 2), multgen::bit_or_gnd(b, 3)};
+  const BitVec pp0 = build_tables_4x2(nl, t, a, b_lo, prefix + ".pp0");
+  const BitVec pp1 = build_tables_4x2(nl, t, a, b_hi, prefix + ".pp1");
+  const BitVec pp0_hi(pp0.begin() + 2, pp0.end());
+  const BitVec sum = multgen::build_binary_add(nl, pp0_hi, pp1, 6, prefix + ".sum");
+  BitVec p{pp0[0], pp0[1]};
+  p.insert(p.end(), sum.begin(), sum.end());
+  return p;
+}
+
+// ---- config -> generator plumbing -----------------------------------------
+
+mult::Elementary to_elementary(Config::Leaf leaf) {
+  switch (leaf) {
+    case Config::Leaf::kApprox4x4: return mult::Elementary::kApprox4x4;
+    case Config::Leaf::kAccurate4x4: return mult::Elementary::kAccurate4x4;
+    case Config::Leaf::kKulkarni2x2: return mult::Elementary::kKulkarni2x2;
+    case Config::Leaf::kRehman2x2: return mult::Elementary::kRehman2x2;
+    case Config::Leaf::kAccurate2x2: return mult::Elementary::kAccurate2x2;
+    case Config::Leaf::kPerturbed4x2Pair: break;
+  }
+  throw std::invalid_argument("dse: leaf has no standard elementary");
+}
+
+/// Result truncation as a behavioral wrapper (the k LSBs read as zero).
+class TruncatedModel final : public mult::Multiplier {
+ public:
+  TruncatedModel(mult::MultiplierPtr inner, unsigned zeroed_lsbs)
+      : inner_(std::move(inner)), mask_(~((std::uint64_t{1} << zeroed_lsbs) - 1)) {}
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override {
+    return inner_->multiply(a, b) & mask_;
+  }
+  [[nodiscard]] unsigned a_bits() const noexcept override { return inner_->a_bits(); }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return inner_->b_bits(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  mult::MultiplierPtr inner_;
+  std::uint64_t mask_;
+};
+
+/// The recursive core with swap and truncation applied — the fragment
+/// shared by the plain and the signed netlists.
+BitVec build_core(fabric::Netlist& nl, const BitVec& a, const BitVec& b, const Config& c,
+                  const std::string& prefix) {
+  multgen::GeneratorSpec spec;
+  spec.width = c.width;
+  spec.level_summation = c.summation;
+  spec.lower_or_bits = c.lower_or_bits;
+  if (c.leaf == Config::Leaf::kPerturbed4x2Pair) {
+    const LeafTables tables = perturbed_tables(c);
+    spec.custom_leaf_width = 4;
+    spec.custom_elementary = [tables](fabric::Netlist& n, const BitVec& x, const BitVec& y,
+                                      const std::string& p) {
+      return build_perturbed_4x4(n, tables, x, y, p);
+    };
+  } else {
+    spec.elementary = to_elementary(c.leaf);
+  }
+  BitVec p = multgen::build_recursive(nl, c.operand_swap ? b : a, c.operand_swap ? a : b, spec,
+                                      prefix);
+  for (unsigned i = 0; i < c.trunc_lsbs && i < p.size(); ++i) p[i] = fabric::kNetGnd;
+  return p;
+}
+
+/// Conditional two's-complement negate: s ? ~x + 1 : x over x.size() bits.
+/// One XOR LUT per bit feeding a propagate-only carry chain with cin = s
+/// (DI tied low), so the +1 rides the chain for free.
+BitVec build_cond_negate(fabric::Netlist& nl, const BitVec& x, fabric::NetId s,
+                         const std::string& prefix) {
+  static const std::uint64_t kXorInit =
+      fabric::init_from_o6([](const std::array<unsigned, 6>& in) { return (in[0] ^ in[1]) != 0; });
+  BitVec props(x.size());
+  const BitVec dis(x.size(), fabric::kNetGnd);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    props[i] = nl.add_lut6(prefix + ".x" + std::to_string(i), kXorInit,
+                           {x[i], s, fabric::kNetGnd, fabric::kNetGnd, fabric::kNetGnd,
+                            fabric::kNetGnd})
+                   .o6;
+  }
+  return multgen::build_carry_chain(nl, s, props, dis, prefix + ".chain").sum;
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+// ---- options / objectives -------------------------------------------------
+
+std::string EvalOptions::context() const {
+  std::ostringstream os;
+  os << "v" << kEvaluatorVersion;
+  if (gaussian) {
+    os << ";g=" << fmt_double(mean_a) << "," << fmt_double(sigma_a) << "," << fmt_double(mean_b)
+       << "," << fmt_double(sigma_b);
+  } else {
+    os << ";u;e=" << exhaustive_bits;
+  }
+  os << ";n=" << samples << ";s=" << seed << ";pv=" << power_vectors;
+  return os.str();
+}
+
+const char* objective_name(Objective o) noexcept {
+  switch (o) {
+    case Objective::kLuts: return "luts";
+    case Objective::kCarry4: return "carry4";
+    case Objective::kDelay: return "delay";
+    case Objective::kMre: return "mre";
+    case Objective::kNmed: return "nmed";
+    case Objective::kMaxError: return "maxerr";
+    case Objective::kErrorProbability: return "errprob";
+    case Objective::kEnergy: return "energy";
+    case Objective::kEdp: return "edp";
+  }
+  return "?";
+}
+
+Objective parse_objective(const std::string& name) {
+  for (const Objective o :
+       {Objective::kLuts, Objective::kCarry4, Objective::kDelay, Objective::kMre,
+        Objective::kNmed, Objective::kMaxError, Objective::kErrorProbability, Objective::kEnergy,
+        Objective::kEdp}) {
+    if (name == objective_name(o)) return o;
+  }
+  throw std::invalid_argument("dse: unknown objective '" + name + "'");
+}
+
+double objective_value(const Objectives& obj, Objective o) noexcept {
+  switch (o) {
+    case Objective::kLuts: return static_cast<double>(obj.luts);
+    case Objective::kCarry4: return static_cast<double>(obj.carry4);
+    case Objective::kDelay: return obj.critical_path_ns;
+    case Objective::kMre: return obj.mre;
+    case Objective::kNmed: return obj.nmed;
+    case Objective::kMaxError: return static_cast<double>(obj.max_error);
+    case Objective::kErrorProbability: return obj.error_probability;
+    case Objective::kEnergy: return obj.energy_au;
+    case Objective::kEdp: return obj.edp_au;
+  }
+  return 0.0;
+}
+
+std::vector<double> cost_vector(const Objectives& obj, const std::vector<Objective>& objectives) {
+  std::vector<double> cost;
+  cost.reserve(objectives.size());
+  for (const Objective o : objectives) cost.push_back(objective_value(obj, o));
+  return cost;
+}
+
+// ---- model / netlist construction -----------------------------------------
+
+mult::MultiplierPtr make_model(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  mult::MultiplierPtr m;
+  const std::string name = display_name(canon);
+  if (canon.leaf == Config::Leaf::kPerturbed4x2Pair) {
+    const LeafTables tables = perturbed_tables(canon);
+    m = std::make_shared<mult::RecursiveMultiplier>(
+        canon.width, 4u,
+        [tables](std::uint64_t a, std::uint64_t b) { return tables_4x4(tables, a, b); },
+        canon.summation, name, canon.lower_or_bits);
+  } else {
+    m = std::make_shared<mult::RecursiveMultiplier>(canon.width, to_elementary(canon.leaf),
+                                                    canon.summation, name, canon.lower_or_bits);
+  }
+  if (canon.trunc_lsbs > 0) m = std::make_shared<TruncatedModel>(std::move(m), canon.trunc_lsbs);
+  if (canon.operand_swap) m = std::make_shared<mult::SwappedMultiplier>(std::move(m));
+  return m;
+}
+
+fabric::Netlist make_core_netlist(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  return multgen::wrap_netlist(canon.width, [&](fabric::Netlist& nl, const BitVec& a,
+                                                const BitVec& b) {
+    return build_core(nl, a, b, canon, "u0");
+  });
+}
+
+fabric::Netlist make_config_netlist(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  if (!canon.signed_wrapper) return make_core_netlist(canon);
+  const unsigned w = canon.width;
+  // (w+1)-bit two's-complement ports around the unsigned core: conditional
+  // negate both operands into magnitudes, multiply, conditionally negate
+  // the product. The most negative operand (-2^w) has no magnitude in w
+  // bits and is outside the wrapper's input range, exactly like the
+  // behavioral mult::SignedMultiplier precondition.
+  return multgen::wrap_netlist(w + 1, [&](fabric::Netlist& nl, const BitVec& a, const BitVec& b) {
+    const fabric::NetId sa = a[w];
+    const fabric::NetId sb = b[w];
+    const BitVec ma = build_cond_negate(nl, BitVec(a.begin(), a.begin() + w), sa, "nega");
+    const BitVec mb = build_cond_negate(nl, BitVec(b.begin(), b.begin() + w), sb, "negb");
+    const BitVec p = build_core(nl, ma, mb, canon, "core");
+    static const std::uint64_t kXorInit = fabric::init_from_o6(
+        [](const std::array<unsigned, 6>& in) { return (in[0] ^ in[1]) != 0; });
+    const fabric::NetId sp = nl.add_lut6("signp", kXorInit,
+                                         {sa, sb, fabric::kNetGnd, fabric::kNetGnd,
+                                          fabric::kNetGnd, fabric::kNetGnd})
+                                 .o6;
+    BitVec wide = p;
+    wide.push_back(fabric::kNetGnd);  // sign slot: product fits 2w+1 bits
+    return build_cond_negate(nl, wide, sp, "negp");
+  });
+}
+
+// ---- evaluation -----------------------------------------------------------
+
+namespace {
+
+/// Clipped discrete Gaussian with independent per-port parameters — the
+/// operand distribution where the swap flag changes the error numbers.
+error::PairSource asymmetric_gaussian_source(unsigned bits, std::uint64_t n, double mean_a,
+                                             double sigma_a, double mean_b, double sigma_b,
+                                             std::uint64_t seed) {
+  auto rng = std::make_shared<Xoshiro256>(seed);
+  auto remaining = std::make_shared<std::uint64_t>(n);
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  return [=](std::uint64_t& a, std::uint64_t& b) {
+    if (*remaining == 0) return false;
+    --*remaining;
+    const auto draw = [&](double mean, double sigma) {
+      const double v = mean + sigma * gaussian01(*rng);
+      if (v <= 0.0) return std::uint64_t{0};
+      const auto u = static_cast<std::uint64_t>(std::llround(v));
+      return u > mask ? mask : u;
+    };
+    a = draw(mean_a, sigma_a);
+    b = draw(mean_b, sigma_b);
+    return true;
+  };
+}
+
+}  // namespace
+
+Objectives evaluate(const Config& c, const EvalOptions& opts) {
+  Config canon = c;
+  canonicalize(canon);
+  Objectives obj;
+
+  // Error on the unsigned core (the signed wrapper negates exactly, so it
+  // preserves the core's error profile on the magnitudes).
+  error::ErrorMetrics metrics;
+  error::SweepConfig sweep;
+  sweep.threads = 1;  // parallelism lives across configs, not inside one
+  sweep.collect_pmf = false;
+  sweep.collect_bit_probability = false;
+  if (opts.gaussian) {
+    const mult::MultiplierPtr model = make_model(canon);
+    metrics = error::characterize(
+        *model, asymmetric_gaussian_source(canon.width, opts.samples, opts.mean_a, opts.sigma_a,
+                                           opts.mean_b, opts.sigma_b, opts.seed));
+    obj.seed = opts.seed;
+  } else if (2 * canon.width <= opts.exhaustive_bits) {
+    const fabric::Netlist core = make_core_netlist(canon);
+    metrics = error::sweep_netlist_exhaustive(core, canon.width, canon.width, sweep).metrics;
+    obj.exhaustive = true;
+  } else {
+    const mult::MultiplierPtr model = make_model(canon);
+    metrics = error::sweep_sampled(*model, opts.samples, opts.seed, sweep).metrics;
+    obj.seed = opts.seed;
+  }
+  obj.mre = metrics.avg_relative_error;
+  obj.nmed = metrics.nmed(canon.width, canon.width);
+  obj.error_probability = metrics.error_probability();
+  obj.max_error = metrics.max_error;
+  obj.samples = metrics.samples;
+
+  // Implementation cost on the full netlist (wrapper included), after the
+  // same optimization pass the packed evaluators run — this is what lets
+  // truncated configs actually shed their dead cones in the area count.
+  const fabric::Netlist impl = fabric::optimize(make_config_netlist(canon)).netlist;
+  const fabric::AreaReport area = impl.area();
+  obj.luts = area.luts;
+  obj.carry4 = area.carry4;
+  obj.ffs = area.ffs;
+  const timing::TimingReport sta = timing::analyze(impl);
+  obj.critical_path_ns = sta.critical_path_ns;
+  power::PowerModel power_model;
+  power_model.vectors = opts.power_vectors;
+  const power::PowerReport power = power::estimate(impl, power_model);
+  obj.energy_au = power.energy_au;
+  obj.edp_au = power.edp_au;
+  return obj;
+}
+
+std::vector<Objectives> evaluate_all(const std::vector<Config>& configs, EvalCache* cache,
+                                     const EvalOptions& opts, unsigned threads,
+                                     std::uint64_t* cache_hits) {
+  std::vector<Objectives> results(configs.size());
+  std::atomic<std::uint64_t> hits{0};
+  parallel_chunks(configs.size(), threads, [&] {
+    return [&](std::uint64_t i) {
+      const Config& c = configs[i];
+      if (cache != nullptr) {
+        const std::string key = EvalCache::full_key(c, opts);
+        if (const auto cached = cache->lookup(key)) {
+          results[i] = *cached;
+          hits.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        results[i] = evaluate(c, opts);
+        cache->insert(key, results[i]);
+        return;
+      }
+      results[i] = evaluate(c, opts);
+    };
+  });
+  if (cache_hits != nullptr) *cache_hits = hits.load();
+  return results;
+}
+
+nn::MacBackendPtr make_backend(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  if (canon.signed_wrapper) {
+    throw std::invalid_argument("dse::make_backend: the NN data path is unsigned; "
+                                "drop the signed wrapper");
+  }
+  return std::make_shared<nn::MacBackend>(display_name(canon), make_model(canon),
+                                          [canon] { return make_config_netlist(canon); });
+}
+
+}  // namespace axmult::dse

@@ -1,0 +1,131 @@
+// Config -> objective-vector evaluation for the DSE engine.
+//
+// Every config is lowered twice, exactly like the hand-crafted designs:
+//   * a behavioral model (mult::RecursiveMultiplier with per-level
+//     summation, optionally a LUT-INIT-perturbed custom leaf) for sampled
+//     error evaluation at wide operand widths, and
+//   * a structural netlist (multgen builders) for LUT/CARRY4 area, STA
+//     critical path, toggle-activity energy/EDP — and for the exhaustive
+//     error sweep on the widest profitable fabric::WideEvaluator when the
+//     operand space is small enough.
+// Model and netlist are generated from the same tables/schedule, and the
+// equivalence is pinned by tests/dse_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/space.hpp"
+#include "fabric/netlist.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::dse {
+
+/// Bumped whenever a change to the models/netlist generators alters the
+/// numbers a config evaluates to; persisted cache entries from other
+/// versions are ignored on load.
+inline constexpr unsigned kEvaluatorVersion = 1;
+
+struct EvalOptions {
+  /// Error evaluation: exhaustive netlist sweep when the operand space has
+  /// at most `exhaustive_bits` input bits, sampled behavioral sweep with
+  /// (`samples`, `seed`) above that.
+  unsigned exhaustive_bits = 20;
+  std::uint64_t samples = std::uint64_t{1} << 20;
+  std::uint64_t seed = 1;
+  /// Toggle vectors for the power model (its own seed stays at the
+  /// power-model default so DSE numbers match the benches).
+  std::uint64_t power_vectors = 1024;
+  /// Optional asymmetric operand distribution (clipped Gaussians with
+  /// independent per-port parameters, always sampled). This is where the
+  /// operand-swap flag earns its keep: under the default uniform sweep a
+  /// swap is error-neutral, matching the paper's Section 6 observation
+  /// that Cas/Ccs only pay off for skewed input distributions.
+  bool gaussian = false;
+  double mean_a = 0.0;
+  double sigma_a = 0.0;
+  double mean_b = 0.0;
+  double sigma_b = 0.0;
+
+  /// Cache-key context: everything besides the config that the error
+  /// numbers depend on, e.g. "v1:u" (uniform exhaustive/sampled) or
+  /// "v1:g:100,30,20,5:s1048576" — plus the evaluator version.
+  [[nodiscard]] std::string context() const;
+};
+
+/// The objective vector of one evaluated config.
+struct Objectives {
+  // Error (unsigned core, truncation and swap included).
+  double mre = 0.0;  ///< mean relative error — the paper's ARE
+  double nmed = 0.0;
+  double error_probability = 0.0;
+  std::uint64_t max_error = 0;
+  // Implementation (full netlist, signed wrapper included when configured).
+  std::uint64_t luts = 0;
+  std::uint64_t carry4 = 0;
+  std::uint64_t ffs = 0;
+  double critical_path_ns = 0.0;
+  double energy_au = 0.0;
+  double edp_au = 0.0;
+  // Provenance of the error numbers.
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 0;
+  bool exhaustive = false;
+};
+
+/// Search objectives (all minimized).
+enum class Objective : std::uint8_t {
+  kLuts,
+  kCarry4,
+  kDelay,
+  kMre,
+  kNmed,
+  kMaxError,
+  kErrorProbability,
+  kEnergy,
+  kEdp,
+};
+
+[[nodiscard]] const char* objective_name(Objective o) noexcept;
+/// Parses "luts", "carry4", "delay", "mre", "nmed", "maxerr", "errprob",
+/// "energy", "edp"; throws std::invalid_argument otherwise.
+[[nodiscard]] Objective parse_objective(const std::string& name);
+[[nodiscard]] double objective_value(const Objectives& obj, Objective o) noexcept;
+[[nodiscard]] std::vector<double> cost_vector(const Objectives& obj,
+                                              const std::vector<Objective>& objectives);
+
+/// Behavioral model of the unsigned data path (truncation and operand swap
+/// applied; the sign-magnitude wrapper is hardware-only — it preserves the
+/// core's error profile on magnitudes, see mult/signed_wrapper.hpp).
+[[nodiscard]] mult::MultiplierPtr make_model(const Config& c);
+
+/// Structural netlist of the unsigned core (truncation + swap wiring, no
+/// signed wrapper) — the netlist whose error the sweeps measure.
+[[nodiscard]] fabric::Netlist make_core_netlist(const Config& c);
+
+/// Full implementation netlist: the core, plus conditional-negate stages
+/// on both operands and the product when `signed_wrapper` is set. Area,
+/// timing and energy are measured on this.
+[[nodiscard]] fabric::Netlist make_config_netlist(const Config& c);
+
+/// Evaluates one config (single-threaded; fan out via evaluate_all).
+[[nodiscard]] Objectives evaluate(const Config& c, const EvalOptions& opts = {});
+
+class EvalCache;
+
+/// Evaluates a batch in parallel (common::parallel_for sharding, one
+/// config per chunk), memoizing through `cache` when non-null. Results
+/// depend only on the configs, never on the thread count. `cache_hits`
+/// (optional) receives the number of configs served from the cache.
+[[nodiscard]] std::vector<Objectives> evaluate_all(const std::vector<Config>& configs,
+                                                   EvalCache* cache, const EvalOptions& opts = {},
+                                                   unsigned threads = 0,
+                                                   std::uint64_t* cache_hits = nullptr);
+
+/// A DSE winner as an nn::MacBackend (product table + cost roll-up), ready
+/// for the axnn accuracy-vs-EDP study. Signed configs are rejected (the
+/// NN data path is unsigned).
+[[nodiscard]] nn::MacBackendPtr make_backend(const Config& c);
+
+}  // namespace axmult::dse

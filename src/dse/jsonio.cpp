@@ -1,0 +1,91 @@
+#include "dse/jsonio.hpp"
+
+#include <cstdlib>
+
+namespace axmult::dse::jsonio {
+
+namespace {
+
+/// Position just past `"field":` (skipping whitespace), or npos.
+std::size_t value_pos(const std::string& text, const std::string& field) {
+  const std::string needle = "\"" + field + "\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < text.size() && (text[p] == ' ' || text[p] == '\t' || text[p] == '\n')) ++p;
+    if (p < text.size() && text[p] == ':') {
+      ++p;
+      while (p < text.size() && (text[p] == ' ' || text[p] == '\t' || text[p] == '\n')) ++p;
+      return p;
+    }
+    pos += needle.size();  // a string value that happens to equal the name
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::optional<double> find_number(const std::string& text, const std::string& field) {
+  const std::size_t p = value_pos(text, field);
+  if (p == std::string::npos) return std::nullopt;
+  const char* begin = text.c_str() + p;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> find_string(const std::string& text, const std::string& field) {
+  const std::size_t p = value_pos(text, field);
+  if (p == std::string::npos || p >= text.size() || text[p] != '"') return std::nullopt;
+  const std::size_t close = text.find('"', p + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return text.substr(p + 1, close - p - 1);
+}
+
+std::optional<bool> find_bool(const std::string& text, const std::string& field) {
+  const std::size_t p = value_pos(text, field);
+  if (p == std::string::npos) return std::nullopt;
+  if (text.compare(p, 4, "true") == 0) return true;
+  if (text.compare(p, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+std::vector<double> find_number_array(const std::string& text, const std::string& field) {
+  std::vector<double> out;
+  const std::size_t p = value_pos(text, field);
+  if (p == std::string::npos || p >= text.size() || text[p] != '[') return out;
+  const std::size_t close = text.find(']', p);
+  if (close == std::string::npos) return out;
+  std::size_t cur = p + 1;
+  while (cur < close) {
+    const char* begin = text.c_str() + cur;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) break;
+    out.push_back(v);
+    cur = static_cast<std::size_t>(end - text.c_str());
+    while (cur < close && (text[cur] == ',' || text[cur] == ' ')) ++cur;
+  }
+  return out;
+}
+
+std::vector<std::string> find_string_array(const std::string& text, const std::string& field) {
+  std::vector<std::string> out;
+  const std::size_t p = value_pos(text, field);
+  if (p == std::string::npos || p >= text.size() || text[p] != '[') return out;
+  const std::size_t close = text.find(']', p);
+  if (close == std::string::npos) return out;
+  std::size_t cur = p + 1;
+  while (cur < close) {
+    const std::size_t open_quote = text.find('"', cur);
+    if (open_quote == std::string::npos || open_quote > close) break;
+    const std::size_t close_quote = text.find('"', open_quote + 1);
+    if (close_quote == std::string::npos || close_quote > close) break;
+    out.push_back(text.substr(open_quote + 1, close_quote - open_quote - 1));
+    cur = close_quote + 1;
+  }
+  return out;
+}
+
+}  // namespace axmult::dse::jsonio

@@ -1,0 +1,33 @@
+// Minimal JSON field extraction for the DSE engine's flat, line-oriented
+// artifacts (evaluation-cache lines, checkpoints, front files). The repo
+// writes all JSON by hand; these helpers read back exactly that dialect:
+// one object per line (or a flat object with unique field names), no
+// escaped quotes inside strings, arrays of numbers or plain strings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace axmult::dse::jsonio {
+
+/// Value of `"field": <number>`; nullopt when the field is absent.
+[[nodiscard]] std::optional<double> find_number(const std::string& text,
+                                                const std::string& field);
+
+/// Value of `"field": "<string>"` (no escape handling).
+[[nodiscard]] std::optional<std::string> find_string(const std::string& text,
+                                                     const std::string& field);
+
+/// Value of `"field": true|false`.
+[[nodiscard]] std::optional<bool> find_bool(const std::string& text, const std::string& field);
+
+/// Elements of `"field": [1, 2, ...]`; empty when absent or empty.
+[[nodiscard]] std::vector<double> find_number_array(const std::string& text,
+                                                    const std::string& field);
+
+/// Elements of `"field": ["a", "b", ...]`; empty when absent or empty.
+[[nodiscard]] std::vector<std::string> find_string_array(const std::string& text,
+                                                         const std::string& field);
+
+}  // namespace axmult::dse::jsonio

@@ -1,0 +1,351 @@
+#include "dse/search.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/pareto.hpp"
+#include "common/rng.hpp"
+#include "dse/cache.hpp"
+#include "dse/jsonio.hpp"
+
+namespace axmult::dse {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+/// Per-index rank and crowding of a population (lower rank is better,
+/// larger crowding is better within a rank).
+struct RankedPopulation {
+  std::vector<unsigned> rank;
+  std::vector<double> crowding;
+};
+
+RankedPopulation rank_population(const std::vector<std::vector<double>>& costs) {
+  RankedPopulation ranked;
+  ranked.rank = analysis::nondominated_rank(costs);
+  ranked.crowding.assign(costs.size(), 0.0);
+  const unsigned max_rank =
+      ranked.rank.empty() ? 0 : *std::max_element(ranked.rank.begin(), ranked.rank.end());
+  for (unsigned r = 0; r <= max_rank; ++r) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      if (ranked.rank[i] == r) front.push_back(i);
+    }
+    if (front.empty()) continue;
+    const std::vector<double> dist = analysis::crowding_distance(costs, front);
+    for (std::size_t k = 0; k < front.size(); ++k) ranked.crowding[front[k]] = dist[k];
+  }
+  return ranked;
+}
+
+/// NSGA-II comparison: rank ascending, then crowding descending, then the
+/// stable index tie-break that keeps selection deterministic.
+bool nsga_better(const RankedPopulation& ranked, std::size_t a, std::size_t b) {
+  if (ranked.rank[a] != ranked.rank[b]) return ranked.rank[a] < ranked.rank[b];
+  if (ranked.crowding[a] != ranked.crowding[b]) return ranked.crowding[a] > ranked.crowding[b];
+  return a < b;
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kExhaustive: return "exhaustive";
+    case Strategy::kRandom: return "random";
+    case Strategy::kNsga2: return "nsga2";
+  }
+  return "?";
+}
+
+Strategy parse_strategy(const std::string& name) {
+  for (const Strategy s : {Strategy::kExhaustive, Strategy::kRandom, Strategy::kNsga2}) {
+    if (name == strategy_name(s)) return s;
+  }
+  throw std::invalid_argument("dse: unknown strategy '" + name + "'");
+}
+
+SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts) {
+  if (opts.objectives.empty()) {
+    throw std::invalid_argument("dse::run_search: need at least one objective");
+  }
+  EvalCache cache(opts.cache_path);
+  if (!opts.checkpoint_path.empty()) write_checkpoint(opts.checkpoint_path, space, opts);
+
+  // Ordered by canonical key: iteration (and thus the final front) never
+  // depends on evaluation timing.
+  std::map<std::string, EvaluatedPoint> archive;
+  std::uint64_t evaluations = 0;
+  std::uint64_t cache_hits = 0;
+
+  const auto eval_batch = [&](const std::vector<Config>& configs) {
+    std::uint64_t hits = 0;
+    std::vector<Objectives> result = evaluate_all(configs, &cache, opts.eval, opts.threads, &hits);
+    evaluations += configs.size();
+    cache_hits += hits;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      std::string key = config_key(configs[i]);
+      archive.emplace(key, EvaluatedPoint{configs[i], key, result[i]});
+    }
+    return result;
+  };
+
+  switch (opts.strategy) {
+    case Strategy::kExhaustive: {
+      std::vector<Config> configs = enumerate(space);
+      if (opts.budget > 0 && configs.size() > opts.budget) configs.resize(opts.budget);
+      (void)eval_batch(configs);
+      break;
+    }
+    case Strategy::kRandom: {
+      Xoshiro256 rng(opts.seed);
+      const std::uint64_t n = opts.budget > 0 ? opts.budget : 256;
+      std::vector<Config> configs;
+      configs.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) configs.push_back(sample(space, rng));
+      (void)eval_batch(configs);
+      break;
+    }
+    case Strategy::kNsga2: {
+      Xoshiro256 rng(opts.seed);
+      std::vector<Config> pop;
+      pop.reserve(opts.population);
+      for (unsigned i = 0; i < opts.population; ++i) pop.push_back(sample(space, rng));
+      std::vector<Objectives> pop_obj = eval_batch(pop);
+      for (unsigned gen = 0; gen < opts.generations; ++gen) {
+        if (opts.budget > 0 && evaluations >= opts.budget) break;
+        std::vector<std::vector<double>> costs;
+        costs.reserve(pop.size());
+        for (const Objectives& o : pop_obj) costs.push_back(cost_vector(o, opts.objectives));
+        const RankedPopulation ranked = rank_population(costs);
+        const auto tournament = [&] {
+          const std::size_t a = rng.below(pop.size());
+          const std::size_t b = rng.below(pop.size());
+          return nsga_better(ranked, a, b) ? a : b;
+        };
+        std::vector<Config> offspring;
+        offspring.reserve(pop.size());
+        for (std::size_t i = 0; i < pop.size(); ++i) {
+          const std::size_t p1 = tournament();
+          const std::size_t p2 = tournament();
+          Config child =
+              rng.below(10) < 9 ? crossover(space, pop[p1], pop[p2], rng) : pop[p1];
+          offspring.push_back(mutate(space, child, rng));
+        }
+        const std::vector<Objectives> off_obj = eval_batch(offspring);
+
+        // Elitist survival over parents + offspring.
+        std::vector<Config> combined = pop;
+        combined.insert(combined.end(), offspring.begin(), offspring.end());
+        std::vector<Objectives> combined_obj = pop_obj;
+        combined_obj.insert(combined_obj.end(), off_obj.begin(), off_obj.end());
+        std::vector<std::vector<double>> combined_costs;
+        combined_costs.reserve(combined.size());
+        for (const Objectives& o : combined_obj) {
+          combined_costs.push_back(cost_vector(o, opts.objectives));
+        }
+        const RankedPopulation all = rank_population(combined_costs);
+        std::vector<std::size_t> order(combined.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) { return nsga_better(all, a, b); });
+        std::vector<Config> next_pop;
+        std::vector<Objectives> next_obj;
+        next_pop.reserve(pop.size());
+        next_obj.reserve(pop.size());
+        for (std::size_t k = 0; k < pop.size(); ++k) {
+          next_pop.push_back(combined[order[k]]);
+          next_obj.push_back(combined_obj[order[k]]);
+        }
+        pop = std::move(next_pop);
+        pop_obj = std::move(next_obj);
+      }
+      break;
+    }
+  }
+
+  // Final front: rank 0 over the whole archive.
+  SearchResult result;
+  result.evaluations = evaluations;
+  result.cache_hits = cache_hits;
+  result.archive_size = archive.size();
+  std::vector<const EvaluatedPoint*> points;
+  std::vector<std::vector<double>> costs;
+  points.reserve(archive.size());
+  costs.reserve(archive.size());
+  for (const auto& [key, point] : archive) {
+    points.push_back(&point);
+    costs.push_back(cost_vector(point.objectives, opts.objectives));
+  }
+  const std::vector<unsigned> ranks = analysis::nondominated_rank(costs);
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (ranks[i] == 0) keep.push_back(i);
+  }
+  std::sort(keep.begin(), keep.end(), [&](std::size_t a, std::size_t b) {
+    if (costs[a] != costs[b]) return costs[a] < costs[b];
+    return points[a]->key < points[b]->key;
+  });
+  result.front.reserve(keep.size());
+  for (const std::size_t i : keep) result.front.push_back(*points[i]);
+
+  if (!opts.front_path.empty()) write_front(opts.front_path, result, opts.objectives);
+  return result;
+}
+
+// ---- artifacts ------------------------------------------------------------
+
+void write_front(const std::string& path, const SearchResult& result,
+                 const std::vector<Objective>& objectives) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("dse::write_front: cannot write '" + path + "'");
+  out << "{\"front_meta\": 1, \"objectives\": [";
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << objective_name(objectives[i]) << "\"";
+  }
+  out << "], \"evaluations\": " << result.evaluations << ", \"cache_hits\": "
+      << result.cache_hits << ", \"archive\": " << result.archive_size
+      << ", \"points\": " << result.front.size() << "}\n";
+  for (const EvaluatedPoint& p : result.front) {
+    out << "{\"key\": \"" << p.key << "\", \"name\": \"" << display_name(p.config)
+        << "\", \"cost\": [";
+    const std::vector<double> cost = cost_vector(p.objectives, objectives);
+    for (std::size_t i = 0; i < cost.size(); ++i) out << (i ? ", " : "") << fmt_double(cost[i]);
+    out << "], " << EvalCache::serialize_objectives(p.objectives) << "}\n";
+  }
+}
+
+std::vector<EvaluatedPoint> load_front(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dse::load_front: cannot open '" + path + "'");
+  std::vector<EvaluatedPoint> points;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key = jsonio::find_string(line, "key");
+    if (!key) continue;  // meta line
+    const auto obj = EvalCache::parse_objectives(line);
+    if (!obj) continue;
+    points.push_back({parse_key(*key), *key, *obj});
+  }
+  return points;
+}
+
+void write_checkpoint(const std::string& path, const SpaceSpec& space,
+                      const SearchOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("dse::write_checkpoint: cannot write '" + path + "'");
+  out << "{\"ckpt_version\": 1";
+  out << ", \"space_name\": \"" << space.name << "\", \"widths\": [";
+  for (std::size_t i = 0; i < space.widths.size(); ++i) {
+    out << (i ? ", " : "") << space.widths[i];
+  }
+  out << "], \"leaves\": [";
+  for (std::size_t i = 0; i < space.leaves.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << leaf_token(space.leaves[i]) << "\"";
+  }
+  out << "], \"summations\": [";
+  for (std::size_t i = 0; i < space.summations.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << summation_char(space.summations[i]) << "\"";
+  }
+  out << "], \"lower_or_options\": [";
+  for (std::size_t i = 0; i < space.lower_or_options.size(); ++i) {
+    out << (i ? ", " : "") << space.lower_or_options[i];
+  }
+  out << "], \"max_trunc\": " << space.max_trunc
+      << ", \"allow_swap\": " << (space.allow_swap ? "true" : "false")
+      << ", \"allow_signed\": " << (space.allow_signed ? "true" : "false")
+      << ", \"max_tt_flips\": " << space.max_tt_flips;
+  out << ", \"strategy\": \"" << strategy_name(opts.strategy) << "\", \"budget\": "
+      << opts.budget << ", \"population\": " << opts.population << ", \"generations\": "
+      << opts.generations << ", \"search_seed\": " << opts.seed << ", \"objectives\": [";
+  for (std::size_t i = 0; i < opts.objectives.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << objective_name(opts.objectives[i]) << "\"";
+  }
+  out << "], \"exhaustive_bits\": " << opts.eval.exhaustive_bits << ", \"samples\": "
+      << opts.eval.samples << ", \"eval_seed\": " << opts.eval.seed << ", \"power_vectors\": "
+      << opts.eval.power_vectors << ", \"gaussian\": " << (opts.eval.gaussian ? "true" : "false")
+      << ", \"mean_a\": " << fmt_double(opts.eval.mean_a) << ", \"sigma_a\": "
+      << fmt_double(opts.eval.sigma_a) << ", \"mean_b\": " << fmt_double(opts.eval.mean_b)
+      << ", \"sigma_b\": " << fmt_double(opts.eval.sigma_b);
+  out << ", \"cache_path\": \"" << opts.cache_path << "\", \"front_path\": \""
+      << opts.front_path << "\", \"checkpoint_path\": \"" << opts.checkpoint_path << "\"}\n";
+}
+
+void load_checkpoint(const std::string& path, SpaceSpec& space, SearchOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dse::load_checkpoint: cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto version = jsonio::find_number(text, "ckpt_version");
+  if (!version || static_cast<int>(*version) != 1) {
+    throw std::runtime_error("dse::load_checkpoint: unsupported checkpoint '" + path + "'");
+  }
+  SpaceSpec s;
+  s.name = jsonio::find_string(text, "space_name").value_or("custom");
+  s.widths.clear();
+  for (const double w : jsonio::find_number_array(text, "widths")) {
+    s.widths.push_back(static_cast<unsigned>(w));
+  }
+  s.leaves.clear();
+  for (const std::string& token : jsonio::find_string_array(text, "leaves")) {
+    s.leaves.push_back(leaf_from_token(token));
+  }
+  s.summations.clear();
+  for (const std::string& ch : jsonio::find_string_array(text, "summations")) {
+    if (!ch.empty()) s.summations.push_back(summation_from_char(ch[0]));
+  }
+  s.lower_or_options.clear();
+  for (const double v : jsonio::find_number_array(text, "lower_or_options")) {
+    s.lower_or_options.push_back(static_cast<unsigned>(v));
+  }
+  s.max_trunc = static_cast<unsigned>(jsonio::find_number(text, "max_trunc").value_or(0.0));
+  s.allow_swap = jsonio::find_bool(text, "allow_swap").value_or(false);
+  s.allow_signed = jsonio::find_bool(text, "allow_signed").value_or(false);
+  s.max_tt_flips = static_cast<unsigned>(jsonio::find_number(text, "max_tt_flips").value_or(0.0));
+  if (s.widths.empty() || s.leaves.empty() || s.summations.empty()) {
+    throw std::runtime_error("dse::load_checkpoint: incomplete space in '" + path + "'");
+  }
+
+  SearchOptions o;
+  o.strategy = parse_strategy(jsonio::find_string(text, "strategy").value_or("nsga2"));
+  o.budget = static_cast<std::uint64_t>(jsonio::find_number(text, "budget").value_or(0.0));
+  o.population = static_cast<unsigned>(jsonio::find_number(text, "population").value_or(32.0));
+  o.generations = static_cast<unsigned>(jsonio::find_number(text, "generations").value_or(8.0));
+  o.seed = static_cast<std::uint64_t>(jsonio::find_number(text, "search_seed").value_or(1.0));
+  o.objectives.clear();
+  for (const std::string& name : jsonio::find_string_array(text, "objectives")) {
+    o.objectives.push_back(parse_objective(name));
+  }
+  if (o.objectives.empty()) {
+    throw std::runtime_error("dse::load_checkpoint: no objectives in '" + path + "'");
+  }
+  o.eval.exhaustive_bits =
+      static_cast<unsigned>(jsonio::find_number(text, "exhaustive_bits").value_or(20.0));
+  o.eval.samples = static_cast<std::uint64_t>(
+      jsonio::find_number(text, "samples").value_or(static_cast<double>(std::uint64_t{1} << 20)));
+  o.eval.seed = static_cast<std::uint64_t>(jsonio::find_number(text, "eval_seed").value_or(1.0));
+  o.eval.power_vectors =
+      static_cast<std::uint64_t>(jsonio::find_number(text, "power_vectors").value_or(1024.0));
+  o.eval.gaussian = jsonio::find_bool(text, "gaussian").value_or(false);
+  o.eval.mean_a = jsonio::find_number(text, "mean_a").value_or(0.0);
+  o.eval.sigma_a = jsonio::find_number(text, "sigma_a").value_or(0.0);
+  o.eval.mean_b = jsonio::find_number(text, "mean_b").value_or(0.0);
+  o.eval.sigma_b = jsonio::find_number(text, "sigma_b").value_or(0.0);
+  o.cache_path = jsonio::find_string(text, "cache_path").value_or("");
+  o.front_path = jsonio::find_string(text, "front_path").value_or("");
+  o.checkpoint_path = jsonio::find_string(text, "checkpoint_path").value_or("");
+  space = std::move(s);
+  opts = std::move(o);
+}
+
+}  // namespace axmult::dse

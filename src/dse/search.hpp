@@ -1,0 +1,94 @@
+// Search strategies of the DSE engine.
+//
+// Three strategies over one archive/evaluation substrate:
+//   * exhaustive — enumerate(space), evaluate everything (flips excluded);
+//   * random     — `budget` seeded uniform samples;
+//   * nsga2      — an NSGA-II-style evolutionary loop (Deb's non-dominated
+//     sort + crowding distance from analysis/pareto, binary tournament,
+//     field-wise crossover, one mutation per child, elitist survival).
+//
+// Determinism contract: for a fixed (space, options) pair the resulting
+// front is bit-identical for ANY thread count. Every stochastic decision
+// (sampling, tournament, crossover, mutation) happens on the calling
+// thread from one Xoshiro256(seed); the parallel fan-out only evaluates —
+// a pure function of the config — and the archive is an ordered map over
+// canonical config keys, so iteration order never depends on timing.
+//
+// Resume model: a checkpoint stores the full (space, options) pair.
+// Resuming replays the identical search; the persistent evaluation cache
+// turns completed work into instant hits, so a resumed run reproduces the
+// non-resumed front exactly while only paying for the missing tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/evaluate.hpp"
+#include "dse/space.hpp"
+
+namespace axmult::dse {
+
+enum class Strategy : std::uint8_t { kExhaustive, kRandom, kNsga2 };
+
+[[nodiscard]] const char* strategy_name(Strategy s) noexcept;
+/// Parses "exhaustive", "random", "nsga2"; throws std::invalid_argument.
+[[nodiscard]] Strategy parse_strategy(const std::string& name);
+
+struct SearchOptions {
+  Strategy strategy = Strategy::kNsga2;
+  /// Evaluation budget: sample count for kRandom, a cap on enumerated
+  /// points for kExhaustive, and a cap on total evaluations (checked
+  /// between generations) for kNsga2. 0 = strategy default / unlimited.
+  std::uint64_t budget = 0;
+  unsigned population = 32;   ///< kNsga2 population size
+  unsigned generations = 8;   ///< kNsga2 generations
+  std::uint64_t seed = 1;     ///< search-thread RNG seed
+  /// Minimized objectives, in cost-vector order.
+  std::vector<Objective> objectives{Objective::kLuts, Objective::kDelay, Objective::kMre};
+  EvalOptions eval;
+  unsigned threads = 0;  ///< evaluation fan-out (0 = auto); never changes results
+  std::string cache_path;       ///< persistent evaluation cache ("" = in-memory)
+  std::string front_path;       ///< front JSON written after the search ("" = skip)
+  std::string checkpoint_path;  ///< checkpoint JSON for `axdse resume` ("" = skip)
+};
+
+struct EvaluatedPoint {
+  Config config;
+  std::string key;  ///< canonical config key
+  Objectives objectives;
+};
+
+struct SearchResult {
+  /// Rank-0 points of the archive, sorted by cost vector then key.
+  std::vector<EvaluatedPoint> front;
+  std::uint64_t evaluations = 0;   ///< configs submitted for evaluation
+  std::uint64_t cache_hits = 0;    ///< of those, served from the cache
+  std::uint64_t archive_size = 0;  ///< distinct configs evaluated
+};
+
+/// Runs one search, writing the cache/front/checkpoint files configured in
+/// `opts` as it goes.
+[[nodiscard]] SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts);
+
+// ---- artifacts ------------------------------------------------------------
+
+/// Writes the front as JSON lines: one meta line (objective names, search
+/// counters) followed by one point per line (key, display name, cost
+/// vector, full objective fields).
+void write_front(const std::string& path, const SearchResult& result,
+                 const std::vector<Objective>& objectives);
+
+/// Reads the points of a front file (meta line skipped). Throws
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::vector<EvaluatedPoint> load_front(const std::string& path);
+
+/// Serializes (space, options) so the search can be replayed bit-exactly.
+void write_checkpoint(const std::string& path, const SpaceSpec& space,
+                      const SearchOptions& opts);
+
+/// Inverse of write_checkpoint. Throws std::runtime_error on a missing or
+/// malformed checkpoint.
+void load_checkpoint(const std::string& path, SpaceSpec& space, SearchOptions& opts);
+
+}  // namespace axmult::dse

@@ -1,0 +1,506 @@
+#include "dse/space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::dse {
+
+namespace {
+
+struct LeafInfo {
+  Config::Leaf leaf;
+  const char* token;
+  unsigned width;
+};
+
+constexpr LeafInfo kLeafInfo[] = {
+    {Config::Leaf::kApprox4x4, "a4x4", 4},   {Config::Leaf::kAccurate4x4, "acc4x4", 4},
+    {Config::Leaf::kKulkarni2x2, "k2x2", 2}, {Config::Leaf::kRehman2x2, "w2x2", 2},
+    {Config::Leaf::kAccurate2x2, "acc2x2", 2},
+    {Config::Leaf::kPerturbed4x2Pair, "p4x2", 4},
+};
+
+const LeafInfo& leaf_info(Config::Leaf leaf) {
+  for (const auto& info : kLeafInfo) {
+    if (info.leaf == leaf) return info;
+  }
+  throw std::invalid_argument("dse: unknown leaf kind");
+}
+
+bool has_lower_or(const Config& c) {
+  return std::find(c.summation.begin(), c.summation.end(), mult::Summation::kLowerOr) !=
+         c.summation.end();
+}
+
+}  // namespace
+
+char summation_char(mult::Summation s) noexcept {
+  switch (s) {
+    case mult::Summation::kAccurate: return 'A';
+    case mult::Summation::kCarryFree: return 'C';
+    case mult::Summation::kLowerOr: return 'O';
+  }
+  return '?';
+}
+
+mult::Summation summation_from_char(char c) {
+  switch (c) {
+    case 'A': return mult::Summation::kAccurate;
+    case 'C': return mult::Summation::kCarryFree;
+    case 'O': return mult::Summation::kLowerOr;
+    default: throw std::invalid_argument(std::string("dse: bad summation char '") + c + "'");
+  }
+}
+
+const char* leaf_token(Config::Leaf leaf) { return leaf_info(leaf).token; }
+
+Config::Leaf leaf_from_token(const std::string& token) {
+  for (const auto& info : kLeafInfo) {
+    if (token == info.token) return info.leaf;
+  }
+  throw std::invalid_argument("dse: unknown leaf token '" + token + "'");
+}
+
+LeafTables approx_4x2_tables() {
+  LeafTables tables{};
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::uint64_t p = mult::approx_4x2(a, b);
+      for (unsigned k = 0; k < 6; ++k) {
+        if (bit(p, k)) tables[k] |= std::uint64_t{1} << (a | (b << 4));
+      }
+    }
+  }
+  return tables;
+}
+
+unsigned leaf_width(Config::Leaf leaf) noexcept {
+  for (const auto& info : kLeafInfo) {
+    if (info.leaf == leaf) return info.width;
+  }
+  return 0;
+}
+
+unsigned num_levels(const Config& c) noexcept {
+  unsigned depth = 0;
+  for (unsigned w = c.width; w > leaf_width(c.leaf); w /= 2) ++depth;
+  return depth;
+}
+
+void canonicalize(Config& c) {
+  const unsigned lw = leaf_width(c.leaf);
+  if (!is_pow2(c.width) || c.width < lw) {
+    throw std::invalid_argument("dse::canonicalize: width must be a power of two >= " +
+                                std::to_string(lw));
+  }
+  c.summation.resize(num_levels(c), mult::Summation::kAccurate);
+  if (!has_lower_or(c)) c.lower_or_bits = 0;
+  if (c.trunc_lsbs > 2 * c.width) c.trunc_lsbs = 2 * c.width;
+  if (c.leaf != Config::Leaf::kPerturbed4x2Pair) {
+    c.flips.clear();
+  } else {
+    // Flips form an XOR set: order is irrelevant and pairs cancel.
+    std::sort(c.flips.begin(), c.flips.end());
+    std::vector<TableFlip> kept;
+    for (std::size_t i = 0; i < c.flips.size();) {
+      if (i + 1 < c.flips.size() && c.flips[i] == c.flips[i + 1]) {
+        i += 2;
+      } else {
+        kept.push_back(c.flips[i]);
+        ++i;
+      }
+    }
+    c.flips = std::move(kept);
+  }
+}
+
+std::string config_key(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  std::string key = "w" + std::to_string(canon.width) + ";l=" + leaf_info(canon.leaf).token +
+                    ";s=";
+  for (const mult::Summation s : canon.summation) key += summation_char(s);
+  key += ";o=" + std::to_string(canon.lower_or_bits);
+  key += ";t=" + std::to_string(canon.trunc_lsbs);
+  key += ";x=" + std::string(canon.operand_swap ? "1" : "0");
+  key += ";g=" + std::string(canon.signed_wrapper ? "1" : "0");
+  if (!canon.flips.empty()) {
+    key += ";p=";
+    for (std::size_t i = 0; i < canon.flips.size(); ++i) {
+      if (i) key += ",";
+      key += std::to_string(canon.flips[i].output) + ":" + std::to_string(canon.flips[i].index);
+    }
+  }
+  return key;
+}
+
+Config parse_key(const std::string& key) {
+  Config c;
+  c.summation.clear();
+  bool saw_width = false;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    std::size_t end = key.find(';', pos);
+    if (end == std::string::npos) end = key.size();
+    const std::string token = key.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    if (token[0] == 'w' && token.find('=') == std::string::npos) {
+      c.width = static_cast<unsigned>(std::stoul(token.substr(1)));
+      saw_width = true;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("dse::parse_key: bad token '" + token + "'");
+    }
+    const std::string field = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (field == "l") {
+      bool found = false;
+      for (const auto& info : kLeafInfo) {
+        if (value == info.token) {
+          c.leaf = info.leaf;
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw std::invalid_argument("dse::parse_key: unknown leaf '" + value + "'");
+    } else if (field == "s") {
+      for (const char ch : value) c.summation.push_back(summation_from_char(ch));
+    } else if (field == "o") {
+      c.lower_or_bits = static_cast<unsigned>(std::stoul(value));
+    } else if (field == "t") {
+      c.trunc_lsbs = static_cast<unsigned>(std::stoul(value));
+    } else if (field == "x") {
+      c.operand_swap = value == "1";
+    } else if (field == "g") {
+      c.signed_wrapper = value == "1";
+    } else if (field == "p") {
+      std::size_t p = 0;
+      while (p < value.size()) {
+        std::size_t comma = value.find(',', p);
+        if (comma == std::string::npos) comma = value.size();
+        const std::string flip = value.substr(p, comma - p);
+        p = comma + 1;
+        const std::size_t colon = flip.find(':');
+        if (colon == std::string::npos) {
+          throw std::invalid_argument("dse::parse_key: bad flip '" + flip + "'");
+        }
+        c.flips.push_back({static_cast<std::uint8_t>(std::stoul(flip.substr(0, colon))),
+                           static_cast<std::uint8_t>(std::stoul(flip.substr(colon + 1)))});
+      }
+    } else {
+      throw std::invalid_argument("dse::parse_key: unknown field '" + field + "'");
+    }
+  }
+  if (!saw_width) throw std::invalid_argument("dse::parse_key: missing width");
+  for (const TableFlip& f : c.flips) {
+    if (f.output >= 6 || f.index >= 64) {
+      throw std::invalid_argument("dse::parse_key: flip out of range");
+    }
+  }
+  canonicalize(c);
+  return c;
+}
+
+std::uint64_t config_hash(const Config& c) {
+  const std::string key = config_key(c);
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (const char ch : key) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string display_name(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  std::string name = "dse_w" + std::to_string(canon.width) + "_" + leaf_info(canon.leaf).token;
+  if (!canon.summation.empty()) {
+    name += "_";
+    for (const mult::Summation s : canon.summation) name += summation_char(s);
+  }
+  if (canon.lower_or_bits) name += "_o" + std::to_string(canon.lower_or_bits);
+  if (canon.trunc_lsbs) name += "_t" + std::to_string(canon.trunc_lsbs);
+  if (canon.operand_swap) name += "_x";
+  if (canon.signed_wrapper) name += "_sgn";
+  if (!canon.flips.empty()) name += "_f" + std::to_string(canon.flips.size());
+  return name;
+}
+
+Config paper_ca(unsigned width) {
+  Config c;
+  c.width = width;
+  c.leaf = Config::Leaf::kApprox4x4;
+  c.summation.assign(num_levels(c), mult::Summation::kAccurate);
+  canonicalize(c);
+  return c;
+}
+
+Config paper_cc(unsigned width) {
+  Config c = paper_ca(width);
+  std::fill(c.summation.begin(), c.summation.end(), mult::Summation::kCarryFree);
+  return c;
+}
+
+Config paper_approx4x4() { return paper_ca(4); }
+
+// ---- space ----------------------------------------------------------------
+
+SpaceSpec make_space(const std::string& preset) {
+  SpaceSpec spec;
+  spec.name = preset;
+  if (preset == "paper8") {
+    spec.widths = {8};
+    spec.summations = {mult::Summation::kAccurate, mult::Summation::kCarryFree,
+                       mult::Summation::kLowerOr};
+    spec.max_trunc = 4;
+    spec.max_tt_flips = 2;
+  } else if (preset == "paper4") {
+    spec.widths = {4};
+    spec.max_trunc = 2;
+    spec.max_tt_flips = 2;
+  } else if (preset == "smoke8") {
+    // Small enough for exhaustive enumeration in CI seconds, yet containing
+    // the paper's Ca8/Cc8 anchors and their main competitors.
+    spec.widths = {8};
+    spec.leaves = {Config::Leaf::kApprox4x4, Config::Leaf::kAccurate4x4,
+                   Config::Leaf::kKulkarni2x2};
+    spec.max_trunc = 2;
+    spec.allow_swap = false;
+    spec.allow_signed = false;
+    spec.max_tt_flips = 0;
+  } else if (preset == "wide16") {
+    spec.widths = {16};
+    spec.leaves = {Config::Leaf::kApprox4x4, Config::Leaf::kAccurate4x4,
+                   Config::Leaf::kPerturbed4x2Pair};
+    spec.max_trunc = 8;
+    spec.max_tt_flips = 2;
+  } else if (preset == "signed8") {
+    spec.widths = {8};
+    spec.allow_signed = true;
+    spec.max_trunc = 2;
+    spec.max_tt_flips = 1;
+  } else {
+    throw std::invalid_argument("dse::make_space: unknown preset '" + preset + "'");
+  }
+  return spec;
+}
+
+std::vector<std::string> space_names() {
+  return {"paper4", "paper8", "smoke8", "wide16", "signed8"};
+}
+
+namespace {
+
+std::vector<Config::Leaf> compatible_leaves(const SpaceSpec& spec, unsigned width) {
+  std::vector<Config::Leaf> out;
+  for (const Config::Leaf leaf : spec.leaves) {
+    if (leaf_width(leaf) <= width) out.push_back(leaf);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Config> enumerate(const SpaceSpec& spec) {
+  std::vector<Config> out;
+  const std::size_t nsum = spec.summations.size();
+  for (const unsigned width : spec.widths) {
+    for (const Config::Leaf leaf : compatible_leaves(spec, width)) {
+      Config base;
+      base.width = width;
+      base.leaf = leaf;
+      const unsigned levels = num_levels(base);
+      // Odometer over the per-level summation schedule.
+      std::vector<std::size_t> digits(levels, 0);
+      for (;;) {
+        base.summation.clear();
+        for (unsigned i = 0; i < levels; ++i) base.summation.push_back(spec.summations[digits[i]]);
+        const bool uses_or = has_lower_or(base);
+        const std::vector<unsigned> lob_options =
+            uses_or ? spec.lower_or_options : std::vector<unsigned>{0};
+        for (const unsigned lob : lob_options) {
+          base.lower_or_bits = lob;
+          for (unsigned trunc = 0; trunc <= spec.max_trunc; ++trunc) {
+            base.trunc_lsbs = trunc;
+            for (const bool swap : spec.allow_swap ? std::vector<bool>{false, true}
+                                                   : std::vector<bool>{false}) {
+              base.operand_swap = swap;
+              for (const bool sgn : spec.allow_signed ? std::vector<bool>{false, true}
+                                                      : std::vector<bool>{false}) {
+                base.signed_wrapper = sgn;
+                Config c = base;
+                canonicalize(c);
+                out.push_back(std::move(c));
+              }
+            }
+          }
+        }
+        // Advance the odometer (terminates immediately when levels == 0).
+        unsigned pos = 0;
+        for (; pos < levels; ++pos) {
+          if (++digits[pos] < nsum) break;
+          digits[pos] = 0;
+        }
+        if (pos == levels) break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+TableFlip random_flip(Xoshiro256& rng) {
+  return {static_cast<std::uint8_t>(rng.below(6)), static_cast<std::uint8_t>(rng.below(64))};
+}
+
+}  // namespace
+
+Config sample(const SpaceSpec& spec, Xoshiro256& rng) {
+  Config c;
+  c.width = spec.widths[rng.below(spec.widths.size())];
+  const std::vector<Config::Leaf> leaves = compatible_leaves(spec, c.width);
+  if (leaves.empty()) throw std::invalid_argument("dse::sample: no leaf fits the width");
+  c.leaf = leaves[rng.below(leaves.size())];
+  const unsigned levels = num_levels(c);
+  c.summation.clear();
+  for (unsigned i = 0; i < levels; ++i) {
+    c.summation.push_back(spec.summations[rng.below(spec.summations.size())]);
+  }
+  if (has_lower_or(c) && !spec.lower_or_options.empty()) {
+    c.lower_or_bits = spec.lower_or_options[rng.below(spec.lower_or_options.size())];
+  }
+  c.trunc_lsbs = static_cast<unsigned>(rng.below(spec.max_trunc + 1));
+  c.operand_swap = spec.allow_swap && rng.below(2) == 1;
+  c.signed_wrapper = spec.allow_signed && rng.below(2) == 1;
+  if (c.leaf == Config::Leaf::kPerturbed4x2Pair && spec.max_tt_flips > 0) {
+    const std::uint64_t n = rng.below(spec.max_tt_flips + 1);
+    for (std::uint64_t i = 0; i < n; ++i) c.flips.push_back(random_flip(rng));
+  }
+  canonicalize(c);
+  return c;
+}
+
+Config mutate(const SpaceSpec& spec, const Config& c, Xoshiro256& rng) {
+  Config m = c;
+  canonicalize(m);
+  // Applicable move kinds; chosen uniformly so the search stays ergodic
+  // over every dimension the space allows.
+  enum Move : unsigned {
+    kResum,
+    kReleaf,
+    kRewidth,
+    kTrunc,
+    kSwap,
+    kSigned,
+    kLowerOr,
+    kFlip,
+  };
+  std::vector<Move> moves;
+  if (!m.summation.empty() && spec.summations.size() > 1) moves.push_back(kResum);
+  if (compatible_leaves(spec, m.width).size() > 1) moves.push_back(kReleaf);
+  if (spec.widths.size() > 1) moves.push_back(kRewidth);
+  if (spec.max_trunc > 0) moves.push_back(kTrunc);
+  if (spec.allow_swap) moves.push_back(kSwap);
+  if (spec.allow_signed) moves.push_back(kSigned);
+  if (has_lower_or(m) && spec.lower_or_options.size() > 1) moves.push_back(kLowerOr);
+  if (m.leaf == Config::Leaf::kPerturbed4x2Pair && spec.max_tt_flips > 0) moves.push_back(kFlip);
+  if (moves.empty()) return m;
+
+  switch (moves[rng.below(moves.size())]) {
+    case kResum: {
+      const std::size_t level = rng.below(m.summation.size());
+      m.summation[level] = spec.summations[rng.below(spec.summations.size())];
+      if (has_lower_or(m) && m.lower_or_bits == 0 && !spec.lower_or_options.empty()) {
+        m.lower_or_bits = spec.lower_or_options[rng.below(spec.lower_or_options.size())];
+      }
+      break;
+    }
+    case kReleaf: {
+      const std::vector<Config::Leaf> leaves = compatible_leaves(spec, m.width);
+      m.leaf = leaves[rng.below(leaves.size())];
+      // The schedule depth may change; fresh levels get random entries.
+      const unsigned levels = num_levels(m);
+      while (m.summation.size() < levels) {
+        m.summation.push_back(spec.summations[rng.below(spec.summations.size())]);
+      }
+      m.summation.resize(levels);
+      break;
+    }
+    case kRewidth: {
+      m.width = spec.widths[rng.below(spec.widths.size())];
+      const std::vector<Config::Leaf> leaves = compatible_leaves(spec, m.width);
+      if (std::find(leaves.begin(), leaves.end(), m.leaf) == leaves.end()) {
+        m.leaf = leaves[rng.below(leaves.size())];
+      }
+      const unsigned levels = num_levels(m);
+      while (m.summation.size() < levels) {
+        m.summation.push_back(spec.summations[rng.below(spec.summations.size())]);
+      }
+      m.summation.resize(levels);
+      if (m.trunc_lsbs > spec.max_trunc) m.trunc_lsbs = spec.max_trunc;
+      break;
+    }
+    case kTrunc:
+      if (m.trunc_lsbs == 0) {
+        ++m.trunc_lsbs;
+      } else if (m.trunc_lsbs >= spec.max_trunc) {
+        --m.trunc_lsbs;
+      } else {
+        m.trunc_lsbs += rng.below(2) == 1 ? 1u : static_cast<unsigned>(-1);
+      }
+      break;
+    case kSwap: m.operand_swap = !m.operand_swap; break;
+    case kSigned: m.signed_wrapper = !m.signed_wrapper; break;
+    case kLowerOr:
+      m.lower_or_bits = spec.lower_or_options[rng.below(spec.lower_or_options.size())];
+      break;
+    case kFlip:
+      if (m.flips.empty()) {
+        m.flips.push_back(random_flip(rng));
+      } else if (m.flips.size() >= spec.max_tt_flips) {
+        // At budget: move or drop one flip.
+        const std::size_t victim = rng.below(m.flips.size());
+        if (rng.below(2) == 1) {
+          m.flips[victim] = random_flip(rng);
+        } else {
+          m.flips.erase(m.flips.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+      } else if (rng.below(2) == 1) {
+        m.flips.push_back(random_flip(rng));
+      } else {
+        m.flips.erase(m.flips.begin() + static_cast<std::ptrdiff_t>(rng.below(m.flips.size())));
+      }
+      break;
+  }
+  canonicalize(m);
+  return m;
+}
+
+Config crossover(const SpaceSpec& spec, const Config& a, const Config& b, Xoshiro256& rng) {
+  (void)spec;
+  Config c = a;
+  canonicalize(c);
+  if (a.width != b.width || a.leaf != b.leaf) return c;
+  Config cb = b;
+  canonicalize(cb);
+  for (std::size_t i = 0; i < c.summation.size() && i < cb.summation.size(); ++i) {
+    if (rng.below(2) == 1) c.summation[i] = cb.summation[i];
+  }
+  if (rng.below(2) == 1) c.lower_or_bits = cb.lower_or_bits;
+  if (rng.below(2) == 1) c.trunc_lsbs = cb.trunc_lsbs;
+  if (rng.below(2) == 1) c.operand_swap = cb.operand_swap;
+  if (rng.below(2) == 1) c.signed_wrapper = cb.signed_wrapper;
+  if (rng.below(2) == 1) c.flips = cb.flips;
+  canonicalize(c);
+  return c;
+}
+
+}  // namespace axmult::dse

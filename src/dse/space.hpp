@@ -1,0 +1,156 @@
+// Configuration space of the design-space exploration engine.
+//
+// A dse::Config describes one point in the parameterized multiplier space
+// the paper opens up (and AMG-style follow-up work searches): operand
+// width, the elementary module (including bounded LUT-INIT perturbations
+// of the 4x2 block), an independent Ca/Cc/Cb summation choice per
+// recursion level, result truncation, the operand-swap flag and the
+// sign-magnitude wrapper. Configs canonicalize to a stable, parseable key
+// string — the identity used by the evaluation cache, the front JSON and
+// the checkpoint/resume machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::dse {
+
+/// One flipped entry of a 4x2 leaf truth table: `output` is the product
+/// bit (0..5), `index` the table row (a | b << 4, 0..63).
+struct TableFlip {
+  std::uint8_t output = 0;
+  std::uint8_t index = 0;
+
+  friend bool operator==(const TableFlip&, const TableFlip&) = default;
+  friend auto operator<=>(const TableFlip&, const TableFlip&) = default;
+};
+
+/// Per-output-bit truth tables of a 4x2 block: bit (a | b << 4) of
+/// `tables[k]` is product bit k for a 4-bit operand a and 2-bit operand b.
+using LeafTables = std::array<std::uint64_t, 6>;
+
+/// The paper's approximate 4x2 module (Section 3.1) as truth tables — the
+/// base point every perturbed leaf XORs its flips onto.
+[[nodiscard]] LeafTables approx_4x2_tables();
+
+struct Config {
+  /// Elementary module at the bottom of the recursion.
+  enum class Leaf : std::uint8_t {
+    kApprox4x4,        ///< the paper's Table 3 module
+    kAccurate4x4,      ///< accurate 4x4 tree
+    kKulkarni2x2,      ///< K-style 2x2
+    kRehman2x2,        ///< W-style 2x2
+    kAccurate2x2,      ///< accurate 2x2
+    kPerturbed4x2Pair  ///< two (possibly INIT-perturbed) 4x2 blocks + add
+  };
+
+  unsigned width = 8;  ///< operand bits of the unsigned core (power of two)
+  Leaf leaf = Leaf::kApprox4x4;
+  /// Summation per recursion level, outermost (width -> width/2) first;
+  /// exactly log2(width / leaf_width) entries after canonicalization.
+  std::vector<mult::Summation> summation;
+  /// Columns OR'd per kLowerOr level (0 when no level uses kLowerOr).
+  unsigned lower_or_bits = 0;
+  /// Product LSBs tied to constant zero (result truncation).
+  unsigned trunc_lsbs = 0;
+  /// Operands exchanged at the top level (the Cas/Ccs wiring trick).
+  bool operand_swap = false;
+  /// Sign-magnitude wrapper: (width+1)-bit two's-complement ports around
+  /// the unsigned core (conditional negate on both operands + product).
+  bool signed_wrapper = false;
+  /// XOR flips applied to the base 4x2 tables (kPerturbed4x2Pair only),
+  /// sorted and duplicate-free after canonicalization.
+  std::vector<TableFlip> flips;
+
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+/// Operand bits of a leaf kind (4 or 2).
+[[nodiscard]] unsigned leaf_width(Config::Leaf leaf) noexcept;
+
+/// Key-string token of a leaf kind ("a4x4", "p4x2", ...) and its inverse
+/// (throws std::invalid_argument on unknown tokens). Shared by the config
+/// keys and the checkpoint serialization.
+[[nodiscard]] const char* leaf_token(Config::Leaf leaf);
+[[nodiscard]] Config::Leaf leaf_from_token(const std::string& token);
+
+/// Key-string character of a summation kind ('A'/'C'/'O') and its inverse.
+[[nodiscard]] char summation_char(mult::Summation s) noexcept;
+[[nodiscard]] mult::Summation summation_from_char(char c);
+
+/// Recursion levels of a (canonical) config: log2(width / leaf width).
+[[nodiscard]] unsigned num_levels(const Config& c) noexcept;
+
+/// Normalizes a config in place: clamps/extends the summation schedule,
+/// drops meaningless fields (lower_or_bits without a kLowerOr level, flips
+/// on a non-perturbed leaf), sorts the flips and cancels duplicates.
+void canonicalize(Config& c);
+
+/// Stable, human-readable, parseable identity, e.g.
+///   "w8;l=a4x4;s=A;o=0;t=0;x=0;g=0"           (the Ca8 point)
+///   "w8;l=p4x2;s=C;o=0;t=2;x=1;g=0;p=3:17,5:40"
+/// Canonicalizes a copy first, so equal designs always share one key.
+[[nodiscard]] std::string config_key(const Config& c);
+
+/// Inverse of config_key; throws std::invalid_argument on malformed keys.
+[[nodiscard]] Config parse_key(const std::string& key);
+
+/// FNV-1a hash of the canonical key.
+[[nodiscard]] std::uint64_t config_hash(const Config& c);
+
+/// Compact display / HDL-friendly name, e.g. "dse_w8_a4x4_AA".
+[[nodiscard]] std::string display_name(const Config& c);
+
+/// The paper's hand-crafted designs expressed as configs (the acceptance
+/// anchors the search must rediscover as non-dominated points).
+[[nodiscard]] Config paper_ca(unsigned width);    ///< Ca: approx 4x4, accurate sum
+[[nodiscard]] Config paper_cc(unsigned width);    ///< Cc: approx 4x4, carry-free sum
+[[nodiscard]] Config paper_approx4x4();           ///< the Table 3 module itself
+
+// ---- the searchable space ------------------------------------------------
+
+struct SpaceSpec {
+  std::string name = "custom";
+  std::vector<unsigned> widths{8};
+  std::vector<Config::Leaf> leaves{Config::Leaf::kApprox4x4, Config::Leaf::kAccurate4x4,
+                                   Config::Leaf::kKulkarni2x2, Config::Leaf::kRehman2x2,
+                                   Config::Leaf::kAccurate2x2, Config::Leaf::kPerturbed4x2Pair};
+  std::vector<mult::Summation> summations{mult::Summation::kAccurate,
+                                          mult::Summation::kCarryFree};
+  /// lower_or_bits choices for schedules containing kLowerOr.
+  std::vector<unsigned> lower_or_options{2, 4};
+  unsigned max_trunc = 4;  ///< trunc_lsbs ranges over 0..max_trunc
+  bool allow_swap = true;
+  bool allow_signed = false;
+  /// Perturbation budget: at most this many table flips per config
+  /// (0 disables the LUT-INIT dimension even for kPerturbed4x2Pair).
+  unsigned max_tt_flips = 2;
+};
+
+/// Named presets: "paper4", "paper8", "smoke8" (the CI smoke space),
+/// "wide16" (sampled error evaluation), "signed8". Throws on unknown names.
+[[nodiscard]] SpaceSpec make_space(const std::string& preset);
+[[nodiscard]] std::vector<std::string> space_names();
+
+/// All configs of the space *without* table perturbations (the flips
+/// dimension is continuous-ish and only reachable via sample/mutate).
+/// Deterministic order.
+[[nodiscard]] std::vector<Config> enumerate(const SpaceSpec& spec);
+
+/// One uniformly drawn config (flips included up to the budget).
+[[nodiscard]] Config sample(const SpaceSpec& spec, Xoshiro256& rng);
+
+/// One random edit move, staying inside the space.
+[[nodiscard]] Config mutate(const SpaceSpec& spec, const Config& c, Xoshiro256& rng);
+
+/// Field-wise recombination; falls back to a copy of `a` when the parents
+/// are structurally incompatible (different width or leaf).
+[[nodiscard]] Config crossover(const SpaceSpec& spec, const Config& a, const Config& b,
+                               Xoshiro256& rng);
+
+}  // namespace axmult::dse

@@ -109,11 +109,8 @@ PairSource gaussian_source(unsigned a_bits, unsigned b_bits, std::uint64_t n, do
     if (*remaining == 0) return false;
     --*remaining;
     auto draw = [&](double maxv) {
-      // Box-Muller, clipped to the operand range.
-      const double u1 = std::max(rng->uniform01(), 1e-12);
-      const double u2 = rng->uniform01();
-      const double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-      const double v = mean + sigma * g;
+      // Shared Box-Muller draw, clipped to the operand range.
+      const double v = mean + sigma * gaussian01(*rng);
       return static_cast<std::uint64_t>(std::llround(std::min(std::max(v, 0.0), maxv)));
     };
     a = draw(amax);
@@ -476,7 +473,7 @@ SweepResult sweep_sampled(const mult::Multiplier& m, std::uint64_t n, std::uint6
                                     std::uint64_t end) {
       // Chunk-local stream: the sample set depends on (seed, chunk_pairs)
       // but not on which thread drew it.
-      Xoshiro256 rng(seed ^ ((begin + 1) * 0x9E3779B97F4A7C15ULL));
+      Xoshiro256 rng(derive_stream_seed(seed, begin));
       for (std::uint64_t i = begin; i < end; ++i) {
         const std::uint64_t a = rng() & amask;
         const std::uint64_t b = rng() & bmask;

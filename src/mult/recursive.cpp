@@ -56,35 +56,80 @@ RecursiveMultiplier::RecursiveMultiplier(unsigned width, Elementary elementary,
       summation_(summation),
       name_(display_name.empty() ? default_name(width, elementary, summation)
                                  : std::move(display_name)),
-      lower_or_bits_(lower_or_bits) {
-  const unsigned ew = elementary_width(elementary);
-  if (!is_pow2(width) || width < ew) {
+      lower_or_bits_(lower_or_bits),
+      leaf_width_(elementary_width(elementary)) {
+  check_width();
+}
+
+RecursiveMultiplier::RecursiveMultiplier(unsigned width, Elementary elementary,
+                                         std::vector<Summation> level_summation,
+                                         std::string display_name, unsigned lower_or_bits)
+    : width_(width),
+      elementary_(elementary),
+      summation_(level_summation.empty() ? Summation::kAccurate : level_summation.front()),
+      name_(display_name.empty() ? default_name(width, elementary, summation_)
+                                 : std::move(display_name)),
+      lower_or_bits_(lower_or_bits),
+      levels_(std::move(level_summation)),
+      leaf_width_(elementary_width(elementary)) {
+  check_width();
+}
+
+RecursiveMultiplier::RecursiveMultiplier(unsigned width, unsigned leaf_width, LeafFn leaf,
+                                         std::vector<Summation> level_summation,
+                                         std::string display_name, unsigned lower_or_bits)
+    : width_(width),
+      elementary_(Elementary::kApprox4x4),  // unused: leaf_ takes precedence
+      summation_(level_summation.empty() ? Summation::kAccurate : level_summation.front()),
+      name_(std::move(display_name)),
+      lower_or_bits_(lower_or_bits),
+      levels_(std::move(level_summation)),
+      leaf_width_(leaf_width),
+      leaf_(std::move(leaf)) {
+  if (!leaf_) throw std::invalid_argument("RecursiveMultiplier: null custom leaf");
+  check_width();
+}
+
+void RecursiveMultiplier::check_width() const {
+  if (!is_pow2(width_) || !is_pow2(leaf_width_) || width_ < leaf_width_) {
     throw std::invalid_argument("RecursiveMultiplier: width must be a power of two >= " +
-                                std::to_string(ew));
+                                std::to_string(leaf_width_));
+  }
+  if (!levels_.empty() || leaf_) {
+    unsigned depth = 0;
+    for (unsigned w = width_; w > leaf_width_; w /= 2) ++depth;
+    if (!levels_.empty() && levels_.size() != depth) {
+      throw std::invalid_argument("RecursiveMultiplier: level_summation needs " +
+                                  std::to_string(depth) + " entries");
+    }
   }
 }
 
 std::uint64_t RecursiveMultiplier::multiply(std::uint64_t a, std::uint64_t b) const {
-  return rec(a & low_mask(width_), b & low_mask(width_), width_);
+  return rec(a & low_mask(width_), b & low_mask(width_), width_, 0);
 }
 
-std::uint64_t RecursiveMultiplier::rec(std::uint64_t a, std::uint64_t b, unsigned w) const {
-  if (w == elementary_width(elementary_)) return eval_elementary(elementary_, a, b);
+std::uint64_t RecursiveMultiplier::rec(std::uint64_t a, std::uint64_t b, unsigned w,
+                                       unsigned level) const {
+  if (w == leaf_width_) {
+    return leaf_ ? leaf_(a, b) : eval_elementary(elementary_, a, b);
+  }
+  const Summation summation = levels_.empty() ? summation_ : levels_[level];
   const unsigned m = w / 2;
   const std::uint64_t al = a & low_mask(m);
   const std::uint64_t ah = a >> m;
   const std::uint64_t bl = b & low_mask(m);
   const std::uint64_t bh = b >> m;
-  const std::uint64_t pp0 = rec(al, bl, m);
-  const std::uint64_t pp1 = rec(ah, bl, m);
-  const std::uint64_t pp2 = rec(al, bh, m);
-  const std::uint64_t pp3 = rec(ah, bh, m);
+  const std::uint64_t pp0 = rec(al, bl, m, level + 1);
+  const std::uint64_t pp1 = rec(ah, bl, m, level + 1);
+  const std::uint64_t pp2 = rec(al, bh, m, level + 1);
+  const std::uint64_t pp3 = rec(ah, bh, m, level + 1);
 
-  if (summation_ == Summation::kAccurate) {
+  if (summation == Summation::kAccurate) {
     return pp0 + ((pp1 + pp2) << m) + (pp3 << (2 * m));
   }
 
-  if (summation_ == Summation::kLowerOr) {
+  if (summation == Summation::kLowerOr) {
     // Hybrid summation: relative columns [0, L) of the middle section are
     // OR'd without carries; the remaining columns are summed accurately
     // (the carry into the accurate section is dropped at the boundary).

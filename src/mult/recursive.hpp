@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "mult/multiplier.hpp"
 
@@ -41,11 +42,32 @@ enum class Elementary : std::uint8_t {
 /// Behavioral model of a recursively composed multiplier.
 class RecursiveMultiplier final : public Multiplier {
  public:
+  /// Behavioral model of a leaf block: exact or approximate product of two
+  /// leaf-width operands (operands already masked to the leaf width).
+  using LeafFn = std::function<std::uint64_t(std::uint64_t, std::uint64_t)>;
+
   /// `width` must be a power of two and a multiple of the elementary width.
   /// `lower_or_bits` only applies to Summation::kLowerOr: the number of
   /// middle columns (per recursion level) summed by carry-free OR.
   RecursiveMultiplier(unsigned width, Elementary elementary, Summation summation,
                       std::string display_name = {}, unsigned lower_or_bits = 0);
+
+  /// Per-level summation: `level_summation[0]` combines the outermost
+  /// (width -> width/2) level and so on down to the elementary blocks; it
+  /// must have exactly log2(width / elementary_width) entries (so it is
+  /// empty when width equals the elementary width). This is the
+  /// configuration used by the DSE engine, where every composition level
+  /// picks Ca/Cc/Cb independently.
+  RecursiveMultiplier(unsigned width, Elementary elementary,
+                      std::vector<Summation> level_summation, std::string display_name = {},
+                      unsigned lower_or_bits = 0);
+
+  /// Custom leaf: recursion stops at `leaf_width` and evaluates `leaf`
+  /// (e.g. a LUT-INIT-perturbed module searched by the DSE engine). The
+  /// elementary() accessor is meaningless for these instances.
+  RecursiveMultiplier(unsigned width, unsigned leaf_width, LeafFn leaf,
+                      std::vector<Summation> level_summation, std::string display_name,
+                      unsigned lower_or_bits = 0);
 
   [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override;
   [[nodiscard]] unsigned a_bits() const noexcept override { return width_; }
@@ -55,15 +77,24 @@ class RecursiveMultiplier final : public Multiplier {
   [[nodiscard]] Elementary elementary() const noexcept { return elementary_; }
   [[nodiscard]] Summation summation() const noexcept { return summation_; }
   [[nodiscard]] unsigned lower_or_bits() const noexcept { return lower_or_bits_; }
+  /// Per-level schedule, outermost first (empty = uniform summation()).
+  [[nodiscard]] const std::vector<Summation>& level_summation() const noexcept {
+    return levels_;
+  }
 
  private:
-  [[nodiscard]] std::uint64_t rec(std::uint64_t a, std::uint64_t b, unsigned w) const;
+  [[nodiscard]] std::uint64_t rec(std::uint64_t a, std::uint64_t b, unsigned w,
+                                  unsigned level) const;
+  void check_width() const;
 
   unsigned width_;
   Elementary elementary_;
   Summation summation_;
   std::string name_;
   unsigned lower_or_bits_ = 0;
+  std::vector<Summation> levels_;  ///< empty = summation_ at every level
+  unsigned leaf_width_;            ///< elementary_width(...) or custom
+  LeafFn leaf_;                    ///< empty = eval the standard elementary
 };
 
 /// The paper's named configurations.

@@ -282,8 +282,12 @@ BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
   auto stage = [&](BitVec v) {
     return spec.pipelined ? register_bits(nl, v, prefix + ".pipe") : v;
   };
-  const unsigned ew = mult::elementary_width(spec.elementary);
+  const unsigned ew = spec.custom_elementary ? spec.custom_leaf_width
+                                             : mult::elementary_width(spec.elementary);
   if (w == ew) {
+    if (spec.custom_elementary) {
+      return stage(spec.custom_elementary(nl, a, b, prefix));
+    }
     switch (spec.elementary) {
       case mult::Elementary::kApprox4x4: return stage(build_approx_4x4(nl, a, b, prefix));
       case mult::Elementary::kAccurate4x4: return stage(build_accurate_4x4(nl, a, b, prefix));
@@ -296,8 +300,15 @@ BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
     }
   }
   const unsigned m = w / 2;
+  // This level's summation: explicit schedule entry when one is given
+  // (outermost first), the uniform default otherwise.
+  const mult::Summation summation =
+      spec.level_summation.empty() ? spec.summation : spec.level_summation.front();
   GeneratorSpec sub = spec;
   sub.width = m;
+  if (!sub.level_summation.empty()) {
+    sub.level_summation.erase(sub.level_summation.begin());
+  }
   const BitVec al(a.begin(), a.begin() + m);
   const BitVec ah(a.begin() + m, a.end());
   const BitVec bl(b.begin(), b.begin() + m);
@@ -310,7 +321,7 @@ BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
   BitVec product(4 * m, kNetGnd);
   for (unsigned i = 0; i < m; ++i) product[i] = bit_or_gnd(pp0, i);
 
-  if (spec.summation == mult::Summation::kAccurate) {
+  if (summation == mult::Summation::kAccurate) {
     // The X operand holds PP0's high half and (disjointly, from relative
     // column m) PP3; Y and Z hold PP1 and PP2.
     BitVec x(3 * m, kNetGnd);
@@ -331,7 +342,7 @@ BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
       s = build_binary_add(nl, t, x, 3 * m, prefix + ".sum1");
     }
     for (unsigned c = 0; c < 3 * m; ++c) product[m + c] = s[c];
-  } else if (spec.summation == mult::Summation::kLowerOr) {
+  } else if (summation == mult::Summation::kLowerOr) {
     // Hybrid Cb summation: relative columns [0, L) OR'd without carries,
     // the rest on one accurate ternary chain (carry into the accurate
     // section dropped at the boundary).
@@ -374,11 +385,8 @@ BitVec build_recursive(Netlist& nl, const BitVec& a, const BitVec& b,
   return stage(product);
 }
 
-namespace {
-
-/// Declares a0..a(n-1), b0..b(n-1) inputs and p outputs around a fragment.
-fabric::Netlist wrap(unsigned width,
-                     const std::function<BitVec(Netlist&, const BitVec&, const BitVec&)>& body) {
+fabric::Netlist wrap_netlist(
+    unsigned width, const std::function<BitVec(Netlist&, const BitVec&, const BitVec&)>& body) {
   Netlist nl;
   BitVec a;
   BitVec b;
@@ -389,6 +397,14 @@ fabric::Netlist wrap(unsigned width,
     nl.add_output("p" + std::to_string(i), p[i]);
   }
   return nl;
+}
+
+namespace {
+
+/// Local alias: declares a0..a(n-1), b0..b(n-1) inputs and p outputs.
+fabric::Netlist wrap(unsigned width,
+                     const std::function<BitVec(Netlist&, const BitVec&, const BitVec&)>& body) {
+  return wrap_netlist(width, body);
 }
 
 }  // namespace

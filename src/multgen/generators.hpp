@@ -8,7 +8,9 @@
 // equivalence tests can compare against the behavioral models bit-for-bit.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "fabric/netlist.hpp"
 #include "multgen/builders.hpp"
@@ -69,6 +71,20 @@ struct GeneratorSpec {
   /// elementary modules): latency = log2(width/4) + 1 cycles, minimum
   /// clock period = one level of logic.
   bool pipelined = false;
+  /// Per-level summation override, outermost (width -> width/2) first.
+  /// When non-empty it must have one entry per composition level and takes
+  /// precedence over `summation` (the DSE engine explores mixed Ca/Cc/Cb
+  /// schedules this way). `lower_or_bits` still applies to every kLowerOr
+  /// level.
+  std::vector<mult::Summation> level_summation;
+  /// Custom elementary fragment (used by the DSE engine for LUT-INIT
+  /// perturbed modules): when set, the recursion stops at
+  /// `custom_leaf_width` (a power of two) and instantiates this builder
+  /// instead of `elementary`. The builder must return 2*custom_leaf_width
+  /// product bits for custom_leaf_width-bit operand slices.
+  unsigned custom_leaf_width = 0;
+  std::function<BitVec(fabric::Netlist&, const BitVec&, const BitVec&, const std::string&)>
+      custom_elementary;
 };
 
 /// Recursively composes a width x width multiplier fragment (Section 4).
@@ -79,6 +95,13 @@ struct GeneratorSpec {
 
 /// Wraps a fragment builder with primary I/O declarations.
 [[nodiscard]] fabric::Netlist make_netlist(const GeneratorSpec& spec);
+
+/// Declares a0..a(width-1), b0..b(width-1) inputs, runs `body`, and
+/// declares its result bits as outputs p0..p(k-1) — the I/O convention all
+/// the sweep/equivalence machinery expects. Exposed for composed designs
+/// (operand swap, truncation, wrappers) built outside this file.
+[[nodiscard]] fabric::Netlist wrap_netlist(
+    unsigned width, const std::function<BitVec(fabric::Netlist&, const BitVec&, const BitVec&)>& body);
 
 [[nodiscard]] fabric::Netlist make_ca_netlist(unsigned width);
 [[nodiscard]] fabric::Netlist make_cc_netlist(unsigned width);

@@ -1,0 +1,393 @@
+// Acceptance tests for the design-space exploration engine (src/dse/):
+// canonical config keys, model/netlist agreement across every searched
+// dimension, cache persistence, determinism of the NSGA-II front for any
+// thread count, resume-equals-replay, and rediscovery of the paper's
+// hand-crafted designs as non-dominated points.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+#include "fabric/netlist.hpp"
+#include "mult/elementary.hpp"
+#include "mult/recursive.hpp"
+#include "mult/signed_wrapper.hpp"
+
+namespace axmult::dse {
+namespace {
+
+/// Cheap evaluation options for unit tests: exhaustive error on anything
+/// up to 8x8 and a small toggle-vector budget.
+EvalOptions fast_eval() {
+  EvalOptions eval;
+  eval.exhaustive_bits = 16;
+  eval.samples = 4096;
+  eval.power_vectors = 64;
+  return eval;
+}
+
+TEST(DseSpace, KeyRoundTrip) {
+  Config c;
+  c.width = 8;
+  c.leaf = Config::Leaf::kPerturbed4x2Pair;
+  c.summation = {mult::Summation::kCarryFree};
+  c.trunc_lsbs = 2;
+  c.operand_swap = true;
+  c.flips = {{3, 17}, {0, 5}};
+  const std::string key = config_key(c);
+  EXPECT_EQ(key, "w8;l=p4x2;s=C;o=0;t=2;x=1;g=0;p=0:5,3:17");
+  const Config back = parse_key(key);
+  EXPECT_EQ(config_key(back), key);
+  EXPECT_EQ(back.flips.size(), 2u);
+  EXPECT_EQ(config_hash(c), config_hash(back));
+}
+
+TEST(DseSpace, CanonicalizationCancelsFlipPairsAndDropsDeadFields) {
+  Config c;
+  c.width = 8;
+  c.leaf = Config::Leaf::kApprox4x4;
+  c.summation = {mult::Summation::kAccurate};
+  c.lower_or_bits = 4;                 // no kLowerOr level -> dropped
+  c.flips = {{1, 2}, {1, 2}, {5, 9}};  // non-perturbed leaf -> cleared
+  canonicalize(c);
+  EXPECT_EQ(c.lower_or_bits, 0u);
+  EXPECT_TRUE(c.flips.empty());
+  EXPECT_EQ(config_key(c), "w8;l=a4x4;s=A;o=0;t=0;x=0;g=0");
+
+  Config p = c;
+  p.leaf = Config::Leaf::kPerturbed4x2Pair;
+  p.flips = {{1, 2}, {5, 9}, {1, 2}};  // the {1,2} pair cancels
+  canonicalize(p);
+  ASSERT_EQ(p.flips.size(), 1u);
+  EXPECT_EQ(p.flips[0], (TableFlip{5, 9}));
+}
+
+TEST(DseSpace, PaperAnchorsHaveExpectedKeys) {
+  EXPECT_EQ(config_key(paper_ca(8)), "w8;l=a4x4;s=A;o=0;t=0;x=0;g=0");
+  EXPECT_EQ(config_key(paper_cc(8)), "w8;l=a4x4;s=C;o=0;t=0;x=0;g=0");
+  EXPECT_EQ(config_key(paper_approx4x4()), "w4;l=a4x4;s=;o=0;t=0;x=0;g=0");
+  EXPECT_EQ(config_key(paper_ca(16)), "w16;l=a4x4;s=AA;o=0;t=0;x=0;g=0");
+}
+
+TEST(DseSpace, EnumerateSmokeSpaceContainsAnchors) {
+  const std::vector<Config> configs = enumerate(make_space("smoke8"));
+  EXPECT_GE(configs.size(), 20u);
+  bool saw_ca = false;
+  bool saw_cc = false;
+  for (const Config& c : configs) {
+    if (c == paper_ca(8)) saw_ca = true;
+    if (c == paper_cc(8)) saw_cc = true;
+  }
+  EXPECT_TRUE(saw_ca);
+  EXPECT_TRUE(saw_cc);
+}
+
+TEST(DseSpace, SampleMutateCrossoverStayInSpace) {
+  const SpaceSpec spec = make_space("paper8");
+  Xoshiro256 rng(42);
+  Config c = sample(spec, rng);
+  for (int i = 0; i < 200; ++i) {
+    const Config m = mutate(spec, c, rng);
+    EXPECT_EQ(m.width, 8u);
+    EXPECT_LE(m.trunc_lsbs, spec.max_trunc);
+    EXPECT_LE(m.flips.size(), spec.max_tt_flips);
+    const Config x = crossover(spec, m, c, rng);
+    EXPECT_EQ(config_key(parse_key(config_key(x))), config_key(x));
+    c = m;
+  }
+}
+
+// ---- model / netlist agreement -------------------------------------------
+
+void expect_model_matches_netlist(const Config& c) {
+  const mult::MultiplierPtr model = make_model(c);
+  const fabric::Netlist nl = make_core_netlist(c);
+  fabric::Evaluator eval(nl);
+  const unsigned w = c.width;
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << w); ++a) {
+    for (std::uint64_t b = 0; b < (std::uint64_t{1} << w); ++b) {
+      ASSERT_EQ(eval.eval_word(a, w, b, w), model->multiply(a, b))
+          << config_key(c) << " at a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(DseEvaluate, ModelMatchesNetlistAcrossDimensions) {
+  // The paper anchors.
+  expect_model_matches_netlist(paper_ca(8));
+  expect_model_matches_netlist(paper_cc(8));
+  // Mixed per-level schedule on a 2x2 leaf (two composition levels).
+  Config mixed;
+  mixed.width = 8;
+  mixed.leaf = Config::Leaf::kKulkarni2x2;
+  mixed.summation = {mult::Summation::kCarryFree, mult::Summation::kAccurate};
+  expect_model_matches_netlist(mixed);
+  // Lower-OR hybrid summation plus truncation plus operand swap.
+  Config hybrid;
+  hybrid.width = 8;
+  hybrid.leaf = Config::Leaf::kApprox4x4;
+  hybrid.summation = {mult::Summation::kLowerOr};
+  hybrid.lower_or_bits = 4;
+  hybrid.trunc_lsbs = 3;
+  hybrid.operand_swap = true;
+  expect_model_matches_netlist(hybrid);
+}
+
+TEST(DseEvaluate, UnperturbedLeafEqualsAccurateSumAblation) {
+  Config c;
+  c.width = 4;
+  c.leaf = Config::Leaf::kPerturbed4x2Pair;
+  const mult::MultiplierPtr model = make_model(c);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(model->multiply(a, b), mult::approx_4x4_accurate_sum(a, b));
+    }
+  }
+  // And the structural form packs like build_approx_4x2: 2 blocks of
+  // 4 LUTs plus the 6-bit binary adder (6 LUTs) = 14 LUTs.
+  const fabric::Netlist nl = make_core_netlist(c);
+  EXPECT_EQ(nl.area().luts, 14u);
+  expect_model_matches_netlist(c);
+}
+
+TEST(DseEvaluate, PerturbedLeafModelMatchesNetlist) {
+  // Flips chosen to hit both a dual-packed column (output 1) and the
+  // 6-bit adder wrap-around (output 5 forces pp overflow truncation).
+  Config c;
+  c.width = 8;
+  c.leaf = Config::Leaf::kPerturbed4x2Pair;
+  c.summation = {mult::Summation::kAccurate};
+  c.flips = {{1, 9}, {5, 63}};
+  expect_model_matches_netlist(c);
+
+  Config swapped = c;
+  swapped.operand_swap = true;
+  swapped.trunc_lsbs = 2;
+  expect_model_matches_netlist(swapped);
+}
+
+TEST(DseEvaluate, ConfigCa8MatchesLibraryCa8) {
+  const mult::MultiplierPtr dse_model = make_model(paper_ca(8));
+  const mult::MultiplierPtr lib_model = mult::make_ca(8);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      ASSERT_EQ(dse_model->multiply(a, b), lib_model->multiply(a, b));
+    }
+  }
+}
+
+TEST(DseEvaluate, SignedWrapperNetlistMatchesBehavioralWrapper) {
+  Config c;
+  c.width = 4;
+  c.leaf = Config::Leaf::kApprox4x4;
+  c.signed_wrapper = true;
+  const fabric::Netlist nl = make_config_netlist(c);
+  fabric::Evaluator eval(nl);
+  const mult::SignedMultiplier model(make_model(c));
+  // (w+1)-bit two's-complement ports; -2^w has no w-bit magnitude and is
+  // outside the wrapper's range (same precondition as the model).
+  for (std::int64_t a = -15; a <= 15; ++a) {
+    for (std::int64_t b = -15; b <= 15; ++b) {
+      const std::uint64_t a_enc = static_cast<std::uint64_t>(a) & 31;
+      const std::uint64_t b_enc = static_cast<std::uint64_t>(b) & 31;
+      const std::uint64_t expect = static_cast<std::uint64_t>(model.multiply(a, b)) & 511;
+      ASSERT_EQ(eval.eval_word(a_enc, 5, b_enc, 5), expect) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(DseEvaluate, StreamSeedDerivationIsPinned) {
+  // The sampled sweeps derive per-chunk seeds with this exact function;
+  // changing it silently changes every sampled number in the bench JSONs.
+  EXPECT_EQ(derive_stream_seed(1, 0), 1 ^ 0x9E3779B97F4A7C15ULL);
+  EXPECT_EQ(derive_stream_seed(7, 64), 7 ^ (65 * 0x9E3779B97F4A7C15ULL));
+}
+
+TEST(DseEvaluate, ObjectiveHelpersRoundTrip) {
+  for (const Objective o : {Objective::kLuts, Objective::kCarry4, Objective::kDelay,
+                            Objective::kMre, Objective::kNmed, Objective::kMaxError,
+                            Objective::kErrorProbability, Objective::kEnergy, Objective::kEdp}) {
+    EXPECT_EQ(parse_objective(objective_name(o)), o);
+  }
+  EXPECT_THROW(parse_objective("nope"), std::invalid_argument);
+}
+
+TEST(DseEvaluate, EvaluateCa8ReportsExhaustiveUnitCosts) {
+  const Objectives obj = evaluate(paper_ca(8), fast_eval());
+  EXPECT_TRUE(obj.exhaustive);
+  EXPECT_EQ(obj.samples, 65536u);
+  // Ca8's known error profile (paper Table 5, also pinned for the
+  // behavioral model in mult_recursive_test.cpp).
+  EXPECT_EQ(obj.max_error, 2312u);
+  EXPECT_NEAR(obj.mre, 0.002917, 5e-6);
+  EXPECT_GT(obj.luts, 40u);
+  EXPECT_GT(obj.critical_path_ns, 1.0);
+  EXPECT_GT(obj.edp_au, 0.0);
+}
+
+TEST(DseEvaluate, MakeBackendRejectsSignedConfigs) {
+  Config c = paper_ca(8);
+  c.signed_wrapper = true;
+  EXPECT_THROW((void)make_backend(c), std::invalid_argument);
+  c.signed_wrapper = false;
+  const auto backend = make_backend(c);
+  EXPECT_EQ(backend->data_bits(), 8u);
+  EXPECT_EQ(backend->mul(85, 85), make_model(c)->multiply(85, 85));
+  EXPECT_TRUE(backend->cost().modeled);
+}
+
+// ---- cache ----------------------------------------------------------------
+
+TEST(DseCache, PersistsAndReloads) {
+  const std::string path = testing::TempDir() + "dse_cache_test.json";
+  std::remove(path.c_str());
+  const EvalOptions eval = fast_eval();
+  const std::vector<Config> configs{paper_ca(8), paper_cc(8)};
+  {
+    EvalCache cache(path);
+    std::uint64_t hits = 0;
+    (void)evaluate_all(configs, &cache, eval, 2, &hits);
+    EXPECT_EQ(hits, 0u);
+    (void)evaluate_all(configs, &cache, eval, 2, &hits);
+    EXPECT_EQ(hits, 2u);
+    EXPECT_GT(cache.hit_rate(), 0.0);
+  }
+  EvalCache reloaded(path);
+  EXPECT_EQ(reloaded.loaded_entries(), 2u);
+  std::uint64_t hits = 0;
+  const std::vector<Objectives> cached = evaluate_all(configs, &reloaded, eval, 1, &hits);
+  EXPECT_EQ(hits, 2u);
+  const Objectives fresh = evaluate(paper_ca(8), eval);
+  EXPECT_EQ(cached[0].luts, fresh.luts);
+  EXPECT_EQ(cached[0].max_error, fresh.max_error);
+  EXPECT_DOUBLE_EQ(cached[0].mre, fresh.mre);
+  EXPECT_DOUBLE_EQ(cached[0].edp_au, fresh.edp_au);
+  std::remove(path.c_str());
+}
+
+TEST(DseCache, DifferentContextsMiss) {
+  EvalOptions a = fast_eval();
+  EvalOptions b = fast_eval();
+  b.gaussian = true;
+  b.mean_a = 100.0;
+  b.sigma_a = 20.0;
+  b.mean_b = 30.0;
+  b.sigma_b = 10.0;
+  EXPECT_NE(a.context(), b.context());
+  EXPECT_NE(EvalCache::full_key(paper_ca(8), a), EvalCache::full_key(paper_ca(8), b));
+}
+
+// ---- search ---------------------------------------------------------------
+
+std::vector<std::string> front_keys(const SearchResult& result) {
+  std::vector<std::string> keys;
+  for (const EvaluatedPoint& p : result.front) keys.push_back(p.key);
+  return keys;
+}
+
+SearchOptions nsga_options(unsigned threads) {
+  SearchOptions opts;
+  opts.strategy = Strategy::kNsga2;
+  opts.population = 8;
+  opts.generations = 3;
+  opts.seed = 5;
+  opts.eval = fast_eval();
+  opts.threads = threads;
+  return opts;
+}
+
+TEST(DseSearch, Nsga2FrontIsThreadCountInvariant) {
+  const SpaceSpec space = make_space("paper4");
+  const SearchResult one = run_search(space, nsga_options(1));
+  const SearchResult four = run_search(space, nsga_options(4));
+  EXPECT_FALSE(one.front.empty());
+  EXPECT_EQ(front_keys(one), front_keys(four));
+  EXPECT_EQ(one.evaluations, four.evaluations);
+  for (std::size_t i = 0; i < one.front.size(); ++i) {
+    EXPECT_DOUBLE_EQ(one.front[i].objectives.mre, four.front[i].objectives.mre);
+    EXPECT_EQ(one.front[i].objectives.luts, four.front[i].objectives.luts);
+  }
+}
+
+TEST(DseSearch, ResumedRunReproducesTheFront) {
+  const std::string dir = testing::TempDir();
+  const std::string cache_path = dir + "dse_resume_cache.json";
+  const std::string front_path = dir + "dse_resume_front.json";
+  const std::string ckpt_path = dir + "dse_resume_ckpt.json";
+  std::remove(cache_path.c_str());
+  std::remove(front_path.c_str());
+  std::remove(ckpt_path.c_str());
+
+  const SpaceSpec space = make_space("paper4");
+  SearchOptions opts = nsga_options(2);
+  opts.cache_path = cache_path;
+  opts.front_path = front_path;
+  opts.checkpoint_path = ckpt_path;
+  const SearchResult original = run_search(space, opts);
+  EXPECT_LT(original.cache_hits, original.evaluations);
+
+  // Resume = replay from the checkpoint; the persistent cache must serve
+  // every evaluation and the front must come out bit-identical.
+  SpaceSpec space2;
+  SearchOptions opts2;
+  load_checkpoint(ckpt_path, space2, opts2);
+  EXPECT_EQ(space2.name, space.name);
+  const SearchResult resumed = run_search(space2, opts2);
+  EXPECT_EQ(resumed.cache_hits, resumed.evaluations);
+  EXPECT_EQ(front_keys(original), front_keys(resumed));
+
+  // The front file round-trips.
+  const std::vector<EvaluatedPoint> loaded = load_front(front_path);
+  ASSERT_EQ(loaded.size(), original.front.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, original.front[i].key);
+    EXPECT_DOUBLE_EQ(loaded[i].objectives.mre, original.front[i].objectives.mre);
+  }
+  std::remove(cache_path.c_str());
+  std::remove(front_path.c_str());
+  std::remove(ckpt_path.c_str());
+}
+
+TEST(DseSearch, SmokeSearchRediscoversPaperDesigns) {
+  // The acceptance anchor: in the CI smoke space the paper's Ca8 and Cc8
+  // must come out non-dominated on (LUTs, delay, MRE).
+  SearchOptions opts;
+  opts.strategy = Strategy::kExhaustive;
+  opts.eval = fast_eval();
+  opts.threads = 2;
+  const SearchResult result = run_search(make_space("smoke8"), opts);
+  const std::vector<std::string> keys = front_keys(result);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), config_key(paper_ca(8))), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), config_key(paper_cc(8))), keys.end());
+}
+
+TEST(DseSearch, Width4SearchRediscoversApprox4x4) {
+  // Width-4 exhaustive slice of the paper4 space (no flips in enumerate):
+  // the Table 3 module itself must be non-dominated.
+  SearchOptions opts;
+  opts.strategy = Strategy::kExhaustive;
+  opts.eval = fast_eval();
+  opts.threads = 2;
+  const SearchResult result = run_search(make_space("paper4"), opts);
+  const std::vector<std::string> keys = front_keys(result);
+  EXPECT_NE(std::find(keys.begin(), keys.end(), config_key(paper_approx4x4())), keys.end());
+}
+
+TEST(DseSearch, BudgetCapsEvaluations) {
+  SearchOptions opts;
+  opts.strategy = Strategy::kExhaustive;
+  opts.budget = 5;
+  opts.eval = fast_eval();
+  const SearchResult result = run_search(make_space("smoke8"), opts);
+  EXPECT_EQ(result.evaluations, 5u);
+  EXPECT_LE(result.archive_size, 5u);
+}
+
+}  // namespace
+}  // namespace axmult::dse

@@ -1,0 +1,114 @@
+// Direct unit tests for analysis/pareto: the classic 2D front extraction
+// and the N-objective machinery (dominance, non-dominated sort, crowding
+// distance) the DSE engine builds on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+
+namespace axmult::analysis {
+namespace {
+
+TEST(Dominates, StrictAndTies) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));  // <= with one strict
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equal vectors never dominate
+  EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // trade-off: incomparable
+  EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 2.0}));
+}
+
+TEST(Dominates, ThreeObjectives) {
+  EXPECT_TRUE(dominates({1.0, 1.0, 1.0}, {1.0, 1.0, 2.0}));
+  EXPECT_FALSE(dominates({1.0, 1.0, 3.0}, {1.0, 1.0, 2.0}));
+  EXPECT_FALSE(dominates({0.0, 2.0, 0.0}, {1.0, 1.0, 1.0}));
+}
+
+TEST(NondominatedRank, EmptyAndSinglePoint) {
+  EXPECT_TRUE(nondominated_rank({}).empty());
+  const std::vector<unsigned> ranks = nondominated_rank({{3.0, 7.0}});
+  ASSERT_EQ(ranks.size(), 1u);
+  EXPECT_EQ(ranks[0], 0u);
+}
+
+TEST(NondominatedRank, LayeredFronts) {
+  // Two clean layers: {(1,4),(4,1)} then {(2,5),(5,2)} then {(6,6)}.
+  const std::vector<std::vector<double>> costs{
+      {1.0, 4.0}, {4.0, 1.0}, {2.0, 5.0}, {5.0, 2.0}, {6.0, 6.0}};
+  const std::vector<unsigned> ranks = nondominated_rank(costs);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+  EXPECT_EQ(ranks[3], 1u);
+  EXPECT_EQ(ranks[4], 2u);
+}
+
+TEST(NondominatedRank, DuplicatePointsShareTheFront) {
+  // Duplicates do not dominate each other, so both copies stay rank 0.
+  const std::vector<std::vector<double>> costs{{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const std::vector<unsigned> ranks = nondominated_rank(costs);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+}
+
+TEST(NondominatedRank, ThreeObjectiveTradeoffs) {
+  // Each point is best in one objective: all non-dominated.
+  const std::vector<std::vector<double>> costs{
+      {0.0, 5.0, 5.0}, {5.0, 0.0, 5.0}, {5.0, 5.0, 0.0}, {6.0, 6.0, 6.0}};
+  const std::vector<unsigned> ranks = nondominated_rank(costs);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 0u);
+  EXPECT_EQ(ranks[2], 0u);
+  EXPECT_EQ(ranks[3], 1u);
+}
+
+TEST(CrowdingDistance, BoundariesAreInfinite) {
+  const std::vector<std::vector<double>> costs{{1.0, 4.0}, {2.0, 3.0}, {4.0, 1.0}};
+  const std::vector<double> dist = crowding_distance(costs, {0, 1, 2});
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(dist[0], inf);
+  EXPECT_EQ(dist[2], inf);
+  // Interior point: (4-1)/(4-1) + (4-1)/(4-1) = 2 (normalized spans).
+  EXPECT_DOUBLE_EQ(dist[1], 2.0);
+}
+
+TEST(CrowdingDistance, SinglePointFront) {
+  const std::vector<std::vector<double>> costs{{1.0, 1.0}, {9.0, 9.0}};
+  const std::vector<double> dist = crowding_distance(costs, {1});
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist[0], std::numeric_limits<double>::infinity());
+}
+
+TEST(CrowdingDistance, DegenerateObjectiveContributesNothing) {
+  // Second objective identical everywhere: distance comes from the first
+  // axis only, and interior spacing is still well-defined.
+  const std::vector<std::vector<double>> costs{{1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const std::vector<double> dist = crowding_distance(costs, {0, 1, 2});
+  EXPECT_EQ(dist[0], std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);  // (3-1)/(3-1) from the live axis
+  EXPECT_EQ(dist[2], std::numeric_limits<double>::infinity());
+}
+
+TEST(MarkParetoFront, TiesAndDuplicates) {
+  std::vector<ParetoPoint> points{{"a", 1.0, 4.0, false},
+                                  {"b", 1.0, 4.0, false},  // duplicate of a
+                                  {"c", 4.0, 1.0, false},
+                                  {"d", 4.0, 4.0, false}};
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto);
+  EXPECT_TRUE(points[1].pareto);
+  EXPECT_TRUE(points[2].pareto);
+  EXPECT_FALSE(points[3].pareto);
+}
+
+TEST(MarkParetoFront, SinglePoint) {
+  std::vector<ParetoPoint> points{{"only", 2.0, 2.0, false}};
+  mark_pareto_front(points);
+  EXPECT_TRUE(points[0].pareto);
+  EXPECT_EQ(pareto_front(points).size(), 1u);
+}
+
+}  // namespace
+}  // namespace axmult::analysis

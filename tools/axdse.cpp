@@ -1,0 +1,357 @@
+// axdse — automated design-space exploration over the approximate-
+// multiplier space.
+//
+//   axdse spaces                     list the named search spaces
+//   axdse explore [options]         run a search, write the front JSON
+//   axdse resume <checkpoint.json>  replay a checkpointed search (the
+//                                   persistent cache makes completed
+//                                   evaluations instant)
+//   axdse front <front.json>        print a front file as a table
+//   axdse export <front.json> --index N [--hdl verilog|vhdl] [--out FILE]
+//                                   emit the selected design as HDL
+//
+// explore options:
+//   --space NAME        search space preset            (default smoke8)
+//   --strategy S        exhaustive | random | nsga2    (default exhaustive)
+//   --budget N          evaluation budget              (default 0 = strategy default)
+//   --population N      NSGA-II population             (default 32)
+//   --generations N     NSGA-II generations            (default 8)
+//   --seed S            search RNG seed                (default 1)
+//   --objectives A,B,C  minimized objectives           (default luts,delay,mre)
+//                       (luts carry4 delay mre nmed maxerr errprob energy edp)
+//   --cache FILE        persistent evaluation cache    (default in-memory)
+//   --front FILE        front JSON output              (default axdse_front.json)
+//   --checkpoint FILE   checkpoint JSON for resume     (default none)
+//   --samples N         sampled-sweep budget           (default 1048576)
+//   --eval-seed S       sampled-sweep seed             (default 1)
+//   --exhaustive-bits N netlist-exhaustive threshold   (default 20)
+//   --power-vectors N   toggle vectors per config      (default 1024)
+//   --gaussian ma,sa,mb,sb  asymmetric operand distribution (swap-sensitive)
+//   --smoke             CI mode: exhaustive smoke8 search, front written to
+//                       axdse_smoke_front.json, paper anchors verified
+//   --threads N         evaluation threads (also AXMULT_THREADS); results
+//                       are bit-identical for any value
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+#include "common/parallel_for.hpp"
+#include "common/table.hpp"
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+#include "fabric/hdl_export.hpp"
+
+using namespace axmult;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string positional;
+  std::string space = "smoke8";
+  std::string strategy = "exhaustive";
+  std::string objectives = "luts,delay,mre";
+  std::string cache;
+  std::string front = "axdse_front.json";
+  std::string checkpoint;
+  std::string gaussian;
+  std::string hdl = "verilog";
+  std::string out;
+  std::uint64_t budget = 0;
+  unsigned population = 32;
+  unsigned generations = 8;
+  std::uint64_t seed = 1;
+  std::uint64_t samples = std::uint64_t{1} << 20;
+  std::uint64_t eval_seed = 1;
+  unsigned exhaustive_bits = 20;
+  std::uint64_t power_vectors = 1024;
+  std::size_t index = 0;
+  bool smoke = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: axdse <spaces|explore|resume|front|export> [options]\n"
+               "  see the header of tools/axdse.cpp for the option list\n");
+  std::exit(2);
+}
+
+Options parse(const std::vector<std::string>& args) {
+  Options opt;
+  if (args.empty()) usage();
+  opt.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage();
+      return args[++i];
+    };
+    if (a == "--space") {
+      opt.space = value();
+    } else if (a == "--strategy") {
+      opt.strategy = value();
+    } else if (a == "--objectives") {
+      opt.objectives = value();
+    } else if (a == "--cache") {
+      opt.cache = value();
+    } else if (a == "--front") {
+      opt.front = value();
+    } else if (a == "--checkpoint") {
+      opt.checkpoint = value();
+    } else if (a == "--gaussian") {
+      opt.gaussian = value();
+    } else if (a == "--hdl") {
+      opt.hdl = value();
+    } else if (a == "--out") {
+      opt.out = value();
+    } else if (a == "--budget") {
+      opt.budget = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--population") {
+      opt.population = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--generations") {
+      opt.generations = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--samples") {
+      opt.samples = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--eval-seed") {
+      opt.eval_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--exhaustive-bits") {
+      opt.exhaustive_bits = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--power-vectors") {
+      opt.power_vectors = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--index") {
+      opt.index = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
+    } else if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "axdse: unknown option '%s'\n", a.c_str());
+      usage();
+    } else if (opt.positional.empty()) {
+      opt.positional = a;
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_spaces() {
+  Table t({"Space", "Widths", "Leaves", "Summations", "Max trunc", "Swap", "Signed", "Flips"});
+  for (const std::string& name : dse::space_names()) {
+    const dse::SpaceSpec spec = dse::make_space(name);
+    std::string widths;
+    for (const unsigned w : spec.widths) widths += (widths.empty() ? "" : ",") + std::to_string(w);
+    std::string leaves;
+    for (const auto leaf : spec.leaves) {
+      leaves += (leaves.empty() ? "" : ",") + std::string(dse::leaf_token(leaf));
+    }
+    std::string sums;
+    for (const auto s : spec.summations) sums += dse::summation_char(s);
+    t.add_row({name, widths, leaves, sums, std::to_string(spec.max_trunc),
+               spec.allow_swap ? "yes" : "no", spec.allow_signed ? "yes" : "no",
+               std::to_string(spec.max_tt_flips)});
+  }
+  t.print("Named search spaces");
+  return 0;
+}
+
+void print_front(const std::vector<dse::EvaluatedPoint>& front, const std::string& title) {
+  Table t({"#", "Key", "Name", "LUTs", "CARRY4", "Crit path (ns)", "MRE", "NMED", "Max err",
+           "Energy (a.u.)"});
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    const dse::EvaluatedPoint& p = front[i];
+    t.add_row({std::to_string(i), p.key, dse::display_name(p.config),
+               std::to_string(p.objectives.luts), std::to_string(p.objectives.carry4),
+               Table::num(p.objectives.critical_path_ns, 3), Table::num(p.objectives.mre, 6),
+               Table::num(p.objectives.nmed, 6), std::to_string(p.objectives.max_error),
+               Table::num(p.objectives.energy_au, 2)});
+  }
+  t.print(title);
+}
+
+/// Verifies the paper's hand-crafted anchors against a computed front:
+/// each anchor inside the space must reappear as a non-dominated point,
+/// and any perturbed-leaf front point that dominates an anchor is
+/// reported (that is the "found something better than the paper" signal).
+bool report_anchors(const dse::SpaceSpec& space, const dse::SearchOptions& search,
+                    const dse::SearchResult& result) {
+  std::vector<dse::Config> anchors;
+  for (const unsigned w : space.widths) {
+    for (const dse::Config::Leaf leaf : space.leaves) {
+      if (leaf != dse::Config::Leaf::kApprox4x4) continue;
+      anchors.push_back(dse::paper_ca(w));
+      if (space.summations.size() > 1) anchors.push_back(dse::paper_cc(w));
+    }
+  }
+  if (anchors.empty()) return true;
+  dse::EvalCache cache(search.cache_path);
+  const std::vector<dse::Objectives> anchor_obj =
+      dse::evaluate_all(anchors, &cache, search.eval, search.threads);
+  bool all_on_front = true;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const std::string key = dse::config_key(anchors[i]);
+    bool on_front = false;
+    for (const dse::EvaluatedPoint& p : result.front) {
+      if (p.key == key) {
+        on_front = true;
+        break;
+      }
+    }
+    std::printf("anchor %-14s %s: %s\n", dse::display_name(anchors[i]).c_str(), key.c_str(),
+                on_front ? "non-dominated" : "DOMINATED");
+    if (!on_front) all_on_front = false;
+    const std::vector<double> anchor_cost = dse::cost_vector(anchor_obj[i], search.objectives);
+    for (const dse::EvaluatedPoint& p : result.front) {
+      if (p.config.flips.empty()) continue;
+      if (analysis::dominates(dse::cost_vector(p.objectives, search.objectives), anchor_cost)) {
+        std::printf("  dominated by perturbed variant %s (%s)\n",
+                    dse::display_name(p.config).c_str(), p.key.c_str());
+      }
+    }
+  }
+  return all_on_front;
+}
+
+int explore_with(const dse::SpaceSpec& space, const dse::SearchOptions& search,
+                 bool check_anchors) {
+  const dse::SearchResult result = dse::run_search(space, search);
+  print_front(result.front, "Pareto front (" + space.name + ", " +
+                                std::string(dse::strategy_name(search.strategy)) + ")");
+  std::printf("evaluations=%llu cache_hits=%llu (%.1f%%) archive=%llu front=%zu\n",
+              static_cast<unsigned long long>(result.evaluations),
+              static_cast<unsigned long long>(result.cache_hits),
+              result.evaluations
+                  ? 100.0 * static_cast<double>(result.cache_hits) /
+                        static_cast<double>(result.evaluations)
+                  : 0.0,
+              static_cast<unsigned long long>(result.archive_size), result.front.size());
+  if (!search.front_path.empty()) std::printf("wrote %s\n", search.front_path.c_str());
+  if (check_anchors && !report_anchors(space, search, result)) {
+    std::fprintf(stderr, "axdse: a paper anchor fell off the front\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_explore(const Options& opt) {
+  dse::SearchOptions search;
+  dse::SpaceSpec space;
+  if (opt.smoke) {
+    space = dse::make_space("smoke8");
+    search.strategy = dse::Strategy::kExhaustive;
+    search.front_path = "axdse_smoke_front.json";
+    search.cache_path = opt.cache;
+  } else {
+    space = dse::make_space(opt.space);
+    search.strategy = dse::parse_strategy(opt.strategy);
+    search.front_path = opt.front;
+    search.cache_path = opt.cache;
+    search.checkpoint_path = opt.checkpoint;
+  }
+  search.budget = opt.budget;
+  search.population = opt.population;
+  search.generations = opt.generations;
+  search.seed = opt.seed;
+  search.objectives.clear();
+  for (const std::string& name : split_csv(opt.objectives)) {
+    search.objectives.push_back(dse::parse_objective(name));
+  }
+  search.eval.samples = opt.samples;
+  search.eval.seed = opt.eval_seed;
+  search.eval.exhaustive_bits = opt.exhaustive_bits;
+  search.eval.power_vectors = opt.power_vectors;
+  if (!opt.gaussian.empty()) {
+    const std::vector<std::string> parts = split_csv(opt.gaussian);
+    if (parts.size() != 4) usage();
+    search.eval.gaussian = true;
+    search.eval.mean_a = std::strtod(parts[0].c_str(), nullptr);
+    search.eval.sigma_a = std::strtod(parts[1].c_str(), nullptr);
+    search.eval.mean_b = std::strtod(parts[2].c_str(), nullptr);
+    search.eval.sigma_b = std::strtod(parts[3].c_str(), nullptr);
+  }
+  return explore_with(space, search, opt.smoke);
+}
+
+int cmd_resume(const Options& opt) {
+  if (opt.positional.empty()) usage();
+  dse::SpaceSpec space;
+  dse::SearchOptions search;
+  dse::load_checkpoint(opt.positional, space, search);
+  std::printf("resuming %s search over '%s' from %s\n", dse::strategy_name(search.strategy),
+              space.name.c_str(), opt.positional.c_str());
+  return explore_with(space, search, false);
+}
+
+int cmd_front(const Options& opt) {
+  if (opt.positional.empty()) usage();
+  print_front(dse::load_front(opt.positional), "Front file " + opt.positional);
+  return 0;
+}
+
+int cmd_export(const Options& opt) {
+  if (opt.positional.empty()) usage();
+  const std::vector<dse::EvaluatedPoint> front = dse::load_front(opt.positional);
+  if (opt.index >= front.size()) {
+    throw std::runtime_error("axdse: --index " + std::to_string(opt.index) +
+                             " out of range (front has " + std::to_string(front.size()) +
+                             " points)");
+  }
+  const dse::Config& config = front[opt.index].config;
+  const std::string name = dse::display_name(config);
+  const fabric::Netlist nl = dse::make_config_netlist(config);
+  std::string hdl;
+  if (opt.hdl == "verilog") {
+    hdl = fabric::to_verilog(nl, name);
+  } else if (opt.hdl == "vhdl") {
+    hdl = fabric::to_vhdl(nl, name);
+  } else {
+    usage();
+  }
+  if (opt.out.empty()) {
+    std::fputs(hdl.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(opt.out);
+  if (!out) throw std::runtime_error("axdse: cannot write '" + opt.out + "'");
+  out << hdl;
+  std::printf("wrote %s (%s, %s)\n", opt.out.c_str(), name.c_str(), opt.hdl.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(strip_thread_args(argc, argv));
+    if (opt.command == "spaces") return cmd_spaces();
+    if (opt.command == "explore") return cmd_explore(opt);
+    if (opt.command == "resume") return cmd_resume(opt);
+    if (opt.command == "front") return cmd_front(opt);
+    if (opt.command == "export") return cmd_export(opt);
+    std::fprintf(stderr, "axdse: unknown command '%s'\n", opt.command.c_str());
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axdse: %s\n", e.what());
+    return 1;
+  }
+}

@@ -63,7 +63,8 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, bool force_full) {
+int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, std::uint64_t seed,
+                     bool force_full, const std::string& json_path) {
   // Exhaustive characterization goes through the batched multithreaded sweep,
   // which makes even the 2^32-pair 16x16 space feasible (`--full`).
   const bool exhaustive = force_full || d.model->a_bits() + d.model->b_bits() <= 20;
@@ -71,7 +72,7 @@ int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, bool
   cfg.collect_pmf = false;  // only the summary metrics are printed
   cfg.collect_bit_probability = false;
   const auto r = exhaustive ? error::sweep_exhaustive(*d.model, cfg).metrics
-                            : error::sweep_sampled(*d.model, samples, /*seed=*/1, cfg).metrics;
+                            : error::sweep_sampled(*d.model, samples, seed, cfg).metrics;
   std::printf("%s (%s, %llu inputs)\n", d.name.c_str(),
               exhaustive ? "exhaustive" : "sampled",
               static_cast<unsigned long long>(r.samples));
@@ -83,6 +84,25 @@ int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, bool
               static_cast<unsigned long long>(r.occurrences), r.error_probability());
   std::printf("  max-error occurrences    %llu\n",
               static_cast<unsigned long long>(r.max_error_occurrences));
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    // Error numbers plus the provenance that pins them: sampled sweeps are
+    // a function of (seed, samples), exhaustive ones of the operand space.
+    json << "{\n  \"design\": \"" << d.name << "\",\n  \"exhaustive\": "
+         << (exhaustive ? "true" : "false")
+         << ",\n  \"samples\": " << r.samples;
+    if (!exhaustive) json << ",\n  \"seed\": " << seed;
+    json << ",\n  \"max_error\": " << r.max_error
+         << ",\n  \"avg_error\": " << r.avg_error
+         << ",\n  \"avg_relative_error\": " << r.avg_relative_error
+         << ",\n  \"error_probability\": " << r.error_probability()
+         << ",\n  \"max_error_occurrences\": " << r.max_error_occurrences << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -142,6 +162,8 @@ int usage() {
       "  list                              all library designs\n"
       "  characterize <design> [samples]   error metrics (exhaustive when feasible)\n"
       "    [--full]                        force exhaustive even for 16x16 (2^32 pairs)\n"
+      "    [--seed N]                      sampled-sweep seed (default 1)\n"
+      "    [--json FILE]                   also write metrics + seed/samples as JSON\n"
       "  implement <design>                area / timing / energy report\n"
       "  export-vhdl <design> [file]       structural VHDL (unisim primitives)\n"
       "  export-verilog <design> [file]    structural Verilog\n"
@@ -159,11 +181,19 @@ int main(int argc, char** argv) {
   // --threads is consumed by the shared knob parser (common/parallel_for.hpp).
   std::vector<std::string> args;
   bool force_full = false;
-  for (std::string& a : strip_thread_args(argc, argv)) {
+  std::uint64_t seed = 1;
+  std::string json_path;
+  std::vector<std::string> stripped = strip_thread_args(argc, argv);
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& a = stripped[i];
     if (a == "--full") {
       force_full = true;
+    } else if (a == "--seed" && i + 1 < stripped.size()) {
+      seed = std::strtoull(stripped[++i].c_str(), nullptr, 10);
+    } else if (a == "--json" && i + 1 < stripped.size()) {
+      json_path = stripped[++i];
     } else {
-      args.push_back(std::move(a));
+      args.push_back(a);
     }
   }
   if (args.empty()) return usage();
@@ -178,7 +208,7 @@ int main(int argc, char** argv) {
   if (cmd == "characterize") {
     const std::uint64_t samples =
         args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1000000;
-    return cmd_characterize(*design, samples, force_full);
+    return cmd_characterize(*design, samples, seed, force_full, json_path);
   }
   if (cmd == "implement") return cmd_implement(*design);
   if (cmd == "export-vhdl") return cmd_export(*design, true, args.size() > 2 ? args[2] : "");

@@ -21,6 +21,10 @@
 //   --bits B         operand width                     (default 8)
 //   --json FILE      write the report JSON to FILE     (run: default stdout)
 //   --backends A,B   compare: comma-separated backend list
+//   --backend-from-front FILE
+//                    compare: also evaluate the winners of an axdse front
+//                    JSON (tabulated via dse::make_backend)
+//   --front-index N  compare: only point N of the front (default: all)
 //   --threads N      worker threads (also AXMULT_THREADS)
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +35,8 @@
 
 #include "common/parallel_for.hpp"
 #include "common/table.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/search.hpp"
 #include "nn/dataset.hpp"
 #include "nn/graph.hpp"
 #include "nn/mac.hpp"
@@ -47,11 +53,13 @@ struct Options {
   std::string backends;  // compare: comma-separated
   std::string weights;
   std::string json;
+  std::string from_front;  // compare: axdse front JSON with extra backends
   std::string positional;
   std::uint64_t samples = 512;
   std::uint64_t calib = 256;
   std::uint64_t seed = 9;
   unsigned bits = 8;
+  long front_index = -1;  // compare: -1 = every front point
   bool swap = false;
 };
 
@@ -80,6 +88,10 @@ Options parse(const std::vector<std::string>& args) {
       opt.weights = value();
     } else if (a == "--json") {
       opt.json = value();
+    } else if (a == "--backend-from-front") {
+      opt.from_front = value();
+    } else if (a == "--front-index") {
+      opt.front_index = std::strtol(value().c_str(), nullptr, 10);
     } else if (a == "--samples") {
       opt.samples = std::strtoull(value().c_str(), nullptr, 10);
     } else if (a == "--calib") {
@@ -125,12 +137,45 @@ Sequential prepare_network(const Options& opt) {
   return net;
 }
 
-NetworkReport evaluate_backend(Sequential& net, const std::string& backend_name, bool swap,
+NetworkReport evaluate_backend(Sequential& net, const MacBackendPtr& backend, bool swap,
                                const Dataset& test) {
-  net.set_backend(make_mac_backend(backend_name));
+  net.set_backend(backend);
   for (std::size_t i = 0; i < net.size(); ++i) net.set_layer_swap(i, swap);
   const QTensor inputs = net.quantize_input(test.images);
   return net.evaluate(inputs, test.labels);
+}
+
+/// The backends a compare run evaluates: the named library backends plus,
+/// when --backend-from-front is given, the winners of an axdse front JSON
+/// (one or all of its points). Front points the NN data path cannot use
+/// (signed wrappers, widths the tabulation rejects) are skipped with a
+/// warning instead of aborting the sweep.
+std::vector<std::pair<std::string, MacBackendPtr>> compare_backends(const Options& opt) {
+  const std::vector<std::string> names =
+      opt.backends.empty()
+          ? std::vector<std::string>{"exact", "ca8", "cas8", "cc8", "cb8", "trunc8_4"}
+          : split_csv(opt.backends);
+  std::vector<std::pair<std::string, MacBackendPtr>> entries;
+  for (const std::string& name : names) entries.emplace_back(name, make_mac_backend(name));
+  if (!opt.from_front.empty()) {
+    const std::vector<dse::EvaluatedPoint> front = dse::load_front(opt.from_front);
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (opt.front_index >= 0 && static_cast<std::size_t>(opt.front_index) != i) continue;
+      try {
+        MacBackendPtr backend = dse::make_backend(front[i].config);
+        entries.emplace_back(backend->name(), std::move(backend));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "axnn: skipping front point %zu (%s): %s\n", i,
+                     front[i].key.c_str(), e.what());
+      }
+    }
+    if (opt.front_index >= 0 && static_cast<std::size_t>(opt.front_index) >= front.size()) {
+      throw std::runtime_error("axnn: --front-index " + std::to_string(opt.front_index) +
+                               " out of range (front has " + std::to_string(front.size()) +
+                               " points)");
+    }
+  }
+  return entries;
 }
 
 void emit_json(const NetworkReport& report, const std::string& path) {
@@ -171,7 +216,7 @@ int cmd_save_demo(const Options& opt) {
 int cmd_run(const Options& opt) {
   Sequential net = prepare_network(opt);
   const Dataset test = make_digits(opt.samples, opt.seed);
-  const NetworkReport report = evaluate_backend(net, opt.backend, opt.swap, test);
+  const NetworkReport report = evaluate_backend(net, make_mac_backend(opt.backend), opt.swap, test);
   std::printf("backend=%s swap=%d samples=%llu top1=%.4f macs=%llu edp_au=%.4g\n",
               opt.backend.c_str(), opt.swap ? 1 : 0,
               static_cast<unsigned long long>(report.samples), report.top1_accuracy,
@@ -181,21 +226,18 @@ int cmd_run(const Options& opt) {
 }
 
 int cmd_compare(const Options& opt) {
-  const std::vector<std::string> names =
-      opt.backends.empty()
-          ? std::vector<std::string>{"exact", "ca8", "cas8", "cc8", "cb8", "trunc8_4"}
-          : split_csv(opt.backends);
+  const std::vector<std::pair<std::string, MacBackendPtr>> entries = compare_backends(opt);
   Sequential net = prepare_network(opt);
   const Dataset test = make_digits(opt.samples, opt.seed);
 
   std::vector<NetworkReport> reports;
-  for (const std::string& name : names) {
-    reports.push_back(evaluate_backend(net, name, opt.swap, test));
+  for (const auto& [name, backend] : entries) {
+    reports.push_back(evaluate_backend(net, backend, opt.swap, test));
   }
 
   Table t({"Backend", "Top-1", "MAC LUTs", "Crit path (ns)", "Energy/inf (a.u.)",
            "EDP (a.u.)", "Worst layer MRE"});
-  for (std::size_t i = 0; i < names.size(); ++i) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
     const NetworkReport& r = reports[i];
     std::uint64_t luts = 0;
     double worst_mre = 0.0;
@@ -204,7 +246,7 @@ int cmd_compare(const Options& opt) {
       luts = std::max(luts, lr.cost.luts);
       worst_mre = std::max(worst_mre, lr.output_mre);
     }
-    t.add_row({names[i], Table::num(r.top1_accuracy, 4), std::to_string(luts),
+    t.add_row({entries[i].first, Table::num(r.top1_accuracy, 4), std::to_string(luts),
                Table::num(r.critical_path_ns, 3), Table::num(r.energy_per_inference_au, 1),
                Table::num(r.edp_au, 1), Table::num(worst_mre, 5)});
   }
