@@ -1,0 +1,305 @@
+#include "check/backends.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+
+namespace axmult::check {
+namespace {
+
+/// eval_mul_batch caps n at the evaluator's lane count; feed it in
+/// kLanes-sized slices (ragged tails are fine).
+template <unsigned W>
+void run_wide(fabric::WideEvaluator<W>& ev, const std::uint64_t* a, const std::uint64_t* b,
+              std::uint64_t* p, std::size_t n, unsigned a_bits, unsigned b_bits) {
+  for (std::size_t at = 0; at < n; at += fabric::WideEvaluator<W>::kLanes) {
+    const std::size_t len = std::min<std::size_t>(fabric::WideEvaluator<W>::kLanes, n - at);
+    ev.eval_mul_batch(a + at, b + at, p + at, len, a_bits, b_bits);
+  }
+}
+
+}  // namespace
+
+const char* backend_name(BackendId id) noexcept {
+  switch (id) {
+    case BackendId::kModel: return "model";
+    case BackendId::kScalar: return "scalar";
+    case BackendId::kWide1: return "wide1";
+    case BackendId::kWide2: return "wide2";
+    case BackendId::kWide4Opt: return "wide4opt";
+    case BackendId::kWide8Opt: return "wide8opt";
+    case BackendId::kTable: return "table";
+  }
+  return "?";
+}
+
+Oracle::Oracle(const Subject& s) : subject_(&s) {
+  if (s.netlist.is_sequential()) {
+    throw std::invalid_argument("check::Oracle: combinational subjects only "
+                                "(use check_sequential)");
+  }
+  if (s.model) ids_.push_back(BackendId::kModel);
+  scalar_ = std::make_unique<fabric::Evaluator>(s.netlist);
+  ids_.push_back(BackendId::kScalar);
+  wide1_ = std::make_unique<fabric::WideEvaluator<1>>(s.netlist, fabric::EvalOptions{.optimize = false});
+  ids_.push_back(BackendId::kWide1);
+  wide2_ = std::make_unique<fabric::WideEvaluator<2>>(s.netlist, fabric::EvalOptions{.optimize = false});
+  ids_.push_back(BackendId::kWide2);
+  wide4_ = std::make_unique<fabric::WideEvaluator<4>>(s.netlist);
+  ids_.push_back(BackendId::kWide4Opt);
+  wide8_ = std::make_unique<fabric::WideEvaluator<8>>(s.netlist);
+  ids_.push_back(BackendId::kWide8Opt);
+  if (s.model && s.a_bits == s.b_bits && s.a_bits <= 8) {
+    table_ = std::make_shared<nn::MacBackend>(s.name, s.model);
+    ids_.push_back(BackendId::kTable);
+  }
+}
+
+std::optional<Mismatch> Oracle::run(const std::uint64_t* a, const std::uint64_t* b,
+                                    std::size_t n) {
+  values_.assign(ids_.size(), {});
+  for (std::size_t bi = 0; bi < ids_.size(); ++bi) {
+    auto& out = values_[bi];
+    out.resize(n);
+    switch (ids_[bi]) {
+      case BackendId::kModel:
+        for (std::size_t i = 0; i < n; ++i) out[i] = subject_->model->multiply(a[i], b[i]);
+        break;
+      case BackendId::kScalar:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = scalar_->eval_word(a[i], subject_->a_bits, b[i], subject_->b_bits);
+        }
+        break;
+      case BackendId::kWide1:
+        // Explicit 64-lane slices so the coverage tracker sees every
+        // chunk's net values, not just the last one.
+        for (std::size_t at = 0; at < n; at += 64) {
+          const std::size_t len = std::min<std::size_t>(64, n - at);
+          wide1_->eval_mul_batch(a + at, b + at, out.data() + at, len, subject_->a_bits,
+                                 subject_->b_bits);
+          if (coverage_ != nullptr) coverage_->observe(*wide1_, len);
+        }
+        break;
+      case BackendId::kWide2:
+        run_wide(*wide2_, a, b, out.data(), n, subject_->a_bits, subject_->b_bits);
+        break;
+      case BackendId::kWide4Opt:
+        run_wide(*wide4_, a, b, out.data(), n, subject_->a_bits, subject_->b_bits);
+        break;
+      case BackendId::kWide8Opt:
+        run_wide(*wide8_, a, b, out.data(), n, subject_->a_bits, subject_->b_bits);
+        break;
+      case BackendId::kTable:
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = table_->mul(static_cast<unsigned>(a[i]), static_cast<unsigned>(b[i]));
+        }
+        break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    bool all_equal = true;
+    for (std::size_t bi = 1; bi < ids_.size(); ++bi) {
+      if (values_[bi][i] != values_[0][i]) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) continue;
+    // Name the disagreement as majority-vs-outlier when a majority exists.
+    std::size_t best_backend = 0;
+    std::size_t best_votes = 0;
+    for (std::size_t bi = 0; bi < ids_.size(); ++bi) {
+      std::size_t votes = 0;
+      for (std::size_t bj = 0; bj < ids_.size(); ++bj) {
+        votes += values_[bj][i] == values_[bi][i] ? 1 : 0;
+      }
+      if (votes > best_votes) {
+        best_votes = votes;
+        best_backend = bi;
+      }
+    }
+    std::size_t outlier = 0;
+    for (std::size_t bi = 0; bi < ids_.size(); ++bi) {
+      if (values_[bi][i] != values_[best_backend][i]) {
+        outlier = bi;
+        break;
+      }
+    }
+    Mismatch m;
+    m.lhs = ids_[best_backend];
+    m.rhs = ids_[outlier];
+    m.a = a[i];
+    m.b = b[i];
+    m.lhs_value = values_[best_backend][i];
+    m.rhs_value = values_[outlier][i];
+    return m;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Oracle::eval_one(BackendId id, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t p = 0;
+  switch (id) {
+    case BackendId::kModel: return subject_->model->multiply(a, b);
+    case BackendId::kScalar: return scalar_->eval_word(a, subject_->a_bits, b, subject_->b_bits);
+    case BackendId::kWide1:
+      wide1_->eval_mul_batch(&a, &b, &p, 1, subject_->a_bits, subject_->b_bits);
+      return p;
+    case BackendId::kWide2:
+      wide2_->eval_mul_batch(&a, &b, &p, 1, subject_->a_bits, subject_->b_bits);
+      return p;
+    case BackendId::kWide4Opt:
+      wide4_->eval_mul_batch(&a, &b, &p, 1, subject_->a_bits, subject_->b_bits);
+      return p;
+    case BackendId::kWide8Opt:
+      wide8_->eval_mul_batch(&a, &b, &p, 1, subject_->a_bits, subject_->b_bits);
+      return p;
+    case BackendId::kTable: return table_->mul(static_cast<unsigned>(a), static_cast<unsigned>(b));
+  }
+  return p;
+}
+
+std::string Oracle::divergent_net(std::uint64_t a, std::uint64_t b) {
+  // Scalar and wide1 both evaluate the raw netlist, so their per-net
+  // values are directly comparable in topological order.
+  (void)scalar_->eval_word(a, subject_->a_bits, b, subject_->b_bits);
+  std::uint64_t pw = 0;
+  wide1_->eval_mul_batch(&a, &b, &pw, 1, subject_->a_bits, subject_->b_bits);
+  const auto& scalar_values = scalar_->net_values();
+  const auto& wide_values = wide1_->net_values();
+  const auto& nl = subject_->netlist;
+  for (const std::uint32_t ci : nl.topo_order()) {
+    for (const fabric::NetId net : nl.cells()[ci].out) {
+      if (net == fabric::kNoNet) continue;
+      const auto scalar_bit = static_cast<std::uint64_t>(scalar_values[net] & 1u);
+      if (scalar_bit != (wide_values[net] & 1u)) return nl.net_name(net);
+    }
+  }
+  return "";
+}
+
+std::optional<std::string> check_sequential(const fabric::Netlist& nl, unsigned a_bits,
+                                            unsigned b_bits, const mult::Multiplier* model,
+                                            unsigned latency, std::uint64_t seed, unsigned cycles,
+                                            unsigned replay_lanes, ToggleCoverage* coverage) {
+  constexpr unsigned kLanes = fabric::BitParallelSeqEvaluator::kLanes;
+  replay_lanes = std::min(replay_lanes, kLanes);
+
+  // Per-lane operand streams from disjoint seed-derived RNG streams.
+  std::vector<std::vector<std::uint64_t>> a_ops(kLanes), b_ops(kLanes);
+  for (unsigned l = 0; l < kLanes; ++l) {
+    Xoshiro256 rng(derive_stream_seed(seed, l));
+    a_ops[l].resize(cycles);
+    b_ops[l].resize(cycles);
+    for (unsigned t = 0; t < cycles; ++t) {
+      a_ops[l][t] = rng() & ((std::uint64_t{1} << a_bits) - 1);
+      b_ops[l][t] = rng() & ((std::uint64_t{1} << b_bits) - 1);
+    }
+  }
+
+  fabric::BitParallelSeqEvaluator packed(nl);
+  const std::size_t n_outputs = nl.outputs().size();
+  std::vector<std::uint64_t> input_words(nl.inputs().size());
+  std::vector<std::vector<std::uint64_t>> products(kLanes,
+                                                   std::vector<std::uint64_t>(cycles, 0));
+  for (unsigned t = 0; t < cycles; ++t) {
+    for (std::size_t i = 0; i < input_words.size(); ++i) {
+      std::uint64_t w = 0;
+      for (unsigned l = 0; l < kLanes; ++l) {
+        const std::uint64_t op = i < a_bits ? a_ops[l][t] : b_ops[l][t];
+        const unsigned bit = i < a_bits ? static_cast<unsigned>(i)
+                                        : static_cast<unsigned>(i) - a_bits;
+        w |= ((op >> bit) & 1u) << l;
+      }
+      input_words[i] = w;
+    }
+    const auto& out = packed.step(input_words);
+    for (unsigned l = 0; l < kLanes; ++l) {
+      std::uint64_t p = 0;
+      for (std::size_t j = 0; j < n_outputs; ++j) p |= ((out[j] >> l) & 1u) << j;
+      products[l][t] = p;
+    }
+  }
+
+  // Scalar cycle-accurate replays of the leading lanes.
+  for (unsigned l = 0; l < replay_lanes; ++l) {
+    fabric::SeqEvaluator replay(nl);
+    for (unsigned t = 0; t < cycles; ++t) {
+      const std::uint64_t p = replay.step_word(a_ops[l][t], a_bits, b_ops[l][t], b_bits);
+      if (coverage != nullptr) coverage->observe_scalar(replay.net_values());
+      if (p != products[l][t]) {
+        std::ostringstream os;
+        os << "sequential: scalar SeqEvaluator and packed lanes disagree at lane " << l
+           << " cycle " << t << " (a=" << a_ops[l][t] << " b=" << b_ops[l][t] << "): " << p
+           << " vs " << products[l][t];
+        return os.str();
+      }
+    }
+  }
+
+  // Latency-shifted behavioral model on every lane.
+  if (model != nullptr) {
+    for (unsigned l = 0; l < kLanes; ++l) {
+      for (unsigned t = latency; t < cycles; ++t) {
+        const std::uint64_t want = model->multiply(a_ops[l][t - latency], b_ops[l][t - latency]);
+        if (products[l][t] != want) {
+          std::ostringstream os;
+          os << "sequential: lane " << l << " cycle " << t << " product " << products[l][t]
+             << " != model(" << a_ops[l][t - latency] << ", " << b_ops[l][t - latency]
+             << ") = " << want << " at latency " << latency;
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_gemm(const Subject& s, std::uint64_t seed) {
+  if (!s.model || s.a_bits != s.b_bits || s.a_bits > 8) return std::nullopt;
+  const nn::MacBackend backend(s.name, s.model);
+  const unsigned data_mask = (1u << backend.data_bits()) - 1;
+
+  // Ragged shapes so the blocked kernels' edge tiles are exercised too.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  for (const Shape shape : {Shape{9, 33, 17}, Shape{4, 64, 32}}) {
+    Xoshiro256 rng(derive_stream_seed(seed, shape.m));
+    std::vector<std::uint8_t> a(shape.m * shape.k);
+    std::vector<std::uint8_t> b(shape.k * shape.n);
+    for (auto& v : a) v = static_cast<std::uint8_t>(rng() & data_mask);
+    for (auto& v : b) v = static_cast<std::uint8_t>(rng() & data_mask);
+    for (const bool swap : {false, true}) {
+      std::vector<std::int64_t> blocked(shape.m * shape.n, 0);
+      std::vector<std::int64_t> naive(shape.m * shape.n, 0);
+      nn::gemm_accumulate(backend, swap, a.data(), b.data(), blocked.data(), shape.m, shape.k,
+                          shape.n, 1);
+      nn::gemm_accumulate_naive(backend, swap, a.data(), b.data(), naive.data(), shape.m,
+                                shape.k, shape.n, 1);
+      if (blocked != naive) {
+        std::ostringstream os;
+        os << "gemm: blocked kernel (" << nn::gemm_kernel_name() << ") != naive table walk at "
+           << shape.m << "x" << shape.k << "x" << shape.n << (swap ? " swapped" : "");
+        return os.str();
+      }
+      if (s.exact && !swap) {
+        std::vector<std::int64_t> reference(shape.m * shape.n, 0);
+        nn::gemm_reference(a.data(), b.data(), reference.data(), shape.m, shape.k, shape.n);
+        if (blocked != reference) {
+          std::ostringstream os;
+          os << "gemm: exact subject disagrees with int64 reference at " << shape.m << "x"
+             << shape.k << "x" << shape.n;
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace axmult::check

@@ -1,0 +1,120 @@
+// Oracle layer of the differential harness: every way this repo can
+// compute a product, pitted against each other on the same operands.
+//
+// For a combinational Subject the Oracle instantiates every applicable
+// backend once and replays operand batches through all of them:
+//   model      behavioral mult::Multiplier
+//   scalar     fabric::Evaluator (cell-by-cell interpretation)
+//   wide1/2    fabric::WideEvaluator<1|2> on the raw netlist (optimize off;
+//              wide1 doubles as the toggle-coverage probe)
+//   wide4opt/  fabric::WideEvaluator<4|8> on the fabric::optimize()d copy —
+//   wide8opt   the default sweep configuration
+//   table      nn::MacBackend product table (the GEMM engine's functional
+//              view; 8-bit square subjects only)
+// Equality is checked pairwise against the first backend; because equality
+// is transitive, agreement with the baseline exercises every registered
+// backend pair. Sequential designs (pipelined multipliers, MACs) go through
+// check_sequential instead: SeqEvaluator vs BitParallelSeqEvaluator lanes,
+// cycle-accurately, with the behavioral model shifted by the pipeline
+// latency. check_gemm closes the loop on the blocked table-GEMM kernels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/coverage.hpp"
+#include "check/subject.hpp"
+#include "fabric/bitparallel.hpp"
+#include "fabric/netlist.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::check {
+
+enum class BackendId : std::uint8_t {
+  kModel,
+  kScalar,
+  kWide1,
+  kWide2,
+  kWide4Opt,
+  kWide8Opt,
+  kTable,
+};
+
+[[nodiscard]] const char* backend_name(BackendId id) noexcept;
+
+/// Two backends disagreeing on one operand pair. `lhs` holds the majority
+/// value when one exists (the likely-correct side).
+struct Mismatch {
+  BackendId lhs = BackendId::kModel;
+  BackendId rhs = BackendId::kModel;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t lhs_value = 0;
+  std::uint64_t rhs_value = 0;
+};
+
+class Oracle {
+ public:
+  /// Builds every backend applicable to `s` (combinational subjects only;
+  /// throws std::invalid_argument on sequential netlists). The subject
+  /// must outlive the oracle.
+  explicit Oracle(const Subject& s);
+
+  [[nodiscard]] const std::vector<BackendId>& backends() const noexcept { return ids_; }
+
+  /// Attaches a toggle-coverage tracker fed from the wide1 (unoptimized)
+  /// backend on every subsequent run().
+  void set_coverage(ToggleCoverage* coverage) noexcept { coverage_ = coverage; }
+
+  /// Replays (a[i], b[i]) for i < n through every backend; returns the
+  /// first disagreement (lowest pair index) or nullopt when all agree.
+  [[nodiscard]] std::optional<Mismatch> run(const std::uint64_t* a, const std::uint64_t* b,
+                                            std::size_t n);
+
+  /// One pair on one backend — the shrinker/replay path.
+  [[nodiscard]] std::uint64_t eval_one(BackendId id, std::uint64_t a, std::uint64_t b);
+
+  /// First net (topological order of the raw netlist) where the scalar and
+  /// wide1 evaluations of (a, b) disagree; "" when they agree on every net.
+  /// Localizes harness-side divergences net-by-net.
+  [[nodiscard]] std::string divergent_net(std::uint64_t a, std::uint64_t b);
+
+  /// Construction-time optimize() statistics of the wide4opt backend.
+  [[nodiscard]] const fabric::OptimizeStats& optimize_stats() const noexcept {
+    return wide4_->optimize_stats();
+  }
+
+ private:
+  const Subject* subject_;
+  std::vector<BackendId> ids_;
+  std::unique_ptr<fabric::Evaluator> scalar_;
+  std::unique_ptr<fabric::WideEvaluator<1>> wide1_;
+  std::unique_ptr<fabric::WideEvaluator<2>> wide2_;
+  std::unique_ptr<fabric::WideEvaluator<4>> wide4_;
+  std::unique_ptr<fabric::WideEvaluator<8>> wide8_;
+  nn::MacBackendPtr table_;
+  ToggleCoverage* coverage_ = nullptr;
+  std::vector<std::vector<std::uint64_t>> values_;  ///< per backend, per pair
+};
+
+/// Cycle-accurate differential of a sequential netlist over `cycles`
+/// cycles of seeded random operands: 64 packed lanes through
+/// fabric::BitParallelSeqEvaluator vs `replay_lanes` scalar SeqEvaluator
+/// replays; when `model` is non-null its product, delayed by `latency`
+/// cycles, must match every lane. Returns a failure description or
+/// nullopt. Optionally folds scalar net values into `coverage`.
+[[nodiscard]] std::optional<std::string> check_sequential(
+    const fabric::Netlist& nl, unsigned a_bits, unsigned b_bits, const mult::Multiplier* model,
+    unsigned latency, std::uint64_t seed, unsigned cycles = 48, unsigned replay_lanes = 4,
+    ToggleCoverage* coverage = nullptr);
+
+/// Differential check of the blocked table-GEMM path for an 8-bit square
+/// subject: gemm_accumulate (blocked/AVX512 kernels) vs the naive table
+/// walk on ragged shapes, both operand orders — and vs the exact int64
+/// reference when the subject is exact. Returns a failure description.
+[[nodiscard]] std::optional<std::string> check_gemm(const Subject& s, std::uint64_t seed);
+
+}  // namespace axmult::check

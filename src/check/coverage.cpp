@@ -1,0 +1,144 @@
+#include "check/coverage.hpp"
+
+#include <sstream>
+
+#include "fabric/lut6.hpp"
+
+namespace axmult::check {
+namespace {
+
+/// Constant propagation from GND/VCC through the cell graph. Generators
+/// routinely pad sub-block adders with constant operand bits (e.g. the
+/// 6-bit Kulkarni sub-products summed on 8-bit chains), so a raw netlist
+/// carries cells whose outputs can never toggle under ANY input; counting
+/// them as coverage targets would put 100% out of reach by construction.
+/// Returns, per net: -1 = input-dependent, 0/1 = provably constant.
+std::vector<std::int8_t> constant_nets(const fabric::Netlist& nl) {
+  std::vector<std::int8_t> cv(nl.net_count(), -1);
+  cv[fabric::kNetGnd] = 0;
+  cv[fabric::kNetVcc] = 1;
+  for (const fabric::NetId in : nl.inputs()) cv[in] = -1;
+  for (const std::uint32_t ci : nl.topo_order()) {
+    const fabric::Cell& c = nl.cells()[ci];
+    switch (c.kind) {
+      case fabric::CellKind::kLut6: {
+        unsigned idx = 0;
+        bool known = true;
+        for (unsigned b = 0; b < 6 && known; ++b) {
+          if (cv[c.in[b]] < 0) known = false;
+          idx |= static_cast<unsigned>(cv[c.in[b]] == 1) << b;
+        }
+        // Not all-constant inputs: the output COULD still be constant
+        // (don't-care INIT space), but cofactoring against partial
+        // constants is the optimizer's job; unknown is the safe answer.
+        if (!known) break;
+        cv[c.out[0]] = fabric::lut_o6(c.init, idx) ? 1 : 0;
+        if (c.out[1] != fabric::kNoNet) cv[c.out[1]] = fabric::lut_o5(c.init, idx) ? 1 : 0;
+        break;
+      }
+      case fabric::CellKind::kCarry4: {
+        std::int8_t carry = cv[c.in[0]];
+        for (unsigned i = 0; i < 4; ++i) {
+          const std::int8_t s = cv[c.in[1 + i]];
+          const std::int8_t di = cv[c.in[5 + i]];
+          if (c.out[i] != fabric::kNoNet) {
+            cv[c.out[i]] = (s < 0 || carry < 0) ? std::int8_t{-1}
+                                                : static_cast<std::int8_t>(s ^ carry);
+          }
+          carry = s < 0 ? std::int8_t{-1} : (s != 0 ? carry : di);  // MUXCY
+          if (c.out[4 + i] != fabric::kNoNet) cv[c.out[4 + i]] = carry;
+        }
+        break;
+      }
+      case fabric::CellKind::kDsp:
+      case fabric::CellKind::kFdre:
+        // Products of constants never occur in practice and flip-flop
+        // state is input-driven; leave every output unknown.
+        break;
+    }
+  }
+  return cv;
+}
+
+}  // namespace
+
+ToggleCoverage::ToggleCoverage(const fabric::Netlist& nl) {
+  state_.assign(nl.net_count(), 0);
+  eligible_.assign(nl.net_count(), 0);
+  for (const fabric::NetId n : nl.inputs()) eligible_[n] = 1;
+  for (const fabric::NetId n : nl.outputs()) {
+    if (n != fabric::kNetGnd && n != fabric::kNetVcc) eligible_[n] = 1;
+  }
+  for (const fabric::Cell& c : nl.cells()) {
+    for (const fabric::NetId n : c.out) {
+      if (n != fabric::kNoNet) eligible_[n] = 1;
+    }
+  }
+  eligible_[fabric::kNetGnd] = 0;
+  eligible_[fabric::kNetVcc] = 0;
+  const auto cv = constant_nets(nl);
+  for (std::size_t n = 0; n < eligible_.size(); ++n) {
+    if (cv[n] >= 0) eligible_[n] = 0;  // provably constant: can never toggle
+  }
+  for (const std::uint8_t e : eligible_) eligible_count_ += e;
+}
+
+void ToggleCoverage::mark(std::size_t net, bool saw0, bool saw1) {
+  if (eligible_[net] == 0) return;
+  const std::uint8_t before = state_[net];
+  const std::uint8_t after =
+      static_cast<std::uint8_t>(before | (saw0 ? 1u : 0u) | (saw1 ? 2u : 0u));
+  if (after == before) return;
+  state_[net] = after;
+  if (after == 3 && before != 3) {
+    ++covered_count_;
+    progressed_ = true;
+  }
+}
+
+void ToggleCoverage::observe(const fabric::WideEvaluator<1>& ev, std::size_t valid_lanes) {
+  if (valid_lanes == 0) return;
+  const std::uint64_t mask =
+      valid_lanes >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << valid_lanes) - 1;
+  const auto& values = ev.net_values();
+  const std::size_t nets = state_.size();
+  for (std::size_t n = 0; n < nets; ++n) {
+    if (state_[n] == 3 || eligible_[n] == 0) continue;
+    const std::uint64_t w = values[n];
+    mark(n, (~w & mask) != 0, (w & mask) != 0);
+  }
+}
+
+void ToggleCoverage::observe_scalar(const std::vector<std::uint8_t>& net_values) {
+  const std::size_t nets = std::min(state_.size(), net_values.size());
+  for (std::size_t n = 0; n < nets; ++n) {
+    if (state_[n] == 3 || eligible_[n] == 0) continue;
+    mark(n, net_values[n] == 0, net_values[n] != 0);
+  }
+}
+
+std::vector<fabric::NetId> ToggleCoverage::uncovered(std::size_t limit) const {
+  std::vector<fabric::NetId> nets;
+  for (std::size_t n = 0; n < state_.size(); ++n) {
+    if (eligible_[n] != 0 && state_[n] != 3) {
+      nets.push_back(static_cast<fabric::NetId>(n));
+      if (limit != 0 && nets.size() >= limit) break;
+    }
+  }
+  return nets;
+}
+
+std::string ToggleCoverage::to_json(const fabric::Netlist& nl, const std::string& subject) const {
+  std::ostringstream os;
+  os << "{\"subject\": \"" << subject << "\", \"nets\": " << eligible_count_
+     << ", \"covered\": " << covered_count_ << ", \"coverage\": " << fraction()
+     << ", \"uncovered\": [";
+  const auto missing = uncovered(32);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    os << (i ? ", " : "") << '"' << nl.net_name(missing[i]) << '"';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace axmult::check

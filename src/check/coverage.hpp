@@ -1,0 +1,69 @@
+// Per-net toggle-coverage tracking for the differential harness.
+//
+// Reuses the packed-lane machinery: after every 64-lane batch through an
+// *unoptimized* fabric::WideEvaluator<1> (NetIds match the original
+// netlist), each net's packed value word is OR-folded into two sticky
+// masks — "seen 0" and "seen 1". A net counts as toggle-covered once both
+// states were observed; the fraction of covered nets is the coverage the
+// generator layer (generate.hpp) steers toward and the JSON report the CI
+// uploads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/bitparallel.hpp"
+#include "fabric/netlist.hpp"
+
+namespace axmult::check {
+
+class ToggleCoverage {
+ public:
+  /// Eligible nets: everything driven by a cell, a primary input or named
+  /// as a primary output — excluding the GND/VCC constants, which can
+  /// never toggle by definition.
+  explicit ToggleCoverage(const fabric::Netlist& nl);
+
+  /// Folds in the packed net values of the most recent 64-lane eval;
+  /// `valid_lanes` masks ragged tails. The evaluator must have been
+  /// constructed with {.optimize = false} on the same netlist.
+  void observe(const fabric::WideEvaluator<1>& ev, std::size_t valid_lanes);
+
+  /// Same fold for a scalar evaluation (sequential replays).
+  void observe_scalar(const std::vector<std::uint8_t>& net_values);
+
+  [[nodiscard]] std::size_t covered() const noexcept { return covered_count_; }
+  [[nodiscard]] std::size_t total() const noexcept { return eligible_count_; }
+  [[nodiscard]] double fraction() const noexcept {
+    return eligible_count_ == 0
+               ? 1.0
+               : static_cast<double>(covered_count_) / static_cast<double>(eligible_count_);
+  }
+
+  /// Nets never seen in both states, up to `limit` (0 = all).
+  [[nodiscard]] std::vector<fabric::NetId> uncovered(std::size_t limit = 0) const;
+
+  /// True once per coverage increase since the last call — the accept
+  /// signal of the coverage-guided generator.
+  [[nodiscard]] bool take_progress() noexcept {
+    const bool p = progressed_;
+    progressed_ = false;
+    return p;
+  }
+
+  /// Flat JSON object: net totals, fraction, and the first uncovered net
+  /// names (CI artifact; see docs/TESTING.md).
+  [[nodiscard]] std::string to_json(const fabric::Netlist& nl, const std::string& subject) const;
+
+ private:
+  void mark(std::size_t net, bool saw0, bool saw1);
+
+  std::vector<std::uint8_t> state_;  ///< bit0 = seen 0, bit1 = seen 1
+  std::vector<std::uint8_t> eligible_;
+  std::size_t eligible_count_ = 0;
+  std::size_t covered_count_ = 0;
+  bool progressed_ = false;
+};
+
+}  // namespace axmult::check

@@ -1,0 +1,119 @@
+#include "check/generate.hpp"
+
+#include <algorithm>
+
+namespace axmult::check {
+namespace {
+
+std::uint64_t mask_of(unsigned bits) { return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1; }
+
+std::uint64_t corner_value(unsigned bits, Xoshiro256& rng) {
+  const std::uint64_t mask = mask_of(bits);
+  const std::uint64_t k = rng.below(bits);
+  switch (rng.below(7)) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return mask;                               // all ones
+    case 3: return mask - 1;
+    case 4: return std::uint64_t{1} << k;              // walking one
+    case 5: return ((std::uint64_t{1} << k) - 1);      // low-run of ones
+    default: return mask ^ (std::uint64_t{1} << k);    // walking zero
+  }
+}
+
+std::uint64_t gaussian_value(unsigned bits, Xoshiro256& rng) {
+  const auto mask = static_cast<double>(mask_of(bits));
+  const double v = 0.7 * mask + 0.22 * mask * gaussian01(rng);
+  if (v <= 0.0) return 0;
+  if (v >= mask) return mask_of(bits);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t flip_bits(std::uint64_t v, unsigned bits, Xoshiro256& rng, unsigned flips) {
+  for (unsigned f = 0; f < flips; ++f) v ^= std::uint64_t{1} << rng.below(bits);
+  return v & mask_of(bits);
+}
+
+}  // namespace
+
+const char* dist_name(Dist d) noexcept {
+  switch (d) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kCorner: return "corner";
+    case Dist::kGaussian: return "gaussian";
+    case Dist::kToggleAdversarial: return "toggle-adversarial";
+  }
+  return "?";
+}
+
+void fill_operands(Dist d, unsigned a_bits, unsigned b_bits, Xoshiro256& rng, std::uint64_t* a,
+                   std::uint64_t* b, std::size_t n) {
+  const std::uint64_t am = mask_of(a_bits);
+  const std::uint64_t bm = mask_of(b_bits);
+  switch (d) {
+    case Dist::kUniform:
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng() & am;
+        b[i] = rng() & bm;
+      }
+      break;
+    case Dist::kCorner:
+      // Mix pure corners with corner x uniform cross terms so the carry
+      // boundaries meet ordinary operands too.
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = corner_value(a_bits, rng);
+        b[i] = rng.below(2) != 0 ? corner_value(b_bits, rng) : (rng() & bm);
+        if (rng.below(4) == 0) {
+          std::swap(a[i], b[i]);
+          a[i] &= am;
+          b[i] &= bm;
+        }
+      }
+      break;
+    case Dist::kGaussian:
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = gaussian_value(a_bits, rng);
+        b[i] = gaussian_value(b_bits, rng);
+      }
+      break;
+    case Dist::kToggleAdversarial: {
+      // Lane-to-lane random walk flipping 1-2 bits per operand: adjacent
+      // packed lanes then differ in few inputs, driving long XOR/carry
+      // cones through dense 0<->1 traffic.
+      std::uint64_t va = rng() & am;
+      std::uint64_t vb = rng() & bm;
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = va;
+        b[i] = vb;
+        va = flip_bits(va, a_bits, rng, 1 + static_cast<unsigned>(rng.below(2)));
+        vb = flip_bits(vb, b_bits, rng, 1 + static_cast<unsigned>(rng.below(2)));
+      }
+      break;
+    }
+  }
+}
+
+GuidedGenerator::GuidedGenerator(unsigned a_bits, unsigned b_bits, std::uint64_t seed)
+    : a_bits_(a_bits), b_bits_(b_bits), rng_(seed) {}
+
+void GuidedGenerator::next_batch(std::uint64_t* a, std::uint64_t* b, std::size_t n) {
+  last_dist_ = kAllDists[round_ % kAllDists.size()];
+  ++round_;
+  fill_operands(last_dist_, a_bits_, b_bits_, rng_, a, b, n);
+  if (pool_.empty()) return;
+  // Second half: neighbourhood walks around pairs that covered new nets.
+  for (std::size_t i = n / 2; i < n; ++i) {
+    const auto& [pa, pb] = pool_[rng_.below(pool_.size())];
+    a[i] = flip_bits(pa, a_bits_, rng_, 1 + static_cast<unsigned>(rng_.below(2)));
+    b[i] = flip_bits(pb, b_bits_, rng_, 1 + static_cast<unsigned>(rng_.below(2)));
+  }
+}
+
+void GuidedGenerator::reward(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  constexpr std::size_t kKeep = 8;
+  constexpr std::size_t kPoolCap = 64;
+  for (std::size_t i = 0; i < std::min(n, kKeep); ++i) pool_.emplace_back(a[i], b[i]);
+  if (pool_.size() > kPoolCap) pool_.erase(pool_.begin(), pool_.begin() + static_cast<std::ptrdiff_t>(pool_.size() - kPoolCap));
+}
+
+}  // namespace axmult::check

@@ -1,0 +1,61 @@
+// Generator layer of the differential harness: structured operand
+// distributions plus a coverage-feedback wrapper.
+//
+// Uniform operands alone exercise a multiplier's carry logic poorly (the
+// deep-ripple corner cases are exponentially rare), so the harness rotates
+// four distributions per batch:
+//   * uniform              — the baseline the error sweeps use,
+//   * corner-biased        — 0/1/max, walking-ones/zeros, power-of-two
+//                            boundaries (where carry chains saturate),
+//   * Gaussian             — the sensor-like skewed operands of Fig. 12,
+//   * toggle-adversarial   — lane-to-lane few-bit walks, so adjacent packed
+//                            lanes flip as many nets as possible.
+// The GuidedGenerator additionally keeps a pool of operand pairs that most
+// recently increased toggle coverage (coverage.hpp reports progress) and
+// mutates them into later batches, steering generation toward the
+// unexercised cones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace axmult::check {
+
+enum class Dist : std::uint8_t { kUniform, kCorner, kGaussian, kToggleAdversarial };
+inline constexpr std::array<Dist, 4> kAllDists{Dist::kUniform, Dist::kCorner, Dist::kGaussian,
+                                               Dist::kToggleAdversarial};
+
+[[nodiscard]] const char* dist_name(Dist d) noexcept;
+
+/// Fills (a[i], b[i]) for i < n from the distribution; operands are masked
+/// to the given widths. Deterministic in `rng` state.
+void fill_operands(Dist d, unsigned a_bits, unsigned b_bits, Xoshiro256& rng, std::uint64_t* a,
+                   std::uint64_t* b, std::size_t n);
+
+class GuidedGenerator {
+ public:
+  GuidedGenerator(unsigned a_bits, unsigned b_bits, std::uint64_t seed);
+
+  /// Next operand batch: rotates the base distributions, replacing the
+  /// second half with few-bit mutations of pooled pairs when available.
+  void next_batch(std::uint64_t* a, std::uint64_t* b, std::size_t n);
+
+  /// Coverage feedback — the previous batch toggled a new net; its leading
+  /// pairs become mutation seeds.
+  void reward(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+
+  [[nodiscard]] Dist last_dist() const noexcept { return last_dist_; }
+
+ private:
+  unsigned a_bits_;
+  unsigned b_bits_;
+  Xoshiro256 rng_;
+  unsigned round_ = 0;
+  Dist last_dist_ = Dist::kUniform;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pool_;
+};
+
+}  // namespace axmult::check

@@ -1,0 +1,143 @@
+#include "check/golden.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/backends.hpp"
+#include "common/rng.hpp"
+#include "dse/jsonio.hpp"
+#include "dse/space.hpp"
+
+namespace axmult::check {
+namespace {
+
+std::uint64_t authoritative_product(const Subject& s, fabric::Evaluator& scalar, std::uint64_t a,
+                                    std::uint64_t b) {
+  if (s.model) return s.model->multiply(a, b);
+  return scalar.eval_word(a, s.a_bits, b, s.b_bits);
+}
+
+}  // namespace
+
+std::vector<GoldenSpec> default_golden_set() {
+  const std::string a4x4 = "dse:" + dse::config_key(dse::paper_approx4x4());
+  return {
+      // Table 2 of the paper: the approximate 4x4 module errs on exactly
+      // six operand pairs. "errors" mode freezes those pairs and products.
+      {"table2_a4x4.golden", a4x4, "errors", 0, 0},
+      // The asymmetric 4x2 block is small enough for its full truth table.
+      {"a4x2_full.golden", "elem:a4x2", "exhaustive", 0, 0},
+      // Proposed 8x8 and 16x16 cores: seeded uniform samples.
+      {"ca8.golden", "catalog:Ca_8", "sampled", 512, 0xca8},
+      {"cc8.golden", "catalog:Cc_8", "sampled", 512, 0xcc8},
+      {"ca16.golden", "catalog:Ca_16", "sampled", 256, 0xca16},
+      {"cc16.golden", "catalog:Cc_16", "sampled", 256, 0xcc16},
+  };
+}
+
+GoldenFile make_golden(const GoldenSpec& spec) {
+  const Subject s = resolve_subject(spec.subject);
+  fabric::Evaluator scalar(s.netlist);
+  GoldenFile g;
+  g.subject = spec.subject;
+  g.mode = spec.mode;
+  g.a_bits = s.a_bits;
+  g.b_bits = s.b_bits;
+  g.seed = spec.seed;
+  const std::uint64_t am = (std::uint64_t{1} << s.a_bits) - 1;
+  const std::uint64_t bm = (std::uint64_t{1} << s.b_bits) - 1;
+  if (spec.mode == "exhaustive") {
+    for (std::uint64_t a = 0; a <= am; ++a) {
+      for (std::uint64_t b = 0; b <= bm; ++b) {
+        g.rows.push_back({a, b, authoritative_product(s, scalar, a, b)});
+      }
+    }
+  } else if (spec.mode == "errors") {
+    for (std::uint64_t a = 0; a <= am; ++a) {
+      for (std::uint64_t b = 0; b <= bm; ++b) {
+        const std::uint64_t p = authoritative_product(s, scalar, a, b);
+        if (p != a * b) g.rows.push_back({a, b, p});
+      }
+    }
+  } else if (spec.mode == "sampled") {
+    Xoshiro256 rng(derive_stream_seed(spec.seed, 0x601de2));
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      const std::uint64_t a = rng() & am;
+      const std::uint64_t b = rng() & bm;
+      g.rows.push_back({a, b, authoritative_product(s, scalar, a, b)});
+    }
+  } else {
+    throw std::invalid_argument("make_golden: unknown mode " + spec.mode);
+  }
+  return g;
+}
+
+void write_golden(const GoldenFile& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_golden: cannot open " + path);
+  out << "{\"subject\": \"" << g.subject << "\", \"mode\": \"" << g.mode
+      << "\", \"a_bits\": " << g.a_bits << ", \"b_bits\": " << g.b_bits << ", \"seed\": " << g.seed
+      << ", \"count\": " << g.rows.size() << "}\n";
+  for (const GoldenRow& r : g.rows) out << r.a << ' ' << r.b << ' ' << r.product << '\n';
+}
+
+GoldenFile read_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_golden: cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) throw std::runtime_error("read_golden: empty file " + path);
+  namespace js = dse::jsonio;
+  const auto subject = js::find_string(header, "subject");
+  const auto mode = js::find_string(header, "mode");
+  const auto a_bits = js::find_number(header, "a_bits");
+  const auto b_bits = js::find_number(header, "b_bits");
+  const auto count = js::find_number(header, "count");
+  if (!subject || !mode || !a_bits || !b_bits || !count) {
+    throw std::runtime_error("read_golden: malformed header in " + path);
+  }
+  GoldenFile g;
+  g.subject = *subject;
+  g.mode = *mode;
+  g.a_bits = static_cast<unsigned>(*a_bits);
+  g.b_bits = static_cast<unsigned>(*b_bits);
+  g.seed = static_cast<std::uint64_t>(js::find_number(header, "seed").value_or(0));
+  GoldenRow r{};
+  while (in >> r.a >> r.b >> r.product) g.rows.push_back(r);
+  if (g.rows.size() != static_cast<std::size_t>(*count)) {
+    throw std::runtime_error("read_golden: row count mismatch in " + path);
+  }
+  return g;
+}
+
+std::optional<std::string> replay_golden(const GoldenFile& g) {
+  const Subject s = resolve_subject(g.subject);
+  if (s.a_bits != g.a_bits || s.b_bits != g.b_bits) {
+    return "golden " + g.subject + ": operand widths changed";
+  }
+  Oracle oracle(s);
+  for (const GoldenRow& r : g.rows) {
+    for (const BackendId id : oracle.backends()) {
+      const std::uint64_t p = oracle.eval_one(id, r.a, r.b);
+      if (p != r.product) {
+        std::ostringstream os;
+        os << "golden " << g.subject << ": backend " << backend_name(id) << " computes "
+           << r.a << "*" << r.b << " = " << p << ", golden file says " << r.product;
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t emit_golden_set(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const auto set = default_golden_set();
+  for (const GoldenSpec& spec : set) {
+    write_golden(make_golden(spec), (std::filesystem::path(dir) / spec.file).string());
+  }
+  return set.size();
+}
+
+}  // namespace axmult::check

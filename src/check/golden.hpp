@@ -1,0 +1,74 @@
+// Golden product vectors: the published/derived numeric behavior of the
+// library's multipliers frozen into checked-in files, so any later change
+// to a model, a netlist generator or an evaluator that alters a single
+// product fails loudly with the exact operand pair.
+//
+// File format (hand-written dialect, dse::jsonio reads the header):
+//   line 1: {"subject": "<key>", "mode": "...", "a_bits": N, "b_bits": N,
+//            "seed": S, "count": C}
+//   then C lines of "a b product" in decimal.
+// Modes:
+//   exhaustive  every (a, b) pair — small operand widths only,
+//   errors      only the pairs where the model differs from the exact
+//               product (e.g. the paper's Table 2: exactly six 4x4 pairs),
+//   sampled     `count` seeded-uniform pairs — wide subjects where the
+//               full table would be megabytes.
+// The checked-in set lives in tests/golden/ and is regenerated with
+// `axcheck emit-golden --dir tests/golden` (see docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/subject.hpp"
+
+namespace axmult::check {
+
+struct GoldenRow {
+  std::uint64_t a;
+  std::uint64_t b;
+  std::uint64_t product;
+};
+
+struct GoldenFile {
+  std::string subject;  ///< subject key (subject.hpp grammar)
+  std::string mode;     ///< "exhaustive" | "errors" | "sampled"
+  unsigned a_bits = 0;
+  unsigned b_bits = 0;
+  std::uint64_t seed = 0;  ///< sampled mode only
+  std::vector<GoldenRow> rows;
+};
+
+/// One entry of the checked-in golden set.
+struct GoldenSpec {
+  std::string file;     ///< filename under the golden directory
+  std::string subject;  ///< subject key
+  std::string mode;
+  std::size_t count = 0;   ///< sampled mode: pairs to draw
+  std::uint64_t seed = 0;  ///< sampled mode: derive_stream_seed stream
+};
+
+/// The vectors this repo checks in under tests/golden/.
+[[nodiscard]] std::vector<GoldenSpec> default_golden_set();
+
+/// Generates the vectors for one spec from the subject's authoritative
+/// path (behavioral model when present, scalar netlist evaluation
+/// otherwise).
+[[nodiscard]] GoldenFile make_golden(const GoldenSpec& spec);
+
+void write_golden(const GoldenFile& g, const std::string& path);
+
+/// Throws std::runtime_error on unreadable or malformed files.
+[[nodiscard]] GoldenFile read_golden(const std::string& path);
+
+/// Re-executes every row of `g` against every backend of the
+/// reconstructed subject; returns a failure description naming the first
+/// disagreeing (backend, pair), or nullopt when all products match.
+[[nodiscard]] std::optional<std::string> replay_golden(const GoldenFile& g);
+
+/// Writes default_golden_set() under `dir`; returns the file count.
+std::size_t emit_golden_set(const std::string& dir);
+
+}  // namespace axmult::check

@@ -1,0 +1,310 @@
+#include "check/harness.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "check/backends.hpp"
+#include "check/coverage.hpp"
+#include "check/generate.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "dse/space.hpp"
+#include "fabric/faults.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::check {
+namespace {
+
+constexpr std::size_t kMaxFailuresPerSubject = 4;
+
+void localize(const Subject& s, Oracle& oracle, Counterexample& cx) {
+  if (s.reference) {
+    cx.net = first_divergent_net(*s.reference, s.netlist, s.a_bits, s.b_bits, cx.a, cx.b);
+  } else {
+    cx.net = oracle.divergent_net(cx.a, cx.b);
+  }
+  if (!cx.net.empty()) {
+    cx.cone_cells = cone_cell_count(s.netlist, find_net(s.netlist, cx.net));
+  }
+}
+
+/// Per-subject one-off invariants (independent of the fuzz batches).
+void check_invariants(const Subject& s, Oracle& oracle, std::uint64_t stream_seed,
+                      SubjectReport& rep) {
+  // Conservation law of the optimizer's bookkeeping: every cell of the
+  // input netlist is either kept, folded away, CSE-merged or dead.
+  const fabric::OptimizeStats& st = oracle.optimize_stats();
+  if (st.cells_before != st.cells_after + st.folded_cells + st.cse_merged + st.dead_removed) {
+    Counterexample cx;
+    cx.subject = s.key;
+    cx.kind = "optstats";
+    cx.lhs = "cells_before";
+    cx.rhs = "cells_after+folded+cse+dead";
+    cx.lhs_value = st.cells_before;
+    cx.rhs_value = st.cells_after + st.folded_cells + st.cse_merged + st.dead_removed;
+    rep.failures.push_back(cx);
+  }
+
+  // Fault-free baseline: injecting a stuck-at fault at the value the net
+  // already takes on some input must not change that input's product, and
+  // with_stuck_at documents identical cell count.
+  const auto sites = fabric::fault_sites(s.netlist);
+  if (!sites.empty()) {
+    Xoshiro256 rng(derive_stream_seed(stream_seed, 0xfa));
+    fabric::Evaluator scalar(s.netlist);
+    const std::uint64_t am = (std::uint64_t{1} << s.a_bits) - 1;
+    const std::uint64_t bm = (std::uint64_t{1} << s.b_bits) - 1;
+    for (unsigned trial = 0; trial < 3; ++trial) {
+      const std::uint64_t a = rng() & am;
+      const std::uint64_t b = rng() & bm;
+      const std::uint64_t want = scalar.eval_word(a, s.a_bits, b, s.b_bits);
+      const fabric::NetId site = sites[rng.below(sites.size())];
+      const bool value = scalar.net_values()[site] != 0;
+      const fabric::Netlist faulty = fabric::with_stuck_at(s.netlist, {site, value});
+      fabric::Evaluator faulty_ev(faulty);
+      const std::uint64_t got = faulty_ev.eval_word(a, s.a_bits, b, s.b_bits);
+      if (got != want || faulty.cells().size() != s.netlist.cells().size()) {
+        Counterexample cx;
+        cx.subject = s.key;
+        cx.kind = "fault-baseline";
+        cx.lhs = "fault-free";
+        cx.rhs = "stuck@" + s.netlist.net_name(site);
+        cx.a = a;
+        cx.b = b;
+        cx.lhs_value = want;
+        cx.rhs_value = got;
+        cx.net = s.netlist.net_name(site);
+        rep.failures.push_back(cx);
+        break;
+      }
+    }
+  }
+
+  // The product table's documented operand-swap identity:
+  // mul_swapped(a, b) == mul(b, a) for every tabulated pair.
+  if (s.model && s.a_bits == s.b_bits && s.a_bits <= 8) {
+    const nn::MacBackend table(s.name, s.model);
+    Xoshiro256 rng(derive_stream_seed(stream_seed, 0x5a));
+    const unsigned mask = (1u << table.data_bits()) - 1;
+    for (unsigned trial = 0; trial < 256; ++trial) {
+      const unsigned a = static_cast<unsigned>(rng()) & mask;
+      const unsigned b = static_cast<unsigned>(rng()) & mask;
+      if (table.mul_swapped(a, b) != table.mul(b, a)) {
+        Counterexample cx;
+        cx.subject = s.key;
+        cx.kind = "swap";
+        cx.lhs = "mul(b,a)";
+        cx.rhs = "mul_swapped(a,b)";
+        cx.a = a;
+        cx.b = b;
+        cx.lhs_value = table.mul(b, a);
+        cx.rhs_value = table.mul_swapped(a, b);
+        rep.failures.push_back(cx);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t FuzzReport::failure_count() const {
+  std::size_t n = sequential_failures.size() + gemm_failures.size();
+  for (const SubjectReport& s : subjects) n += s.failures.size();
+  return n;
+}
+
+std::string FuzzReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"seed\": " << seed << ", \"subjects\": " << subjects.size()
+     << ", \"total_pairs\": " << total_pairs << ", \"failures\": " << failure_count() << "}\n";
+  for (const SubjectReport& s : subjects) {
+    os << "{\"subject\": \"" << s.key << "\", \"pairs\": " << s.pairs
+       << ", \"backends\": " << s.backend_count << ", \"nets\": " << s.nets
+       << ", \"covered\": " << s.covered << ", \"coverage\": " << s.coverage
+       << ", \"failures\": " << s.failures.size() << "}\n";
+    for (const Counterexample& cx : s.failures) os << repro_json(cx);
+  }
+  for (const std::string& f : sequential_failures) {
+    os << "{\"sequential_failure\": \"" << f << "\"}\n";
+  }
+  for (const std::string& f : gemm_failures) os << "{\"gemm_failure\": \"" << f << "\"}\n";
+  return os.str();
+}
+
+std::vector<std::string> fuzz_subject_keys(const FuzzOptions& opts) {
+  std::vector<std::string> keys;
+  std::set<std::string> seen;
+  auto add = [&](std::string key) {
+    if (seen.insert(key).second) keys.push_back(std::move(key));
+  };
+  if (opts.include_catalog) {
+    for (auto& k : catalog_subject_keys(opts.width)) add(std::move(k));
+  }
+  if (opts.include_elem) add("elem:a4x2");
+  const dse::SpaceSpec spec = dse::make_space(opts.space);
+  for (unsigned i = 0; i < opts.iters; ++i) {
+    Xoshiro256 rng(derive_stream_seed(opts.seed, 0xd5e000 + i));
+    add("dse:" + dse::config_key(dse::sample(spec, rng)));
+  }
+  return keys;
+}
+
+SubjectReport check_subject(const std::string& key, const FuzzOptions& opts,
+                            std::uint64_t stream_seed) {
+  const Subject s = resolve_subject(key);
+  SubjectReport rep;
+  rep.key = key;
+
+  Oracle oracle(s);
+  rep.backend_count = oracle.backends().size();
+  ToggleCoverage coverage(s.netlist);
+  oracle.set_coverage(&coverage);
+  GuidedGenerator gen(s.a_bits, s.b_bits, derive_stream_seed(stream_seed, 0x6e));
+
+  std::optional<fabric::Evaluator> reference;
+  if (s.reference) reference.emplace(*s.reference);
+  bool flip_reported = false;
+
+  std::vector<std::uint64_t> a(opts.batch_size);
+  std::vector<std::uint64_t> b(opts.batch_size);
+  for (unsigned batch = 0; batch < opts.batches; ++batch) {
+    gen.next_batch(a.data(), b.data(), opts.batch_size);
+    const auto mismatch = oracle.run(a.data(), b.data(), opts.batch_size);
+    rep.pairs += opts.batch_size;
+
+    if (mismatch && rep.failures.size() < kMaxFailuresPerSubject) {
+      const Mismatch& m = *mismatch;
+      Counterexample cx;
+      cx.subject = key;
+      cx.kind = "backend-mismatch";
+      cx.lhs = backend_name(m.lhs);
+      cx.rhs = backend_name(m.rhs);
+      const auto fails = [&](std::uint64_t aa, std::uint64_t bb) {
+        return oracle.eval_one(m.lhs, aa, bb) != oracle.eval_one(m.rhs, aa, bb);
+      };
+      std::tie(cx.a, cx.b) = shrink_inputs(m.a, m.b, fails, &cx.shrink_steps);
+      cx.lhs_value = oracle.eval_one(m.lhs, cx.a, cx.b);
+      cx.rhs_value = oracle.eval_one(m.rhs, cx.a, cx.b);
+      localize(s, oracle, cx);
+      rep.failures.push_back(std::move(cx));
+    }
+
+    // Documented error claim against the exact product.
+    if (s.claim && s.model && rep.failures.size() < kMaxFailuresPerSubject) {
+      for (std::size_t i = 0; i < opts.batch_size; ++i) {
+        const std::uint64_t approx = s.model->multiply(a[i], b[i]);
+        if (s.claim(a[i], b[i], a[i] * b[i], approx)) continue;
+        Counterexample cx;
+        cx.subject = key;
+        cx.kind = "claim";
+        cx.lhs = "documented-claim";
+        cx.rhs = "model";
+        const auto fails = [&](std::uint64_t aa, std::uint64_t bb) {
+          return !s.claim(aa, bb, aa * bb, s.model->multiply(aa, bb));
+        };
+        std::tie(cx.a, cx.b) = shrink_inputs(a[i], b[i], fails, &cx.shrink_steps);
+        cx.lhs_value = cx.a * cx.b;
+        cx.rhs_value = s.model->multiply(cx.a, cx.b);
+        rep.failures.push_back(std::move(cx));
+        break;
+      }
+    }
+
+    // "+flip" subjects: the injected design bug must surface as a
+    // divergence from the pre-flip reference, shrunk and localized.
+    if (reference && !flip_reported) {
+      for (std::size_t i = 0; i < opts.batch_size; ++i) {
+        const std::uint64_t want = reference->eval_word(a[i], s.a_bits, b[i], s.b_bits);
+        const std::uint64_t got = oracle.eval_one(BackendId::kScalar, a[i], b[i]);
+        if (want == got) continue;
+        Counterexample cx;
+        cx.subject = key;
+        cx.kind = "flip";
+        cx.lhs = "reference";
+        cx.rhs = "flipped";
+        const auto fails = [&](std::uint64_t aa, std::uint64_t bb) {
+          return reference->eval_word(aa, s.a_bits, bb, s.b_bits) !=
+                 oracle.eval_one(BackendId::kScalar, aa, bb);
+        };
+        std::tie(cx.a, cx.b) = shrink_inputs(a[i], b[i], fails, &cx.shrink_steps);
+        cx.lhs_value = reference->eval_word(cx.a, s.a_bits, cx.b, s.b_bits);
+        cx.rhs_value = oracle.eval_one(BackendId::kScalar, cx.a, cx.b);
+        localize(s, oracle, cx);
+        rep.failures.push_back(std::move(cx));
+        flip_reported = true;
+        break;
+      }
+    }
+
+    if (coverage.take_progress()) gen.reward(a.data(), b.data(), opts.batch_size);
+  }
+
+  check_invariants(s, oracle, stream_seed, rep);
+
+  rep.nets = coverage.total();
+  rep.covered = coverage.covered();
+  rep.coverage = coverage.fraction();
+  rep.coverage_json = coverage.to_json(s.netlist, key);
+  return rep;
+}
+
+FuzzReport fuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+  report.seed = opts.seed;
+  const std::vector<std::string> keys = fuzz_subject_keys(opts);
+  report.subjects.resize(keys.size());
+
+  parallel_chunks(keys.size(), opts.threads, [&] {
+    return [&](std::uint64_t chunk) {
+      report.subjects[chunk] =
+          check_subject(keys[chunk], opts, derive_stream_seed(opts.seed, chunk));
+    };
+  });
+  for (const SubjectReport& s : report.subjects) report.total_pairs += s.pairs;
+
+  if (opts.sequential) {
+    struct SeqCase {
+      const char* label;
+      fabric::Netlist nl;
+      mult::MultiplierPtr model;
+      unsigned latency;
+    };
+    std::vector<SeqCase> cases;
+    cases.push_back({"pipelined-Ca8",
+                     multgen::make_pipelined_netlist(8, mult::Summation::kAccurate),
+                     mult::make_ca(8), multgen::pipeline_latency(8)});
+    cases.push_back({"pipelined-Cc8",
+                     multgen::make_pipelined_netlist(8, mult::Summation::kCarryFree),
+                     mult::make_cc(8), multgen::pipeline_latency(8)});
+    cases.push_back({"mac-Ca8", multgen::make_mac_netlist(8, mult::Summation::kAccurate, 24),
+                     nullptr, 0});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const SeqCase& c = cases[i];
+      if (auto fail = check_sequential(c.nl, 8, 8, c.model.get(), c.latency,
+                                       derive_stream_seed(opts.seed, 0x5e9000 + i))) {
+        report.sequential_failures.push_back(std::string(c.label) + ": " + *fail);
+      }
+    }
+  }
+
+  if (opts.gemm) {
+    for (const char* key : {"catalog:Ca_8", "catalog:Cc_8", "catalog:VivadoIP-Area_8"}) {
+      if (auto fail = check_gemm(resolve_subject(key), derive_stream_seed(opts.seed, 0x6e33))) {
+        report.gemm_failures.push_back(std::string(key) + ": " + *fail);
+      }
+    }
+  }
+
+  if (!opts.repro_dir.empty()) {
+    for (const SubjectReport& s : report.subjects) {
+      for (const Counterexample& cx : s.failures) (void)write_repro(cx, opts.repro_dir);
+    }
+  }
+  return report;
+}
+
+}  // namespace axmult::check

@@ -1,0 +1,84 @@
+// Top of the differential harness: subject selection, the fuzz loop, and
+// the report the CLI/tests consume.
+//
+// One fuzz run checks a deterministic subject list — the catalog designs
+// at the chosen width, the elementary 4x2 block, and `iters` configs
+// sampled from a dse::SpaceSpec preset — each through `batches` operand
+// batches from the guided generator. Per batch and subject the oracle
+// cross-checks every backend, the documented error claim is evaluated
+// against the exact product, "+flip" subjects are diffed against their
+// pre-flip reference, and one-off invariants run once per subject:
+// OptimizeStats conservation (cells_before == cells_after + folded + cse +
+// dead), the fault-free stuck-at baseline (injecting a fault at the value
+// the net already takes must not change the product), and the product
+// table's operand-swap identity. Failures are shrunk (shrink.hpp) before
+// they are reported.
+//
+// Determinism: the subject list is built up front on the calling thread;
+// subjects are then sharded with common::parallel_chunks into indexed
+// result slots, with every subject's RNG streams derived from (seed,
+// subject index) via derive_stream_seed. Reports are therefore
+// bit-identical for any --threads value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/shrink.hpp"
+
+namespace axmult::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  unsigned iters = 12;          ///< dse configs sampled from `space`
+  unsigned batches = 6;         ///< operand batches per subject
+  std::size_t batch_size = 192; ///< pairs per batch
+  unsigned width = 8;           ///< catalog width (4/8/16)
+  std::string space = "smoke8"; ///< dse::make_space preset
+  unsigned threads = 0;         ///< 0 = auto (common::thread_count)
+  bool include_catalog = true;
+  bool include_elem = true;
+  bool sequential = true;       ///< pipelined/MAC cycle-accurate checks
+  bool gemm = true;             ///< blocked table-GEMM differential
+  std::string repro_dir;        ///< write shrunk repro files here ("" = off)
+};
+
+struct SubjectReport {
+  std::string key;
+  std::size_t pairs = 0;          ///< operand pairs through every backend
+  std::size_t backend_count = 0;
+  std::size_t nets = 0;           ///< toggle-eligible nets
+  std::size_t covered = 0;
+  double coverage = 0.0;
+  std::vector<Counterexample> failures;
+  std::string coverage_json;
+};
+
+struct FuzzReport {
+  std::uint64_t seed = 0;
+  std::vector<SubjectReport> subjects;  ///< subject-list order, thread-independent
+  std::vector<std::string> sequential_failures;
+  std::vector<std::string> gemm_failures;
+  std::size_t total_pairs = 0;
+
+  [[nodiscard]] std::size_t failure_count() const;
+  /// Line-oriented JSON: one summary line, then one line per subject with
+  /// its shrunk failures inline. Bit-identical for any thread count.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Deterministic subject list for the given options (catalog + elementary
+/// + sampled dse configs, duplicates removed).
+[[nodiscard]] std::vector<std::string> fuzz_subject_keys(const FuzzOptions& opts);
+
+/// Fuzzes one subject: `batches` guided batches through the oracle plus
+/// the per-subject invariants. `stream_seed` isolates its randomness.
+[[nodiscard]] SubjectReport check_subject(const std::string& key, const FuzzOptions& opts,
+                                          std::uint64_t stream_seed);
+
+/// The full run. Writes repro files for every shrunk failure when
+/// opts.repro_dir is set.
+[[nodiscard]] FuzzReport fuzz(const FuzzOptions& opts);
+
+}  // namespace axmult::check

@@ -1,0 +1,156 @@
+#include "check/shrink.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "dse/jsonio.hpp"
+
+namespace axmult::check {
+
+std::pair<std::uint64_t, std::uint64_t> shrink_inputs(std::uint64_t a, std::uint64_t b,
+                                                      const FailPredicate& fails,
+                                                      unsigned* steps) {
+  unsigned accepted = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (a != 0 && fails(0, b)) {
+      a = 0;
+      changed = true;
+      ++accepted;
+    }
+    if (b != 0 && fails(a, 0)) {
+      b = 0;
+      changed = true;
+      ++accepted;
+    }
+    for (unsigned bit = 64; bit-- > 0;) {
+      const std::uint64_t m = std::uint64_t{1} << bit;
+      if ((a & m) != 0 && fails(a & ~m, b)) {
+        a &= ~m;
+        changed = true;
+        ++accepted;
+      }
+      if ((b & m) != 0 && fails(a, b & ~m)) {
+        b &= ~m;
+        changed = true;
+        ++accepted;
+      }
+    }
+  }
+  if (steps != nullptr) *steps = accepted;
+  return {a, b};
+}
+
+std::string first_divergent_net(const fabric::Netlist& ref, const fabric::Netlist& mut,
+                                unsigned a_bits, unsigned b_bits, std::uint64_t a,
+                                std::uint64_t b) {
+  fabric::Evaluator ref_ev(ref);
+  fabric::Evaluator mut_ev(mut);
+  (void)ref_ev.eval_word(a, a_bits, b, b_bits);
+  (void)mut_ev.eval_word(a, a_bits, b, b_bits);
+  const auto& ref_values = ref_ev.net_values();
+  const auto& mut_values = mut_ev.net_values();
+  for (const std::uint32_t ci : mut.topo_order()) {
+    for (const fabric::NetId net : mut.cells()[ci].out) {
+      if (net == fabric::kNoNet) continue;
+      if (ref_values[net] != mut_values[net]) return mut.net_name(net);
+    }
+  }
+  return "";
+}
+
+unsigned cone_cell_count(const fabric::Netlist& nl, fabric::NetId net) {
+  if (net == fabric::kNoNet || net >= nl.net_count()) return 0;
+  // Driver map: which cell produces each net.
+  std::vector<std::uint32_t> driver(nl.net_count(), fabric::kNoNet);
+  for (std::uint32_t ci = 0; ci < nl.cells().size(); ++ci) {
+    for (const fabric::NetId out : nl.cells()[ci].out) {
+      if (out != fabric::kNoNet) driver[out] = ci;
+    }
+  }
+  std::vector<std::uint8_t> seen(nl.cells().size(), 0);
+  std::vector<fabric::NetId> stack{net};
+  unsigned count = 0;
+  while (!stack.empty()) {
+    const fabric::NetId n = stack.back();
+    stack.pop_back();
+    if (n == fabric::kNoNet || n >= nl.net_count()) continue;
+    const std::uint32_t ci = driver[n];
+    if (ci == fabric::kNoNet || seen[ci] != 0) continue;
+    seen[ci] = 1;
+    ++count;
+    for (const fabric::NetId in : nl.cells()[ci].in) {
+      if (in != fabric::kNoNet && in != fabric::kNetGnd && in != fabric::kNetVcc) {
+        stack.push_back(in);
+      }
+    }
+  }
+  return count;
+}
+
+fabric::NetId find_net(const fabric::Netlist& nl, const std::string& name) {
+  for (fabric::NetId n = 0; n < nl.net_count(); ++n) {
+    if (nl.net_name(n) == name) return n;
+  }
+  return fabric::kNoNet;
+}
+
+std::string repro_json(const Counterexample& cx) {
+  std::ostringstream os;
+  os << "{\"subject\": \"" << cx.subject << "\", \"kind\": \"" << cx.kind << "\", \"lhs\": \""
+     << cx.lhs << "\", \"rhs\": \"" << cx.rhs << "\", \"a\": " << cx.a << ", \"b\": " << cx.b
+     << ", \"lhs_value\": " << cx.lhs_value << ", \"rhs_value\": " << cx.rhs_value
+     << ", \"net\": \"" << cx.net << "\", \"cone_cells\": " << cx.cone_cells
+     << ", \"shrink_steps\": " << cx.shrink_steps << "}\n";
+  return os.str();
+}
+
+std::string write_repro(const Counterexample& cx, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  std::string slug;
+  for (const char c : cx.subject) {
+    slug += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_') ? c : '_';
+  }
+  std::ostringstream name;
+  name << "repro-" << slug << "-a" << cx.a << "-b" << cx.b << ".json";
+  const std::string path = (std::filesystem::path(dir) / name.str()).string();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_repro: cannot open " + path);
+  out << repro_json(cx);
+  return path;
+}
+
+Counterexample read_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_repro: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  namespace js = dse::jsonio;
+  const auto subject = js::find_string(text, "subject");
+  const auto a = js::find_number(text, "a");
+  const auto b = js::find_number(text, "b");
+  if (!subject || !a || !b) {
+    throw std::runtime_error("read_repro: " + path + " is not a repro file");
+  }
+  Counterexample cx;
+  cx.subject = *subject;
+  cx.kind = js::find_string(text, "kind").value_or("");
+  cx.lhs = js::find_string(text, "lhs").value_or("");
+  cx.rhs = js::find_string(text, "rhs").value_or("");
+  cx.a = static_cast<std::uint64_t>(*a);
+  cx.b = static_cast<std::uint64_t>(*b);
+  cx.lhs_value = static_cast<std::uint64_t>(js::find_number(text, "lhs_value").value_or(0));
+  cx.rhs_value = static_cast<std::uint64_t>(js::find_number(text, "rhs_value").value_or(0));
+  cx.net = js::find_string(text, "net").value_or("");
+  cx.cone_cells = static_cast<unsigned>(js::find_number(text, "cone_cells").value_or(0));
+  cx.shrink_steps = static_cast<unsigned>(js::find_number(text, "shrink_steps").value_or(0));
+  return cx;
+}
+
+}  // namespace axmult::check

@@ -1,0 +1,80 @@
+// Shrinking layer of the differential harness: reduces a failing operand
+// pair to a (locally) minimal one, localizes the divergence to a net, and
+// serializes the result as a standalone repro file.
+//
+// The shrinker is property-generic: it only needs a predicate "does (a, b)
+// still fail", so the same loop minimizes backend mismatches, claim
+// violations and LUT-INIT-flip divergences. Minimality here is the greedy
+// fixed point of bit clearing — every remaining set bit is necessary for
+// the failure — which in practice pins the failure to the exact partial
+// products involved.
+//
+// Repro files are flat JSON in the repo's hand-written dialect
+// (dse::jsonio reads them back): subject key, operands, both observed
+// values, the first divergent net and the size of its input cone. They are
+// standalone — `axcheck replay <file>` rebuilds the subject from the key
+// and re-executes the comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::check {
+
+/// A shrunk failure: two computation paths disagreeing on one operand pair.
+struct Counterexample {
+  std::string subject;     ///< subject key (subject.hpp grammar)
+  std::string kind;        ///< "backend-mismatch", "claim", "flip", ...
+  std::string lhs;         ///< name of the majority/reference side
+  std::string rhs;         ///< name of the disagreeing side
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t lhs_value = 0;
+  std::uint64_t rhs_value = 0;
+  std::string net;          ///< first divergent net, "" when not localized
+  unsigned cone_cells = 0;  ///< cells feeding `net` (minimal implicated sub-netlist)
+  unsigned shrink_steps = 0;  ///< accepted shrink moves
+};
+
+/// "Does the failure reproduce on (a, b)?" — must be deterministic.
+using FailPredicate = std::function<bool(std::uint64_t a, std::uint64_t b)>;
+
+/// Greedily minimizes a failing pair: first tries zeroing each operand
+/// whole, then clears set bits high-to-low until no single clearing still
+/// fails. Returns the reduced pair; `fails(a, b)` must hold on entry and
+/// holds on the result. Writes the number of accepted moves to *steps when
+/// non-null.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> shrink_inputs(std::uint64_t a,
+                                                                    std::uint64_t b,
+                                                                    const FailPredicate& fails,
+                                                                    unsigned* steps = nullptr);
+
+/// First net, in `mut`'s topological order, whose scalar evaluation on
+/// (a, b) differs between `ref` and `mut`. Both netlists must share cell
+/// and net indices (e.g. transforms::with_lut_init_flip output vs its
+/// input). Returns "" when every net agrees.
+[[nodiscard]] std::string first_divergent_net(const fabric::Netlist& ref,
+                                              const fabric::Netlist& mut, unsigned a_bits,
+                                              unsigned b_bits, std::uint64_t a, std::uint64_t b);
+
+/// Number of cells in the transitive fan-in cone of `net` (its driver
+/// included) — the minimal sub-netlist a repro implicates.
+[[nodiscard]] unsigned cone_cell_count(const fabric::Netlist& nl, fabric::NetId net);
+
+/// Resolves a net by name; kNoNet when absent.
+[[nodiscard]] fabric::NetId find_net(const fabric::Netlist& nl, const std::string& name);
+
+/// Serializes `cx` to one flat JSON object. write_repro places it under
+/// `dir` (created if needed) with a deterministic name derived from the
+/// subject and operands, and returns the full path.
+[[nodiscard]] std::string repro_json(const Counterexample& cx);
+std::string write_repro(const Counterexample& cx, const std::string& dir);
+
+/// Parses a repro file produced by write_repro (throws std::runtime_error
+/// on unreadable/malformed input).
+[[nodiscard]] Counterexample read_repro(const std::string& path);
+
+}  // namespace axmult::check

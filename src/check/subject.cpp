@@ -1,0 +1,209 @@
+#include "check/subject.hpp"
+
+#include <stdexcept>
+
+#include "analysis/catalog.hpp"
+#include "common/rng.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/space.hpp"
+#include "fabric/transforms.hpp"
+#include "mult/elementary.hpp"
+#include "multgen/generators.hpp"
+
+namespace axmult::check {
+namespace {
+
+/// Behavioral model over a plain function pointer (the elementary blocks).
+class FnMultiplier final : public mult::Multiplier {
+ public:
+  using Fn = std::uint64_t (*)(std::uint64_t, std::uint64_t);
+  FnMultiplier(std::string name, unsigned a_bits, unsigned b_bits, Fn fn)
+      : name_(std::move(name)), a_bits_(a_bits), b_bits_(b_bits), fn_(fn) {}
+
+  [[nodiscard]] std::uint64_t multiply(std::uint64_t a, std::uint64_t b) const override {
+    return fn_(a & ((std::uint64_t{1} << a_bits_) - 1), b & ((std::uint64_t{1} << b_bits_) - 1));
+  }
+  [[nodiscard]] unsigned a_bits() const noexcept override { return a_bits_; }
+  [[nodiscard]] unsigned b_bits() const noexcept override { return b_bits_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  unsigned a_bits_;
+  unsigned b_bits_;
+  Fn fn_;
+};
+
+/// True when the model reproduces a*b over the full (<= 8x8) operand
+/// space. Wider models are never marked exact here — the caller decides
+/// from catalog metadata instead of sampling (a sampled "exact" would turn
+/// a later legitimate approximation hit into a false claim violation).
+bool probed_exact(const mult::Multiplier& m) {
+  if (m.a_bits() + m.b_bits() > 16) return false;
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << m.a_bits()); ++a) {
+    for (std::uint64_t b = 0; b < (std::uint64_t{1} << m.b_bits()); ++b) {
+      if (m.multiply(a, b) != a * b) return false;
+    }
+  }
+  return true;
+}
+
+ClaimFn exact_claim() {
+  return [](std::uint64_t, std::uint64_t, std::uint64_t exact, std::uint64_t approx) {
+    return approx == exact;
+  };
+}
+
+/// Every non-perturbed approximation in the library drops carries or
+/// product bits, so it can only under-approximate.
+ClaimFn under_approx_claim() {
+  return [](std::uint64_t, std::uint64_t, std::uint64_t exact, std::uint64_t approx) {
+    return approx <= exact;
+  };
+}
+
+/// Table 2: the proposed 4x4 errs on exactly six pairs, magnitude 8.
+ClaimFn approx_4x4_claim() {
+  return [](std::uint64_t a, std::uint64_t b, std::uint64_t exact, std::uint64_t approx) {
+    const std::uint64_t err = exact - approx;  // one-sided
+    return approx <= exact && (mult::approx_4x4_errs(a, b) ? err == 8 : err == 0);
+  };
+}
+
+/// Section 3.1: the 4x2 block truncates P0, erring by 1 iff A0 & B0.
+ClaimFn approx_4x2_claim() {
+  return [](std::uint64_t a, std::uint64_t b, std::uint64_t exact, std::uint64_t approx) {
+    const bool errs = ((a & 1) != 0) && ((b & 1) != 0);
+    return approx <= exact && exact - approx == (errs ? 1u : 0u);
+  };
+}
+
+Subject make_elem_a4x2() {
+  Subject s;
+  s.key = "elem:a4x2";
+  s.name = "approx4x2";
+  s.a_bits = 4;
+  s.b_bits = 2;
+  s.model = std::make_shared<FnMultiplier>("approx4x2", 4, 2, &mult::approx_4x2);
+  fabric::Netlist nl;
+  multgen::BitVec a;
+  multgen::BitVec b;
+  for (unsigned i = 0; i < 4; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
+  for (unsigned i = 0; i < 2; ++i) b.push_back(nl.add_input("b" + std::to_string(i)));
+  const multgen::BitVec p = multgen::build_approx_4x2(nl, a, b, "u");
+  for (std::size_t i = 0; i < p.size(); ++i) nl.add_output("p" + std::to_string(i), p[i]);
+  s.netlist = std::move(nl);
+  s.claim = approx_4x2_claim();
+  return s;
+}
+
+Subject make_dse_subject(const std::string& config_key) {
+  dse::Config cfg = dse::parse_key(config_key);
+  dse::canonicalize(cfg);
+  Subject s;
+  s.key = "dse:" + dse::config_key(cfg);
+  s.name = dse::display_name(cfg);
+  s.a_bits = cfg.width;
+  s.b_bits = cfg.width;
+  s.model = dse::make_model(cfg);
+  s.netlist = dse::make_core_netlist(cfg);
+  s.exact = probed_exact(*s.model);
+  if (s.exact) {
+    s.claim = exact_claim();
+  } else if (dse::config_key(cfg) == dse::config_key(dse::paper_approx4x4())) {
+    s.claim = approx_4x4_claim();
+  } else if (cfg.flips.empty()) {
+    // Perturbed leaves may overshoot the exact product; everything else in
+    // the config space only loses carries/bits.
+    s.claim = under_approx_claim();
+  }
+  return s;
+}
+
+Subject make_catalog_subject(const std::string& name) {
+  const analysis::DesignPoint* found = nullptr;
+  std::vector<analysis::DesignPoint> points;
+  for (unsigned width : {4u, 8u, 16u}) {
+    for (auto& p : analysis::paper_designs(width)) points.push_back(std::move(p));
+  }
+  for (auto& p : analysis::evo_family_8x8()) points.push_back(std::move(p));
+  for (const auto& p : points) {
+    if (p.name == name) {
+      found = &p;
+      break;
+    }
+  }
+  if (found == nullptr || !found->has_netlist()) {
+    throw std::invalid_argument("check: unknown catalog subject '" + name + "'");
+  }
+  Subject s;
+  s.key = "catalog:" + name;
+  s.name = name;
+  s.a_bits = found->model->a_bits();
+  s.b_bits = found->model->b_bits();
+  s.model = found->model;
+  s.netlist = found->netlist();
+  s.exact = found->category == "ip" || probed_exact(*s.model);
+  if (s.exact) {
+    s.claim = exact_claim();
+  } else {
+    s.claim = under_approx_claim();
+  }
+  return s;
+}
+
+}  // namespace
+
+Subject resolve_subject(const std::string& key) {
+  // Peel a trailing "+flip:<cell>:<bit>" perturbation first.
+  const auto plus = key.rfind("+flip:");
+  if (plus != std::string::npos) {
+    Subject s = resolve_subject(key.substr(0, plus));
+    const std::string args = key.substr(plus + 6);
+    const auto colon = args.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("check: malformed flip suffix in '" + key + "'");
+    }
+    const auto cell = static_cast<std::uint32_t>(std::stoul(args.substr(0, colon)));
+    const auto bit = static_cast<unsigned>(std::stoul(args.substr(colon + 1)));
+    s.reference = s.netlist;
+    s.netlist = fabric::with_lut_init_flip(*s.reference, cell, bit);
+    s.key = key;
+    s.name += "+flip";
+    // The netlist no longer matches the model's documented behavior.
+    s.exact = false;
+    s.claim = nullptr;
+    return s;
+  }
+  if (key.rfind("dse:", 0) == 0) return make_dse_subject(key.substr(4));
+  if (key.rfind("catalog:", 0) == 0) return make_catalog_subject(key.substr(8));
+  if (key == "elem:a4x2") return make_elem_a4x2();
+  throw std::invalid_argument("check: unknown subject key '" + key + "'");
+}
+
+std::vector<std::string> catalog_subject_keys(unsigned width) {
+  std::vector<std::string> keys;
+  for (const auto& p : analysis::paper_designs(width)) {
+    if (p.has_netlist()) keys.push_back("catalog:" + p.name);
+  }
+  return keys;
+}
+
+std::optional<std::string> find_observable_flip(const std::string& base_key, std::uint64_t seed) {
+  const Subject base = resolve_subject(base_key);
+  const auto luts = fabric::lut_cells(base.netlist);
+  if (luts.empty()) return std::nullopt;
+  Xoshiro256 rng(seed);
+  for (unsigned attempt = 0; attempt < 256; ++attempt) {
+    const std::uint32_t cell = luts[rng.below(luts.size())];
+    const auto bit = static_cast<unsigned>(rng.below(64));
+    const fabric::Netlist flipped = fabric::with_lut_init_flip(base.netlist, cell, bit);
+    if (!fabric::probably_equivalent(base.netlist, flipped, 2048,
+                                     derive_stream_seed(seed, attempt))) {
+      return base_key + "+flip:" + std::to_string(cell) + ":" + std::to_string(bit);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace axmult::check

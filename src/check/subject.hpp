@@ -1,0 +1,63 @@
+// Subjects of the differential conformance harness.
+//
+// A Subject is one design under test in the two coupled forms every design
+// in this library has — behavioral model and structural netlist — plus the
+// metadata the oracle layer (backends.hpp) needs: operand widths, whether
+// the model claims exactness, and any documented per-pair error claim
+// (e.g. the paper's Table 2 "exactly six erroneous pairs of magnitude 8").
+//
+// Subjects are addressed by a stable key string so a shrunk counterexample
+// repro file can name the design it fails on and `axcheck replay` can
+// reconstruct it bit-for-bit:
+//   dse:<config key>          a dse::Config core (model + netlist)
+//   catalog:<name>            analysis::paper_designs(4/8/16) / evo_family_8x8
+//   elem:a4x2                 the asymmetric approximate 4x2 block
+//   <key>+flip:<cell>:<bit>   LUT INIT bit flipped on the netlist side only
+//                             (a deliberate "design bug"; the pre-flip
+//                             netlist is kept for net-level localization)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/netlist.hpp"
+#include "mult/multiplier.hpp"
+
+namespace axmult::check {
+
+/// Documented-error predicate: true when (approx, exact) at (a, b) is
+/// within the design's published error behavior.
+using ClaimFn = std::function<bool(std::uint64_t a, std::uint64_t b, std::uint64_t exact,
+                                   std::uint64_t approx)>;
+
+struct Subject {
+  std::string key;
+  std::string name;
+  unsigned a_bits = 8;
+  unsigned b_bits = 8;
+  mult::MultiplierPtr model;  ///< null for netlist-only subjects
+  fabric::Netlist netlist;    ///< multgen I/O convention (a*, b* -> p*)
+  /// Pre-perturbation netlist of "+flip" subjects (same cell/net indices),
+  /// the reference the shrinker diffs against to name the offending net.
+  std::optional<fabric::Netlist> reference;
+  bool exact = false;       ///< model claims the exact product
+  ClaimFn claim;            ///< null when the design documents no claim
+};
+
+/// Reconstructs a subject from its key; throws std::invalid_argument on
+/// unknown or malformed keys.
+[[nodiscard]] Subject resolve_subject(const std::string& key);
+
+/// All combinational catalog subjects with netlists at `width` (4/8/16).
+[[nodiscard]] std::vector<std::string> catalog_subject_keys(unsigned width);
+
+/// Searches LUT cells x INIT bits in seeded random order for a flip that
+/// observably changes the netlist of `base_key` (random-vector
+/// inequivalence), returning the "+flip:<cell>:<bit>" subject key; nullopt
+/// when every probed flip is masked (don't-care INIT space).
+[[nodiscard]] std::optional<std::string> find_observable_flip(const std::string& base_key,
+                                                              std::uint64_t seed);
+
+}  // namespace axmult::check

@@ -123,6 +123,14 @@ void Netlist::close_fdre(const OpenFf& ff, NetId d) {
   cell.in[0] = d;
 }
 
+void Netlist::set_lut_init(std::uint32_t cell_index, std::uint64_t init) {
+  Cell& cell = cells_.at(cell_index);
+  if (cell.kind != CellKind::kLut6) {
+    throw std::invalid_argument("set_lut_init: cell is not a LUT6_2");
+  }
+  cell.init = init;
+}
+
 bool Netlist::is_sequential() const noexcept {
   for (const Cell& c : cells_) {
     if (c.kind == CellKind::kFdre) return true;

@@ -103,6 +103,11 @@ class Netlist {
   /// Binds the D input of an open flip-flop. Must be called exactly once.
   void close_fdre(const OpenFf& ff, NetId d);
 
+  /// Replaces the INIT of LUT cell `cell_index` (fault/perturbation
+  /// studies — see transforms.hpp). Throws std::invalid_argument when the
+  /// cell is not a LUT6_2.
+  void set_lut_init(std::uint32_t cell_index, std::uint64_t init);
+
   // ---- inspection -------------------------------------------------------
   [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }
   [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }

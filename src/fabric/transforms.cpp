@@ -119,4 +119,23 @@ std::map<std::string, std::size_t> cell_histogram(const Netlist& nl) {
   return hist;
 }
 
+std::vector<std::uint32_t> lut_cells(const Netlist& nl) {
+  std::vector<std::uint32_t> luts;
+  const auto& cells = nl.cells();
+  for (std::uint32_t ci = 0; ci < cells.size(); ++ci) {
+    if (cells[ci].kind == CellKind::kLut6) luts.push_back(ci);
+  }
+  return luts;
+}
+
+Netlist with_lut_init_flip(const Netlist& nl, std::uint32_t cell_index, unsigned init_bit) {
+  if (init_bit >= 64) throw std::invalid_argument("with_lut_init_flip: bit out of range");
+  if (cell_index >= nl.cells().size() || nl.cells()[cell_index].kind != CellKind::kLut6) {
+    throw std::invalid_argument("with_lut_init_flip: not a LUT cell");
+  }
+  Netlist out = nl;
+  out.set_lut_init(cell_index, nl.cells()[cell_index].init ^ (std::uint64_t{1} << init_bit));
+  return out;
+}
+
 }  // namespace axmult::fabric

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "fabric/netlist.hpp"
 
@@ -25,5 +26,17 @@ namespace axmult::fabric {
 /// Cell-count breakdown by instance-name prefix (up to the first '.'),
 /// e.g. {"u": 12, "acc": 24} — the CLI uses it for readable reports.
 [[nodiscard]] std::map<std::string, std::size_t> cell_histogram(const Netlist& nl);
+
+/// Indices of all LUT6_2 cells — the injectable sites of with_lut_init_flip.
+[[nodiscard]] std::vector<std::uint32_t> lut_cells(const Netlist& nl);
+
+/// Returns a copy of `nl` with bit `init_bit` (0..63) of LUT cell
+/// `cell_index`'s INIT flipped. Cell and net indices are preserved exactly,
+/// so faulty/reference netlists can be diffed net-by-net — the deliberate
+/// single-bit "design bug" the differential harness (src/check/) shrinks
+/// down to an offending net. Throws std::invalid_argument when the cell is
+/// not a LUT or the bit is out of range.
+[[nodiscard]] Netlist with_lut_init_flip(const Netlist& nl, std::uint32_t cell_index,
+                                         unsigned init_bit);
 
 }  // namespace axmult::fabric

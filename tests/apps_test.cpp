@@ -46,7 +46,9 @@ TEST(Image, ClampedAccessReplicatesEdges) {
 
 TEST(Image, WritesPgm) {
   const auto img = make_test_scene(16, 16);
-  const std::string path = "/tmp/axmult_test.pgm";
+  // Unique per-test-run path: ctest -j runs suites concurrently, and a
+  // fixed /tmp name would let parallel invocations race on the file.
+  const std::string path = testing::TempDir() + "axmult_apps_test_writes_pgm.pgm";
   img.write_pgm(path);
   FILE* f = std::fopen(path.c_str(), "rb");
   ASSERT_NE(f, nullptr);

@@ -1,0 +1,53 @@
+// Long-fuzz campaign of the differential conformance harness: wide
+// subject sampling across the paper8 space, 16-bit catalog subjects, and
+// many more operand batches than the tier-1 check_test runs. Opt-in
+// (AXMULT_HEAVY=1, ctest label `heavy`) — this is the job CI's
+// workflow_dispatch fuzz runs, with repros/coverage uploaded as artifacts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/harness.hpp"
+
+namespace axmult::check {
+namespace {
+
+class HeavyFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::getenv("AXMULT_HEAVY") == nullptr) {
+      GTEST_SKIP() << "set AXMULT_HEAVY=1 to run the long fuzz campaign";
+    }
+  }
+};
+
+TEST_F(HeavyFuzz, WideDseSamplingFindsNoDivergence) {
+  FuzzOptions opts;
+  opts.seed = std::getenv("AXCHECK_SEED") != nullptr
+                  ? std::strtoull(std::getenv("AXCHECK_SEED"), nullptr, 10)
+                  : 1;
+  opts.space = "paper8";
+  opts.iters = 64;
+  opts.batches = 24;
+  opts.batch_size = 512;
+  opts.repro_dir = "axcheck_heavy_repros";
+  const FuzzReport report = fuzz(opts);
+  EXPECT_EQ(report.failure_count(), 0u) << report.to_json();
+  EXPECT_GT(report.total_pairs, std::size_t{500000});
+}
+
+TEST_F(HeavyFuzz, SixteenBitCatalogAgreesAcrossBackends) {
+  FuzzOptions opts;
+  opts.seed = 2;
+  opts.width = 16;
+  opts.space = "wide16";
+  opts.iters = 8;
+  opts.batches = 12;
+  opts.batch_size = 512;
+  opts.repro_dir = "axcheck_heavy_repros";
+  const FuzzReport report = fuzz(opts);
+  EXPECT_EQ(report.failure_count(), 0u) << report.to_json();
+}
+
+}  // namespace
+}  // namespace axmult::check

@@ -1,0 +1,280 @@
+// Tests for the property-based differential conformance harness
+// (src/check/): subjects, oracle, coverage, shrinking, golden vectors and
+// the determinism guarantees the CLI documents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "check/backends.hpp"
+#include "check/generate.hpp"
+#include "check/golden.hpp"
+#include "check/harness.hpp"
+#include "common/rng.hpp"
+#include "dse/space.hpp"
+#include "mult/recursive.hpp"
+#include "multgen/generators.hpp"
+
+#ifndef AXCHECK_GOLDEN_DIR
+#define AXCHECK_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace axmult::check {
+namespace {
+
+FuzzOptions small_options() {
+  FuzzOptions opts;
+  opts.seed = 11;
+  opts.iters = 3;
+  opts.batches = 3;
+  opts.batch_size = 128;
+  opts.sequential = false;
+  opts.gemm = false;
+  return opts;
+}
+
+// ---------------------------------------------------------------- subjects
+
+TEST(Subject, ResolvesCatalogDseAndElementaryKeys) {
+  const Subject ca = resolve_subject("catalog:Ca_8");
+  EXPECT_EQ(ca.a_bits, 8u);
+  EXPECT_NE(ca.model, nullptr);
+  EXPECT_FALSE(ca.exact);
+  EXPECT_TRUE(static_cast<bool>(ca.claim));
+
+  const Subject elem = resolve_subject("elem:a4x2");
+  EXPECT_EQ(elem.a_bits, 4u);
+  EXPECT_EQ(elem.b_bits, 2u);
+
+  const std::string key = "dse:" + dse::config_key(dse::paper_approx4x4());
+  const Subject a4x4 = resolve_subject(key);
+  EXPECT_EQ(a4x4.key, key);
+  EXPECT_FALSE(a4x4.exact);
+
+  EXPECT_THROW((void)resolve_subject("bogus:nope"), std::invalid_argument);
+}
+
+TEST(Subject, FlipSuffixPerturbsNetlistButKeepsReference) {
+  const auto flip_key = find_observable_flip("catalog:Ca_8", 5);
+  ASSERT_TRUE(flip_key.has_value());
+  const Subject s = resolve_subject(*flip_key);
+  ASSERT_TRUE(s.reference.has_value());
+  EXPECT_EQ(s.reference->cells().size(), s.netlist.cells().size());
+  EXPECT_FALSE(s.exact);
+  EXPECT_FALSE(static_cast<bool>(s.claim));
+}
+
+// ------------------------------------------------------------------ oracle
+
+TEST(Oracle, RegistersEveryBackendForAnEightBitCatalogSubject) {
+  const Subject s = resolve_subject("catalog:Ca_8");
+  Oracle oracle(s);
+  std::set<BackendId> ids(oracle.backends().begin(), oracle.backends().end());
+  // model, scalar, wide1, wide2, wide4opt, wide8opt, table: the full set.
+  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_TRUE(ids.count(BackendId::kModel));
+  EXPECT_TRUE(ids.count(BackendId::kTable));
+}
+
+TEST(Oracle, AgreesOnUniformBatchAcrossAllBackends) {
+  const Subject s = resolve_subject("catalog:Cc_8");
+  Oracle oracle(s);
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> a(300), b(300);
+  fill_operands(Dist::kUniform, 8, 8, rng, a.data(), b.data(), a.size());
+  EXPECT_FALSE(oracle.run(a.data(), b.data(), a.size()).has_value());
+}
+
+TEST(Oracle, RejectsSequentialSubjects) {
+  Subject s = resolve_subject("catalog:Ca_8");
+  s.netlist = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  EXPECT_THROW(Oracle oracle(s), std::invalid_argument);
+}
+
+TEST(Oracle, SequentialAndGemmChecksPassOnPaperDesigns) {
+  const auto nl = multgen::make_pipelined_netlist(8, mult::Summation::kAccurate);
+  const auto model = mult::make_ca(8);
+  EXPECT_EQ(check_sequential(nl, 8, 8, model.get(), multgen::pipeline_latency(8), 21),
+            std::nullopt);
+  EXPECT_EQ(check_gemm(resolve_subject("catalog:Ca_8"), 22), std::nullopt);
+}
+
+// -------------------------------------------------------------- shrinking
+
+TEST(Shrink, ReducesToTheMinimalFailingBits) {
+  // Failure iff bit 2 of a and bit 0 of b are both set: the fixed point
+  // must be exactly those two bits.
+  const auto fails = [](std::uint64_t a, std::uint64_t b) {
+    return (a & 4) != 0 && (b & 1) != 0;
+  };
+  unsigned steps = 0;
+  const auto [a, b] = shrink_inputs(0xFF, 0xFF, fails, &steps);
+  EXPECT_EQ(a, 4u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_GT(steps, 0u);
+}
+
+TEST(Shrink, ReproFilesRoundTrip) {
+  Counterexample cx;
+  cx.subject = "catalog:Ca_8";
+  cx.kind = "backend-mismatch";
+  cx.lhs = "model";
+  cx.rhs = "scalar";
+  cx.a = 170;
+  cx.b = 85;
+  cx.lhs_value = 14450;
+  cx.rhs_value = 14418;
+  cx.net = "pp0_s3";
+  cx.cone_cells = 9;
+  cx.shrink_steps = 4;
+  const std::string dir = testing::TempDir() + "axcheck_repro_roundtrip";
+  const std::string path = write_repro(cx, dir);
+  const Counterexample back = read_repro(path);
+  EXPECT_EQ(back.subject, cx.subject);
+  EXPECT_EQ(back.kind, cx.kind);
+  EXPECT_EQ(back.a, cx.a);
+  EXPECT_EQ(back.b, cx.b);
+  EXPECT_EQ(back.lhs_value, cx.lhs_value);
+  EXPECT_EQ(back.rhs_value, cx.rhs_value);
+  EXPECT_EQ(back.net, cx.net);
+  EXPECT_EQ(back.cone_cells, cx.cone_cells);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Shrink, ConeCountsTheDriverFanIn) {
+  const auto nl = multgen::make_ca_netlist(8);
+  // The MSB-side output cone spans most of the multiplier.
+  const unsigned msb_cone = cone_cell_count(nl, nl.outputs().back());
+  const unsigned lsb_cone = cone_cell_count(nl, nl.outputs().front());
+  EXPECT_GT(msb_cone, lsb_cone);
+  EXPECT_GT(msb_cone, 10u);
+}
+
+// ------------------------------------------------- injected-bug detection
+
+TEST(Harness, LutInitFlipYieldsShrunkReproNamingTheNet) {
+  const auto flip_key = find_observable_flip("catalog:Ca_8", 9);
+  ASSERT_TRUE(flip_key.has_value());
+  const std::string dir = testing::TempDir() + "axcheck_flip_repro";
+  FuzzOptions opts = small_options();
+  opts.repro_dir.clear();
+  const SubjectReport rep = check_subject(*flip_key, opts, 77);
+  ASSERT_FALSE(rep.failures.empty());
+  bool named = false;
+  for (const Counterexample& cx : rep.failures) {
+    if (cx.kind != "flip") continue;
+    named = true;
+    EXPECT_FALSE(cx.net.empty()) << "flip repro must name the offending net";
+    EXPECT_GT(cx.cone_cells, 0u);
+    EXPECT_LE(cx.a, 0xFFu) << "shrunk operand exceeds 8 bits";
+    EXPECT_LE(cx.b, 0xFFu);
+    // The shrunk pair still reproduces: reference and flipped netlists
+    // disagree on it.
+    const Subject s = resolve_subject(*flip_key);
+    const std::string net =
+        first_divergent_net(*s.reference, s.netlist, s.a_bits, s.b_bits, cx.a, cx.b);
+    EXPECT_EQ(net, cx.net);
+    // And a repro file lands on disk when a directory is configured.
+    const std::string path = write_repro(cx, dir);
+    EXPECT_TRUE(std::filesystem::exists(path));
+  }
+  EXPECT_TRUE(named);
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- coverage & fuzzing
+
+TEST(Harness, CatalogSubjectsReachNinetyPercentToggleCoverage) {
+  FuzzOptions opts;
+  opts.seed = 4;
+  opts.batches = 8;
+  opts.batch_size = 256;
+  for (const std::string& key : catalog_subject_keys(8)) {
+    const SubjectReport rep = check_subject(key, opts, derive_stream_seed(4, 0));
+    EXPECT_TRUE(rep.failures.empty()) << key;
+    EXPECT_EQ(rep.backend_count, 7u) << key;
+    EXPECT_GE(rep.coverage, 0.90) << key << ": " << rep.covered << "/" << rep.nets;
+    EXPECT_FALSE(rep.coverage_json.empty());
+  }
+}
+
+TEST(Harness, FuzzReportIsBitIdenticalAcrossThreadCounts) {
+  FuzzOptions opts = small_options();
+  opts.sequential = true;
+  opts.gemm = true;
+  FuzzOptions threaded = opts;
+  threaded.threads = 4;
+  opts.threads = 1;
+  const FuzzReport one = fuzz(opts);
+  const FuzzReport four = fuzz(threaded);
+  EXPECT_EQ(one.to_json(), four.to_json());
+  EXPECT_EQ(one.failure_count(), 0u);
+  EXPECT_GT(one.total_pairs, 0u);
+}
+
+TEST(Harness, SubjectListIsDeterministicAndDeduplicated) {
+  const FuzzOptions opts = small_options();
+  const auto keys1 = fuzz_subject_keys(opts);
+  const auto keys2 = fuzz_subject_keys(opts);
+  EXPECT_EQ(keys1, keys2);
+  const std::set<std::string> unique(keys1.begin(), keys1.end());
+  EXPECT_EQ(unique.size(), keys1.size());
+  // Catalog designs, the elementary block, and at least one dse config.
+  EXPECT_GE(keys1.size(), catalog_subject_keys(8).size() + 2);
+}
+
+TEST(Generate, DistributionsAreDeterministicAndInRange) {
+  for (const Dist d : kAllDists) {
+    Xoshiro256 rng1(99);
+    Xoshiro256 rng2(99);
+    std::vector<std::uint64_t> a1(64), b1(64), a2(64), b2(64);
+    fill_operands(d, 8, 8, rng1, a1.data(), b1.data(), 64);
+    fill_operands(d, 8, 8, rng2, a2.data(), b2.data(), 64);
+    EXPECT_EQ(a1, a2) << dist_name(d);
+    EXPECT_EQ(b1, b2) << dist_name(d);
+    for (std::size_t i = 0; i < 64; ++i) {
+      EXPECT_LE(a1[i], 0xFFu);
+      EXPECT_LE(b1[i], 0xFFu);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- golden
+
+TEST(Golden, Table2FreezesExactlySixErroneousPairsOfMagnitudeEight) {
+  const auto set = default_golden_set();
+  const GoldenFile g = make_golden(set[0]);  // table2_a4x4
+  EXPECT_EQ(g.mode, "errors");
+  ASSERT_EQ(g.rows.size(), 6u);
+  for (const GoldenRow& r : g.rows) {
+    EXPECT_EQ(r.a * r.b - r.product, 8u) << r.a << "x" << r.b;
+  }
+}
+
+TEST(Golden, EmitReadReplayRoundTrip) {
+  const std::string dir = testing::TempDir() + "axcheck_golden_roundtrip";
+  ASSERT_EQ(emit_golden_set(dir), default_golden_set().size());
+  for (const GoldenSpec& spec : default_golden_set()) {
+    const GoldenFile g = read_golden(dir + "/" + spec.file);
+    EXPECT_EQ(g.subject, spec.subject);
+    EXPECT_FALSE(g.rows.empty()) << spec.file;
+    EXPECT_EQ(replay_golden(g), std::nullopt) << spec.file;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Golden, CheckedInVectorsReplayAgainstEveryBackend) {
+  // The committed files under tests/golden/ are the regression anchor: a
+  // change to any model, netlist generator or evaluator that alters one
+  // product fails here with the exact operand pair.
+  for (const GoldenSpec& spec : default_golden_set()) {
+    const std::string path = std::string(AXCHECK_GOLDEN_DIR) + "/" + spec.file;
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << path << " missing — regenerate with: axcheck emit-golden --dir tests/golden";
+    const GoldenFile g = read_golden(path);
+    EXPECT_EQ(replay_golden(g), std::nullopt) << spec.file;
+  }
+}
+
+}  // namespace
+}  // namespace axmult::check

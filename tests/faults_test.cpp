@@ -1,13 +1,119 @@
 // Tests for stuck-at fault injection.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "fabric/faults.hpp"
+#include "fabric/transforms.hpp"
 #include "mult/elementary.hpp"
 #include "mult/recursive.hpp"
 #include "multgen/generators.hpp"
 
 namespace axmult::fabric {
 namespace {
+
+/// Nets inside some primary-output cone (a stuck-at on anything else is
+/// architecturally unobservable and carries no fault-campaign signal).
+std::vector<bool> live_net_mask(const Netlist& nl) {
+  std::vector<std::uint32_t> driver(nl.net_count(), kNoNet);
+  for (std::uint32_t ci = 0; ci < nl.cells().size(); ++ci) {
+    for (const NetId out : nl.cells()[ci].out) {
+      if (out != kNoNet) driver[out] = ci;
+    }
+  }
+  std::vector<bool> live(nl.net_count(), false);
+  std::vector<NetId> stack(nl.outputs().begin(), nl.outputs().end());
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (n == kNoNet || n >= nl.net_count() || live[n]) continue;
+    live[n] = true;
+    if (driver[n] == kNoNet) continue;
+    for (const NetId in : nl.cells()[driver[n]].in) {
+      if (in != kNoNet && in != kNetGnd && in != kNetVcc) stack.push_back(in);
+    }
+  }
+  return live;
+}
+
+/// Driver cell kind of each net — the injectable fault classes of
+/// fault_sites() (LUT O6/O5, CARRY4 O/CO, FDRE Q).
+void sites_by_class(const Netlist& nl, std::map<CellKind, std::vector<NetId>>& classes) {
+  std::vector<CellKind> driver_kind(nl.net_count(), CellKind::kLut6);
+  std::vector<bool> driven(nl.net_count(), false);
+  for (const Cell& c : nl.cells()) {
+    for (const NetId out : c.out) {
+      if (out != kNoNet) {
+        driver_kind[out] = c.kind;
+        driven[out] = true;
+      }
+    }
+  }
+  for (const NetId site : fault_sites(nl)) {
+    ASSERT_TRUE(driven[site]) << "fault site without a driver";
+    classes[driver_kind[site]].push_back(site);
+  }
+}
+
+TEST(Faults, EveryLiveFaultSiteOnThe4x4IsObservable) {
+  // Differential sweep: for every live fault site, at least one stuck
+  // polarity must change at least one product over the exhaustive 4x4
+  // operand space. (Dead-cone sites are exempt — their stuck value is
+  // architecturally invisible by construction.)
+  const auto nl = multgen::make_ca_netlist(4);
+  const auto live = live_net_mask(nl);
+  Evaluator ref(nl);
+  std::uint64_t want[16][16];
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) want[a][b] = ref.eval_word(a, 4, b, 4);
+  }
+  unsigned live_sites = 0;
+  for (const NetId site : fault_sites(nl)) {
+    if (!live[site]) continue;
+    ++live_sites;
+    bool observable = false;
+    for (const bool v : {false, true}) {
+      const auto faulty = with_stuck_at(nl, {site, v});
+      Evaluator ev(faulty);
+      for (std::uint64_t a = 0; a < 16 && !observable; ++a) {
+        for (std::uint64_t b = 0; b < 16 && !observable; ++b) {
+          observable = ev.eval_word(a, 4, b, 4) != want[a][b];
+        }
+      }
+    }
+    EXPECT_TRUE(observable) << "live fault site " << nl.net_name(site)
+                            << " never changes any output";
+  }
+  EXPECT_GT(live_sites, 10u);
+}
+
+TEST(Faults, EveryInjectableFaultClassIsObservableAt8x8) {
+  // Every fault class fault_sites() can inject (nets driven by LUTs, by
+  // CARRY4s, ...) must contain sites whose stuck-at observably changes the
+  // 8x8 product — checked differentially via random-vector equivalence.
+  for (const auto& nl : {multgen::make_ca_netlist(8), multgen::make_cc_netlist(8)}) {
+    const auto live = live_net_mask(nl);
+    std::map<CellKind, std::vector<NetId>> classes;
+    sites_by_class(nl, classes);
+    ASSERT_FALSE(classes.empty());
+    for (const auto& [kind, sites] : classes) {
+      unsigned checked = 0;
+      unsigned observable = 0;
+      for (const NetId site : sites) {
+        if (!live[site]) continue;
+        if (++checked > 8) break;  // a few per class keeps the test fast
+        const bool flagged =
+            !probably_equivalent(nl, with_stuck_at(nl, {site, false}), 2048, 7) ||
+            !probably_equivalent(nl, with_stuck_at(nl, {site, true}), 2048, 7);
+        observable += flagged ? 1u : 0u;
+        EXPECT_TRUE(flagged) << "live site " << nl.net_name(site) << " (cell kind "
+                             << static_cast<int>(kind) << ") is silent in both polarities";
+      }
+      EXPECT_GT(observable, 0u);
+    }
+  }
+}
 
 TEST(Faults, StuckOutputForcesConstant) {
   // Fault the net feeding output p0 of the 4x4: p0 becomes the constant.

@@ -1,0 +1,224 @@
+// axcheck — property-based differential conformance harness.
+//
+//   axcheck fuzz [options]          cross-check every backend on random
+//                                   subjects/operands; exit 1 on failures
+//   axcheck subjects [--width N]    list the deterministic subject keys
+//   axcheck replay <repro.json>     re-execute a shrunk counterexample
+//   axcheck emit-golden [--dir D]   (re)generate the golden vector files
+//   axcheck golden [--dir D]        replay every golden file in a directory
+//
+// fuzz options:
+//   --seed S            run seed                          (default 1)
+//   --iters N           dse configs sampled from --space  (default 12)
+//   --batches N         operand batches per subject       (default 6)
+//   --batch-size N      pairs per batch                   (default 192)
+//   --width N           catalog width 4/8/16              (default 8)
+//   --space NAME        dse::make_space preset            (default smoke8)
+//   --subject KEY       check exactly this subject key (repeatable;
+//                       disables the catalog/dse subject list)
+//   --no-catalog / --no-elem / --no-seq / --no-gemm
+//   --repro-dir D       write shrunk repro files here     (default off)
+//   --coverage FILE     write per-subject coverage JSON lines
+//   --report FILE       write the full report JSON
+//   --threads N         subject shards (also AXMULT_THREADS); the report
+//                       is bit-identical for any value
+//
+// Subject keys (see src/check/subject.hpp): dse:<config key>,
+// catalog:<name>, elem:a4x2, and any of those + "+flip:<cell>:<bit>".
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/backends.hpp"
+#include "check/golden.hpp"
+#include "check/harness.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+
+using namespace axmult;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: axcheck <fuzz|subjects|replay|emit-golden|golden> [options]\n"
+               "  see the header of tools/axcheck.cpp for the option list\n");
+  std::exit(2);
+}
+
+std::uint64_t to_u64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
+
+int run_fuzz(check::FuzzOptions opts, const std::vector<std::string>& subjects,
+             const std::string& coverage_file, const std::string& report_file) {
+  check::FuzzReport report;
+  if (subjects.empty()) {
+    report = check::fuzz(opts);
+  } else {
+    report.seed = opts.seed;
+    report.subjects.resize(subjects.size());
+    for (std::size_t i = 0; i < subjects.size(); ++i) {
+      report.subjects[i] =
+          check::check_subject(subjects[i], opts, derive_stream_seed(opts.seed, i));
+      report.total_pairs += report.subjects[i].pairs;
+    }
+    if (!opts.repro_dir.empty()) {
+      for (const auto& s : report.subjects) {
+        for (const auto& cx : s.failures) (void)check::write_repro(cx, opts.repro_dir);
+      }
+    }
+  }
+
+  if (!coverage_file.empty()) {
+    std::ofstream out(coverage_file);
+    for (const auto& s : report.subjects) out << s.coverage_json << '\n';
+  }
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << report.to_json();
+  }
+
+  std::size_t min_cov_idx = 0;
+  for (std::size_t i = 0; i < report.subjects.size(); ++i) {
+    if (report.subjects[i].coverage < report.subjects[min_cov_idx].coverage) min_cov_idx = i;
+  }
+  std::printf("axcheck fuzz: %zu subjects, %zu operand pairs, %zu failures\n",
+              report.subjects.size(), report.total_pairs, report.failure_count());
+  if (!report.subjects.empty()) {
+    const auto& worst = report.subjects[min_cov_idx];
+    std::printf("  lowest toggle coverage: %.1f%% (%zu/%zu nets) on %s\n",
+                100.0 * worst.coverage, worst.covered, worst.nets, worst.key.c_str());
+  }
+  for (const auto& s : report.subjects) {
+    for (const auto& cx : s.failures) {
+      std::printf("  FAIL %s [%s] %s vs %s at a=%llu b=%llu (%llu vs %llu)%s%s\n",
+                  cx.subject.c_str(), cx.kind.c_str(), cx.lhs.c_str(), cx.rhs.c_str(),
+                  static_cast<unsigned long long>(cx.a), static_cast<unsigned long long>(cx.b),
+                  static_cast<unsigned long long>(cx.lhs_value),
+                  static_cast<unsigned long long>(cx.rhs_value),
+                  cx.net.empty() ? "" : " net ", cx.net.c_str());
+    }
+  }
+  for (const auto& f : report.sequential_failures) std::printf("  FAIL %s\n", f.c_str());
+  for (const auto& f : report.gemm_failures) std::printf("  FAIL %s\n", f.c_str());
+  return report.failure_count() == 0 ? 0 : 1;
+}
+
+int run_replay(const std::string& path) {
+  const check::Counterexample cx = check::read_repro(path);
+  std::printf("repro %s: subject %s, %s vs %s at a=%llu b=%llu\n", path.c_str(),
+              cx.subject.c_str(), cx.lhs.c_str(), cx.rhs.c_str(),
+              static_cast<unsigned long long>(cx.a), static_cast<unsigned long long>(cx.b));
+  const check::Subject s = check::resolve_subject(cx.subject);
+  check::Oracle oracle(s);
+  bool reproduced = false;
+  if (cx.kind == "flip" && s.reference) {
+    fabric::Evaluator ref(*s.reference);
+    const std::uint64_t want = ref.eval_word(cx.a, s.a_bits, cx.b, s.b_bits);
+    const std::uint64_t got = oracle.eval_one(check::BackendId::kScalar, cx.a, cx.b);
+    std::printf("  reference=%llu flipped=%llu\n", static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got));
+    reproduced = want != got;
+    if (reproduced) {
+      const std::string net = check::first_divergent_net(*s.reference, s.netlist, s.a_bits,
+                                                         s.b_bits, cx.a, cx.b);
+      std::printf("  first divergent net: %s\n", net.c_str());
+    }
+  } else {
+    for (const check::BackendId id : oracle.backends()) {
+      std::printf("  %-9s %llu\n", check::backend_name(id),
+                  static_cast<unsigned long long>(oracle.eval_one(id, cx.a, cx.b)));
+    }
+    const auto mismatch = oracle.run(&cx.a, &cx.b, 1);
+    reproduced = mismatch.has_value();
+  }
+  std::printf("  %s\n", reproduced ? "reproduced" : "did NOT reproduce");
+  return reproduced ? 1 : 0;
+}
+
+int run_golden(const std::string& dir) {
+  int failures = 0;
+  std::size_t files = 0;
+  for (const check::GoldenSpec& spec : check::default_golden_set()) {
+    const std::string path = dir + "/" + spec.file;
+    try {
+      const check::GoldenFile g = check::read_golden(path);
+      ++files;
+      if (const auto fail = check::replay_golden(g)) {
+        std::printf("  FAIL %s\n", fail->c_str());
+        ++failures;
+      } else {
+        std::printf("  ok   %s (%zu rows)\n", spec.file.c_str(), g.rows.size());
+      }
+    } catch (const std::exception& e) {
+      std::printf("  FAIL %s: %s\n", spec.file.c_str(), e.what());
+      ++failures;
+    }
+  }
+  std::printf("axcheck golden: %zu files, %d failures\n", files, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args = strip_thread_args(argc, argv);
+  if (args.empty()) usage();
+  const std::string& command = args[0];
+
+  check::FuzzOptions opts;
+  std::vector<std::string> subjects;
+  std::string coverage_file;
+  std::string report_file;
+  std::string dir = "tests/golden";
+  std::string positional;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage();
+      return args[i];
+    };
+    if (a == "--seed") opts.seed = to_u64(value());
+    else if (a == "--iters") opts.iters = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--batches") opts.batches = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--batch-size") opts.batch_size = static_cast<std::size_t>(to_u64(value()));
+    else if (a == "--width") opts.width = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--space") opts.space = value();
+    else if (a == "--subject") subjects.push_back(value());
+    else if (a == "--no-catalog") opts.include_catalog = false;
+    else if (a == "--no-elem") opts.include_elem = false;
+    else if (a == "--no-seq") opts.sequential = false;
+    else if (a == "--no-gemm") opts.gemm = false;
+    else if (a == "--repro-dir") opts.repro_dir = value();
+    else if (a == "--coverage") coverage_file = value();
+    else if (a == "--report") report_file = value();
+    else if (a == "--dir") dir = value();
+    else if (!a.empty() && a[0] != '-' && positional.empty()) positional = a;
+    else usage();
+  }
+
+  try {
+    if (command == "fuzz") return run_fuzz(opts, subjects, coverage_file, report_file);
+    if (command == "subjects") {
+      for (const auto& k : check::fuzz_subject_keys(opts)) std::printf("%s\n", k.c_str());
+      return 0;
+    }
+    if (command == "replay") {
+      if (positional.empty()) usage();
+      return run_replay(positional);
+    }
+    if (command == "emit-golden") {
+      const std::size_t n = check::emit_golden_set(dir);
+      std::printf("axcheck emit-golden: wrote %zu files under %s\n", n, dir.c_str());
+      return 0;
+    }
+    if (command == "golden") return run_golden(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axcheck: %s\n", e.what());
+    return 2;
+  }
+  usage();
+}
