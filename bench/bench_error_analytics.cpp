@@ -1,0 +1,181 @@
+// bench_error_analytics — wall-clock of the analytic compositional error
+// engine against the sweeps it replaces.
+//
+// For each 16-bit row the bench times (a) the analytic engine (exact
+// metrics over all 2^32 operand pairs), (b) a single-thread sampled sweep
+// of the behavioral model, and (c) the full exhaustive 2^32 sweep,
+// extrapolated from a measured operand slice (the only honest way to put
+// a minutes-long baseline in a CI-runnable bench — the JSON labels it
+// "extrapolated"). The 32/64-bit rows have no feasible reference sweep at
+// all; they report the analytic time alone, which is the point.
+//
+// Emits BENCH_error_analytics.json (repo root; working directory under
+// --smoke) and exits nonzero if the analytic engine fails to beat the
+// equal-fidelity exhaustive baseline by >= 1000x on Ca_16, or if the
+// sampled sweep disagrees statistically with the exact metrics.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "check/analytic.hpp"
+#include "error/analytic.hpp"
+#include "mult/elementary.hpp"
+#include "mult/recursive.hpp"
+
+using namespace axmult;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Square all-accurate spec at any power-of-two width (the catalog only
+/// names widths up to 16; 32/64 exercise the bipartite strategy).
+error::AnalyticSpec wide_spec(unsigned width, unsigned leaf_bits,
+                              std::uint64_t (*fn)(std::uint64_t, std::uint64_t)) {
+  error::AnalyticSpec s;
+  s.width = width;
+  s.leaf_bits = leaf_bits;
+  s.leaf = error::make_leaf_table(leaf_bits, leaf_bits, fn);
+  for (unsigned w = width; w > leaf_bits; w /= 2) {
+    s.levels.push_back(mult::Summation::kAccurate);
+  }
+  return s;
+}
+
+struct Row {
+  std::string name;
+  error::AnalyticSpec spec;
+  mult::MultiplierPtr model;  ///< null = no behavioral reference sweep
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
+  const int reps = smoke ? 1 : 5;
+  // Operand slice used to measure the per-pair sweep cost that the 2^32
+  // exhaustive baseline is extrapolated from.
+  const std::uint64_t slice_pairs = std::uint64_t{1} << (smoke ? 16 : 22);
+
+  bench::print_header("Analytic error engine vs reference sweeps");
+
+  std::vector<Row> rows;
+  const auto catalog_row = [&](const std::string& name, mult::MultiplierPtr m) {
+    rows.push_back({name, *check::catalog_analytic_spec(name), std::move(m)});
+  };
+  catalog_row("Ca_16", mult::make_ca(16));
+  catalog_row("K_16", mult::make_kulkarni(16));
+  catalog_row("W_16", mult::make_rehman_w(16));
+  rows.push_back({"dse_w16_t6_swap",
+                  *check::subject_analytic_spec("dse:w16;l=a4x4;s=AA;o=0;t=6;x=1;g=0"), nullptr});
+  rows.push_back({"Ca_32", wide_spec(32, 4, &mult::approx_4x4), nullptr});
+  rows.push_back({"Ca_64", wide_spec(64, 4, &mult::approx_4x4), nullptr});
+  rows.push_back({"K_64", wide_spec(64, 2, &mult::kulkarni_2x2), nullptr});
+
+  struct Result {
+    std::string name;
+    std::string method;
+    double analytic_ms = 0.0;
+    double sampled_ms = -1.0;     ///< -1 = no behavioral reference
+    double exhaustive_ms = -1.0;  ///< extrapolated to 2^32 pairs
+    double mre = 0.0;
+    double errprob = 0.0;
+  };
+  std::vector<Result> results;
+  bool ok = true;
+
+  for (const Row& row : rows) {
+    Result r;
+    r.name = row.name;
+
+    std::optional<error::AnalyticMetrics> am;
+    std::string why;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) am = error::analytic_metrics(row.spec, &why);
+    r.analytic_ms = ms_since(t0) / reps;
+    if (!am) {
+      std::printf("  %-16s analytic engine refused: %s\n", row.name.c_str(), why.c_str());
+      ok = false;
+      continue;
+    }
+    r.method = am->method;
+    r.mre = am->metrics.avg_relative_error;
+    r.errprob = am->error_probability;
+
+    if (row.model) {
+      error::SweepConfig cfg;
+      cfg.threads = 1;
+      cfg.collect_pmf = false;
+      cfg.collect_bit_probability = false;
+      t0 = std::chrono::steady_clock::now();
+      const error::SweepResult sampled = error::sweep_sampled(*row.model, slice_pairs, 1, cfg);
+      r.sampled_ms = ms_since(t0);
+      // Per-pair cost of the measured slice, scaled to the full 2^32 space
+      // the analytic numbers cover exactly.
+      r.exhaustive_ms =
+          r.sampled_ms * (static_cast<double>(std::uint64_t{1} << 32) /
+                          static_cast<double>(slice_pairs));
+
+      // Fidelity: the sampled estimate must be consistent with the exact
+      // metrics it approximates (and can never exceed the true max error).
+      const auto& sm = sampled.metrics;
+      if (std::abs(sm.avg_relative_error - r.mre) > 0.05 * r.mre ||
+          sm.max_error > am->metrics.max_error ||
+          std::abs(sm.error_probability() - r.errprob) > 0.02) {
+        std::printf("  %-16s FIDELITY MISMATCH sampled mre=%.9f vs %.9f\n", row.name.c_str(),
+                    sm.avg_relative_error, r.mre);
+        ok = false;
+      }
+    }
+    results.push_back(r);
+  }
+
+  Table t({"Design", "Strategy", "Analytic (ms)", "Sampled sweep (ms)",
+           "Exhaustive 2^32 (ms, extrapolated)", "Speedup vs exhaustive"});
+  for (const Result& r : results) {
+    const double speedup = r.exhaustive_ms > 0 ? r.exhaustive_ms / r.analytic_ms : 0.0;
+    t.add_row({r.name, r.method, Table::num(r.analytic_ms, 3),
+               r.sampled_ms >= 0 ? Table::num(r.sampled_ms, 1) : "n/a",
+               r.exhaustive_ms >= 0 ? Table::num(r.exhaustive_ms, 0) : "infeasible",
+               r.exhaustive_ms >= 0 ? Table::num(speedup, 0) + "x" : "n/a"});
+  }
+  t.print("Exact error metrics: analytic engine vs sweeps");
+
+  for (const Result& r : results) {
+    if (r.name != "Ca_16") continue;
+    const double speedup = r.exhaustive_ms / r.analytic_ms;
+    std::printf("\nCa_16: %.3f ms analytic vs %.0f ms exhaustive (extrapolated) = %.0fx\n",
+                r.analytic_ms, r.exhaustive_ms, speedup);
+    if (speedup < 1000.0) {
+      std::printf("FAIL: expected >= 1000x over the equal-fidelity exhaustive sweep\n");
+      ok = false;
+    }
+  }
+
+  const std::string path = bench::bench_json_path("BENCH_error_analytics.json", smoke);
+  std::ofstream json(path);
+  json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"slice_pairs\": " << slice_pairs
+       << ",\n  \"exhaustive_baseline\": \"extrapolated\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\", \"method\": \"" << r.method
+         << "\", \"analytic_ms\": " << r.analytic_ms << ", \"sampled_ms\": " << r.sampled_ms
+         << ", \"exhaustive_extrapolated_ms\": " << r.exhaustive_ms
+         << ", \"speedup_vs_exhaustive\": "
+         << (r.exhaustive_ms > 0 ? r.exhaustive_ms / r.analytic_ms : 0.0)
+         << ", \"mre\": " << r.mre << ", \"error_probability\": " << r.errprob << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,338 @@
+#include "check/analytic.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/subject.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/jsonio.hpp"
+#include "dse/space.hpp"
+#include "error/metrics.hpp"
+#include "mult/elementary.hpp"
+
+namespace axmult::check {
+namespace {
+
+using error::AnalyticSpec;
+using mult::Summation;
+
+std::optional<AnalyticSpec> fail(std::string* why, const std::string& reason) {
+  if (why != nullptr) *why = reason;
+  return std::nullopt;
+}
+
+/// Square recursive spec: `leaf_bits`-wide elementary block `fn`, the same
+/// summation at every level.
+AnalyticSpec square_spec(unsigned width, unsigned leaf_bits,
+                         std::uint64_t (*fn)(std::uint64_t, std::uint64_t), Summation s) {
+  AnalyticSpec spec;
+  spec.width = width;
+  spec.leaf_bits = leaf_bits;
+  spec.leaf = error::make_leaf_table(leaf_bits, leaf_bits, fn);
+  unsigned levels = 0;
+  for (unsigned w = leaf_bits; w < width; w *= 2) ++levels;
+  spec.levels.assign(levels, s);
+  return spec;
+}
+
+/// "<prefix><digits>" -> the digits, nullopt when anything else follows
+/// (so Ca_8 parses but the Ca_8_pipe extension falls through).
+std::optional<unsigned> suffix_number(const std::string& name, const std::string& prefix) {
+  if (name.rfind(prefix, 0) != 0 || name.size() == prefix.size()) return std::nullopt;
+  unsigned v = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    v = v * 10 + static_cast<unsigned>(name[i] - '0');
+  }
+  return v;
+}
+
+/// "Name(w,k)" -> (w, k).
+std::optional<std::pair<unsigned, unsigned>> paren_pair(const std::string& name,
+                                                        const std::string& prefix) {
+  if (name.rfind(prefix + "(", 0) != 0 || name.back() != ')') return std::nullopt;
+  const std::string inner = name.substr(prefix.size() + 1, name.size() - prefix.size() - 2);
+  const auto comma = inner.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  char* end = nullptr;
+  const unsigned w = static_cast<unsigned>(std::strtoul(inner.substr(0, comma).c_str(), &end, 10));
+  const unsigned k = static_cast<unsigned>(std::strtoul(inner.substr(comma + 1).c_str(), &end, 10));
+  if (w == 0) return std::nullopt;
+  return std::make_pair(w, k);
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<AnalyticSpec> catalog_analytic_spec(const std::string& name, std::string* why) {
+  // Paper designs at any catalog width.
+  if (const auto w = suffix_number(name, "Ca_")) {
+    return square_spec(*w, 4, &mult::approx_4x4, Summation::kAccurate);
+  }
+  if (const auto w = suffix_number(name, "Cc_")) {
+    return square_spec(*w, 4, &mult::approx_4x4, Summation::kCarryFree);
+  }
+  if (const auto w = suffix_number(name, "K_")) {
+    return square_spec(*w, 2, &mult::kulkarni_2x2, Summation::kAccurate);
+  }
+  if (const auto w = suffix_number(name, "W_")) {
+    return square_spec(*w, 2, &mult::rehman_2x2, Summation::kAccurate);
+  }
+  if (const auto w = suffix_number(name, "VivadoIP-Speed_")) {
+    return square_spec(*w, 4, &mult::accurate_4x4, Summation::kAccurate);
+  }
+  if (const auto w = suffix_number(name, "VivadoIP-Area_")) {
+    return square_spec(*w, 4, &mult::accurate_4x4, Summation::kAccurate);
+  }
+  if (const auto wk = paren_pair(name, "Mult")) {
+    AnalyticSpec spec = square_spec(wk->first, 4, &mult::accurate_4x4, Summation::kAccurate);
+    spec.trunc_lsbs = wk->second;
+    return spec;
+  }
+  // The 8x8 design-space family.
+  if (const auto wk = paren_pair(name, "OpTrunc")) {
+    AnalyticSpec spec = square_spec(wk->first, 4, &mult::accurate_4x4, Summation::kAccurate);
+    spec.op_trunc_lsbs = wk->second;
+    return spec;
+  }
+  if (name == "Acc4x4+CarryFree") {
+    return square_spec(8, 4, &mult::accurate_4x4, Summation::kCarryFree);
+  }
+  if (name == "K2x2+CarryFree") {
+    return square_spec(8, 2, &mult::kulkarni_2x2, Summation::kCarryFree);
+  }
+  if (name == "W2x2+CarryFree") {
+    return square_spec(8, 2, &mult::rehman_2x2, Summation::kCarryFree);
+  }
+  if (name == "K2x2+TernarySum") {
+    return square_spec(8, 2, &mult::kulkarni_2x2, Summation::kAccurate);
+  }
+  if (name == "W2x2+TernarySum") {
+    return square_spec(8, 2, &mult::rehman_2x2, Summation::kAccurate);
+  }
+  if (name == "Acc2x2Tree") {
+    return square_spec(8, 2, &mult::accurate_2x2, Summation::kAccurate);
+  }
+  if (name == "Radix4Acc") {
+    return square_spec(8, 4, &mult::accurate_4x4, Summation::kAccurate);
+  }
+  if (const auto l = suffix_number(name.substr(0, name.find('_')), "Cb")) {
+    if (suffix_number(name, "Cb" + std::to_string(*l) + "_")) {
+      const auto w = suffix_number(name, "Cb" + std::to_string(*l) + "_");
+      AnalyticSpec spec = square_spec(*w, 4, &mult::approx_4x4, Summation::kLowerOr);
+      spec.lower_or_bits = *l;
+      return spec;
+    }
+  }
+  if (name.rfind("Perf(", 0) == 0 && name.back() == ')') {
+    const std::string inner = name.substr(5, name.size() - 6);  // "8,-HL" etc.
+    const auto comma = inner.find(',');
+    if (comma != std::string::npos) {
+      const unsigned w = static_cast<unsigned>(std::strtoul(inner.substr(0, comma).c_str(),
+                                                            nullptr, 10));
+      const std::string tag = inner.substr(comma + 1);
+      AnalyticSpec spec = square_spec(w, 4, &mult::approx_4x4, Summation::kAccurate);
+      spec.drop_hl = tag == "-HL" || tag == "-HL-LH";
+      spec.drop_lh = tag == "-LH" || tag == "-HL-LH";
+      if (spec.drop_hl || spec.drop_lh) return spec;
+    }
+  }
+  return fail(why, "catalog design '" + name + "' has no compositional description");
+}
+
+std::optional<AnalyticSpec> subject_analytic_spec(const std::string& key, std::string* why) {
+  // The flip perturbs the netlist only; the analytic spec describes the
+  // design proper, whose pre-flip netlist the subject keeps as reference.
+  const auto plus = key.rfind("+flip:");
+  const std::string base = plus == std::string::npos ? key : key.substr(0, plus);
+  if (base.rfind("dse:", 0) == 0) {
+    return dse::analytic_spec(dse::parse_key(base.substr(4)));
+  }
+  if (base.rfind("catalog:", 0) == 0) return catalog_analytic_spec(base.substr(8), why);
+  if (base == "elem:a4x2") {
+    AnalyticSpec spec;
+    spec.width = 4;
+    spec.leaf_bits = 4;
+    spec.leaf_b_bits = 2;
+    spec.leaf = error::make_leaf_table(4, 2, &mult::approx_4x2);
+    return spec;
+  }
+  return fail(why, "subject '" + key + "' has no compositional description");
+}
+
+AnalyticDifferential analytic_differential(const std::string& key) {
+  AnalyticDifferential d;
+  std::string why;
+  const auto spec = subject_analytic_spec(key, &why);
+  if (!spec) {
+    d.reason = why;
+    return d;
+  }
+  if (const std::string unsupported = error::analytic_unsupported(*spec); !unsupported.empty()) {
+    d.reason = unsupported;
+    return d;
+  }
+  const Subject s = resolve_subject(key);
+  if (s.a_bits + s.b_bits > 16) {
+    d.reason = "reference sweep infeasible beyond 16 operand bits";
+    return d;
+  }
+  if (spec->a_bits() != s.a_bits || spec->b_bits() != s.b_bits) {
+    d.supported = true;
+    d.failures.push_back("operand widths: spec " + std::to_string(spec->a_bits()) + "x" +
+                         std::to_string(spec->b_bits()) + ", subject " +
+                         std::to_string(s.a_bits) + "x" + std::to_string(s.b_bits));
+    return d;
+  }
+  const auto am = error::analytic_metrics(*spec, &why);
+  if (!am) {
+    d.reason = why;
+    return d;
+  }
+  d.supported = true;
+  error::SweepConfig cfg;
+  cfg.threads = 1;
+  cfg.collect_pmf = true;
+  cfg.collect_bit_probability = false;
+  const fabric::Netlist& ref = s.reference ? *s.reference : s.netlist;
+  const auto sr = error::sweep_netlist_exhaustive(ref, s.a_bits, s.b_bits, cfg);
+
+  const auto want_u64 = [&](const char* field, std::uint64_t analytic, std::uint64_t swept) {
+    if (analytic == swept) return;
+    d.failures.push_back(std::string(field) + ": analytic " + std::to_string(analytic) +
+                         ", sweep " + std::to_string(swept));
+  };
+  // At <= 8x8 the cross strategy replays the sweep accumulator in sweep
+  // order, so the doubles must agree to the last bit — no tolerance.
+  const auto want_f64 = [&](const char* field, double analytic, double swept) {
+    if (analytic == swept) return;
+    std::ostringstream os;
+    os << std::setprecision(17) << field << ": analytic " << analytic << ", sweep " << swept;
+    d.failures.push_back(os.str());
+  };
+  const error::ErrorMetrics& a = am->metrics;
+  const error::ErrorMetrics& r = sr.metrics;
+  want_u64("samples", a.samples, r.samples);
+  want_u64("max_error", a.max_error, r.max_error);
+  want_u64("occurrences", a.occurrences, r.occurrences);
+  want_u64("max_error_occurrences", a.max_error_occurrences, r.max_error_occurrences);
+  want_f64("avg_error", a.avg_error, r.avg_error);
+  want_f64("avg_relative_error", a.avg_relative_error, r.avg_relative_error);
+  want_f64("mean_signed_error", a.mean_signed_error, r.mean_signed_error);
+  want_f64("error_probability", am->error_probability, r.error_probability());
+  if (am->has_pmf && am->pmf != sr.pmf) {
+    d.failures.push_back("pmf: " + std::to_string(am->pmf.size()) + " analytic vs " +
+                         std::to_string(sr.pmf.size()) + " swept magnitudes (or counts differ)");
+  }
+  return d;
+}
+
+// ---- analytic-metrics golden ----------------------------------------------
+
+std::vector<std::string> analytic_golden_subjects() {
+  return {
+      // Exact 16-bit numbers out of the factor strategy on the paper cores.
+      "catalog:Ca_16",
+      "catalog:K_16",
+      // The 2x2-leaf core: three recursion levels through the same factor
+      // strategy, far more equivalence classes than Ca.
+      "catalog:W_16",
+      // Truncated variant (non-trivial PMF shift) and a truncated+swapped
+      // config only the dse grammar can express.
+      "catalog:Mult(16,4)",
+      "dse:w16;l=a4x4;s=AA;o=0;t=6;x=1;g=0",
+  };
+}
+
+void write_analytic_metrics_golden(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_analytic_metrics_golden: cannot open " + path);
+  for (const std::string& key : analytic_golden_subjects()) {
+    std::string why;
+    const auto spec = subject_analytic_spec(key, &why);
+    if (!spec) throw std::runtime_error("analytic golden: " + key + ": " + why);
+    const auto am = error::analytic_metrics(*spec, &why);
+    if (!am) throw std::runtime_error("analytic golden: " + key + ": " + why);
+    const error::ErrorMetrics& m = am->metrics;
+    out << "{\"subject\": \"" << key << "\", \"method\": \"" << am->method
+        << "\", \"samples\": " << m.samples << ", \"max_error\": " << m.max_error
+        << ", \"occurrences\": " << m.occurrences
+        << ", \"max_error_occurrences\": " << m.max_error_occurrences
+        << ", \"avg_error\": " << fmt_double(m.avg_error)
+        << ", \"avg_relative_error\": " << fmt_double(m.avg_relative_error)
+        << ", \"mean_signed_error\": " << fmt_double(m.mean_signed_error)
+        << ", \"error_probability\": " << fmt_double(am->error_probability) << "}\n";
+  }
+}
+
+std::optional<std::string> replay_analytic_metrics_golden(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "analytic golden: cannot open " + path;
+  namespace js = dse::jsonio;
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto subject = js::find_string(line, "subject");
+    if (!subject) return "analytic golden: malformed line in " + path;
+    std::string why;
+    const auto spec = subject_analytic_spec(*subject, &why);
+    if (!spec) return "analytic golden " + *subject + ": " + why;
+    const auto am = error::analytic_metrics(*spec, &why);
+    if (!am) return "analytic golden " + *subject + ": " + why;
+    std::string failure;
+    const auto want_u64 = [&](const char* field, std::uint64_t got) {
+      const auto frozen = js::find_number(line, field);
+      if (!frozen) {
+        failure = std::string("missing field ") + field;
+      } else if (static_cast<std::uint64_t>(*frozen) != got) {
+        failure = std::string(field) + ": frozen " +
+                  std::to_string(static_cast<std::uint64_t>(*frozen)) + ", recomputed " +
+                  std::to_string(got);
+      }
+    };
+    // Integer metrics replay exactly; the double folds get a 1e-12
+    // relative tolerance (long-double accumulation differs across ABIs).
+    const auto want_f64 = [&](const char* field, double got) {
+      const auto frozen = js::find_number(line, field);
+      if (!frozen) {
+        failure = std::string("missing field ") + field;
+        return;
+      }
+      const double scale = std::max(std::fabs(*frozen), std::fabs(got));
+      if (std::fabs(*frozen - got) > 1e-12 * std::max(scale, 1e-300)) {
+        std::ostringstream os;
+        os << std::setprecision(17) << field << ": frozen " << *frozen << ", recomputed " << got;
+        failure = os.str();
+      }
+    };
+    const error::ErrorMetrics& m = am->metrics;
+    want_u64("samples", m.samples);
+    if (failure.empty()) want_u64("max_error", m.max_error);
+    if (failure.empty()) want_u64("occurrences", m.occurrences);
+    if (failure.empty()) want_u64("max_error_occurrences", m.max_error_occurrences);
+    if (failure.empty()) want_f64("avg_error", m.avg_error);
+    if (failure.empty()) want_f64("avg_relative_error", m.avg_relative_error);
+    if (failure.empty()) want_f64("mean_signed_error", m.mean_signed_error);
+    if (failure.empty()) want_f64("error_probability", am->error_probability);
+    if (const auto method = js::find_string(line, "method");
+        failure.empty() && method && *method != am->method) {
+      failure = "method: frozen " + *method + ", recomputed " + am->method;
+    }
+    if (!failure.empty()) return "analytic golden " + *subject + ": " + failure;
+  }
+  if (lines == 0) return "analytic golden: " + path + " is empty";
+  return std::nullopt;
+}
+
+}  // namespace axmult::check

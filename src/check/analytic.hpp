@@ -1,0 +1,76 @@
+// Analytic error engine as a conformance oracle.
+//
+// The compositional engine (error/analytic.hpp) claims *exact* metrics.
+// This header backs the claim with two instruments:
+//
+//   * analytic_differential: reconstructs a subject's AnalyticSpec from
+//     its key and compares every metric field — including the
+//     floating-point folds and the full |error| PMF — against an
+//     exhaustive netlist sweep. At <= 8x8 the agreement must be
+//     bit-for-bit; any mismatch is reported per field. The harness runs
+//     this on every analytically representable subject it fuzzes, and
+//     tests/analytic_test.cpp runs it over the whole catalog.
+//
+//   * an analytic-metrics golden: frozen exact 16-bit metrics
+//     (tests/golden/analytic_metrics16.golden) replayed in tier-1, so a
+//     regression in the factor/bipartite strategies — whose reference
+//     sweep would take minutes — still fails fast.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "error/analytic.hpp"
+
+namespace axmult::check {
+
+/// AnalyticSpec of a catalog design by name (paper_designs at 4/8/16 plus
+/// evo_family_8x8). Nullopt with a reason for designs that have no pure
+/// compositional description (pipelined / error-corrected extensions).
+[[nodiscard]] std::optional<error::AnalyticSpec> catalog_analytic_spec(const std::string& name,
+                                                                       std::string* why = nullptr);
+
+/// AnalyticSpec of a subject key (subject.hpp grammar). A "+flip" suffix
+/// is stripped: the spec always describes the unperturbed design, which
+/// is what the flip subject keeps as its reference netlist.
+[[nodiscard]] std::optional<error::AnalyticSpec> subject_analytic_spec(const std::string& key,
+                                                                       std::string* why = nullptr);
+
+/// Outcome of one analytic-vs-sweep differential.
+struct AnalyticDifferential {
+  /// False when the subject is outside the engine's envelope (reason says
+  /// why) — not a failure, the harness simply skips it.
+  bool supported = false;
+  std::string reason;
+  /// Field-level disagreements between the analytic metrics and the
+  /// exhaustive reference sweep; empty means exact agreement.
+  std::vector<std::string> failures;
+};
+
+/// Runs the analytic engine against an exhaustive sweep of the subject's
+/// reference netlist (the pre-flip netlist for "+flip" subjects) and
+/// demands bit-identical metrics and PMF. Subjects wider than 16 total
+/// operand bits are reported unsupported (the reference sweep itself
+/// would be the bottleneck).
+[[nodiscard]] AnalyticDifferential analytic_differential(const std::string& key);
+
+/// Checked-in analytic-metrics golden -----------------------------------
+
+inline constexpr const char* kAnalyticMetricsGoldenFile = "analytic_metrics16.golden";
+
+/// Subjects frozen in the metrics golden: exact 16-bit numbers from each
+/// non-cross strategy (factor on the catalog cores, plus a mixed-summation
+/// dse config).
+[[nodiscard]] std::vector<std::string> analytic_golden_subjects();
+
+/// Recomputes the golden subjects and writes the JSON-lines file.
+void write_analytic_metrics_golden(const std::string& path);
+
+/// Recomputes every subject of the file and compares: integer fields must
+/// match exactly, floating-point fields within 1e-12 relative (long-double
+/// folds may differ across ABIs). Returns the first failure description,
+/// or nullopt when the file replays clean.
+[[nodiscard]] std::optional<std::string> replay_analytic_metrics_golden(const std::string& path);
+
+}  // namespace axmult::check

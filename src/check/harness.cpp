@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "check/analytic.hpp"
 #include "check/backends.hpp"
 #include "check/coverage.hpp"
 #include "check/generate.hpp"
@@ -244,6 +245,24 @@ SubjectReport check_subject(const std::string& key, const FuzzOptions& opts,
   }
 
   check_invariants(s, oracle, stream_seed, rep);
+
+  // Analytic-engine differential: the compositional metrics must match an
+  // exhaustive sweep of the reference netlist bit-for-bit. Outside the
+  // engine's envelope (wide operands, no compositional description) the
+  // differential reports unsupported and the subject is simply skipped.
+  if (opts.analytic && s.a_bits + s.b_bits <= 16 && rep.failures.size() < kMaxFailuresPerSubject) {
+    const AnalyticDifferential diff = analytic_differential(key);
+    for (const std::string& f : diff.failures) {
+      Counterexample cx;
+      cx.subject = key;
+      cx.kind = "analytic";
+      cx.lhs = "analytic";
+      cx.rhs = "netlist-sweep";
+      cx.net = f;  // field-level description, no single operand pair
+      rep.failures.push_back(std::move(cx));
+      if (rep.failures.size() >= kMaxFailuresPerSubject) break;
+    }
+  }
 
   rep.nets = coverage.total();
   rep.covered = coverage.covered();

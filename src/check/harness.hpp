@@ -39,6 +39,9 @@ struct FuzzOptions {
   unsigned threads = 0;         ///< 0 = auto (common::thread_count)
   bool include_catalog = true;
   bool include_elem = true;
+  /// Analytic-engine differential: exact compositional metrics vs an
+  /// exhaustive netlist sweep, demanded bit-identical (<= 16 operand bits).
+  bool analytic = true;
   bool sequential = true;       ///< pipelined/MAC cycle-accurate checks
   bool gemm = true;             ///< blocked table-GEMM differential
   std::string repro_dir;        ///< write shrunk repro files here ("" = off)

@@ -28,7 +28,8 @@ std::string EvalCache::serialize_objectives(const Objectives& obj) {
      << ", \"delay_ns\": " << fmt_double(obj.critical_path_ns)
      << ", \"energy_au\": " << fmt_double(obj.energy_au)
      << ", \"edp_au\": " << fmt_double(obj.edp_au) << ", \"samples\": " << obj.samples
-     << ", \"seed\": " << obj.seed << ", \"exhaustive\": " << (obj.exhaustive ? "true" : "false");
+     << ", \"seed\": " << obj.seed << ", \"exhaustive\": " << (obj.exhaustive ? "true" : "false")
+     << ", \"provenance\": \"" << obj.provenance << "\"";
   return os.str();
 }
 
@@ -50,6 +51,8 @@ std::optional<Objectives> EvalCache::parse_objectives(const std::string& line) {
   obj.samples = static_cast<std::uint64_t>(jsonio::find_number(line, "samples").value_or(0.0));
   obj.seed = static_cast<std::uint64_t>(jsonio::find_number(line, "seed").value_or(0.0));
   obj.exhaustive = jsonio::find_bool(line, "exhaustive").value_or(false);
+  obj.provenance = jsonio::find_string(line, "provenance")
+                       .value_or(obj.exhaustive ? "exhaustive" : "sampled");
   return obj;
 }
 

@@ -14,6 +14,7 @@
 #include "dse/cache.hpp"
 #include "error/metrics.hpp"
 #include "fabric/lut6.hpp"
+#include "mult/elementary.hpp"
 #include "fabric/optimize.hpp"
 #include "multgen/builders.hpp"
 #include "multgen/generators.hpp"
@@ -210,7 +211,7 @@ std::string EvalOptions::context() const {
     os << ";g=" << fmt_double(mean_a) << "," << fmt_double(sigma_a) << "," << fmt_double(mean_b)
        << "," << fmt_double(sigma_b);
   } else {
-    os << ";u;e=" << exhaustive_bits;
+    os << ";u;e=" << exhaustive_bits << ";a=" << (analytic ? 1 : 0);
   }
   os << ";n=" << samples << ";s=" << seed << ";pv=" << power_vectors;
   return os.str();
@@ -322,6 +323,41 @@ fabric::Netlist make_config_netlist(const Config& c) {
   });
 }
 
+error::AnalyticSpec analytic_spec(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  error::AnalyticSpec spec;
+  spec.width = canon.width;
+  spec.levels = canon.summation;
+  spec.lower_or_bits = canon.lower_or_bits;
+  spec.trunc_lsbs = canon.trunc_lsbs;
+  spec.operand_swap = canon.operand_swap;
+  if (canon.leaf == Config::Leaf::kPerturbed4x2Pair) {
+    // Same behavioral leaf as make_model: two table-driven 4x2 partial
+    // products through the truncated 6-bit adder (NOT approx_4x4 — the
+    // summation differs even with zero flips).
+    const LeafTables tables = perturbed_tables(canon);
+    spec.leaf_bits = 4;
+    spec.leaf = error::make_leaf_table(
+        4, 4, [tables](std::uint64_t a, std::uint64_t b) { return tables_4x4(tables, a, b); });
+    return spec;
+  }
+  spec.leaf_bits = leaf_width(canon.leaf);
+  const auto fn = [&]() -> std::uint64_t (*)(std::uint64_t, std::uint64_t) {
+    switch (canon.leaf) {
+      case Config::Leaf::kApprox4x4: return mult::approx_4x4;
+      case Config::Leaf::kAccurate4x4: return mult::accurate_4x4;
+      case Config::Leaf::kKulkarni2x2: return mult::kulkarni_2x2;
+      case Config::Leaf::kRehman2x2: return mult::rehman_2x2;
+      case Config::Leaf::kAccurate2x2: return mult::accurate_2x2;
+      case Config::Leaf::kPerturbed4x2Pair: break;
+    }
+    throw std::invalid_argument("dse: leaf has no behavioral elementary");
+  }();
+  spec.leaf = error::make_leaf_table(spec.leaf_bits, spec.leaf_bits, fn);
+  return spec;
+}
+
 // ---- evaluation -----------------------------------------------------------
 
 namespace {
@@ -363,26 +399,52 @@ Objectives evaluate(const Config& c, const EvalOptions& opts) {
   sweep.threads = 1;  // parallelism lives across configs, not inside one
   sweep.collect_pmf = false;
   sweep.collect_bit_probability = false;
+  bool done = false;
   if (opts.gaussian) {
     const mult::MultiplierPtr model = make_model(canon);
     metrics = error::characterize(
         *model, asymmetric_gaussian_source(canon.width, opts.samples, opts.mean_a, opts.sigma_a,
                                            opts.mean_b, opts.sigma_b, opts.seed));
     obj.seed = opts.seed;
+    obj.provenance = "sampled";
   } else if (2 * canon.width <= opts.exhaustive_bits) {
     const fabric::Netlist core = make_core_netlist(canon);
     metrics = error::sweep_netlist_exhaustive(core, canon.width, canon.width, sweep).metrics;
     obj.exhaustive = true;
+    obj.provenance = "exhaustive";
   } else {
-    const mult::MultiplierPtr model = make_model(canon);
-    metrics = error::sweep_sampled(*model, opts.samples, opts.seed, sweep).metrics;
-    obj.seed = opts.seed;
+    if (opts.analytic) {
+      // Exact sweep-free metrics whenever the compositional engine covers
+      // the config — the only exact option at 16 bits and beyond.
+      if (const auto am = error::analytic_metrics(analytic_spec(canon))) {
+        obj.mre = am->metrics.avg_relative_error;
+        obj.error_probability = am->error_probability;
+        obj.max_error = am->metrics.max_error;  // saturated when wide
+        obj.samples = am->metrics.samples;      // ditto
+        // NMED over the full operand space; (2^w - 1)^2 overflows uint64
+        // at w = 64, so stay in long double throughout.
+        const long double mp = ldexpl(1.0L, static_cast<int>(canon.width)) - 1.0L;
+        obj.nmed = static_cast<double>(
+            static_cast<long double>(am->metrics.avg_error) / (mp * mp));
+        obj.exhaustive = true;  // exact over the full operand space
+        obj.provenance = "analytic";
+        done = true;
+      }
+    }
+    if (!done) {
+      const mult::MultiplierPtr model = make_model(canon);
+      metrics = error::sweep_sampled(*model, opts.samples, opts.seed, sweep).metrics;
+      obj.seed = opts.seed;
+      obj.provenance = "sampled";
+    }
   }
-  obj.mre = metrics.avg_relative_error;
-  obj.nmed = metrics.nmed(canon.width, canon.width);
-  obj.error_probability = metrics.error_probability();
-  obj.max_error = metrics.max_error;
-  obj.samples = metrics.samples;
+  if (!done) {
+    obj.mre = metrics.avg_relative_error;
+    obj.nmed = metrics.nmed(canon.width, canon.width);
+    obj.error_probability = metrics.error_probability();
+    obj.max_error = metrics.max_error;
+    obj.samples = metrics.samples;
+  }
 
   // Implementation cost on the full netlist (wrapper included), after the
   // same optimization pass the packed evaluators run — this is what lets

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dse/space.hpp"
+#include "error/analytic.hpp"
 #include "fabric/netlist.hpp"
 #include "nn/mac.hpp"
 
@@ -25,7 +26,7 @@ namespace axmult::dse {
 /// Bumped whenever a change to the models/netlist generators alters the
 /// numbers a config evaluates to; persisted cache entries from other
 /// versions are ignored on load.
-inline constexpr unsigned kEvaluatorVersion = 1;
+inline constexpr unsigned kEvaluatorVersion = 2;
 
 struct EvalOptions {
   /// Error evaluation: exhaustive netlist sweep when the operand space has
@@ -47,6 +48,11 @@ struct EvalOptions {
   double sigma_a = 0.0;
   double mean_b = 0.0;
   double sigma_b = 0.0;
+  /// Analytic (sweep-free) exact metrics for configs the compositional
+  /// error engine covers (error/analytic.hpp) — the only exact option at
+  /// 16 bits and beyond. Applies to the uniform sweep only; gaussian
+  /// evaluation always samples.
+  bool analytic = true;
 
   /// Cache-key context: everything besides the config that the error
   /// numbers depend on, e.g. "v1:u" (uniform exhaustive/sampled) or
@@ -72,6 +78,10 @@ struct Objectives {
   std::uint64_t samples = 0;
   std::uint64_t seed = 0;
   bool exhaustive = false;
+  /// How the error metrics were obtained: "exhaustive" (netlist sweep over
+  /// the full operand space), "analytic" (exact compositional engine) or
+  /// "sampled" (seeded behavioral sweep).
+  std::string provenance;
 };
 
 /// Search objectives (all minimized).
@@ -108,6 +118,12 @@ enum class Objective : std::uint8_t {
 /// on both operands and the product when `signed_wrapper` is set. Area,
 /// timing and energy are measured on this.
 [[nodiscard]] fabric::Netlist make_config_netlist(const Config& c);
+
+/// The config's behavioral composition as an error::AnalyticSpec — the
+/// exact description the compositional error engine consumes. Mirrors
+/// make_model (same leaf tables, schedule, truncation, swap; the signed
+/// wrapper is hardware-only and does not appear).
+[[nodiscard]] error::AnalyticSpec analytic_spec(const Config& c);
 
 /// Evaluates one config (single-threaded; fan out via evaluate_all).
 [[nodiscard]] Objectives evaluate(const Config& c, const EvalOptions& opts = {});

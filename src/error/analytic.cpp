@@ -1,0 +1,732 @@
+#include "error/analytic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/bits.hpp"
+
+namespace axmult::error {
+namespace {
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+void set_why(std::string* why, const char* reason) {
+  if (why) *why = reason;
+}
+
+/// Behavioral evaluation of the composition tree — a verbatim transcription
+/// of mult::RecursiveMultiplier::rec (recursive.cpp) over the spec's leaf
+/// table, plus the catalog's top-level perforation (dropped quadrants feed
+/// zero into an accurate summation, exactly the Perf(8,...) semantics).
+std::uint64_t eval_tree(const AnalyticSpec& s, std::uint64_t a, std::uint64_t b, unsigned w,
+                        unsigned level) {
+  if (w == s.leaf_bits) return s.leaf[a | (b << s.leaf_bits)];
+  const mult::Summation summation = s.levels[level];
+  const unsigned m = w / 2;
+  const std::uint64_t al = a & low_mask(m);
+  const std::uint64_t ah = a >> m;
+  const std::uint64_t bl = b & low_mask(m);
+  const std::uint64_t bh = b >> m;
+  const bool top = level == 0;
+  const std::uint64_t pp0 = eval_tree(s, al, bl, m, level + 1);
+  const std::uint64_t pp1 = (top && s.drop_hl) ? 0 : eval_tree(s, ah, bl, m, level + 1);
+  const std::uint64_t pp2 = (top && s.drop_lh) ? 0 : eval_tree(s, al, bh, m, level + 1);
+  const std::uint64_t pp3 = eval_tree(s, ah, bh, m, level + 1);
+
+  if (summation == mult::Summation::kAccurate) {
+    // The netlist sums columns m..4m-1 on a 3m-bit ternary chain whose
+    // carry out of the top column has no bus to land on — a no-op for
+    // every under-approximating design (the sum is bounded by the exact
+    // product), but the hardware truth when a perturbed leaf overshoots.
+    const std::uint64_t x = (pp0 >> m) + (pp3 << m);
+    return (pp0 & low_mask(m)) | (((x + pp1 + pp2) & low_mask(3 * m)) << m);
+  }
+
+  if (summation == mult::Summation::kLowerOr) {
+    const unsigned L = std::min(s.lower_or_bits, 2 * m);
+    const std::uint64_t x = (pp0 >> m) + (pp3 << m);
+    std::uint64_t mid = 0;
+    for (unsigned c = 0; c < L; ++c) {
+      mid |= (bit(x, c) | bit(pp1, c) | bit(pp2, c)) << c;
+    }
+    const std::uint64_t hi = ((x >> L) + (pp1 >> L) + (pp2 >> L)) << L;
+    return (pp0 & low_mask(m)) | (((mid | hi) & low_mask(3 * m)) << m);
+  }
+
+  std::uint64_t result = (pp0 & low_mask(m)) | ((pp3 >> m) << (3 * m));
+  for (unsigned i = m; i < 3 * m; ++i) {
+    std::uint64_t col = bit(pp0, i) ^ bit(pp1, i - m) ^ bit(pp2, i - m);
+    if (i >= 2 * m) col ^= bit(pp3, i - 2 * m);
+    result |= col << i;
+  }
+  return result;
+}
+
+/// Fills the exact-count fields of an AnalyticMetrics from integer
+/// accumulators, using the sweep's exact finalization expressions so the
+/// resulting doubles are bit-identical given identical integers/fold.
+void finalize_exact(AnalyticMetrics& out, std::uint64_t samples, u128 sum_abs, i128 sum_signed,
+                    long double rel, std::uint64_t occurrences, std::uint64_t max_error,
+                    std::uint64_t max_error_occurrences) {
+  ErrorMetrics& m = out.metrics;
+  m.samples = samples;
+  m.occurrences = occurrences;
+  m.max_error = max_error;
+  m.max_error_occurrences = max_error_occurrences;
+  const long double n = static_cast<long double>(samples);
+  m.avg_error = static_cast<double>(static_cast<long double>(sum_abs) / n);
+  m.avg_relative_error = static_cast<double>(rel / n);
+  m.mean_signed_error = static_cast<double>(static_cast<long double>(sum_signed) / n);
+  out.exact_counts = true;
+  out.wide = false;
+  out.error_probability = m.error_probability();
+  out.samples_ld = n;
+  out.occurrences_ld = static_cast<long double>(occurrences);
+  out.max_error_ld = static_cast<long double>(max_error);
+  out.max_error_occurrences_ld = static_cast<long double>(max_error_occurrences);
+}
+
+/// value -> occurrence-count compression of a 256-entry table.
+std::vector<std::pair<std::int64_t, std::uint32_t>> compress256(const std::int64_t* tbl) {
+  std::array<std::int64_t, 256> v;
+  std::copy(tbl, tbl + 256, v.begin());
+  std::sort(v.begin(), v.end());
+  std::vector<std::pair<std::int64_t, std::uint32_t>> out;
+  for (std::size_t i = 0; i < v.size();) {
+    std::size_t j = i;
+    while (j < v.size() && v[j] == v[i]) ++j;
+    out.emplace_back(v[i], static_cast<std::uint32_t>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+/// Stable psi-difference helpers for large arguments (u >= ~4096): every
+/// quantity is a *difference* of asymptotic-series terms, computed without
+/// the catastrophic cancellation a lgammal(u+L) - lgammal(u) evaluation
+/// would suffer at u ~ 2^60.
+long double psi_diff_large(long double u, long double L) {
+  const long double iu = 1.0L / u, iv = 1.0L / (u + L);
+  const long double iu2 = iu * iu, iv2 = iv * iv;
+  return log1pl(L * iu) + 0.5L * (iu - iv) + (1.0L / 12.0L) * (iu2 - iv2) -
+         (1.0L / 120.0L) * (iu2 * iu2 - iv2 * iv2);
+}
+
+long double psi1_diff_large(long double u, long double L) {
+  const long double iu = 1.0L / u, iv = 1.0L / (u + L);
+  const long double iu2 = iu * iu, iv2 = iv * iv;
+  const long double iu3 = iu2 * iu, iv3 = iv2 * iv;
+  return (iv - iu) + 0.5L * (iv2 - iu2) + (1.0L / 6.0L) * (iv3 - iu3) -
+         (1.0L / 30.0L) * (iv3 * iv2 - iu3 * iu2);
+}
+
+long double psi3_diff_large(long double u, long double L) {
+  const long double iu = 1.0L / u, iv = 1.0L / (u + L);
+  const long double iu2 = iu * iu, iv2 = iv * iv;
+  const long double iu3 = iu2 * iu, iv3 = iv2 * iv;
+  return 2.0L * (iv3 - iu3) + 3.0L * (iv2 * iv2 - iu2 * iu2) + 2.0L * (iv3 * iv2 - iu3 * iu2);
+}
+
+/// Integral of psi(u+L)-psi(u) over u in [ua, ub], same stable-difference
+/// treatment (each grouped term is O(L * ln) rather than O(u * ln u), so
+/// after the caller divides by the stride s >= L the rounding error is
+/// ~ulp-level).
+long double int_psi_diff(long double ua, long double ub, long double L) {
+  const long double t_log = ub * log1pl(L / ub) - ua * log1pl(L / ua) +
+                            L * logl((ub + L) / (ua + L));
+  const long double t_half = -0.5L * (log1pl(L / ub) - log1pl(L / ua));
+  const long double t_12 =
+      -(1.0L / 12.0L) * L * (1.0L / (ub * (ub + L)) - 1.0L / (ua * (ua + L)));
+  const long double ia3 = 1.0L / (ua * ua * ua), ib3 = 1.0L / (ub * ub * ub);
+  const long double ja3 = 1.0L / ((ua + L) * (ua + L) * (ua + L));
+  const long double jb3 = 1.0L / ((ub + L) * (ub + L) * (ub + L));
+  const long double t_360 = (1.0L / 360.0L) * ((ib3 - jb3) - (ia3 - ja3));
+  return t_log + t_half + t_12 + t_360;
+}
+
+/// Overflow-audited u128 helpers for the bipartite counting DPs.
+struct ChainCount {
+  bool exact = true;
+  u128 value = 0;
+  long double value_ld = 0.0L;
+};
+
+/// Sum over all b-tuples (n slices, K values each) of |intersection of
+/// mask[b_j]| ^ n — the number of (a-tuple, b-tuple) pairs whose every
+/// slice pair (i, j) lands in the marked set. Exactly the count of inputs
+/// where all n^2 bilinear error terms sit at a designated leaf value.
+ChainCount count_mask_chains(const std::vector<std::uint32_t>& mask, unsigned n, unsigned K) {
+  std::map<std::uint32_t, u128> cur;
+  cur[low_mask(K)] = 1;
+  for (unsigned step = 0; step < n; ++step) {
+    std::map<std::uint32_t, u128> next;
+    for (const auto& [m, c] : cur) {
+      for (unsigned y = 0; y < K; ++y) next[m & mask[y]] += c;
+    }
+    cur.swap(next);
+  }
+  ChainCount out;
+  for (const auto& [m, c] : cur) {
+    const unsigned pc = popcount(m);
+    out.value_ld += static_cast<long double>(c) *
+                    powl(static_cast<long double>(pc), static_cast<long double>(n));
+    u128 p = 1;
+    bool ok = true;
+    for (unsigned i = 0; i < n && ok; ++i) ok = !__builtin_mul_overflow(p, (u128)pc, &p);
+    u128 term = 0;
+    ok = ok && !__builtin_mul_overflow(c, p, &term);
+    ok = ok && !__builtin_add_overflow(out.value, term, &out.value);
+    if (!ok) out.exact = false;
+  }
+  return out;
+}
+
+std::uint64_t saturate_u64(u128 v, bool exact) {
+  if (!exact || v > static_cast<u128>(UINT64_MAX)) return UINT64_MAX;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> make_leaf_table(
+    unsigned a_bits, unsigned b_bits,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& fn) {
+  std::vector<std::uint32_t> table(std::size_t{1} << (a_bits + b_bits));
+  for (std::uint64_t b = 0; b < (std::uint64_t{1} << b_bits); ++b) {
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << a_bits); ++a) {
+      table[a | (b << a_bits)] = static_cast<std::uint32_t>(fn(a, b));
+    }
+  }
+  return table;
+}
+
+std::string analytic_unsupported(const AnalyticSpec& s) {
+  if (s.leaf_bits == 0 || s.leaf_bits > 8 || !is_pow2(s.leaf_bits)) {
+    return "leaf width must be a power of two in [1, 8]";
+  }
+  if (!is_pow2(s.width) || s.width < s.leaf_bits) {
+    return "width must be a power of two >= the leaf width";
+  }
+  if (s.width > 64) return "width above 64 bits";
+  if (s.leaf_b_bits) {
+    if (s.width != s.leaf_bits) return "rectangular leaves are leaf-only";
+    if (s.operand_swap) return "operand swap on a rectangular leaf";
+    if (s.leaf_bits + s.leaf_b_bits > 16) return "rectangular leaf too wide to enumerate";
+  }
+  const unsigned lb = s.leaf_b_bits ? s.leaf_b_bits : s.leaf_bits;
+  if (s.leaf.size() != (std::size_t{1} << (s.leaf_bits + lb))) {
+    return "leaf table size does not match the leaf width";
+  }
+  for (const std::uint32_t v : s.leaf) {
+    if (v >> (s.leaf_bits + lb)) return "leaf product exceeds its output bus";
+  }
+  unsigned depth = 0;
+  for (unsigned w = s.width; w > s.leaf_bits; w /= 2) ++depth;
+  if (s.levels.size() != depth) return "level schedule length does not match the width";
+  if ((s.drop_hl || s.drop_lh) &&
+      (depth == 0 || s.levels[0] != mult::Summation::kAccurate)) {
+    return "perforation is only modeled under an accurate top-level summation";
+  }
+  if (s.a_bits() + s.b_bits() <= 16) return "";  // cross enumerates anything
+  if (s.width == 16) {
+    if (s.levels[0] != mult::Summation::kAccurate) {
+      return "approximate top-level summation at width 16 (error columns couple the A and B "
+             "halves; no exact factorization)";
+    }
+    if (s.op_trunc_lsbs) return "operand truncation at width 16";
+    if (s.drop_hl || s.drop_lh) return "perforation at width 16";
+    if (s.trunc_lsbs > s.width / 2) return "truncation beyond the half width at width 16";
+    return "";
+  }
+  for (const mult::Summation l : s.levels) {
+    if (l != mult::Summation::kAccurate) {
+      return "approximate summation at width >= 32 (the bipartite strategy needs accurate "
+             "summation at every level)";
+    }
+  }
+  if (s.trunc_lsbs || s.op_trunc_lsbs) return "truncation at width >= 32";
+  if (s.drop_hl || s.drop_lh) return "perforation at width >= 32";
+  return "";
+}
+
+namespace analytic_detail {
+
+long double digamma(long double x) {
+  long double r = 0.0L;
+  while (x < 24.0L) {
+    r -= 1.0L / x;
+    x += 1.0L;
+  }
+  const long double inv = 1.0L / x;
+  const long double t = inv * inv;
+  const long double series =
+      t * (1.0L / 12.0L -
+           t * (1.0L / 120.0L -
+                t * (1.0L / 252.0L -
+                     t * (1.0L / 240.0L - t * (1.0L / 132.0L - t * (691.0L / 32760.0L))))));
+  return r + logl(x) - 0.5L * inv - series;
+}
+
+long double trigamma(long double x) {
+  long double r = 0.0L;
+  while (x < 24.0L) {
+    r += 1.0L / (x * x);
+    x += 1.0L;
+  }
+  const long double inv = 1.0L / x;
+  const long double t = inv * inv;
+  const long double series =
+      inv * t *
+      (1.0L / 6.0L - t * (1.0L / 30.0L - t * (1.0L / 42.0L - t * (1.0L / 30.0L))));
+  return r + inv + 0.5L * t + series;
+}
+
+long double harmonic_block_sum(long double c, long double s, long double L, std::uint64_t h0,
+                               std::uint64_t N, std::uint64_t em_head) {
+  if (N <= h0) return 0.0L;
+  const std::uint64_t count = N - h0;
+  std::uint64_t direct = std::min<std::uint64_t>(count, std::max<std::uint64_t>(em_head, 1));
+  // An Euler-Maclaurin tail under ~64 terms saves nothing; fold it in.
+  if (count - direct <= 64) direct = count;
+  long double total = 0.0L;
+  for (std::uint64_t h = h0; h < h0 + direct; ++h) {
+    const long double base = c + static_cast<long double>(h) * s;
+    total += digamma(base + L) - digamma(base);
+  }
+  if (direct == count) return total;
+  // Euler-Maclaurin over h in [a, b] (inclusive) for
+  //   f(h) = psi(c + h*s + L) - psi(c + h*s):
+  //   sum = int_a^b f + (f(a)+f(b))/2 + (1/12)(f'(b)-f'(a)) - (1/720)(f'''(b)-f'''(a))
+  // The direct head guarantees the arguments are large enough (>= ~1024*s)
+  // for the stable asymptotic difference forms and a negligible remainder.
+  const long double a = static_cast<long double>(h0 + direct);
+  const long double b = static_cast<long double>(N - 1);
+  const long double ua = c + a * s, ub = c + b * s;
+  const long double integral = int_psi_diff(ua, ub, L) / s;
+  const long double fa = psi_diff_large(ua, L), fb = psi_diff_large(ub, L);
+  const long double d1 = s * (psi1_diff_large(ub, L) - psi1_diff_large(ua, L));
+  const long double d3 =
+      s * s * s * (psi3_diff_large(ub, L) - psi3_diff_large(ua, L));
+  total += integral + 0.5L * (fa + fb) + d1 / 12.0L - d3 / 720.0L;
+  return total;
+}
+
+std::optional<AnalyticMetrics> analyze_cross(const AnalyticSpec& s, std::string* why) {
+  (void)why;
+  AnalyticMetrics out;
+  out.method = "cross";
+  const unsigned ab = s.a_bits(), bb = s.b_bits();
+  const std::uint64_t na = std::uint64_t{1} << ab, nb = std::uint64_t{1} << bb;
+  const std::uint64_t opmask = ~low_mask(s.op_trunc_lsbs);
+  const std::uint64_t tmask = ~low_mask(s.trunc_lsbs);
+  u128 sum_abs = 0;
+  i128 sum_signed = 0;
+  long double rel = 0.0L;
+  std::uint64_t occurrences = 0, max_error = 0, max_occ = 0;
+  // b-outer / a-inner is exactly the sweep's pair-index order (idx & amask
+  // picks a), which makes the long-double relative-error fold — the one
+  // non-associative accumulator — bit-identical to the exhaustive sweeps.
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    for (std::uint64_t a = 0; a < na; ++a) {
+      const std::uint64_t x = (s.operand_swap ? b : a) & opmask;
+      const std::uint64_t y = (s.operand_swap ? a : b) & opmask;
+      const std::uint64_t approx = eval_tree(s, x, y, s.width, 0) & tmask;
+      const std::uint64_t exact = a * b;
+      if (approx == exact) continue;
+      const std::int64_t signed_err =
+          static_cast<std::int64_t>(approx) - static_cast<std::int64_t>(exact);
+      const std::uint64_t mag = static_cast<std::uint64_t>(std::llabs(signed_err));
+      ++occurrences;
+      sum_abs += mag;
+      sum_signed += signed_err;
+      if (exact != 0) {
+        rel += static_cast<long double>(mag) / static_cast<long double>(exact);
+      }
+      if (mag > max_error) {
+        max_error = mag;
+        max_occ = 1;
+      } else if (mag == max_error) {
+        ++max_occ;
+      }
+      ++out.signed_pmf[signed_err];
+      ++out.pmf[mag];
+    }
+  }
+  finalize_exact(out, na * nb, sum_abs, sum_signed, rel, occurrences, max_error, max_occ);
+  out.has_pmf = true;
+  return out;
+}
+
+std::optional<AnalyticMetrics> analyze_factor(const AnalyticSpec& s, std::string* why) {
+  AnalyticMetrics out;
+  out.method = "factor";
+  // 8x8 subnode: the schedule below the (accurate) top level.
+  AnalyticSpec half = s;
+  half.width = 8;
+  half.levels.assign(s.levels.begin() + 1, s.levels.end());
+  half.trunc_lsbs = half.op_trunc_lsbs = 0;
+  half.operand_swap = half.drop_hl = half.drop_lh = false;
+  const unsigned t = s.trunc_lsbs;  // <= 8, so P mod 2^t == PP0 mod 2^t
+
+  // rowE[v*256+q] = subnode error e(v, q) with v as the A-slice;
+  // rowP is the truncated-away product residue, only relevant when t > 0.
+  std::vector<std::int32_t> rowE(256 * 256);
+  std::vector<std::uint8_t> rowP(t ? 256 * 256 : 0);
+  std::uint64_t maxV = 0;  // largest subnode product value
+  for (std::uint32_t q = 0; q < 256; ++q) {
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      const std::uint64_t p = eval_tree(half, v, q, 8, 0);
+      maxV = std::max(maxV, p);
+      rowE[std::size_t{v} * 256 + q] =
+          static_cast<std::int32_t>(static_cast<std::int64_t>(p) -
+                                    static_cast<std::int64_t>(v * q));
+      if (t) rowP[std::size_t{v} * 256 + q] = static_cast<std::uint8_t>(p & low_mask(t));
+    }
+  }
+  // Bus audit: the top-level ternary chain sums 24 columns and drops any
+  // carry out of the top one. Subnode values are already netlist-faithful
+  // (eval_tree masks each level), so the linear composition below is exact
+  // iff x + pp1 + pp2 cannot wrap: x <= (maxV >> 8) + 256*maxV, the other
+  // two operands <= maxV each. Under-approximating designs pass trivially.
+  if ((maxV >> 8) + 258 * maxV > low_mask(24)) {
+    set_why(why, "overshooting subnodes can wrap the top-level summation bus at width 16");
+    return std::nullopt;
+  }
+
+  // Equivalence classes of slice values: two values are interchangeable
+  // when their error rows (and truncation-residue rows) agree. Standard
+  // leaves collapse 256 values into a handful of classes.
+  std::vector<int> cls(256, -1);
+  std::vector<std::uint32_t> repr;
+  std::vector<std::uint64_t> cnt;
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    for (std::size_t c = 0; c < repr.size(); ++c) {
+      const std::size_t a0 = std::size_t{v} * 256, b0 = std::size_t{repr[c]} * 256;
+      bool same = std::equal(rowE.begin() + a0, rowE.begin() + a0 + 256, rowE.begin() + b0);
+      if (same && t) {
+        same = std::equal(rowP.begin() + a0, rowP.begin() + a0 + 256, rowP.begin() + b0);
+      }
+      if (same) {
+        cls[v] = static_cast<int>(c);
+        ++cnt[c];
+        break;
+      }
+    }
+    if (cls[v] < 0) {
+      cls[v] = static_cast<int>(repr.size());
+      repr.push_back(v);
+      cnt.push_back(1);
+    }
+  }
+  const std::size_t C = repr.size();
+  // The pair loop below costs sum |px|*|py| over C^2 class pairs. Standard
+  // leaves collapse far below the budget (Ca_16 ~ 10^5 products, W_16 ~
+  // 10^7); a carry-free subnode explodes past 10^9 and is cheaper to
+  // sample, so the loop meters itself and aborts rather than degenerate.
+  // The signed-error PMF is the one superlinear by-product: when it stops
+  // fitting its entry cap the run keeps every scalar metric exact and just
+  // reports has_pmf = false.
+  const std::uint64_t kOpsBudget = std::uint64_t{1} << 27;
+  const std::size_t kPmfCap = std::size_t{1} << 17;
+  std::uint64_t ops = 0;
+  bool pmf_ok = true;
+
+  // Conditioned on (al, ah) — i.e. on the class pair — the total error
+  // splits as E = X(bl) + Y(bh) with bl, bh independent:
+  //   X(bl) = e(al,bl) + 2^8 e(ah,bl) - (P0(al,bl) mod 2^t)
+  //   Y(bh) = 2^8 e(al,bh) + 2^16 e(ah,bh)
+  // so the exact PMF per class pair is one tiny convolution.
+  const auto fill_xy = [&](std::size_t ci, std::size_t cj, std::int64_t* X, std::int64_t* Y) {
+    const std::int32_t* ei = &rowE[std::size_t{repr[ci]} * 256];
+    const std::int32_t* ej = &rowE[std::size_t{repr[cj]} * 256];
+    const std::uint8_t* pi = t ? &rowP[std::size_t{repr[ci]} * 256] : nullptr;
+    for (unsigned q = 0; q < 256; ++q) {
+      X[q] = static_cast<std::int64_t>(ei[q]) + 256 * static_cast<std::int64_t>(ej[q]) -
+             (pi ? static_cast<std::int64_t>(pi[q]) : 0);
+      Y[q] = 256 * static_cast<std::int64_t>(ei[q]) + 65536 * static_cast<std::int64_t>(ej[q]);
+    }
+  };
+
+  u128 sum_abs = 0;
+  i128 sum_signed = 0;
+  std::uint64_t occurrences = 0, max_error = 0, max_occ = 0;
+  std::int64_t minE = 0, maxE = 0;
+  std::int64_t X[256], Y[256];
+  for (std::size_t ci = 0; ci < C; ++ci) {
+    for (std::size_t cj = 0; cj < C; ++cj) {
+      const std::uint64_t wij = cnt[ci] * cnt[cj];
+      fill_xy(ci, cj, X, Y);
+      const auto px = compress256(X);
+      const auto py = compress256(Y);
+      ops += static_cast<std::uint64_t>(px.size()) * py.size();
+      if (ops > kOpsBudget) {
+        set_why(why, "leaf error structure too irregular at width 16 (the exact PMF "
+                     "convolution would exceed its work budget; sampling is cheaper)");
+        return std::nullopt;
+      }
+      for (const auto& [xv, xc] : px) {
+        for (const auto& [yv, yc] : py) {
+          const std::int64_t e = xv + yv;
+          if (e == 0) continue;
+          const std::uint64_t n =
+              static_cast<std::uint64_t>(xc) * static_cast<std::uint64_t>(yc) * wij;
+          const std::uint64_t mag = static_cast<std::uint64_t>(e < 0 ? -e : e);
+          occurrences += n;
+          sum_abs += static_cast<u128>(mag) * n;
+          sum_signed += static_cast<i128>(e) * static_cast<i128>(n);
+          if (mag > max_error) {
+            max_error = mag;
+            max_occ = n;
+          } else if (mag == max_error) {
+            max_occ += n;
+          }
+          if (pmf_ok) {
+            out.signed_pmf[e] += n;
+            if (out.signed_pmf.size() > kPmfCap) {
+              pmf_ok = false;
+              out.signed_pmf.clear();
+            }
+          }
+          minE = std::min(minE, e);
+          maxE = std::max(maxE, e);
+        }
+      }
+    }
+  }
+  for (const auto& [e, n] : out.signed_pmf) {
+    out.pmf[static_cast<std::uint64_t>(e < 0 ? -e : e)] += n;
+  }
+
+  // Exact MRE needs |X + Y| to split, i.e. a one-sided composition. All
+  // catalog leaves err low and every Ca/Cc/Cb/truncation stage only drops
+  // value, so this holds except for sign-flipping perturbed leaves.
+  if (minE < 0 && maxE > 0) {
+    set_why(why, "two-sided error distribution at width 16 (exact MRE needs a one-sided "
+                 "composition)");
+    return std::nullopt;
+  }
+  const long double se = (minE < 0) ? -1.0L : 1.0L;
+  // hB[bl] = sum over bh of 1/B, gB[bh] = sum over bl of 1/B  (B != 0), so
+  //   sum_{B!=0} (X(bl)+Y(bh))/B = sum_bl X*hB + sum_bh Y*gB.
+  std::vector<long double> hB(256, 0.0L), gB(256, 0.0L);
+  for (std::uint32_t blv = 0; blv < 256; ++blv) {
+    for (std::uint32_t bhv = 0; bhv < 256; ++bhv) {
+      const std::uint32_t B = blv | (bhv << 8);
+      if (B == 0) continue;
+      const long double invB = 1.0L / static_cast<long double>(B);
+      hB[blv] += invB;
+      gB[bhv] += invB;
+    }
+  }
+  // invA[ci*C+cj] = sum of 1/A over nonzero A whose slices fall in (ci, cj).
+  std::vector<long double> invA(C * C, 0.0L);
+  for (std::uint32_t ahv = 0; ahv < 256; ++ahv) {
+    for (std::uint32_t alv = 0; alv < 256; ++alv) {
+      const std::uint32_t A = alv | (ahv << 8);
+      if (A == 0) continue;
+      invA[static_cast<std::size_t>(cls[alv]) * C + static_cast<std::size_t>(cls[ahv])] +=
+          1.0L / static_cast<long double>(A);
+    }
+  }
+  long double mre_sum = 0.0L;
+  for (std::size_t ci = 0; ci < C; ++ci) {
+    for (std::size_t cj = 0; cj < C; ++cj) {
+      fill_xy(ci, cj, X, Y);
+      long double sigma = 0.0L;
+      for (unsigned q = 0; q < 256; ++q) {
+        sigma += se * static_cast<long double>(X[q]) * hB[q];
+        sigma += se * static_cast<long double>(Y[q]) * gB[q];
+      }
+      mre_sum += invA[ci * C + cj] * sigma;
+    }
+  }
+
+  const std::uint64_t samples = std::uint64_t{1} << 32;
+  finalize_exact(out, samples, sum_abs, sum_signed, 0.0L, occurrences, max_error, max_occ);
+  out.metrics.avg_relative_error =
+      static_cast<double>(mre_sum / static_cast<long double>(samples));
+  out.has_pmf = pmf_ok;
+  return out;
+}
+
+std::optional<AnalyticMetrics> analyze_bipartite(const AnalyticSpec& s, std::string* why) {
+  AnalyticMetrics out;
+  out.method = "bipartite";
+  const unsigned k = s.leaf_bits, w = s.width, K = 1u << k, n = w / k;
+  const unsigned pb = 2 * w;
+  const long double samples_ld = ldexpl(1.0L, static_cast<int>(pb));
+  out.samples_ld = samples_ld;
+
+  // Leaf error table D(x, y) = leaf(x, y) - x*y. With accurate summation at
+  // every level the total error is the bilinear form
+  //   E(A, B) = sum_{i,j} 2^{k(i+j)} D(a_i, b_j).
+  std::vector<std::int64_t> D(std::size_t{K} * K);
+  std::int64_t minD = INT64_MAX, maxD = INT64_MIN, sumD = 0;
+  for (std::uint32_t y = 0; y < K; ++y) {
+    for (std::uint32_t x = 0; x < K; ++x) {
+      const std::int64_t d = static_cast<std::int64_t>(s.leaf[x | (y << k)]) -
+                             static_cast<std::int64_t>(x * y);
+      D[std::size_t{y} * K + x] = d;
+      minD = std::min(minD, d);
+      maxD = std::max(maxD, d);
+      sumD += d;
+    }
+  }
+
+  const bool small = w <= 16;  // counts fit uint64 comfortably
+  if (minD == 0 && maxD == 0) {
+    out.exact_counts = small;
+    out.wide = !small;
+    out.metrics.samples = small ? (std::uint64_t{1} << pb) : UINT64_MAX;
+    out.has_pmf = true;  // the (empty) PMF is exact: no errors at all
+    return out;
+  }
+  if (minD < 0 && maxD > 0) {
+    set_why(why, "two-sided leaf error table (the bipartite strategy needs a one-sided leaf)");
+    return std::nullopt;
+  }
+  const bool nonpos = minD < 0;
+  if (!nonpos) {
+    // Overshooting leaves can wrap the fixed 2W-bit summation buses the
+    // netlist provides at every recursion width W; the bilinear error form
+    // is only exact when the max possible subtree value fits each of them.
+    std::uint32_t maxV = 0;
+    for (const std::uint32_t v : s.leaf) maxV = std::max(maxV, v);
+    for (unsigned W = 2 * k; W <= w; W *= 2) {
+      const u128 S1 = ((static_cast<u128>(1) << W) - 1) / (K - 1);
+      u128 v = 0;
+      const bool ok = !__builtin_mul_overflow(static_cast<u128>(maxV), S1, &v) &&
+                      !__builtin_mul_overflow(v, S1, &v);
+      if (!ok || (2 * W < 128 && v > (static_cast<u128>(1) << (2 * W)) - 1)) {
+        set_why(why, "overshooting leaf can wrap a summation bus (no exact bilinear form)");
+        return std::nullopt;
+      }
+    }
+  }
+  const std::int64_t extD = nonpos ? minD : maxD;
+  const std::uint64_t extMag = static_cast<std::uint64_t>(nonpos ? -minD : maxD);
+
+  // S2 = sum_i 2^{ki} = (2^w - 1) / (2^k - 1); max |E| = |extD| * S2^2,
+  // achieved by constant slice tuples, valid even for two-sided tables.
+  const u128 S2 = (((static_cast<u128>(1) << w) - 1)) / (K - 1);
+  const long double S2_ld = static_cast<long double>(S2);
+  u128 maxe128 = 0;
+  bool maxe_exact = !__builtin_mul_overflow(static_cast<u128>(extMag), S2, &maxe128) &&
+                    !__builtin_mul_overflow(maxe128, S2, &maxe128);
+  out.max_error_ld = static_cast<long double>(extMag) * S2_ld * S2_ld;
+
+  // Count DPs over slice-value masks.
+  std::vector<std::uint32_t> maskZ(K, 0), maskM(K, 0);
+  for (std::uint32_t y = 0; y < K; ++y) {
+    for (std::uint32_t x = 0; x < K; ++x) {
+      const std::int64_t d = D[std::size_t{y} * K + x];
+      if (d == 0) maskZ[y] |= 1u << x;
+      if (d == extD) maskM[y] |= 1u << x;
+    }
+  }
+  const ChainCount zc = count_mask_chains(maskZ, n, K);  // exact pairs
+  const ChainCount mc = count_mask_chains(maskM, n, K);  // max-error pairs
+  out.max_error_occurrences_ld = mc.value_ld;
+  out.occurrences_ld = samples_ld - zc.value_ld;
+  out.error_probability =
+      static_cast<double>(1.0L - zc.value_ld / samples_ld);
+
+  // Average / mean signed error: sum E = 4^(w-k) * sumD * S2^2.
+  const std::int64_t sumMag = nonpos ? -sumD : sumD;
+  const long double sum_abs_ld =
+      ldexpl(static_cast<long double>(sumMag), static_cast<int>(2 * (w - k))) * S2_ld * S2_ld;
+
+  // Exact MRE: E/(A*B) factorizes over slices,
+  //   sum_{A,B != 0} |E|/(A*B) = sum_{x,y} (+-D(x,y)) U(x) U(y),
+  //   U(x) = sum_i 2^{ki} * Rinv_i(x),  Rinv_i(x) = sum_{A != 0, a_i = x} 1/A.
+  // Each Rinv_i is a lattice of harmonic blocks: for slice value x the
+  // admissible A are lo + x*2^{ki} + hi*2^{k(i+1)}; the lo-run is a
+  // psi-difference and the hi-run an Euler-Maclaurin harmonic tail.
+  std::vector<long double> U(K, 0.0L);
+  for (unsigned i = 0; i < n; ++i) {
+    const long double L = ldexpl(1.0L, static_cast<int>(k * i));
+    const long double stride = ldexpl(1.0L, static_cast<int>(k * (i + 1)));
+    const std::uint64_t N = std::uint64_t{1} << (w - k * (i + 1));
+    for (std::uint32_t x = 0; x < K; ++x) {
+      const long double c = static_cast<long double>(x) * L;
+      long double r;
+      if (x == 0) {
+        // The hi=0 block contains A=0: sum lo in [1, 2^{ki}) directly.
+        r = (k * i == 0) ? 0.0L : (digamma(L) - digamma(1.0L));
+        r += harmonic_block_sum(c, stride, L, 1, N);
+      } else {
+        r = harmonic_block_sum(c, stride, L, 0, N);
+      }
+      U[x] += L * r;
+    }
+  }
+  long double mre_sum = 0.0L;
+  for (std::uint32_t y = 0; y < K; ++y) {
+    for (std::uint32_t x = 0; x < K; ++x) {
+      const std::int64_t d = D[std::size_t{y} * K + x];
+      mre_sum += static_cast<long double>(nonpos ? -d : d) * U[x] * U[y];
+    }
+  }
+
+  ErrorMetrics& m = out.metrics;
+  m.avg_error = static_cast<double>(sum_abs_ld / samples_ld);
+  m.avg_relative_error = static_cast<double>(mre_sum / samples_ld);
+  m.mean_signed_error =
+      static_cast<double>((nonpos ? -sum_abs_ld : sum_abs_ld) / samples_ld);
+
+  if (small) {
+    // Every count fits: surface exact integers (w <= 16 => samples <= 2^32).
+    const std::uint64_t samples = std::uint64_t{1} << pb;
+    m.samples = samples;
+    m.occurrences = samples - static_cast<std::uint64_t>(zc.value);
+    m.max_error = static_cast<std::uint64_t>(maxe128);
+    m.max_error_occurrences = static_cast<std::uint64_t>(mc.value);
+    // Recompute avg/mean from exact integers with the sweep's expressions.
+    const u128 sum_abs = (static_cast<u128>(1) << (2 * (w - k))) *
+                         static_cast<u128>(sumMag) * S2 * S2;
+    const long double nld = static_cast<long double>(samples);
+    m.avg_error = static_cast<double>(static_cast<long double>(sum_abs) / nld);
+    m.mean_signed_error = static_cast<double>(
+        (nonpos ? -static_cast<long double>(sum_abs) : static_cast<long double>(sum_abs)) /
+        nld);
+    out.exact_counts = true;
+    out.error_probability = m.error_probability();
+    out.occurrences_ld = static_cast<long double>(m.occurrences);
+    out.max_error_occurrences_ld = static_cast<long double>(m.max_error_occurrences);
+    out.max_error_ld = static_cast<long double>(m.max_error);
+  } else {
+    out.wide = true;
+    m.samples = UINT64_MAX;
+    if (pb < 128 && zc.exact) {
+      const u128 occ = ((static_cast<u128>(1) << pb)) - zc.value;
+      m.occurrences = saturate_u64(occ, true);
+    } else if (pb == 128 && zc.exact && zc.value > 0) {
+      m.occurrences = saturate_u64((~static_cast<u128>(0) - zc.value) + 1, true);
+    } else {
+      m.occurrences = UINT64_MAX;
+    }
+    m.max_error = saturate_u64(maxe128, maxe_exact);
+    m.max_error_occurrences = saturate_u64(mc.value, mc.exact);
+  }
+  return out;
+}
+
+}  // namespace analytic_detail
+
+std::optional<AnalyticMetrics> analytic_metrics(const AnalyticSpec& spec, std::string* why) {
+  const std::string reason = analytic_unsupported(spec);
+  if (!reason.empty()) {
+    if (why) *why = reason;
+    return std::nullopt;
+  }
+  if (spec.a_bits() + spec.b_bits() <= 16) return analytic_detail::analyze_cross(spec, why);
+  if (spec.width == 16) return analytic_detail::analyze_factor(spec, why);
+  return analytic_detail::analyze_bipartite(spec, why);
+}
+
+}  // namespace axmult::error

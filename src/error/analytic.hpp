@@ -1,0 +1,161 @@
+// Analytic (sweep-free) error characterization of the recursive multiplier
+// construction.
+//
+// Replaying operand pairs caps exact error metrics at 8x8 (2^16 pairs) or,
+// with the batched 64-lane sweep, 16x16 (2^32 pairs, minutes); 32- and
+// 64-bit configurations are out of reach entirely. But the paper's
+// composition (elementary leaves + recursive Ca/Cc/Cb summation) makes the
+// error *compositional*: the joint (operand slice -> signed error) table of
+// a leaf is tiny (4x4 = 256 entries) and exact metrics of the whole tree
+// follow from table algebra instead of enumeration. This module turns
+// 2^128-pair questions into milliseconds of arithmetic via three exact
+// strategies, picked by width:
+//
+//   * cross      (a_bits + b_bits <= 16): direct enumeration of the
+//     behavioral composition, replicating the sweep accumulator in the
+//     sweep's operand order, so every field -- including the
+//     floating-point relative-error fold -- is BIT-IDENTICAL to
+//     sweep_netlist_exhaustive / sweep_exhaustive. Supports every spec
+//     feature (mixed summations, truncation, operand truncation, swap,
+//     top-level perforation, arbitrary leaf tables).
+//   * factor     (width == 16, accurate top-level summation): condition on
+//     the high/low slices of operand A. Given (al, ah), the error
+//     contributions of B's low and high halves are independent, so the
+//     error PMF is a small convolution per (al, ah)-equivalence class.
+//     Classes are formed on the 8-bit subnode error tables; standard
+//     leaves yield only a handful. All counts are exact integers; the MRE
+//     uses an exact harmonic-sum factorization (see docs/MODELS.md).
+//   * bipartite  (width 32/64, accurate summation at every level): the
+//     error is a bilinear form over leaf slices,
+//     E(A,B) = sum_{i,j} 2^{k(i+j)} D(a_i, b_j), with D the leaf's signed
+//     error table. Max error and its occurrence count, the error
+//     probability, avg/mean-signed error and the exact MRE all reduce to
+//     small DPs over slice masks plus digamma-based harmonic sums
+//     (Euler-Maclaurin for the 2^58-term tails).
+//
+// Outside the supported envelope (e.g. carry-free top-level summation at
+// width >= 16, or a perturbed leaf whose error changes sign), the engine
+// reports *why* and callers fall back to sampled sweeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "error/metrics.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::error {
+
+/// Pure-data description of one recursively composed multiplier: the leaf
+/// product table plus the per-level summation schedule and the operand /
+/// result transforms. Mirrors mult::RecursiveMultiplier + the dse wrappers
+/// (truncation, swap) and the catalog's perforated / operand-truncated
+/// variants. The signed wrapper is absent by design: it preserves the
+/// unsigned core's error profile on magnitudes (mult/signed_wrapper.hpp),
+/// exactly as dse::make_model measures it.
+struct AnalyticSpec {
+  unsigned width = 8;      ///< operand bits per side (power of two)
+  unsigned leaf_bits = 4;  ///< recursion stops here; == width for leaf-only
+  /// Nonzero only for rectangular leaf-only blocks (the 4x2 elementary
+  /// module): the B-operand width. Zero means a square leaf_bits x
+  /// leaf_bits leaf.
+  unsigned leaf_b_bits = 0;
+  /// Leaf product table, indexed a | (b << leaf_bits).
+  std::vector<std::uint32_t> leaf;
+  /// Per-level summation, outermost first; log2(width / leaf_bits) entries.
+  std::vector<mult::Summation> levels;
+  unsigned lower_or_bits = 0;  ///< Cb parameter (Summation::kLowerOr)
+  unsigned trunc_lsbs = 0;     ///< product LSBs forced to zero (Mult(n,k))
+  unsigned op_trunc_lsbs = 0;  ///< operand LSBs zeroed before the tree
+  bool operand_swap = false;   ///< evaluate the tree on (b, a)
+  bool drop_hl = false;        ///< top-level perforation: drop AH*BL
+  bool drop_lh = false;        ///< top-level perforation: drop AL*BH
+
+  [[nodiscard]] unsigned a_bits() const noexcept {
+    return leaf_b_bits ? leaf_bits : width;
+  }
+  [[nodiscard]] unsigned b_bits() const noexcept {
+    return leaf_b_bits ? leaf_b_bits : width;
+  }
+};
+
+/// Tabulates a behavioral leaf (operands pre-masked by the caller's
+/// contract, as RecursiveMultiplier::rec guarantees).
+[[nodiscard]] std::vector<std::uint32_t> make_leaf_table(
+    unsigned a_bits, unsigned b_bits,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& fn);
+
+/// Result of an analytic characterization.
+///
+/// For width <= 16 every integer field of `metrics` is exact and the
+/// doubles are bit-identical to what the exhaustive sweep computes
+/// (`exact_counts`). For width >= 32 the sample/occurrence counts exceed
+/// 64 bits: the uint64 fields saturate and the `_ld` long-double mirrors
+/// carry the true values (`wide`); the double-valued metrics remain valid
+/// (computed in >= 64-bit-mantissa arithmetic from exact integers).
+struct AnalyticMetrics {
+  std::string method;  ///< "cross" | "factor" | "bipartite"
+  ErrorMetrics metrics;
+  bool exact_counts = false;
+  bool wide = false;
+  /// Always valid (metrics.error_probability() is not once counts
+  /// saturate).
+  double error_probability = 0.0;
+  long double samples_ld = 0.0L;
+  long double occurrences_ld = 0.0L;
+  long double max_error_ld = 0.0L;
+  long double max_error_occurrences_ld = 0.0L;
+  bool has_pmf = false;  ///< PMFs collected (width <= 16)
+  /// Signed error PMF: (approx - exact) -> occurrence count.
+  std::map<std::int64_t, std::uint64_t> signed_pmf;
+  /// |error| PMF, same convention as SweepResult::pmf.
+  std::map<std::uint64_t, std::uint64_t> pmf;
+};
+
+/// Structural support check: empty string when `analytic_metrics` can
+/// handle the spec, otherwise a one-line reason (used verbatim in fallback
+/// diagnostics). A supported spec can still come back empty from
+/// `analytic_metrics` when a data-dependent condition fails (a perturbed
+/// leaf with a sign-changing error table at width >= 16).
+[[nodiscard]] std::string analytic_unsupported(const AnalyticSpec& spec);
+
+/// Exact error metrics of `spec`, or nullopt (with the reason in `*why`)
+/// when the spec is outside the supported envelope.
+[[nodiscard]] std::optional<AnalyticMetrics> analytic_metrics(const AnalyticSpec& spec,
+                                                              std::string* why = nullptr);
+
+namespace analytic_detail {
+
+// Internals exposed for unit tests (tests/analytic_test.cpp) and for the
+// strategy cross-checks: each analyze_* insists on its own preconditions
+// but they overlap at small widths, giving independent derivations of the
+// same exact numbers.
+
+/// Digamma psi(x) for x > 0, ~1 ulp of long double.
+[[nodiscard]] long double digamma(long double x);
+/// Trigamma psi'(x) for x > 0.
+[[nodiscard]] long double trigamma(long double x);
+
+/// sum_{h=h0}^{N-1} [psi(c + h*s + L) - psi(c + h*s)] -- i.e. the harmonic
+/// block sum sum_h sum_{t=0}^{L-1} 1/(c + h*s + t). Caller guarantees
+/// c + h0*s > 0. The first `em_head` terms (min 1) are summed directly;
+/// the rest via Euler-Maclaurin with lgammal + trigamma corrections (pass
+/// em_head >= N to force the all-direct path).
+[[nodiscard]] long double harmonic_block_sum(long double c, long double s, long double L,
+                                             std::uint64_t h0, std::uint64_t N,
+                                             std::uint64_t em_head = 1024);
+
+[[nodiscard]] std::optional<AnalyticMetrics> analyze_cross(const AnalyticSpec& spec,
+                                                           std::string* why);
+[[nodiscard]] std::optional<AnalyticMetrics> analyze_factor(const AnalyticSpec& spec,
+                                                            std::string* why);
+[[nodiscard]] std::optional<AnalyticMetrics> analyze_bipartite(const AnalyticSpec& spec,
+                                                               std::string* why);
+
+}  // namespace analytic_detail
+
+}  // namespace axmult::error

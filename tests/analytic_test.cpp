@@ -1,0 +1,309 @@
+// Tests for the analytic compositional error engine (error/analytic.hpp)
+// and its conformance instruments (check/analytic.hpp): bit-exact 8x8
+// differentials against exhaustive netlist sweeps, independent strategy
+// cross-derivations (cross vs bipartite at 8 bits, factor vs bipartite at
+// 16), statistical 16x16 cross-validation against sampled sweeps, the
+// frozen 16-bit metrics golden, and the dse::evaluate provenance plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/catalog.hpp"
+#include "check/analytic.hpp"
+#include "check/subject.hpp"
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/space.hpp"
+#include "error/analytic.hpp"
+#include "error/metrics.hpp"
+#include "mult/elementary.hpp"
+#include "mult/recursive.hpp"
+
+#ifndef AXCHECK_GOLDEN_DIR
+#define AXCHECK_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace axmult {
+namespace {
+
+void expect_differential_clean(const std::string& key) {
+  const check::AnalyticDifferential d = check::analytic_differential(key);
+  ASSERT_TRUE(d.supported) << key << ": " << d.reason;
+  for (const std::string& f : d.failures) ADD_FAILURE() << key << ": " << f;
+}
+
+// ---- bit-exact differentials against exhaustive netlist sweeps -----------
+
+TEST(AnalyticDifferential, EveryCatalogDesignAt4And8Bits) {
+  for (const unsigned w : {4u, 8u}) {
+    for (const std::string& key : check::catalog_subject_keys(w)) {
+      expect_differential_clean(key);
+    }
+  }
+}
+
+TEST(AnalyticDifferential, EvoFamilyDesigns) {
+  for (const auto& d : analysis::evo_family_8x8()) {
+    expect_differential_clean("catalog:" + d.name);
+  }
+}
+
+TEST(AnalyticDifferential, ElementaryRectangularLeaf) {
+  expect_differential_clean("elem:a4x2");
+}
+
+TEST(AnalyticDifferential, DseTruncSwapLowerOrAndMixedSummations) {
+  expect_differential_clean("dse:w8;l=a4x4;s=A;o=0;t=3;x=1;g=0");
+  expect_differential_clean("dse:w8;l=k2x2;s=CA;o=0;t=0;x=0;g=0");
+  expect_differential_clean("dse:w8;l=a4x4;s=O;o=3;t=0;x=0;g=1");
+}
+
+TEST(AnalyticDifferential, PerturbedLeafTracksNetlistBusWrap) {
+  // Flips 3:17 and 5:40 make the 4x2 leaf overshoot the exact product, so
+  // the behavioral sum would exceed the netlist's fixed 3m-bit ternary
+  // chain; the analytic tree masks exactly as the hardware does.
+  expect_differential_clean("dse:w8;l=p4x2;s=A;o=0;t=0;x=0;g=0;p=3:17,5:40");
+}
+
+TEST(AnalyticDifferential, FlipSubjectComparesTheReferenceNetlist) {
+  // "+flip" subjects keep the unperturbed netlist as reference; the
+  // analytic spec describes that reference, so the differential still
+  // demands bit-exact agreement.
+  expect_differential_clean("catalog:Ca_8+flip:3:12");
+}
+
+TEST(AnalyticDifferential, OutOfEnvelopeSubjectsAreReportedNotFailed) {
+  // No compositional description at all...
+  const check::AnalyticDifferential unknown =
+      check::analytic_differential("catalog:Ca_8_pipelined");
+  EXPECT_FALSE(unknown.supported);
+  EXPECT_FALSE(unknown.reason.empty());
+  // ...and in-envelope but too wide for the reference sweep the
+  // differential needs (the metrics golden covers 16-bit exactness).
+  const check::AnalyticDifferential wide = check::analytic_differential("catalog:Ca_16");
+  EXPECT_FALSE(wide.supported);
+  EXPECT_FALSE(wide.reason.empty());
+}
+
+// ---- paper Table 5 anchors straight out of the engine --------------------
+
+TEST(AnalyticMetrics, Ca8MatchesPaperTable5) {
+  const auto am = error::analytic_metrics(*check::catalog_analytic_spec("Ca_8"));
+  ASSERT_TRUE(am.has_value());
+  EXPECT_EQ(am->metrics.max_error, 2312u);
+  EXPECT_DOUBLE_EQ(am->metrics.avg_error, 54.1875);
+  EXPECT_NEAR(am->metrics.avg_relative_error, 0.0029176978, 1e-9);
+  EXPECT_EQ(am->metrics.occurrences, 5482u);
+  EXPECT_EQ(am->metrics.max_error_occurrences, 14u);
+}
+
+TEST(AnalyticMetrics, K8MatchesPaperTable5) {
+  const auto am = error::analytic_metrics(*check::catalog_analytic_spec("K_8"));
+  ASSERT_TRUE(am.has_value());
+  EXPECT_EQ(am->metrics.max_error, 14450u);
+  EXPECT_DOUBLE_EQ(am->metrics.avg_error, 903.125);
+  EXPECT_NEAR(am->metrics.avg_relative_error, 0.03254912, 1e-7);
+  EXPECT_EQ(am->metrics.occurrences, 30625u);
+  EXPECT_EQ(am->metrics.max_error_occurrences, 1u);
+}
+
+// ---- independent strategy cross-derivations ------------------------------
+
+TEST(AnalyticStrategies, CrossAndBipartiteAgreeAt8Bits) {
+  // Ca_8 satisfies both envelopes: enumeration (cross) and the bilinear
+  // slice decomposition (bipartite) must produce identical exact numbers.
+  const auto spec = check::catalog_analytic_spec("Ca_8");
+  std::string why;
+  const auto cross = error::analytic_detail::analyze_cross(*spec, &why);
+  ASSERT_TRUE(cross.has_value()) << why;
+  const auto bi = error::analytic_detail::analyze_bipartite(*spec, &why);
+  ASSERT_TRUE(bi.has_value()) << why;
+  EXPECT_EQ(cross->metrics.samples, bi->metrics.samples);
+  EXPECT_EQ(cross->metrics.max_error, bi->metrics.max_error);
+  EXPECT_EQ(cross->metrics.occurrences, bi->metrics.occurrences);
+  EXPECT_EQ(cross->metrics.max_error_occurrences, bi->metrics.max_error_occurrences);
+  EXPECT_DOUBLE_EQ(cross->metrics.avg_error, bi->metrics.avg_error);
+  EXPECT_NEAR(bi->metrics.avg_relative_error, cross->metrics.avg_relative_error,
+              1e-12 * cross->metrics.avg_relative_error);
+}
+
+TEST(AnalyticStrategies, FactorAndBipartiteAgreeAt16Bits) {
+  for (const char* name : {"Ca_16", "K_16", "W_16"}) {
+    const auto spec = check::catalog_analytic_spec(name);
+    std::string why;
+    const auto factor = error::analytic_detail::analyze_factor(*spec, &why);
+    ASSERT_TRUE(factor.has_value()) << name << ": " << why;
+    const auto bi = error::analytic_detail::analyze_bipartite(*spec, &why);
+    ASSERT_TRUE(bi.has_value()) << name << ": " << why;
+    EXPECT_EQ(factor->metrics.max_error, bi->metrics.max_error) << name;
+    EXPECT_EQ(factor->metrics.occurrences, bi->metrics.occurrences) << name;
+    EXPECT_EQ(factor->metrics.max_error_occurrences, bi->metrics.max_error_occurrences)
+        << name;
+    EXPECT_NEAR(factor->metrics.avg_error, bi->metrics.avg_error,
+                1e-12 * factor->metrics.avg_error)
+        << name;
+    EXPECT_NEAR(factor->metrics.avg_relative_error, bi->metrics.avg_relative_error,
+                1e-12 * factor->metrics.avg_relative_error)
+        << name;
+  }
+}
+
+// ---- statistical 16x16 cross-validation ----------------------------------
+
+TEST(AnalyticMetrics, SampledSweepsCorroborateThe16BitMetrics) {
+  struct Case {
+    const char* name;
+    mult::MultiplierPtr model;
+  };
+  // Mult(16,4) is deliberately absent: its relative error is a heavy-tailed
+  // rare event (tiny operands only), so no 2^18-pair sample estimates the
+  // MRE to percent accuracy — exactly the weakness the analytic engine
+  // removes.
+  const Case cases[] = {
+      {"Ca_16", mult::make_ca(16)},
+      {"K_16", mult::make_kulkarni(16)},
+  };
+  error::SweepConfig cfg;
+  cfg.collect_pmf = false;
+  cfg.collect_bit_probability = false;
+  for (const Case& c : cases) {
+    const auto am = error::analytic_metrics(*check::catalog_analytic_spec(c.name));
+    ASSERT_TRUE(am.has_value()) << c.name;
+    const auto sampled =
+        error::sweep_sampled(*c.model, std::uint64_t{1} << 18, 1, cfg).metrics;
+    // A 2^18-pair uniform sample estimates the exact means to well within
+    // 5% for these designs; the observed max can never beat the true max.
+    EXPECT_LE(sampled.max_error, am->metrics.max_error) << c.name;
+    if (am->metrics.avg_relative_error > 0) {
+      EXPECT_NEAR(sampled.avg_relative_error, am->metrics.avg_relative_error,
+                  0.05 * am->metrics.avg_relative_error)
+          << c.name;
+    }
+    EXPECT_NEAR(sampled.error_probability(), am->error_probability, 0.02) << c.name;
+  }
+}
+
+// ---- Euler-Maclaurin harmonic helper -------------------------------------
+
+TEST(AnalyticDetail, HarmonicBlockSumMatchesDirectSummation) {
+  // sum_{h=2}^{499} sum_{t=0}^{6} 1/(3 + 17h + t), brute force vs the
+  // digamma/Euler-Maclaurin path (em_head far below N forces the EM tail).
+  long double direct = 0.0L;
+  for (std::uint64_t h = 2; h < 500; ++h) {
+    for (std::uint64_t t = 0; t < 7; ++t) {
+      direct += 1.0L / (3.0L + 17.0L * static_cast<long double>(h) +
+                        static_cast<long double>(t));
+    }
+  }
+  // The Euler-Maclaurin tail truncates its expansion; with the head cut
+  // this early (production keeps 1024 direct terms) it is still good to
+  // ~1e-10 relative. The all-direct path goes through digamma differences
+  // and lands within a few ulp of the brute-force sum.
+  const long double em =
+      error::analytic_detail::harmonic_block_sum(3.0L, 17.0L, 7.0L, 2, 500, 16);
+  EXPECT_NEAR(static_cast<double>(em), static_cast<double>(direct),
+              1e-9 * static_cast<double>(direct));
+  const long double all_direct =
+      error::analytic_detail::harmonic_block_sum(3.0L, 17.0L, 7.0L, 2, 500, 1024);
+  EXPECT_NEAR(static_cast<double>(all_direct), static_cast<double>(direct),
+              1e-12 * static_cast<double>(direct));
+}
+
+// ---- frozen 16-bit metrics golden ----------------------------------------
+
+TEST(AnalyticGolden, CheckedInGoldenReplaysClean) {
+  const std::string path =
+      std::string(AXCHECK_GOLDEN_DIR) + "/" + check::kAnalyticMetricsGoldenFile;
+  const auto failure = check::replay_analytic_metrics_golden(path);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(AnalyticGolden, WriteThenReplayRoundTrips) {
+  const std::string path = testing::TempDir() + "analytic_metrics_roundtrip.golden";
+  check::write_analytic_metrics_golden(path);
+  const auto failure = check::replay_analytic_metrics_golden(path);
+  EXPECT_FALSE(failure.has_value()) << *failure;
+  std::remove(path.c_str());
+}
+
+// ---- dse::evaluate provenance --------------------------------------------
+
+dse::EvalOptions fast_eval() {
+  dse::EvalOptions eval;
+  eval.exhaustive_bits = 16;
+  eval.samples = 4096;
+  eval.power_vectors = 64;
+  return eval;
+}
+
+TEST(DseProvenance, Ca16EvaluatesAnalytically) {
+  const dse::Objectives obj = dse::evaluate(dse::paper_ca(16), fast_eval());
+  EXPECT_EQ(obj.provenance, "analytic");
+  EXPECT_TRUE(obj.exhaustive);
+  EXPECT_EQ(obj.samples, std::uint64_t{1} << 32);
+  EXPECT_EQ(obj.max_error, 152705288u);
+  EXPECT_NEAR(obj.mre, 0.002965421398, 1e-10);
+  EXPECT_NEAR(obj.error_probability, 0.260816, 1e-5);
+}
+
+TEST(DseProvenance, Ca8StaysExhaustiveAndCc16FallsBackToSampled) {
+  EXPECT_EQ(dse::evaluate(dse::paper_ca(8), fast_eval()).provenance, "exhaustive");
+  // Cc_16's carry-free top level is outside the analytic envelope.
+  EXPECT_EQ(dse::evaluate(dse::paper_cc(16), fast_eval()).provenance, "sampled");
+}
+
+TEST(DseProvenance, GaussianDistributionsNeverUseTheAnalyticPath) {
+  dse::EvalOptions eval = fast_eval();
+  eval.gaussian = true;
+  eval.mean_a = 100.0;
+  eval.sigma_a = 20.0;
+  eval.mean_b = 30.0;
+  eval.sigma_b = 10.0;
+  EXPECT_EQ(dse::evaluate(dse::paper_ca(16), eval).provenance, "sampled");
+}
+
+TEST(DseProvenance, AnalyticToggleChangesContextAndPath) {
+  dse::EvalOptions off = fast_eval();
+  off.analytic = false;
+  EXPECT_NE(fast_eval().context(), off.context());
+  EXPECT_EQ(dse::evaluate(dse::paper_ca(16), off).provenance, "sampled");
+}
+
+TEST(DseProvenance, CacheRoundTripPreservesProvenance) {
+  const std::string path = testing::TempDir() + "dse_cache_provenance.json";
+  std::remove(path.c_str());
+  const std::vector<dse::Config> configs{dse::paper_ca(16)};
+  {
+    dse::EvalCache cache(path);
+    const auto fresh = dse::evaluate_all(configs, &cache, fast_eval(), 1);
+    ASSERT_EQ(fresh[0].provenance, "analytic");
+  }
+  dse::EvalCache reloaded(path);
+  EXPECT_EQ(reloaded.loaded_entries(), 1u);
+  std::uint64_t hits = 0;
+  const auto cached = dse::evaluate_all(configs, &reloaded, fast_eval(), 1, &hits);
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(cached[0].provenance, "analytic");
+  EXPECT_EQ(cached[0].max_error, 152705288u);
+  std::remove(path.c_str());
+}
+
+TEST(DseProvenance, StaleEvaluatorVersionsAreIgnoredOnLoad) {
+  const std::string path = testing::TempDir() + "dse_cache_stale.json";
+  {
+    std::ofstream out(path);
+    // A v1 line (pre-analytic evaluator): must not satisfy v2 lookups.
+    out << "{\"v\": 1, \"key\": \"" << dse::EvalCache::full_key(dse::paper_ca(16), fast_eval())
+        << "\", \"luts\": 1}\n";
+  }
+  dse::EvalCache cache(path);
+  EXPECT_EQ(cache.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace axmult

@@ -6,6 +6,8 @@
 
 #include <cstdlib>
 
+#include "check/analytic.hpp"
+#include "error/analytic.hpp"
 #include "error/metrics.hpp"
 #include "mult/recursive.hpp"
 #include "multgen/generators.hpp"
@@ -55,6 +57,39 @@ TEST_F(HeavySweep, NetlistReplayCa16MatchesBehavioralConstants) {
   EXPECT_EQ(r.metrics.max_error, std::uint64_t{152705288});
   EXPECT_EQ(r.metrics.max_error_occurrences, std::uint64_t{98});
   EXPECT_EQ(r.metrics.occurrences, std::uint64_t{1120194910});
+}
+
+TEST_F(HeavySweep, AnalyticCa16MatchesTheFullSweepBitForBit) {
+  // The ultimate check on the analytic engine's 16-bit claims: the factor
+  // strategy against an actual 2^32-pair behavioral sweep with the PMF
+  // collected, not just the frozen constants above.
+  const auto spec = check::catalog_analytic_spec("Ca_16");
+  ASSERT_TRUE(spec.has_value());
+  std::string why;
+  const auto am = analytic_metrics(*spec, &why);
+  ASSERT_TRUE(am.has_value()) << why;
+
+  const auto m = mult::make_ca(16);
+  SweepConfig cfg;
+  cfg.collect_pmf = true;
+  cfg.collect_bit_probability = false;
+  const auto r = sweep_exhaustive(*m, cfg);
+
+  EXPECT_EQ(am->metrics.samples, r.metrics.samples);
+  EXPECT_EQ(am->metrics.max_error, r.metrics.max_error);
+  EXPECT_EQ(am->metrics.max_error_occurrences, r.metrics.max_error_occurrences);
+  EXPECT_EQ(am->metrics.occurrences, r.metrics.occurrences);
+  EXPECT_DOUBLE_EQ(am->metrics.avg_error, r.metrics.avg_error);
+  EXPECT_NEAR(am->metrics.avg_relative_error, r.metrics.avg_relative_error,
+              1e-12 * r.metrics.avg_relative_error);
+  if (am->has_pmf) {
+    EXPECT_EQ(am->pmf.size(), r.pmf.size());
+    for (const auto& [e, n] : r.pmf) {
+      const auto it = am->pmf.find(e);
+      ASSERT_TRUE(it != am->pmf.end()) << "magnitude " << e << " missing from analytic PMF";
+      EXPECT_EQ(it->second, n) << "magnitude " << e;
+    }
+  }
 }
 
 }  // namespace

@@ -16,7 +16,7 @@
 //   --space NAME        dse::make_space preset            (default smoke8)
 //   --subject KEY       check exactly this subject key (repeatable;
 //                       disables the catalog/dse subject list)
-//   --no-catalog / --no-elem / --no-seq / --no-gemm
+//   --no-catalog / --no-elem / --no-seq / --no-gemm / --no-analytic
 //   --repro-dir D       write shrunk repro files here     (default off)
 //   --coverage FILE     write per-subject coverage JSON lines
 //   --report FILE       write the full report JSON
@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "check/analytic.hpp"
 #include "check/backends.hpp"
 #include "check/golden.hpp"
 #include "check/harness.hpp"
@@ -157,6 +158,15 @@ int run_golden(const std::string& dir) {
       ++failures;
     }
   }
+  const std::string metrics_path = dir + "/" + check::kAnalyticMetricsGoldenFile;
+  ++files;
+  if (const auto fail = check::replay_analytic_metrics_golden(metrics_path)) {
+    std::printf("  FAIL %s: %s\n", check::kAnalyticMetricsGoldenFile, fail->c_str());
+    ++failures;
+  } else {
+    std::printf("  ok   %s (%zu subjects)\n", check::kAnalyticMetricsGoldenFile,
+                check::analytic_golden_subjects().size());
+  }
   std::printf("axcheck golden: %zu files, %d failures\n", files, failures);
   return failures == 0 ? 0 : 1;
 }
@@ -191,6 +201,7 @@ int main(int argc, char** argv) {
     else if (a == "--no-catalog") opts.include_catalog = false;
     else if (a == "--no-elem") opts.include_elem = false;
     else if (a == "--no-seq") opts.sequential = false;
+    else if (a == "--no-analytic") opts.analytic = false;
     else if (a == "--no-gemm") opts.gemm = false;
     else if (a == "--repro-dir") opts.repro_dir = value();
     else if (a == "--coverage") coverage_file = value();
@@ -212,7 +223,8 @@ int main(int argc, char** argv) {
     }
     if (command == "emit-golden") {
       const std::size_t n = check::emit_golden_set(dir);
-      std::printf("axcheck emit-golden: wrote %zu files under %s\n", n, dir.c_str());
+      check::write_analytic_metrics_golden(dir + "/" + check::kAnalyticMetricsGoldenFile);
+      std::printf("axcheck emit-golden: wrote %zu files under %s\n", n + 1, dir.c_str());
       return 0;
     }
     if (command == "golden") return run_golden(dir);

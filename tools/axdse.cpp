@@ -25,12 +25,15 @@
 //   --samples N         sampled-sweep budget           (default 1048576)
 //   --eval-seed S       sampled-sweep seed             (default 1)
 //   --exhaustive-bits N netlist-exhaustive threshold   (default 20)
+//   --no-analytic       disable the exact analytic error backend (forces
+//                       sampled sweeps where exhaustion is infeasible)
 //   --power-vectors N   toggle vectors per config      (default 1024)
 //   --gaussian ma,sa,mb,sb  asymmetric operand distribution (swap-sensitive)
 //   --smoke             CI mode: exhaustive smoke8 search, front written to
 //                       axdse_smoke_front.json, paper anchors verified
 //   --threads N         evaluation threads (also AXMULT_THREADS); results
 //                       are bit-identical for any value
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -73,6 +76,7 @@ struct Options {
   std::uint64_t power_vectors = 1024;
   std::size_t index = 0;
   bool smoke = false;
+  bool analytic = true;
 };
 
 [[noreturn]] void usage() {
@@ -130,6 +134,8 @@ Options parse(const std::vector<std::string>& args) {
       opt.index = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
     } else if (a == "--smoke") {
       opt.smoke = true;
+    } else if (a == "--no-analytic") {
+      opt.analytic = false;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "axdse: unknown option '%s'\n", a.c_str());
       usage();
@@ -253,6 +259,40 @@ int explore_with(const dse::SpaceSpec& space, const dse::SearchOptions& search,
   return 0;
 }
 
+/// Smoke-mode anchor for the analytic error backend: the 16-bit Ca config
+/// must evaluate through the analytic path (provenance "analytic") and its
+/// exact metrics must be statistically consistent with an independent
+/// sampled sweep of the same config.
+bool smoke_analytic_anchor() {
+  const dse::Config ca16 = dse::paper_ca(16);
+  dse::EvalOptions eval;  // defaults: analytic enabled
+  const dse::Objectives exact = dse::evaluate(ca16, eval);
+  std::printf("analytic anchor %s: provenance=%s mre=%.9f errprob=%.6f maxerr=%llu\n",
+              dse::display_name(ca16).c_str(), exact.provenance.c_str(), exact.mre,
+              exact.error_probability, static_cast<unsigned long long>(exact.max_error));
+  if (exact.provenance != "analytic") {
+    std::fprintf(stderr, "axdse: expected analytic provenance for Ca_16, got %s\n",
+                 exact.provenance.c_str());
+    return false;
+  }
+  eval.analytic = false;
+  const dse::Objectives sampled = dse::evaluate(ca16, eval);
+  const bool mre_ok = std::abs(sampled.mre - exact.mre) <= 0.05 * exact.mre;
+  const bool max_ok = sampled.max_error <= exact.max_error;
+  const bool prob_ok = std::abs(sampled.error_probability - exact.error_probability) <= 0.02;
+  if (!mre_ok || !max_ok || !prob_ok) {
+    std::fprintf(stderr,
+                 "axdse: sampled sweep disagrees with analytic metrics "
+                 "(mre %.9f vs %.9f, maxerr %llu vs %llu, errprob %.6f vs %.6f)\n",
+                 sampled.mre, exact.mre, static_cast<unsigned long long>(sampled.max_error),
+                 static_cast<unsigned long long>(exact.max_error), sampled.error_probability,
+                 exact.error_probability);
+    return false;
+  }
+  std::printf("analytic anchor cross-check against sampled sweep: ok\n");
+  return true;
+}
+
 int cmd_explore(const Options& opt) {
   dse::SearchOptions search;
   dse::SpaceSpec space;
@@ -289,7 +329,11 @@ int cmd_explore(const Options& opt) {
     search.eval.mean_b = std::strtod(parts[2].c_str(), nullptr);
     search.eval.sigma_b = std::strtod(parts[3].c_str(), nullptr);
   }
-  return explore_with(space, search, opt.smoke);
+  if (!opt.analytic) search.eval.analytic = false;
+  const int rc = explore_with(space, search, opt.smoke);
+  if (rc != 0) return rc;
+  if (opt.smoke && !smoke_analytic_anchor()) return 1;
+  return 0;
 }
 
 int cmd_resume(const Options& opt) {

@@ -16,7 +16,9 @@
 #include <string>
 
 #include "analysis/catalog.hpp"
+#include "check/analytic.hpp"
 #include "common/parallel_for.hpp"
+#include "error/analytic.hpp"
 #include "mult/recursive.hpp"
 #include "multgen/generators.hpp"
 #include "error/metrics.hpp"
@@ -64,18 +66,46 @@ int cmd_list() {
 }
 
 int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, std::uint64_t seed,
-                     bool force_full, const std::string& json_path) {
-  // Exhaustive characterization goes through the batched multithreaded sweep,
-  // which makes even the 2^32-pair 16x16 space feasible (`--full`).
-  const bool exhaustive = force_full || d.model->a_bits() + d.model->b_bits() <= 20;
-  error::SweepConfig cfg;
-  cfg.collect_pmf = false;  // only the summary metrics are printed
-  cfg.collect_bit_probability = false;
-  const auto r = exhaustive ? error::sweep_exhaustive(*d.model, cfg).metrics
-                            : error::sweep_sampled(*d.model, samples, seed, cfg).metrics;
-  std::printf("%s (%s, %llu inputs)\n", d.name.c_str(),
-              exhaustive ? "exhaustive" : "sampled",
-              static_cast<unsigned long long>(r.samples));
+                     bool force_full, bool analytic, const std::string& json_path) {
+  error::ErrorMetrics r;
+  std::string provenance;
+  std::uint64_t shown_samples = 0;
+  if (analytic) {
+    // Exact compositional metrics in milliseconds, at any width the engine
+    // covers. Falls back to a sweep (with the reason printed) outside its
+    // envelope — pipelined/corrected extensions, two-sided 16-bit tables...
+    std::string why;
+    const auto spec = check::catalog_analytic_spec(d.name, &why);
+    std::optional<error::AnalyticMetrics> am;
+    if (spec) am = error::analytic_metrics(*spec, &why);
+    if (am) {
+      r = am->metrics;
+      provenance = "analytic";
+      shown_samples = r.samples;
+      if (am->wide) {
+        std::printf("%s (analytic/%s; counts exceed 64 bits, magnitudes shown saturated)\n",
+                    d.name.c_str(), am->method.c_str());
+        shown_samples = 0;
+      }
+    } else {
+      std::printf("note: analytic engine unavailable for %s (%s); sweeping\n", d.name.c_str(),
+                  why.c_str());
+    }
+  }
+  if (provenance.empty()) {
+    // Exhaustive characterization goes through the batched multithreaded
+    // sweep, which makes even the 2^32-pair 16x16 space feasible (`--full`).
+    const bool exhaustive = force_full || d.model->a_bits() + d.model->b_bits() <= 20;
+    error::SweepConfig cfg;
+    cfg.collect_pmf = false;  // only the summary metrics are printed
+    cfg.collect_bit_probability = false;
+    r = exhaustive ? error::sweep_exhaustive(*d.model, cfg).metrics
+                   : error::sweep_sampled(*d.model, samples, seed, cfg).metrics;
+    provenance = exhaustive ? "exhaustive" : "sampled";
+    shown_samples = r.samples;
+  }
+  std::printf("%s (%s, %llu inputs)\n", d.name.c_str(), provenance.c_str(),
+              static_cast<unsigned long long>(shown_samples));
   std::printf("  max error magnitude      %llu\n",
               static_cast<unsigned long long>(r.max_error));
   std::printf("  average error            %.6f\n", r.avg_error);
@@ -91,11 +121,12 @@ int cmd_characterize(const analysis::DesignPoint& d, std::uint64_t samples, std:
       return 1;
     }
     // Error numbers plus the provenance that pins them: sampled sweeps are
-    // a function of (seed, samples), exhaustive ones of the operand space.
-    json << "{\n  \"design\": \"" << d.name << "\",\n  \"exhaustive\": "
-         << (exhaustive ? "true" : "false")
+    // a function of (seed, samples), exhaustive/analytic ones of the
+    // operand space alone.
+    json << "{\n  \"design\": \"" << d.name << "\",\n  \"provenance\": \"" << provenance
+         << "\",\n  \"exhaustive\": " << (provenance != "sampled" ? "true" : "false")
          << ",\n  \"samples\": " << r.samples;
-    if (!exhaustive) json << ",\n  \"seed\": " << seed;
+    if (provenance == "sampled") json << ",\n  \"seed\": " << seed;
     json << ",\n  \"max_error\": " << r.max_error
          << ",\n  \"avg_error\": " << r.avg_error
          << ",\n  \"avg_relative_error\": " << r.avg_relative_error
@@ -161,9 +192,11 @@ int usage() {
       "usage: axmult_cli [--threads N] <command> [args]\n"
       "  list                              all library designs\n"
       "  characterize <design> [samples]   error metrics (exhaustive when feasible)\n"
+      "    [--analytic]                    exact compositional metrics (any width,\n"
+      "                                    milliseconds; falls back with a reason)\n"
       "    [--full]                        force exhaustive even for 16x16 (2^32 pairs)\n"
       "    [--seed N]                      sampled-sweep seed (default 1)\n"
-      "    [--json FILE]                   also write metrics + seed/samples as JSON\n"
+      "    [--json FILE]                   also write metrics + provenance as JSON\n"
       "  implement <design>                area / timing / energy report\n"
       "  export-vhdl <design> [file]       structural VHDL (unisim primitives)\n"
       "  export-verilog <design> [file]    structural Verilog\n"
@@ -181,6 +214,7 @@ int main(int argc, char** argv) {
   // --threads is consumed by the shared knob parser (common/parallel_for.hpp).
   std::vector<std::string> args;
   bool force_full = false;
+  bool analytic = false;
   std::uint64_t seed = 1;
   std::string json_path;
   std::vector<std::string> stripped = strip_thread_args(argc, argv);
@@ -188,6 +222,8 @@ int main(int argc, char** argv) {
     const std::string& a = stripped[i];
     if (a == "--full") {
       force_full = true;
+    } else if (a == "--analytic") {
+      analytic = true;
     } else if (a == "--seed" && i + 1 < stripped.size()) {
       seed = std::strtoull(stripped[++i].c_str(), nullptr, 10);
     } else if (a == "--json" && i + 1 < stripped.size()) {
@@ -208,7 +244,7 @@ int main(int argc, char** argv) {
   if (cmd == "characterize") {
     const std::uint64_t samples =
         args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1000000;
-    return cmd_characterize(*design, samples, seed, force_full, json_path);
+    return cmd_characterize(*design, samples, seed, force_full, analytic, json_path);
   }
   if (cmd == "implement") return cmd_implement(*design);
   if (cmd == "export-vhdl") return cmd_export(*design, true, args.size() > 2 ? args[2] : "");
