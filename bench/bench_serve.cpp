@@ -1,0 +1,88 @@
+// Serving-throughput bench: boots an in-process axserve daemon and drives
+// it with the load generator (mixed characterize/infer traffic over many
+// concurrent Unix-socket clients), reporting sustained req/s, p50/p99
+// round-trip latency and the daemon's coalescing/batching hit rates into
+// BENCH_serve.json.
+//
+// Default: 16 clients for 8 seconds. --smoke: 8 clients for 2 seconds
+// (the ctest bench-smoke entry). Either way the run FAILS (exit 1) when
+// throughput is zero, any client saw a hard error, or fewer than 8
+// clients ran — the concurrency floor this subsystem promises.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "common/parallel_for.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+using namespace axmult;
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
+  (void)strip_thread_args(argc, argv);
+
+  serve::ServerOptions server_opts;
+  server_opts.socket_path =
+      "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+  server_opts.workers = 2;
+  server_opts.eval.analytic = true;
+  serve::Server server(server_opts);
+  server.start();
+
+  serve::LoadgenOptions lg;
+  lg.socket_path = server_opts.socket_path;
+  lg.clients = smoke ? 8 : 16;
+  lg.duration_s = smoke ? 2.0 : 8.0;
+  lg.infer_fraction = 0.5;
+  lg.seed = 1;
+
+  bench::print_header("axserve sustained-load bench (" + std::to_string(lg.clients) +
+                      " clients, " + Table::num(lg.duration_s, 1) + "s)");
+  const serve::LoadgenReport report = serve::run_loadgen(lg);
+  server.stop();
+
+  std::printf("requests      %llu (%.0f req/s)\n",
+              static_cast<unsigned long long>(report.requests), report.rps);
+  std::printf("latency ms    p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n", report.p50_ms,
+              report.p90_ms, report.p99_ms, report.max_ms);
+  std::printf("outcomes      ok %llu, retried %llu, deadline %llu, errors %llu\n",
+              static_cast<unsigned long long>(report.ok),
+              static_cast<unsigned long long>(report.retried),
+              static_cast<unsigned long long>(report.deadline),
+              static_cast<unsigned long long>(report.errors));
+  std::printf("reuse         %.1f%% of characterize (cache %.1f%%, coalesced %.1f%%)\n",
+              100.0 * report.reuse_rate, 100.0 * report.cache_hit_rate,
+              100.0 * report.coalesce_rate);
+  std::printf("batching      %.2f requests / %.1f rows per merged GEMM\n",
+              report.batch_fill_requests, report.batch_fill_rows);
+
+  const std::string path = bench::bench_json_path("BENCH_serve.json", smoke);
+  std::ofstream out(path);
+  out << serve::loadgen_json(
+      lg, report,
+      "\"git_sha\": \"" + bench::bench_git_sha() + "\", \"threads\": " +
+          std::to_string(server_opts.workers) + ", \"seed\": " + std::to_string(lg.seed) +
+          ", \"smoke\": " + (smoke ? "true" : "false"));
+  std::printf("\nwrote %s\n", path.c_str());
+
+  bool failed = false;
+  if (report.requests == 0 || report.rps <= 0.0) {
+    std::printf("FAIL: no sustained throughput\n");
+    failed = true;
+  }
+  if (report.ok == 0 || report.errors > 0) {
+    std::printf("FAIL: hard errors during the run (ok=%llu errors=%llu)\n",
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.errors));
+    failed = true;
+  }
+  if (lg.clients < 8) {
+    std::printf("FAIL: below the 8-concurrent-client floor\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "analysis/catalog.hpp"
+#include "common/provenance.hpp"
 #include "common/table.hpp"
 #include "error/metrics.hpp"
 #include "power/power.hpp"
@@ -44,22 +45,14 @@ inline std::string out_path(const std::string& filename) {
 }
 
 /// Abbreviated git revision of the source tree, for the JSON provenance
-/// fields; "unknown" outside a git checkout.
+/// fields; "unknown" outside a git checkout. Thin wrapper over
+/// common::git_sha() bound to the configured source directory.
 inline std::string bench_git_sha() {
 #ifdef AXMULT_SOURCE_DIR
-  FILE* p = popen("git -C \"" AXMULT_SOURCE_DIR "\" rev-parse --short HEAD 2>/dev/null", "r");
-  if (p != nullptr) {
-    char buf[64] = {};
-    const bool ok = std::fgets(buf, sizeof(buf), p) != nullptr;
-    pclose(p);
-    if (ok) {
-      std::string sha(buf);
-      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
-      if (!sha.empty()) return sha;
-    }
-  }
+  return common::git_sha(AXMULT_SOURCE_DIR);
+#else
+  return common::git_sha();
 #endif
-  return "unknown";
 }
 
 /// Area/latency/energy of one design's netlist under the default models.

@@ -1,0 +1,135 @@
+#include "check/serve_diff.hpp"
+
+#include <unistd.h>
+
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "dse/cache.hpp"
+#include "dse/space.hpp"
+#include "nn/gemm.hpp"
+#include "nn/mac.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace axmult::check {
+
+namespace {
+
+std::string diff_socket_path(const std::string& requested) {
+  if (!requested.empty()) return requested;
+  return "/tmp/axserve_diff." + std::to_string(::getpid()) + ".sock";
+}
+
+/// Operand panel drawn from one RNG stream, masked to the backend's data
+/// width (narrow backends like approx4 index a sub-8-bit table).
+std::vector<std::uint8_t> random_panel(std::uint64_t seed, std::uint64_t stream,
+                                       std::size_t size, unsigned data_bits) {
+  Xoshiro256 rng(derive_stream_seed(seed, stream));
+  std::vector<std::uint8_t> panel(size);
+  for (auto& v : panel) v = static_cast<std::uint8_t>(rng.below(1ull << data_bits));
+  return panel;
+}
+
+}  // namespace
+
+ServeDiffReport serve_diff(const ServeDiffOptions& opts_in) {
+  ServeDiffOptions opts = opts_in;
+  if (opts.keys.empty()) opts.keys = serve::default_key_pool();
+  if (opts.backends.empty()) opts.backends = {"exact", "ca8", "cc8"};
+  if (opts.clients == 0) opts.clients = 1;
+
+  serve::ServerOptions server_opts;
+  server_opts.socket_path = diff_socket_path(opts.socket_path);
+  server_opts.workers = 2;
+  server_opts.eval = opts.eval;
+  serve::Server server(server_opts);
+  server.start();
+
+  ServeDiffReport report;
+  try {
+    // --- characterize: served objectives vs a direct dse::evaluate ---
+    serve::Client client(server_opts.socket_path);
+    for (const std::string& key : opts.keys) {
+      ++report.characterize_checked;
+      const dse::Config cfg = dse::parse_key(key);
+      const dse::Objectives direct = dse::evaluate(cfg, opts.eval);
+      const serve::Reply reply = client.characterize(key);
+      if (!reply.ok || !reply.has_objectives) {
+        report.failures.push_back("characterize " + key + ": " +
+                                  (reply.error.empty() ? "reply without objectives"
+                                                       : reply.error));
+        continue;
+      }
+      // Field-exact: the cache-line dialect round-trips every double.
+      const std::string want = dse::EvalCache::serialize_objectives(direct);
+      const std::string got = dse::EvalCache::serialize_objectives(reply.objectives);
+      if (want != got) {
+        report.failures.push_back("characterize " + key + ": served != direct\n    direct: " +
+                                  want + "\n    served: " + got);
+      }
+    }
+
+    // --- infer: concurrent clients vs direct gemm_accumulate ---
+    const std::size_t acc_size = static_cast<std::size_t>(opts.m) * opts.n;
+    std::mutex report_mu;
+    for (const std::string& backend_name : opts.backends) {
+      const nn::MacBackendPtr backend = nn::shared_mac_backend(backend_name);
+      const unsigned data_bits = backend->data_bits();
+      // One shared rhs panel per backend so the batcher can merge clients.
+      const std::vector<std::uint8_t> b = random_panel(
+          opts.seed, 0xB, static_cast<std::size_t>(opts.k) * opts.n, data_bits);
+      std::vector<std::thread> threads;
+      threads.reserve(opts.clients);
+      for (unsigned c = 0; c < opts.clients; ++c) {
+        threads.emplace_back([&, c] {
+          std::string failure;
+          try {
+            const std::vector<std::uint8_t> a = random_panel(
+                opts.seed, c + 1, static_cast<std::size_t>(opts.m) * opts.k, data_bits);
+            std::vector<std::int64_t> want(acc_size, 0);
+            nn::gemm_accumulate(*backend, false, a.data(), b.data(), want.data(), opts.m,
+                                opts.k, opts.n, 1);
+            serve::Client worker(server_opts.socket_path);
+            const serve::Reply reply =
+                worker.infer(backend_name, false, opts.m, opts.k, opts.n, a, b);
+            if (!reply.ok) {
+              failure = "infer " + backend_name + " client " + std::to_string(c) + ": " +
+                        (reply.error.empty() ? "not ok" : reply.error);
+            } else if (reply.acc != want) {
+              std::ostringstream os;
+              os << "infer " << backend_name << " client " << c
+                 << ": accumulators differ from direct gemm_accumulate";
+              for (std::size_t i = 0; i < acc_size; ++i) {
+                if (reply.acc.size() <= i || reply.acc[i] != want[i]) {
+                  os << " (first at [" << i << "]: direct " << want[i] << " served "
+                     << (i < reply.acc.size() ? std::to_string(reply.acc[i]) : "<missing>")
+                     << ")";
+                  break;
+                }
+              }
+              failure = os.str();
+            }
+          } catch (const std::exception& e) {
+            failure = "infer " + backend_name + " client " + std::to_string(c) + ": " +
+                      e.what();
+          }
+          const std::lock_guard<std::mutex> lock(report_mu);
+          ++report.infer_requests_checked;
+          if (!failure.empty()) report.failures.push_back(failure);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+  } catch (...) {
+    server.stop();
+    throw;
+  }
+  server.stop();
+  return report;
+}
+
+}  // namespace axmult::check

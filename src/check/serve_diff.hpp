@@ -1,0 +1,52 @@
+// Differential conformance of the axserve daemon: a served answer must be
+// bit-identical to the direct library call it stands in for.
+//
+// serve_diff() boots a private in-process Server on a throwaway socket and
+// checks both request families end to end — through the real wire
+// protocol, queues, coalescing and batching paths, not a shortcut:
+//   * characterize: for each dse key, dse::evaluate() run directly is
+//     compared field-exact (via the cache-line serialization, which
+//     round-trips doubles exactly) against the daemon's reply;
+//   * infer: several concurrent clients submit GEMM panels simultaneously
+//     (so the batcher actually merges them) and each compares its int64
+//     accumulators against a direct nn::gemm_accumulate() on the same
+//     operands.
+// Any divergence is a failure string naming the request and both values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/evaluate.hpp"
+
+namespace axmult::check {
+
+struct ServeDiffOptions {
+  /// dse config keys to characterize; empty = serve::default_key_pool().
+  std::vector<std::string> keys;
+  /// nn backend names to infer through; empty = {"exact", "ca8", "cc8"}.
+  std::vector<std::string> backends;
+  /// Concurrent infer clients per backend (>1 exercises batching).
+  unsigned clients = 4;
+  /// Per-client GEMM shape (m x k times k x n).
+  std::uint32_t m = 4, k = 32, n = 16;
+  std::uint64_t seed = 1;
+  /// Evaluation options used by BOTH the daemon and the direct calls.
+  dse::EvalOptions eval;
+  /// Socket path; empty derives a per-process temp path.
+  std::string socket_path;
+};
+
+struct ServeDiffReport {
+  std::size_t characterize_checked = 0;
+  std::size_t infer_requests_checked = 0;
+  std::vector<std::string> failures;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Runs the differential; throws std::runtime_error when the private
+/// server cannot start at all.
+[[nodiscard]] ServeDiffReport serve_diff(const ServeDiffOptions& opts);
+
+}  // namespace axmult::check

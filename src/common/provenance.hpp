@@ -1,0 +1,46 @@
+// Provenance stamping for machine-readable artifacts (BENCH_*.json, the
+// axnn compare report, the axserve loadgen report): which source revision
+// produced the numbers, with how many threads, from which seed. Shared
+// here so every artifact carries the same fields in the same shape and a
+// diff between two artifact files immediately names the revisions it
+// compares.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace axmult::common {
+
+/// Abbreviated git revision of `repo_dir` (the current directory when
+/// null/empty); "unknown" outside a git checkout or when git is absent.
+inline std::string git_sha(const char* repo_dir = nullptr) {
+  std::string cmd = "git";
+  if (repo_dir != nullptr && repo_dir[0] != '\0') {
+    cmd += std::string(" -C \"") + repo_dir + "\"";
+  }
+  cmd += " rev-parse --short HEAD 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe != nullptr) {
+    char buf[64] = {};
+    const bool ok = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+    pclose(pipe);
+    if (ok) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+      if (!sha.empty()) return sha;
+    }
+  }
+  return "unknown";
+}
+
+/// The standard flat provenance fragment every stamped artifact leads
+/// with: `"git_sha": "...", "threads": T, "seed": S` (no braces, ready to
+/// splice into an object).
+inline std::string provenance_fields(const char* repo_dir, unsigned threads,
+                                     std::uint64_t seed) {
+  return "\"git_sha\": \"" + git_sha(repo_dir) + "\", \"threads\": " +
+         std::to_string(threads) + ", \"seed\": " + std::to_string(seed);
+}
+
+}  // namespace axmult::common

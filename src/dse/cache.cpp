@@ -1,6 +1,10 @@
 #include "dse/cache.hpp"
 
-#include <fstream>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <iomanip>
 #include <sstream>
 
@@ -15,6 +19,36 @@ std::string fmt_double(double v) {
   std::ostringstream os;
   os << std::setprecision(17) << v;
   return os.str();
+}
+
+/// Exclusive advisory lock over the cache fd, held for the duration of
+/// any file read or append. flock is per-open-file-description, so two
+/// EvalCache instances in one process still exclude each other.
+class FileLock {
+ public:
+  explicit FileLock(int fd) : fd_(fd) {
+    while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+    }
+  }
+  ~FileLock() { ::flock(fd_, LOCK_UN); }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<std::size_t>(written);
+  }
+  return true;
 }
 
 }  // namespace
@@ -58,10 +92,39 @@ std::optional<Objectives> EvalCache::parse_objectives(const std::string& line) {
 
 EvalCache::EvalCache(std::string path) : path_(std::move(path)) {
   if (path_.empty()) return;
-  std::ifstream in(path_);
-  if (!in) return;  // fresh cache — the first insert creates the file
-  std::string line;
-  while (std::getline(in, line)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;  // unopenable path degrades to in-memory
+  const FileLock file_lock(fd_);
+  merge_from_file_locked(nullptr, nullptr);
+  loaded_ = entries_.size();
+}
+
+EvalCache::~EvalCache() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t EvalCache::merge_from_file_locked(const std::string* watch_key, bool* found_key) {
+  std::string tail;
+  char buf[1 << 16];
+  for (off_t at = static_cast<off_t>(file_offset_);;) {
+    const ssize_t got = ::pread(fd_, buf, sizeof(buf), at);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return 0;
+    }
+    if (got == 0) break;
+    tail.append(buf, static_cast<std::size_t>(got));
+    at += got;
+  }
+  // Consume only complete lines; a torn final line (a crashed writer)
+  // stays unconsumed so it is re-examined, never half-parsed.
+  std::size_t merged = 0;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = tail.find('\n', begin);
+    if (end == std::string::npos) break;
+    const std::string line = tail.substr(begin, end - begin);
+    begin = end + 1;
     const auto version = jsonio::find_number(line, "v");
     if (!version || static_cast<unsigned>(*version) != kEvaluatorVersion) continue;
     const auto key = jsonio::find_string(line, "key");
@@ -69,8 +132,18 @@ EvalCache::EvalCache(std::string path) : path_(std::move(path)) {
     const auto obj = parse_objectives(line);
     if (!obj) continue;
     entries_[*key] = *obj;  // later duplicates win
+    ++merged;
+    if (watch_key && *key == *watch_key && found_key) *found_key = true;
   }
-  loaded_ = entries_.size();
+  file_offset_ += begin;
+  return merged;
+}
+
+std::size_t EvalCache::reload() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return 0;
+  const FileLock file_lock(fd_);
+  return merge_from_file_locked(nullptr, nullptr);
 }
 
 std::string EvalCache::full_key(const Config& c, const EvalOptions& opts) {
@@ -92,11 +165,20 @@ void EvalCache::insert(const std::string& key, const Objectives& obj) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = entries_.emplace(key, obj);
   if (!inserted) return;  // already cached — keep the file append-only
-  if (path_.empty()) return;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) return;  // unwritable cache path degrades to in-memory
-  out << "{\"v\": " << kEvaluatorVersion << ", \"key\": \"" << key << "\", "
-      << serialize_objectives(obj) << "}\n";
+  if (fd_ < 0) return;
+  const FileLock file_lock(fd_);
+  // Merge whatever other processes appended since our last read; when
+  // one of them already persisted this key, our append is redundant.
+  bool already_on_disk = false;
+  merge_from_file_locked(&key, &already_on_disk);
+  if (already_on_disk) return;
+  std::ostringstream os;
+  os << "{\"v\": " << kEvaluatorVersion << ", \"key\": \"" << key << "\", "
+     << serialize_objectives(obj) << "}\n";
+  const std::string line = os.str();
+  // O_APPEND + one write(): the line lands at EOF in one piece, and with
+  // the flock held EOF is exactly file_offset_ after the merge above.
+  if (write_all(fd_, line.data(), line.size())) file_offset_ += line.size();
 }
 
 std::size_t EvalCache::size() const {

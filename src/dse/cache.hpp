@@ -13,6 +13,15 @@
 // tolerates a missing file (fresh cache), skips malformed lines and
 // entries from other evaluator versions, and lets later duplicates win
 // (last write is the freshest).
+//
+// Cross-process discipline: the backing file is shared by concurrent
+// processes (DSE runs, the axserve daemon, the CLI). Every file access
+// holds an exclusive flock() on the cache fd, appends are a single
+// write() to an O_APPEND descriptor (whole lines, never torn), and both
+// reload() and insert() first merge any lines other writers appended
+// since our last read (tracked by a byte offset) — so an insert whose key
+// another process already persisted is skipped and each key appears in
+// the file exactly once among cooperating writers.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +37,13 @@ namespace axmult::dse {
 class EvalCache {
  public:
   /// Binds the cache to `path` and loads any existing entries. An empty
-  /// path makes a purely in-memory cache (no persistence).
+  /// path makes a purely in-memory cache (no persistence); an unopenable
+  /// path degrades to in-memory.
   explicit EvalCache(std::string path = {});
+  ~EvalCache();
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
 
   /// Full cache key of one evaluation: `opts.context() + "|" + config_key`.
   [[nodiscard]] static std::string full_key(const Config& c, const EvalOptions& opts);
@@ -38,7 +52,14 @@ class EvalCache {
   [[nodiscard]] std::optional<Objectives> lookup(const std::string& key);
 
   /// Thread-safe insert; appends to the backing file when persistent.
+  /// Under the file lock it first merges lines other processes appended,
+  /// and skips its own append when the key is already on disk.
   void insert(const std::string& key, const Objectives& obj);
+
+  /// Merges entries other processes appended to the backing file since
+  /// the last read; returns how many new entries arrived. No-op (0) for
+  /// in-memory caches. Thread-safe.
+  std::size_t reload();
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::size_t size() const;
@@ -57,7 +78,15 @@ class EvalCache {
   [[nodiscard]] static std::optional<Objectives> parse_objectives(const std::string& line);
 
  private:
+  /// Reads complete lines in [file_offset_, EOF) and merges them into
+  /// entries_ (file wins on duplicates). Caller holds mutex_ AND the
+  /// exclusive flock. Returns the number of entries added or replaced;
+  /// sets *found_key when a merged line carries `watch_key`.
+  std::size_t merge_from_file_locked(const std::string* watch_key, bool* found_key);
+
   std::string path_;
+  int fd_ = -1;                  ///< O_APPEND descriptor; -1 = in-memory
+  std::size_t file_offset_ = 0;  ///< bytes of the file already merged
   mutable std::mutex mutex_;
   std::map<std::string, Objectives> entries_;
   std::size_t loaded_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -140,6 +142,38 @@ MacBackendPtr make_mac_backend(const std::string& name) {
     }
   }
   throw std::out_of_range("unknown MAC backend '" + name + "'");
+}
+
+MacBackendPtr shared_mac_backend(const std::string& name) {
+  // Entry pointers are stable once inserted (node-based map), so the
+  // registry mutex protects only the map itself; the per-entry call_once
+  // serializes construction without holding the mutex across the (slow)
+  // table build — racing first-touchers of *different* names build in
+  // parallel, racing first-touchers of the *same* name get one build.
+  struct Entry {
+    std::once_flag once;
+    MacBackendPtr backend;
+  };
+  static std::mutex registry_mu;
+  static std::map<std::string, Entry>& registry = *new std::map<std::string, Entry>;
+
+  // Unknown names throw here, before touching the registry, so failures
+  // never pin a poisoned entry.
+  const auto known = [&] {
+    for (const auto& s : kBackends) {
+      if (name == s.name) return true;
+    }
+    return false;
+  }();
+  if (!known) throw std::out_of_range("unknown MAC backend '" + name + "'");
+
+  Entry* entry = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu);
+    entry = &registry[name];
+  }
+  std::call_once(entry->once, [&] { entry->backend = make_mac_backend(name); });
+  return entry->backend;
 }
 
 MacBackendPtr make_exact_backend(unsigned data_bits) {

@@ -115,6 +115,14 @@ using MacBackendPtr = std::shared_ptr<const MacBackend>;
 /// for unknown names.
 [[nodiscard]] MacBackendPtr make_mac_backend(const std::string& name);
 
+/// Memoized make_mac_backend: one shared immutable instance per name for
+/// the whole process, built exactly once (std::call_once) no matter how
+/// many threads race the first touch. Unknown names throw on every call.
+/// Use this from concurrent contexts (the axserve daemon) where repeated
+/// table construction would dominate; the tables are immutable after
+/// construction, so sharing is free.
+[[nodiscard]] MacBackendPtr shared_mac_backend(const std::string& name);
+
 /// The exact reference backend at `data_bits` operand width.
 [[nodiscard]] MacBackendPtr make_exact_backend(unsigned data_bits = 8);
 

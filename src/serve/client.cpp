@@ -1,0 +1,116 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace axmult::serve {
+
+namespace {
+
+int connect_once(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::optional<int> connect_with_retry(const std::string& socket_path, unsigned timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = connect_once(socket_path);
+    if (fd >= 0) return fd;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+Client::Client(const std::string& socket_path) : fd_(connect_once(socket_path)) {
+  if (fd_ < 0) {
+    throw std::runtime_error("serve: cannot connect to '" + socket_path +
+                             "': " + std::strerror(errno));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send(const Request& req) { return write_frame(fd_, encode_request(req)); }
+
+std::optional<Reply> Client::recv() {
+  std::string payload;
+  if (read_frame(fd_, payload) != FrameStatus::kOk) return std::nullopt;
+  return parse_reply(payload);
+}
+
+Reply Client::request(Request req) {
+  if (req.id == 0) req.id = next_id();
+  if (!send(req)) throw std::runtime_error("serve: connection lost on send");
+  for (;;) {
+    std::optional<Reply> reply = recv();
+    if (!reply) throw std::runtime_error("serve: connection lost awaiting reply");
+    if (reply->id == req.id || reply->id == 0) return *reply;
+    // A reply for another in-flight id (pipelined misuse): skip it.
+  }
+}
+
+bool Client::ping() {
+  Request req;
+  req.op = Op::kPing;
+  return request(std::move(req)).ok;
+}
+
+std::string Client::stats_json() {
+  Request req;
+  req.op = Op::kStats;
+  return request(std::move(req)).raw;
+}
+
+Reply Client::characterize(const std::string& key, double deadline_ms) {
+  Request req;
+  req.op = Op::kCharacterize;
+  req.key = key;
+  req.deadline_ms = deadline_ms;
+  return request(std::move(req));
+}
+
+Reply Client::infer(const std::string& backend, bool swap, std::uint32_t m, std::uint32_t k,
+                    std::uint32_t n, const std::vector<std::uint8_t>& a,
+                    const std::vector<std::uint8_t>& b, double deadline_ms) {
+  Request req;
+  req.op = Op::kInfer;
+  req.backend = backend;
+  req.swap = swap;
+  req.m = m;
+  req.k = k;
+  req.n = n;
+  req.a = a;
+  req.b = b;
+  req.deadline_ms = deadline_ms;
+  return request(std::move(req));
+}
+
+bool Client::shutdown_server() {
+  Request req;
+  req.op = Op::kShutdown;
+  return request(std::move(req)).ok;
+}
+
+}  // namespace axmult::serve

@@ -1,0 +1,66 @@
+// Client side of the axserve protocol.
+//
+// One Client is one Unix-domain connection with synchronous semantics: a
+// request() call writes one frame and blocks until the matching reply
+// arrives. The raw send()/recv() primitives are exposed for pipelined use
+// (the load generator keeps several requests in flight per connection and
+// matches replies by id); a Client must then be driven from exactly one
+// sending and one receiving thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace axmult::serve {
+
+class Client {
+ public:
+  /// Connects to the server's socket; throws std::runtime_error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Fresh request id (monotonic per connection, never 0).
+  [[nodiscard]] std::uint64_t next_id() noexcept { return ++last_id_; }
+
+  /// Sends one frame; false when the connection is dead.
+  [[nodiscard]] bool send(const Request& req);
+  /// Blocks for the next reply frame; nullopt on EOF/error.
+  [[nodiscard]] std::optional<Reply> recv();
+
+  /// Synchronous round trip: assigns an id, sends, and reads until the
+  /// reply with that id arrives; throws std::runtime_error when the
+  /// connection dies first.
+  Reply request(Request req);
+
+  // Convenience wrappers over request().
+  [[nodiscard]] bool ping();
+  [[nodiscard]] std::string stats_json();  ///< raw stats reply line
+  Reply characterize(const std::string& key, double deadline_ms = -1.0);
+  /// Row-major m x k lhs and k x n rhs; the reply carries m x n int64
+  /// accumulators (bit-identical to nn::gemm_accumulate).
+  Reply infer(const std::string& backend, bool swap, std::uint32_t m, std::uint32_t k,
+              std::uint32_t n, const std::vector<std::uint8_t>& a,
+              const std::vector<std::uint8_t>& b, double deadline_ms = -1.0);
+  /// Asks the daemon to shut down; true when it acknowledged.
+  bool shutdown_server();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t last_id_ = 0;
+};
+
+/// Repeatedly tries to connect until `timeout_ms` elapses — the handshake
+/// used against a freshly spawned daemon. nullopt on timeout.
+[[nodiscard]] std::optional<int> connect_with_retry(const std::string& socket_path,
+                                                    unsigned timeout_ms);
+
+}  // namespace axmult::serve

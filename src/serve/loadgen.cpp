@@ -1,0 +1,227 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "dse/jsonio.hpp"
+#include "dse/space.hpp"
+#include "serve/client.hpp"
+
+namespace axmult::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientTally {
+  std::uint64_t requests = 0, ok = 0, retried = 0, deadline = 0, errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::uint64_t stat_u64(const std::string& json, const char* field) {
+  return static_cast<std::uint64_t>(dse::jsonio::find_number(json, field).value_or(0.0));
+}
+
+}  // namespace
+
+std::vector<std::string> default_key_pool() {
+  std::vector<dse::Config> configs;
+  configs.push_back(dse::paper_ca(8));
+  configs.push_back(dse::paper_cc(8));
+  for (const bool carry_free : {false, true}) {
+    dse::Config c = carry_free ? dse::paper_cc(8) : dse::paper_ca(8);
+    c.trunc_lsbs = 2;
+    configs.push_back(c);
+    c.trunc_lsbs = 0;
+    c.operand_swap = true;
+    configs.push_back(c);
+  }
+  std::vector<std::string> keys;
+  keys.reserve(configs.size());
+  for (const dse::Config& c : configs) keys.push_back(dse::config_key(c));
+  return keys;
+}
+
+ServerStats parse_server_stats(const std::string& json) {
+  ServerStats s;
+  s.connections = stat_u64(json, "connections");
+  s.requests = stat_u64(json, "requests");
+  s.parse_errors = stat_u64(json, "parse_errors");
+  s.pings = stat_u64(json, "pings");
+  s.characterize_requests = stat_u64(json, "characterize_requests");
+  s.cache_hits = stat_u64(json, "cache_hits");
+  s.coalesced = stat_u64(json, "coalesced");
+  s.evaluations = stat_u64(json, "evaluations");
+  s.infer_requests = stat_u64(json, "infer_requests");
+  s.infer_rows = stat_u64(json, "infer_rows");
+  s.gemm_batches = stat_u64(json, "gemm_batches");
+  s.gemm_rows = stat_u64(json, "gemm_rows");
+  s.merged_requests = stat_u64(json, "merged_requests");
+  s.retries = stat_u64(json, "retries");
+  s.deadline_expired = stat_u64(json, "deadline_expired");
+  return s;
+}
+
+LoadgenReport run_loadgen(const LoadgenOptions& opts) {
+  const std::vector<std::string> keys = opts.keys.empty() ? default_key_pool() : opts.keys;
+
+  // One rhs panel shared by every client and request: the accelerator
+  // serving pattern (shared weights, per-client activations) and the shape
+  // that lets the batcher merge across clients.
+  std::vector<std::uint8_t> b_panel(static_cast<std::size_t>(opts.infer_k) * opts.infer_n);
+  {
+    Xoshiro256 rng(derive_stream_seed(opts.seed, 0xB));
+    for (auto& v : b_panel) v = static_cast<std::uint8_t>(rng.below(256));
+  }
+
+  Client control(opts.socket_path);  // throws when the daemon is unreachable
+  LoadgenReport report;
+  report.before = parse_server_stats(control.stats_json());
+
+  std::vector<ClientTally> tallies(opts.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(opts.clients);
+  const auto start = Clock::now();
+  const auto stop_at =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opts.duration_s));
+  for (unsigned c = 0; c < opts.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[c];
+      try {
+        Client client(opts.socket_path);
+        Xoshiro256 rng(derive_stream_seed(opts.seed, c + 1));
+        std::vector<std::uint8_t> a_panel(static_cast<std::size_t>(opts.infer_m) *
+                                          opts.infer_k);
+        std::uint64_t sent = 0;
+        while (Clock::now() < stop_at) {
+          if (opts.rate_per_client > 0.0) {
+            // Open-loop schedule: request `sent` fires at start + sent/rate;
+            // when behind, fire immediately to catch up.
+            const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                         std::chrono::duration<double>(
+                                             static_cast<double>(sent) / opts.rate_per_client));
+            if (due > stop_at) break;
+            std::this_thread::sleep_until(due);
+          }
+          ++sent;
+          const bool infer = rng.uniform01() < opts.infer_fraction;
+          const auto t0 = Clock::now();
+          Reply reply;
+          if (infer) {
+            for (auto& v : a_panel) v = static_cast<std::uint8_t>(rng.below(256));
+            reply = client.infer(opts.backend, false, opts.infer_m, opts.infer_k, opts.infer_n,
+                                 a_panel, b_panel);
+          } else {
+            reply = client.characterize(keys[rng.below(keys.size())]);
+          }
+          const double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+          ++tally.requests;
+          tally.latencies_ms.push_back(ms);
+          if (reply.ok) ++tally.ok;
+          else if (reply.retry) ++tally.retried;
+          else if (reply.error == "deadline") ++tally.deadline;
+          else ++tally.errors;
+        }
+      } catch (const std::exception&) {
+        ++tally.errors;  // connection-level failure ends this client
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  report.duration_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    report.requests += tally.requests;
+    report.ok += tally.ok;
+    report.retried += tally.retried;
+    report.deadline += tally.deadline;
+    report.errors += tally.errors;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(), tally.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ms = percentile(latencies, 0.50);
+  report.p90_ms = percentile(latencies, 0.90);
+  report.p99_ms = percentile(latencies, 0.99);
+  report.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  report.rps = report.duration_s > 0.0
+                   ? static_cast<double>(report.requests) / report.duration_s
+                   : 0.0;
+
+  report.after = parse_server_stats(control.stats_json());
+  const auto delta = [&](std::uint64_t ServerStats::*field) {
+    return report.after.*field - report.before.*field;
+  };
+  const std::uint64_t characterize = delta(&ServerStats::characterize_requests);
+  if (characterize > 0) {
+    report.cache_hit_rate =
+        static_cast<double>(delta(&ServerStats::cache_hits)) / static_cast<double>(characterize);
+    report.coalesce_rate =
+        static_cast<double>(delta(&ServerStats::coalesced)) / static_cast<double>(characterize);
+    report.reuse_rate = report.cache_hit_rate + report.coalesce_rate;
+  }
+  const std::uint64_t batches = delta(&ServerStats::gemm_batches);
+  if (batches > 0) {
+    report.batch_fill_requests = static_cast<double>(delta(&ServerStats::merged_requests)) /
+                                 static_cast<double>(batches);
+    report.batch_fill_rows =
+        static_cast<double>(delta(&ServerStats::gemm_rows)) / static_cast<double>(batches);
+  }
+  return report;
+}
+
+std::string loadgen_json(const LoadgenOptions& opts, const LoadgenReport& report,
+                         const std::string& provenance) {
+  const ServerStats& a = report.after;
+  const ServerStats& b = report.before;
+  std::ostringstream os;
+  os << "{\n";
+  if (!provenance.empty()) os << "  " << provenance << ",\n";
+  os << "  \"clients\": " << opts.clients << ",\n"
+     << "  \"duration_s\": " << fmt_double(report.duration_s) << ",\n"
+     << "  \"rate_per_client\": " << fmt_double(opts.rate_per_client) << ",\n"
+     << "  \"infer_fraction\": " << fmt_double(opts.infer_fraction) << ",\n"
+     << "  \"infer_shape\": [" << opts.infer_m << ", " << opts.infer_k << ", " << opts.infer_n
+     << "],\n"
+     << "  \"backend\": \"" << opts.backend << "\",\n"
+     << "  \"requests\": " << report.requests << ",\n"
+     << "  \"ok\": " << report.ok << ",\n"
+     << "  \"retried\": " << report.retried << ",\n"
+     << "  \"deadline\": " << report.deadline << ",\n"
+     << "  \"errors\": " << report.errors << ",\n"
+     << "  \"rps\": " << fmt_double(report.rps) << ",\n"
+     << "  \"p50_ms\": " << fmt_double(report.p50_ms) << ",\n"
+     << "  \"p90_ms\": " << fmt_double(report.p90_ms) << ",\n"
+     << "  \"p99_ms\": " << fmt_double(report.p99_ms) << ",\n"
+     << "  \"max_ms\": " << fmt_double(report.max_ms) << ",\n"
+     << "  \"cache_hit_rate\": " << fmt_double(report.cache_hit_rate) << ",\n"
+     << "  \"coalesce_rate\": " << fmt_double(report.coalesce_rate) << ",\n"
+     << "  \"reuse_rate\": " << fmt_double(report.reuse_rate) << ",\n"
+     << "  \"batch_fill_requests\": " << fmt_double(report.batch_fill_requests) << ",\n"
+     << "  \"batch_fill_rows\": " << fmt_double(report.batch_fill_rows) << ",\n"
+     << "  \"server_evaluations\": " << (a.evaluations - b.evaluations) << ",\n"
+     << "  \"server_gemm_batches\": " << (a.gemm_batches - b.gemm_batches) << ",\n"
+     << "  \"server_retries\": " << (a.retries - b.retries) << "\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace axmult::serve

@@ -1,0 +1,71 @@
+// Load generator for the axserve daemon: N concurrent clients driving a
+// sustained characterize/infer request mix against one server, recording
+// throughput, p50/p99 latency and the server's coalescing/batching rates.
+//
+// Each client runs on its own connection and thread with an independent
+// derive_stream_seed RNG stream. With `rate_per_client` set, requests are
+// issued on an open-loop arrival schedule (a client that falls behind
+// fires back-to-back until it catches up); at 0 the clients run closed
+// loop, back to back. Characterize keys are drawn from a small shared pool
+// so duplicate in-flight requests (coalescing) and cache hits actually
+// occur; infer requests share one rhs panel so cross-client batching
+// lights up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace axmult::serve {
+
+struct LoadgenOptions {
+  std::string socket_path;
+  unsigned clients = 8;
+  double duration_s = 5.0;
+  double rate_per_client = 0.0;  ///< target req/s per client; 0 = closed loop
+  double infer_fraction = 0.5;   ///< request mix: P(infer) vs characterize
+  std::uint32_t infer_m = 8, infer_k = 64, infer_n = 32;
+  std::string backend = "ca8";
+  std::vector<std::string> keys;  ///< characterize pool; empty = default_key_pool()
+  std::uint64_t seed = 1;
+};
+
+struct LoadgenReport {
+  // Client-side outcome counts.
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t retried = 0;   ///< backpressure replies
+  std::uint64_t deadline = 0;  ///< deadline-expired replies
+  std::uint64_t errors = 0;    ///< every other failure
+  double duration_s = 0.0;
+  double rps = 0.0;  ///< completed requests (any outcome) per second
+  // Latency over completed round trips.
+  double p50_ms = 0.0, p90_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+  // Server-side counter deltas over the run window.
+  ServerStats before, after;
+  double cache_hit_rate = 0.0;       ///< hits / characterize
+  double coalesce_rate = 0.0;        ///< coalesced / characterize
+  double reuse_rate = 0.0;           ///< (hits + coalesced) / characterize
+  double batch_fill_requests = 0.0;  ///< merged requests per GEMM launch
+  double batch_fill_rows = 0.0;      ///< panel rows per GEMM launch
+};
+
+/// The default characterize pool: the paper's Ca8/Cc8 anchors plus
+/// truncated and swapped variants (6 distinct dse keys).
+[[nodiscard]] std::vector<std::string> default_key_pool();
+
+/// Runs the load against a listening daemon; throws std::runtime_error
+/// when the socket cannot be reached.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenOptions& opts);
+
+/// Parses the flat counter fields out of a "stats" reply line.
+[[nodiscard]] ServerStats parse_server_stats(const std::string& json);
+
+/// The report as a JSON document. `provenance` is a flat fragment spliced
+/// in front (e.g. "\"git_sha\": \"abc\", \"threads\": 2"); empty to omit.
+[[nodiscard]] std::string loadgen_json(const LoadgenOptions& opts, const LoadgenReport& report,
+                                       const std::string& provenance);
+
+}  // namespace axmult::serve

@@ -1,0 +1,325 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+#include "dse/cache.hpp"
+#include "dse/jsonio.hpp"
+
+namespace axmult::serve {
+
+namespace {
+
+/// Sends all of `data`, riding out EINTR/partial writes. MSG_NOSIGNAL so a
+/// vanished peer surfaces as EPIPE instead of killing the process.
+bool send_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `size` bytes; returns the number actually read (short on
+/// EOF, negative errno-style on error).
+ssize_t recv_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+// ---- frame transport ------------------------------------------------------
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(4 + payload.size());
+  buf.push_back(static_cast<char>(len & 0xFF));
+  buf.push_back(static_cast<char>((len >> 8) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 24) & 0xFF));
+  buf += payload;
+  return send_all(fd, buf.data(), buf.size());
+}
+
+FrameStatus read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  std::uint8_t header[4];
+  const ssize_t h = recv_all(fd, header, sizeof(header));
+  if (h < 0) return FrameStatus::kError;
+  if (h == 0) return FrameStatus::kEof;
+  if (h < 4) return FrameStatus::kTruncated;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > max_bytes) return FrameStatus::kOversized;
+  payload.resize(len);
+  if (len == 0) return FrameStatus::kOk;
+  const ssize_t n = recv_all(fd, payload.data(), len);
+  if (n < 0) return FrameStatus::kError;
+  if (static_cast<std::uint32_t>(n) < len) return FrameStatus::kTruncated;
+  return FrameStatus::kOk;
+}
+
+// ---- hex codecs -----------------------------------------------------------
+
+std::string hex_encode(const std::uint8_t* data, std::size_t size) {
+  std::string out(size * 2, '0');
+  for (std::size_t i = 0; i < size; ++i) {
+    out[2 * i] = kHexDigits[data[i] >> 4];
+    out[2 * i + 1] = kHexDigits[data[i] & 0xF];
+  }
+  return out;
+}
+
+std::string hex_encode(const std::vector<std::uint8_t>& data) {
+  return hex_encode(data.data(), data.size());
+}
+
+bool hex_decode(const std::string& hex, std::vector<std::uint8_t>& out) {
+  if (hex.size() % 2 != 0) return false;
+  out.resize(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = hex_nibble(hex[2 * i]);
+    const int lo = hex_nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+std::string hex_encode_i64(const std::vector<std::int64_t>& data) {
+  std::string out(data.size() * 16, '0');
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto word = static_cast<std::uint64_t>(data[i]);
+    for (unsigned byte = 0; byte < 8; ++byte) {  // little-endian byte order
+      const auto v = static_cast<std::uint8_t>(word >> (8 * byte));
+      out[16 * i + 2 * byte] = kHexDigits[v >> 4];
+      out[16 * i + 2 * byte + 1] = kHexDigits[v & 0xF];
+    }
+  }
+  return out;
+}
+
+bool hex_decode_i64(const std::string& hex, std::vector<std::int64_t>& out) {
+  std::vector<std::uint8_t> bytes;
+  if (!hex_decode(hex, bytes) || bytes.size() % 8 != 0) return false;
+  out.resize(bytes.size() / 8);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::uint64_t word = 0;
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      word |= static_cast<std::uint64_t>(bytes[8 * i + byte]) << (8 * byte);
+    }
+    out[i] = static_cast<std::int64_t>(word);
+  }
+  return true;
+}
+
+// ---- requests -------------------------------------------------------------
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+    case Op::kCharacterize: return "characterize";
+    case Op::kInfer: return "infer";
+  }
+  return "?";
+}
+
+dse::EvalOptions Request::eval_options(const dse::EvalOptions& defaults) const {
+  dse::EvalOptions opts = defaults;
+  if (exhaustive_bits >= 0) opts.exhaustive_bits = static_cast<unsigned>(exhaustive_bits);
+  if (samples >= 0) opts.samples = static_cast<std::uint64_t>(samples);
+  if (seed >= 0) opts.seed = static_cast<std::uint64_t>(seed);
+  if (analytic >= 0) opts.analytic = analytic != 0;
+  return opts;
+}
+
+std::string encode_request(const Request& req) {
+  std::ostringstream os;
+  os << "{\"proto\": " << kProtocolVersion << ", \"op\": \"" << op_name(req.op)
+     << "\", \"id\": " << req.id;
+  if (req.deadline_ms >= 0.0) os << ", \"deadline_ms\": " << fmt_double(req.deadline_ms);
+  if (req.op == Op::kCharacterize) {
+    os << ", \"key\": \"" << req.key << "\"";
+    if (req.exhaustive_bits >= 0) os << ", \"exhaustive_bits\": " << req.exhaustive_bits;
+    if (req.samples >= 0) os << ", \"samples\": " << req.samples;
+    if (req.seed >= 0) os << ", \"seed\": " << req.seed;
+    if (req.analytic >= 0) os << ", \"analytic\": " << (req.analytic != 0 ? "true" : "false");
+  } else if (req.op == Op::kInfer) {
+    os << ", \"backend\": \"" << req.backend << "\", \"swap\": " << (req.swap ? "true" : "false")
+       << ", \"m\": " << req.m << ", \"k\": " << req.k << ", \"n\": " << req.n << ", \"a\": \""
+       << hex_encode(req.a) << "\", \"b\": \"" << hex_encode(req.b) << "\"";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::optional<Request> parse_request(const std::string& json, std::string* error) {
+  const auto fail = [&](const char* why) -> std::optional<Request> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  const auto op = dse::jsonio::find_string(json, "op");
+  if (!op) return fail("missing op");
+  Request req;
+  if (*op == "ping") req.op = Op::kPing;
+  else if (*op == "stats") req.op = Op::kStats;
+  else if (*op == "shutdown") req.op = Op::kShutdown;
+  else if (*op == "characterize") req.op = Op::kCharacterize;
+  else if (*op == "infer") req.op = Op::kInfer;
+  else return fail("unknown op");
+  req.id = static_cast<std::uint64_t>(dse::jsonio::find_number(json, "id").value_or(0.0));
+  req.deadline_ms = dse::jsonio::find_number(json, "deadline_ms").value_or(-1.0);
+  if (req.op == Op::kCharacterize) {
+    const auto key = dse::jsonio::find_string(json, "key");
+    if (!key || key->empty()) return fail("characterize without key");
+    req.key = *key;
+    if (const auto v = dse::jsonio::find_number(json, "exhaustive_bits")) {
+      req.exhaustive_bits = static_cast<long>(*v);
+    }
+    if (const auto v = dse::jsonio::find_number(json, "samples")) {
+      req.samples = static_cast<long long>(*v);
+    }
+    if (const auto v = dse::jsonio::find_number(json, "seed")) {
+      req.seed = static_cast<long long>(*v);
+    }
+    if (const auto v = dse::jsonio::find_bool(json, "analytic")) req.analytic = *v ? 1 : 0;
+  } else if (req.op == Op::kInfer) {
+    const auto backend = dse::jsonio::find_string(json, "backend");
+    if (!backend || backend->empty()) return fail("infer without backend");
+    req.backend = *backend;
+    req.swap = dse::jsonio::find_bool(json, "swap").value_or(false);
+    const auto m = dse::jsonio::find_number(json, "m");
+    const auto k = dse::jsonio::find_number(json, "k");
+    const auto n = dse::jsonio::find_number(json, "n");
+    if (!m || !k || !n || *m < 1 || *k < 1 || *n < 1) return fail("infer with bad shape");
+    req.m = static_cast<std::uint32_t>(*m);
+    req.k = static_cast<std::uint32_t>(*k);
+    req.n = static_cast<std::uint32_t>(*n);
+    const auto a_hex = dse::jsonio::find_string(json, "a");
+    const auto b_hex = dse::jsonio::find_string(json, "b");
+    if (!a_hex || !b_hex) return fail("infer without operand panels");
+    if (!hex_decode(*a_hex, req.a) || !hex_decode(*b_hex, req.b)) {
+      return fail("infer with malformed hex panel");
+    }
+    if (req.a.size() != static_cast<std::size_t>(req.m) * req.k ||
+        req.b.size() != static_cast<std::size_t>(req.k) * req.n) {
+      return fail("infer panel size mismatch");
+    }
+  }
+  return req;
+}
+
+// ---- replies --------------------------------------------------------------
+
+std::string encode_reply(const Reply& reply) {
+  std::ostringstream os;
+  os << "{\"id\": " << reply.id;
+  if (!reply.op.empty()) os << ", \"op\": \"" << reply.op << "\"";
+  os << ", \"ok\": " << (reply.ok ? "true" : "false");
+  if (reply.retry) os << ", \"retry\": true";
+  if (!reply.error.empty()) os << ", \"err\": \"" << reply.error << "\"";
+  if (reply.has_objectives) {
+    os << ", \"cached\": " << (reply.cached ? "true" : "false")
+       << ", \"coalesced\": " << (reply.coalesced ? "true" : "false") << ", "
+       << dse::EvalCache::serialize_objectives(reply.objectives);
+  }
+  if (reply.ok && reply.op == "infer") {
+    os << ", \"rows\": " << reply.rows << ", \"cols\": " << reply.cols
+       << ", \"batch_rows\": " << reply.batch_rows << ", \"acc\": \"" << hex_encode_i64(reply.acc)
+       << "\"";
+  }
+  if (!reply.payload.empty()) os << ", " << reply.payload;
+  os << "}";
+  return os.str();
+}
+
+std::optional<Reply> parse_reply(const std::string& json) {
+  const auto ok = dse::jsonio::find_bool(json, "ok");
+  if (!ok) return std::nullopt;
+  Reply reply;
+  reply.raw = json;
+  reply.ok = *ok;
+  reply.id = static_cast<std::uint64_t>(dse::jsonio::find_number(json, "id").value_or(0.0));
+  reply.op = dse::jsonio::find_string(json, "op").value_or("");
+  reply.retry = dse::jsonio::find_bool(json, "retry").value_or(false);
+  reply.error = dse::jsonio::find_string(json, "err").value_or("");
+  if (const auto cached = dse::jsonio::find_bool(json, "cached")) {
+    reply.cached = *cached;
+    reply.coalesced = dse::jsonio::find_bool(json, "coalesced").value_or(false);
+    if (const auto obj = dse::EvalCache::parse_objectives(json)) {
+      reply.has_objectives = true;
+      reply.objectives = *obj;
+    }
+  }
+  if (reply.ok && reply.op == "infer") {
+    reply.rows = static_cast<std::uint32_t>(dse::jsonio::find_number(json, "rows").value_or(0.0));
+    reply.cols = static_cast<std::uint32_t>(dse::jsonio::find_number(json, "cols").value_or(0.0));
+    reply.batch_rows =
+        static_cast<std::uint32_t>(dse::jsonio::find_number(json, "batch_rows").value_or(0.0));
+    const auto acc_hex = dse::jsonio::find_string(json, "acc");
+    if (!acc_hex || !hex_decode_i64(*acc_hex, reply.acc)) return std::nullopt;
+  }
+  return reply;
+}
+
+Reply error_reply(std::uint64_t id, const std::string& err) {
+  Reply reply;
+  reply.id = id;
+  reply.ok = false;
+  reply.error = err;
+  return reply;
+}
+
+Reply retry_reply(std::uint64_t id) {
+  Reply reply;
+  reply.id = id;
+  reply.ok = false;
+  reply.retry = true;
+  reply.error = "busy";
+  return reply;
+}
+
+}  // namespace axmult::serve

@@ -1,0 +1,154 @@
+// Wire protocol of the axserve daemon.
+//
+// Transport: a Unix-domain stream socket carrying length-prefixed frames —
+// a 4-byte little-endian payload length followed by that many bytes of
+// flat, single-line JSON in the same hand-written dialect the rest of the
+// repo emits (dse/jsonio.hpp reads it back; no escaped quotes, no nesting
+// beyond one object). Binary operand panels and int64 accumulator panels
+// travel as lowercase-hex strings so served results are bit-identical to
+// direct library calls by construction (no float round trips).
+//
+// Requests (client -> server), one JSON object per frame:
+//   {"op": "ping", "id": N}
+//   {"op": "stats", "id": N}
+//   {"op": "shutdown", "id": N}
+//   {"op": "characterize", "id": N, "key": "<dse config key>",
+//    "deadline_ms": D,                         // optional, < 0 = none
+//    "exhaustive_bits": E, "samples": S, "seed": R, "analytic": B}
+//                                              // optional EvalOptions knobs
+//   {"op": "infer", "id": N, "backend": "<name or dse:<key>>", "swap": B,
+//    "m": M, "k": K, "n": Nc, "a": "<hex, M*K bytes>", "b": "<hex, K*Nc>",
+//    "deadline_ms": D}
+//
+// Replies (server -> client) echo the request id:
+//   {"id": N, "op": "...", "ok": true, ...}    // op-specific payload
+//   {"id": N, "ok": false, "retry": true, "err": "busy"}   // backpressure:
+//                                              // queue full, resubmit later
+//   {"id": N, "ok": false, "err": "deadline"}  // expired before service
+//   {"id": N, "ok": false, "err": "..."}       // parse/validation errors
+//
+// A characterize reply carries the full dse::Objectives vector in the
+// EvalCache line dialect plus "cached" (served from the persistent cache)
+// and "coalesced" (rode on another client's in-flight evaluation). An
+// infer reply carries "acc": hex little-endian int64 accumulators (M*Nc
+// words) and "batch_rows": the height of the merged GEMM panel it rode in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dse/evaluate.hpp"
+
+namespace axmult::serve {
+
+/// Protocol version, echoed by ping; bump on incompatible frame changes.
+inline constexpr unsigned kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload (requests and replies alike). A
+/// frame header announcing more than this is answered with an "oversized"
+/// error and the connection is closed (the stream cannot be resynced).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+// ---- frame transport ------------------------------------------------------
+
+enum class FrameStatus : std::uint8_t {
+  kOk,         ///< one complete payload read
+  kEof,        ///< clean close before a header byte
+  kTruncated,  ///< peer closed mid-frame
+  kOversized,  ///< header length exceeds `max_bytes`
+  kError,      ///< socket error
+};
+
+/// Writes one length-prefixed frame; false on any socket error (the caller
+/// treats the connection as dead). Safe from multiple threads only under
+/// the caller's per-connection write lock.
+[[nodiscard]] bool write_frame(int fd, const std::string& payload);
+
+/// Reads one complete frame into `payload` (blocking).
+[[nodiscard]] FrameStatus read_frame(int fd, std::string& payload,
+                                     std::uint32_t max_bytes = kMaxFrameBytes);
+
+// ---- hex codecs -----------------------------------------------------------
+
+[[nodiscard]] std::string hex_encode(const std::uint8_t* data, std::size_t size);
+[[nodiscard]] std::string hex_encode(const std::vector<std::uint8_t>& data);
+/// False on odd length or non-hex characters.
+[[nodiscard]] bool hex_decode(const std::string& hex, std::vector<std::uint8_t>& out);
+
+/// int64 panels as hex of little-endian 8-byte words (exact round trip).
+[[nodiscard]] std::string hex_encode_i64(const std::vector<std::int64_t>& data);
+[[nodiscard]] bool hex_decode_i64(const std::string& hex, std::vector<std::int64_t>& out);
+
+// ---- requests -------------------------------------------------------------
+
+enum class Op : std::uint8_t { kPing, kStats, kShutdown, kCharacterize, kInfer };
+
+[[nodiscard]] const char* op_name(Op op) noexcept;
+
+struct Request {
+  Op op = Op::kPing;
+  std::uint64_t id = 0;
+  double deadline_ms = -1.0;  ///< relative to arrival; < 0 = no deadline
+
+  // characterize
+  std::string key;  ///< dse::config_key string
+  /// Optional overrides of the server's default EvalOptions (the uniform
+  /// sweep knobs that enter the cache context). Negative = server default.
+  long exhaustive_bits = -1;
+  long long samples = -1;
+  long long seed = -1;
+  int analytic = -1;  ///< tri-state: -1 default, 0 off, 1 on
+
+  // infer
+  std::string backend;  ///< nn backend name or "dse:<config key>"
+  bool swap = false;
+  std::uint32_t m = 0, k = 0, n = 0;
+  std::vector<std::uint8_t> a;  ///< row-major m x k
+  std::vector<std::uint8_t> b;  ///< row-major k x n
+
+  /// Applies the request's overrides onto the server defaults.
+  [[nodiscard]] dse::EvalOptions eval_options(const dse::EvalOptions& defaults) const;
+};
+
+[[nodiscard]] std::string encode_request(const Request& req);
+/// nullopt on malformed/unknown requests; `error` (optional) receives a
+/// one-line reason suitable for the "err" reply field.
+[[nodiscard]] std::optional<Request> parse_request(const std::string& json, std::string* error);
+
+// ---- replies --------------------------------------------------------------
+
+struct Reply {
+  std::uint64_t id = 0;
+  std::string op;
+  bool ok = false;
+  bool retry = false;  ///< backpressure: resubmit later
+  std::string error;   ///< "deadline", "busy", parse/validation reasons
+
+  // characterize payload
+  bool has_objectives = false;
+  dse::Objectives objectives;
+  bool cached = false;
+  bool coalesced = false;
+
+  // infer payload
+  std::vector<std::int64_t> acc;  ///< row-major m x n accumulators
+  std::uint32_t rows = 0, cols = 0;
+  std::uint32_t batch_rows = 0;  ///< merged panel height this request rode in
+
+  // ping / stats payload
+  std::string payload;  ///< raw JSON fields (stats counters, version)
+
+  /// The reply line as received — kept so callers can pull extra fields
+  /// with dse::jsonio without re-encoding.
+  std::string raw;
+};
+
+[[nodiscard]] std::string encode_reply(const Reply& reply);
+[[nodiscard]] std::optional<Reply> parse_reply(const std::string& json);
+
+[[nodiscard]] Reply error_reply(std::uint64_t id, const std::string& err);
+[[nodiscard]] Reply retry_reply(std::uint64_t id);
+
+}  // namespace axmult::serve

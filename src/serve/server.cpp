@@ -1,0 +1,728 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dse/jsonio.hpp"
+#include "dse/space.hpp"
+#include "nn/gemm.hpp"
+#include "nn/mac.hpp"
+#include "serve/protocol.hpp"
+
+namespace axmult::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+}
+
+/// One client connection. The reader thread owns the fd's lifetime (it is
+/// the only closer); every write — and the stop() half-close that unblocks
+/// the reader — goes through `write_mu`.
+struct Conn {
+  explicit Conn(int fd_in) : fd(fd_in) {}
+  int fd;
+  std::mutex write_mu;
+
+  void send(const Reply& reply) {
+    const std::string line = encode_reply(reply);
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (fd >= 0) (void)write_frame(fd, line);
+  }
+  void half_close() {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  void close_by_reader() {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+};
+
+using ConnPtr = std::shared_ptr<Conn>;
+
+struct Waiter {
+  ConnPtr conn;
+  std::uint64_t id = 0;
+  Clock::time_point arrival;
+  double deadline_ms = -1.0;  ///< < 0 = none
+  bool coalesced = false;
+
+  [[nodiscard]] bool expired() const {
+    return deadline_ms >= 0.0 && elapsed_ms(arrival) >= deadline_ms;
+  }
+};
+
+/// One in-flight characterization (single-flight entry): the parsed config
+/// and options plus everyone waiting on the result.
+struct Flight {
+  dse::Config config;
+  dse::EvalOptions opts;
+  std::vector<Waiter> waiters;
+};
+
+struct InferJob {
+  ConnPtr conn;
+  std::uint64_t id = 0;
+  Clock::time_point arrival;
+  double deadline_ms = -1.0;
+  std::string backend;
+  bool swap = false;
+  std::uint32_t m = 0, k = 0, n = 0;
+  std::vector<std::uint8_t> a, b;
+
+  [[nodiscard]] bool expired() const {
+    return deadline_ms >= 0.0 && elapsed_ms(arrival) >= deadline_ms;
+  }
+};
+
+struct AtomicStats {
+  std::atomic<std::uint64_t> connections{0}, requests{0}, parse_errors{0}, pings{0};
+  std::atomic<std::uint64_t> characterize_requests{0}, cache_hits{0}, coalesced{0},
+      evaluations{0};
+  std::atomic<std::uint64_t> infer_requests{0}, infer_rows{0}, gemm_batches{0}, gemm_rows{0},
+      merged_requests{0};
+  std::atomic<std::uint64_t> retries{0}, deadline_expired{0};
+
+  [[nodiscard]] ServerStats snapshot() const {
+    ServerStats s;
+    s.connections = connections.load();
+    s.requests = requests.load();
+    s.parse_errors = parse_errors.load();
+    s.pings = pings.load();
+    s.characterize_requests = characterize_requests.load();
+    s.cache_hits = cache_hits.load();
+    s.coalesced = coalesced.load();
+    s.evaluations = evaluations.load();
+    s.infer_requests = infer_requests.load();
+    s.infer_rows = infer_rows.load();
+    s.gemm_batches = gemm_batches.load();
+    s.gemm_rows = gemm_rows.load();
+    s.merged_requests = merged_requests.load();
+    s.retries = retries.load();
+    s.deadline_expired = deadline_expired.load();
+    return s;
+  }
+};
+
+}  // namespace
+
+std::string ServerStats::to_json_fields() const {
+  std::ostringstream os;
+  os << "\"connections\": " << connections << ", \"requests\": " << requests
+     << ", \"parse_errors\": " << parse_errors << ", \"pings\": " << pings
+     << ", \"characterize_requests\": " << characterize_requests
+     << ", \"cache_hits\": " << cache_hits << ", \"coalesced\": " << coalesced
+     << ", \"evaluations\": " << evaluations << ", \"infer_requests\": " << infer_requests
+     << ", \"infer_rows\": " << infer_rows << ", \"gemm_batches\": " << gemm_batches
+     << ", \"gemm_rows\": " << gemm_rows << ", \"merged_requests\": " << merged_requests
+     << ", \"retries\": " << retries << ", \"deadline_expired\": " << deadline_expired;
+  return os.str();
+}
+
+struct Server::Impl {
+  explicit Impl(ServerOptions o) : opts(std::move(o)), cache(opts.cache_path) {}
+
+  ServerOptions opts;
+  dse::EvalCache cache;
+  AtomicStats stats;
+
+  int listen_fd = -1;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stop_requested{false};
+
+  std::thread accept_thread;
+  std::mutex conns_mu;
+  std::vector<ConnPtr> conns;
+  std::vector<std::thread> conn_threads;
+
+  // Single-flight characterization state. Lock order: flight_mu before
+  // queue_mu before the cache's internal mutex; workers take the locks one
+  // at a time, never nested the other way.
+  std::mutex flight_mu;
+  std::map<std::string, std::shared_ptr<Flight>> flights;
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<std::string> queue;  ///< full cache keys with a live Flight
+  std::vector<std::thread> workers;
+
+  // Cross-client GEMM batching state.
+  std::mutex batch_mu;
+  std::condition_variable batch_cv;
+  std::deque<InferJob> batch_queue;
+  std::size_t queued_rows = 0;
+  std::thread batcher;
+
+  // Memoized backend resolution (names and dse:<key> configs). Builds are
+  // serialized under the mutex — first-touch only, the table is immutable
+  // afterwards.
+  std::mutex backend_mu;
+  std::map<std::string, nn::MacBackendPtr> backends;
+
+  // ---- lifecycle ----------------------------------------------------------
+
+  void start();
+  void stop();
+  void accept_loop();
+  void reader(const ConnPtr& conn);
+
+  // ---- request handling ---------------------------------------------------
+
+  void handle_frame(const ConnPtr& conn, const std::string& payload);
+  void handle_characterize(const ConnPtr& conn, const Request& req);
+  void handle_infer(const ConnPtr& conn, Request&& req);
+
+  void worker_loop();
+  void batcher_loop();
+  void run_batch(std::vector<InferJob>& jobs);
+
+  nn::MacBackendPtr resolve_backend(const std::string& name);
+
+  void send_deadline(const Waiter& w) {
+    stats.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    w.conn->send(error_reply(w.id, "deadline"));
+  }
+};
+
+// ---- lifecycle ------------------------------------------------------------
+
+void Server::Impl::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts.socket_path.empty() || opts.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path empty or too long for AF_UNIX: '" +
+                             opts.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, opts.socket_path.c_str(), opts.socket_path.size() + 1);
+  listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) throw std::runtime_error("serve: socket() failed");
+  ::unlink(opts.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 128) < 0) {
+    ::close(listen_fd);
+    listen_fd = -1;
+    throw std::runtime_error("serve: cannot bind/listen on '" + opts.socket_path +
+                             "': " + std::strerror(errno));
+  }
+  started = true;
+  accept_thread = std::thread([this] { accept_loop(); });
+  const unsigned nworkers = opts.workers != 0 ? opts.workers : 1;
+  workers.reserve(nworkers);
+  for (unsigned i = 0; i < nworkers; ++i) workers.emplace_back([this] { worker_loop(); });
+  batcher = std::thread([this] { batcher_loop(); });
+}
+
+void Server::Impl::stop() {
+  if (!started.exchange(false)) return;
+  stopping = true;
+  stop_requested = true;
+
+  // 1. No new connections.
+  if (accept_thread.joinable()) accept_thread.join();
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+
+  // 2. Drain unserved characterize jobs with retry replies (in-flight
+  //    evaluations finish normally), then join the workers.
+  {
+    std::vector<Waiter> orphans;
+    {
+      const std::lock_guard<std::mutex> flock(flight_mu);
+      const std::lock_guard<std::mutex> qlock(queue_mu);
+      for (const std::string& key : queue) {
+        const auto it = flights.find(key);
+        if (it == flights.end()) continue;
+        for (Waiter& w : it->second->waiters) orphans.push_back(std::move(w));
+        flights.erase(it);
+      }
+      queue.clear();
+    }
+    for (const Waiter& w : orphans) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      w.conn->send(retry_reply(w.id));
+    }
+  }
+  queue_cv.notify_all();
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  workers.clear();
+
+  // 3. Same for queued GEMM work, then join the batcher.
+  {
+    std::deque<InferJob> orphans;
+    {
+      const std::lock_guard<std::mutex> lock(batch_mu);
+      orphans.swap(batch_queue);
+      queued_rows = 0;
+    }
+    for (const InferJob& job : orphans) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      job.conn->send(retry_reply(job.id));
+    }
+  }
+  batch_cv.notify_all();
+  if (batcher.joinable()) batcher.join();
+
+  // 4. Unblock and join the readers, release the socket path.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    for (const ConnPtr& conn : conns) conn->half_close();
+  }
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    threads.swap(conn_threads);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    conns.clear();
+  }
+  ::unlink(opts.socket_path.c_str());
+}
+
+void Server::Impl::accept_loop() {
+  while (!stopping.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r <= 0) continue;
+    const int cfd = ::accept(listen_fd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    stats.connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Conn>(cfd);
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    if (stopping.load(std::memory_order_relaxed)) {
+      ::close(cfd);
+      break;
+    }
+    conns.push_back(conn);
+    conn_threads.emplace_back([this, conn] { reader(conn); });
+  }
+}
+
+void Server::Impl::reader(const ConnPtr& conn) {
+  std::string payload;
+  for (;;) {
+    const FrameStatus status = read_frame(conn->fd, payload);
+    if (status == FrameStatus::kOk) {
+      try {
+        handle_frame(conn, payload);
+      } catch (const std::exception& e) {
+        // A handler must never take the connection (let alone the server)
+        // down; the client gets the reason instead.
+        conn->send(error_reply(0, std::string("internal: ") + e.what()));
+      }
+      continue;
+    }
+    if (status == FrameStatus::kOversized) {
+      // The stream cannot be resynced past an unread oversized body: say
+      // why, then drop the connection.
+      stats.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->send(error_reply(0, "oversized"));
+    }
+    break;  // EOF / truncated / error / oversized: connection is done
+  }
+  conn->close_by_reader();
+}
+
+// ---- request handling -----------------------------------------------------
+
+void Server::Impl::handle_frame(const ConnPtr& conn, const std::string& payload) {
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+  std::string why;
+  std::optional<Request> req = parse_request(payload, &why);
+  if (!req) {
+    stats.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    // Best-effort id echo so a pipelining client can match the error.
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(dse::jsonio::find_number(payload, "id").value_or(0.0));
+    conn->send(error_reply(id, why.empty() ? "parse" : why));
+    return;
+  }
+  switch (req->op) {
+    case Op::kPing: {
+      stats.pings.fetch_add(1, std::memory_order_relaxed);
+      Reply reply;
+      reply.id = req->id;
+      reply.op = "ping";
+      reply.ok = true;
+      reply.payload = "\"proto\": " + std::to_string(kProtocolVersion);
+      conn->send(reply);
+      return;
+    }
+    case Op::kStats: {
+      Reply reply;
+      reply.id = req->id;
+      reply.op = "stats";
+      reply.ok = true;
+      reply.payload = stats.snapshot().to_json_fields();
+      conn->send(reply);
+      return;
+    }
+    case Op::kShutdown: {
+      Reply reply;
+      reply.id = req->id;
+      reply.op = "shutdown";
+      reply.ok = true;
+      conn->send(reply);
+      stop_requested = true;  // wait() observes this; its caller stop()s
+      return;
+    }
+    case Op::kCharacterize: handle_characterize(conn, *req); return;
+    case Op::kInfer: handle_infer(conn, std::move(*req)); return;
+  }
+}
+
+void Server::Impl::handle_characterize(const ConnPtr& conn, const Request& req) {
+  stats.characterize_requests.fetch_add(1, std::memory_order_relaxed);
+  dse::Config config;
+  try {
+    config = dse::parse_key(req.key);
+  } catch (const std::exception& e) {
+    conn->send(error_reply(req.id, e.what()));
+    return;
+  }
+  const dse::EvalOptions eval_opts = req.eval_options(opts.eval);
+  const std::string full_key = dse::EvalCache::full_key(config, eval_opts);
+
+  Waiter waiter{conn, req.id, Clock::now(), req.deadline_ms, /*coalesced=*/false};
+
+  // The flight lock spans the cache lookup and the join/create decision:
+  // a flight is only erased *after* its result went into the cache, so
+  // under this lock every duplicate request either hits the cache or finds
+  // the flight — never a second evaluation.
+  const std::lock_guard<std::mutex> flock(flight_mu);
+  if (const auto cached = cache.lookup(full_key)) {
+    stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    Reply reply;
+    reply.id = req.id;
+    reply.op = "characterize";
+    reply.ok = true;
+    reply.has_objectives = true;
+    reply.objectives = *cached;
+    reply.cached = true;
+    conn->send(reply);
+    return;
+  }
+  if (const auto it = flights.find(full_key); it != flights.end()) {
+    stats.coalesced.fetch_add(1, std::memory_order_relaxed);
+    waiter.coalesced = true;
+    it->second->waiters.push_back(std::move(waiter));
+    return;
+  }
+  const std::lock_guard<std::mutex> qlock(queue_mu);
+  if (stopping.load(std::memory_order_relaxed) ||
+      queue.size() >= opts.max_pending_characterize) {
+    stats.retries.fetch_add(1, std::memory_order_relaxed);
+    conn->send(retry_reply(req.id));
+    return;
+  }
+  auto flight = std::make_shared<Flight>();
+  flight->config = config;
+  flight->opts = eval_opts;
+  flight->waiters.push_back(std::move(waiter));
+  flights.emplace(full_key, std::move(flight));
+  queue.push_back(full_key);
+  queue_cv.notify_one();
+}
+
+void Server::Impl::handle_infer(const ConnPtr& conn, Request&& req) {
+  stats.infer_requests.fetch_add(1, std::memory_order_relaxed);
+  InferJob job;
+  job.conn = conn;
+  job.id = req.id;
+  job.arrival = Clock::now();
+  job.deadline_ms = req.deadline_ms;
+  job.backend = std::move(req.backend);
+  job.swap = req.swap;
+  job.m = req.m;
+  job.k = req.k;
+  job.n = req.n;
+  job.a = std::move(req.a);
+  job.b = std::move(req.b);
+  {
+    const std::lock_guard<std::mutex> lock(batch_mu);
+    if (stopping.load(std::memory_order_relaxed) ||
+        queued_rows + job.m > opts.max_pending_infer_rows) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      conn->send(retry_reply(job.id));
+      return;
+    }
+    queued_rows += job.m;
+    stats.infer_rows.fetch_add(job.m, std::memory_order_relaxed);
+    batch_queue.push_back(std::move(job));
+  }
+  batch_cv.notify_one();
+}
+
+// ---- characterization workers ---------------------------------------------
+
+void Server::Impl::worker_loop() {
+  for (;;) {
+    std::string key;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu);
+      queue_cv.wait(lock, [this] {
+        return stopping.load(std::memory_order_relaxed) || !queue.empty();
+      });
+      if (queue.empty()) return;  // stopping and drained
+      key = std::move(queue.front());
+      queue.pop_front();
+    }
+
+    // Prune waiters whose deadline has already passed; when nobody is left
+    // the evaluation is skipped entirely.
+    dse::Config config;
+    dse::EvalOptions opts;
+    std::vector<Waiter> expired;
+    {
+      const std::lock_guard<std::mutex> lock(flight_mu);
+      const auto it = flights.find(key);
+      if (it == flights.end()) continue;  // drained by stop()
+      auto& waiters = it->second->waiters;
+      for (std::size_t i = waiters.size(); i-- > 0;) {
+        if (waiters[i].expired()) {
+          expired.push_back(std::move(waiters[i]));
+          waiters.erase(waiters.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      if (waiters.empty()) {
+        flights.erase(it);
+        for (const Waiter& w : expired) send_deadline(w);
+        continue;
+      }
+      config = it->second->config;
+      opts = it->second->opts;
+    }
+    for (const Waiter& w : expired) send_deadline(w);
+
+    // Another server process sharing the cache file may have evaluated
+    // this key since our in-memory load; merge before paying for it.
+    cache.reload();
+    bool from_cache = true;
+    std::string failure;
+    dse::Objectives obj;
+    if (const auto cached = cache.lookup(key)) {
+      obj = *cached;
+    } else {
+      from_cache = false;
+      try {
+        obj = dse::evaluate(config, opts);
+        stats.evaluations.fetch_add(1, std::memory_order_relaxed);
+        cache.insert(key, obj);
+      } catch (const std::exception& e) {
+        failure = e.what();
+      }
+    }
+
+    std::vector<Waiter> waiters;
+    {
+      const std::lock_guard<std::mutex> lock(flight_mu);
+      const auto it = flights.find(key);
+      if (it != flights.end()) {
+        waiters = std::move(it->second->waiters);
+        flights.erase(it);
+      }
+    }
+    for (const Waiter& w : waiters) {
+      if (!failure.empty()) {
+        w.conn->send(error_reply(w.id, failure));
+        continue;
+      }
+      if (w.expired()) {
+        send_deadline(w);
+        continue;
+      }
+      Reply reply;
+      reply.id = w.id;
+      reply.op = "characterize";
+      reply.ok = true;
+      reply.has_objectives = true;
+      reply.objectives = obj;
+      reply.cached = from_cache;
+      reply.coalesced = w.coalesced;
+      w.conn->send(reply);
+    }
+  }
+}
+
+// ---- GEMM batcher ---------------------------------------------------------
+
+nn::MacBackendPtr Server::Impl::resolve_backend(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(backend_mu);
+  if (const auto it = backends.find(name); it != backends.end()) return it->second;
+  nn::MacBackendPtr backend;
+  if (name.rfind("dse:", 0) == 0) {
+    backend = dse::make_backend(dse::parse_key(name.substr(4)));
+  } else {
+    backend = nn::shared_mac_backend(name);
+  }
+  backends.emplace(name, backend);
+  return backend;
+}
+
+void Server::Impl::batcher_loop() {
+  for (;;) {
+    std::vector<InferJob> jobs;
+    {
+      std::unique_lock<std::mutex> lock(batch_mu);
+      batch_cv.wait(lock, [this] {
+        return stopping.load(std::memory_order_relaxed) || !batch_queue.empty();
+      });
+      if (batch_queue.empty()) return;  // stopping and drained
+      std::size_t rows = 0;
+      while (!batch_queue.empty()) {
+        const std::size_t next = batch_queue.front().m;
+        if (!jobs.empty() && rows + next > opts.max_batch_rows) break;
+        rows += next;
+        queued_rows -= next;
+        jobs.push_back(std::move(batch_queue.front()));
+        batch_queue.pop_front();
+      }
+    }
+    // Group by (backend, swap, k, n, rhs panel) and run each group as one
+    // merged GEMM; requests whose rhs differs never share a panel.
+    std::vector<std::vector<InferJob>> groups;
+    for (InferJob& job : jobs) {
+      bool placed = false;
+      for (auto& group : groups) {
+        const InferJob& head = group.front();
+        if (head.backend == job.backend && head.swap == job.swap && head.k == job.k &&
+            head.n == job.n && head.b == job.b) {
+          group.push_back(std::move(job));
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) groups.emplace_back().push_back(std::move(job));
+    }
+    for (auto& group : groups) run_batch(group);
+  }
+}
+
+void Server::Impl::run_batch(std::vector<InferJob>& jobs) {
+  // Deadline pruning first: expired requests never pay for the GEMM.
+  std::vector<InferJob> live;
+  live.reserve(jobs.size());
+  for (InferJob& job : jobs) {
+    if (job.expired()) {
+      stats.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      job.conn->send(error_reply(job.id, "deadline"));
+    } else {
+      live.push_back(std::move(job));
+    }
+  }
+  if (live.empty()) return;
+
+  nn::MacBackendPtr backend;
+  try {
+    backend = resolve_backend(live.front().backend);
+  } catch (const std::exception& e) {
+    for (const InferJob& job : live) job.conn->send(error_reply(job.id, e.what()));
+    return;
+  }
+  // Narrow-data backends (e.g. approx4) index their table with
+  // data_bits-wide operands; anything wider would read out of bounds.
+  if (backend->data_bits() < 8) {
+    const std::uint8_t limit = static_cast<std::uint8_t>(1u << backend->data_bits());
+    for (std::size_t i = live.size(); i-- > 0;) {
+      const auto over = [limit](std::uint8_t v) { return v >= limit; };
+      if (std::any_of(live[i].a.begin(), live[i].a.end(), over) ||
+          std::any_of(live[i].b.begin(), live[i].b.end(), over)) {
+        live[i].conn->send(error_reply(live[i].id, "operand exceeds backend data bits"));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    if (live.empty()) return;
+  }
+
+  const std::size_t k = live.front().k;
+  const std::size_t n = live.front().n;
+  std::size_t total_rows = 0;
+  for (const InferJob& job : live) total_rows += job.m;
+
+  // Stack every client's lhs rows into one panel and run the blocked
+  // kernel once; the accumulator rows scatter back in the same order.
+  std::vector<std::uint8_t> a_panel(total_rows * k);
+  std::size_t row = 0;
+  for (const InferJob& job : live) {
+    std::memcpy(a_panel.data() + row * k, job.a.data(), job.a.size());
+    row += job.m;
+  }
+  std::vector<std::int64_t> acc(total_rows * n, 0);
+  nn::gemm_accumulate(*backend, live.front().swap, a_panel.data(), live.front().b.data(),
+                      acc.data(), total_rows, k, n, opts.gemm_threads);
+
+  stats.gemm_batches.fetch_add(1, std::memory_order_relaxed);
+  stats.gemm_rows.fetch_add(total_rows, std::memory_order_relaxed);
+  stats.merged_requests.fetch_add(live.size(), std::memory_order_relaxed);
+
+  row = 0;
+  for (const InferJob& job : live) {
+    Reply reply;
+    reply.id = job.id;
+    reply.op = "infer";
+    reply.ok = true;
+    reply.rows = job.m;
+    reply.cols = static_cast<std::uint32_t>(n);
+    reply.batch_rows = static_cast<std::uint32_t>(total_rows);
+    reply.acc.assign(acc.begin() + static_cast<std::ptrdiff_t>(row * n),
+                     acc.begin() + static_cast<std::ptrdiff_t>((row + job.m) * n));
+    job.conn->send(reply);
+    row += job.m;
+  }
+}
+
+// ---- public facade --------------------------------------------------------
+
+Server::Server(ServerOptions opts) : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() { impl_->start(); }
+
+void Server::stop() { impl_->stop(); }
+
+void Server::wait() {
+  while (!impl_->stop_requested.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void Server::request_stop() noexcept { impl_->stop_requested = true; }
+
+bool Server::running() const noexcept { return impl_->started.load(); }
+
+ServerStats Server::stats() const { return impl_->stats.snapshot(); }
+
+const std::string& Server::socket_path() const noexcept { return impl_->opts.socket_path; }
+
+dse::EvalCache& Server::cache() noexcept { return impl_->cache; }
+
+}  // namespace axmult::serve

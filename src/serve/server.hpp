@@ -1,0 +1,119 @@
+// axserve daemon core: a concurrent characterization-and-inference server.
+//
+// One Server owns a Unix-domain listening socket and four kinds of threads:
+//   * the accept loop,
+//   * one reader thread per client connection (requests are parsed and
+//     either answered inline or enqueued),
+//   * a characterization worker pool draining a bounded job queue through
+//     dse::evaluate (analytic-first) into the shared, mutex-disciplined
+//     EvalCache, and
+//   * a single batcher thread that merges queued GEMM requests from all
+//     clients into wide panels for the nn::MacBackend blocked/AVX512
+//     kernels and scatters the rows back per client.
+//
+// Concurrency contracts:
+//   * Duplicate in-flight characterizations coalesce: a single-flight map
+//     keyed by the full cache key guarantees at most one dse::evaluate per
+//     key regardless of how many clients ask concurrently (the map is only
+//     erased after the result is in the cache, and lookups take the flight
+//     lock, so late requests fall through to a cache hit instead of
+//     re-evaluating).
+//   * Backpressure is explicit: when a bounded queue is full the request is
+//     answered immediately with {"retry": true} instead of blocking the
+//     connection or growing without bound.
+//   * Per-request deadlines: a request whose deadline passes while queued
+//     is answered with {"err": "deadline"} and never pays for evaluation.
+//   * Graceful shutdown: stop() closes the listener, wakes the queues
+//     (unserved jobs get retry replies), finishes in-flight work, joins
+//     every thread and unlinks the socket.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+
+namespace axmult::serve {
+
+struct ServerOptions {
+  std::string socket_path = "axserve.sock";
+  /// Characterization worker threads.
+  unsigned workers = 2;
+  /// GEMM threads per merged panel (1 = batching across clients is the
+  /// only parallelism; results are bit-identical for any value).
+  unsigned gemm_threads = 1;
+  /// Bounded-queue limits; a full queue answers {"retry": true}.
+  std::size_t max_pending_characterize = 256;
+  std::size_t max_pending_infer_rows = 65536;
+  /// Row ceiling of one merged GEMM panel (a single oversized request
+  /// still runs alone).
+  std::size_t max_batch_rows = 4096;
+  /// Backing file of the shared EvalCache ("" = in-memory only).
+  std::string cache_path;
+  /// Default evaluation options; requests may override the uniform-sweep
+  /// knobs (exhaustive_bits/samples/seed/analytic) per call.
+  dse::EvalOptions eval;
+};
+
+/// Monotonic counters, snapshotted by stats() and served by the "stats" op.
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t pings = 0;
+  // characterize
+  std::uint64_t characterize_requests = 0;
+  std::uint64_t cache_hits = 0;   ///< answered straight from the EvalCache
+  std::uint64_t coalesced = 0;    ///< joined another client's in-flight eval
+  std::uint64_t evaluations = 0;  ///< actual dse::evaluate calls
+  // infer
+  std::uint64_t infer_requests = 0;
+  std::uint64_t infer_rows = 0;       ///< rows accepted into the queue
+  std::uint64_t gemm_batches = 0;     ///< merged GEMM launches
+  std::uint64_t gemm_rows = 0;        ///< total rows across merged panels
+  std::uint64_t merged_requests = 0;  ///< requests folded into those panels
+  // flow control
+  std::uint64_t retries = 0;           ///< {"retry": true} replies sent
+  std::uint64_t deadline_expired = 0;  ///< {"err": "deadline"} replies sent
+
+  /// JSON fragment (flat fields) for the "stats" reply payload.
+  [[nodiscard]] std::string to_json_fields() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the accept/worker/batcher threads; throws
+  /// std::runtime_error when the socket cannot be created.
+  void start();
+
+  /// Graceful shutdown (idempotent): see the class comment.
+  void stop();
+
+  /// Blocks until another party requests a stop — a "shutdown" request, a
+  /// signal handler calling request_stop(), or stop() itself. Returns
+  /// without having stopped the threads; the caller runs stop().
+  void wait();
+
+  /// Async-signal-usable stop trigger: only sets a flag and wakes wait().
+  void request_stop() noexcept;
+
+  [[nodiscard]] bool running() const noexcept;
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const std::string& socket_path() const noexcept;
+  /// The shared evaluation cache (valid for the Server's lifetime).
+  [[nodiscard]] dse::EvalCache& cache() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace axmult::serve

@@ -1,0 +1,85 @@
+// Thread-safety of the shared MacBackend registry: racing first-touchers
+// of one name must observe exactly one construction and the same shared
+// instance. The whole test suite runs under the TSan CI job, so the
+// deliberate 8-way races here double as a data-race detector exercise.
+#include <atomic>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/mac.hpp"
+
+namespace {
+
+using namespace axmult;
+
+TEST(MacRegistry, RacingFirstTouchYieldsOneSharedInstance) {
+  // "cc16" is slow to build (a 16x16 table + STA), maximizing the window
+  // in which a broken registry would double-construct.
+  constexpr unsigned kThreads = 8;
+  std::vector<nn::MacBackendPtr> seen(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      seen[i] = nn::shared_mac_backend("cc16");
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  for (unsigned i = 0; i < kThreads; ++i) {
+    ASSERT_NE(nullptr, seen[i]) << "thread " << i;
+    EXPECT_EQ(seen[0].get(), seen[i].get()) << "thread " << i << " built a second instance";
+  }
+}
+
+TEST(MacRegistry, RacesAcrossDifferentNamesStayIndependent) {
+  const std::vector<std::string> names = {"exact", "ca8", "cc8", "k8"};
+  constexpr unsigned kRounds = 4;
+  std::vector<nn::MacBackendPtr> results(names.size() * kRounds);
+  std::vector<std::thread> threads;
+  for (unsigned r = 0; r < kRounds; ++r) {
+    for (std::size_t n = 0; n < names.size(); ++n) {
+      threads.emplace_back(
+          [&, r, n] { results[r * names.size() + n] = nn::shared_mac_backend(names[n]); });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<const nn::MacBackend*> distinct;
+  for (std::size_t n = 0; n < names.size(); ++n) {
+    const nn::MacBackend* first = results[n].get();
+    distinct.insert(first);
+    for (unsigned r = 1; r < kRounds; ++r) {
+      EXPECT_EQ(first, results[r * names.size() + n].get()) << names[n];
+    }
+  }
+  EXPECT_EQ(names.size(), distinct.size());
+}
+
+TEST(MacRegistry, SharedInstanceMatchesFreshConstruction) {
+  const nn::MacBackendPtr shared = nn::shared_mac_backend("ca8");
+  const nn::MacBackendPtr fresh = nn::make_mac_backend("ca8");
+  EXPECT_EQ(fresh->name(), shared->name());
+  EXPECT_EQ(fresh->data_bits(), shared->data_bits());
+  for (unsigned a = 0; a < 256; a += 7) {
+    for (unsigned b = 0; b < 256; b += 11) {
+      ASSERT_EQ(fresh->mul(a, b), shared->mul(a, b)) << a << "x" << b;
+    }
+  }
+}
+
+TEST(MacRegistry, UnknownNamesThrowOnEveryCall) {
+  EXPECT_THROW((void)nn::shared_mac_backend("nope"), std::out_of_range);
+  // A second call must throw again (the failed name was never pinned).
+  EXPECT_THROW((void)nn::shared_mac_backend("nope"), std::out_of_range);
+}
+
+}  // namespace

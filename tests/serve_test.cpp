@@ -1,0 +1,340 @@
+// axserve daemon tests: frame transport edge cases, protocol codecs,
+// single-flight coalescing (N identical concurrent requests -> exactly one
+// dse::evaluate), deadline expiry, explicit backpressure, and the
+// served-vs-direct differential (src/check/serve_diff.hpp).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/serve_diff.hpp"
+#include "dse/space.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace axmult;
+
+std::string test_socket(const char* name) {
+  return "/tmp/axserve_test_" + std::to_string(::getpid()) + "_" + name + ".sock";
+}
+
+/// Fast evaluation settings so characterize requests finish in
+/// milliseconds (analytic metrics over the 8x8 operand space).
+dse::EvalOptions fast_eval() {
+  dse::EvalOptions eval;
+  eval.analytic = true;
+  eval.samples = 1 << 10;
+  return eval;
+}
+
+serve::ServerOptions base_options(const char* name) {
+  serve::ServerOptions opts;
+  opts.socket_path = test_socket(name);
+  opts.workers = 2;
+  opts.eval = fast_eval();
+  return opts;
+}
+
+/// An RAII started server: stop() on scope exit keeps failing tests from
+/// leaking daemon threads into later tests.
+struct ScopedServer {
+  explicit ScopedServer(serve::ServerOptions opts) : server(std::move(opts)) {
+    server.start();
+  }
+  ~ScopedServer() { server.stop(); }
+  serve::Server server;
+};
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::string payload = "{\"op\": \"ping\", \"id\": 7}";
+  ASSERT_TRUE(serve::write_frame(fds[0], payload));
+  std::string got;
+  EXPECT_EQ(serve::FrameStatus::kOk, serve::read_frame(fds[1], got));
+  EXPECT_EQ(payload, got);
+
+  // Clean close before a header -> EOF, not an error.
+  ::close(fds[0]);
+  EXPECT_EQ(serve::FrameStatus::kEof, serve::read_frame(fds[1], got));
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, TruncatedAndOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  // A header promising 100 bytes followed by a close mid-frame.
+  const unsigned char header[4] = {100, 0, 0, 0};
+  ASSERT_EQ(4, ::send(fds[0], header, 4, 0));
+  ASSERT_EQ(3, ::send(fds[0], "abc", 3, 0));
+  ::close(fds[0]);
+  std::string got;
+  EXPECT_EQ(serve::FrameStatus::kTruncated, serve::read_frame(fds[1], got));
+  ::close(fds[1]);
+
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  // A header announcing more than the ceiling is rejected without reading.
+  const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_EQ(4, ::send(fds[0], huge, 4, 0));
+  EXPECT_EQ(serve::FrameStatus::kOversized, serve::read_frame(fds[1], got));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, HexCodecsRoundTripExactly) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<std::uint8_t>(i));
+  std::vector<std::uint8_t> bytes_back;
+  ASSERT_TRUE(serve::hex_decode(serve::hex_encode(bytes), bytes_back));
+  EXPECT_EQ(bytes, bytes_back);
+  EXPECT_FALSE(serve::hex_decode("abc", bytes_back));   // odd length
+  EXPECT_FALSE(serve::hex_decode("zz", bytes_back));    // non-hex
+
+  const std::vector<std::int64_t> words = {0, -1, INT64_MIN, INT64_MAX, 123456789012345};
+  std::vector<std::int64_t> words_back;
+  ASSERT_TRUE(serve::hex_decode_i64(serve::hex_encode_i64(words), words_back));
+  EXPECT_EQ(words, words_back);
+}
+
+TEST(ServeProtocol, RequestCodecRoundTrip) {
+  serve::Request req;
+  req.op = serve::Op::kInfer;
+  req.id = 42;
+  req.backend = "ca8";
+  req.swap = true;
+  req.m = 2;
+  req.k = 3;
+  req.n = 2;
+  req.a = {1, 2, 3, 4, 5, 6};
+  req.b = {7, 8, 9, 10, 11, 12};
+  req.deadline_ms = 250.0;
+  std::string error;
+  const auto back = serve::parse_request(serve::encode_request(req), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(serve::Op::kInfer, back->op);
+  EXPECT_EQ(42u, back->id);
+  EXPECT_EQ("ca8", back->backend);
+  EXPECT_TRUE(back->swap);
+  EXPECT_EQ(req.a, back->a);
+  EXPECT_EQ(req.b, back->b);
+  EXPECT_DOUBLE_EQ(250.0, back->deadline_ms);
+
+  EXPECT_FALSE(serve::parse_request("not json at all", &error).has_value());
+  EXPECT_FALSE(serve::parse_request("{\"op\": \"bogus\", \"id\": 1}", &error).has_value());
+  // Panel size disagreeing with the declared shape must not parse.
+  EXPECT_FALSE(serve::parse_request("{\"op\": \"infer\", \"id\": 1, \"backend\": \"ca8\", "
+                                    "\"m\": 2, \"k\": 2, \"n\": 2, \"a\": \"00\", "
+                                    "\"b\": \"00010203\"}",
+                                    &error)
+                   .has_value());
+}
+
+TEST(ServeServer, GarbageFramesGetErrorRepliesNotCrashes) {
+  ScopedServer scoped(base_options("garbage"));
+  const std::string& path = scoped.server.socket_path();
+
+  const auto fd = serve::connect_with_retry(path, 2000);
+  ASSERT_TRUE(fd.has_value());
+  const std::vector<std::string> garbage = {
+      "",                                   // empty payload
+      "not json",                           // unparseable
+      "{\"op\": \"bogus\", \"id\": 3}",     // unknown op
+      "{\"op\": \"characterize\"}",          // missing key
+      "{\"op\": \"infer\", \"id\": 5, \"backend\": \"ca8\", \"m\": 1, \"k\": 1, "
+      "\"n\": 1, \"a\": \"0z\", \"b\": \"00\"}",  // bad hex
+  };
+  for (const std::string& payload : garbage) {
+    ASSERT_TRUE(serve::write_frame(*fd, payload));
+    std::string raw;
+    ASSERT_EQ(serve::FrameStatus::kOk, serve::read_frame(*fd, raw)) << payload;
+    const auto reply = serve::parse_reply(raw);
+    ASSERT_TRUE(reply.has_value()) << raw;
+    EXPECT_FALSE(reply->ok) << payload;
+    EXPECT_FALSE(reply->error.empty()) << payload;
+  }
+  ::close(*fd);
+
+  // The daemon survived every malformed frame: a fresh client still works.
+  serve::Client client(path);
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(scoped.server.stats().parse_errors, garbage.size() - 1);
+}
+
+TEST(ServeServer, OversizedHeaderClosesOnlyThatConnection) {
+  ScopedServer scoped(base_options("oversized"));
+  const auto fd = serve::connect_with_retry(scoped.server.socket_path(), 2000);
+  ASSERT_TRUE(fd.has_value());
+  const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_EQ(4, ::send(*fd, huge, 4, MSG_NOSIGNAL));
+  std::string raw;
+  // Server sends one "oversized" error then closes; tolerate either a
+  // reply or an immediate close depending on scheduling.
+  const serve::FrameStatus status = serve::read_frame(*fd, raw);
+  if (status == serve::FrameStatus::kOk) {
+    const auto reply = serve::parse_reply(raw);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_FALSE(reply->ok);
+  }
+  ::close(*fd);
+
+  serve::Client client(scoped.server.socket_path());
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(ServeServer, IdenticalConcurrentRequestsCoalesceToOneEvaluation) {
+  auto opts = base_options("coalesce");
+  opts.workers = 4;
+  ScopedServer scoped(opts);
+  const std::string key = dse::config_key(dse::paper_ca(8));
+
+  constexpr unsigned kClients = 8;
+  std::atomic<unsigned> ok{0};
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      serve::Client client(scoped.server.socket_path());
+      const serve::Reply reply = client.characterize(key);
+      if (reply.ok && reply.has_objectives) ++ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const serve::ServerStats stats = scoped.server.stats();
+  EXPECT_EQ(kClients, ok.load());
+  // The single-flight contract: exactly ONE dse::evaluate ran; every other
+  // request either joined the flight or hit the cache the flight filled.
+  EXPECT_EQ(1u, stats.evaluations);
+  EXPECT_EQ(kClients - 1, stats.cache_hits + stats.coalesced);
+}
+
+TEST(ServeServer, CoalescedRepliesAreBitIdentical) {
+  ScopedServer scoped(base_options("identical"));
+  const std::string key = dse::config_key(dse::paper_cc(8));
+
+  constexpr unsigned kClients = 6;
+  std::vector<std::string> serialized(kClients);
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client client(scoped.server.socket_path());
+      const serve::Reply reply = client.characterize(key);
+      if (reply.ok && reply.has_objectives) {
+        serialized[i] = dse::EvalCache::serialize_objectives(reply.objectives);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(serialized[i].empty()) << "client " << i << " got no objectives";
+    EXPECT_EQ(serialized[0], serialized[i]) << "client " << i;
+  }
+}
+
+TEST(ServeServer, ZeroDeadlineExpiresWithoutEvaluation) {
+  ScopedServer scoped(base_options("deadline"));
+  serve::Client client(scoped.server.socket_path());
+  const std::string key = dse::config_key(dse::paper_ca(8));
+  const serve::Reply reply = client.characterize(key, /*deadline_ms=*/0.0);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ("deadline", reply.error);
+  const serve::ServerStats stats = scoped.server.stats();
+  EXPECT_GE(stats.deadline_expired, 1u);
+  // The expired request never paid for an evaluation.
+  EXPECT_EQ(0u, stats.evaluations);
+}
+
+TEST(ServeServer, FullQueuesAnswerRetryInsteadOfBlocking) {
+  auto opts = base_options("backpressure");
+  opts.max_pending_characterize = 0;
+  opts.max_pending_infer_rows = 0;
+  ScopedServer scoped(opts);
+  serve::Client client(scoped.server.socket_path());
+
+  const serve::Reply ch = client.characterize(dse::config_key(dse::paper_ca(8)));
+  EXPECT_FALSE(ch.ok);
+  EXPECT_TRUE(ch.retry);
+
+  const std::vector<std::uint8_t> a(4, 1), b(4, 2);
+  const serve::Reply inf = client.infer("ca8", false, 2, 2, 2, a, b);
+  EXPECT_FALSE(inf.ok);
+  EXPECT_TRUE(inf.retry);
+
+  EXPECT_GE(scoped.server.stats().retries, 2u);
+}
+
+TEST(ServeServer, UnknownBackendAndNarrowOperandsAreErrors) {
+  ScopedServer scoped(base_options("badinfer"));
+  serve::Client client(scoped.server.socket_path());
+
+  const std::vector<std::uint8_t> a(4, 1), b(4, 2);
+  const serve::Reply unknown = client.infer("definitely_not_a_backend", false, 2, 2, 2, a, b);
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_FALSE(unknown.retry);
+  EXPECT_FALSE(unknown.error.empty());
+
+  // approx4 tabulates a 4-bit operand space; 8-bit operands must be
+  // rejected, not read out of the table's bounds.
+  const std::vector<std::uint8_t> wide_a(4, 200), wide_b(4, 3);
+  const serve::Reply narrow = client.infer("approx4", false, 2, 2, 2, wide_a, wide_b);
+  EXPECT_FALSE(narrow.ok);
+  EXPECT_FALSE(narrow.error.empty());
+}
+
+TEST(ServeServer, ShutdownRequestUnblocksWait) {
+  ScopedServer scoped(base_options("shutdown"));
+  std::thread waiter([&] { scoped.server.wait(); });
+  {
+    serve::Client client(scoped.server.socket_path());
+    EXPECT_TRUE(client.shutdown_server());
+  }
+  waiter.join();  // wait() returned because the client asked for shutdown
+  scoped.server.stop();
+  EXPECT_FALSE(scoped.server.running());
+}
+
+TEST(ServeDiff, ServedResultsMatchDirectCallsBitExactly) {
+  check::ServeDiffOptions opts;
+  opts.eval = fast_eval();
+  opts.clients = 4;
+  opts.backends = {"exact", "ca8"};
+  opts.keys = serve::default_key_pool();
+  opts.socket_path = test_socket("diff");
+  const check::ServeDiffReport report = check::serve_diff(opts);
+  EXPECT_EQ(opts.keys.size(), report.characterize_checked);
+  EXPECT_EQ(opts.backends.size() * opts.clients, report.infer_requests_checked);
+  for (const auto& f : report.failures) ADD_FAILURE() << f;
+}
+
+TEST(ServeLoadgen, ShortClosedLoopRunSustainsConcurrentClients) {
+  auto opts = base_options("loadgen");
+  opts.workers = 2;
+  ScopedServer scoped(opts);
+
+  serve::LoadgenOptions lg;
+  lg.socket_path = scoped.server.socket_path();
+  lg.clients = 8;
+  lg.duration_s = 0.5;
+  lg.infer_m = 4;
+  lg.infer_k = 16;
+  lg.infer_n = 8;
+  const serve::LoadgenReport report = serve::run_loadgen(lg);
+  EXPECT_GT(report.requests, 0u);
+  EXPECT_GT(report.rps, 0.0);
+  EXPECT_EQ(0u, report.errors);
+  EXPECT_GT(report.ok, 0u);
+  const std::string json = serve::loadgen_json(lg, report, "\"git_sha\": \"test\"");
+  EXPECT_NE(std::string::npos, json.find("\"rps\""));
+  EXPECT_NE(std::string::npos, json.find("\"git_sha\": \"test\""));
+}
+
+}  // namespace

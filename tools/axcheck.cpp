@@ -6,6 +6,18 @@
 //   axcheck replay <repro.json>     re-execute a shrunk counterexample
 //   axcheck emit-golden [--dir D]   (re)generate the golden vector files
 //   axcheck golden [--dir D]        replay every golden file in a directory
+//   axcheck serve [options]         differential check of the axserve
+//                                   daemon: served characterize/infer
+//                                   replies vs the direct library calls
+//
+// serve options:
+//   --seed S            operand/panel seed                (default 1)
+//   --clients N         concurrent infer clients          (default 4)
+//   --subject KEY       characterize this dse key (repeatable; the bare
+//                       key, no "dse:" prefix; default = loadgen pool)
+//   --backend NAME      infer through this nn backend (repeatable;
+//                       default exact, ca8, cc8)
+//   --socket PATH       daemon socket path (default: per-pid temp path)
 //
 // fuzz options:
 //   --seed S            run seed                          (default 1)
@@ -36,6 +48,7 @@
 #include "check/backends.hpp"
 #include "check/golden.hpp"
 #include "check/harness.hpp"
+#include "check/serve_diff.hpp"
 #include "common/parallel_for.hpp"
 #include "common/rng.hpp"
 
@@ -45,7 +58,7 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: axcheck <fuzz|subjects|replay|emit-golden|golden> [options]\n"
+               "usage: axcheck <fuzz|subjects|replay|emit-golden|golden|serve> [options]\n"
                "  see the header of tools/axcheck.cpp for the option list\n");
   std::exit(2);
 }
@@ -139,6 +152,15 @@ int run_replay(const std::string& path) {
   return reproduced ? 1 : 0;
 }
 
+int run_serve(check::ServeDiffOptions opts) {
+  const check::ServeDiffReport report = check::serve_diff(opts);
+  std::printf("axcheck serve: %zu characterize + %zu infer requests checked, %zu failures\n",
+              report.characterize_checked, report.infer_requests_checked,
+              report.failures.size());
+  for (const auto& f : report.failures) std::printf("  FAIL %s\n", f.c_str());
+  return report.ok() ? 0 : 1;
+}
+
 int run_golden(const std::string& dir) {
   int failures = 0;
   std::size_t files = 0;
@@ -179,6 +201,7 @@ int main(int argc, char** argv) {
   const std::string& command = args[0];
 
   check::FuzzOptions opts;
+  check::ServeDiffOptions serve_opts;
   std::vector<std::string> subjects;
   std::string coverage_file;
   std::string report_file;
@@ -191,7 +214,10 @@ int main(int argc, char** argv) {
       if (++i >= args.size()) usage();
       return args[i];
     };
-    if (a == "--seed") opts.seed = to_u64(value());
+    if (a == "--seed") serve_opts.seed = opts.seed = to_u64(value());
+    else if (a == "--clients") serve_opts.clients = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--backend") serve_opts.backends.push_back(value());
+    else if (a == "--socket") serve_opts.socket_path = value();
     else if (a == "--iters") opts.iters = static_cast<unsigned>(to_u64(value()));
     else if (a == "--batches") opts.batches = static_cast<unsigned>(to_u64(value()));
     else if (a == "--batch-size") opts.batch_size = static_cast<std::size_t>(to_u64(value()));
@@ -228,6 +254,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "golden") return run_golden(dir);
+    if (command == "serve") {
+      serve_opts.keys = subjects;
+      return run_serve(std::move(serve_opts));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "axcheck: %s\n", e.what());
     return 2;

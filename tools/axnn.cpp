@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/parallel_for.hpp"
+#include "common/provenance.hpp"
 #include "common/table.hpp"
 #include "dse/evaluate.hpp"
 #include "dse/search.hpp"
@@ -256,11 +257,20 @@ int cmd_compare(const Options& opt) {
   if (!opt.json.empty()) {
     std::ofstream out(opt.json);
     if (!out) throw std::runtime_error("axnn: cannot write '" + opt.json + "'");
-    out << "[\n";
+    // Same provenance block as the BENCH_*.json artifacts, so a compare
+    // report names the revision/threads/seed that produced it.
+#ifdef AXMULT_SOURCE_DIR
+    const char* source_dir = AXMULT_SOURCE_DIR;
+#else
+    const char* source_dir = nullptr;
+#endif
+    out << "{\n  " << common::provenance_fields(source_dir, thread_count(), opt.seed)
+        << ",\n  \"samples\": " << opt.samples << ",\n  \"swap\": "
+        << (opt.swap ? "true" : "false") << ",\n  \"reports\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       out << to_json(reports[i]) << (i + 1 < reports.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "]\n}\n";
     std::printf("wrote %s\n", opt.json.c_str());
   }
   return 0;

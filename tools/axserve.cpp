@@ -1,0 +1,280 @@
+// axserve — concurrent characterization-and-inference daemon and client.
+//
+//   axserve serve [options]         run the daemon in the foreground
+//                                   (SIGINT/SIGTERM shut it down cleanly)
+//   axserve ping [options]          round-trip a ping, print the version
+//   axserve stats [options]         print the daemon's counter snapshot
+//   axserve characterize <key>      evaluate one dse config via the daemon
+//   axserve shutdown                ask the daemon to exit
+//   axserve loadgen [options]       drive a load-generation run and print
+//                                   the throughput/latency/reuse report
+//
+// Common options:
+//   --socket PATH       Unix-domain socket path     (default axserve.sock)
+//
+// serve options:
+//   --workers N         characterization workers    (default 2)
+//   --gemm-threads N    threads per merged GEMM     (default 1)
+//   --cache FILE        persistent EvalCache path   (default: in-memory)
+//   --samples N / --exhaustive-bits N / --seed S / --no-analytic
+//                       default EvalOptions served to clients
+//
+// characterize options:
+//   --deadline MS       per-request deadline in milliseconds
+//
+// loadgen options:
+//   --spawn             fork a private daemon for the run and shut it
+//                       down afterwards (no external server needed)
+//   --clients N         concurrent client connections       (default 8)
+//   --duration S        run length in seconds               (default 5)
+//   --rate R            open-loop req/s per client          (default closed loop)
+//   --infer-fraction F  P(infer) vs characterize            (default 0.5)
+//   --backend NAME      infer backend                       (default ca8)
+//   --json FILE         write the report JSON to FILE
+//   --smoke             short CI run: 8 clients, 2 seconds
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.hpp"
+#include "common/provenance.hpp"
+#include "dse/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+using namespace axmult;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: axserve <serve|ping|stats|characterize|shutdown|loadgen> [options]\n"
+               "  see the header of tools/axserve.cpp for the option list\n");
+  std::exit(2);
+}
+
+serve::Server* g_signal_server = nullptr;
+
+void handle_signal(int) {
+  if (g_signal_server != nullptr) g_signal_server->request_stop();
+}
+
+struct Options {
+  std::string command;
+  std::string socket = "axserve.sock";
+  std::string cache;
+  std::string json;
+  std::string key;
+  std::string backend = "ca8";
+  unsigned workers = 2;
+  unsigned gemm_threads = 1;
+  unsigned clients = 8;
+  double duration_s = 5.0;
+  double rate = 0.0;
+  double infer_fraction = 0.5;
+  double deadline_ms = -1.0;
+  long exhaustive_bits = -1;
+  long long samples = -1;
+  std::uint64_t seed = 1;
+  bool analytic = true;
+  bool spawn = false;
+  bool smoke = false;
+};
+
+serve::ServerOptions server_options(const Options& opt) {
+  serve::ServerOptions so;
+  so.socket_path = opt.socket;
+  so.workers = opt.workers;
+  so.gemm_threads = opt.gemm_threads;
+  so.cache_path = opt.cache;
+  if (opt.exhaustive_bits >= 0) so.eval.exhaustive_bits = static_cast<unsigned>(opt.exhaustive_bits);
+  if (opt.samples >= 0) so.eval.samples = static_cast<std::uint64_t>(opt.samples);
+  so.eval.seed = opt.seed;
+  so.eval.analytic = opt.analytic;
+  return so;
+}
+
+int cmd_serve(const Options& opt) {
+  serve::Server server(server_options(opt));
+  server.start();
+  g_signal_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("axserve: listening on %s (%u workers)\n", server.socket_path().c_str(),
+              opt.workers);
+  server.wait();
+  std::printf("axserve: shutting down\n");
+  server.stop();
+  g_signal_server = nullptr;
+  const serve::ServerStats s = server.stats();
+  std::printf("axserve: served %llu requests (%llu evaluations, %llu GEMM batches)\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.evaluations),
+              static_cast<unsigned long long>(s.gemm_batches));
+  return 0;
+}
+
+int cmd_ping(const Options& opt) {
+  serve::Client client(opt.socket);
+  if (!client.ping()) {
+    std::fprintf(stderr, "axserve: ping failed\n");
+    return 1;
+  }
+  std::printf("axserve: pong (protocol v%u) from %s\n", serve::kProtocolVersion,
+              opt.socket.c_str());
+  return 0;
+}
+
+int cmd_stats(const Options& opt) {
+  serve::Client client(opt.socket);
+  std::printf("%s\n", client.stats_json().c_str());
+  return 0;
+}
+
+int cmd_characterize(const Options& opt) {
+  if (opt.key.empty()) usage();
+  serve::Client client(opt.socket);
+  const serve::Reply reply = client.characterize(opt.key, opt.deadline_ms);
+  if (!reply.ok) {
+    std::fprintf(stderr, "axserve: characterize failed: %s%s\n",
+                 reply.error.empty() ? "unknown error" : reply.error.c_str(),
+                 reply.retry ? " (server busy, retry later)" : "");
+    return 1;
+  }
+  std::printf("{\"key\": \"%s\", \"cached\": %s, \"coalesced\": %s, %s}\n", opt.key.c_str(),
+              reply.cached ? "true" : "false", reply.coalesced ? "true" : "false",
+              dse::EvalCache::serialize_objectives(reply.objectives).c_str());
+  return 0;
+}
+
+int cmd_shutdown(const Options& opt) {
+  serve::Client client(opt.socket);
+  if (!client.shutdown_server()) {
+    std::fprintf(stderr, "axserve: daemon did not acknowledge shutdown\n");
+    return 1;
+  }
+  std::printf("axserve: daemon at %s acknowledged shutdown\n", opt.socket.c_str());
+  return 0;
+}
+
+int cmd_loadgen(Options opt) {
+  if (opt.smoke) {
+    opt.clients = 8;
+    opt.duration_s = 2.0;
+  }
+  // --spawn: run a private daemon inside this process for the duration of
+  // the load run. Threads only — no fork needed, the loadgen clients go
+  // through the real socket either way.
+  std::unique_ptr<serve::Server> spawned;
+  if (opt.spawn) {
+    spawned = std::make_unique<serve::Server>(server_options(opt));
+    spawned->start();
+  }
+
+  serve::LoadgenOptions lg;
+  lg.socket_path = opt.socket;
+  lg.clients = opt.clients;
+  lg.duration_s = opt.duration_s;
+  lg.rate_per_client = opt.rate;
+  lg.infer_fraction = opt.infer_fraction;
+  lg.backend = opt.backend;
+  lg.seed = opt.seed;
+  int rc = 0;
+  try {
+    const serve::LoadgenReport report = serve::run_loadgen(lg);
+    std::printf("axserve loadgen: %llu requests in %.2fs over %u clients\n",
+                static_cast<unsigned long long>(report.requests), report.duration_s,
+                lg.clients);
+    std::printf("  %.0f req/s, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+                report.rps, report.p50_ms, report.p90_ms, report.p99_ms, report.max_ms);
+    std::printf("  ok %llu, retried %llu, deadline %llu, errors %llu\n",
+                static_cast<unsigned long long>(report.ok),
+                static_cast<unsigned long long>(report.retried),
+                static_cast<unsigned long long>(report.deadline),
+                static_cast<unsigned long long>(report.errors));
+    std::printf("  characterize reuse %.1f%% (cache %.1f%%, coalesced %.1f%%); "
+                "batch fill %.2f requests / %.1f rows\n",
+                100.0 * report.reuse_rate, 100.0 * report.cache_hit_rate,
+                100.0 * report.coalesce_rate, report.batch_fill_requests,
+                report.batch_fill_rows);
+    if (!opt.json.empty()) {
+      std::ofstream out(opt.json);
+      if (!out) throw std::runtime_error("axserve: cannot write '" + opt.json + "'");
+      out << serve::loadgen_json(
+          lg, report, common::provenance_fields(nullptr, thread_count(), opt.seed));
+      std::printf("wrote %s\n", opt.json.c_str());
+    }
+    // A loadgen run that moved no requests is a failure (the CI smoke
+    // asserts sustained throughput, not just a clean boot).
+    if (report.requests == 0 || report.ok == 0 || report.errors > 0) {
+      std::fprintf(stderr, "axserve loadgen: FAILED (requests=%llu ok=%llu errors=%llu)\n",
+                   static_cast<unsigned long long>(report.requests),
+                   static_cast<unsigned long long>(report.ok),
+                   static_cast<unsigned long long>(report.errors));
+      rc = 1;
+    }
+  } catch (...) {
+    if (spawned) spawned->stop();
+    throw;
+  }
+  if (spawned) spawned->stop();
+  return rc;
+}
+
+std::uint64_t to_u64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args = strip_thread_args(argc, argv);
+  if (args.empty()) usage();
+
+  Options opt;
+  opt.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> const std::string& {
+      if (++i >= args.size()) usage();
+      return args[i];
+    };
+    if (a == "--socket") opt.socket = value();
+    else if (a == "--workers") opt.workers = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--gemm-threads") opt.gemm_threads = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--cache") opt.cache = value();
+    else if (a == "--samples") opt.samples = static_cast<long long>(to_u64(value()));
+    else if (a == "--exhaustive-bits") opt.exhaustive_bits = static_cast<long>(to_u64(value()));
+    else if (a == "--seed") opt.seed = to_u64(value());
+    else if (a == "--no-analytic") opt.analytic = false;
+    else if (a == "--deadline") opt.deadline_ms = std::strtod(value().c_str(), nullptr);
+    else if (a == "--clients") opt.clients = static_cast<unsigned>(to_u64(value()));
+    else if (a == "--duration") opt.duration_s = std::strtod(value().c_str(), nullptr);
+    else if (a == "--rate") opt.rate = std::strtod(value().c_str(), nullptr);
+    else if (a == "--infer-fraction") opt.infer_fraction = std::strtod(value().c_str(), nullptr);
+    else if (a == "--backend") opt.backend = value();
+    else if (a == "--json") opt.json = value();
+    else if (a == "--spawn") opt.spawn = true;
+    else if (a == "--smoke") opt.smoke = true;
+    else if (!a.empty() && a[0] != '-' && opt.key.empty()) opt.key = a;
+    else usage();
+  }
+
+  try {
+    if (opt.command == "serve") return cmd_serve(opt);
+    if (opt.command == "ping") return cmd_ping(opt);
+    if (opt.command == "stats") return cmd_stats(opt);
+    if (opt.command == "characterize") return cmd_characterize(opt);
+    if (opt.command == "shutdown") return cmd_shutdown(opt);
+    if (opt.command == "loadgen") return cmd_loadgen(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axserve: %s\n", e.what());
+    return 2;
+  }
+  usage();
+}
