@@ -1,0 +1,256 @@
+// DSE strategy duel + evaluation-farm scaling. At one shared confirmed-
+// evaluation budget, runs exhaustive / random / NSGA-II / surrogate over
+// the wide16 space (smoke8 under --smoke) and scores each front's exact
+// hypervolume against a common reference point, then measures the
+// multi-process farm's configs/s at 1 vs 4 workers and re-proves the
+// bit-identical-front determinism contract. Emits BENCH_dse_search.json.
+//
+// Exit is nonzero if the surrogate front is dominated where it must not
+// be: below random in smoke mode, below NSGA-II in full mode. The 4-vs-1
+// worker >= 3x scaling assertion only fires on machines with >= 4 cores
+// (the JSON records `cores` so the harness can interpret the ratio).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+#include "bench_util.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/farm.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+
+using namespace axmult;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct StrategyRun {
+  std::string name;
+  dse::SearchResult result;
+  double seconds = 0.0;
+  double configs_per_s = 0.0;
+  double hypervolume = 0.0;
+};
+
+std::vector<std::vector<double>> front_costs(const dse::SearchResult& r,
+                                             const std::vector<dse::Objective>& objectives) {
+  std::vector<std::vector<double>> costs;
+  for (const dse::EvaluatedPoint& p : r.front) {
+    costs.push_back(dse::cost_vector(p.objectives, objectives));
+  }
+  return costs;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)strip_thread_args(argc, argv);
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  bench::print_header("DSE strategy duel + evaluation-farm scaling");
+
+  const std::string preset = smoke ? "smoke8" : "wide16";
+  const dse::SpaceSpec space = dse::make_space(preset);
+  dse::SearchOptions base;
+  base.budget = smoke ? 48 : 256;
+  base.population = smoke ? 12 : 32;
+  base.generations = smoke ? 3 : 7;
+  base.proposals = smoke ? 96 : 256;
+  // wide16 configs outside the analytic envelope (flips) fall back to the
+  // sampled sweep; a smaller sample count keeps the full duel tractable on
+  // one core without changing the Pareto structure the duel scores.
+  if (!smoke) base.eval.samples = std::uint64_t{1} << 16;
+  std::printf("space %s, budget %llu, population %u, generations %u, cores %u%s\n",
+              preset.c_str(), static_cast<unsigned long long>(base.budget), base.population,
+              base.generations, cores, smoke ? " [smoke]" : "");
+
+  // ---- strategy duel at equal confirmed-evaluation budget ------------------
+  const dse::Strategy strategies[] = {dse::Strategy::kExhaustive, dse::Strategy::kRandom,
+                                      dse::Strategy::kNsga2, dse::Strategy::kSurrogate};
+  std::vector<StrategyRun> runs;
+  for (const dse::Strategy strategy : strategies) {
+    dse::SearchOptions search = base;
+    search.strategy = strategy;
+    const auto t0 = std::chrono::steady_clock::now();
+    StrategyRun run;
+    run.name = dse::strategy_name(strategy);
+    run.result = dse::run_search(space, search);
+    run.seconds = seconds_since(t0);
+    run.configs_per_s =
+        static_cast<double>(run.result.evaluations) / std::max(run.seconds, 1e-9);
+    runs.push_back(std::move(run));
+  }
+
+  // One reference point spanning the union of every front, so hypervolumes
+  // are directly comparable across strategies.
+  std::vector<double> ref(base.objectives.size(), 1e-9);
+  for (const StrategyRun& run : runs) {
+    for (const auto& cost : front_costs(run.result, base.objectives)) {
+      for (std::size_t i = 0; i < ref.size(); ++i) ref[i] = std::max(ref[i], cost[i]);
+    }
+  }
+  for (double& r : ref) r = r * 1.1 + 1e-9;
+  for (StrategyRun& run : runs) {
+    run.hypervolume = analysis::hypervolume(front_costs(run.result, base.objectives), ref);
+  }
+
+  Table t({"Strategy", "Evaluations", "Cache hits", "Front", "Seconds", "Configs/s",
+           "Hypervolume"});
+  for (const StrategyRun& run : runs) {
+    t.add_row({run.name, std::to_string(run.result.evaluations),
+               std::to_string(run.result.cache_hits), std::to_string(run.result.front.size()),
+               Table::num(run.seconds, 2), Table::num(run.configs_per_s, 1),
+               Table::num(run.hypervolume, 4)});
+  }
+  t.print("Front quality at equal budget (" + preset + ", shared reference point)");
+
+  const auto by_name = [&](const char* name) -> const StrategyRun& {
+    for (const StrategyRun& run : runs) {
+      if (run.name == name) return run;
+    }
+    std::fprintf(stderr, "missing strategy %s\n", name);
+    std::exit(2);
+  };
+  bool failed = false;
+  if (by_name("surrogate").hypervolume < by_name("random").hypervolume) {
+    std::fprintf(stderr, "FAIL: surrogate front dominated by random at equal budget\n");
+    failed = true;
+  }
+  if (!smoke && by_name("surrogate").hypervolume < by_name("nsga2").hypervolume) {
+    std::fprintf(stderr, "FAIL: surrogate front dominated by NSGA-II at equal budget\n");
+    failed = true;
+  }
+
+  // ---- farm scaling: configs/s at 1 vs 4 workers ---------------------------
+  // A fixed batch of distinct configs, fresh cache per worker count so
+  // every run does the same cold evaluation work.
+  std::vector<dse::Config> batch;
+  if (smoke) {
+    batch = dse::enumerate(space);
+  } else {
+    Xoshiro256 rng(7);
+    std::set<std::string> keys;
+    while (batch.size() < 64) {
+      dse::Config c = dse::sample(space, rng);
+      if (keys.insert(dse::config_key(c)).second) batch.push_back(c);
+    }
+  }
+  struct FarmRow {
+    unsigned workers;
+    double seconds = 0.0;
+    double configs_per_s = 0.0;
+  };
+  std::vector<FarmRow> farm_rows;
+  for (const unsigned workers : {1u, 4u}) {
+    const std::string cache_path = "bench_dse_farm_" + std::to_string(workers) + ".jsonl";
+    std::remove(cache_path.c_str());
+    dse::FarmOptions fopts;
+    fopts.workers = workers;
+    fopts.cache_path = cache_path;
+    fopts.eval = base.eval;
+    dse::EvalFarm farm(fopts);
+    dse::EvalCache cache(cache_path);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = farm.evaluate_batch(batch, cache);
+    FarmRow row{workers, seconds_since(t0), 0.0};
+    row.configs_per_s = static_cast<double>(results.size()) / std::max(row.seconds, 1e-9);
+    farm_rows.push_back(row);
+    std::remove(cache_path.c_str());
+  }
+  const double scale = farm_rows[1].configs_per_s / std::max(farm_rows[0].configs_per_s, 1e-9);
+  std::printf("\nfarm: %zu configs | 1 worker %.1f configs/s | 4 workers %.1f configs/s | "
+              "scale %.2fx (cores %u)\n",
+              batch.size(), farm_rows[0].configs_per_s, farm_rows[1].configs_per_s, scale,
+              cores);
+  const bool scaling_asserted = cores >= 4;
+  if (scaling_asserted && scale < 3.0) {
+    std::fprintf(stderr, "FAIL: 4-worker farm only %.2fx of 1 worker on %u cores\n", scale,
+                 cores);
+    failed = true;
+  }
+
+  // ---- determinism: farm fronts byte-identical to the in-process run -------
+  // Always on smoke8 (cheap) regardless of mode; this is the executable
+  // form of the EvalFarm.FrontFileIsByteIdenticalAtAnyWorkerCount test.
+  bool farm_bit_identical = true;
+  {
+    const dse::SpaceSpec det_space = dse::make_space("smoke8");
+    std::string fronts[2];
+    for (const unsigned workers : {0u, 2u}) {
+      dse::SearchOptions search;
+      search.strategy = dse::Strategy::kSurrogate;
+      search.budget = 30;
+      search.population = 10;
+      search.generations = 2;
+      search.proposals = 48;
+      search.farm_workers = workers;
+      search.cache_path = "bench_dse_det_" + std::to_string(workers) + ".jsonl";
+      search.front_path = "bench_dse_det_" + std::to_string(workers) + "_front.json";
+      std::remove(search.cache_path.c_str());
+      (void)dse::run_search(det_space, search);
+      fronts[workers ? 1 : 0] = slurp(search.front_path);
+      std::remove(search.cache_path.c_str());
+      std::remove(search.front_path.c_str());
+    }
+    farm_bit_identical = !fronts[0].empty() && fronts[0] == fronts[1];
+    std::printf("determinism: 0-worker vs 2-worker surrogate front %s\n",
+                farm_bit_identical ? "byte-identical" : "DIFFERS");
+    if (!farm_bit_identical) {
+      std::fprintf(stderr, "FAIL: farm front differs from in-process front\n");
+      failed = true;
+    }
+  }
+
+  const std::string path = bench::bench_json_path("BENCH_dse_search.json", smoke);
+  std::ofstream json(path);
+  json << "{\n  \"git_sha\": \"" << bench::bench_git_sha() << "\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"cores\": " << cores << ",\n  \"space\": \""
+       << preset << "\",\n  \"budget\": " << base.budget
+       << ",\n  \"population\": " << base.population
+       << ",\n  \"generations\": " << base.generations
+       << ",\n  \"proposals\": " << base.proposals
+       << ",\n  \"eval_samples\": " << base.eval.samples << ",\n  \"strategies\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const StrategyRun& run = runs[i];
+    json << "    {\"name\": \"" << run.name
+         << "\", \"evaluations\": " << run.result.evaluations
+         << ", \"cache_hits\": " << run.result.cache_hits
+         << ", \"front_size\": " << run.result.front.size()
+         << ", \"seconds\": " << run.seconds
+         << ", \"configs_per_s\": " << run.configs_per_s
+         << ", \"hypervolume\": " << run.hypervolume << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"farm\": {\n    \"batch_configs\": " << batch.size() << ",\n";
+  for (std::size_t i = 0; i < farm_rows.size(); ++i) {
+    json << "    \"workers_" << farm_rows[i].workers
+         << "\": {\"seconds\": " << farm_rows[i].seconds
+         << ", \"configs_per_s\": " << farm_rows[i].configs_per_s << "},\n";
+  }
+  json << "    \"scale_4_vs_1\": " << scale << ",\n    \"scaling_asserted\": "
+       << (scaling_asserted ? "true" : "false") << "\n  },\n  \"farm_bit_identical\": "
+       << (farm_bit_identical ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return failed ? 1 : 0;
+}

@@ -3,8 +3,41 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 namespace axmult::analysis {
+
+namespace {
+
+/// Hypervolume of `pts` over objectives [0, dim] against `ref`, by
+/// slicing along objective `dim`: sort ascending on that coordinate, and
+/// each slab between consecutive coordinates is (slab depth) x (lower-
+/// dimensional hypervolume of the points entered so far).
+double hv_slice(std::vector<const std::vector<double>*> pts, const std::vector<double>& ref,
+                std::size_t dim) {
+  if (pts.empty()) return 0.0;
+  if (dim == 0) {
+    double best = ref[0];
+    for (const auto* p : pts) best = std::min(best, (*p)[0]);
+    return ref[0] - best;
+  }
+  std::sort(pts.begin(), pts.end(),
+            [dim](const std::vector<double>* a, const std::vector<double>* b) {
+              return (*a)[dim] < (*b)[dim];
+            });
+  double volume = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double upper = (i + 1 < pts.size()) ? (*pts[i + 1])[dim] : ref[dim];
+    const double depth = upper - (*pts[i])[dim];
+    if (depth <= 0.0) continue;
+    std::vector<const std::vector<double>*> active(pts.begin(),
+                                                   pts.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    volume += depth * hv_slice(std::move(active), ref, dim - 1);
+  }
+  return volume;
+}
+
+}  // namespace
 
 void mark_pareto_front(std::vector<ParetoPoint>& points) {
   for (auto& p : points) {
@@ -105,6 +138,21 @@ std::vector<double> crowding_distance(const std::vector<std::vector<double>>& co
     }
   }
   return dist;
+}
+
+double hypervolume(const std::vector<std::vector<double>>& costs, const std::vector<double>& ref) {
+  if (ref.empty()) return 0.0;
+  std::vector<const std::vector<double>*> pts;
+  pts.reserve(costs.size());
+  for (const auto& c : costs) {
+    if (c.size() != ref.size()) {
+      throw std::invalid_argument("analysis::hypervolume: cost/reference dimension mismatch");
+    }
+    bool inside = true;
+    for (std::size_t d = 0; d < ref.size() && inside; ++d) inside = c[d] < ref[d];
+    if (inside) pts.push_back(&c);
+  }
+  return hv_slice(std::move(pts), ref, ref.size() - 1);
 }
 
 }  // namespace axmult::analysis

@@ -45,4 +45,14 @@ void mark_pareto_front(std::vector<ParetoPoint>& points);
 [[nodiscard]] std::vector<double> crowding_distance(const std::vector<std::vector<double>>& costs,
                                                     const std::vector<std::size_t>& front);
 
+/// Exact hypervolume (all objectives minimized) of the region dominated
+/// by `costs` and bounded by the reference point `ref`: the Lebesgue
+/// measure of union over points p of the box [p, ref). Points not
+/// strictly better than `ref` on every objective contribute nothing.
+/// Recursive objective slicing — exact and deterministic, exponential in
+/// the number of objectives but fine for the 2–4-objective fronts the
+/// search produces. Every cost vector must have `ref.size()` entries.
+[[nodiscard]] double hypervolume(const std::vector<std::vector<double>>& costs,
+                                 const std::vector<double>& ref);
+
 }  // namespace axmult::analysis

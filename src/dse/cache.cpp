@@ -2,11 +2,13 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <iomanip>
 #include <sstream>
+#include <vector>
 
 #include "dse/jsonio.hpp"
 
@@ -104,6 +106,14 @@ EvalCache::~EvalCache() {
 }
 
 std::size_t EvalCache::merge_from_file_locked(const std::string* watch_key, bool* found_key) {
+  // A file shorter than our merge offset means another process compacted
+  // it (rewrote in place through the shared inode): the offset no longer
+  // names a line boundary, so start over from the top. Re-merged lines
+  // are idempotent (entries_[key] assignment).
+  struct stat st;
+  if (::fstat(fd_, &st) == 0 && static_cast<std::size_t>(st.st_size) < file_offset_) {
+    file_offset_ = 0;
+  }
   std::string tail;
   char buf[1 << 16];
   for (off_t at = static_cast<off_t>(file_offset_);;) {
@@ -179,6 +189,75 @@ void EvalCache::insert(const std::string& key, const Objectives& obj) {
   // O_APPEND + one write(): the line lands at EOF in one piece, and with
   // the flock held EOF is exactly file_offset_ after the merge above.
   if (write_all(fd_, line.data(), line.size())) file_offset_ += line.size();
+}
+
+EvalCache::CompactStats EvalCache::compact() {
+  CompactStats stats;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return stats;
+  const FileLock file_lock(fd_);
+  // Read the whole file, not just the unmerged tail: compaction judges
+  // every line, including ones merged long ago.
+  std::string content;
+  char buf[1 << 16];
+  for (off_t at = 0;;) {
+    const ssize_t got = ::pread(fd_, buf, sizeof(buf), at);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return stats;
+    }
+    if (got == 0) break;
+    content.append(buf, static_cast<std::size_t>(got));
+    at += got;
+  }
+  // Keep the freshest line per key, verbatim, ordered by first appearance.
+  std::vector<std::string> order;
+  std::map<std::string, std::string> freshest;
+  std::size_t begin = 0;
+  while (begin < content.size()) {
+    const std::size_t end = content.find('\n', begin);
+    // With the flock held no writer is mid-append: a torn trailing line
+    // can only be debris from a crashed writer — drop it.
+    if (end == std::string::npos) {
+      ++stats.dropped_malformed;
+      break;
+    }
+    const std::string line = content.substr(begin, end - begin);
+    begin = end + 1;
+    const auto version = jsonio::find_number(line, "v");
+    const auto key = version ? jsonio::find_string(line, "key") : std::nullopt;
+    const auto obj = key ? parse_objectives(line) : std::nullopt;
+    if (!version || !key || !obj) {
+      ++stats.dropped_malformed;
+      continue;
+    }
+    if (static_cast<unsigned>(*version) != kEvaluatorVersion) {
+      ++stats.dropped_stale;
+      continue;
+    }
+    const auto [it, inserted] = freshest.emplace(*key, line);
+    if (inserted) {
+      order.push_back(*key);
+    } else {
+      ++stats.dropped_duplicate;
+      it->second = line;  // last write wins, as in load
+    }
+    entries_[*key] = *obj;  // keep the in-memory view in sync
+  }
+  std::string out;
+  for (const auto& key : order) {
+    out += freshest[key];
+    out += '\n';
+    ++stats.kept;
+  }
+  if (::ftruncate(fd_, 0) != 0) return stats;
+  // O_APPEND lands the rewrite at the (now zero) EOF in order.
+  if (write_all(fd_, out.data(), out.size())) {
+    file_offset_ = out.size();
+  } else {
+    file_offset_ = 0;
+  }
+  return stats;
 }
 
 std::size_t EvalCache::size() const {

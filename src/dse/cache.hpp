@@ -61,6 +61,27 @@ class EvalCache {
   /// in-memory caches. Thread-safe.
   std::size_t reload();
 
+  /// Result of one compact() pass.
+  struct CompactStats {
+    std::size_t kept = 0;               ///< lines surviving the rewrite
+    std::size_t dropped_stale = 0;      ///< lines from other evaluator versions
+    std::size_t dropped_duplicate = 0;  ///< superseded duplicates of a kept key
+    std::size_t dropped_malformed = 0;  ///< unparseable lines (crash debris)
+  };
+
+  /// Rewrites the backing file in place under the same exclusive flock the
+  /// append path takes: current-version entries only, one line per key
+  /// (last write wins), lines kept verbatim in first-appearance order.
+  /// In-place (ftruncate + rewrite through the same inode) rather than
+  /// rename-over, so other processes' flocks — which bind to the open file
+  /// description — keep excluding us. Their next locked access notices the
+  /// file shrank below their merge offset and re-reads from the start. A
+  /// writer whose merged offset lands mid-rewrite may transiently re-append
+  /// a key the compaction kept; such duplicates stay semantically harmless
+  /// (loads let the last line win) and the next compact() removes them.
+  /// No-op for in-memory caches. Thread-safe.
+  CompactStats compact();
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }

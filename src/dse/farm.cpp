@@ -1,0 +1,286 @@
+#include "dse/farm.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+namespace axmult::dse {
+
+namespace {
+
+/// Frame loop of one forked worker: parse evaluate-batch requests, answer
+/// one reply frame per key through its own EvalCache descriptor. Runs in
+/// the child; never returns (EOF on the transport is the shutdown signal).
+[[noreturn]] void worker_main(int fd, const FarmOptions& opts) {
+  EvalCache cache(opts.cache_path);
+  unsigned evals_done = 0;
+  for (;;) {
+    std::string payload;
+    if (serve::read_frame(fd, payload) != serve::FrameStatus::kOk) ::_exit(0);
+    std::string parse_error;
+    const std::optional<serve::Request> req = serve::parse_request(payload, &parse_error);
+    if (!req || req->op != serve::Op::kEvaluateBatch) {
+      serve::Reply err = serve::error_reply(req ? req->id : 0,
+                                            parse_error.empty() ? "bad op" : parse_error);
+      if (!serve::write_frame(fd, serve::encode_reply(err))) ::_exit(0);
+      continue;
+    }
+    const EvalOptions eval = req->eval_options(opts.eval);
+    for (std::size_t i = 0; i < req->keys.size(); ++i) {
+      serve::Reply reply;
+      reply.id = req->id;
+      reply.op = "evaluate-batch";
+      reply.key = req->keys[i];
+      reply.index = static_cast<std::uint32_t>(i);
+      reply.total = static_cast<std::uint32_t>(req->keys.size());
+      Config config;
+      try {
+        config = parse_key(req->keys[i]);
+      } catch (const std::exception& e) {
+        reply.error = e.what();
+        if (!serve::write_frame(fd, serve::encode_reply(reply))) ::_exit(0);
+        continue;
+      }
+      const std::string full = EvalCache::full_key(config, eval);
+      std::optional<Objectives> obj = cache.lookup(full);
+      if (!obj) {
+        cache.reload();  // another worker may have landed it meanwhile
+        obj = cache.lookup(full);
+      }
+      if (obj) {
+        reply.cached = true;
+      } else {
+        if (opts.worker_exit_after != 0 && evals_done >= opts.worker_exit_after) {
+          ::_exit(3);  // crash-recovery test hook: die with work outstanding
+        }
+        obj = evaluate(config, eval);
+        cache.insert(full, *obj);
+        ++evals_done;
+      }
+      reply.ok = true;
+      reply.has_objectives = true;
+      reply.objectives = *obj;
+      if (!serve::write_frame(fd, serve::encode_reply(reply))) ::_exit(0);
+    }
+  }
+}
+
+}  // namespace
+
+EvalFarm::EvalFarm(FarmOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.attach_socket.empty()) {
+    const std::optional<int> fd = serve::connect_with_retry(opts_.attach_socket, 5000);
+    if (!fd) {
+      throw std::runtime_error("farm: cannot attach to '" + opts_.attach_socket + "'");
+    }
+    workers_.push_back(Worker{-1, *fd, {}});
+    return;
+  }
+  spawn_workers();
+}
+
+void EvalFarm::spawn_workers() {
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) continue;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      continue;
+    }
+    if (pid == 0) {
+      ::close(sv[0]);
+      for (const Worker& w : workers_) {
+        if (w.fd >= 0) ::close(w.fd);  // siblings' parent-side transports
+      }
+      worker_main(sv[1], opts_);  // never returns
+    }
+    ::close(sv[1]);
+    workers_.push_back(Worker{pid, sv[0], {}});
+  }
+}
+
+EvalFarm::~EvalFarm() {
+  for (Worker& w : workers_) {
+    if (w.fd >= 0) ::close(w.fd);  // EOF tells a forked worker to _exit(0)
+    w.fd = -1;
+  }
+  for (Worker& w : workers_) {
+    if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+}
+
+std::size_t EvalFarm::alive_workers() const noexcept {
+  std::size_t n = 0;
+  for (const Worker& w : workers_) n += w.fd >= 0 ? 1 : 0;
+  return n;
+}
+
+void EvalFarm::kill_worker(Worker& w) {
+  if (w.fd >= 0) ::close(w.fd);
+  w.fd = -1;
+  if (w.pid > 0) {
+    ::waitpid(w.pid, nullptr, 0);
+    w.pid = -1;
+  }
+}
+
+bool EvalFarm::dispatch(Worker& w, const std::vector<std::string>& keys) {
+  serve::Request req;
+  req.op = serve::Op::kEvaluateBatch;
+  req.id = ++next_id_;
+  req.keys = keys;
+  req.deadline_ms = opts_.deadline_ms;
+  // Carry the full evaluation context so an attached daemon (whose own
+  // defaults may differ) lands entries under the submitting search's keys.
+  req.exhaustive_bits = static_cast<long>(opts_.eval.exhaustive_bits);
+  req.samples = static_cast<long long>(opts_.eval.samples);
+  req.seed = static_cast<long long>(opts_.eval.seed);
+  req.analytic = opts_.eval.analytic ? 1 : 0;
+  req.power_vectors = static_cast<long long>(opts_.eval.power_vectors);
+  req.gaussian = opts_.eval.gaussian ? 1 : 0;
+  req.gauss_mean_a = opts_.eval.mean_a;
+  req.gauss_sigma_a = opts_.eval.sigma_a;
+  req.gauss_mean_b = opts_.eval.mean_b;
+  req.gauss_sigma_b = opts_.eval.sigma_b;
+  if (!serve::write_frame(w.fd, serve::encode_request(req))) return false;
+  w.outstanding = keys;
+  return true;
+}
+
+std::vector<Objectives> EvalFarm::evaluate_batch(const std::vector<Config>& configs,
+                                                 EvalCache& cache, std::uint64_t* cache_hits) {
+  // Per-occurrence parent-side cache pass first: hit counting must not
+  // depend on how the remainder is sharded, or counters (and progress
+  // lines) would vary with worker count.
+  std::vector<std::string> full_keys(configs.size());
+  std::map<std::string, Objectives> resolved;
+  std::vector<std::string> pending;  // distinct misses, first-appearance order
+  std::set<std::string> queued;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    full_keys[i] = EvalCache::full_key(configs[i], opts_.eval);
+    if (const std::optional<Objectives> hit = cache.lookup(full_keys[i])) {
+      if (cache_hits) ++*cache_hits;
+      resolved.emplace(full_keys[i], *hit);
+    } else if (queued.insert(full_keys[i]).second) {
+      pending.push_back(config_key(configs[i]));  // wire format: config keys
+    }
+  }
+
+  std::map<std::string, Config> by_key;  // config key -> config, for fallback
+  std::map<std::string, unsigned> attempts;
+  for (std::size_t i = 0; i < configs.size(); ++i) by_key.emplace(config_key(configs[i]), configs[i]);
+
+  const auto resolve_inline = [&](const std::string& key) {
+    const Config& config = by_key.at(key);
+    const std::string full = EvalCache::full_key(config, opts_.eval);
+    std::optional<Objectives> obj = cache.lookup(full);  // a worker may have landed it
+    if (!obj) {
+      obj = evaluate(config, opts_.eval);
+      cache.insert(full, *obj);
+      ++inline_evals_;
+    }
+    resolved.emplace(full, *obj);
+  };
+
+  const std::size_t distinct = pending.size();
+  std::size_t done = 0;
+  while (done < distinct) {
+    // Collect live transports; with none left, finish inline.
+    std::vector<Worker*> alive;
+    for (Worker& w : workers_) {
+      if (w.fd >= 0) alive.push_back(&w);
+    }
+    if (alive.empty()) {
+      for (const std::string& key : pending) resolve_inline(key);
+      done += pending.size();
+      pending.clear();
+      break;
+    }
+
+    // Hand contiguous chunks of the pending queue to idle workers.
+    for (Worker* w : alive) {
+      if (!w->outstanding.empty() || pending.empty()) continue;
+      std::size_t busy = 0;
+      for (const Worker* v : alive) busy += v->outstanding.empty() ? 0 : 1;
+      const std::size_t idle = alive.size() - busy;
+      const std::size_t chunk = std::max<std::size_t>(1, (pending.size() + idle - 1) / idle);
+      const std::size_t take = std::min(chunk, pending.size());
+      std::vector<std::string> shard(pending.begin(), pending.begin() + take);
+      pending.erase(pending.begin(), pending.begin() + take);
+      if (!dispatch(*w, shard)) {
+        // Transport already dead: requeue and drop the worker.
+        pending.insert(pending.begin(), shard.begin(), shard.end());
+        kill_worker(*w);
+      }
+    }
+
+    std::vector<Worker*> busy;
+    for (Worker& w : workers_) {
+      if (w.fd >= 0 && !w.outstanding.empty()) busy.push_back(&w);
+    }
+    if (busy.empty()) continue;  // everything requeued onto dead transports
+
+    std::vector<pollfd> fds;
+    fds.reserve(busy.size());
+    for (const Worker* w : busy) fds.push_back(pollfd{w->fd, POLLIN, 0});
+    if (::poll(fds.data(), fds.size(), -1) < 0) continue;  // EINTR: re-poll
+
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = *busy[i];
+      std::string payload;
+      if (serve::read_frame(w.fd, payload) != serve::FrameStatus::kOk) {
+        // Worker died mid-batch: requeue everything it still owed.
+        requeues_ += w.outstanding.size();
+        pending.insert(pending.begin(), w.outstanding.begin(), w.outstanding.end());
+        w.outstanding.clear();
+        kill_worker(w);
+        continue;
+      }
+      const std::optional<serve::Reply> reply = serve::parse_reply(payload);
+      if (!reply || reply->op != "evaluate-batch" || reply->key.empty()) continue;
+      const auto it = std::find(w.outstanding.begin(), w.outstanding.end(), reply->key);
+      if (it == w.outstanding.end()) continue;  // stale/duplicate attribution
+      w.outstanding.erase(it);
+      if (reply->ok && reply->has_objectives) {
+        const Config& config = by_key.at(reply->key);
+        const std::string full = EvalCache::full_key(config, opts_.eval);
+        cache.insert(full, reply->objectives);
+        resolved.emplace(full, reply->objectives);
+        ++done;
+      } else if (reply->retry && ++attempts[reply->key] <= opts_.max_retries) {
+        ++retries_;
+        pending.push_back(reply->key);
+      } else {
+        // Hard error or retries exhausted: the parent owns it now.
+        resolve_inline(reply->key);
+        ++done;
+      }
+    }
+  }
+
+  std::vector<Objectives> out(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto it = resolved.find(full_keys[i]);
+    if (it == resolved.end()) {
+      throw std::runtime_error("farm: unresolved key " + full_keys[i]);
+    }
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace axmult::dse

@@ -1,0 +1,111 @@
+// Sharded multi-process evaluation farm for the DSE engine.
+//
+// A search's evaluation fan-out is embarrassingly parallel but each point
+// is CPU-heavy (netlist sweep + STA + toggle simulation), so threads in
+// one process are not the end of the road: the farm runs N worker
+// *processes* — forked directly over socketpair(AF_UNIX) transports, or a
+// running axserve daemon attached by Unix socket — all draining a batch
+// through the evaluate-batch protocol op and memoizing into the same
+// flock-safe EvalCache file. Each worker opens its *own* cache descriptor
+// (flock binds to the open file description; a forked copy of the
+// parent's fd would share — and therefore never exclude — the parent's
+// lock), so cross-process single-flight discipline comes from the cache's
+// merge-before-append protocol.
+//
+// Fault model: a worker that dies mid-batch (crash, OOM kill) is detected
+// by EOF on its transport, and its outstanding keys are requeued to the
+// surviving workers; retry backpressure (attach mode, daemon queue full)
+// resubmits up to max_retries and then evaluates inline in the parent,
+// which is also the fallback when no worker is alive at all.
+//
+// Determinism: the farm only *evaluates* — it proposes nothing and orders
+// nothing. Results are keyed by canonical config key, cache hits are
+// counted in the parent per occurrence before any sharding, and a key's
+// objective vector is bit-identical no matter which process computed it
+// (the evaluator is deterministic per EvalOptions). A search driven
+// through the farm therefore returns byte-identical fronts at any worker
+// count, including zero.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+
+namespace axmult::dse {
+
+struct FarmOptions {
+  /// Worker processes to fork. 0 with an empty attach_socket makes a
+  /// degenerate farm that evaluates everything inline in the parent.
+  unsigned workers = 2;
+  /// Non-empty: attach to a running axserve daemon at this Unix socket
+  /// instead of forking (the daemon's queue is the shard pool).
+  std::string attach_socket;
+  /// Backing EvalCache file shared by the parent and every forked worker
+  /// (each opens its own descriptor). Empty = workers run uncached.
+  std::string cache_path;
+  /// Evaluation context, carried to workers as wire overrides so their
+  /// cache keys match the submitting search exactly.
+  EvalOptions eval;
+  double deadline_ms = -1.0;  ///< per-key deadline in attach mode; < 0 = none
+  unsigned max_retries = 3;   ///< retry-reply resubmissions before inline fallback
+  /// Test hook: a forked worker calls _exit() abruptly when asked to run
+  /// its (N+1)-th real evaluation (cache hits don't count). 0 = disabled.
+  unsigned worker_exit_after = 0;
+};
+
+/// One farm instance owns its worker processes (forked in the
+/// constructor, reaped in the destructor — closing the transports is the
+/// shutdown signal) or one daemon connection.
+class EvalFarm {
+ public:
+  explicit EvalFarm(FarmOptions opts);
+  ~EvalFarm();
+
+  EvalFarm(const EvalFarm&) = delete;
+  EvalFarm& operator=(const EvalFarm&) = delete;
+
+  /// Evaluates `configs` against `cache` (the parent's cache): hits are
+  /// served and counted locally per occurrence, distinct misses are
+  /// sharded across the workers, results land back in `cache` and the
+  /// returned vector (index-aligned with `configs`). Deterministic in
+  /// value for any worker count; throws std::runtime_error only when a
+  /// key fails to evaluate everywhere (including inline).
+  [[nodiscard]] std::vector<Objectives> evaluate_batch(const std::vector<Config>& configs,
+                                                       EvalCache& cache,
+                                                       std::uint64_t* cache_hits = nullptr);
+
+  [[nodiscard]] std::size_t alive_workers() const noexcept;
+  /// Keys requeued because their worker died mid-batch.
+  [[nodiscard]] std::uint64_t requeues() const noexcept { return requeues_; }
+  /// Keys evaluated in the parent (no worker alive, or retries exhausted).
+  [[nodiscard]] std::uint64_t inline_evals() const noexcept { return inline_evals_; }
+  /// Retry replies absorbed (attach-mode backpressure).
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+
+ private:
+  struct Worker {
+    pid_t pid = -1;  ///< -1 for the attach-mode daemon connection
+    int fd = -1;     ///< -1 once dead
+    std::vector<std::string> outstanding;  ///< keys sent, not yet answered
+  };
+
+  void spawn_workers();
+  void kill_worker(Worker& w);
+  /// Sends one evaluate-batch frame with `keys` to `w`; false on a dead
+  /// transport (caller requeues).
+  [[nodiscard]] bool dispatch(Worker& w, const std::vector<std::string>& keys);
+
+  FarmOptions opts_;
+  std::vector<Worker> workers_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t requeues_ = 0;
+  std::uint64_t inline_evals_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace axmult::dse

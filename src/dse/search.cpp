@@ -11,7 +11,9 @@
 #include "analysis/pareto.hpp"
 #include "common/rng.hpp"
 #include "dse/cache.hpp"
+#include "dse/farm.hpp"
 #include "dse/jsonio.hpp"
+#include "dse/surrogate.hpp"
 
 namespace axmult::dse {
 
@@ -63,12 +65,14 @@ const char* strategy_name(Strategy s) noexcept {
     case Strategy::kExhaustive: return "exhaustive";
     case Strategy::kRandom: return "random";
     case Strategy::kNsga2: return "nsga2";
+    case Strategy::kSurrogate: return "surrogate";
   }
   return "?";
 }
 
 Strategy parse_strategy(const std::string& name) {
-  for (const Strategy s : {Strategy::kExhaustive, Strategy::kRandom, Strategy::kNsga2}) {
+  for (const Strategy s :
+       {Strategy::kExhaustive, Strategy::kRandom, Strategy::kNsga2, Strategy::kSurrogate}) {
     if (name == strategy_name(s)) return s;
   }
   throw std::invalid_argument("dse: unknown strategy '" + name + "'");
@@ -86,15 +90,44 @@ SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts) {
   std::map<std::string, EvaluatedPoint> archive;
   std::uint64_t evaluations = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t planned_total = 0;  // progress denominator; set per strategy
+  unsigned generation = 0;
 
+  std::optional<EvalFarm> farm;
+  if (opts.farm_workers > 0 || !opts.farm_socket.empty()) {
+    FarmOptions fopts;
+    fopts.workers = opts.farm_workers;
+    fopts.attach_socket = opts.farm_socket;
+    fopts.cache_path = opts.cache_path;
+    fopts.eval = opts.eval;
+    farm.emplace(std::move(fopts));
+  }
+
+  // Evaluation runs in fixed ~64-config slices so progress fires at a
+  // useful cadence; the slicing is independent of threads/workers, so
+  // counters stay deterministic too.
   const auto eval_batch = [&](const std::vector<Config>& configs) {
-    std::uint64_t hits = 0;
-    std::vector<Objectives> result = evaluate_all(configs, &cache, opts.eval, opts.threads, &hits);
-    evaluations += configs.size();
-    cache_hits += hits;
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      std::string key = config_key(configs[i]);
-      archive.emplace(key, EvaluatedPoint{configs[i], key, result[i]});
+    constexpr std::size_t kSlice = 64;
+    std::vector<Objectives> result;
+    result.reserve(configs.size());
+    for (std::size_t base = 0; base < configs.size(); base += kSlice) {
+      const std::size_t n = std::min(kSlice, configs.size() - base);
+      const std::vector<Config> slice(configs.begin() + static_cast<std::ptrdiff_t>(base),
+                                      configs.begin() + static_cast<std::ptrdiff_t>(base + n));
+      std::uint64_t hits = 0;
+      std::vector<Objectives> part =
+          farm ? farm->evaluate_batch(slice, cache, &hits)
+               : evaluate_all(slice, &cache, opts.eval, opts.threads, &hits);
+      evaluations += n;
+      cache_hits += hits;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string key = config_key(slice[i]);
+        archive.emplace(key, EvaluatedPoint{slice[i], key, part[i]});
+        result.push_back(std::move(part[i]));
+      }
+      if (opts.progress) {
+        opts.progress({evaluations, cache_hits, planned_total, archive.size(), generation});
+      }
     }
     return result;
   };
@@ -103,12 +136,14 @@ SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts) {
     case Strategy::kExhaustive: {
       std::vector<Config> configs = enumerate(space);
       if (opts.budget > 0 && configs.size() > opts.budget) configs.resize(opts.budget);
+      planned_total = configs.size();
       (void)eval_batch(configs);
       break;
     }
     case Strategy::kRandom: {
       Xoshiro256 rng(opts.seed);
       const std::uint64_t n = opts.budget > 0 ? opts.budget : 256;
+      planned_total = n;
       std::vector<Config> configs;
       configs.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) configs.push_back(sample(space, rng));
@@ -117,11 +152,14 @@ SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts) {
     }
     case Strategy::kNsga2: {
       Xoshiro256 rng(opts.seed);
+      planned_total = std::uint64_t{opts.population} * (std::uint64_t{opts.generations} + 1);
+      if (opts.budget > 0) planned_total = std::min(planned_total, opts.budget);
       std::vector<Config> pop;
       pop.reserve(opts.population);
       for (unsigned i = 0; i < opts.population; ++i) pop.push_back(sample(space, rng));
       std::vector<Objectives> pop_obj = eval_batch(pop);
       for (unsigned gen = 0; gen < opts.generations; ++gen) {
+        generation = gen + 1;
         if (opts.budget > 0 && evaluations >= opts.budget) break;
         std::vector<std::vector<double>> costs;
         costs.reserve(pop.size());
@@ -168,6 +206,37 @@ SearchResult run_search(const SpaceSpec& space, const SearchOptions& opts) {
         }
         pop = std::move(next_pop);
         pop_obj = std::move(next_obj);
+      }
+      break;
+    }
+    case Strategy::kSurrogate: {
+      SurrogateStrategyOptions sopts;
+      sopts.population = opts.population;
+      sopts.proposals = opts.proposals;
+      sopts.explore_weight = opts.explore_weight;
+      sopts.seed = opts.seed;
+      sopts.objectives = opts.objectives;
+      // The analytic engine models the exact uniform sweep only: under a
+      // gaussian operand distribution (or with analytic evaluation off)
+      // its numbers would seed the screen with the wrong distribution.
+      sopts.analytic_seeding = opts.eval.analytic && !opts.eval.gaussian;
+      SurrogateStrategy strategy(space, sopts);
+      const std::uint64_t budget =
+          opts.budget > 0
+              ? opts.budget
+              : std::uint64_t{opts.population} * (std::uint64_t{opts.generations} + 1);
+      planned_total = budget;
+      // Generation 0 is the random bootstrap; each later generation
+      // screens `proposals` candidates and confirms the top slice.
+      for (unsigned gen = 0; gen <= opts.generations && evaluations < budget; ++gen) {
+        generation = gen;
+        const std::uint64_t remaining = budget - evaluations;
+        const std::size_t slice = static_cast<std::size_t>(
+            std::min<std::uint64_t>(opts.population, remaining));
+        const std::vector<Config> batch = strategy.propose(slice);
+        if (batch.empty()) break;  // reachable space exhausted
+        const std::vector<Objectives> batch_obj = eval_batch(batch);
+        strategy.confirm(batch, batch_obj);
       }
       break;
     }
@@ -266,7 +335,9 @@ void write_checkpoint(const std::string& path, const SpaceSpec& space,
       << ", \"max_tt_flips\": " << space.max_tt_flips;
   out << ", \"strategy\": \"" << strategy_name(opts.strategy) << "\", \"budget\": "
       << opts.budget << ", \"population\": " << opts.population << ", \"generations\": "
-      << opts.generations << ", \"search_seed\": " << opts.seed << ", \"objectives\": [";
+      << opts.generations << ", \"proposals\": " << opts.proposals << ", \"explore_weight\": "
+      << fmt_double(opts.explore_weight) << ", \"search_seed\": " << opts.seed
+      << ", \"objectives\": [";
   for (std::size_t i = 0; i < opts.objectives.size(); ++i) {
     out << (i ? ", " : "") << "\"" << objective_name(opts.objectives[i]) << "\"";
   }
@@ -321,6 +392,8 @@ void load_checkpoint(const std::string& path, SpaceSpec& space, SearchOptions& o
   o.budget = static_cast<std::uint64_t>(jsonio::find_number(text, "budget").value_or(0.0));
   o.population = static_cast<unsigned>(jsonio::find_number(text, "population").value_or(32.0));
   o.generations = static_cast<unsigned>(jsonio::find_number(text, "generations").value_or(8.0));
+  o.proposals = static_cast<unsigned>(jsonio::find_number(text, "proposals").value_or(256.0));
+  o.explore_weight = jsonio::find_number(text, "explore_weight").value_or(0.25);
   o.seed = static_cast<std::uint64_t>(jsonio::find_number(text, "search_seed").value_or(1.0));
   o.objectives.clear();
   for (const std::string& name : jsonio::find_string_array(text, "objectives")) {

@@ -1,11 +1,19 @@
 // Search strategies of the DSE engine.
 //
-// Three strategies over one archive/evaluation substrate:
+// Four strategies over one archive/evaluation substrate:
 //   * exhaustive — enumerate(space), evaluate everything (flips excluded);
 //   * random     — `budget` seeded uniform samples;
 //   * nsga2      — an NSGA-II-style evolutionary loop (Deb's non-dominated
 //     sort + crowding distance from analysis/pareto, binary tournament,
-//     field-wise crossover, one mutation per child, elitist survival).
+//     field-wise crossover, one mutation per child, elitist survival);
+//   * surrogate  — surrogate-screened search (dse/surrogate.hpp): each
+//     generation drafts `proposals` candidates, ranks them by predicted
+//     Pareto contribution (ridge model + exact analytic error seeds) and
+//     confirms only the top `population` slice.
+//
+// Evaluation fan-out is either in-process threads (`threads`) or — when
+// `farm_workers`/`farm_socket` is set — the multi-process evaluation farm
+// (dse/farm.hpp), with identical results by construction.
 //
 // Determinism contract: for a fixed (space, options) pair the resulting
 // front is bit-identical for ANY thread count. Every stochastic decision
@@ -21,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -29,11 +38,21 @@
 
 namespace axmult::dse {
 
-enum class Strategy : std::uint8_t { kExhaustive, kRandom, kNsga2 };
+enum class Strategy : std::uint8_t { kExhaustive, kRandom, kNsga2, kSurrogate };
 
 [[nodiscard]] const char* strategy_name(Strategy s) noexcept;
-/// Parses "exhaustive", "random", "nsga2"; throws std::invalid_argument.
+/// Parses "exhaustive", "random", "nsga2", "surrogate"; throws
+/// std::invalid_argument.
 [[nodiscard]] Strategy parse_strategy(const std::string& name);
+
+/// Snapshot handed to SearchOptions::progress after every evaluation slice.
+struct SearchProgress {
+  std::uint64_t evaluated = 0;   ///< configs submitted so far
+  std::uint64_t cache_hits = 0;  ///< of those, served from the cache
+  std::uint64_t total = 0;       ///< planned submissions (0 = unknown)
+  std::uint64_t archive = 0;     ///< distinct configs evaluated
+  unsigned generation = 0;       ///< current generation (0-based)
+};
 
 struct SearchOptions {
   Strategy strategy = Strategy::kNsga2;
@@ -41,13 +60,26 @@ struct SearchOptions {
   /// points for kExhaustive, and a cap on total evaluations (checked
   /// between generations) for kNsga2. 0 = strategy default / unlimited.
   std::uint64_t budget = 0;
-  unsigned population = 32;   ///< kNsga2 population size
-  unsigned generations = 8;   ///< kNsga2 generations
+  unsigned population = 32;   ///< kNsga2/kSurrogate per-generation size
+  unsigned generations = 8;   ///< kNsga2/kSurrogate generations
+  unsigned proposals = 256;   ///< kSurrogate candidates screened per generation
+  double explore_weight = 0.25;  ///< kSurrogate novelty bonus weight
   std::uint64_t seed = 1;     ///< search-thread RNG seed
   /// Minimized objectives, in cost-vector order.
   std::vector<Objective> objectives{Objective::kLuts, Objective::kDelay, Objective::kMre};
   EvalOptions eval;
   unsigned threads = 0;  ///< evaluation fan-out (0 = auto); never changes results
+  /// Multi-process evaluation farm: fork this many worker processes
+  /// (dse/farm.hpp). 0 with an empty farm_socket = in-process threads.
+  /// Never changes results, and never changes the search counters either
+  /// (hits are counted in the parent per occurrence).
+  unsigned farm_workers = 0;
+  /// Non-empty: attach the farm to a running axserve daemon at this
+  /// Unix-socket path instead of forking workers.
+  std::string farm_socket;
+  /// Progress callback, fired after every evaluation slice (~64 configs)
+  /// from the search thread. Empty = silent.
+  std::function<void(const SearchProgress&)> progress;
   std::string cache_path;       ///< persistent evaluation cache ("" = in-memory)
   std::string front_path;       ///< front JSON written after the search ("" = skip)
   std::string checkpoint_path;  ///< checkpoint JSON for `axdse resume` ("" = skip)

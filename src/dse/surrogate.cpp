@@ -1,0 +1,320 @@
+#include "dse/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "analysis/pareto.hpp"
+#include "mult/recursive.hpp"
+
+namespace axmult::dse {
+
+// ---- features -------------------------------------------------------------
+
+FeatureVector extract_features(const Config& c) {
+  Config canon = c;
+  canonicalize(canon);
+  FeatureVector f{};
+  f[0] = 1.0;  // bias
+  f[1] = std::log2(static_cast<double>(canon.width));
+  f[2 + static_cast<std::size_t>(canon.leaf)] = 1.0;  // leaf one-hot (6 kinds)
+  const double levels = static_cast<double>(canon.summation.size());
+  if (levels > 0.0) {
+    double accurate = 0.0, carry_free = 0.0, lower_or = 0.0;
+    for (const mult::Summation s : canon.summation) {
+      if (s == mult::Summation::kAccurate) accurate += 1.0;
+      else if (s == mult::Summation::kCarryFree) carry_free += 1.0;
+      else lower_or += 1.0;
+    }
+    f[8] = accurate / levels;
+    f[9] = carry_free / levels;
+    f[10] = lower_or / levels;
+    f[11] = canon.summation.front() == mult::Summation::kAccurate ? 1.0 : 0.0;
+  } else {
+    f[11] = 1.0;  // leaf-only: the (absent) top summation is exact
+  }
+  f[12] = static_cast<double>(canon.lower_or_bits);
+  f[13] = static_cast<double>(canon.trunc_lsbs);
+  f[14] = static_cast<double>(canon.trunc_lsbs) / static_cast<double>(canon.width);
+  f[15] = canon.operand_swap ? 1.0 : 0.0;
+  f[16] = canon.signed_wrapper ? 1.0 : 0.0;
+  f[17] = static_cast<double>(canon.flips.size());
+  // Significance-weighted perturbation mass: a flip on product bit k of
+  // the 4x2 leaf moves the output by 2^k on 1/64th of the leaf's inputs.
+  double flip_mass = 0.0;
+  for (const TableFlip& flip : canon.flips) {
+    flip_mass += std::ldexp(1.0, static_cast<int>(flip.output)) / 64.0;
+  }
+  f[18] = flip_mass;
+  return f;
+}
+
+// ---- ridge model ----------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kF = kNumFeatures;
+
+/// log1p-space target extraction, in SurrogateTarget order.
+std::array<double, kNumTargets> targets_of(const Objectives& obj) {
+  const auto tf = [](double v) { return std::log1p(std::max(0.0, v)); };
+  return {tf(obj.mre), tf(obj.nmed), tf(static_cast<double>(obj.luts)),
+          tf(obj.critical_path_ns), tf(obj.edp_au)};
+}
+
+/// Solves (A + lambda*I) w = b for the symmetric F x F system via Gaussian
+/// elimination with partial pivoting — deterministic (no data-dependent
+/// branching beyond the pivot choice, which is itself a pure function of
+/// the accumulated sums).
+std::array<double, kF> solve_ridge(const std::array<double, kF * kF>& a_in,
+                                   const std::array<double, kF>& b_in, double lambda) {
+  std::array<double, kF * kF> a = a_in;
+  std::array<double, kF> b = b_in;
+  for (std::size_t i = 0; i < kF; ++i) a[i * kF + i] += lambda;
+  for (std::size_t col = 0; col < kF; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < kF; ++row) {
+      if (std::fabs(a[row * kF + col]) > std::fabs(a[pivot * kF + col])) pivot = row;
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < kF; ++j) std::swap(a[col * kF + j], a[pivot * kF + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * kF + col];
+    if (std::fabs(diag) < 1e-12) continue;  // ridge keeps this rare
+    for (std::size_t row = col + 1; row < kF; ++row) {
+      const double factor = a[row * kF + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < kF; ++j) a[row * kF + j] -= factor * a[col * kF + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::array<double, kF> w{};
+  for (std::size_t i = kF; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < kF; ++j) acc -= a[i * kF + j] * w[j];
+    const double diag = a[i * kF + i];
+    w[i] = std::fabs(diag) < 1e-12 ? 0.0 : acc / diag;
+  }
+  return w;
+}
+
+}  // namespace
+
+SurrogateModel::SurrogateModel(bool analytic_seeding, double ridge_lambda)
+    : analytic_seeding_(analytic_seeding), lambda_(ridge_lambda) {}
+
+void SurrogateModel::observe(const Config& c, const Objectives& obj) {
+  const FeatureVector f = extract_features(c);
+  const auto y = targets_of(obj);
+  for (std::size_t i = 0; i < kF; ++i) {
+    for (std::size_t j = 0; j < kF; ++j) xtx_[i * kF + j] += f[i] * f[j];
+    for (std::size_t t = 0; t < kNumTargets; ++t) xty_[t][i] += f[i] * y[t];
+  }
+  ++n_;
+}
+
+void SurrogateModel::fit() {
+  if (n_ == 0) return;
+  for (std::size_t t = 0; t < kNumTargets; ++t) weights_[t] = solve_ridge(xtx_, xty_[t], lambda_);
+  fitted_ = true;
+}
+
+double SurrogateModel::predict_features(const FeatureVector& f, SurrogateTarget t) const {
+  if (!fitted_) return 0.0;
+  const auto& w = weights_[static_cast<std::size_t>(t)];
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kF; ++i) acc += w[i] * f[i];
+  return std::max(0.0, std::expm1(acc));
+}
+
+double SurrogateModel::predict(const Config& c, SurrogateTarget t) const {
+  return predict_features(extract_features(c), t);
+}
+
+const std::optional<error::SurrogateSeed>& SurrogateModel::seed_for(const Config& c) const {
+  const std::string key = config_key(c);
+  const auto it = seed_memo_.find(key);
+  if (it != seed_memo_.end()) return it->second;
+  std::optional<error::SurrogateSeed> seed;
+  if (analytic_seeding_) seed = error::surrogate_seed(analytic_spec(c));
+  return seed_memo_.emplace(key, std::move(seed)).first->second;
+}
+
+std::vector<double> SurrogateModel::predict_cost(
+    const Config& c, const std::vector<Objective>& objectives) const {
+  const FeatureVector f = extract_features(c);
+  const auto& seed = seed_for(c);
+  const double luts = predict_features(f, SurrogateTarget::kLuts);
+  const double delay = predict_features(f, SurrogateTarget::kDelay);
+  const double edp = predict_features(f, SurrogateTarget::kEdp);
+  const double mre = seed ? seed->mre : predict_features(f, SurrogateTarget::kMre);
+  const double nmed = seed ? seed->nmed : predict_features(f, SurrogateTarget::kNmed);
+  std::vector<double> cost;
+  cost.reserve(objectives.size());
+  for (const Objective o : objectives) {
+    switch (o) {
+      case Objective::kLuts: cost.push_back(luts); break;
+      case Objective::kCarry4: cost.push_back(luts / 4.0); break;  // rank proxy
+      case Objective::kDelay: cost.push_back(delay); break;
+      case Objective::kMre: cost.push_back(mre); break;
+      case Objective::kNmed: cost.push_back(nmed); break;
+      case Objective::kMaxError:
+        cost.push_back(seed ? static_cast<double>(seed->max_error_ld) : nmed);  // rank proxy
+        break;
+      case Objective::kErrorProbability:
+        cost.push_back(seed ? seed->error_probability : mre);  // rank proxy
+        break;
+      case Objective::kEnergy: cost.push_back(delay > 1e-12 ? edp / delay : edp); break;
+      case Objective::kEdp: cost.push_back(edp); break;
+    }
+  }
+  return cost;
+}
+
+// ---- strategy -------------------------------------------------------------
+
+SurrogateStrategy::SurrogateStrategy(SpaceSpec space, SurrogateStrategyOptions opts)
+    : space_(std::move(space)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed),
+      model_(opts_.analytic_seeding) {}
+
+std::vector<Config> SurrogateStrategy::propose(std::size_t max_count) {
+  if (max_count == 0) return {};
+
+  // Deduplicated candidate drafting: a candidate must be new against the
+  // archive and against this call's own picks. Attempts are bounded so a
+  // (nearly) exhausted space terminates instead of spinning.
+  std::set<std::string> taken;
+  std::vector<std::pair<std::string, Config>> pool;
+  const auto try_add = [&](Config c) {
+    canonicalize(c);
+    std::string key = config_key(c);
+    if (archive_.count(key) != 0 || !taken.insert(key).second) return false;
+    pool.emplace_back(std::move(key), std::move(c));
+    return true;
+  };
+
+  if (archive_.empty()) {
+    // Bootstrap generation: uniform random, confirmed wholesale — the
+    // model has nothing to rank with yet.
+    const std::size_t attempts = 50 * max_count + 50;
+    for (std::size_t i = 0; i < attempts && pool.size() < max_count; ++i) {
+      try_add(sample(space_, rng_));
+    }
+    std::vector<Config> batch;
+    batch.reserve(pool.size());
+    for (auto& [key, config] : pool) batch.push_back(std::move(config));
+    return batch;
+  }
+
+  // The confirmed rank-0 front seeds the genetic proposal operators.
+  std::vector<const Confirmed*> confirmed;
+  std::vector<std::vector<double>> archive_costs;
+  confirmed.reserve(archive_.size());
+  archive_costs.reserve(archive_.size());
+  for (const auto& [key, point] : archive_) {
+    confirmed.push_back(&point);
+    archive_costs.push_back(point.cost);
+  }
+  const std::vector<unsigned> archive_rank = analysis::nondominated_rank(archive_costs);
+  std::vector<const Confirmed*> front;
+  for (std::size_t i = 0; i < confirmed.size(); ++i) {
+    if (archive_rank[i] == 0) front.push_back(confirmed[i]);
+  }
+
+  const std::size_t want = std::max<std::size_t>(opts_.proposals, max_count);
+  const std::size_t attempts = 20 * want + 50;
+  for (std::size_t i = 0; i < attempts && pool.size() < want; ++i) {
+    const std::uint64_t op = rng_.below(4);
+    if (op <= 1) {
+      const Config& parent = front[rng_.below(front.size())]->config;
+      try_add(mutate(space_, parent, rng_));
+    } else if (op == 2 && front.size() >= 2) {
+      const Config& a = front[rng_.below(front.size())]->config;
+      const Config& b = front[rng_.below(front.size())]->config;
+      try_add(crossover(space_, a, b, rng_));
+    } else {
+      try_add(sample(space_, rng_));
+    }
+  }
+  if (pool.empty()) return {};  // reachable space exhausted
+
+  // Acquisition: rank candidate predictions against the *confirmed*
+  // archive costs in one joint non-dominated sort (a candidate predicted
+  // to be dominated by what we already hold ranks behind one predicted to
+  // extend the front), minus an exploration bonus for feature-space
+  // novelty. Ties break by key: bit-determinism.
+  std::vector<std::vector<double>> joint = archive_costs;
+  std::vector<FeatureVector> pool_features;
+  pool_features.reserve(pool.size());
+  for (const auto& [key, config] : pool) {
+    joint.push_back(model_.predict_cost(config, opts_.objectives));
+    pool_features.push_back(extract_features(config));
+  }
+  const std::vector<unsigned> joint_rank = analysis::nondominated_rank(joint);
+
+  struct Scored {
+    double score;
+    const std::string* key;
+    std::size_t index;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(pool.size());
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    // Novelty: distance to the nearest confirmed point in feature space
+    // (bias dimension included — it cancels).
+    double novelty = 0.0;
+    if (!confirmed.empty()) {
+      double best = -1.0;
+      for (const Confirmed* point : confirmed) {
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < kNumFeatures; ++i) {
+          const double d = pool_features[j][i] - point->features[i];
+          d2 += d * d;
+        }
+        if (best < 0.0 || d2 < best) best = d2;
+      }
+      novelty = std::sqrt(best);
+    }
+    const double score =
+        static_cast<double>(joint_rank[archive_costs.size() + j]) - opts_.explore_weight * novelty;
+    scored.push_back({score, &pool[j].first, j});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score != b.score ? a.score < b.score : *a.key < *b.key;
+  });
+
+  std::vector<Config> batch;
+  batch.reserve(std::min(max_count, scored.size()));
+  for (std::size_t j = 0; j < scored.size() && batch.size() < max_count; ++j) {
+    batch.push_back(std::move(pool[scored[j].index].second));
+  }
+  return batch;
+}
+
+void SurrogateStrategy::confirm(const std::vector<Config>& configs,
+                                const std::vector<Objectives>& objectives) {
+  // Canonical key order before archive insertion and model folding: the
+  // fit is bit-identical no matter how the evaluation fan-out (threads,
+  // farm workers) delivered the results.
+  std::vector<std::pair<std::string, std::size_t>> order;
+  order.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) order.emplace_back(config_key(configs[i]), i);
+  std::sort(order.begin(), order.end());
+  for (const auto& [key, i] : order) {
+    if (archive_.count(key) != 0) continue;
+    Confirmed point;
+    point.config = configs[i];
+    canonicalize(point.config);
+    point.features = extract_features(point.config);
+    point.cost = cost_vector(objectives[i], opts_.objectives);
+    archive_.emplace(key, std::move(point));
+    model_.observe(configs[i], objectives[i]);
+  }
+  model_.fit();
+}
+
+}  // namespace axmult::dse

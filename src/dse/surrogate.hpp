@@ -1,0 +1,147 @@
+// Surrogate screening layer of the DSE engine (Strategy::kSurrogate).
+//
+// Million-candidate spaces are out of reach when every candidate pays a
+// full netlist evaluation. The surrogate strategy decouples *proposing*
+// from *confirming*: each generation drafts a large candidate batch
+// (mutations and recombinations of the confirmed front plus fresh
+// samples), ranks it by a cheap predicted Pareto contribution, and only
+// the top slice is submitted for real evaluation. The predictor is an
+// incremental ridge regression per objective over hand-picked config
+// features, refit from every confirmed evaluation — and wherever the
+// analytic error engine's envelope admits a candidate, its error
+// predictions are replaced by error::surrogate_seed's *exact* numbers, so
+// a large share of the screening happens on true values for free.
+//
+// Determinism contract (same as the other strategies): all stochastic
+// decisions run on the calling thread from one Xoshiro256 stream, the
+// archive is an ordered map over canonical config keys, confirmations are
+// folded into the model in key order, and score ties break by key — so
+// the proposal sequence, and therefore the final front, is bit-identical
+// for any evaluation thread/worker count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/space.hpp"
+#include "error/analytic.hpp"
+
+namespace axmult::dse {
+
+/// Cheap, deterministic features of one config: width, leaf one-hot,
+/// per-level summation mix, truncation depth (absolute and relative),
+/// Cb/lower-OR width, swap/signedness flags, and the leaf perturbation
+/// distance (flip count + significance-weighted flip mass).
+inline constexpr std::size_t kNumFeatures = 19;
+using FeatureVector = std::array<double, kNumFeatures>;
+
+[[nodiscard]] FeatureVector extract_features(const Config& c);
+
+/// The directly modelled targets, in model order; the remaining
+/// objectives are served by proxies (see predict_cost).
+enum class SurrogateTarget : std::uint8_t { kMre, kNmed, kLuts, kDelay, kEdp };
+inline constexpr std::size_t kNumTargets = 5;
+
+/// Incremental ridge regression: one linear model per target over the
+/// feature vector, fit in log1p space (objectives are positive and span
+/// orders of magnitude) via normal equations with deterministic Gaussian
+/// elimination. observe() is O(F^2), fit() is O(F^3) with F = 19 — both
+/// negligible next to one real evaluation. Not thread-safe; the search
+/// drives it from the calling thread only.
+class SurrogateModel {
+ public:
+  explicit SurrogateModel(bool analytic_seeding = true, double ridge_lambda = 1e-3);
+
+  /// Folds one confirmed evaluation into the normal-equation accumulators.
+  /// Call in canonical key order for bit-reproducible fits.
+  void observe(const Config& c, const Objectives& obj);
+
+  /// Refits the per-target weights from everything observed so far.
+  void fit();
+
+  [[nodiscard]] std::size_t observations() const noexcept { return n_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Predicted value of one modelled target (>= 0); 0 before any fit().
+  [[nodiscard]] double predict(const Config& c, SurrogateTarget t) const;
+
+  /// Predicted cost vector for `objectives`. Error objectives use the
+  /// exact analytic seed when the envelope admits the config (memoized per
+  /// key); unmodelled objectives use proxies (carry4 ~ luts/4, energy ~
+  /// edp/delay, maxerr/errprob ~ the modelled error targets).
+  [[nodiscard]] std::vector<double> predict_cost(const Config& c,
+                                                 const std::vector<Objective>& objectives) const;
+
+  /// The exact analytic seed for `c`, if its envelope admits it (memoized;
+  /// nullopt outside the envelope or when seeding is disabled).
+  [[nodiscard]] const std::optional<error::SurrogateSeed>& seed_for(const Config& c) const;
+
+ private:
+  [[nodiscard]] double predict_features(const FeatureVector& f, SurrogateTarget t) const;
+
+  bool analytic_seeding_;
+  double lambda_;
+  std::size_t n_ = 0;
+  bool fitted_ = false;
+  // Shared X^T X (features are target-independent) + per-target X^T y.
+  std::array<double, kNumFeatures * kNumFeatures> xtx_{};
+  std::array<std::array<double, kNumFeatures>, kNumTargets> xty_{};
+  std::array<std::array<double, kNumFeatures>, kNumTargets> weights_{};
+  mutable std::map<std::string, std::optional<error::SurrogateSeed>> seed_memo_;
+};
+
+struct SurrogateStrategyOptions {
+  unsigned population = 32;   ///< confirmations per generation (top slice)
+  unsigned proposals = 256;   ///< candidates screened per generation
+  double explore_weight = 0.25;  ///< novelty bonus weight in the acquisition
+  std::uint64_t seed = 1;
+  std::vector<Objective> objectives{Objective::kLuts, Objective::kDelay, Objective::kMre};
+  /// Exact analytic error seeding (disable when the evaluation context is
+  /// not the uniform sweep the analytic engine models).
+  bool analytic_seeding = true;
+};
+
+/// The propose/confirm state machine run_search drives: propose() returns
+/// the next slice of configs to evaluate for real, confirm() feeds the
+/// results back (archive insertion + model refit).
+class SurrogateStrategy {
+ public:
+  SurrogateStrategy(SpaceSpec space, SurrogateStrategyOptions opts);
+
+  /// Next batch of at most `max_count` configs to confirm, never repeating
+  /// a confirmed or currently returned key. Generation 0 (empty archive)
+  /// is a random bootstrap; later generations screen `proposals`
+  /// candidates through the surrogate and return the top slice by
+  /// acquisition score = predicted-nondominated-rank (against the
+  /// confirmed archive) - explore_weight * feature-space novelty, ties by
+  /// key. An empty return means the reachable space is exhausted.
+  [[nodiscard]] std::vector<Config> propose(std::size_t max_count);
+
+  /// Records confirmed evaluations (any order; canonicalized by key
+  /// internally) and refits the model.
+  void confirm(const std::vector<Config>& configs, const std::vector<Objectives>& objectives);
+
+  [[nodiscard]] const SurrogateModel& model() const noexcept { return model_; }
+  [[nodiscard]] std::size_t archive_size() const noexcept { return archive_.size(); }
+
+ private:
+  struct Confirmed {
+    Config config;
+    FeatureVector features{};
+    std::vector<double> cost;
+  };
+
+  SpaceSpec space_;
+  SurrogateStrategyOptions opts_;
+  Xoshiro256 rng_;
+  SurrogateModel model_;
+  std::map<std::string, Confirmed> archive_;  ///< canonical key -> confirmed
+};
+
+}  // namespace axmult::dse

@@ -729,4 +729,26 @@ std::optional<AnalyticMetrics> analytic_metrics(const AnalyticSpec& spec, std::s
   return analytic_detail::analyze_bipartite(spec, why);
 }
 
+std::optional<SurrogateSeed> surrogate_seed(const AnalyticSpec& spec) {
+  // Structural pre-check first: rejecting without building PMFs keeps the
+  // common "outside the envelope" case essentially free for callers that
+  // probe every candidate in a large proposal batch.
+  if (!analytic_unsupported(spec).empty()) return std::nullopt;
+  const auto am = analytic_metrics(spec);
+  if (!am) return std::nullopt;
+  SurrogateSeed seed;
+  seed.method = am->method;
+  seed.mre = am->metrics.avg_relative_error;
+  seed.error_probability = am->error_probability;
+  seed.max_error_ld =
+      am->wide ? am->max_error_ld : static_cast<long double>(am->metrics.max_error);
+  // Same normalization as dse::evaluate's analytic path: mean |error|
+  // over the maximum exact product.
+  const long double max_a = std::exp2l(static_cast<long double>(spec.a_bits())) - 1.0L;
+  const long double max_b = std::exp2l(static_cast<long double>(spec.b_bits())) - 1.0L;
+  seed.nmed = static_cast<double>(
+      static_cast<long double>(am->metrics.avg_error) / (max_a * max_b));
+  return seed;
+}
+
 }  // namespace axmult::error

@@ -128,6 +128,22 @@ struct AnalyticMetrics {
 [[nodiscard]] std::optional<AnalyticMetrics> analytic_metrics(const AnalyticSpec& spec,
                                                               std::string* why = nullptr);
 
+/// Scalar error summary for surrogate-model seeding (src/dse). When the
+/// analytic envelope admits the spec these numbers are *exact* — the same
+/// values dse::evaluate's analytic path would later confirm — so a search
+/// surrogate can screen candidates on true error metrics without paying
+/// any evaluation. nullopt outside the envelope; callers fall back to
+/// their learned predictor.
+struct SurrogateSeed {
+  double mre = 0.0;                ///< mean relative error (MRED)
+  double nmed = 0.0;               ///< avg |error| / max exact product
+  double error_probability = 0.0;
+  long double max_error_ld = 0.0L; ///< exact even where uint64 saturates
+  std::string method;              ///< "cross" | "factor" | "bipartite"
+};
+
+[[nodiscard]] std::optional<SurrogateSeed> surrogate_seed(const AnalyticSpec& spec);
+
 namespace analytic_detail {
 
 // Internals exposed for unit tests (tests/analytic_test.cpp) and for the

@@ -91,6 +91,27 @@ Reply Client::characterize(const std::string& key, double deadline_ms) {
   return request(std::move(req));
 }
 
+std::vector<Reply> Client::evaluate_batch(const std::vector<std::string>& keys,
+                                          double deadline_ms) {
+  Request req;
+  req.op = Op::kEvaluateBatch;
+  req.keys = keys;
+  req.deadline_ms = deadline_ms;
+  req.id = next_id();
+  if (!send(req)) throw std::runtime_error("serve: connection lost on send");
+  std::vector<Reply> replies(keys.size());
+  std::vector<bool> got(keys.size(), false);
+  for (std::size_t pending = keys.size(); pending > 0;) {
+    std::optional<Reply> reply = recv();
+    if (!reply) throw std::runtime_error("serve: connection lost awaiting batch replies");
+    if (reply->id != req.id || reply->index >= keys.size() || got[reply->index]) continue;
+    got[reply->index] = true;
+    replies[reply->index] = std::move(*reply);
+    --pending;
+  }
+  return replies;
+}
+
 Reply Client::infer(const std::string& backend, bool swap, std::uint32_t m, std::uint32_t k,
                     std::uint32_t n, const std::vector<std::uint8_t>& a,
                     const std::vector<std::uint8_t>& b, double deadline_ms) {

@@ -43,6 +43,12 @@ class Client {
   [[nodiscard]] bool ping();
   [[nodiscard]] std::string stats_json();  ///< raw stats reply line
   Reply characterize(const std::string& key, double deadline_ms = -1.0);
+  /// Submits `keys` as one evaluate-batch frame and collects the per-key
+  /// reply frames (exactly keys.size() of them), returned ordered by the
+  /// batch index each reply carries. Throws std::runtime_error when the
+  /// connection dies before the batch completes.
+  std::vector<Reply> evaluate_batch(const std::vector<std::string>& keys,
+                                    double deadline_ms = -1.0);
   /// Row-major m x k lhs and k x n rhs; the reply carries m x n int64
   /// accumulators (bit-identical to nn::gemm_accumulate).
   Reply infer(const std::string& backend, bool swap, std::uint32_t m, std::uint32_t k,

@@ -163,6 +163,7 @@ const char* op_name(Op op) noexcept {
     case Op::kShutdown: return "shutdown";
     case Op::kCharacterize: return "characterize";
     case Op::kInfer: return "infer";
+    case Op::kEvaluateBatch: return "evaluate-batch";
   }
   return "?";
 }
@@ -173,6 +174,16 @@ dse::EvalOptions Request::eval_options(const dse::EvalOptions& defaults) const {
   if (samples >= 0) opts.samples = static_cast<std::uint64_t>(samples);
   if (seed >= 0) opts.seed = static_cast<std::uint64_t>(seed);
   if (analytic >= 0) opts.analytic = analytic != 0;
+  if (power_vectors >= 0) opts.power_vectors = static_cast<std::uint64_t>(power_vectors);
+  if (gaussian >= 0) {
+    opts.gaussian = gaussian != 0;
+    if (opts.gaussian) {
+      opts.mean_a = gauss_mean_a;
+      opts.sigma_a = gauss_sigma_a;
+      opts.mean_b = gauss_mean_b;
+      opts.sigma_b = gauss_sigma_b;
+    }
+  }
   return opts;
 }
 
@@ -181,12 +192,32 @@ std::string encode_request(const Request& req) {
   os << "{\"proto\": " << kProtocolVersion << ", \"op\": \"" << op_name(req.op)
      << "\", \"id\": " << req.id;
   if (req.deadline_ms >= 0.0) os << ", \"deadline_ms\": " << fmt_double(req.deadline_ms);
-  if (req.op == Op::kCharacterize) {
-    os << ", \"key\": \"" << req.key << "\"";
+  const auto eval_overrides = [&] {
     if (req.exhaustive_bits >= 0) os << ", \"exhaustive_bits\": " << req.exhaustive_bits;
     if (req.samples >= 0) os << ", \"samples\": " << req.samples;
     if (req.seed >= 0) os << ", \"seed\": " << req.seed;
     if (req.analytic >= 0) os << ", \"analytic\": " << (req.analytic != 0 ? "true" : "false");
+    if (req.power_vectors >= 0) os << ", \"power_vectors\": " << req.power_vectors;
+    if (req.gaussian >= 0) {
+      os << ", \"gaussian\": " << (req.gaussian != 0 ? "true" : "false");
+      if (req.gaussian != 0) {
+        os << ", \"mean_a\": " << fmt_double(req.gauss_mean_a)
+           << ", \"sigma_a\": " << fmt_double(req.gauss_sigma_a)
+           << ", \"mean_b\": " << fmt_double(req.gauss_mean_b)
+           << ", \"sigma_b\": " << fmt_double(req.gauss_sigma_b);
+      }
+    }
+  };
+  if (req.op == Op::kCharacterize) {
+    os << ", \"key\": \"" << req.key << "\"";
+    eval_overrides();
+  } else if (req.op == Op::kEvaluateBatch) {
+    os << ", \"keys\": [";
+    for (std::size_t i = 0; i < req.keys.size(); ++i) {
+      os << (i ? ", " : "") << "\"" << req.keys[i] << "\"";
+    }
+    os << "]";
+    eval_overrides();
   } else if (req.op == Op::kInfer) {
     os << ", \"backend\": \"" << req.backend << "\", \"swap\": " << (req.swap ? "true" : "false")
        << ", \"m\": " << req.m << ", \"k\": " << req.k << ", \"n\": " << req.n << ", \"a\": \""
@@ -209,13 +240,11 @@ std::optional<Request> parse_request(const std::string& json, std::string* error
   else if (*op == "shutdown") req.op = Op::kShutdown;
   else if (*op == "characterize") req.op = Op::kCharacterize;
   else if (*op == "infer") req.op = Op::kInfer;
+  else if (*op == "evaluate-batch") req.op = Op::kEvaluateBatch;
   else return fail("unknown op");
   req.id = static_cast<std::uint64_t>(dse::jsonio::find_number(json, "id").value_or(0.0));
   req.deadline_ms = dse::jsonio::find_number(json, "deadline_ms").value_or(-1.0);
-  if (req.op == Op::kCharacterize) {
-    const auto key = dse::jsonio::find_string(json, "key");
-    if (!key || key->empty()) return fail("characterize without key");
-    req.key = *key;
+  const auto eval_overrides = [&] {
     if (const auto v = dse::jsonio::find_number(json, "exhaustive_bits")) {
       req.exhaustive_bits = static_cast<long>(*v);
     }
@@ -226,6 +255,26 @@ std::optional<Request> parse_request(const std::string& json, std::string* error
       req.seed = static_cast<long long>(*v);
     }
     if (const auto v = dse::jsonio::find_bool(json, "analytic")) req.analytic = *v ? 1 : 0;
+    if (const auto v = dse::jsonio::find_number(json, "power_vectors")) {
+      req.power_vectors = static_cast<long long>(*v);
+    }
+    if (const auto v = dse::jsonio::find_bool(json, "gaussian")) {
+      req.gaussian = *v ? 1 : 0;
+      req.gauss_mean_a = dse::jsonio::find_number(json, "mean_a").value_or(0.0);
+      req.gauss_sigma_a = dse::jsonio::find_number(json, "sigma_a").value_or(0.0);
+      req.gauss_mean_b = dse::jsonio::find_number(json, "mean_b").value_or(0.0);
+      req.gauss_sigma_b = dse::jsonio::find_number(json, "sigma_b").value_or(0.0);
+    }
+  };
+  if (req.op == Op::kCharacterize) {
+    const auto key = dse::jsonio::find_string(json, "key");
+    if (!key || key->empty()) return fail("characterize without key");
+    req.key = *key;
+    eval_overrides();
+  } else if (req.op == Op::kEvaluateBatch) {
+    req.keys = dse::jsonio::find_string_array(json, "keys");
+    if (req.keys.empty()) return fail("evaluate-batch without keys");
+    eval_overrides();
   } else if (req.op == Op::kInfer) {
     const auto backend = dse::jsonio::find_string(json, "backend");
     if (!backend || backend->empty()) return fail("infer without backend");
@@ -261,6 +310,12 @@ std::string encode_reply(const Reply& reply) {
   os << ", \"ok\": " << (reply.ok ? "true" : "false");
   if (reply.retry) os << ", \"retry\": true";
   if (!reply.error.empty()) os << ", \"err\": \"" << reply.error << "\"";
+  if (reply.op == "evaluate-batch") {
+    // Every batch reply — success, retry or error — names its key so the
+    // submitter can attribute the outcome.
+    os << ", \"key\": \"" << reply.key << "\", \"index\": " << reply.index
+       << ", \"total\": " << reply.total;
+  }
   if (reply.has_objectives) {
     os << ", \"cached\": " << (reply.cached ? "true" : "false")
        << ", \"coalesced\": " << (reply.coalesced ? "true" : "false") << ", "
@@ -286,6 +341,13 @@ std::optional<Reply> parse_reply(const std::string& json) {
   reply.op = dse::jsonio::find_string(json, "op").value_or("");
   reply.retry = dse::jsonio::find_bool(json, "retry").value_or(false);
   reply.error = dse::jsonio::find_string(json, "err").value_or("");
+  if (reply.op == "evaluate-batch") {
+    reply.key = dse::jsonio::find_string(json, "key").value_or("");
+    reply.index =
+        static_cast<std::uint32_t>(dse::jsonio::find_number(json, "index").value_or(0.0));
+    reply.total =
+        static_cast<std::uint32_t>(dse::jsonio::find_number(json, "total").value_or(0.0));
+  }
   if (const auto cached = dse::jsonio::find_bool(json, "cached")) {
     reply.cached = *cached;
     reply.coalesced = dse::jsonio::find_bool(json, "coalesced").value_or(false);

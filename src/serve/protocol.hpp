@@ -19,6 +19,17 @@
 //   {"op": "infer", "id": N, "backend": "<name or dse:<key>>", "swap": B,
 //    "m": M, "k": K, "n": Nc, "a": "<hex, M*K bytes>", "b": "<hex, K*Nc>",
 //    "deadline_ms": D}
+//   {"op": "evaluate-batch", "id": N, "keys": ["<key>", ...],
+//    "deadline_ms": D, ...}                     // same EvalOptions knobs as
+//                                              // characterize, applied to
+//                                              // every key in the batch
+//
+// evaluate-batch is the farm transport (dse::EvalFarm): M keys in one
+// frame, answered by exactly M reply frames — one per key, each tagged
+// {"key": "...", "index": i, "total": M} so ok / retry / error outcomes
+// stay attributable per key. Replies may interleave with other clients'
+// traffic in any order; each key rides the same single-flight
+// characterize queue (coalescing, deadlines, backpressure included).
 //
 // Replies (server -> client) echo the request id:
 //   {"id": N, "op": "...", "ok": true, ...}    // op-specific payload
@@ -83,7 +94,7 @@ enum class FrameStatus : std::uint8_t {
 
 // ---- requests -------------------------------------------------------------
 
-enum class Op : std::uint8_t { kPing, kStats, kShutdown, kCharacterize, kInfer };
+enum class Op : std::uint8_t { kPing, kStats, kShutdown, kCharacterize, kInfer, kEvaluateBatch };
 
 [[nodiscard]] const char* op_name(Op op) noexcept;
 
@@ -100,6 +111,15 @@ struct Request {
   long long samples = -1;
   long long seed = -1;
   int analytic = -1;  ///< tri-state: -1 default, 0 off, 1 on
+  /// Further overrides the farm needs so a worker's cache context matches
+  /// the submitting search exactly; same tri-state convention.
+  long long power_vectors = -1;
+  int gaussian = -1;
+  double gauss_mean_a = 0.0, gauss_sigma_a = 0.0;
+  double gauss_mean_b = 0.0, gauss_sigma_b = 0.0;
+
+  // evaluate-batch
+  std::vector<std::string> keys;  ///< dse::config_key strings, >= 1
 
   // infer
   std::string backend;  ///< nn backend name or "dse:<config key>"
@@ -131,6 +151,13 @@ struct Reply {
   dse::Objectives objectives;
   bool cached = false;
   bool coalesced = false;
+
+  // evaluate-batch payload: which key of the batch this frame answers.
+  // Present on every batch reply, including retry/error outcomes, so the
+  // submitter can requeue or fall back per key.
+  std::string key;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
 
   // infer payload
   std::vector<std::int64_t> acc;  ///< row-major m x n accumulators

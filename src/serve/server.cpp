@@ -67,9 +67,27 @@ struct Waiter {
   Clock::time_point arrival;
   double deadline_ms = -1.0;  ///< < 0 = none
   bool coalesced = false;
+  // Reply attribution: characterize waiters leave key/index/total empty;
+  // evaluate-batch waiters carry which key of their batch this is, echoed
+  // on every outcome (ok, retry, error) so the submitter can requeue or
+  // fall back per key.
+  std::string op = "characterize";
+  std::string key;
+  std::uint32_t index = 0;
+  std::uint32_t total = 0;
 
   [[nodiscard]] bool expired() const {
     return deadline_ms >= 0.0 && elapsed_ms(arrival) >= deadline_ms;
+  }
+
+  [[nodiscard]] Reply base_reply() const {
+    Reply reply;
+    reply.id = id;
+    reply.op = op;
+    reply.key = key;
+    reply.index = index;
+    reply.total = total;
+    return reply;
   }
 };
 
@@ -100,6 +118,7 @@ struct AtomicStats {
   std::atomic<std::uint64_t> connections{0}, requests{0}, parse_errors{0}, pings{0};
   std::atomic<std::uint64_t> characterize_requests{0}, cache_hits{0}, coalesced{0},
       evaluations{0};
+  std::atomic<std::uint64_t> batch_requests{0}, batch_keys{0};
   std::atomic<std::uint64_t> infer_requests{0}, infer_rows{0}, gemm_batches{0}, gemm_rows{0},
       merged_requests{0};
   std::atomic<std::uint64_t> retries{0}, deadline_expired{0};
@@ -114,6 +133,8 @@ struct AtomicStats {
     s.cache_hits = cache_hits.load();
     s.coalesced = coalesced.load();
     s.evaluations = evaluations.load();
+    s.batch_requests = batch_requests.load();
+    s.batch_keys = batch_keys.load();
     s.infer_requests = infer_requests.load();
     s.infer_rows = infer_rows.load();
     s.gemm_batches = gemm_batches.load();
@@ -133,7 +154,8 @@ std::string ServerStats::to_json_fields() const {
      << ", \"parse_errors\": " << parse_errors << ", \"pings\": " << pings
      << ", \"characterize_requests\": " << characterize_requests
      << ", \"cache_hits\": " << cache_hits << ", \"coalesced\": " << coalesced
-     << ", \"evaluations\": " << evaluations << ", \"infer_requests\": " << infer_requests
+     << ", \"evaluations\": " << evaluations << ", \"batch_requests\": " << batch_requests
+     << ", \"batch_keys\": " << batch_keys << ", \"infer_requests\": " << infer_requests
      << ", \"infer_rows\": " << infer_rows << ", \"gemm_batches\": " << gemm_batches
      << ", \"gemm_rows\": " << gemm_rows << ", \"merged_requests\": " << merged_requests
      << ", \"retries\": " << retries << ", \"deadline_expired\": " << deadline_expired;
@@ -191,6 +213,12 @@ struct Server::Impl {
 
   void handle_frame(const ConnPtr& conn, const std::string& payload);
   void handle_characterize(const ConnPtr& conn, const Request& req);
+  void handle_evaluate_batch(const ConnPtr& conn, const Request& req);
+  /// Shared tail of characterize and evaluate-batch: parse the config key,
+  /// answer from cache, join or create the single-flight entry, or push
+  /// back with a retry. The waiter carries the reply attribution.
+  void enqueue_characterize(const std::string& key_str, const dse::EvalOptions& eval_opts,
+                            Waiter waiter);
   void handle_infer(const ConnPtr& conn, Request&& req);
 
   void worker_loop();
@@ -201,7 +229,30 @@ struct Server::Impl {
 
   void send_deadline(const Waiter& w) {
     stats.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-    w.conn->send(error_reply(w.id, "deadline"));
+    Reply reply = w.base_reply();
+    reply.error = "deadline";
+    w.conn->send(reply);
+  }
+  void send_error(const Waiter& w, const std::string& err) {
+    Reply reply = w.base_reply();
+    reply.error = err;
+    w.conn->send(reply);
+  }
+  void send_retry(const Waiter& w) {
+    stats.retries.fetch_add(1, std::memory_order_relaxed);
+    Reply reply = w.base_reply();
+    reply.retry = true;
+    reply.error = "busy";
+    w.conn->send(reply);
+  }
+  void send_objectives(const Waiter& w, const dse::Objectives& obj, bool cached) {
+    Reply reply = w.base_reply();
+    reply.ok = true;
+    reply.has_objectives = true;
+    reply.objectives = obj;
+    reply.cached = cached;
+    reply.coalesced = w.coalesced;
+    w.conn->send(reply);
   }
 };
 
@@ -260,10 +311,7 @@ void Server::Impl::stop() {
       }
       queue.clear();
     }
-    for (const Waiter& w : orphans) {
-      stats.retries.fetch_add(1, std::memory_order_relaxed);
-      w.conn->send(retry_reply(w.id));
-    }
+    for (const Waiter& w : orphans) send_retry(w);
   }
   queue_cv.notify_all();
   for (std::thread& t : workers) {
@@ -395,23 +443,43 @@ void Server::Impl::handle_frame(const ConnPtr& conn, const std::string& payload)
       return;
     }
     case Op::kCharacterize: handle_characterize(conn, *req); return;
+    case Op::kEvaluateBatch: handle_evaluate_batch(conn, *req); return;
     case Op::kInfer: handle_infer(conn, std::move(*req)); return;
   }
 }
 
 void Server::Impl::handle_characterize(const ConnPtr& conn, const Request& req) {
   stats.characterize_requests.fetch_add(1, std::memory_order_relaxed);
+  Waiter waiter{conn, req.id, Clock::now(), req.deadline_ms, /*coalesced=*/false};
+  enqueue_characterize(req.key, req.eval_options(opts.eval), std::move(waiter));
+}
+
+void Server::Impl::handle_evaluate_batch(const ConnPtr& conn, const Request& req) {
+  stats.batch_requests.fetch_add(1, std::memory_order_relaxed);
+  stats.batch_keys.fetch_add(req.keys.size(), std::memory_order_relaxed);
+  const dse::EvalOptions eval_opts = req.eval_options(opts.eval);
+  const auto total = static_cast<std::uint32_t>(req.keys.size());
+  const Clock::time_point arrival = Clock::now();
+  // Each key becomes an independent waiter on the shared single-flight
+  // queue: cache hits answer inline, duplicates coalesce (with other
+  // clients' characterize traffic too), a full queue pushes back per key.
+  for (std::uint32_t i = 0; i < total; ++i) {
+    Waiter waiter{conn,  req.id, arrival, req.deadline_ms, /*coalesced=*/false,
+                  "evaluate-batch", req.keys[i], i, total};
+    enqueue_characterize(req.keys[i], eval_opts, std::move(waiter));
+  }
+}
+
+void Server::Impl::enqueue_characterize(const std::string& key_str,
+                                        const dse::EvalOptions& eval_opts, Waiter waiter) {
   dse::Config config;
   try {
-    config = dse::parse_key(req.key);
+    config = dse::parse_key(key_str);
   } catch (const std::exception& e) {
-    conn->send(error_reply(req.id, e.what()));
+    send_error(waiter, e.what());
     return;
   }
-  const dse::EvalOptions eval_opts = req.eval_options(opts.eval);
   const std::string full_key = dse::EvalCache::full_key(config, eval_opts);
-
-  Waiter waiter{conn, req.id, Clock::now(), req.deadline_ms, /*coalesced=*/false};
 
   // The flight lock spans the cache lookup and the join/create decision:
   // a flight is only erased *after* its result went into the cache, so
@@ -420,14 +488,7 @@ void Server::Impl::handle_characterize(const ConnPtr& conn, const Request& req) 
   const std::lock_guard<std::mutex> flock(flight_mu);
   if (const auto cached = cache.lookup(full_key)) {
     stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    Reply reply;
-    reply.id = req.id;
-    reply.op = "characterize";
-    reply.ok = true;
-    reply.has_objectives = true;
-    reply.objectives = *cached;
-    reply.cached = true;
-    conn->send(reply);
+    send_objectives(waiter, *cached, /*cached=*/true);
     return;
   }
   if (const auto it = flights.find(full_key); it != flights.end()) {
@@ -439,8 +500,7 @@ void Server::Impl::handle_characterize(const ConnPtr& conn, const Request& req) 
   const std::lock_guard<std::mutex> qlock(queue_mu);
   if (stopping.load(std::memory_order_relaxed) ||
       queue.size() >= opts.max_pending_characterize) {
-    stats.retries.fetch_add(1, std::memory_order_relaxed);
-    conn->send(retry_reply(req.id));
+    send_retry(waiter);
     return;
   }
   auto flight = std::make_shared<Flight>();
@@ -552,22 +612,14 @@ void Server::Impl::worker_loop() {
     }
     for (const Waiter& w : waiters) {
       if (!failure.empty()) {
-        w.conn->send(error_reply(w.id, failure));
+        send_error(w, failure);
         continue;
       }
       if (w.expired()) {
         send_deadline(w);
         continue;
       }
-      Reply reply;
-      reply.id = w.id;
-      reply.op = "characterize";
-      reply.ok = true;
-      reply.has_objectives = true;
-      reply.objectives = obj;
-      reply.cached = from_cache;
-      reply.coalesced = w.coalesced;
-      w.conn->send(reply);
+      send_objectives(w, obj, from_cache);
     }
   }
 }

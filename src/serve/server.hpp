@@ -68,6 +68,10 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;   ///< answered straight from the EvalCache
   std::uint64_t coalesced = 0;    ///< joined another client's in-flight eval
   std::uint64_t evaluations = 0;  ///< actual dse::evaluate calls
+  // evaluate-batch (the dse::EvalFarm transport; keys ride the same
+  // single-flight characterize queue and count into the fields above)
+  std::uint64_t batch_requests = 0;
+  std::uint64_t batch_keys = 0;
   // infer
   std::uint64_t infer_requests = 0;
   std::uint64_t infer_rows = 0;       ///< rows accepted into the queue

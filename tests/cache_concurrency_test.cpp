@@ -5,6 +5,7 @@
 // description) must produce a file of whole, parseable lines with every
 // key exactly once; reload() must make one instance's inserts visible to
 // another.
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -91,7 +92,7 @@ TEST(CacheConcurrency, TwoWritersManyThreadsNeverTearLines) {
     }
     for (auto& thread : threads) thread.join();
 
-    const ParsedFile parsed = parse_cache_file(path);
+    ParsedFile parsed = parse_cache_file(path);
     EXPECT_EQ(0u, parsed.malformed) << "torn or unparseable lines in the cache file";
     // Every key appears in the file EXACTLY once: the insert path merges
     // other writers' appends under the flock before writing its own.
@@ -165,6 +166,138 @@ TEST(CacheConcurrency, InMemoryCacheReloadIsNoop) {
   memory.insert("ctx|x", make_objectives(1));
   EXPECT_EQ(0u, memory.reload());
   EXPECT_TRUE(memory.lookup("ctx|x").has_value());
+}
+
+TEST(CacheCompact, DropsStaleDuplicatesAndMalformed) {
+  const std::string path = temp_cache_path("compact");
+  std::remove(path.c_str());
+  {
+    dse::EvalCache writer(path);
+    writer.insert("ctx|k1", make_objectives(1));
+    writer.insert("ctx|k2", make_objectives(2));
+  }
+  {
+    // Debris another (crashed / older) writer could have left behind: a
+    // stale-version entry, a superseding duplicate of k1, and a torn line.
+    std::ofstream raw(path, std::ios::app);
+    raw << "{\"v\": 1, \"key\": \"ctx|old\", "
+        << dse::EvalCache::serialize_objectives(make_objectives(9)) << "}\n";
+    raw << "{\"v\": 2, \"key\": \"ctx|k1\", "
+        << dse::EvalCache::serialize_objectives(make_objectives(11)) << "}\n";
+    raw << "{\"v\": 2, \"key\": \"ctx|torn";  // no newline, no closing brace
+  }
+  dse::EvalCache cache(path);
+  const dse::EvalCache::CompactStats stats = cache.compact();
+  EXPECT_EQ(2u, stats.kept);
+  EXPECT_EQ(1u, stats.dropped_stale);
+  EXPECT_EQ(1u, stats.dropped_duplicate);
+  EXPECT_EQ(1u, stats.dropped_malformed);
+  ParsedFile parsed = parse_cache_file(path);
+  EXPECT_EQ(2u, parsed.lines);
+  EXPECT_EQ(0u, parsed.malformed);
+  EXPECT_EQ(1u, parsed.key_counts["ctx|k1"]);
+  EXPECT_EQ(1u, parsed.key_counts["ctx|k2"]);
+  // The duplicate's freshest write is what survives, in memory and in a
+  // fresh load alike.
+  const auto k1 = cache.lookup("ctx|k1");
+  ASSERT_TRUE(k1.has_value());
+  EXPECT_EQ(dse::EvalCache::serialize_objectives(make_objectives(11)),
+            dse::EvalCache::serialize_objectives(*k1));
+  dse::EvalCache reopened(path);
+  EXPECT_EQ(2u, reopened.loaded_entries());
+  std::remove(path.c_str());
+}
+
+TEST(CacheCompact, IdempotentAndInMemoryNoop) {
+  const std::string path = temp_cache_path("compact_idem");
+  std::remove(path.c_str());
+  dse::EvalCache cache(path);
+  for (unsigned i = 0; i < 8; ++i) cache.insert("ctx|k" + std::to_string(i), make_objectives(i));
+  const dse::EvalCache::CompactStats first = cache.compact();
+  EXPECT_EQ(8u, first.kept);
+  const dse::EvalCache::CompactStats second = cache.compact();
+  EXPECT_EQ(8u, second.kept);
+  EXPECT_EQ(0u, second.dropped_stale + second.dropped_duplicate + second.dropped_malformed);
+  dse::EvalCache memory;
+  memory.insert("ctx|x", make_objectives(1));
+  const dse::EvalCache::CompactStats mem = memory.compact();
+  EXPECT_EQ(0u, mem.kept);
+  std::remove(path.c_str());
+}
+
+TEST(CacheCompact, WriterNoticesShrinkAndLosesNothing) {
+  const std::string path = temp_cache_path("compact_shrink");
+  std::remove(path.c_str());
+  dse::EvalCache writer(path);
+  for (unsigned i = 0; i < 5; ++i) writer.insert("ctx|k" + std::to_string(i), make_objectives(i));
+  {
+    // A crashed writer left a pile of duplicate lines behind; the first
+    // writer merges them all, so its offset sits at the bloated EOF.
+    std::ofstream raw(path, std::ios::app);
+    for (unsigned i = 0; i < 20; ++i) {
+      raw << "{\"v\": 2, \"key\": \"ctx|k0\", "
+          << dse::EvalCache::serialize_objectives(make_objectives(40)) << "}\n";
+    }
+  }
+  (void)writer.reload();
+  // A second process compacts: the file shrinks far below the first
+  // writer's merged offset.
+  dse::EvalCache other(path);
+  (void)other.compact();
+  // The first writer's next insert must detect the shrink, re-merge from
+  // the start, and keep every key intact.
+  writer.insert("ctx|k5", make_objectives(5));
+  ParsedFile parsed = parse_cache_file(path);
+  EXPECT_EQ(6u, parsed.lines);
+  EXPECT_EQ(0u, parsed.malformed);
+  for (unsigned i = 0; i < 6; ++i) {
+    EXPECT_EQ(1u, parsed.key_counts["ctx|k" + std::to_string(i)]) << i;
+  }
+  const auto k0 = writer.lookup("ctx|k0");
+  ASSERT_TRUE(k0.has_value());
+  EXPECT_EQ(dse::EvalCache::serialize_objectives(make_objectives(40)),
+            dse::EvalCache::serialize_objectives(*k0));
+  std::remove(path.c_str());
+}
+
+TEST(CacheCompact, TwoProcessCompactVsAppendRace) {
+  const std::string path = temp_cache_path("compact_race");
+  std::remove(path.c_str());
+  constexpr unsigned kKeys = 150;
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: its own EvalCache (own open file description, own flock)
+    // appending a steady stream of fresh keys.
+    {
+      dse::EvalCache appender(path);
+      for (unsigned i = 0; i < kKeys; ++i) {
+        appender.insert("ctx|race" + std::to_string(i), make_objectives(i));
+      }
+    }
+    ::_exit(0);
+  }
+  {
+    dse::EvalCache compactor(path);
+    for (unsigned round = 0; round < 40; ++round) {
+      (void)compactor.compact();
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(pid, ::waitpid(pid, &status, 0));
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(0, WEXITSTATUS(status));
+  // Transient duplicates are tolerated mid-race; after one quiescent
+  // compaction the file must hold every appended key exactly once.
+  dse::EvalCache final_pass(path);
+  (void)final_pass.compact();
+  ParsedFile parsed = parse_cache_file(path);
+  EXPECT_EQ(0u, parsed.malformed);
+  EXPECT_EQ(static_cast<std::size_t>(kKeys), parsed.key_counts.size());
+  for (unsigned i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(1u, parsed.key_counts["ctx|race" + std::to_string(i)]) << i;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

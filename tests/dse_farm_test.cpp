@@ -1,0 +1,124 @@
+// Multi-process evaluation farm (dse/farm.hpp): bit-identical fronts at
+// any worker count, crash recovery by requeue, and cache-driven resume.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/cache.hpp"
+#include "dse/farm.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+
+namespace {
+
+using namespace axmult;
+
+std::string temp_path(const char* name) {
+  return "/tmp/axmult_farm_test_" + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+dse::SearchOptions surrogate_search(const char* tag, unsigned farm_workers) {
+  dse::SearchOptions search;
+  search.strategy = dse::Strategy::kSurrogate;
+  search.budget = 30;
+  search.population = 10;
+  search.generations = 2;
+  search.proposals = 48;
+  search.farm_workers = farm_workers;
+  search.cache_path = temp_path(tag) + "_cache.jsonl";
+  search.front_path = temp_path(tag) + "_front.json";
+  return search;
+}
+
+void cleanup(const dse::SearchOptions& search) {
+  std::remove(search.cache_path.c_str());
+  std::remove(search.front_path.c_str());
+}
+
+TEST(EvalFarm, FrontFileIsByteIdenticalAtAnyWorkerCount) {
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  // Worker counts 0 (in-process threads), 1, 2 and 8, each with its own
+  // cache file so no run can feed another through hits.
+  const dse::SearchOptions baseline = surrogate_search("w0", 0);
+  const dse::SearchResult base_result = dse::run_search(space, baseline);
+  const std::string base_front = slurp(baseline.front_path);
+  ASSERT_FALSE(base_front.empty());
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    const std::string tag = "w" + std::to_string(workers);
+    const dse::SearchOptions search = surrogate_search(tag.c_str(), workers);
+    const dse::SearchResult result = dse::run_search(space, search);
+    EXPECT_EQ(base_front, slurp(search.front_path)) << workers << " workers";
+    EXPECT_EQ(base_result.evaluations, result.evaluations) << workers << " workers";
+    EXPECT_EQ(base_result.cache_hits, result.cache_hits) << workers << " workers";
+    cleanup(search);
+  }
+  cleanup(baseline);
+}
+
+TEST(EvalFarm, CrashedWorkerGetsRequeuedAndTheBatchStillCompletes) {
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  const std::string cache_path = temp_path("crash") + "_cache.jsonl";
+  std::remove(cache_path.c_str());
+  const std::vector<dse::Config> configs = dse::enumerate(space);
+  ASSERT_GE(configs.size(), 8u);
+
+  dse::FarmOptions opts;
+  opts.workers = 2;
+  opts.cache_path = cache_path;
+  opts.worker_exit_after = 2;  // each worker dies abruptly on its 3rd eval
+  dse::EvalFarm farm(opts);
+  ASSERT_EQ(2u, farm.alive_workers());
+  dse::EvalCache cache(cache_path);
+  const std::vector<dse::Objectives> farmed = farm.evaluate_batch(configs, cache);
+  // Both workers died (> 2 evals each pending), their keys were requeued,
+  // and the parent finished inline — with every result still correct.
+  EXPECT_EQ(0u, farm.alive_workers());
+  EXPECT_GT(farm.requeues(), 0u);
+  EXPECT_GT(farm.inline_evals(), 0u);
+  ASSERT_EQ(configs.size(), farmed.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const dse::Objectives direct = dse::evaluate(configs[i]);
+    EXPECT_EQ(direct.luts, farmed[i].luts) << i;
+    EXPECT_DOUBLE_EQ(direct.mre, farmed[i].mre) << i;
+  }
+  std::remove(cache_path.c_str());
+}
+
+TEST(EvalFarm, ResumedSearchReplaysThroughCacheHits) {
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  dse::SearchOptions search = surrogate_search("resume", 2);
+  search.checkpoint_path = temp_path("resume") + "_ckpt.json";
+  const dse::SearchResult first = dse::run_search(space, search);
+  const std::string first_front = slurp(search.front_path);
+  EXPECT_EQ(0u, first.cache_hits);
+
+  // Replay from the checkpoint over the populated cache: identical front
+  // points, and every evaluation served from the cache. Only the meta line
+  // may differ (it honestly records the resumed run's cache-hit counter).
+  dse::SpaceSpec resumed_space;
+  dse::SearchOptions resumed;
+  dse::load_checkpoint(search.checkpoint_path, resumed_space, resumed);
+  resumed.farm_workers = 2;
+  const dse::SearchResult second = dse::run_search(resumed_space, resumed);
+  const auto body = [](const std::string& s) { return s.substr(s.find('\n') + 1); };
+  EXPECT_EQ(body(first_front), body(slurp(resumed.front_path)));
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(second.evaluations, second.cache_hits) << "resume must be 100% cache hits";
+  std::remove(search.checkpoint_path.c_str());
+  cleanup(search);
+}
+
+}  // namespace

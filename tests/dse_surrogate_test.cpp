@@ -1,0 +1,190 @@
+// Surrogate screening layer (dse/surrogate.hpp): feature extraction,
+// ridge-model behavior, analytic seeding, and the determinism of the
+// propose/confirm loop that the farm tests build on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/search.hpp"
+#include "dse/space.hpp"
+#include "dse/surrogate.hpp"
+
+namespace {
+
+using namespace axmult;
+
+dse::Config ca8() { return dse::paper_ca(8); }
+
+TEST(SurrogateFeatures, EncodeTheConfigFieldsDeterministically) {
+  const dse::Config c = ca8();
+  const dse::FeatureVector f = dse::extract_features(c);
+  EXPECT_DOUBLE_EQ(1.0, f[0]);                 // bias
+  EXPECT_DOUBLE_EQ(3.0, f[1]);                 // log2(8)
+  EXPECT_DOUBLE_EQ(1.0, f[8]);                 // all levels accurate in Ca
+  EXPECT_DOUBLE_EQ(0.0, f[9]);
+  EXPECT_DOUBLE_EQ(1.0, f[11]);                // top level accurate
+  EXPECT_DOUBLE_EQ(0.0, f[13]);                // no truncation
+  EXPECT_DOUBLE_EQ(0.0, f[17]);                // no flips
+  EXPECT_EQ(f, dse::extract_features(c));      // pure function
+}
+
+TEST(SurrogateFeatures, FlipMassWeighsSignificance) {
+  // Flips only survive canonicalization on the perturbed leaf.
+  dse::Config c = ca8();
+  c.leaf = dse::Config::Leaf::kPerturbed4x2Pair;
+  c.flips.push_back({5, 3});  // output bit 5: 2^5/64 = 0.5
+  const dse::FeatureVector f = dse::extract_features(c);
+  EXPECT_DOUBLE_EQ(1.0, f[17]);
+  EXPECT_DOUBLE_EQ(0.5, f[18]);
+}
+
+TEST(SurrogateModel, UnfittedPredictsZeroAndFitRecoversOrdering) {
+  dse::SpaceSpec space = dse::make_space("smoke8");
+  dse::SurrogateModel model(/*analytic_seeding=*/false);
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DOUBLE_EQ(0.0, model.predict(ca8(), dse::SurrogateTarget::kLuts));
+
+  // Train on a batch of real evaluations; the fitted model must broadly
+  // track the real LUT spread (monotone agreement, not exact values).
+  const std::vector<dse::Config> configs = dse::enumerate(space);
+  dse::EvalOptions eval;
+  std::vector<double> luts;
+  for (const dse::Config& c : configs) {
+    const dse::Objectives obj = dse::evaluate(c, eval);
+    model.observe(c, obj);
+    luts.push_back(static_cast<double>(obj.luts));
+  }
+  model.fit();
+  ASSERT_TRUE(model.fitted());
+  EXPECT_EQ(configs.size(), model.observations());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const double pred = model.predict(configs[i], dse::SurrogateTarget::kLuts);
+    worst = std::max(worst, std::fabs(pred - luts[i]) / std::max(1.0, luts[i]));
+  }
+  // Ridge over 19 features on a structured space: in-sample error stays
+  // within a loose band (this guards gross regressions, not accuracy).
+  EXPECT_LT(worst, 0.5) << "surrogate LUT prediction off by " << worst * 100 << "%";
+}
+
+TEST(SurrogateModel, AnalyticSeedSuppliesExactErrorMetrics) {
+  dse::SurrogateModel model(/*analytic_seeding=*/true);
+  const dse::Config c = ca8();
+  const auto& seed = model.seed_for(c);
+  ASSERT_TRUE(seed.has_value()) << "Ca_8 must be inside the analytic envelope";
+  const dse::EvalOptions eval;
+  const dse::Objectives exact = dse::evaluate(c, eval);
+  EXPECT_NEAR(exact.mre, seed->mre, 1e-9);
+  EXPECT_NEAR(exact.error_probability, seed->error_probability, 1e-9);
+  // predict_cost must serve the seed for error objectives even unfitted.
+  const std::vector<double> cost =
+      model.predict_cost(c, {dse::Objective::kMre, dse::Objective::kErrorProbability});
+  EXPECT_NEAR(exact.mre, cost[0], 1e-9);
+  EXPECT_NEAR(exact.error_probability, cost[1], 1e-9);
+}
+
+TEST(SurrogateStrategy, ProposalsNeverRepeatConfirmedKeys) {
+  dse::SurrogateStrategyOptions opts;
+  opts.population = 8;
+  opts.proposals = 32;
+  dse::SurrogateStrategy strategy(dse::make_space("smoke8"), opts);
+  std::set<std::string> seen;
+  for (int gen = 0; gen < 4; ++gen) {
+    const std::vector<dse::Config> batch = strategy.propose(8);
+    if (batch.empty()) break;
+    std::vector<dse::Objectives> obj;
+    for (const dse::Config& c : batch) {
+      const std::string key = dse::config_key(c);
+      EXPECT_TRUE(seen.insert(key).second) << "repeated proposal " << key;
+      obj.push_back(dse::evaluate(c));
+    }
+    strategy.confirm(batch, obj);
+  }
+  EXPECT_EQ(seen.size(), strategy.archive_size());
+}
+
+TEST(SurrogateStrategy, ProposalSequenceIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    dse::SurrogateStrategyOptions opts;
+    opts.population = 6;
+    opts.proposals = 24;
+    opts.seed = seed;
+    dse::SurrogateStrategy strategy(dse::make_space("smoke8"), opts);
+    std::vector<std::string> keys;
+    for (int gen = 0; gen < 3; ++gen) {
+      const std::vector<dse::Config> batch = strategy.propose(6);
+      if (batch.empty()) break;
+      std::vector<dse::Objectives> obj;
+      for (const dse::Config& c : batch) {
+        keys.push_back(dse::config_key(c));
+        obj.push_back(dse::evaluate(c));
+      }
+      strategy.confirm(batch, obj);
+    }
+    return keys;
+  };
+  const std::vector<std::string> a = run(7);
+  EXPECT_EQ(a, run(7));
+  EXPECT_NE(a, run(8)) << "different seeds should explore differently";
+}
+
+TEST(SurrogateStrategy, ConfirmOrderDoesNotChangeTheModel) {
+  // Deliver one generation's results in two different orders; the next
+  // proposal batch must be identical (the strategy canonicalizes by key).
+  const auto run = [](bool reversed) {
+    dse::SurrogateStrategyOptions opts;
+    opts.population = 8;
+    opts.proposals = 32;
+    dse::SurrogateStrategy strategy(dse::make_space("smoke8"), opts);
+    std::vector<dse::Config> batch = strategy.propose(8);
+    std::vector<dse::Objectives> obj;
+    for (const dse::Config& c : batch) obj.push_back(dse::evaluate(c));
+    if (reversed) {
+      std::reverse(batch.begin(), batch.end());
+      std::reverse(obj.begin(), obj.end());
+    }
+    strategy.confirm(batch, obj);
+    std::vector<std::string> next;
+    for (const dse::Config& c : strategy.propose(8)) next.push_back(dse::config_key(c));
+    return next;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SurrogateSearch, RunSearchBeatsRandomAtEqualBudgetOnSmoke8) {
+  // The in-tree equivalent of the `axdse explore --strategy surrogate
+  // --smoke` anchor: equal confirmed-evaluation budget, shared reference
+  // point, surrogate hypervolume must not fall below random's.
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  dse::SearchOptions search;
+  search.strategy = dse::Strategy::kSurrogate;
+  search.budget = 36;
+  search.population = 12;
+  search.generations = 2;
+  search.proposals = 64;
+  const dse::SearchResult surrogate = dse::run_search(space, search);
+  search.strategy = dse::Strategy::kRandom;
+  const dse::SearchResult random = dse::run_search(space, search);
+  ASSERT_FALSE(surrogate.front.empty());
+  std::vector<double> ref(search.objectives.size(), 1e-9);
+  const auto fold = [&](const std::vector<dse::EvaluatedPoint>& front) {
+    std::vector<std::vector<double>> costs;
+    for (const dse::EvaluatedPoint& p : front) {
+      costs.push_back(dse::cost_vector(p.objectives, search.objectives));
+      for (std::size_t i = 0; i < ref.size(); ++i) ref[i] = std::max(ref[i], costs.back()[i]);
+    }
+    return costs;
+  };
+  const auto surr_costs = fold(surrogate.front);
+  const auto rand_costs = fold(random.front);
+  for (double& r : ref) r = r * 1.1 + 1e-9;
+  EXPECT_GE(analysis::hypervolume(surr_costs, ref), analysis::hypervolume(rand_costs, ref));
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "analysis/pareto.hpp"
@@ -108,6 +109,38 @@ TEST(MarkParetoFront, SinglePoint) {
   mark_pareto_front(points);
   EXPECT_TRUE(points[0].pareto);
   EXPECT_EQ(pareto_front(points).size(), 1u);
+}
+
+TEST(Hypervolume, OnePointIsItsDominatedBox) {
+  // Minimization against ref (4, 4): the point (1, 2) dominates a 3 x 2 box.
+  EXPECT_DOUBLE_EQ(6.0, hypervolume({{1.0, 2.0}}, {4.0, 4.0}));
+}
+
+TEST(Hypervolume, EmptyAndOutOfReferencePointsContributeNothing) {
+  EXPECT_DOUBLE_EQ(0.0, hypervolume({}, {1.0, 1.0}));
+  // On or beyond the reference point in any dimension = zero contribution.
+  EXPECT_DOUBLE_EQ(0.0, hypervolume({{1.0, 1.0}, {0.5, 2.0}}, {1.0, 1.0}));
+}
+
+TEST(Hypervolume, UnionOfOverlappingBoxes) {
+  // (1,3) covers 3x1, (3,1) covers 1x3, overlap 1x1 -> union 5. The
+  // dominated point (3,3) must add nothing.
+  EXPECT_DOUBLE_EQ(5.0, hypervolume({{1.0, 3.0}, {3.0, 1.0}, {3.0, 3.0}}, {4.0, 4.0}));
+  // Input order must not matter.
+  EXPECT_DOUBLE_EQ(5.0, hypervolume({{3.0, 3.0}, {3.0, 1.0}, {1.0, 3.0}}, {4.0, 4.0}));
+}
+
+TEST(Hypervolume, OneAndThreeDimensions) {
+  EXPECT_DOUBLE_EQ(3.0, hypervolume({{2.0}, {1.0}}, {4.0}));
+  // Two cubes: (0,0,0) dominates 2^3 = 8; (1,1,1) is inside it entirely.
+  EXPECT_DOUBLE_EQ(8.0, hypervolume({{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}}, {2.0, 2.0, 2.0}));
+  // An L of two overlapping boxes in 3-D: 1x2x2 + 2x1x2 - 1x1x2 = 6.
+  EXPECT_DOUBLE_EQ(6.0, hypervolume({{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}}, {2.0, 2.0, 2.0}));
+}
+
+TEST(Hypervolume, DimensionMismatchThrows) {
+  EXPECT_THROW((void)hypervolume({{1.0, 2.0}}, {4.0}), std::invalid_argument);
+  EXPECT_THROW((void)hypervolume({{1.0}, {1.0, 2.0}}, {4.0}), std::invalid_argument);
 }
 
 }  // namespace

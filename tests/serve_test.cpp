@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -14,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "check/serve_diff.hpp"
+#include "dse/cache.hpp"
+#include "dse/farm.hpp"
 #include "dse/space.hpp"
 #include "serve/client.hpp"
 #include "serve/loadgen.hpp"
@@ -335,6 +338,78 @@ TEST(ServeLoadgen, ShortClosedLoopRunSustainsConcurrentClients) {
   const std::string json = serve::loadgen_json(lg, report, "\"git_sha\": \"test\"");
   EXPECT_NE(std::string::npos, json.find("\"rps\""));
   EXPECT_NE(std::string::npos, json.find("\"git_sha\": \"test\""));
+}
+
+TEST(ServeBatch, EvaluateBatchAnswersEveryKeyExactlyOnce) {
+  ScopedServer scoped(base_options("batch"));
+  const std::vector<std::string> keys = {
+      dse::config_key(dse::paper_ca(8)),
+      dse::config_key(dse::paper_cc(8)),
+      dse::config_key(dse::paper_ca(8)),  // duplicate key: still one reply per slot
+  };
+  serve::Client client(scoped.server.socket_path());
+  const std::vector<serve::Reply> replies = client.evaluate_batch(keys);
+  ASSERT_EQ(keys.size(), replies.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(replies[i].ok) << i << ": " << replies[i].error;
+    EXPECT_TRUE(replies[i].has_objectives) << i;
+    EXPECT_EQ(keys[i], replies[i].key) << i;
+    EXPECT_EQ(i, replies[i].index);
+    EXPECT_EQ(keys.size(), replies[i].total);
+  }
+  // Duplicate slots carry bit-identical objective vectors.
+  EXPECT_EQ(dse::EvalCache::serialize_objectives(replies[0].objectives),
+            dse::EvalCache::serialize_objectives(replies[2].objectives));
+  // Served values match a direct evaluation under the same options.
+  const dse::Objectives direct = dse::evaluate(dse::paper_ca(8), fast_eval());
+  EXPECT_EQ(dse::EvalCache::serialize_objectives(direct),
+            dse::EvalCache::serialize_objectives(replies[0].objectives));
+  const serve::ServerStats stats = scoped.server.stats();
+  EXPECT_EQ(1u, stats.batch_requests);
+  EXPECT_EQ(keys.size(), stats.batch_keys);
+}
+
+TEST(ServeBatch, MalformedKeyFailsOnlyItsSlot) {
+  ScopedServer scoped(base_options("batch_err"));
+  const std::vector<std::string> keys = {dse::config_key(dse::paper_ca(8)), "not-a-config-key"};
+  serve::Client client(scoped.server.socket_path());
+  const std::vector<serve::Reply> replies = client.evaluate_batch(keys);
+  ASSERT_EQ(2u, replies.size());
+  EXPECT_TRUE(replies[0].ok);
+  EXPECT_FALSE(replies[1].ok);
+  EXPECT_FALSE(replies[1].error.empty());
+  EXPECT_EQ("not-a-config-key", replies[1].key);
+}
+
+TEST(ServeBatch, FarmAttachModeDrainsABatchThroughTheDaemon) {
+  // dse::EvalFarm in attach mode: the daemon's queue is the worker pool.
+  ScopedServer scoped(base_options("farm_attach"));
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  std::vector<dse::Config> configs = dse::enumerate(space);
+  configs.resize(std::min<std::size_t>(configs.size(), 6));
+
+  dse::FarmOptions fopts;
+  fopts.attach_socket = scoped.server.socket_path();
+  fopts.eval = fast_eval();
+  dse::EvalFarm farm(fopts);
+  ASSERT_EQ(1u, farm.alive_workers());
+  dse::EvalCache cache;  // in-memory parent cache
+  std::uint64_t hits = 0;
+  const std::vector<dse::Objectives> farmed = farm.evaluate_batch(configs, cache, &hits);
+  ASSERT_EQ(configs.size(), farmed.size());
+  EXPECT_EQ(0u, hits);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const dse::Objectives direct = dse::evaluate(configs[i], fast_eval());
+    EXPECT_EQ(dse::EvalCache::serialize_objectives(direct),
+              dse::EvalCache::serialize_objectives(farmed[i]))
+        << i;
+  }
+  // A second pass is all parent-side cache hits; no new daemon work.
+  const serve::ServerStats before = scoped.server.stats();
+  hits = 0;
+  (void)farm.evaluate_batch(configs, cache, &hits);
+  EXPECT_EQ(configs.size(), hits);
+  EXPECT_EQ(before.evaluations, scoped.server.stats().evaluations);
 }
 
 }  // namespace

@@ -9,13 +9,22 @@
 //   axdse front <front.json>        print a front file as a table
 //   axdse export <front.json> --index N [--hdl verilog|vhdl] [--out FILE]
 //                                   emit the selected design as HDL
+//   axdse cache-compact <cache.json>  rewrite an evaluation cache in place,
+//                                   dropping stale-version entries,
+//                                   superseded duplicates and crash debris
 //
 // explore options:
 //   --space NAME        search space preset            (default smoke8)
-//   --strategy S        exhaustive | random | nsga2    (default exhaustive)
+//   --strategy S        exhaustive | random | nsga2 | surrogate
+//                                                      (default exhaustive)
 //   --budget N          evaluation budget              (default 0 = strategy default)
-//   --population N      NSGA-II population             (default 32)
-//   --generations N     NSGA-II generations            (default 8)
+//   --population N      NSGA-II/surrogate population   (default 32)
+//   --generations N     NSGA-II/surrogate generations  (default 8)
+//   --proposals N       surrogate candidates screened per generation (default 256)
+//   --explore W         surrogate novelty bonus weight (default 0.25)
+//   --farm N            evaluation farm: fork N worker processes
+//   --farm-socket PATH  evaluation farm: attach to a running axserve daemon
+//   --quiet             suppress the periodic progress lines on stderr
 //   --seed S            search RNG seed                (default 1)
 //   --objectives A,B,C  minimized objectives           (default luts,delay,mre)
 //                       (luts carry4 delay mre nmed maxerr errprob energy edp)
@@ -30,13 +39,20 @@
 //   --power-vectors N   toggle vectors per config      (default 1024)
 //   --gaussian ma,sa,mb,sb  asymmetric operand distribution (swap-sensitive)
 //   --smoke             CI mode: exhaustive smoke8 search, front written to
-//                       axdse_smoke_front.json, paper anchors verified
+//                       axdse_smoke_front.json, paper anchors verified.
+//                       With --strategy surrogate: equal-budget surrogate
+//                       vs random duel on smoke8, front written to
+//                       axdse_surrogate_smoke_front.json, fails when the
+//                       surrogate front's hypervolume falls below random's
 //   --threads N         evaluation threads (also AXMULT_THREADS); results
 //                       are bit-identical for any value
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -66,9 +82,13 @@ struct Options {
   std::string gaussian;
   std::string hdl = "verilog";
   std::string out;
+  std::string farm_socket;
   std::uint64_t budget = 0;
   unsigned population = 32;
   unsigned generations = 8;
+  unsigned proposals = 256;
+  double explore_weight = 0.25;
+  unsigned farm_workers = 0;
   std::uint64_t seed = 1;
   std::uint64_t samples = std::uint64_t{1} << 20;
   std::uint64_t eval_seed = 1;
@@ -77,11 +97,12 @@ struct Options {
   std::size_t index = 0;
   bool smoke = false;
   bool analytic = true;
+  bool quiet = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: axdse <spaces|explore|resume|front|export> [options]\n"
+               "usage: axdse <spaces|explore|resume|front|export|cache-compact> [options]\n"
                "  see the header of tools/axdse.cpp for the option list\n");
   std::exit(2);
 }
@@ -120,6 +141,14 @@ Options parse(const std::vector<std::string>& args) {
       opt.population = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     } else if (a == "--generations") {
       opt.generations = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--proposals") {
+      opt.proposals = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--explore") {
+      opt.explore_weight = std::strtod(value().c_str(), nullptr);
+    } else if (a == "--farm") {
+      opt.farm_workers = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    } else if (a == "--farm-socket") {
+      opt.farm_socket = value();
     } else if (a == "--seed") {
       opt.seed = std::strtoull(value().c_str(), nullptr, 10);
     } else if (a == "--samples") {
@@ -134,6 +163,8 @@ Options parse(const std::vector<std::string>& args) {
       opt.index = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
     } else if (a == "--smoke") {
       opt.smoke = true;
+    } else if (a == "--quiet") {
+      opt.quiet = true;
     } else if (a == "--no-analytic") {
       opt.analytic = false;
     } else if (!a.empty() && a[0] == '-') {
@@ -238,6 +269,48 @@ bool report_anchors(const dse::SpaceSpec& space, const dse::SearchOptions& searc
   return all_on_front;
 }
 
+/// Wires the periodic progress reporter into `search`: at most one line
+/// per half second to stderr with evaluated/total, cache-hit rate and
+/// elapsed/ETA (ETA from the evaluation rate so far; "?" while the total
+/// is unknown or nothing is evaluated yet).
+void attach_progress(dse::SearchOptions& search, bool quiet) {
+  if (quiet) return;
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto last = std::make_shared<Clock::time_point>(start);
+  const auto ticked = std::make_shared<bool>(false);
+  search.progress = [start, last, ticked](const dse::SearchProgress& p) {
+    const auto now = Clock::now();
+    // First and final slices always print (a short run that stops early —
+    // e.g. an exhausted space — still gets one line); in between, rate-
+    // limit to one line per 500 ms.
+    const bool final_tick = p.total != 0 && p.evaluated >= p.total;
+    if (!final_tick && *ticked && now - *last < std::chrono::milliseconds(500)) return;
+    *ticked = true;
+    *last = now;
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    const double hit_rate =
+        p.evaluated ? 100.0 * static_cast<double>(p.cache_hits) / static_cast<double>(p.evaluated)
+                    : 0.0;
+    std::string eta = "?";
+    if (p.total != 0 && p.evaluated != 0) {
+      const double rate = static_cast<double>(p.evaluated) / std::max(elapsed, 1e-9);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1fs",
+                    static_cast<double>(p.total - std::min(p.evaluated, p.total)) / rate);
+      eta = buf;
+    }
+    if (p.total != 0) {
+      std::fprintf(stderr, "axdse: gen %u: %llu/%llu evaluated, %.1f%% cache hits, %.1fs elapsed, ETA %s\n",
+                   p.generation, static_cast<unsigned long long>(p.evaluated),
+                   static_cast<unsigned long long>(p.total), hit_rate, elapsed, eta.c_str());
+    } else {
+      std::fprintf(stderr, "axdse: gen %u: %llu evaluated, %.1f%% cache hits, %.1fs elapsed\n",
+                   p.generation, static_cast<unsigned long long>(p.evaluated), hit_rate, elapsed);
+    }
+  };
+}
+
 int explore_with(const dse::SpaceSpec& space, const dse::SearchOptions& search,
                  bool check_anchors) {
   const dse::SearchResult result = dse::run_search(space, search);
@@ -293,7 +366,85 @@ bool smoke_analytic_anchor() {
   return true;
 }
 
+/// Hypervolume of a front against a shared reference point (minimization).
+double front_hypervolume(const std::vector<dse::EvaluatedPoint>& front,
+                         const std::vector<dse::Objective>& objectives,
+                         const std::vector<double>& ref) {
+  std::vector<std::vector<double>> costs;
+  costs.reserve(front.size());
+  for (const dse::EvaluatedPoint& p : front) {
+    costs.push_back(dse::cost_vector(p.objectives, objectives));
+  }
+  return analysis::hypervolume(costs, ref);
+}
+
+/// Reference point for a hypervolume duel: slightly beyond the
+/// per-objective worst across every competing front, so each point of
+/// each front contributes.
+std::vector<double> duel_reference(
+    const std::vector<const std::vector<dse::EvaluatedPoint>*>& fronts,
+    const std::vector<dse::Objective>& objectives) {
+  std::vector<double> ref(objectives.size(), 1e-9);
+  for (const auto* front : fronts) {
+    for (const dse::EvaluatedPoint& p : *front) {
+      const std::vector<double> cost = dse::cost_vector(p.objectives, objectives);
+      for (std::size_t i = 0; i < cost.size(); ++i) ref[i] = std::max(ref[i], cost[i]);
+    }
+  }
+  for (double& r : ref) r = r * 1.1 + 1e-9;
+  return ref;
+}
+
+/// The surrogate smoke anchor: surrogate vs random at the same confirmed-
+/// evaluation budget on smoke8; the surrogate front's hypervolume must not
+/// fall below random's.
+int cmd_explore_surrogate_smoke(const Options& opt) {
+  const dse::SpaceSpec space = dse::make_space("smoke8");
+  dse::SearchOptions search;
+  search.strategy = dse::Strategy::kSurrogate;
+  search.budget = 48;
+  search.population = 12;
+  search.generations = 3;
+  search.proposals = 96;
+  search.seed = opt.seed;
+  search.cache_path = opt.cache;
+  search.front_path = "axdse_surrogate_smoke_front.json";
+  attach_progress(search, opt.quiet);
+  const dse::SearchResult surrogate = dse::run_search(space, search);
+  print_front(surrogate.front, "Surrogate front (smoke8, budget 48)");
+
+  search.strategy = dse::Strategy::kRandom;
+  search.front_path.clear();
+  search.progress = nullptr;
+  const dse::SearchResult random = dse::run_search(space, search);
+
+  const std::vector<double> ref = duel_reference({&surrogate.front, &random.front},
+                                                 search.objectives);
+  const double hv_surrogate = front_hypervolume(surrogate.front, search.objectives, ref);
+  const double hv_random = front_hypervolume(random.front, search.objectives, ref);
+  std::printf("equal-budget duel (48 evals): hv(surrogate)=%.6g hv(random)=%.6g\n", hv_surrogate,
+              hv_random);
+  std::printf("wrote axdse_surrogate_smoke_front.json\n");
+  if (hv_surrogate < hv_random) {
+    std::fprintf(stderr, "axdse: surrogate front dominated by random at equal budget\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_cache_compact(const Options& opt) {
+  if (opt.positional.empty()) usage();
+  dse::EvalCache cache(opt.positional);
+  const dse::EvalCache::CompactStats stats = cache.compact();
+  std::printf("compacted %s: kept=%zu dropped_stale=%zu dropped_duplicate=%zu "
+              "dropped_malformed=%zu\n",
+              opt.positional.c_str(), stats.kept, stats.dropped_stale, stats.dropped_duplicate,
+              stats.dropped_malformed);
+  return 0;
+}
+
 int cmd_explore(const Options& opt) {
+  if (opt.smoke && opt.strategy == "surrogate") return cmd_explore_surrogate_smoke(opt);
   dse::SearchOptions search;
   dse::SpaceSpec space;
   if (opt.smoke) {
@@ -311,7 +462,12 @@ int cmd_explore(const Options& opt) {
   search.budget = opt.budget;
   search.population = opt.population;
   search.generations = opt.generations;
+  search.proposals = opt.proposals;
+  search.explore_weight = opt.explore_weight;
+  search.farm_workers = opt.farm_workers;
+  search.farm_socket = opt.farm_socket;
   search.seed = opt.seed;
+  attach_progress(search, opt.quiet);
   search.objectives.clear();
   for (const std::string& name : split_csv(opt.objectives)) {
     search.objectives.push_back(dse::parse_objective(name));
@@ -341,6 +497,9 @@ int cmd_resume(const Options& opt) {
   dse::SpaceSpec space;
   dse::SearchOptions search;
   dse::load_checkpoint(opt.positional, space, search);
+  search.farm_workers = opt.farm_workers;
+  search.farm_socket = opt.farm_socket;
+  attach_progress(search, opt.quiet);
   std::printf("resuming %s search over '%s' from %s\n", dse::strategy_name(search.strategy),
               space.name.c_str(), opt.positional.c_str());
   return explore_with(space, search, false);
@@ -392,6 +551,7 @@ int main(int argc, char** argv) {
     if (opt.command == "resume") return cmd_resume(opt);
     if (opt.command == "front") return cmd_front(opt);
     if (opt.command == "export") return cmd_export(opt);
+    if (opt.command == "cache-compact") return cmd_cache_compact(opt);
     std::fprintf(stderr, "axdse: unknown command '%s'\n", opt.command.c_str());
     usage();
   } catch (const std::exception& e) {
