@@ -1,0 +1,352 @@
+// bench_adaptive — the runtime-adaptive precision subsystem's headline
+// artifact (BENCH_adaptive.json).
+//
+// Four phases, every claim asserted (the bench exits 1 when one fails):
+//
+//   1. Static rung sweep: each ladder rung deployed as a fixed backend on
+//      the digits net — measured final output MRE + static EDP/inference
+//      (untaxed roll-up: a design that never swaps pays no CFGLUT5 tax).
+//      The cheapest rung meeting the SLO is the baseline the adaptive run
+//      must beat; the sweep also asserts the SLO *separates* the ladder
+//      (at least one approximate rung misses it, so "just deploy the
+//      cheapest approximate backend statically" is not an answer).
+//   2. Adaptive serving run: batched inference under the controller.
+//      Asserts measured output MRE <= SLO and adaptive EDP/inference
+//      (CFGLUT-taxed compute + monitor probes + INIT-rewrite swaps,
+//      amortized) strictly below the cheapest SLO-meeting static rung.
+//   3. Determinism: the same adaptive run at 1 and 3 worker threads must
+//      produce byte-identical controller report JSON and the same
+//      measured MRE — the panel decide/observe sequence and the monitor's
+//      probe streams must not depend on worker scheduling.
+//   4. GEMM drift demo: a raw operand stream that shifts distribution
+//      (benign large operands -> adversarial small operands -> benign).
+//      Asserts the controller escalates during the adversarial phase and
+//      de-escalates back after it passes — adaptation, not a one-way
+//      ratchet.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/ladder.hpp"
+#include "bench_util.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/gemm.hpp"
+#include "nn/graph.hpp"
+#include "nn/mac.hpp"
+
+using namespace axmult;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+/// The digits-net serving configuration the adaptive claim is made for.
+/// slack conv1=8 is the measured error attenuation of the convolution's
+/// own-output MRE on the way to the network output (docs/ADAPTIVE.md).
+struct RunConfig {
+  std::size_t samples = 512;
+  std::size_t calib = 256;
+  std::size_t batch = 8;
+  std::size_t panel_rows = 64;
+  std::size_t probes = 4;
+  std::uint64_t seed = 9;
+  double slo = 0.05;
+  std::vector<std::string> ladder_names{"cc8", "cas8", "exact"};
+};
+
+adapt::ControllerConfig controller_config(const RunConfig& rc) {
+  adapt::ControllerConfig cfg;
+  cfg.panel_rows = rc.panel_rows;
+  cfg.monitor.seed = rc.seed + 2;
+  cfg.monitor.probes_per_panel = rc.probes;
+  cfg.policy.slo = rc.slo;
+  cfg.layer_slack.emplace_back("conv1", 8.0);
+  return cfg;
+}
+
+/// MACs one inference executes (im2col-aware, per-tile decomposable).
+std::uint64_t macs_per_inference(const nn::Sequential& net, const nn::Shape& sample_shape) {
+  std::uint64_t macs = 0;
+  nn::Shape unit = sample_shape;
+  unit[0] = 1;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    macs += net.layer(i).gemm_shape(unit).macs();
+    unit = net.layer(i).out_shape(unit);
+  }
+  return macs;
+}
+
+struct StaticPoint {
+  std::string name;
+  double measured_mre = 0.0;
+  double edp_per_inference_au = 0.0;  ///< static (untaxed) cost
+  bool meets_slo = false;
+};
+
+/// Deploys one rung as a fixed whole-net backend and measures it.
+StaticPoint measure_static(nn::Sequential& net, const nn::QTensor& inputs,
+                           const nn::QTensor& exact_out, std::uint64_t macs_per_inf,
+                           const adapt::Rung& rung, double slo) {
+  net.set_backend(rung.backend);
+  const nn::QTensor out = net.run(inputs);
+  StaticPoint p;
+  p.name = rung.name;
+  p.measured_mre = nn::output_mre(out, exact_out);
+  p.edp_per_inference_au = static_cast<double>(macs_per_inf) *
+                           rung.static_cost.energy_per_mac_au *
+                           rung.static_cost.critical_path_ns;
+  p.meets_slo = p.measured_mre <= slo;
+  return p;
+}
+
+struct AdaptiveResult {
+  double measured_mre = 0.0;
+  double top1 = 0.0;
+  adapt::Report report;
+  std::string report_json;
+};
+
+/// Batched serving loop under a fresh controller (policies persist across
+/// batches — later batches run at whatever rungs earlier batches earned).
+AdaptiveResult serve_adaptive(nn::Sequential& net, const nn::Dataset& test,
+                              const RunConfig& rc, unsigned threads) {
+  adapt::Controller controller(adapt::make_ladder(rc.ladder_names), controller_config(rc));
+  const std::size_t total = test.images.shape.empty() ? 0 : test.images.shape[0];
+  const std::size_t per_sample = total ? test.images.data.size() / total : 0;
+  AdaptiveResult res;
+  double mre_weighted = 0.0;
+  std::size_t mre_cells = 0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < total; start += rc.batch) {
+    const std::size_t count = std::min(rc.batch, total - start);
+    nn::Tensor chunk;
+    chunk.shape = test.images.shape;
+    chunk.shape[0] = static_cast<unsigned>(count);
+    chunk.data.assign(test.images.data.begin() + start * per_sample,
+                      test.images.data.begin() + (start + count) * per_sample);
+    const nn::QTensor in = net.quantize_input(chunk);
+    const nn::QTensor out = net.run_planned(in, controller, threads);
+    const nn::QTensor exact_out = net.run(in, threads);
+    mre_weighted += nn::output_mre(out, exact_out) * static_cast<double>(out.elems());
+    mre_cells += out.elems();
+    const std::size_t cols = count ? out.elems() / count : 0;
+    for (std::size_t r = 0; r < count; ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < cols; ++c) {
+        if (out.data[r * cols + c] > out.data[r * cols + best]) best = c;
+      }
+      if (static_cast<int>(best) == test.labels[start + r]) ++correct;
+    }
+  }
+  res.measured_mre = mre_cells ? mre_weighted / static_cast<double>(mre_cells) : 0.0;
+  res.top1 = total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  res.report = controller.report(total);
+  res.report_json = res.report.to_json();
+  return res;
+}
+
+struct DriftResult {
+  std::vector<std::size_t> rung_trace;  ///< current_rung() after every GEMM call
+  std::size_t benign_rung = 0;          ///< rung at the end of the first benign phase
+  std::size_t adversarial_peak = 0;     ///< max rung reached under drift
+  std::size_t recovered_rung = 0;       ///< rung at the end of the final benign phase
+  double benign_estimate = 0.0;         ///< mean monitor estimate, first phase
+  double adversarial_estimate = 0.0;    ///< mean monitor estimate, drift phase
+};
+
+/// Raw GEMM stream whose operand distribution drifts. cc8's approximate
+/// 4x2 blocks are exact on low-magnitude operands (mean relative error
+/// 0.0013 on [1,12]) and worst on mid-range ones (~0.18 on [16,63]), so
+/// the stream starts benign-tiny, drifts into the mid-range sweet spot of
+/// the approximation error, and comes back.
+DriftResult run_drift_demo(std::size_t calls_per_phase) {
+  RunConfig rc;
+  adapt::ControllerConfig cfg;
+  cfg.panel_rows = 32;
+  cfg.monitor.seed = 7;
+  cfg.monitor.probes_per_panel = 8;
+  cfg.policy.slo = 0.05;
+  cfg.policy.start_cheap = true;  // the demo is about reacting to drift
+  adapt::Controller controller(adapt::make_ladder(rc.ladder_names), cfg);
+
+  const std::size_t m = 128, k = 64, n = 8;
+  Xoshiro256 rng(41);
+  DriftResult dr;
+  auto run_phase = [&](std::uint8_t lo, std::uint8_t hi, std::size_t calls, double* mean_est) {
+    double sum = 0.0;
+    std::uint64_t windows = 0;
+    for (std::size_t c = 0; c < calls; ++c) {
+      std::vector<std::uint8_t> a(m * k), b(k * n);
+      for (auto& v : a) v = static_cast<std::uint8_t>(lo + rng.below(hi - lo + 1u));
+      for (auto& v : b) v = static_cast<std::uint8_t>(lo + rng.below(hi - lo + 1u));
+      std::vector<std::int64_t> acc(m * n, 0);
+      controller.begin_gemm("stream", m, k, n, nullptr);
+      nn::gemm_accumulate_scheduled(controller, a.data(), b.data(), acc.data(), m, k, n);
+      dr.rung_trace.push_back(controller.current_rung());
+      dr.adversarial_peak = std::max(dr.adversarial_peak, controller.current_rung());
+    }
+    if (mean_est != nullptr) {
+      const adapt::Report snap = controller.report(1);
+      for (const adapt::LayerAdaptStats& ls : snap.layers) {
+        sum += ls.sum_estimate;
+        windows += ls.windows;
+      }
+      *mean_est = windows ? sum / static_cast<double>(windows) : 0.0;
+    }
+  };
+
+  run_phase(1, 12, calls_per_phase, &dr.benign_estimate);
+  dr.benign_rung = controller.current_rung();
+  dr.adversarial_peak = dr.benign_rung;
+  double cumulative = 0.0;
+  run_phase(16, 63, calls_per_phase, &cumulative);
+  // Final benign stretch is longer: the de-escalation hold requirement may
+  // have backed off, and the demo must show full recovery, not a ratchet.
+  run_phase(1, 12, calls_per_phase * 4, nullptr);
+  dr.recovered_rung = controller.current_rung();
+  dr.adversarial_estimate = cumulative;  // dominated by the drift phase
+  return dr;
+}
+
+std::string json_static(const std::vector<StaticPoint>& sweep) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    os << (i ? ", " : "") << "{\"name\": \"" << sweep[i].name
+       << "\", \"measured_output_mre\": " << sweep[i].measured_mre
+       << ", \"static_edp_per_inference_au\": " << sweep[i].edp_per_inference_au
+       << ", \"meets_slo\": " << (sweep[i].meets_slo ? "true" : "false") << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::strip_flag(argc, argv, "--smoke");
+  RunConfig rc;
+  if (smoke) rc.samples = 160;
+
+  bench::print_header("Adaptive precision: SLO-driven hot-swap vs static deployment");
+  std::printf("digits net, %zu samples, slo=%.3g, ladder cc8 -> cas8 -> exact\n",
+              rc.samples, rc.slo);
+
+  nn::Sequential net = nn::make_digits_network();
+  const nn::Dataset calib = nn::make_digits(rc.calib, rc.seed + 1);
+  net.calibrate(calib.images, 8);
+  const nn::Dataset test = nn::make_digits(rc.samples, rc.seed);
+  const std::uint64_t macs_per_inf = macs_per_inference(net, test.images.shape);
+
+  // ---- Phase 1: static rung sweep -----------------------------------
+  std::printf("\n-- static rung sweep (fixed deployment, untaxed cost) --\n");
+  const adapt::Ladder ladder = adapt::make_ladder(rc.ladder_names);
+  net.set_backend(nn::make_mac_backend("exact"));
+  const nn::QTensor inputs = net.quantize_input(test.images);
+  const nn::QTensor exact_out = net.run(inputs);
+  std::vector<StaticPoint> sweep;
+  for (const adapt::Rung& rung : ladder.rungs) {
+    sweep.push_back(measure_static(net, inputs, exact_out, macs_per_inf, rung, rc.slo));
+    std::printf("  %-8s mre=%-10.4g edp/inf=%-12.6g %s\n", sweep.back().name.c_str(),
+                sweep.back().measured_mre, sweep.back().edp_per_inference_au,
+                sweep.back().meets_slo ? "meets SLO" : "misses SLO");
+  }
+  net.set_backend(nn::make_mac_backend("exact"));
+  const StaticPoint* baseline = nullptr;
+  for (const StaticPoint& p : sweep) {
+    if (p.meets_slo && (baseline == nullptr || p.edp_per_inference_au < baseline->edp_per_inference_au)) {
+      baseline = &p;
+    }
+  }
+  bool separated = false;
+  for (const StaticPoint& p : sweep) separated = separated || !p.meets_slo;
+  check(baseline != nullptr, "some static rung meets the SLO (exact always should)");
+  check(separated, "the SLO separates the ladder (an approximate rung misses it)");
+  if (baseline == nullptr) return 1;
+  std::printf("  cheapest SLO-meeting static rung: %s (edp/inf %.6g)\n", baseline->name.c_str(),
+              baseline->edp_per_inference_au);
+
+  // ---- Phase 2: adaptive serving run --------------------------------
+  std::printf("\n-- adaptive serving run --\n");
+  const AdaptiveResult adaptive = serve_adaptive(net, test, rc, 0);
+  const double win =
+      100.0 * (baseline->edp_per_inference_au - adaptive.report.edp_per_inference_au) /
+      baseline->edp_per_inference_au;
+  std::printf("  measured_mre=%.4g top1=%.4f swaps=%zu edp/inf=%.6g (win %.2f%%)\n",
+              adaptive.measured_mre, adaptive.top1, adaptive.report.swaps.size(),
+              adaptive.report.edp_per_inference_au, win);
+  check(adaptive.measured_mre <= rc.slo, "adaptive run meets the output-MRE SLO");
+  check(adaptive.report.edp_per_inference_au < baseline->edp_per_inference_au,
+        "adaptive EDP/inference strictly beats the cheapest SLO-meeting static rung");
+
+  // ---- Phase 3: thread-count determinism ----------------------------
+  std::printf("\n-- determinism: 1 vs 3 worker threads --\n");
+  const RunConfig det = [&] {
+    RunConfig d = rc;
+    d.samples = smoke ? rc.samples : 160;  // two more full runs; keep them bounded
+    return d;
+  }();
+  const nn::Dataset det_test = nn::make_digits(det.samples, det.seed);
+  const AdaptiveResult t1 = serve_adaptive(net, det_test, det, 1);
+  const AdaptiveResult t3 = serve_adaptive(net, det_test, det, 3);
+  check(t1.report_json == t3.report_json,
+        "controller report JSON byte-identical at 1 and 3 threads");
+  check(t1.measured_mre == t3.measured_mre, "measured output MRE bit-identical across threads");
+
+  // ---- Phase 4: drift escalation / de-escalation --------------------
+  std::printf("\n-- GEMM drift demo (benign -> adversarial -> benign) --\n");
+  const DriftResult drift = run_drift_demo(smoke ? 6 : 10);
+  std::printf("  benign est=%.4g rung=%zu | drift peak rung=%zu | recovered rung=%zu\n",
+              drift.benign_estimate, drift.benign_rung, drift.adversarial_peak,
+              drift.recovered_rung);
+  check(drift.adversarial_peak > drift.benign_rung,
+        "controller escalates when the operand distribution drifts adversarial");
+  check(drift.recovered_rung == drift.benign_rung,
+        "controller de-escalates back once the drift passes (no ratchet)");
+
+  // ---- Artifact ------------------------------------------------------
+  const std::string path = bench::bench_json_path("BENCH_adaptive.json", smoke);
+  {
+    std::ofstream out(path);
+    out.precision(10);
+    out << "{\n  " << common::provenance_fields(AXMULT_SOURCE_DIR, thread_count(), rc.seed)
+        << ",\n  \"smoke\": " << (smoke ? "true" : "false") << ",\n  \"slo\": " << rc.slo
+        << ",\n  \"samples\": " << rc.samples << ",\n  \"macs_per_inference\": " << macs_per_inf
+        << ",\n  \"static_sweep\": " << json_static(sweep) << ",\n  \"baseline\": {\"name\": \""
+        << baseline->name << "\", \"static_edp_per_inference_au\": "
+        << baseline->edp_per_inference_au << "}"
+        << ",\n  \"adaptive\": {\"measured_output_mre\": " << adaptive.measured_mre
+        << ", \"top1_accuracy\": " << adaptive.top1 << ", \"edp_win_pct\": " << win
+        << ", \"report\": " << adaptive.report_json << "}"
+        << ",\n  \"determinism\": {\"threads\": [1, 3], \"identical\": "
+        << (t1.report_json == t3.report_json ? "true" : "false") << "}"
+        << ",\n  \"drift\": {\"benign_rung\": " << drift.benign_rung
+        << ", \"adversarial_peak_rung\": " << drift.adversarial_peak
+        << ", \"recovered_rung\": " << drift.recovered_rung
+        << ", \"benign_mean_estimate\": " << drift.benign_estimate << ", \"rung_trace\": [";
+    for (std::size_t i = 0; i < drift.rung_trace.size(); ++i) {
+      out << (i ? ", " : "") << drift.rung_trace[i];
+    }
+    out << "]}\n}\n";
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+
+  if (g_failures != 0) {
+    std::fprintf(stderr, "bench_adaptive: %d assertion(s) failed\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

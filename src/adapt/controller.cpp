@@ -1,0 +1,161 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace axmult::adapt {
+
+HysteresisPolicy::HysteresisPolicy(const PolicyConfig& cfg, std::size_t rung_count)
+    : cfg_(cfg), count_(rung_count), required_hold_(std::max(1u, cfg.hold_windows)) {
+  if (rung_count == 0) throw std::invalid_argument("HysteresisPolicy: empty ladder");
+  rung_ = cfg.start_cheap ? 0 : rung_count - 1;
+  if (cfg.down_margin >= cfg.up_margin) {
+    throw std::invalid_argument("HysteresisPolicy: down_margin must be < up_margin "
+                                "(the hysteresis band is what prevents oscillation)");
+  }
+}
+
+HysteresisPolicy::Action HysteresisPolicy::update(double estimate) {
+  ++window_;
+  if (estimate >= cfg_.slo * cfg_.up_margin) {
+    calm_ = 0;
+    // Climbing back right after a downgrade means the downgrade was
+    // premature — double the calm requirement (bounded) before trying
+    // again.
+    if (downgraded_ && window_ - last_down_window_ <= required_hold_) {
+      required_hold_ = std::min(required_hold_ * 2, std::max(1u, cfg_.max_hold));
+    }
+    if (rung_ + 1 < count_) {
+      ++rung_;
+      return Action::kUp;
+    }
+    return Action::kHold;
+  }
+  if (estimate < cfg_.slo * cfg_.down_margin && rung_ > 0) {
+    if (++calm_ >= required_hold_) {
+      calm_ = 0;
+      --rung_;
+      last_down_window_ = window_;
+      downgraded_ = true;
+      return Action::kDown;
+    }
+  } else {
+    calm_ = 0;
+  }
+  return Action::kHold;
+}
+
+Controller::Controller(Ladder ladder, const ControllerConfig& cfg)
+    : ladder_(std::move(ladder)), cfg_(cfg), monitor_(cfg.monitor) {
+  if (ladder_.size() == 0) throw std::invalid_argument("Controller: empty ladder");
+  (void)HysteresisPolicy(cfg_.policy, ladder_.size());  // validate the config up front
+  if (!ladder_.rungs.back().backend->exact()) {
+    throw std::invalid_argument("Controller: ladder top rung must be exact");
+  }
+  ledger_.slo = cfg.policy.slo;
+  for (const Rung& r : ladder_.rungs) {
+    ledger_.rung_names.push_back(r.name);
+    ledger_.rung_energy_per_mac_au.push_back(r.dynamic_cost.energy_per_mac_au);
+    ledger_.rung_critical_path_ns.push_back(r.dynamic_cost.critical_path_ns);
+  }
+}
+
+LayerAdaptStats& Controller::layer_stats(const std::string& name) {
+  for (LayerAdaptStats& ls : ledger_.layers) {
+    if (ls.layer == name) return ls;
+  }
+  LayerAdaptStats ls;
+  ls.layer = name;
+  ls.macs_by_rung.assign(ladder_.size(), 0);
+  ledger_.layers.push_back(std::move(ls));
+  return ledger_.layers.back();
+}
+
+void Controller::begin_gemm(const std::string& layer_name, std::size_t m, std::size_t k_dim,
+                            std::size_t n, const nn::RequantState* rq) {
+  (void)m;
+  ++gemm_ordinal_;
+  layer_ = layer_name;
+  k_dim_ = k_dim;
+  n_ = n;
+  rq_ = rq;
+  pending_recompute_ = false;
+  slack_ = 1.0;
+  for (const auto& [name, slack] : cfg_.layer_slack) {
+    if (name == layer_name) slack_ = std::max(1.0, slack);
+  }
+  for (auto& [name, policy] : policies_) {
+    if (name == layer_name) {
+      policy_ = &policy;
+      return;
+    }
+  }
+  policies_.reserve(policies_.size() + 1);
+  policies_.emplace_back(layer_name, HysteresisPolicy(cfg_.policy, ladder_.size()));
+  policy_ = &policies_.back().second;
+}
+
+nn::TileDecision Controller::decide(std::size_t panel, std::size_t row_begin,
+                                    std::size_t row_end) {
+  if (policy_ == nullptr) throw std::logic_error("Controller: decide() before begin_gemm()");
+  const std::size_t target = policy_->rung();
+  LayerAdaptStats& ls = layer_stats(layer_);
+  if (target != hw_rung_) {
+    SwapEvent ev;
+    ev.layer = layer_;
+    ev.gemm = gemm_ordinal_;
+    ev.panel = panel;
+    ev.from = ladder_.rungs[hw_rung_].name;
+    ev.to = ladder_.rungs[target].name;
+    ev.cost = ladder_.swap[hw_rung_][target];
+    ledger_.swaps.push_back(std::move(ev));
+    ++ls.swaps;
+    hw_rung_ = target;
+  }
+  // Charge the panel's MACs at the rung that actually computes it; a
+  // later rejection does not refund this — recomputed panels are honestly
+  // double-charged.
+  ls.macs_by_rung[target] +=
+      static_cast<std::uint64_t>(row_end - row_begin) * k_dim_ * n_;
+  ++ls.panels;
+  return {ladder_.rungs[target].backend.get(), false};
+}
+
+bool Controller::observe(std::size_t panel, const std::uint8_t* a, const std::uint8_t* b,
+                         const std::int64_t* acc, std::size_t row_begin, std::size_t row_end,
+                         std::size_t k_dim, std::size_t n) {
+  if (policy_ == nullptr) throw std::logic_error("Controller: observe() before begin_gemm()");
+  // Slack-normalized: the policy sees the panel's error as it will look at
+  // the network output, so the SLO comparison is apples to apples.
+  const double estimate =
+      monitor_.measure(gemm_ordinal_, panel, a, b, acc, row_begin, row_end, k_dim, n, rq_) /
+      slack_;
+  LayerAdaptStats& ls = layer_stats(layer_);
+  ++ls.windows;
+  ls.sum_estimate += estimate;
+  ls.worst_estimate = std::max(ls.worst_estimate, estimate);
+  // The exact-shadow probes are real work: charge their dot products at
+  // the exact rung's dynamic cost so monitoring is never free either.
+  ls.monitor_macs += static_cast<std::uint64_t>(monitor_.config().probes_per_panel) * k_dim;
+  if (ledger_.trajectory.size() < cfg_.max_trajectory) {
+    ledger_.trajectory.push_back(estimate);
+  } else {
+    ++ledger_.trajectory_dropped;
+  }
+  const HysteresisPolicy::Action action = policy_->update(estimate);
+  if (action == HysteresisPolicy::Action::kUp && estimate >= cfg_.policy.slo) {
+    // Hard violation: this panel's output is not allowed to ship — redo it
+    // at the escalated rung. (Margin crossings escalate without redo.)
+    ++ls.recomputes;
+    return false;
+  }
+  return true;
+}
+
+Report Controller::report(std::uint64_t inference_count) const {
+  Report snapshot = ledger_;
+  snapshot.finalize(inference_count);
+  return snapshot;
+}
+
+}  // namespace axmult::adapt

@@ -1,0 +1,143 @@
+// The adaptive-precision controller: hysteresis policy + drift monitor
+// wired into the per-tile GEMM as a nn::TileScheduler.
+//
+// Control loop, per panel:
+//   decide   — the fabric reconfigures to the policy's rung if it isn't
+//              there already (a SwapEvent with INIT-delta cost), the
+//              panel's MACs are charged at that rung's dynamic cost, and
+//              the panel computes through the rung's product table.
+//   observe  — the drift monitor scores the panel against its exact
+//              shadow; the hysteresis policy consumes the estimate.
+//              A *hard* SLO violation (estimate >= slo) rejects the panel:
+//              it is recomputed at the escalated rung (and its first
+//              computation stays on the bill — wasted work is not free).
+//              A *margin* crossing (estimate >= slo x up_margin but below
+//              the SLO) keeps the panel and escalates for the next one.
+//
+// Escalation is immediate; de-escalation needs `hold_windows` consecutive
+// calm windows (estimate < slo x down_margin), and a downgrade that has to
+// be climbed back quickly doubles the hold requirement (bounded backoff).
+// Because down_margin < up_margin, a constant error stream can never
+// oscillate: it either always reads "high" (monotone climb, then hold) or
+// always reads "calm" (monotone descent, then hold) or neither (hold).
+//
+// Termination of the recompute loop: a rejection only happens together
+// with a policy upgrade, the rung index is bounded by the exact top, and
+// the exact rung's estimate is identically zero — so every panel is
+// eventually accepted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/ladder.hpp"
+#include "adapt/monitor.hpp"
+#include "adapt/report.hpp"
+#include "nn/tileplan.hpp"
+
+namespace axmult::adapt {
+
+struct PolicyConfig {
+  double slo = 0.05;        ///< output-MRE service-level objective
+  double up_margin = 0.7;   ///< escalate when estimate >= slo x up_margin
+  double down_margin = 0.25; ///< calm window when estimate < slo x down_margin
+  unsigned hold_windows = 4; ///< consecutive calm windows before de-escalating
+  unsigned max_hold = 32;    ///< backoff cap on the hold requirement
+  /// false (default): cold-start at the exact top and earn the way down —
+  /// a fresh policy never ships an unmonitored-quality panel. true: start
+  /// at rung 0 (used by tests and by workloads known to be benign).
+  bool start_cheap = false;
+};
+
+/// The rung selector — pure state machine, unit-tested in isolation.
+class HysteresisPolicy {
+ public:
+  enum class Action { kHold, kUp, kDown };
+
+  HysteresisPolicy(const PolicyConfig& cfg, std::size_t rung_count);
+
+  [[nodiscard]] std::size_t rung() const noexcept { return rung_; }
+  [[nodiscard]] unsigned required_hold() const noexcept { return required_hold_; }
+
+  /// Consumes one monitoring window's error estimate.
+  Action update(double estimate);
+
+ private:
+  PolicyConfig cfg_;
+  std::size_t count_;
+  std::size_t rung_ = 0;
+  unsigned calm_ = 0;
+  unsigned required_hold_;
+  std::uint64_t window_ = 0;
+  std::uint64_t last_down_window_ = 0;
+  bool downgraded_ = false;
+};
+
+struct ControllerConfig {
+  std::size_t panel_rows = 64;  ///< reconfiguration granularity (output rows)
+  MonitorConfig monitor;
+  PolicyConfig policy;
+  /// Per-layer error attenuation: a layer's own-output error is divided by
+  /// its slack before the policy compares it against the SLO. An early
+  /// layer's relative error shrinks on the way to the network output
+  /// (later layers average over it), so holding every layer to the raw
+  /// output SLO would overprovision; slack is that measured attenuation
+  /// (>= 1). Layers not listed use 1.0 (no slack — safe default).
+  std::vector<std::pair<std::string, double>> layer_slack;
+  std::size_t max_trajectory = 4096;  ///< error-trajectory entries kept
+};
+
+/// One policy state machine *per layer*: the physical array is shared (a
+/// single hw rung, every change is a billed swap), but each layer's error
+/// profile is learned independently — conv escalating must not pin the
+/// classifier's rung, and vice versa.
+class Controller final : public nn::TileScheduler {
+ public:
+  Controller(Ladder ladder, const ControllerConfig& cfg);
+
+  // nn::TileScheduler
+  [[nodiscard]] std::size_t panel_rows() const override { return cfg_.panel_rows; }
+  void begin_gemm(const std::string& layer_name, std::size_t m, std::size_t k_dim,
+                  std::size_t n, const nn::RequantState* rq) override;
+  [[nodiscard]] nn::TileDecision decide(std::size_t panel, std::size_t row_begin,
+                                        std::size_t row_end) override;
+  [[nodiscard]] bool observe(std::size_t panel, const std::uint8_t* a, const std::uint8_t* b,
+                             const std::int64_t* acc, std::size_t row_begin,
+                             std::size_t row_end, std::size_t k_dim, std::size_t n) override;
+  [[nodiscard]] const nn::MacBackend& top_backend() const override {
+    return *ladder_.rungs.back().backend;
+  }
+
+  [[nodiscard]] const Ladder& ladder() const noexcept { return ladder_; }
+  /// Rung of the layer currently being scheduled (0 before any begin_gemm).
+  [[nodiscard]] std::size_t current_rung() const noexcept {
+    return policy_ ? policy_->rung() : 0;
+  }
+
+  /// Finalized ledger amortized over `inference_count` inferences.
+  [[nodiscard]] Report report(std::uint64_t inference_count) const;
+
+ private:
+  LayerAdaptStats& layer_stats(const std::string& name);
+
+  Ladder ladder_;
+  ControllerConfig cfg_;
+  DriftMonitor monitor_;
+  std::vector<std::pair<std::string, HysteresisPolicy>> policies_;  ///< per layer
+  HysteresisPolicy* policy_ = nullptr;  ///< the active layer's policy
+  std::size_t hw_rung_ = 0;  ///< rung the fabric is currently configured as
+
+  // Current GEMM context (set by begin_gemm).
+  std::uint64_t gemm_ordinal_ = 0;
+  std::string layer_;
+  std::size_t k_dim_ = 0;
+  std::size_t n_ = 0;
+  double slack_ = 1.0;  ///< active layer's error attenuation divisor
+  const nn::RequantState* rq_ = nullptr;
+  bool pending_recompute_ = false;
+
+  Report ledger_;  ///< rung context + raw ledger; finalize() on snapshot
+};
+
+}  // namespace axmult::adapt

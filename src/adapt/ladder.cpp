@@ -1,0 +1,175 @@
+#include "adapt/ladder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dse/cache.hpp"
+#include "dse/evaluate.hpp"
+#include "dse/jsonio.hpp"
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace axmult::adapt {
+
+namespace {
+
+/// Rolls a netlist up under the CFGLUT-taxed models after marking every
+/// LUT reconfigurable — the standing cost of a hot-swappable MAC unit.
+nn::MacCost dynamic_cost_of(fabric::Netlist nl, const ReconfigModel& model) {
+  nl.mark_all_luts_reconfigurable();
+  timing::DelayModel dm;
+  dm.cfglut_ns = model.cfglut_ns;
+  power::PowerModel pm;
+  pm.cfglut_cap = model.cfglut_cap;
+  const auto area = nl.area();
+  nn::MacCost cost;
+  cost.modeled = true;
+  cost.luts = area.luts;
+  cost.carry4 = area.carry4;
+  cost.critical_path_ns = timing::analyze(nl, dm).critical_path_ns;
+  const auto pwr = power::estimate(nl, pm, dm);
+  cost.energy_per_mac_au = pwr.energy_au;
+  cost.edp_per_mac_au = pwr.edp_au;
+  return cost;
+}
+
+/// A candidate rung still carrying its netlist (needed for the pairwise
+/// swap-cost matrix; dropped once the ladder is assembled).
+struct Candidate {
+  Rung rung;
+  fabric::Netlist netlist;
+};
+
+Candidate make_candidate(std::string name, nn::MacBackendPtr backend, fabric::Netlist nl,
+                         const ReconfigModel& model) {
+  Candidate c{{}, std::move(nl)};
+  c.rung.name = std::move(name);
+  c.rung.backend = std::move(backend);
+  c.rung.static_cost = c.rung.backend->cost();
+  c.rung.dynamic_cost = dynamic_cost_of(c.netlist, model);
+  c.rung.table_mre = c.rung.backend->metrics().avg_relative_error;
+  return c;
+}
+
+/// Orders candidates cheapest-first by dynamic EDP/MAC, prunes to strictly
+/// decreasing error, guarantees an exact top rung, and assembles the swap
+/// matrix.
+Ladder assemble(std::vector<Candidate> candidates, const ReconfigModel& model) {
+  std::stable_sort(candidates.begin(), candidates.end(), [](const Candidate& x,
+                                                            const Candidate& y) {
+    return x.rung.dynamic_cost.edp_per_mac_au < y.rung.dynamic_cost.edp_per_mac_au;
+  });
+  std::vector<Candidate> kept;
+  for (Candidate& c : candidates) {
+    if (!kept.empty() && c.rung.table_mre >= kept.back().rung.table_mre) continue;
+    kept.push_back(std::move(c));
+    if (kept.back().rung.backend->exact()) break;  // nothing can beat exact
+  }
+  if (kept.empty()) throw std::runtime_error("adapt::make_ladder: no usable rungs");
+  if (!kept.back().rung.backend->exact()) {
+    kept.push_back(make_candidate("exact", nn::shared_mac_backend("exact"),
+                                  nn::mac_backend_netlist("exact"), model));
+  }
+  Ladder ladder;
+  ladder.model = model;
+  ladder.swap.resize(kept.size(), std::vector<SwapCost>(kept.size()));
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (i != j) ladder.swap[i][j] = swap_cost(kept[i].netlist, kept[j].netlist, model);
+    }
+  }
+  for (Candidate& c : kept) ladder.rungs.push_back(std::move(c.rung));
+  return ladder;
+}
+
+}  // namespace
+
+std::string Ladder::describe() const {
+  std::string out;
+  for (const Rung& r : rungs) {
+    if (!out.empty()) out += " -> ";
+    out += r.name;
+  }
+  return out;
+}
+
+Ladder make_ladder(const std::vector<std::string>& names, const ReconfigModel& model) {
+  std::vector<Candidate> candidates;
+  for (const std::string& name : names) {
+    candidates.push_back(make_candidate(name, nn::shared_mac_backend(name),
+                                        nn::mac_backend_netlist(name), model));
+  }
+  return assemble(std::move(candidates), model);
+}
+
+std::vector<FrontBackend> backends_from_front(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open front file '" + path + "'");
+  }
+  std::vector<FrontBackend> usable;
+  std::size_t skipped = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto key = dse::jsonio::find_string(line, "key");
+    if (!key) {
+      if (line.find("front_meta") != std::string::npos) continue;  // header line
+      throw std::runtime_error("malformed front file '" + path + "' (line " +
+                               std::to_string(line_no) + " has no \"key\")");
+    }
+    dse::Config config;
+    try {
+      config = dse::parse_key(*key);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("malformed front file '" + path + "' (line " +
+                               std::to_string(line_no) + ", key '" + *key + "': " + e.what() +
+                               ")");
+    }
+    if (!dse::EvalCache::parse_objectives(line)) {
+      throw std::runtime_error("malformed front file '" + path + "' (line " +
+                               std::to_string(line_no) + " has no parseable objectives)");
+    }
+    if (config.signed_wrapper) {
+      ++skipped;  // the NN data path is unsigned
+      continue;
+    }
+    try {
+      nn::MacBackendPtr backend = dse::make_backend(config);
+      usable.push_back({*key, config, std::move(backend)});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "adapt: skipping front point '%s': %s\n", key->c_str(), e.what());
+      ++skipped;
+    }
+  }
+  if (usable.empty()) {
+    throw std::runtime_error("front file '" + path + "' contains no usable unsigned configs (" +
+                             std::to_string(skipped) + " point(s) skipped)");
+  }
+  return usable;
+}
+
+Ladder ladder_from_front(const std::string& path, std::size_t max_rungs,
+                         const ReconfigModel& model) {
+  std::vector<FrontBackend> points = backends_from_front(path);
+  // Cheapest configs first so the cap keeps the low-cost end of the front
+  // (the exact top rung is appended by assemble() regardless).
+  std::stable_sort(points.begin(), points.end(), [](const FrontBackend& x,
+                                                    const FrontBackend& y) {
+    return x.backend->cost().edp_per_mac_au < y.backend->cost().edp_per_mac_au;
+  });
+  std::vector<Candidate> candidates;
+  for (FrontBackend& p : points) {
+    if (candidates.size() >= max_rungs) break;
+    candidates.push_back(make_candidate(dse::display_name(p.config), std::move(p.backend),
+                                        dse::make_config_netlist(p.config), model));
+  }
+  return assemble(std::move(candidates), model);
+}
+
+}  // namespace axmult::adapt

@@ -1,0 +1,82 @@
+// Backend ladders: the ordered accuracy/cost chains the adaptive
+// controller climbs.
+//
+// A rung couples a MacBackend (product table for the data path) with two
+// hardware roll-ups of the same netlist:
+//   * static_cost  — the plain timing/power models, i.e. what a fixed
+//     deployment of this multiplier costs. Static baselines are compared
+//     at this cost: a design that never swaps doesn't pay for CFGLUT5s.
+//   * dynamic_cost — the netlist with every LUT marked reconfigurable,
+//     rolled up under the CFGLUT-taxed models. The adaptive controller
+//     charges *itself* at this cost: the ability to swap is a standing
+//     tax on every MAC, so the EDP win it claims is already net of it.
+//
+// Rungs are ordered cheapest-first by dynamic EDP/MAC and pruned to be
+// strictly error-decreasing (a costlier rung that isn't more accurate can
+// never be worth escalating to); the top rung is always exact, so an SLO
+// is always reachable. The full pairwise INIT-delta swap-cost matrix is
+// precomputed — the controller looks swaps up, it never diffs netlists on
+// the hot path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "adapt/reconfig.hpp"
+#include "dse/space.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::adapt {
+
+/// One level of the accuracy/cost chain.
+struct Rung {
+  std::string name;
+  nn::MacBackendPtr backend;
+  nn::MacCost static_cost;   ///< plain roll-up (what a static deployment pays)
+  nn::MacCost dynamic_cost;  ///< CFGLUT-marked roll-up (what adaptive pays)
+  double table_mre = 0.0;    ///< exhaustive MRE of the tabulated operand space
+};
+
+struct Ladder {
+  std::vector<Rung> rungs;                 ///< cheapest -> exact
+  std::vector<std::vector<SwapCost>> swap; ///< [from][to] INIT rewrite cost
+  ReconfigModel model;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rungs.size(); }
+  /// Index of the exact top rung (always rungs.size() - 1 by construction).
+  [[nodiscard]] std::size_t top() const noexcept { return rungs.size() - 1; }
+  /// One-line summary "cc8 -> ca8 -> exact" for logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Builds a ladder from registry backend names (nn::mac_backend_names).
+/// Names are re-ordered by dynamic EDP/MAC, pruned to strictly decreasing
+/// error, and an exact rung is appended when none of the survivors is
+/// exact. Throws std::out_of_range on unknown names, std::runtime_error
+/// when nothing usable remains.
+[[nodiscard]] Ladder make_ladder(const std::vector<std::string>& names,
+                                 const ReconfigModel& model = {});
+
+/// A usable point of an axdse front file: unsigned config + tabulated
+/// backend (dse::make_backend).
+struct FrontBackend {
+  std::string key;
+  dse::Config config;
+  nn::MacBackendPtr backend;
+};
+
+/// Loads an axdse front JSON-lines file and tabulates every usable
+/// unsigned config. Fails with a one-line std::runtime_error (never a
+/// crash or a silent empty sweep) when the file is unreadable, contains
+/// malformed JSON lines, or yields no usable unsigned configs; signed or
+/// otherwise untabulatable points are skipped with a note on stderr.
+[[nodiscard]] std::vector<FrontBackend> backends_from_front(const std::string& path);
+
+/// Builds a ladder from a DSE front: the usable unsigned points become
+/// candidate rungs (costed like registry rungs, dynamic netlists via
+/// dse::make_config_netlist), capped at `max_rungs` below the exact top.
+[[nodiscard]] Ladder ladder_from_front(const std::string& path, std::size_t max_rungs = 4,
+                                       const ReconfigModel& model = {});
+
+}  // namespace axmult::adapt

@@ -1,0 +1,63 @@
+#include "adapt/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace axmult::adapt {
+
+double DriftMonitor::measure(std::uint64_t gemm_ordinal, std::uint64_t panel,
+                             const std::uint8_t* a, const std::uint8_t* b,
+                             const std::int64_t* acc, std::size_t row_begin,
+                             std::size_t row_end, std::size_t k_dim, std::size_t n,
+                             const nn::RequantState* rq) const {
+  const std::size_t rows = row_end - row_begin;
+  if (rows == 0 || n == 0 || cfg_.probes_per_panel == 0) return 0.0;
+  Xoshiro256 rng(derive_stream_seed(derive_stream_seed(cfg_.seed, gemm_ordinal), panel));
+  double sum = 0.0;
+  for (std::size_t p = 0; p < cfg_.probes_per_panel; ++p) {
+    const std::size_t i = row_begin + static_cast<std::size_t>(rng.below(rows));
+    const std::size_t j = static_cast<std::size_t>(rng.below(n));
+    const std::uint8_t* arow = a + i * k_dim;
+    std::int64_t exact = 0;
+    for (std::size_t kk = 0; kk < k_dim; ++kk) {
+      exact += static_cast<std::int64_t>(arow[kk]) * b[kk * n + j];
+    }
+    const std::int64_t approx = acc[i * n + j];
+    if (rq != nullptr) {
+      // Score in the layer's *post-requantization* output domain, clamp
+      // included — the same metric nn::output_mre applies to whole
+      // tensors. The clamp matters: an approximation error that pushes a
+      // negative pre-activation across zero survives the downstream ReLU
+      // and is exactly the damage the accumulator-domain ratio is blind
+      // to.
+      std::int64_t row_sum = 0;
+      for (std::size_t kk = 0; kk < k_dim; ++kk) row_sum += arow[kk];
+      const std::int64_t za = rq->in_q.zero_point;
+      const std::int64_t zw = rq->w_q.zero_point;
+      const std::int64_t corr = -za * rq->col_sums[j] - zw * row_sum +
+                                static_cast<std::int64_t>(rq->depth) * za * zw +
+                                rq->bias_q[j];
+      const double mult = rq->in_q.scale * rq->w_q.scale / rq->out_q.scale;
+      const long out_max = rq->out_q.qmax();
+      const long qe = std::clamp(
+          static_cast<long>(std::llround(mult * static_cast<double>(exact + corr))) +
+              rq->out_q.zero_point,
+          0L, out_max);
+      const long qa = std::clamp(
+          static_cast<long>(std::llround(mult * static_cast<double>(approx + corr))) +
+              rq->out_q.zero_point,
+          0L, out_max);
+      const double ye = rq->out_q.scale * static_cast<double>(qe - rq->out_q.zero_point);
+      const double ya = rq->out_q.scale * static_cast<double>(qa - rq->out_q.zero_point);
+      sum += std::abs(ya - ye) / std::max(std::abs(ye), rq->out_q.scale);
+    } else {
+      const double abs_err = std::abs(static_cast<double>(approx - exact));
+      sum += abs_err / std::max(std::abs(static_cast<double>(exact)), 1.0);
+    }
+  }
+  return sum / static_cast<double>(cfg_.probes_per_panel);
+}
+
+}  // namespace axmult::adapt

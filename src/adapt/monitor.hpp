@@ -1,0 +1,53 @@
+// Drift monitor: budgeted exact-shadow error sampling per GEMM panel.
+//
+// After a panel is computed through an approximate backend, the monitor
+// re-derives a small subsample of its accumulator cells through exact
+// int64 dot products (the "exact shadow"), pushes both the approximate and
+// the exact accumulator through the layer's full requantization (zero-point
+// corrections, bias, scale conversion, clamp) and scores the panel as the
+// mean relative error of the resulting *output* values, floored at one
+// output quantum — nn::output_mre restricted to the probe cells. Scoring
+// after the clamp is deliberate: an error that pushes a negative
+// pre-activation across zero survives the downstream ReLU, and that is
+// precisely the failure mode an accumulator-domain ratio never sees.
+//
+// Determinism: probe cells come from one Xoshiro256 stream derived as
+// seed -> gemm ordinal -> panel index, drawn entirely on the calling
+// thread. The probe set — and therefore every policy decision downstream —
+// is identical at any thread count, which is what makes adaptive runs
+// bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/layers.hpp"
+
+namespace axmult::adapt {
+
+struct MonitorConfig {
+  std::uint64_t seed = 1;
+  std::size_t probes_per_panel = 16;  ///< exact-shadow dot products per window
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const MonitorConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
+
+  /// Mean relative output-domain error of panel rows [row_begin, row_end)
+  /// of the GEMM identified by `gemm_ordinal`. `rq` (may be null) carries
+  /// the layer's requantization state; without it the estimate falls back
+  /// to relative accumulator error with denominator floor 1.
+  [[nodiscard]] double measure(std::uint64_t gemm_ordinal, std::uint64_t panel,
+                               const std::uint8_t* a, const std::uint8_t* b,
+                               const std::int64_t* acc, std::size_t row_begin,
+                               std::size_t row_end, std::size_t k_dim, std::size_t n,
+                               const nn::RequantState* rq) const;
+
+ private:
+  MonitorConfig cfg_;
+};
+
+}  // namespace axmult::adapt

@@ -1,0 +1,61 @@
+#include "adapt/reconfig.hpp"
+
+#include <bit>
+#include <sstream>
+#include <vector>
+
+namespace axmult::adapt {
+
+namespace {
+
+std::vector<std::uint64_t> lut_inits(const fabric::Netlist& nl) {
+  std::vector<std::uint64_t> inits;
+  for (const fabric::Cell& c : nl.cells()) {
+    if (c.kind == fabric::CellKind::kLut6) inits.push_back(c.init);
+  }
+  return inits;
+}
+
+}  // namespace
+
+SwapCost swap_cost(const fabric::Netlist& from, const fabric::Netlist& to,
+                   const ReconfigModel& model) {
+  const std::vector<std::uint64_t> a = lut_inits(from);
+  const std::vector<std::uint64_t> b = lut_inits(to);
+  SwapCost cost;
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const std::uint64_t delta = a[i] ^ b[i];
+    if (delta == 0) continue;
+    ++cost.changed_luts;
+    cost.delta_bits += static_cast<std::uint64_t>(std::popcount(delta));
+  }
+  // Surplus LUTs on either side: the array must be reprogrammed into (or
+  // out of) them wholesale — charge a full truth table each.
+  const std::size_t surplus = std::max(a.size(), b.size()) - common;
+  cost.changed_luts += surplus;
+  cost.delta_bits += static_cast<std::uint64_t>(surplus) * 64;
+
+  // Every changed LUT's CFGLUT5 pair reloads concurrently on its own CDI
+  // chain (DyRecMul reconfigures its whole multiplier in one 32-cycle
+  // shift), so the swap stalls the array for init_bits cycles total; the
+  // energy still scales with every bit clocked through every chain.
+  cost.cycles = cost.changed_luts ? model.init_bits : 0;
+  cost.time_ns = static_cast<double>(cost.cycles) * model.shift_clock_ns;
+  const double shifted_bits =
+      2.0 * static_cast<double>(model.init_bits) * static_cast<double>(cost.changed_luts);
+  cost.energy_au = shifted_bits * model.energy_per_shift_bit_au +
+                   static_cast<double>(cost.delta_bits) * model.energy_per_flipped_bit_au;
+  return cost;
+}
+
+std::string to_json(const SwapCost& cost) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\"changed_luts\": " << cost.changed_luts << ", \"delta_bits\": " << cost.delta_bits
+     << ", \"cycles\": " << cost.cycles << ", \"time_ns\": " << cost.time_ns
+     << ", \"energy_au\": " << cost.energy_au << ", \"edp_au\": " << cost.edp_au() << "}";
+  return os.str();
+}
+
+}  // namespace axmult::adapt

@@ -1,0 +1,72 @@
+// Reconfiguration cost model for the runtime-adaptive precision subsystem.
+//
+// Grounding: DyRecMul-style dynamic LUTs (CFGLUT5). A CFGLUT5's truth
+// table sits in a 32-bit serial shift register (CDI pin, one bit per
+// CLK); rewriting it reprograms the LUT while the rest of the design keeps
+// running. A LUT6_2 worth of truth table (64 INIT bits) maps onto two
+// CFGLUT5s whose shift chains load in parallel, so one LUT reprograms in
+// `init_bits` (32) cycles shifting 2 bits per cycle.
+//
+// A hot-swap between two multiplier netlists therefore costs
+//   * cycles  — one init_bits-deep shift, all changed LUTs reloading
+//               concurrently on their own CDI chains (DyRecMul rewrites
+//               its whole multiplier in a single 32-cycle shift),
+//   * energy  — a shift term (every bit clocked through every chain) plus
+//               a flip term (only the INIT bits that actually change state
+//               dissipate in the storage cells).
+// The INIT bit-delta is computed LUT by LUT with cells paired in emission
+// order (our generators emit structurally aligned netlists for the same
+// recursion shape); unmatched cells are charged the full truth table.
+//
+// The *standing* tax of being reconfigurable at all — the CFGLUT5's CDI
+// mux and deeper read path — is not modeled here: it enters through
+// timing::DelayModel::cfglut_ns and power::PowerModel::cfglut_cap on
+// netlists whose LUTs are marked reconfigurable (see adapt::Ladder's
+// dynamic costs). A swap is never free, and neither is the ability to
+// swap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/netlist.hpp"
+
+namespace axmult::adapt {
+
+/// Cost coefficients of the CFGLUT5-style dynamic leaf.
+struct ReconfigModel {
+  unsigned init_bits = 32;             ///< shift cycles per reprogrammed LUT
+  double shift_clock_ns = 2.0;         ///< configuration clock period
+  double energy_per_shift_bit_au = 0.05;   ///< per bit clocked through CDI
+  double energy_per_flipped_bit_au = 0.02; ///< per INIT storage cell that flips
+  /// Standing per-LUT penalties applied when costing a dynamic (marked)
+  /// netlist through the STA/power roll-up. Roughly 1-2% of the static
+  /// LUT delay/cap — the CFGLUT5 read path is marginally longer and its
+  /// shift register loads the output mux.
+  double cfglut_ns = 0.002;
+  double cfglut_cap = 0.012;
+};
+
+/// Cost of one INIT rewrite taking the fabric from multiplier `from` to
+/// multiplier `to`.
+struct SwapCost {
+  std::uint64_t changed_luts = 0;  ///< LUTs whose truth table differs
+  std::uint64_t delta_bits = 0;    ///< INIT bits that flip (popcount of XOR)
+  std::uint64_t cycles = 0;        ///< init_bits when anything changed (parallel chains)
+  double time_ns = 0.0;            ///< cycles x shift clock
+  double energy_au = 0.0;          ///< shift + flip terms
+  /// energy x time — the term amortized into the adaptive EDP roll-up.
+  [[nodiscard]] double edp_au() const noexcept { return energy_au * time_ns; }
+};
+
+/// INIT bit-delta swap cost between two netlists. LUT cells are paired in
+/// cell order; when the netlists have different LUT counts the surplus
+/// cells count as fully rewritten (every INIT bit shifted and flipped).
+/// Non-LUT cells (CARRY4 routing is static) are ignored.
+[[nodiscard]] SwapCost swap_cost(const fabric::Netlist& from, const fabric::Netlist& to,
+                                 const ReconfigModel& model = {});
+
+/// One-line JSON object for a SwapCost (embedded in adapt::Report).
+[[nodiscard]] std::string to_json(const SwapCost& cost);
+
+}  // namespace axmult::adapt

@@ -1,0 +1,89 @@
+#include "adapt/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace axmult::adapt {
+
+void Report::finalize(std::uint64_t inference_count) {
+  samples = std::max<std::uint64_t>(1, inference_count);
+  total_macs = 0;
+  monitor_macs = 0;
+  compute_energy_au = 0.0;
+  compute_edp_au = 0.0;
+  const std::size_t top = rung_names.empty() ? 0 : rung_names.size() - 1;
+  for (const LayerAdaptStats& ls : layers) {
+    for (std::size_t r = 0; r < ls.macs_by_rung.size(); ++r) {
+      const double macs = static_cast<double>(ls.macs_by_rung[r]);
+      total_macs += ls.macs_by_rung[r];
+      compute_energy_au += macs * rung_energy_per_mac_au[r];
+      compute_edp_au += macs * rung_energy_per_mac_au[r] * rung_critical_path_ns[r];
+    }
+    // Exact-shadow probes run at the top (exact) rung's dynamic cost.
+    monitor_macs += ls.monitor_macs;
+    const double mm = static_cast<double>(ls.monitor_macs);
+    compute_energy_au += mm * rung_energy_per_mac_au[top];
+    compute_edp_au += mm * rung_energy_per_mac_au[top] * rung_critical_path_ns[top];
+  }
+  swap_energy_au = 0.0;
+  swap_time_ns = 0.0;
+  swap_edp_au = 0.0;
+  for (const SwapEvent& s : swaps) {
+    swap_energy_au += s.cost.energy_au;
+    swap_time_ns += s.cost.time_ns;
+    swap_edp_au += s.cost.edp_au();
+  }
+  total_edp_au = compute_edp_au + swap_edp_au;
+  edp_per_inference_au = total_edp_au / static_cast<double>(samples);
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\n  \"rungs\": [";
+  for (std::size_t r = 0; r < rung_names.size(); ++r) {
+    os << (r ? ", " : "") << "{\"name\": \"" << rung_names[r]
+       << "\", \"energy_per_mac_au\": " << rung_energy_per_mac_au[r]
+       << ", \"critical_path_ns\": " << rung_critical_path_ns[r] << "}";
+  }
+  os << "],\n  \"slo\": " << slo << ",\n  \"samples\": " << samples
+     << ",\n  \"total_macs\": " << total_macs
+     << ",\n  \"monitor_macs\": " << monitor_macs
+     << ",\n  \"compute_energy_au\": " << compute_energy_au
+     << ",\n  \"compute_edp_au\": " << compute_edp_au
+     << ",\n  \"swap_count\": " << swaps.size()
+     << ",\n  \"swap_energy_au\": " << swap_energy_au
+     << ",\n  \"swap_time_ns\": " << swap_time_ns
+     << ",\n  \"swap_edp_au\": " << swap_edp_au
+     << ",\n  \"total_edp_au\": " << total_edp_au
+     << ",\n  \"edp_per_inference_au\": " << edp_per_inference_au << ",\n  \"layers\": [\n";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerAdaptStats& ls = layers[i];
+    os << "    {\"layer\": \"" << ls.layer << "\", \"macs_by_rung\": [";
+    for (std::size_t r = 0; r < ls.macs_by_rung.size(); ++r) {
+      os << (r ? ", " : "") << ls.macs_by_rung[r];
+    }
+    os << "], \"panels\": " << ls.panels << ", \"recomputes\": " << ls.recomputes
+       << ", \"swaps\": " << ls.swaps << ", \"windows\": " << ls.windows
+       << ", \"monitor_macs\": " << ls.monitor_macs << ", \"mean_estimate\": "
+       << (ls.windows ? ls.sum_estimate / static_cast<double>(ls.windows) : 0.0)
+       << ", \"worst_estimate\": " << ls.worst_estimate << "}"
+       << (i + 1 < layers.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"swaps\": [\n";
+  for (std::size_t i = 0; i < swaps.size(); ++i) {
+    const SwapEvent& s = swaps[i];
+    os << "    {\"layer\": \"" << s.layer << "\", \"gemm\": " << s.gemm
+       << ", \"panel\": " << s.panel << ", \"from\": \"" << s.from << "\", \"to\": \""
+       << s.to << "\", \"cost\": " << adapt::to_json(s.cost) << "}"
+       << (i + 1 < swaps.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"trajectory_dropped\": " << trajectory_dropped << ",\n  \"trajectory\": [";
+  for (std::size_t i = 0; i < trajectory.size(); ++i) {
+    os << (i ? ", " : "") << trajectory[i];
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace axmult::adapt

@@ -1,0 +1,76 @@
+// adapt::Report — the adaptive controller's accounting ledger.
+//
+// Everything the SLO/EDP claim rests on is recorded here: which rungs ran
+// how many MACs in which layer (recomputed panels are double-charged —
+// work that ran, costs), every INIT rewrite with its bit-delta cost, and
+// the monitor's error trajectory. The EDP roll-up charges compute at each
+// rung's *dynamic* (CFGLUT-taxed) cost and adds every swap's energy x
+// time, amortized over the inferences served — so the number compared
+// against static baselines already contains the full price of being
+// adaptive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adapt/reconfig.hpp"
+
+namespace axmult::adapt {
+
+/// One INIT rewrite of the MAC array.
+struct SwapEvent {
+  std::string layer;
+  std::uint64_t gemm = 0;   ///< gemm ordinal (monitor stream id)
+  std::uint64_t panel = 0;  ///< panel index within that GEMM
+  std::string from;
+  std::string to;
+  SwapCost cost;
+};
+
+/// Per-layer slice of the adaptive run.
+struct LayerAdaptStats {
+  std::string layer;
+  std::vector<std::uint64_t> macs_by_rung;  ///< aligned with Report::rung_names
+  std::uint64_t panels = 0;      ///< panel computations (recomputes included)
+  std::uint64_t recomputes = 0;  ///< panels rejected and recomputed higher
+  std::uint64_t swaps = 0;       ///< INIT rewrites charged to this layer
+  std::uint64_t windows = 0;     ///< monitoring windows observed
+  std::uint64_t monitor_macs = 0;  ///< exact-shadow dot-product MACs
+  double sum_estimate = 0.0;     ///< Σ window error estimates
+  double worst_estimate = 0.0;   ///< max window error estimate
+};
+
+struct Report {
+  // Ladder context.
+  std::vector<std::string> rung_names;
+  std::vector<double> rung_energy_per_mac_au;   ///< dynamic (CFGLUT-taxed)
+  std::vector<double> rung_critical_path_ns;    ///< dynamic (CFGLUT-taxed)
+  double slo = 0.0;
+
+  // Ledger.
+  std::vector<LayerAdaptStats> layers;  ///< first-seen order
+  std::vector<SwapEvent> swaps;
+  std::vector<double> trajectory;       ///< first window estimates (capped)
+  std::uint64_t trajectory_dropped = 0; ///< windows not in `trajectory`
+  std::uint64_t samples = 1;            ///< inferences the run amortizes over
+
+  // Roll-up (filled by finalize()).
+  std::uint64_t total_macs = 0;
+  std::uint64_t monitor_macs = 0;  ///< charged at the exact top rung
+  double compute_energy_au = 0.0;
+  double compute_edp_au = 0.0;   ///< Σ macs[l][r] x e[r] x cp[r], monitor included
+  double swap_energy_au = 0.0;
+  double swap_time_ns = 0.0;
+  double swap_edp_au = 0.0;      ///< Σ swap energy x swap time
+  double total_edp_au = 0.0;     ///< compute + swap
+  double edp_per_inference_au = 0.0;
+
+  /// Recomputes the roll-up from the ledger for `samples` inferences.
+  void finalize(std::uint64_t inference_count);
+
+  /// Full JSON document (the axnn --adaptive / bench_adaptive payload).
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace axmult::adapt

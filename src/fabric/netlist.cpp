@@ -131,6 +131,20 @@ void Netlist::set_lut_init(std::uint32_t cell_index, std::uint64_t init) {
   cell.init = init;
 }
 
+void Netlist::set_reconfigurable(std::uint32_t cell_index, bool on) {
+  Cell& cell = cells_.at(cell_index);
+  if (cell.kind != CellKind::kLut6) {
+    throw std::invalid_argument("set_reconfigurable: cell is not a LUT6_2");
+  }
+  cell.reconfigurable = on;
+}
+
+void Netlist::mark_all_luts_reconfigurable() {
+  for (Cell& cell : cells_) {
+    if (cell.kind == CellKind::kLut6) cell.reconfigurable = true;
+  }
+}
+
 bool Netlist::is_sequential() const noexcept {
   for (const Cell& c : cells_) {
     if (c.kind == CellKind::kFdre) return true;

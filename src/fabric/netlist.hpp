@@ -41,6 +41,12 @@ struct Cell {
   CellKind kind = CellKind::kLut6;
   std::string name;
   std::uint64_t init = 0;  ///< LUT truth table (kLut6 only).
+  /// Runtime-reconfigurable LUT (CFGLUT5-style: the INIT sits in a serial
+  /// shift register that can be rewritten while the design runs). Purely a
+  /// cost-model attribute — evaluation semantics are identical to a static
+  /// LUT — but timing/ and power/ charge the extra mux/shift-register
+  /// loading when their models carry nonzero CFGLUT penalties.
+  bool reconfigurable = false;
   unsigned dsp_a_width = 0;
   std::vector<NetId> in;
   std::vector<NetId> out;
@@ -107,6 +113,14 @@ class Netlist {
   /// studies — see transforms.hpp). Throws std::invalid_argument when the
   /// cell is not a LUT6_2.
   void set_lut_init(std::uint32_t cell_index, std::uint64_t init);
+
+  /// Marks a LUT cell as runtime-reconfigurable (CFGLUT5-style). Throws
+  /// std::invalid_argument when the cell is not a LUT6_2.
+  void set_reconfigurable(std::uint32_t cell_index, bool on);
+
+  /// Marks every LUT6_2 in the netlist reconfigurable — the "fully dynamic
+  /// leaf" used by the adaptive-precision cost model (src/adapt).
+  void mark_all_luts_reconfigurable();
 
   // ---- inspection -------------------------------------------------------
   [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }

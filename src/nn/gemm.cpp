@@ -1,6 +1,7 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #if defined(__AVX512VBMI__) && defined(__AVX512BW__)
 #include <immintrin.h>
@@ -210,19 +211,77 @@ void gemm_sharded(std::size_t m, unsigned threads, const RowKernel& kernel) {
   });
 }
 
+/// One tile: rows [0, rows) of the sub-GEMM at `a`/`acc`, one backend.
+/// Both public entry points reduce to this — a whole-layer GEMM is just
+/// the single-tile special case — so the blocked/VBMI fast paths and the
+/// blocked-vs-naive bit-match contract hold per tile by construction.
+void gemm_tile(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
+               const std::uint8_t* b, std::int64_t* acc, std::size_t rows, std::size_t k_dim,
+               std::size_t n, unsigned threads) {
+  if (rows == 0 || n == 0) return;
+  if (mac.has_packed_tables()) {
+    gemm_sharded(rows, threads, [&](std::size_t row_begin, std::size_t row_end) {
+      gemm_rows_fast(mac, swap_operands, a, b, acc, row_begin, row_end, k_dim, n);
+    });
+    return;
+  }
+  gemm_sharded(rows, threads, [&](std::size_t row_begin, std::size_t row_end) {
+    if (swap_operands) {
+      gemm_rows<true>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+    } else {
+      gemm_rows<false>(mac, a, b, acc, row_begin, row_end, k_dim, n);
+    }
+  });
+}
+
 }  // namespace
 
 void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
                      const std::uint8_t* b, std::int64_t* acc, std::size_t m,
                      std::size_t k_dim, std::size_t n, unsigned threads) {
-  if (m == 0 || n == 0) return;
-  if (mac.has_packed_tables()) {
-    gemm_sharded(m, threads, [&](std::size_t row_begin, std::size_t row_end) {
-      gemm_rows_fast(mac, swap_operands, a, b, acc, row_begin, row_end, k_dim, n);
-    });
-    return;
+  gemm_tile(mac, swap_operands, a, b, acc, m, k_dim, n, threads);
+}
+
+void gemm_accumulate_tiled(const TilePlan& plan, const std::uint8_t* a, const std::uint8_t* b,
+                           std::int64_t* acc, std::size_t m, std::size_t k_dim, std::size_t n,
+                           unsigned threads) {
+  std::size_t prev_end = 0;
+  for (const Tile& t : plan) {
+    if (t.row_begin < prev_end || t.row_end > m || t.row_begin > t.row_end) {
+      throw std::invalid_argument("gemm_accumulate_tiled: tiles must be disjoint, "
+                                  "ascending and within [0, m)");
+    }
+    if (t.row_begin == t.row_end) continue;
+    if (t.backend == nullptr) {
+      throw std::invalid_argument("gemm_accumulate_tiled: tile without a backend");
+    }
+    gemm_tile(*t.backend, t.swap, a + t.row_begin * k_dim, b, acc + t.row_begin * n,
+              t.row_end - t.row_begin, k_dim, n, threads);
+    prev_end = t.row_end;
   }
-  gemm_accumulate_naive(mac, swap_operands, a, b, acc, m, k_dim, n, threads);
+}
+
+void gemm_accumulate_scheduled(TileScheduler& sched, const std::uint8_t* a,
+                               const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                               std::size_t k_dim, std::size_t n, unsigned threads) {
+  if (m == 0 || n == 0) return;
+  const std::size_t panel = std::max<std::size_t>(1, sched.panel_rows());
+  std::size_t index = 0;
+  for (std::size_t r0 = 0; r0 < m; r0 += panel, ++index) {
+    const std::size_t r1 = std::min(m, r0 + panel);
+    // A rejecting observe() means the policy escalated: re-decide and
+    // recompute this panel. Accumulators are overwritten, not added to,
+    // so recomputation is idempotent.
+    for (;;) {
+      const TileDecision d = sched.decide(index, r0, r1);
+      if (d.backend == nullptr) {
+        throw std::logic_error("gemm_accumulate_scheduled: decide() returned no backend");
+      }
+      gemm_tile(*d.backend, d.swap, a + r0 * k_dim, b, acc + r0 * n, r1 - r0, k_dim, n,
+                threads);
+      if (sched.observe(index, a, b, acc, r0, r1, k_dim, n)) break;
+    }
+  }
 }
 
 void gemm_accumulate_naive(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "nn/mac.hpp"
+#include "nn/tileplan.hpp"
 
 namespace axmult::nn {
 
@@ -33,6 +34,25 @@ namespace axmult::nn {
 void gemm_accumulate(const MacBackend& mac, bool swap_operands, const std::uint8_t* a,
                      const std::uint8_t* b, std::int64_t* acc, std::size_t m,
                      std::size_t k_dim, std::size_t n, unsigned threads = 0);
+
+/// Tile-granular form of gemm_accumulate: each row panel of the output
+/// runs through its own backend/swap pair. `gemm_accumulate` is the
+/// single-tile special case, so every tile keeps the blocked/AVX512 fast
+/// paths and the blocked-vs-naive bit-match contract. Tiles must be
+/// disjoint, ascending and within [0, m) (throws std::invalid_argument
+/// otherwise); uncovered rows are left untouched.
+void gemm_accumulate_tiled(const TilePlan& plan, const std::uint8_t* a, const std::uint8_t* b,
+                           std::int64_t* acc, std::size_t m, std::size_t k_dim, std::size_t n,
+                           unsigned threads = 0);
+
+/// Online form: asks `sched` for each panel's backend in row order on the
+/// calling thread, and lets it inspect the freshly computed accumulators
+/// (observe may demand a recompute after escalating). The caller must
+/// invoke sched.begin_gemm(...) first. Deterministic at any thread count:
+/// the decide/observe sequence never depends on worker scheduling.
+void gemm_accumulate_scheduled(TileScheduler& sched, const std::uint8_t* a,
+                               const std::uint8_t* b, std::int64_t* acc, std::size_t m,
+                               std::size_t k_dim, std::size_t n, unsigned threads = 0);
 
 /// The PR-2 kernel — one u32 table load per MAC, no blocking — kept as the
 /// baseline the benches measure the blocked path against.

@@ -24,9 +24,24 @@ QTensor head_rows(const QTensor& t, std::size_t rows) {
   return out;
 }
 
-/// Mean relative error between two quantized tensors sharing quantization,
-/// in the real domain; the denominator floors at one output quantum so
-/// near-zero exact values don't blow the metric up.
+void json_kv(std::ostringstream& os, const char* key, double v) {
+  os << '"' << key << "\": " << v;
+}
+
+/// Argmax per batch row of a {N, F} tensor.
+std::vector<int> argmax_rows(const QTensor& out) {
+  if (out.shape.size() != 2) throw std::logic_error("classify: final layer must emit {N, F}");
+  const std::size_t f = out.shape[1];
+  std::vector<int> labels(out.shape[0]);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto* row = out.data.data() + i * f;
+    labels[i] = static_cast<int>(std::max_element(row, row + f) - row);
+  }
+  return labels;
+}
+
+}  // namespace
+
 double output_mre(const QTensor& approx, const QTensor& exact) {
   double sum = 0.0;
   const double floor_val = exact.q.scale;
@@ -37,12 +52,6 @@ double output_mre(const QTensor& approx, const QTensor& exact) {
   }
   return exact.elems() ? sum / static_cast<double>(exact.elems()) : 0.0;
 }
-
-void json_kv(std::ostringstream& os, const char* key, double v) {
-  os << '"' << key << "\": " << v;
-}
-
-}  // namespace
 
 Sequential::Sequential() = default;
 
@@ -101,16 +110,21 @@ QTensor Sequential::run(const QTensor& in, unsigned threads) const {
   return x;
 }
 
+QTensor Sequential::run_planned(const QTensor& in, TileScheduler& sched,
+                                unsigned threads) const {
+  if (!calibrated_) throw std::logic_error("Sequential: calibrate() before run_planned()");
+  QTensor x = in;
+  for (const Slot& s : slots_) x = s.layer->forward_planned(x, sched, threads);
+  return x;
+}
+
 std::vector<int> Sequential::classify(const QTensor& in, unsigned threads) const {
-  const QTensor out = run(in, threads);
-  if (out.shape.size() != 2) throw std::logic_error("classify: final layer must emit {N, F}");
-  const std::size_t f = out.shape[1];
-  std::vector<int> labels(out.shape[0]);
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    const auto* row = out.data.data() + i * f;
-    labels[i] = static_cast<int>(std::max_element(row, row + f) - row);
-  }
-  return labels;
+  return argmax_rows(run(in, threads));
+}
+
+std::vector<int> Sequential::classify_planned(const QTensor& in, TileScheduler& sched,
+                                              unsigned threads) const {
+  return argmax_rows(run_planned(in, sched, threads));
 }
 
 NetworkReport Sequential::evaluate(const QTensor& inputs, const std::vector<int>& labels,
@@ -143,7 +157,10 @@ NetworkReport Sequential::evaluate(const QTensor& inputs, const std::vector<int>
     LayerReport lr;
     lr.name = s.layer->name();
     lr.kind = s.layer->kind();
-    lr.macs = s.layer->mac_count(unit_shape);
+    // Executed (im2col-aware) MAC volume, not the shape formula — any
+    // per-tile decomposition of this layer's GEMM sums back to exactly
+    // this count, which keeps adaptive energy accounting honest.
+    lr.macs = s.layer->uses_mac() ? s.layer->gemm_shape(unit_shape).macs() : 0;
     QTensor y = s.layer->forward(x, backend_for(s), s.swap, threads);
     if (s.layer->uses_mac()) {
       const MacBackend& b = backend_for(s);
@@ -151,6 +168,7 @@ NetworkReport Sequential::evaluate(const QTensor& inputs, const std::vector<int>
       lr.swapped = s.swap;
       lr.cost = b.cost();
       lr.energy_au = static_cast<double>(lr.macs) * lr.cost.energy_per_mac_au;
+      lr.edp_au = lr.energy_au * lr.cost.critical_path_ns;
       if (!b.exact()) {
         const QTensor y_exact = s.layer->forward(x, exact_ref, false, threads);
         lr.output_mre = output_mre(y, y_exact);
@@ -203,6 +221,8 @@ std::string to_json(const NetworkReport& report) {
     json_kv(os, "energy_per_mac_au", lr.cost.energy_per_mac_au);
     os << ", ";
     json_kv(os, "energy_au", lr.energy_au);
+    os << ", ";
+    json_kv(os, "edp_au", lr.edp_au);
     os << ", ";
     json_kv(os, "output_mre", lr.output_mre);
     os << "}" << (i + 1 < report.layers.size() ? "," : "") << "\n";

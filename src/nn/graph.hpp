@@ -21,9 +21,13 @@ struct LayerReport {
   std::string kind;
   std::string backend;  ///< empty for non-MAC layers
   bool swapped = false;
-  std::uint64_t macs = 0;          ///< per inference (batch 1)
+  /// Multiplications *executed* per inference (batch 1): the layer's
+  /// actual GEMM volume (Layer::gemm_shape, im2col-aware), not a shape
+  /// formula — the count any per-tile decomposition must sum back to.
+  std::uint64_t macs = 0;
   MacCost cost;                    ///< per MAC unit (modeled = false if none)
   double energy_au = 0.0;          ///< macs x energy per MAC
+  double edp_au = 0.0;             ///< energy_au x this unit's critical path
   double output_mre = 0.0;         ///< vs exact backend on the same inputs
 };
 
@@ -42,6 +46,12 @@ struct NetworkReport {
 
 /// Serializes a report as a JSON document.
 [[nodiscard]] std::string to_json(const NetworkReport& report);
+
+/// Mean relative error between two quantized tensors sharing quantization,
+/// in the real (dequantized) domain; the denominator floors at one output
+/// quantum so near-zero exact values don't blow the metric up. This is the
+/// metric every SLO in the adaptive subsystem is expressed in.
+[[nodiscard]] double output_mre(const QTensor& approx, const QTensor& exact);
 
 class Sequential {
  public:
@@ -77,8 +87,19 @@ class Sequential {
   /// Quantized forward through the configured backends.
   [[nodiscard]] QTensor run(const QTensor& in, unsigned threads = 0) const;
 
+  /// Quantized forward with per-tile backend selection: every MAC layer
+  /// consults `sched` panel by panel (src/adapt's entry point into the
+  /// network). Deterministic at any thread count for a deterministic
+  /// scheduler.
+  [[nodiscard]] QTensor run_planned(const QTensor& in, TileScheduler& sched,
+                                    unsigned threads = 0) const;
+
   /// Argmax over the final layer's rows, one label per batch row.
   [[nodiscard]] std::vector<int> classify(const QTensor& in, unsigned threads = 0) const;
+
+  /// classify() through run_planned.
+  [[nodiscard]] std::vector<int> classify_planned(const QTensor& in, TileScheduler& sched,
+                                                  unsigned threads = 0) const;
 
   /// Full evaluation: top-1 accuracy over (inputs, labels), per-layer MACs
   /// and hardware roll-up, and per-layer output MRE measured against the

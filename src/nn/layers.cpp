@@ -6,6 +6,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/quantize.hpp"
+#include "nn/tileplan.hpp"
 
 namespace axmult::nn {
 
@@ -74,6 +75,13 @@ void requantize_rows(const RequantState& rq, const std::uint8_t* a_rows,
 
 }  // namespace
 
+QTensor Layer::forward_planned(const QTensor& in, TileScheduler& sched,
+                               unsigned threads) const {
+  // Non-MAC layers ignore the backend; MAC layers override this to run
+  // their GEMM through the scheduler panel by panel.
+  return forward(in, sched.top_backend(), false, threads);
+}
+
 // ---- Dense ----------------------------------------------------------------
 
 Dense::Dense(std::string name, unsigned in_features, unsigned out_features)
@@ -102,6 +110,11 @@ Shape Dense::out_shape(const Shape& in) const {
 
 std::uint64_t Dense::mac_count(const Shape& in) const {
   return static_cast<std::uint64_t>(in.empty() ? 0 : in[0]) * in_features_ * out_features_;
+}
+
+GemmShape Dense::gemm_shape(const Shape& in) const {
+  (void)out_shape(in);  // validate
+  return {in[0], in_features_, out_features_};
 }
 
 Tensor Dense::forward_float(const Tensor& in) const {
@@ -136,6 +149,22 @@ QTensor Dense::forward(const QTensor& in, const MacBackend& mac, bool swap,
   std::vector<std::int64_t> acc(batch * out_features_);
   gemm_accumulate(mac, swap, in.data.data(), wq_.data.data(), acc.data(), batch, in_features_,
                   out_features_, threads);
+  QTensor out;
+  out.shape = out_s;
+  out.q = rq_.out_q;
+  out.data.resize(batch * out_features_);
+  requantize_rows(rq_, in.data.data(), acc.data(), batch, out_features_, out.data.data());
+  return out;
+}
+
+QTensor Dense::forward_planned(const QTensor& in, TileScheduler& sched,
+                               unsigned threads) const {
+  const Shape out_s = out_shape(in.shape);
+  const std::size_t batch = in.shape[0];
+  std::vector<std::int64_t> acc(batch * out_features_);
+  sched.begin_gemm(name(), batch, in_features_, out_features_, &rq_);
+  gemm_accumulate_scheduled(sched, in.data.data(), wq_.data.data(), acc.data(), batch,
+                            in_features_, out_features_, threads);
   QTensor out;
   out.shape = out_s;
   out.q = rq_.out_q;
@@ -194,6 +223,12 @@ std::uint64_t Conv2D::mac_count(const Shape& in) const {
   return static_cast<std::uint64_t>(o[0]) * o[1] * o[2] * out_c_ * kh_ * kw_ * in_c_;
 }
 
+GemmShape Conv2D::gemm_shape(const Shape& in) const {
+  const Shape o = out_shape(in);
+  return {static_cast<std::size_t>(o[0]) * o[1] * o[2],
+          static_cast<std::size_t>(kh_) * kw_ * in_c_, out_c_};
+}
+
 Tensor Conv2D::forward_float(const Tensor& in) const {
   const Shape o = out_shape(in.shape);
   Tensor out(o);
@@ -238,9 +273,7 @@ QuantParams Conv2D::calibrate(const Tensor& in, const QuantParams& in_q, unsigne
   return rq_.out_q;
 }
 
-QTensor Conv2D::forward(const QTensor& in, const MacBackend& mac, bool swap,
-                        unsigned threads) const {
-  const Shape o = out_shape(in.shape);
+std::vector<std::uint8_t> Conv2D::im2col(const QTensor& in, const Shape& o) const {
   const unsigned h = in.shape[1], w = in.shape[2];
   const std::size_t rows = static_cast<std::size_t>(o[0]) * o[1] * o[2];
   const std::size_t depth = static_cast<std::size_t>(kh_) * kw_ * in_c_;
@@ -272,9 +305,36 @@ QTensor Conv2D::forward(const QTensor& in, const MacBackend& mac, bool swap,
       }
     }
   }
+  return patches;
+}
+
+QTensor Conv2D::forward(const QTensor& in, const MacBackend& mac, bool swap,
+                        unsigned threads) const {
+  const Shape o = out_shape(in.shape);
+  const std::size_t rows = static_cast<std::size_t>(o[0]) * o[1] * o[2];
+  const std::size_t depth = static_cast<std::size_t>(kh_) * kw_ * in_c_;
+  const std::vector<std::uint8_t> patches = im2col(in, o);
   std::vector<std::int64_t> acc(rows * out_c_);
   gemm_accumulate(mac, swap, patches.data(), wq_.data.data(), acc.data(), rows, depth, out_c_,
                   threads);
+  QTensor out;
+  out.shape = o;
+  out.q = rq_.out_q;
+  out.data.resize(rows * out_c_);
+  requantize_rows(rq_, patches.data(), acc.data(), rows, out_c_, out.data.data());
+  return out;
+}
+
+QTensor Conv2D::forward_planned(const QTensor& in, TileScheduler& sched,
+                                unsigned threads) const {
+  const Shape o = out_shape(in.shape);
+  const std::size_t rows = static_cast<std::size_t>(o[0]) * o[1] * o[2];
+  const std::size_t depth = static_cast<std::size_t>(kh_) * kw_ * in_c_;
+  const std::vector<std::uint8_t> patches = im2col(in, o);
+  std::vector<std::int64_t> acc(rows * out_c_);
+  sched.begin_gemm(name(), rows, depth, out_c_, &rq_);
+  gemm_accumulate_scheduled(sched, patches.data(), wq_.data.data(), acc.data(), rows, depth,
+                            out_c_, threads);
   QTensor out;
   out.shape = o;
   out.q = rq_.out_q;

@@ -24,8 +24,25 @@
 
 namespace axmult::nn {
 
+class TileScheduler;  // tileplan.hpp
+
 /// Named float tensors — the unit of the flat .axnn weight container.
 using TensorMap = std::map<std::string, Tensor>;
+
+/// The GEMM a MAC layer actually executes for an input of shape `in`:
+/// `rows` x `depth` by `depth` x `cols`. For Conv2D these are the im2col
+/// dimensions (every padded tap included — those multiplications really
+/// run through the MAC array), so rows*depth*cols counts *executed*
+/// multiplications, and any partition of [0, rows) into tiles decomposes
+/// it exactly. All-zero for layers without a GEMM.
+struct GemmShape {
+  std::size_t rows = 0;
+  std::size_t depth = 0;
+  std::size_t cols = 0;
+  [[nodiscard]] std::uint64_t macs() const noexcept {
+    return static_cast<std::uint64_t>(rows) * depth * cols;
+  }
+};
 
 class Layer {
  public:
@@ -44,6 +61,14 @@ class Layer {
     (void)in;
     return 0;
   }
+  /// The GEMM this layer executes for input shape `in` (see GemmShape);
+  /// all-zero default for non-MAC layers. gemm_shape(in).macs() counts the
+  /// multiplications *executed* (im2col-aware), which is what per-tile
+  /// energy accounting must use.
+  [[nodiscard]] virtual GemmShape gemm_shape(const Shape& in) const {
+    (void)in;
+    return {};
+  }
 
   /// Float reference forward.
   [[nodiscard]] virtual Tensor forward_float(const Tensor& in) const = 0;
@@ -52,6 +77,14 @@ class Layer {
   /// the swapped operand order (Cas/Ccs trick). Must be calibrated first.
   [[nodiscard]] virtual QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
                                         unsigned threads) const = 0;
+
+  /// Quantized forward with per-tile backend selection: MAC layers
+  /// announce their GEMM to `sched` and run it panel by panel through
+  /// gemm_accumulate_scheduled; everything else (and the default) runs
+  /// the plain forward through sched.top_backend(), which exact layers
+  /// ignore anyway.
+  [[nodiscard]] virtual QTensor forward_planned(const QTensor& in, TileScheduler& sched,
+                                                unsigned threads) const;
 
   /// Observes the float calibration batch `in` (quantized as `in_q`),
   /// freezes internal quantized state at `bits` operand width, writes the
@@ -100,9 +133,12 @@ class Dense final : public Layer {
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] bool uses_mac() const noexcept override { return true; }
   [[nodiscard]] std::uint64_t mac_count(const Shape& in) const override;
+  [[nodiscard]] GemmShape gemm_shape(const Shape& in) const override;
   [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
   [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
                                 unsigned threads) const override;
+  [[nodiscard]] QTensor forward_planned(const QTensor& in, TileScheduler& sched,
+                                        unsigned threads) const override;
   [[nodiscard]] QuantParams calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
                                       Tensor& out) override;
   void export_weights(TensorMap& out) const override;
@@ -131,15 +167,20 @@ class Conv2D final : public Layer {
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] bool uses_mac() const noexcept override { return true; }
   [[nodiscard]] std::uint64_t mac_count(const Shape& in) const override;
+  [[nodiscard]] GemmShape gemm_shape(const Shape& in) const override;
   [[nodiscard]] Tensor forward_float(const Tensor& in) const override;
   [[nodiscard]] QTensor forward(const QTensor& in, const MacBackend& mac, bool swap,
                                 unsigned threads) const override;
+  [[nodiscard]] QTensor forward_planned(const QTensor& in, TileScheduler& sched,
+                                        unsigned threads) const override;
   [[nodiscard]] QuantParams calibrate(const Tensor& in, const QuantParams& in_q, unsigned bits,
                                       Tensor& out) override;
   void export_weights(TensorMap& out) const override;
   void import_weights(const TensorMap& in) override;
 
  private:
+  [[nodiscard]] std::vector<std::uint8_t> im2col(const QTensor& in, const Shape& o) const;
+
   unsigned kh_, kw_, in_c_, out_c_, stride_, pad_;
   Tensor w_;                 // {KH, KW, C, M}
   std::vector<float> bias_;  // M

@@ -144,6 +144,13 @@ MacBackendPtr make_mac_backend(const std::string& name) {
   throw std::out_of_range("unknown MAC backend '" + name + "'");
 }
 
+fabric::Netlist mac_backend_netlist(const std::string& name) {
+  for (const auto& s : kBackends) {
+    if (name == s.name) return s.netlist();
+  }
+  throw std::out_of_range("unknown MAC backend '" + name + "'");
+}
+
 MacBackendPtr shared_mac_backend(const std::string& name) {
   // Entry pointers are stable once inserted (node-based map), so the
   // registry mutex protects only the map itself; the per-entry call_once

@@ -115,6 +115,12 @@ using MacBackendPtr = std::shared_ptr<const MacBackend>;
 /// for unknown names.
 [[nodiscard]] MacBackendPtr make_mac_backend(const std::string& name);
 
+/// The structural netlist of a registry backend, un-rolled-up — callers
+/// that need to re-cost the design under modified timing/power models
+/// (e.g. the CFGLUT5-marked dynamic variant in src/adapt) start here.
+/// Throws std::out_of_range for unknown names.
+[[nodiscard]] fabric::Netlist mac_backend_netlist(const std::string& name);
+
 /// Memoized make_mac_backend: one shared immutable instance per name for
 /// the whole process, built exactly once (std::call_once) no matter how
 /// many threads race the first touch. Unknown names throw on every call.

@@ -1,0 +1,92 @@
+// Per-tile backend selection for the quantized GEMM.
+//
+// The paper's operand-swap trick is a compile-time accuracy lever; the
+// adaptive-precision subsystem (src/adapt) needs the same lever at
+// *runtime*, mid-GEMM. The unit of reconfiguration is a row panel — a
+// contiguous block of output rows bound to one MacBackend — because that
+// is what a CFGLUT5-based MAC array can actually switch between batches
+// of work (the INIT shift-in pauses the array; switching per element
+// would serialize it).
+//
+// Two consumers:
+//   * TilePlan + gemm_accumulate_tiled: a precomputed static assignment
+//     (rows -> backend), e.g. replaying a recorded adaptive schedule.
+//   * TileScheduler + gemm_accumulate_scheduled: an online policy asked
+//     panel by panel, with a feedback hook (`observe`) that may demand
+//     the panel be recomputed after an escalation — the adaptive
+//     controller's entry point.
+//
+// Determinism contract: panels are visited in row order on the calling
+// thread; only the row-sharded inner GEMM parallelizes. Every decide/
+// observe sequence is therefore identical at any thread count, which is
+// what makes adaptive runs bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/mac.hpp"
+
+namespace axmult::nn {
+
+struct RequantState;  // layers.hpp
+
+/// One row panel of a GEMM bound to a backend — the granularity at which
+/// the adaptive engine hot-swaps multipliers.
+struct Tile {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  const MacBackend* backend = nullptr;
+  bool swap = false;
+};
+
+/// A full static assignment of a GEMM's rows. Tiles must be disjoint and
+/// ascending; rows not covered by any tile are left untouched.
+using TilePlan = std::vector<Tile>;
+
+/// Backend choice for one panel, returned by TileScheduler::decide.
+struct TileDecision {
+  const MacBackend* backend = nullptr;
+  bool swap = false;
+};
+
+/// Online per-panel backend policy driven by gemm_accumulate_scheduled.
+/// Implementations live in src/adapt (drift-monitored hysteresis ladder)
+/// and in tests (scripted schedules).
+class TileScheduler {
+ public:
+  virtual ~TileScheduler() = default;
+
+  /// Requested panel height in rows (the last panel may be shorter).
+  [[nodiscard]] virtual std::size_t panel_rows() const = 0;
+
+  /// Announces the next GEMM: `m` x `k_dim` by `k_dim` x `n`, belonging to
+  /// layer `layer_name`. `rq` is the layer's requantization state when the
+  /// caller has one (lets the monitor score errors in the real output
+  /// domain) or nullptr for raw GEMMs.
+  virtual void begin_gemm(const std::string& layer_name, std::size_t m, std::size_t k_dim,
+                          std::size_t n, const RequantState* rq) = 0;
+
+  /// Chooses the backend for panel `panel` covering rows
+  /// [row_begin, row_end). Called again for the same panel after a
+  /// rejecting observe().
+  [[nodiscard]] virtual TileDecision decide(std::size_t panel, std::size_t row_begin,
+                                            std::size_t row_end) = 0;
+
+  /// Inspects the freshly computed panel accumulators. Returns true to
+  /// accept; false to demand the panel be re-decided and recomputed (the
+  /// policy escalated). Implementations must eventually accept every
+  /// panel (e.g. always accept on the exact rung) or the GEMM livelocks.
+  [[nodiscard]] virtual bool observe(std::size_t panel, const std::uint8_t* a,
+                                     const std::uint8_t* b, const std::int64_t* acc,
+                                     std::size_t row_begin, std::size_t row_end,
+                                     std::size_t k_dim, std::size_t n) = 0;
+
+  /// Most accurate backend the policy can reach — also the backend handed
+  /// to layers that ignore it (the default forward_planned plumbing).
+  [[nodiscard]] virtual const MacBackend& top_backend() const = 0;
+};
+
+}  // namespace axmult::nn

@@ -27,7 +27,8 @@ std::vector<double> net_caps(const fabric::Netlist& nl, const PowerModel& model)
 
 double cell_cap(const Cell& c, const PowerModel& model) {
   switch (c.kind) {
-    case CellKind::kLut6: return model.lut_cap;
+    case CellKind::kLut6:
+      return model.lut_cap + (c.reconfigurable ? model.cfglut_cap : 0.0);
     case CellKind::kCarry4: return 4 * model.carry_cap;
     case CellKind::kDsp: return model.dsp_cap;
     case CellKind::kFdre: return model.ff_cap;

@@ -20,6 +20,10 @@ struct PowerModel {
   double net_cap = 1.0;          ///< capacitance per routed net
   double cap_per_fanout = 0.35;  ///< extra capacitance per additional load
   double lut_cap = 0.6;          ///< internal LUT switching
+  /// Extra switched capacitance on LUTs marked runtime-reconfigurable
+  /// (CFGLUT5-style: the 32-bit INIT shift register loads the read mux).
+  /// Zero by default so static designs are unaffected.
+  double cfglut_cap = 0.0;
   double carry_cap = 0.12;       ///< per-bit MUXCY switching
   double ff_cap = 0.25;          ///< flip-flop clocking + output switching
   double dsp_cap = 45.0;         ///< DSP block switching per operation

@@ -78,11 +78,12 @@ TimingReport analyze(const fabric::Netlist& nl, const DelayModel& model) {
           }
           return w;
         };
+        const double lut_ns = model.lut_ns + (c.reconfigurable ? model.cfglut_ns : 0.0);
         const auto [t6, n6] = worst_over(fabric::lut_support_o6(c.init));
-        improve(c.out[0], std::max(t6, 0.0) + model.lut_ns, n6, c.name);
+        improve(c.out[0], std::max(t6, 0.0) + lut_ns, n6, c.name);
         if (c.out[1] != kNoNet) {
           const auto [t5, n5] = worst_over(fabric::lut_support_o5(c.init));
-          improve(c.out[1], std::max(t5, 0.0) + model.lut_ns, n5, c.name);
+          improve(c.out[1], std::max(t5, 0.0) + lut_ns, n5, c.name);
         }
         break;
       }

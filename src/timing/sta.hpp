@@ -20,6 +20,10 @@ struct DelayModel {
   double ibuf_ns = 0.95;            ///< input buffer + pad
   double obuf_ns = 1.90;            ///< output buffer + pad
   double lut_ns = 0.124;            ///< LUT6 logic delay (UG474 ballpark)
+  /// Extra logic delay on LUTs marked runtime-reconfigurable (CFGLUT5-style
+  /// shift-register LUT: CDI mux + deeper read path). Zero by default so
+  /// static designs are unaffected; src/adapt passes a nonzero penalty.
+  double cfglut_ns = 0.0;
   double net_base_ns = 0.45;        ///< routed net, fanout 1
   double net_per_fanout_ns = 0.04;  ///< additional delay per extra load
   double net_max_ns = 1.10;         ///< routing congestion cap

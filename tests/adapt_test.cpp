@@ -1,0 +1,572 @@
+// Unit tests for the runtime-adaptive precision subsystem (src/adapt):
+// hysteresis policy, drift monitor, reconfiguration cost, ladder
+// construction (incl. the front-file error paths), per-tile GEMM, and the
+// controller end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/ladder.hpp"
+#include "adapt/monitor.hpp"
+#include "adapt/reconfig.hpp"
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+#include "nn/mac.hpp"
+
+using namespace axmult;
+using adapt::HysteresisPolicy;
+
+namespace {
+
+adapt::PolicyConfig policy_config(double slo = 0.05, bool start_cheap = true,
+                                  unsigned hold = 4) {
+  adapt::PolicyConfig cfg;
+  cfg.slo = slo;
+  cfg.start_cheap = start_cheap;
+  cfg.hold_windows = hold;
+  return cfg;
+}
+
+std::vector<std::uint8_t> random_operands(std::size_t count, unsigned lo, unsigned hi,
+                                          std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(count);
+  for (auto& x : v) x = static_cast<std::uint8_t>(lo + rng.below(hi - lo + 1u));
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- policy
+
+TEST(HysteresisPolicyTest, ValidatesConfig) {
+  EXPECT_THROW(HysteresisPolicy(policy_config(), 0), std::invalid_argument);
+  adapt::PolicyConfig bad = policy_config();
+  bad.down_margin = bad.up_margin;  // no hysteresis band -> oscillation
+  EXPECT_THROW(HysteresisPolicy(bad, 3), std::invalid_argument);
+}
+
+TEST(HysteresisPolicyTest, ColdStartsAtExactTopByDefault) {
+  adapt::PolicyConfig cfg;  // start_cheap defaults to false
+  EXPECT_EQ(HysteresisPolicy(cfg, 4).rung(), 3u);
+  EXPECT_EQ(HysteresisPolicy(policy_config(), 4).rung(), 0u);
+}
+
+TEST(HysteresisPolicyTest, SloViolationEscalatesWithinOneWindow) {
+  HysteresisPolicy p(policy_config(0.05, /*start_cheap=*/true), 3);
+  EXPECT_EQ(p.update(0.05), HysteresisPolicy::Action::kUp);
+  EXPECT_EQ(p.rung(), 1u);
+  // Still violating: next window climbs again — never slower than one
+  // window per rung.
+  EXPECT_EQ(p.update(0.05), HysteresisPolicy::Action::kUp);
+  EXPECT_EQ(p.rung(), 2u);
+  // At the top there is nowhere to go.
+  EXPECT_EQ(p.update(0.05), HysteresisPolicy::Action::kHold);
+  EXPECT_EQ(p.rung(), 2u);
+}
+
+TEST(HysteresisPolicyTest, NeverOscillatesOnConstantErrorStream) {
+  const double slo = 0.05;
+  // Calm (below down margin), in-band (inside the hysteresis band), and
+  // high (above up margin) constant streams, from both start rungs.
+  for (const double est : {0.0, 0.4 * slo, 0.9 * slo, 2.0 * slo}) {
+    for (const bool cheap : {true, false}) {
+      HysteresisPolicy p(policy_config(slo, cheap), 4);
+      std::vector<std::size_t> trace{p.rung()};
+      for (int i = 0; i < 300; ++i) {
+        (void)p.update(est);
+        trace.push_back(p.rung());
+      }
+      // The rung sequence must be monotone: any change of direction would
+      // be an oscillation the hysteresis band is there to forbid.
+      bool up = false, down = false;
+      for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i] > trace[i - 1]) up = true;
+        if (trace[i] < trace[i - 1]) down = true;
+      }
+      EXPECT_FALSE(up && down) << "oscillated on constant estimate " << est
+                               << " (start_cheap=" << cheap << ")";
+    }
+  }
+}
+
+TEST(HysteresisPolicyTest, DeescalationNeedsConsecutiveCalmWindows) {
+  HysteresisPolicy p(policy_config(0.05, /*start_cheap=*/false, /*hold=*/3), 2);
+  EXPECT_EQ(p.rung(), 1u);
+  (void)p.update(0.001);
+  (void)p.update(0.001);
+  // An in-band window resets the calm streak.
+  (void)p.update(0.03);
+  (void)p.update(0.001);
+  (void)p.update(0.001);
+  EXPECT_EQ(p.rung(), 1u);  // still only 2 consecutive calm windows
+  (void)p.update(0.001);
+  EXPECT_EQ(p.rung(), 0u);  // third consecutive calm window de-escalates
+}
+
+TEST(HysteresisPolicyTest, PrematureDowngradeDoublesHoldWithBackoffCap) {
+  adapt::PolicyConfig cfg = policy_config(0.05, /*start_cheap=*/false, /*hold=*/2);
+  cfg.max_hold = 8;
+  HysteresisPolicy p(cfg, 2);
+  unsigned expected_hold = 2;
+  for (int round = 0; round < 4; ++round) {
+    for (unsigned i = 0; i < p.required_hold(); ++i) (void)p.update(0.001);
+    ASSERT_EQ(p.rung(), 0u) << "round " << round;
+    // Immediately high again: the downgrade was premature.
+    (void)p.update(0.2);
+    ASSERT_EQ(p.rung(), 1u);
+    expected_hold = std::min(expected_hold * 2, cfg.max_hold);
+    EXPECT_EQ(p.required_hold(), expected_hold) << "round " << round;
+  }
+  EXPECT_EQ(p.required_hold(), 8u);  // capped
+}
+
+// --------------------------------------------------------------- monitor
+
+TEST(DriftMonitorTest, ExactAccumulatorsScoreZero) {
+  const std::size_t m = 48, k = 20, n = 6;
+  const auto a = random_operands(m * k, 1, 255, 3);
+  const auto b = random_operands(k * n, 1, 255, 4);
+  std::vector<std::int64_t> acc(m * n, 0);
+  nn::gemm_reference(a.data(), b.data(), acc.data(), m, k, n);
+  adapt::DriftMonitor monitor(adapt::MonitorConfig{});
+  EXPECT_EQ(monitor.measure(1, 0, a.data(), b.data(), acc.data(), 0, m, k, n, nullptr), 0.0);
+}
+
+TEST(DriftMonitorTest, DeterministicForFixedStreamIdentity) {
+  const std::size_t m = 64, k = 32, n = 8;
+  const auto a = random_operands(m * k, 16, 63, 5);
+  const auto b = random_operands(k * n, 16, 63, 6);
+  const auto cc8 = nn::make_mac_backend("cc8");
+  std::vector<std::int64_t> acc(m * n, 0);
+  nn::gemm_accumulate(*cc8, false, a.data(), b.data(), acc.data(), m, k, n);
+  adapt::DriftMonitor monitor(adapt::MonitorConfig{});
+  const double first = monitor.measure(7, 3, a.data(), b.data(), acc.data(), 0, m, k, n, nullptr);
+  EXPECT_GT(first, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(monitor.measure(7, 3, a.data(), b.data(), acc.data(), 0, m, k, n, nullptr), first);
+  }
+}
+
+// -------------------------------------------------------------- reconfig
+
+TEST(ReconfigTest, IdenticalNetlistsSwapForFree) {
+  const fabric::Netlist nl = nn::mac_backend_netlist("cc8");
+  const adapt::SwapCost cost = adapt::swap_cost(nl, nl);
+  EXPECT_EQ(cost.changed_luts, 0u);
+  EXPECT_EQ(cost.delta_bits, 0u);
+  EXPECT_EQ(cost.cycles, 0u);
+  EXPECT_EQ(cost.time_ns, 0.0);
+  EXPECT_EQ(cost.energy_au, 0.0);
+}
+
+TEST(ReconfigTest, ParallelChainsShiftInInitBitsCycles) {
+  const fabric::Netlist from = nn::mac_backend_netlist("cc8");
+  const fabric::Netlist to = nn::mac_backend_netlist("exact");
+  const adapt::ReconfigModel model;
+  const adapt::SwapCost cost = adapt::swap_cost(from, to, model);
+  EXPECT_GT(cost.changed_luts, 0u);
+  EXPECT_GT(cost.delta_bits, 0u);
+  // Every changed LUT reloads concurrently on its own CDI chain: one
+  // init_bits-deep shift regardless of how many LUTs changed.
+  EXPECT_EQ(cost.cycles, model.init_bits);
+  EXPECT_EQ(cost.time_ns, model.init_bits * model.shift_clock_ns);
+  EXPECT_GT(cost.energy_au, 0.0);
+  // The INIT delta is a XOR popcount — direction cannot matter.
+  EXPECT_EQ(adapt::swap_cost(to, from, model).delta_bits, cost.delta_bits);
+}
+
+// ---------------------------------------------------------------- ladder
+
+TEST(LadderTest, OrderedPrunedAndExactTopped) {
+  const adapt::Ladder ladder =
+      adapt::make_ladder({"exact", "cc8", "cas8", "cb8", "trunc8_4", "ca8"});
+  ASSERT_GE(ladder.size(), 2u);
+  EXPECT_TRUE(ladder.rungs.back().backend->exact());
+  for (std::size_t r = 1; r < ladder.size(); ++r) {
+    const auto& prev = ladder.rungs[r - 1];
+    const auto& cur = ladder.rungs[r];
+    EXPECT_LT(prev.dynamic_cost.edp_per_mac_au, cur.dynamic_cost.edp_per_mac_au)
+        << prev.name << " -> " << cur.name;
+    EXPECT_GT(prev.table_mre, cur.table_mre) << prev.name << " -> " << cur.name;
+  }
+  // Six candidates cannot all be mutually non-dominated in (EDP, error):
+  // pruning must have dropped at least one.
+  EXPECT_LT(ladder.size(), 6u);
+  // The swap matrix is square, zero on the diagonal.
+  ASSERT_EQ(ladder.swap.size(), ladder.size());
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    ASSERT_EQ(ladder.swap[r].size(), ladder.size());
+    EXPECT_EQ(ladder.swap[r][r].delta_bits, 0u);
+    EXPECT_EQ(ladder.swap[r][r].energy_au, 0.0);
+  }
+}
+
+TEST(LadderTest, AppendsExactWhenMissingAndDynamicCostTaxesStatic) {
+  const adapt::Ladder ladder = adapt::make_ladder({"cc8"});
+  ASSERT_EQ(ladder.size(), 2u);
+  EXPECT_EQ(ladder.rungs[0].name, "cc8");
+  EXPECT_TRUE(ladder.rungs.back().backend->exact());
+  for (const adapt::Rung& rung : ladder.rungs) {
+    // Reconfigurability is a standing tax: the CFGLUT-marked roll-up is
+    // strictly worse than the plain one on both axes.
+    EXPECT_GT(rung.dynamic_cost.energy_per_mac_au, rung.static_cost.energy_per_mac_au)
+        << rung.name;
+    EXPECT_GT(rung.dynamic_cost.critical_path_ns, rung.static_cost.critical_path_ns)
+        << rung.name;
+  }
+}
+
+TEST(LadderTest, UnknownBackendNameThrows) {
+  EXPECT_THROW(adapt::make_ladder({"cc8", "nope99"}), std::out_of_range);
+}
+
+// ------------------------------------------------------ front error paths
+
+namespace {
+
+class TempFront {
+ public:
+  explicit TempFront(const std::string& tag, const std::string& content)
+      : path_("adapt_test_front_" + tag + ".json") {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempFront() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+const char* kHeader =
+    "{\"front_meta\": 1, \"objectives\": [\"luts\", \"delay\", \"mre\"]}\n";
+const char* kUnsignedPoint =
+    "{\"key\": \"w8;l=k2x2;s=CC;o=0;t=2;x=0;g=0\", \"cost\": [50, 5.302, 0.2469], "
+    "\"mre\": 0.2469, \"luts\": 50, \"delay_ns\": 5.302, \"energy_au\": 76.8, "
+    "\"edp_au\": 407.2}\n";
+const char* kSignedPoint =
+    "{\"key\": \"w8;l=k2x2;s=CC;o=0;t=2;x=0;g=1\", \"cost\": [60, 6.0, 0.2469], "
+    "\"mre\": 0.2469, \"luts\": 60, \"delay_ns\": 6.0, \"energy_au\": 80.0, "
+    "\"edp_au\": 480.0}\n";
+
+}  // namespace
+
+TEST(FrontBackendsTest, MissingFileIsOneLineError) {
+  EXPECT_THROW(
+      {
+        try {
+          (void)adapt::backends_from_front("adapt_test_front_does_not_exist.json");
+        } catch (const std::runtime_error& e) {
+          EXPECT_EQ(std::string(e.what()).find('\n'), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(FrontBackendsTest, MalformedJsonLineIsOneLineError) {
+  const TempFront f("malformed", std::string(kHeader) + "{\"not_a_point\": true}\n");
+  EXPECT_THROW(
+      {
+        try {
+          (void)adapt::backends_from_front(f.path());
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+          EXPECT_EQ(std::string(e.what()).find('\n'), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(FrontBackendsTest, UnparseableKeyIsOneLineError) {
+  const TempFront f("badkey", std::string(kHeader) + "{\"key\": \"w8;l=zzz\", \"mre\": 1}\n");
+  EXPECT_THROW((void)adapt::backends_from_front(f.path()), std::runtime_error);
+}
+
+TEST(FrontBackendsTest, AllSignedFrontIsOneLineError) {
+  const TempFront f("signed", std::string(kHeader) + kSignedPoint);
+  EXPECT_THROW(
+      {
+        try {
+          (void)adapt::backends_from_front(f.path());
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("no usable unsigned"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(FrontBackendsTest, SignedPointsAreSkippedNotFatal) {
+  const TempFront f("mixed", std::string(kHeader) + kSignedPoint + kUnsignedPoint);
+  const std::vector<adapt::FrontBackend> points = adapt::backends_from_front(f.path());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_FALSE(points[0].config.signed_wrapper);
+  ASSERT_NE(points[0].backend, nullptr);
+  EXPECT_EQ(points[0].backend->data_bits(), 8u);
+}
+
+// ----------------------------------------------------------- tiled gemm
+
+TEST(GemmTiledTest, SingleTileMatchesPlainGemm) {
+  const std::size_t m = 100, k = 33, n = 17;
+  const auto a = random_operands(m * k, 0, 255, 11);
+  const auto b = random_operands(k * n, 0, 255, 12);
+  const auto cc8 = nn::make_mac_backend("cc8");
+  for (const unsigned threads : {1u, 3u}) {
+    std::vector<std::int64_t> plain(m * n, 0), tiled(m * n, 0);
+    nn::gemm_accumulate(*cc8, false, a.data(), b.data(), plain.data(), m, k, n, threads);
+    const nn::TilePlan plan{{0, m, cc8.get(), false}};
+    nn::gemm_accumulate_tiled(plan, a.data(), b.data(), tiled.data(), m, k, n, threads);
+    EXPECT_EQ(plain, tiled) << "threads=" << threads;
+  }
+}
+
+TEST(GemmTiledTest, MixedTilesMatchPerRowComposition) {
+  const std::size_t m = 100, k = 24, n = 9;
+  const auto a = random_operands(m * k, 0, 255, 13);
+  const auto b = random_operands(k * n, 0, 255, 14);
+  const auto cc8 = nn::make_mac_backend("cc8");
+  const auto cas8 = nn::make_mac_backend("cas8");
+  const auto exact = nn::make_mac_backend("exact");
+  const nn::TilePlan plan{
+      {0, 40, cc8.get(), false}, {40, 64, exact.get(), false}, {64, 100, cas8.get(), true}};
+  std::vector<std::int64_t> tiled(m * n, 0), manual(m * n, 0);
+  nn::gemm_accumulate_tiled(plan, a.data(), b.data(), tiled.data(), m, k, n, 2);
+  for (const nn::Tile& t : plan) {
+    nn::gemm_accumulate(*t.backend, t.swap, a.data() + t.row_begin * k, b.data(),
+                        manual.data() + t.row_begin * n, t.row_end - t.row_begin, k, n);
+  }
+  EXPECT_EQ(tiled, manual);
+}
+
+TEST(GemmTiledTest, RejectsOverlappingOrOutOfRangeTiles) {
+  const std::size_t m = 32, k = 4, n = 4;
+  const auto a = random_operands(m * k, 0, 255, 15);
+  const auto b = random_operands(k * n, 0, 255, 16);
+  const auto exact = nn::make_mac_backend("exact");
+  std::vector<std::int64_t> acc(m * n, 0);
+  const nn::TilePlan overlapping{{0, 20, exact.get(), false}, {16, 32, exact.get(), false}};
+  EXPECT_THROW(
+      nn::gemm_accumulate_tiled(overlapping, a.data(), b.data(), acc.data(), m, k, n),
+      std::invalid_argument);
+  const nn::TilePlan outside{{16, 40, exact.get(), false}};
+  EXPECT_THROW(nn::gemm_accumulate_tiled(outside, a.data(), b.data(), acc.data(), m, k, n),
+               std::invalid_argument);
+}
+
+namespace {
+
+/// Scripted scheduler: rejects the first observation of panel 0 (forcing a
+/// recompute at the escalated backend), accepts everything else.
+class RejectOnceScheduler final : public nn::TileScheduler {
+ public:
+  RejectOnceScheduler(const nn::MacBackend* cheap, const nn::MacBackend* exact)
+      : cheap_(cheap), exact_(exact) {}
+
+  [[nodiscard]] std::size_t panel_rows() const override { return 32; }
+  void begin_gemm(const std::string&, std::size_t, std::size_t, std::size_t,
+                  const nn::RequantState*) override {}
+  [[nodiscard]] nn::TileDecision decide(std::size_t panel, std::size_t, std::size_t) override {
+    ++decides;
+    return {panel == 0 && rejected_ ? exact_ : cheap_, false};
+  }
+  [[nodiscard]] bool observe(std::size_t panel, const std::uint8_t*, const std::uint8_t*,
+                             const std::int64_t*, std::size_t, std::size_t, std::size_t,
+                             std::size_t) override {
+    if (panel == 0 && !rejected_) {
+      rejected_ = true;
+      return false;
+    }
+    return true;
+  }
+  [[nodiscard]] const nn::MacBackend& top_backend() const override { return *exact_; }
+
+  int decides = 0;
+
+ private:
+  const nn::MacBackend* cheap_;
+  const nn::MacBackend* exact_;
+  bool rejected_ = false;
+};
+
+}  // namespace
+
+TEST(GemmScheduledTest, RejectedPanelIsRecomputedAtEscalatedBackend) {
+  const std::size_t m = 80, k = 16, n = 5;  // panels: [0,32) [32,64) [64,80)
+  const auto a = random_operands(m * k, 16, 63, 17);
+  const auto b = random_operands(k * n, 16, 63, 18);
+  const auto cc8 = nn::make_mac_backend("cc8");
+  const auto exact = nn::make_mac_backend("exact");
+  RejectOnceScheduler sched(cc8.get(), exact.get());
+  std::vector<std::int64_t> acc(m * n, 0);
+  nn::gemm_accumulate_scheduled(sched, a.data(), b.data(), acc.data(), m, k, n);
+  EXPECT_EQ(sched.decides, 4);  // 3 panels + 1 re-decide after the rejection
+  // Panel 0 must hold the *exact* products (the cc8 attempt was discarded),
+  // the rest the cc8 ones.
+  std::vector<std::int64_t> expect(m * n, 0);
+  nn::gemm_accumulate(*exact, false, a.data(), b.data(), expect.data(), 32, k, n);
+  nn::gemm_accumulate(*cc8, false, a.data() + 32 * k, b.data(), expect.data() + 32 * n,
+                      m - 32, k, n);
+  EXPECT_EQ(acc, expect);
+}
+
+// ------------------------------------------------------------ controller
+
+namespace {
+
+adapt::ControllerConfig small_controller_config(double slo, bool start_cheap) {
+  adapt::ControllerConfig cfg;
+  cfg.panel_rows = 32;
+  cfg.monitor.seed = 21;
+  cfg.monitor.probes_per_panel = 8;
+  cfg.policy.slo = slo;
+  cfg.policy.start_cheap = start_cheap;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ControllerTest, ValidatesLadder) {
+  EXPECT_THROW(adapt::Controller(adapt::Ladder{}, adapt::ControllerConfig{}),
+               std::invalid_argument);
+  adapt::Ladder no_exact_top = adapt::make_ladder({"cc8"});
+  no_exact_top.rungs.pop_back();  // leaves cc8 on top
+  EXPECT_THROW(adapt::Controller(std::move(no_exact_top), adapt::ControllerConfig{}),
+               std::invalid_argument);
+}
+
+TEST(ControllerTest, HardViolationRecomputesWithinOneWindowAndLandsExact) {
+  // cc8 on mid-range operands violates a 0.02 SLO on the very first
+  // window; with a two-rung ladder the recompute must produce exact
+  // accumulators.
+  const std::size_t m = 64, k = 48, n = 8;
+  const auto a = random_operands(m * k, 16, 63, 22);
+  const auto b = random_operands(k * n, 16, 63, 23);
+  adapt::Controller controller(adapt::make_ladder({"cc8"}),
+                               small_controller_config(0.02, /*start_cheap=*/true));
+  std::vector<std::int64_t> acc(m * n, 0);
+  controller.begin_gemm("layer", m, k, n, nullptr);
+  nn::gemm_accumulate_scheduled(controller, a.data(), b.data(), acc.data(), m, k, n);
+  std::vector<std::int64_t> exact(m * n, 0);
+  nn::gemm_reference(a.data(), b.data(), exact.data(), m, k, n);
+  EXPECT_EQ(acc, exact);
+  const adapt::Report report = controller.report(1);
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_GE(report.layers[0].recomputes, 1u);
+  // The first cc8 attempt stays on the bill: both rungs carry MACs.
+  EXPECT_GT(report.layers[0].macs_by_rung[0], 0u);
+  EXPECT_GT(report.layers[0].macs_by_rung[1], 0u);
+  EXPECT_GE(report.swaps.size(), 1u);
+}
+
+TEST(ControllerTest, ColdStartFirstDecisionIsExact) {
+  const std::size_t m = 32, k = 16, n = 4;
+  const auto a = random_operands(m * k, 1, 255, 24);
+  const auto b = random_operands(k * n, 1, 255, 25);
+  adapt::Controller controller(adapt::make_ladder({"cc8"}),
+                               small_controller_config(0.05, /*start_cheap=*/false));
+  std::vector<std::int64_t> acc(m * n, 0);
+  controller.begin_gemm("layer", m, k, n, nullptr);
+  nn::gemm_accumulate_scheduled(controller, a.data(), b.data(), acc.data(), m, k, n);
+  const adapt::Report report = controller.report(1);
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_EQ(report.layers[0].macs_by_rung[0], 0u);  // never touched cc8
+  EXPECT_EQ(report.layers[0].macs_by_rung[1], m * k * n);
+  EXPECT_EQ(report.layers[0].recomputes, 0u);
+}
+
+TEST(ControllerTest, PerLayerPoliciesShareTheFabric) {
+  // Layer "hot" violates and escalates; layer "cold" stays benign. The
+  // cold layer must keep its cheap rung (independent policies) while every
+  // physical reconfiguration between the two is billed as a swap.
+  const std::size_t m = 32, k = 48, n = 8;
+  const auto hot_a = random_operands(m * k, 16, 63, 26);
+  const auto hot_b = random_operands(k * n, 16, 63, 27);
+  const auto cold_a = random_operands(m * k, 1, 12, 28);
+  const auto cold_b = random_operands(k * n, 1, 12, 29);
+  adapt::Controller controller(adapt::make_ladder({"cc8"}),
+                               small_controller_config(0.02, /*start_cheap=*/true));
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::int64_t> acc(m * n, 0);
+    controller.begin_gemm("hot", m, k, n, nullptr);
+    nn::gemm_accumulate_scheduled(controller, hot_a.data(), hot_b.data(), acc.data(), m, k, n);
+    std::fill(acc.begin(), acc.end(), 0);
+    controller.begin_gemm("cold", m, k, n, nullptr);
+    nn::gemm_accumulate_scheduled(controller, cold_a.data(), cold_b.data(), acc.data(), m, k,
+                                  n);
+    EXPECT_EQ(controller.current_rung(), 0u) << "round " << round;
+  }
+  const adapt::Report report = controller.report(4);
+  ASSERT_EQ(report.layers.size(), 2u);
+  const adapt::LayerAdaptStats& hot = report.layers[0];
+  const adapt::LayerAdaptStats& cold = report.layers[1];
+  // The hot layer escalated (exact-rung MACs, at least one rejected
+  // panel); the cold layer never left the cheap rung — hot escalating
+  // must not pin it.
+  EXPECT_GT(hot.macs_by_rung[1], 0u);
+  EXPECT_GE(hot.recomputes, 1u);
+  EXPECT_EQ(cold.macs_by_rung[1], 0u);
+  EXPECT_EQ(cold.recomputes, 0u);
+  EXPECT_GE(report.swaps.size(), 2u);  // the fabric bounced between rungs
+}
+
+TEST(ControllerTest, MonitorMacsAreChargedPerWindow) {
+  const std::size_t m = 96, k = 40, n = 8;  // 3 panels
+  const auto a = random_operands(m * k, 1, 12, 30);
+  const auto b = random_operands(k * n, 1, 12, 31);
+  adapt::ControllerConfig cfg = small_controller_config(0.05, /*start_cheap=*/true);
+  cfg.monitor.probes_per_panel = 5;
+  adapt::Controller controller(adapt::make_ladder({"cc8"}), cfg);
+  std::vector<std::int64_t> acc(m * n, 0);
+  controller.begin_gemm("layer", m, k, n, nullptr);
+  nn::gemm_accumulate_scheduled(controller, a.data(), b.data(), acc.data(), m, k, n);
+  const adapt::Report report = controller.report(1);
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_EQ(report.layers[0].windows, 3u);
+  EXPECT_EQ(report.layers[0].monitor_macs, 3u * 5u * k);
+  EXPECT_EQ(report.monitor_macs, 3u * 5u * k);
+  // Monitoring is charged into the EDP roll-up: the same ledger without
+  // monitor MACs must be strictly cheaper.
+  adapt::Report stripped = report;
+  for (adapt::LayerAdaptStats& ls : stripped.layers) ls.monitor_macs = 0;
+  stripped.finalize(1);
+  EXPECT_LT(stripped.compute_edp_au, report.compute_edp_au);
+}
+
+TEST(ControllerTest, AdaptiveRunsAreBitIdenticalAtAnyThreadCount) {
+  const std::size_t m = 160, k = 64, n = 16;
+  adapt::ControllerConfig cfg = small_controller_config(0.05, /*start_cheap=*/true);
+  std::vector<std::vector<std::int64_t>> accs;
+  std::vector<std::string> reports;
+  for (const unsigned threads : {1u, 2u, 5u}) {
+    adapt::Controller controller(adapt::make_ladder({"cc8", "cas8"}), cfg);
+    std::vector<std::int64_t> acc(m * n, 0);
+    Xoshiro256 rng(33);
+    for (int call = 0; call < 6; ++call) {
+      // Alternate benign / adversarial phases so rungs actually move.
+      const unsigned lo = (call % 2 == 0) ? 1 : 16;
+      const unsigned hi = (call % 2 == 0) ? 12 : 63;
+      std::vector<std::uint8_t> a(m * k), b(k * n);
+      for (auto& v : a) v = static_cast<std::uint8_t>(lo + rng.below(hi - lo + 1u));
+      for (auto& v : b) v = static_cast<std::uint8_t>(lo + rng.below(hi - lo + 1u));
+      std::fill(acc.begin(), acc.end(), 0);
+      controller.begin_gemm("stream", m, k, n, nullptr);
+      nn::gemm_accumulate_scheduled(controller, a.data(), b.data(), acc.data(), m, k, n,
+                                    threads);
+    }
+    accs.push_back(acc);
+    reports.push_back(controller.report(6).to_json());
+  }
+  EXPECT_EQ(accs[0], accs[1]);
+  EXPECT_EQ(accs[0], accs[2]);
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+}

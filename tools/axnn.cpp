@@ -11,6 +11,25 @@
 //   axnn run [options]            evaluate one backend, emit a JSON report
 //   axnn compare [options]        accuracy-vs-EDP sweep across backends
 //
+// Adaptive mode (axnn run --adaptive): inference runs under the runtime
+// precision controller (src/adapt) — panels of GEMM rows are computed on
+// the cheapest rung of a backend ladder, a drift monitor scores each panel
+// against an exact shadow subsample, and the hysteresis policy hot-swaps
+// the fabric (CFGLUT INIT rewrites, charged by bit-delta) to keep the
+// measured output error under --slo. The run fails (exit 1) if the final
+// measured output MRE exceeds the SLO.
+//   --adaptive            enable the controller              (run only)
+//   --slo X               output-MRE service-level objective (default 0.05)
+//   --ladder A,B,C        registry backends for the ladder   (default cc8,ca8,exact)
+//   --ladder-from-front F build the ladder from an axdse front JSON
+//   --panel-rows N        reconfiguration granularity        (default 64)
+//   --probes N            exact-shadow probes per panel      (default 8)
+//   --batch N             serving batch size                 (default 8)
+//   --slack L=V,...       per-layer error attenuation divisors (measured
+//                         layer-to-output shrink; >= 1)
+//   --require-win         also fail unless adaptive EDP/inference beats the
+//                         static exact baseline
+//
 // Common options:
 //   --backend NAME   MAC backend for every layer       (default exact)
 //   --swap           enable the operand-swap trick on every MAC layer
@@ -33,11 +52,11 @@
 #include <string>
 #include <vector>
 
+#include "adapt/controller.hpp"
+#include "adapt/ladder.hpp"
 #include "common/parallel_for.hpp"
 #include "common/provenance.hpp"
 #include "common/table.hpp"
-#include "dse/evaluate.hpp"
-#include "dse/search.hpp"
 #include "nn/dataset.hpp"
 #include "nn/graph.hpp"
 #include "nn/mac.hpp"
@@ -56,12 +75,21 @@ struct Options {
   std::string json;
   std::string from_front;  // compare: axdse front JSON with extra backends
   std::string positional;
+  std::string ladder;             // adaptive: comma-separated rung names
+  std::string ladder_from_front;  // adaptive: axdse front JSON
+  std::string slack;              // adaptive: layer=divisor list
   std::uint64_t samples = 512;
   std::uint64_t calib = 256;
   std::uint64_t seed = 9;
+  std::uint64_t panel_rows = 64;
+  std::uint64_t probes = 8;
+  std::uint64_t batch = 8;
+  double slo = 0.05;
   unsigned bits = 8;
   long front_index = -1;  // compare: -1 = every front point
   bool swap = false;
+  bool adaptive = false;
+  bool require_win = false;
 };
 
 [[noreturn]] void usage() {
@@ -103,6 +131,24 @@ Options parse(const std::vector<std::string>& args) {
       opt.bits = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     } else if (a == "--swap") {
       opt.swap = true;
+    } else if (a == "--adaptive") {
+      opt.adaptive = true;
+    } else if (a == "--require-win") {
+      opt.require_win = true;
+    } else if (a == "--slo") {
+      opt.slo = std::strtod(value().c_str(), nullptr);
+    } else if (a == "--ladder") {
+      opt.ladder = value();
+    } else if (a == "--ladder-from-front") {
+      opt.ladder_from_front = value();
+    } else if (a == "--panel-rows") {
+      opt.panel_rows = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--probes") {
+      opt.probes = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--batch") {
+      opt.batch = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--slack") {
+      opt.slack = value();
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "axnn: unknown option '%s'\n", a.c_str());
       usage();
@@ -159,21 +205,18 @@ std::vector<std::pair<std::string, MacBackendPtr>> compare_backends(const Option
   std::vector<std::pair<std::string, MacBackendPtr>> entries;
   for (const std::string& name : names) entries.emplace_back(name, make_mac_backend(name));
   if (!opt.from_front.empty()) {
-    const std::vector<dse::EvaluatedPoint> front = dse::load_front(opt.from_front);
-    for (std::size_t i = 0; i < front.size(); ++i) {
-      if (opt.front_index >= 0 && static_cast<std::size_t>(opt.front_index) != i) continue;
-      try {
-        MacBackendPtr backend = dse::make_backend(front[i].config);
-        entries.emplace_back(backend->name(), std::move(backend));
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "axnn: skipping front point %zu (%s): %s\n", i,
-                     front[i].key.c_str(), e.what());
-      }
-    }
+    // adapt::backends_from_front owns the error handling: unreadable files,
+    // malformed JSON lines, and fronts with no usable unsigned config all
+    // surface as one-line errors instead of a crash or a silent empty sweep.
+    std::vector<adapt::FrontBackend> front = adapt::backends_from_front(opt.from_front);
     if (opt.front_index >= 0 && static_cast<std::size_t>(opt.front_index) >= front.size()) {
       throw std::runtime_error("axnn: --front-index " + std::to_string(opt.front_index) +
                                " out of range (front has " + std::to_string(front.size()) +
-                               " points)");
+                               " usable points)");
+    }
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (opt.front_index >= 0 && static_cast<std::size_t>(opt.front_index) != i) continue;
+      entries.emplace_back(front[i].backend->name(), std::move(front[i].backend));
     }
   }
   return entries;
@@ -214,7 +257,124 @@ int cmd_save_demo(const Options& opt) {
   return 0;
 }
 
+/// axnn run --adaptive: inference under the runtime precision controller.
+/// Exit 1 when the measured output MRE misses the SLO (and, with
+/// --require-win, when adaptive EDP/inference fails to beat static exact).
+int cmd_run_adaptive(const Options& opt) {
+  adapt::Ladder ladder =
+      !opt.ladder_from_front.empty()
+          ? adapt::ladder_from_front(opt.ladder_from_front)
+          : adapt::make_ladder(opt.ladder.empty()
+                                   ? std::vector<std::string>{"cc8", "ca8", "exact"}
+                                   : split_csv(opt.ladder));
+  std::printf("ladder: %s\n", ladder.describe().c_str());
+
+  adapt::ControllerConfig cfg;
+  cfg.panel_rows = opt.panel_rows;
+  cfg.monitor.seed = opt.seed + 2;
+  cfg.monitor.probes_per_panel = opt.probes;
+  cfg.policy.slo = opt.slo;
+  for (const std::string& tok : split_csv(opt.slack)) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("axnn: --slack wants LAYER=DIVISOR entries, got '" + tok + "'");
+    }
+    cfg.layer_slack.emplace_back(tok.substr(0, eq),
+                                 std::strtod(tok.c_str() + eq + 1, nullptr));
+  }
+  const adapt::Rung& exact_rung = ladder.rungs.back();
+  adapt::Controller controller(std::move(ladder), cfg);
+
+  Sequential net = prepare_network(opt);
+  net.set_backend(make_mac_backend("exact"));
+  const Dataset test = make_digits(opt.samples, opt.seed);
+
+  // Serve the test set in batches: the controller's policies carry over,
+  // so later batches run at whatever rungs earlier batches earned.
+  const std::size_t total = test.images.shape.empty() ? 0 : test.images.shape[0];
+  const std::size_t batch = std::max<std::size_t>(1, opt.batch);
+  const std::size_t per_sample = total ? test.images.data.size() / total : 0;
+  double mre_weighted = 0.0;
+  std::size_t mre_cells = 0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < total; start += batch) {
+    const std::size_t count = std::min(batch, total - start);
+    Tensor chunk;
+    chunk.shape = test.images.shape;
+    chunk.shape[0] = static_cast<unsigned>(count);
+    chunk.data.assign(test.images.data.begin() + start * per_sample,
+                      test.images.data.begin() + (start + count) * per_sample);
+    const QTensor in = net.quantize_input(chunk);
+    const QTensor out = net.run_planned(in, controller);
+    const QTensor exact_out = net.run(in);
+    mre_weighted += output_mre(out, exact_out) * static_cast<double>(out.elems());
+    mre_cells += out.elems();
+    const std::size_t cols = count ? out.elems() / count : 0;
+    for (std::size_t r = 0; r < count; ++r) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < cols; ++c) {
+        if (out.data[r * cols + c] > out.data[r * cols + best]) best = c;
+      }
+      if (static_cast<int>(best) == test.labels[start + r]) ++correct;
+    }
+  }
+  const double measured_mre = mre_cells ? mre_weighted / static_cast<double>(mre_cells) : 0.0;
+  const double top1 = total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+
+  const adapt::Report report = controller.report(opt.samples);
+
+  // Static exact baseline: the same executed MAC volume, every MAC at the
+  // exact rung's *static* (untaxed) cost — the honest handicap against the
+  // CFGLUT-taxed adaptive ledger.
+  std::uint64_t macs_per_inf = 0;
+  Shape unit = test.images.shape;
+  unit[0] = 1;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    macs_per_inf += net.layer(i).gemm_shape(unit).macs();
+    unit = net.layer(i).out_shape(unit);
+  }
+  const double exact_edp_per_inf = static_cast<double>(macs_per_inf) *
+                                   exact_rung.static_cost.energy_per_mac_au *
+                                   exact_rung.static_cost.critical_path_ns;
+
+  std::printf(
+      "adaptive slo=%.4g measured_mre=%.4g top1=%.4f swaps=%zu "
+      "edp_per_inf=%.6g exact_static_edp_per_inf=%.6g\n",
+      opt.slo, measured_mre, top1, report.swaps.size(), report.edp_per_inference_au,
+      exact_edp_per_inf);
+
+  if (!opt.json.empty()) {
+    std::ofstream outf(opt.json);
+    if (!outf) throw std::runtime_error("axnn: cannot write '" + opt.json + "'");
+#ifdef AXMULT_SOURCE_DIR
+    const char* source_dir = AXMULT_SOURCE_DIR;
+#else
+    const char* source_dir = nullptr;
+#endif
+    outf << "{\n  " << common::provenance_fields(source_dir, thread_count(), opt.seed)
+         << ",\n  \"measured_output_mre\": " << measured_mre
+         << ",\n  \"top1_accuracy\": " << top1
+         << ",\n  \"exact_static_edp_per_inference_au\": " << exact_edp_per_inf
+         << ",\n  \"controller\": " << report.to_json() << "}\n";
+    std::printf("wrote %s\n", opt.json.c_str());
+  }
+
+  if (measured_mre > opt.slo) {
+    std::fprintf(stderr, "axnn: SLO violated (measured output MRE %.4g > %.4g)\n",
+                 measured_mre, opt.slo);
+    return 1;
+  }
+  if (opt.require_win && report.edp_per_inference_au >= exact_edp_per_inf) {
+    std::fprintf(stderr,
+                 "axnn: adaptive EDP/inference %.6g does not beat static exact %.6g\n",
+                 report.edp_per_inference_au, exact_edp_per_inf);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_run(const Options& opt) {
+  if (opt.adaptive) return cmd_run_adaptive(opt);
   Sequential net = prepare_network(opt);
   const Dataset test = make_digits(opt.samples, opt.seed);
   const NetworkReport report = evaluate_backend(net, make_mac_backend(opt.backend), opt.swap, test);
