@@ -1,57 +1,43 @@
-// Example: JPEG-style DCT + quantization with approximate multipliers —
-// the image/signal-processing accelerator class the paper's introduction
-// motivates. Measures block-compression round-trip quality per multiplier.
-#include <cmath>
+// Example: the full baseline-JPEG codec (src/jpeg) on approximate
+// multipliers — the image-compression accelerator class the paper's
+// introduction motivates. Encodes one scene to a real JFIF bitstream per
+// multiplier and measures rate (bits/pixel) and round-trip quality
+// (PSNR/SSIM) against the exact pipeline.
 #include <cstdio>
+#include <string>
 
 #include "apps/image.hpp"
-#include "apps/jpeg.hpp"
-#include "mult/recursive.hpp"
+#include "jpeg/codec.hpp"
+#include "nn/mac.hpp"
 
 int main() {
   using namespace axmult;
 
   const auto scene = apps::make_test_scene(128, 128, 4242, 4.0);
+  const int quality = 75;
 
-  struct Config {
-    const char* label;
-    mult::MultiplierPtr m;
-  };
-  const Config configs[] = {
-      {"Accurate", mult::make_accurate(8)}, {"Ca (proposed)", mult::make_ca(8)},
-      {"Cc (proposed)", mult::make_cc(8)},  {"K (Kulkarni)", mult::make_kulkarni(8)},
-      {"Mult(8,4)", mult::make_result_truncated(8, 4)},
-  };
+  const char* backends[] = {"exact", "ca8", "cc8", "cas8", "ccs8", "k8", "trunc8_4"};
 
-  std::printf("8x8-block DCT -> quantize -> dequantize -> IDCT over a %ux%u scene\n\n",
-              scene.width(), scene.height());
+  std::printf("baseline JPEG (quality %d) over a %ux%u scene, all four codec stages\n"
+              "routed through each multiplier's product table\n\n",
+              quality, scene.width(), scene.height());
   apps::Image reference;
-  for (const auto& cfg : configs) {
-    apps::Dct8x8 dct(cfg.m);
-    apps::Image out(scene.width(), scene.height());
-    for (unsigned by = 0; by + 8 <= scene.height(); by += 8) {
-      for (unsigned bx = 0; bx + 8 <= scene.width(); bx += 8) {
-        apps::Block8x8 block{};
-        for (unsigned y = 0; y < 8; ++y) {
-          for (unsigned x = 0; x < 8; ++x) block[y][x] = scene.at(bx + x, by + y);
-        }
-        const auto rec = dct.inverse(
-            apps::Dct8x8::dequantize(apps::Dct8x8::quantize(dct.forward(block))));
-        for (unsigned y = 0; y < 8; ++y) {
-          for (unsigned x = 0; x < 8; ++x) {
-            out.at(bx + x, by + y) = static_cast<std::uint8_t>(rec[y][x]);
-          }
-        }
-      }
-    }
-    if (std::string_view(cfg.label) == "Accurate") {
-      reference = out;
-      std::printf("%-16s PSNR vs original: %7.3f dB (reference pipeline)\n", cfg.label,
-                  apps::psnr(scene, out));
+  for (const char* name : backends) {
+    const jpeg::CodecPlan plan = jpeg::CodecPlan::uniform(nn::shared_mac_backend(name));
+    jpeg::EncodeStats stats;
+    const auto bytes = jpeg::encode(scene, quality, plan, /*threads=*/0, &stats);
+    const auto decoded = jpeg::decode(bytes, plan);
+    const double bpp = jpeg::bits_per_pixel(bytes.size(), scene.width(), scene.height());
+    if (std::string(name) == "exact") {
+      reference = decoded.image;
+      std::printf("%-10s %6.3f bpp  PSNR vs original: %7.3f dB  SSIM %.4f  (reference)\n",
+                  name, bpp, apps::psnr(scene, decoded.image),
+                  apps::ssim(scene, decoded.image));
       continue;
     }
-    std::printf("%-16s PSNR vs original: %7.3f dB | vs accurate pipeline: %7.3f dB\n",
-                cfg.label, apps::psnr(scene, out), apps::psnr(reference, out));
+    std::printf("%-10s %6.3f bpp  PSNR vs original: %7.3f dB  SSIM %.4f  vs exact: %7.3f dB\n",
+                name, bpp, apps::psnr(scene, decoded.image),
+                apps::ssim(scene, decoded.image), apps::psnr(reference, decoded.image));
   }
   std::printf(
       "\nApproximation-resilient pipeline: quantization already discards more\n"

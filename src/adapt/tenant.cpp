@@ -1,0 +1,82 @@
+#include "adapt/tenant.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace axmult::adapt {
+
+RungGovernor::RungGovernor(Ladder ladder, const PolicyConfig& policy, std::string tenant)
+    : ladder_(std::move(ladder)),
+      policy_cfg_(policy),
+      policy_(policy, ladder_.size()),
+      tenant_(std::move(tenant)),
+      hw_rung_(policy_.rung()) {
+  if (!ladder_.rungs.back().backend->exact()) {
+    throw std::invalid_argument("RungGovernor: ladder top rung must be exact");
+  }
+  ledger_.slo = policy.slo;
+  for (const Rung& r : ladder_.rungs) {
+    ledger_.rung_names.push_back(r.name);
+    ledger_.rung_energy_per_mac_au.push_back(r.dynamic_cost.energy_per_mac_au);
+    ledger_.rung_critical_path_ns.push_back(r.dynamic_cost.critical_path_ns);
+  }
+  LayerAdaptStats stats;
+  stats.layer = tenant_;
+  stats.macs_by_rung.assign(ladder_.size(), 0);
+  ledger_.layers.push_back(std::move(stats));
+}
+
+std::size_t RungGovernor::decide(std::uint64_t unit) {
+  const std::size_t target = policy_.rung();
+  LayerAdaptStats& stats = ledger_.layers.front();
+  if (target != hw_rung_) {
+    SwapEvent ev;
+    ev.layer = tenant_;
+    ev.gemm = 0;
+    ev.panel = unit;
+    ev.from = ladder_.rungs[hw_rung_].name;
+    ev.to = ladder_.rungs[target].name;
+    ev.cost = ladder_.swap[hw_rung_][target];
+    ledger_.swaps.push_back(std::move(ev));
+    ++stats.swaps;
+    hw_rung_ = target;
+  }
+  ++stats.panels;
+  return target;
+}
+
+void RungGovernor::charge_macs(std::size_t rung, std::uint64_t macs) {
+  ledger_.layers.front().macs_by_rung.at(rung) += macs;
+}
+
+void RungGovernor::charge_monitor_macs(std::uint64_t macs) {
+  ledger_.layers.front().monitor_macs += macs;
+}
+
+bool RungGovernor::observe(std::uint64_t unit, double estimate) {
+  (void)unit;
+  LayerAdaptStats& stats = ledger_.layers.front();
+  ++stats.windows;
+  stats.sum_estimate += estimate;
+  stats.worst_estimate = std::max(stats.worst_estimate, estimate);
+  if (ledger_.trajectory.size() < max_trajectory_) {
+    ledger_.trajectory.push_back(estimate);
+  } else {
+    ++ledger_.trajectory_dropped;
+  }
+  const HysteresisPolicy::Action action = policy_.update(estimate);
+  if (action == HysteresisPolicy::Action::kUp && estimate >= policy_cfg_.slo) {
+    ++stats.recomputes;
+    return true;
+  }
+  return false;
+}
+
+Report RungGovernor::report(std::uint64_t work_count) const {
+  Report snapshot = ledger_;
+  snapshot.finalize(work_count);
+  return snapshot;
+}
+
+}  // namespace axmult::adapt

@@ -1,0 +1,76 @@
+// adapt::RungGovernor — the adaptive controller's policy/billing core for
+// non-GEMM tenants.
+//
+// The Controller in controller.hpp is the GEMM-shaped face of the adaptive
+// subsystem (it implements nn::TileScheduler). Workloads with a different
+// work-unit shape — a JPEG block stripe, a SUSAN tile — need the same
+// machinery minus the GEMM plumbing: a HysteresisPolicy over a Ladder, a
+// single shared hardware rung where every physical change is a billed
+// SwapEvent, honest double-charging of rejected units, and the amortized
+// Report ledger. RungGovernor is exactly that slice, with the drift
+// estimate supplied by the tenant (the JPEG pipeline feeds a PSNR-derived
+// shadow error; see jpeg/adaptive.hpp).
+//
+// Per work unit:
+//   decide(unit)            -> rung to compute the unit at (bills a swap
+//                              when the fabric has to move)
+//   charge_macs(rung, n)    -> bill the unit's compute at that rung
+//   observe(unit, estimate) -> feed the policy; true means hard SLO
+//                              violation: recompute the unit at the
+//                              escalated rung (the first attempt stays on
+//                              the bill)
+// The exact top rung's estimate is identically zero for shadow-based
+// monitors, so the recompute loop always terminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "adapt/controller.hpp"
+#include "adapt/ladder.hpp"
+#include "adapt/report.hpp"
+
+namespace axmult::adapt {
+
+class RungGovernor {
+ public:
+  /// `tenant` names the single ledger slice (the Report's "layer").
+  /// Throws like Controller on an empty ladder, a non-exact top rung or an
+  /// invalid policy config.
+  RungGovernor(Ladder ladder, const PolicyConfig& policy, std::string tenant);
+
+  [[nodiscard]] const Ladder& ladder() const noexcept { return ladder_; }
+  /// The policy's current target rung.
+  [[nodiscard]] std::size_t current_rung() const noexcept { return policy_.rung(); }
+
+  /// Rung the next work unit must be computed at; records a SwapEvent when
+  /// this moves the fabric.
+  [[nodiscard]] std::size_t decide(std::uint64_t unit);
+
+  /// Bills `macs` MAC operations at `rung` (call once per computation,
+  /// recomputations included).
+  void charge_macs(std::size_t rung, std::uint64_t macs);
+
+  /// Bills the monitor's own exact-shadow work (charged at the exact top
+  /// rung by Report::finalize).
+  void charge_monitor_macs(std::uint64_t macs);
+
+  /// Feeds one monitoring window's drift estimate. Returns true when the
+  /// unit must be recomputed at the escalated rung (hard SLO violation).
+  [[nodiscard]] bool observe(std::uint64_t unit, double estimate);
+
+  /// Finalized ledger amortized over `work_count` served units (images,
+  /// frames, inferences — the tenant's natural denominator).
+  [[nodiscard]] Report report(std::uint64_t work_count) const;
+
+ private:
+  Ladder ladder_;
+  PolicyConfig policy_cfg_;
+  HysteresisPolicy policy_;
+  std::string tenant_;
+  std::size_t hw_rung_;
+  std::size_t max_trajectory_ = 4096;
+  Report ledger_;
+};
+
+}  // namespace axmult::adapt

@@ -25,6 +25,50 @@ void Image::write_pgm(const std::string& path) const {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error(path + ": not a binary PGM (P5)");
+  auto next_token = [&in, &path]() -> long {
+    // Skip whitespace and '#' comment lines between header fields.
+    int c = in.get();
+    while (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '#') {
+      if (c == '#') {
+        while (c != '\n' && c != EOF) c = in.get();
+      }
+      c = in.get();
+    }
+    long value = -1;
+    while (c >= '0' && c <= '9') {
+      value = (value < 0 ? 0 : value) * 10 + (c - '0');
+      c = in.get();
+    }
+    if (value < 0) throw std::runtime_error(path + ": malformed PGM header");
+    return value;
+  };
+  const long width = next_token();
+  const long height = next_token();
+  const long maxval = next_token();
+  if (width <= 0 || height <= 0 || maxval <= 0 || maxval > 255) {
+    throw std::runtime_error(path + ": unsupported PGM geometry");
+  }
+  // next_token consumed the single whitespace byte after maxval.
+  Image img(static_cast<unsigned>(width), static_cast<unsigned>(height));
+  std::vector<char> raw(std::size_t(width) * std::size_t(height));
+  in.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+  if (in.gcount() != static_cast<std::streamsize>(raw.size())) {
+    throw std::runtime_error(path + ": truncated PGM pixel data");
+  }
+  for (unsigned y = 0; y < img.height(); ++y) {
+    for (unsigned x = 0; x < img.width(); ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(raw[std::size_t{y} * img.width() + x]);
+    }
+  }
+  return img;
+}
+
 Image make_test_scene(unsigned width, unsigned height, std::uint64_t seed, double noise_sigma) {
   Image img(width, height);
   Xoshiro256 rng(seed);
@@ -68,6 +112,46 @@ double mse(const Image& reference, const Image& test) {
     acc += d * d;
   }
   return a.empty() ? 0.0 : static_cast<double>(acc / a.size());
+}
+
+double ssim(const Image& reference, const Image& test) {
+  if (reference.width() != test.width() || reference.height() != test.height()) {
+    throw std::invalid_argument("ssim: image dimensions differ");
+  }
+  if (reference.width() == 0 || reference.height() == 0) return 1.0;
+  constexpr double kC1 = 6.5025;   // (0.01 * 255)^2
+  constexpr double kC2 = 58.5225;  // (0.03 * 255)^2
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (unsigned wy = 0; wy < reference.height(); wy += 8) {
+    for (unsigned wx = 0; wx < reference.width(); wx += 8) {
+      const unsigned x_end = std::min(wx + 8, reference.width());
+      const unsigned y_end = std::min(wy + 8, reference.height());
+      std::uint64_t sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (unsigned y = wy; y < y_end; ++y) {
+        for (unsigned x = wx; x < x_end; ++x) {
+          const std::uint64_t a = reference.at(x, y);
+          const std::uint64_t b = test.at(x, y);
+          sum_a += a;
+          sum_b += b;
+          sum_aa += a * a;
+          sum_bb += b * b;
+          sum_ab += a * b;
+        }
+      }
+      const double n = static_cast<double>((x_end - wx) * (y_end - wy));
+      const double mu_a = static_cast<double>(sum_a) / n;
+      const double mu_b = static_cast<double>(sum_b) / n;
+      const double var_a = static_cast<double>(sum_aa) / n - mu_a * mu_a;
+      const double var_b = static_cast<double>(sum_bb) / n - mu_b * mu_b;
+      const double cov = static_cast<double>(sum_ab) / n - mu_a * mu_b;
+      const double num = (2.0 * mu_a * mu_b + kC1) * (2.0 * cov + kC2);
+      const double den = (mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
 }
 
 double psnr(const Image& reference, const Image& test) {

@@ -45,10 +45,21 @@ class Image {
 [[nodiscard]] Image make_test_scene(unsigned width, unsigned height, std::uint64_t seed = 11,
                                     double noise_sigma = 6.0);
 
+/// Reads a binary PGM (P5, maxval <= 255) as written by Image::write_pgm;
+/// `#` comment lines after the magic are skipped. Throws
+/// std::runtime_error on unreadable or malformed files.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
 /// Peak signal-to-noise ratio in dB; +infinity for identical images.
 [[nodiscard]] double psnr(const Image& reference, const Image& test);
 
 /// Mean squared error.
 [[nodiscard]] double mse(const Image& reference, const Image& test);
+
+/// Mean structural similarity over non-overlapping 8x8 windows (partial
+/// border windows included), the standard C1/C2 stabilizers at L = 255.
+/// Window statistics are exact integer sums and the combination uses only
+/// +,-,*,/ on doubles, so the value is bit-reproducible across platforms.
+[[nodiscard]] double ssim(const Image& reference, const Image& test);
 
 }  // namespace axmult::apps

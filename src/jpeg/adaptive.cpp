@@ -1,0 +1,165 @@
+#include "jpeg/adaptive.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/quant.hpp"
+
+namespace axmult::jpeg {
+namespace {
+
+// Multiply counts of one 8x8 block per stage (two 1-D passes of 64
+// outputs x 8 products each for the transforms, one multiply per
+// coefficient for the scalers) — the monitor's exact-shadow work is billed
+// analytically at these rates because the plain-int reference path has no
+// table lookups to count.
+constexpr std::uint64_t kDctMuls = 2 * 64 * 8;
+constexpr std::uint64_t kScaleMuls = 64;
+
+struct StripeOutput {
+  std::vector<Block> blocks;
+  std::uint64_t fdct_lookups = 0;
+  std::uint64_t quant_lookups = 0;
+};
+
+/// fdct + quantize of blocks [first, last) at one rung.
+StripeOutput transform_stripe(const apps::Image& image, const Quantizer& quant,
+                              const StagePlan& stage, unsigned across, std::size_t first,
+                              std::size_t last) {
+  StripeOutput out;
+  out.blocks.reserve(last - first);
+  for (std::size_t b = first; b < last; ++b) {
+    const unsigned bx = static_cast<unsigned>(b % across);
+    const unsigned by = static_cast<unsigned>(b / across);
+    const Block shifted = extract_block(image, bx, by);
+    const Block freq = fdct(shifted, stage, &out.fdct_lookups);
+    Block quantized;
+    for (std::size_t i = 0; i < 64; ++i) {
+      quantized[i] = quant.quantize(freq[i], i, stage, &out.quant_lookups);
+    }
+    out.blocks.push_back(quantized);
+  }
+  return out;
+}
+
+/// Decoder-side reconstruction of one quantized block on the plain-int
+/// reference path: dequantize + idct + level unshift, clamped to [0, 255].
+std::array<int, 64> reconstruct(const Block& quantized, const Quantizer& quant) {
+  const StagePlan plain{};
+  Block freq;
+  for (std::size_t i = 0; i < 64; ++i) {
+    freq[i] = quant.dequantize(quantized[i], i, plain);
+  }
+  const Block spatial = idct(freq, plain);
+  std::array<int, 64> pixels{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    pixels[i] = std::clamp(spatial[i] + 128, 0, 255);
+  }
+  return pixels;
+}
+
+/// Deterministic probe subset of [first, last): `count` distinct block
+/// indices drawn from the stripe's own PRNG stream.
+std::vector<std::size_t> pick_probes(std::size_t first, std::size_t last, std::size_t count,
+                                     Xoshiro256& rng) {
+  const std::size_t size = last - first;
+  std::vector<std::size_t> probes;
+  if (count >= size) {
+    probes.reserve(size);
+    for (std::size_t b = first; b < last; ++b) probes.push_back(b);
+    return probes;
+  }
+  probes.reserve(count);
+  while (probes.size() < count) {
+    const std::size_t b = first + static_cast<std::size_t>(rng.below(size));
+    if (std::find(probes.begin(), probes.end(), b) == probes.end()) probes.push_back(b);
+  }
+  std::sort(probes.begin(), probes.end());
+  return probes;
+}
+
+}  // namespace
+
+AdaptiveResult encode_adaptive(const apps::Image& image, int quality,
+                               const adapt::Ladder& ladder, const AdaptiveOptions& options) {
+  adapt::PolicyConfig policy = options.policy;
+  policy.slo = slo_from_psnr(options.slo_psnr_db);
+
+  const Quantizer quant(Component::kLuma, quality);
+  const unsigned across = blocks_across(image.width());
+  const unsigned down = blocks_across(image.height());
+  const std::size_t total = std::size_t{across} * down;
+  const std::size_t rows_per_stripe = std::max<std::size_t>(options.stripe_block_rows, 1);
+  const std::size_t stripe_blocks = rows_per_stripe * across;
+
+  adapt::RungGovernor governor(ladder, policy, "jpeg-encode");
+
+  AdaptiveResult result;
+  result.blocks.resize(total);
+
+  std::size_t stripe = 0;
+  for (std::size_t first = 0; first < total; first += stripe_blocks, ++stripe) {
+    const std::size_t last = std::min(first + stripe_blocks, total);
+    Xoshiro256 rng(derive_stream_seed(options.seed, stripe));
+    const std::vector<std::size_t> probes =
+        pick_probes(first, last, options.probe_blocks, rng);
+
+    for (;;) {
+      const std::size_t rung = governor.decide(stripe);
+      const StagePlan stage{ladder.rungs[rung].backend, false};
+      StripeOutput out = transform_stripe(image, quant, stage, across, first, last);
+      result.stats.blocks += last - first;
+      result.stats.fdct_lookups += out.fdct_lookups;
+      result.stats.quant_lookups += out.quant_lookups;
+      governor.charge_macs(rung, out.fdct_lookups + out.quant_lookups);
+
+      // Exact-shadow drift estimate over the probe blocks: normalized MSE
+      // between what a receiver decodes from this stripe's coefficients
+      // and what it would decode from an exactly-encoded stripe.
+      double estimate = 0.0;
+      if (!probes.empty()) {
+        const StagePlan plain{};
+        std::uint64_t sse = 0;
+        for (const std::size_t b : probes) {
+          const unsigned bx = static_cast<unsigned>(b % across);
+          const unsigned by = static_cast<unsigned>(b / across);
+          const Block shifted = extract_block(image, bx, by);
+          const Block freq = fdct(shifted, plain);
+          Block shadow;
+          for (std::size_t i = 0; i < 64; ++i) {
+            shadow[i] = quant.quantize(freq[i], i, plain);
+          }
+          const std::array<int, 64> got = reconstruct(out.blocks[b - first], quant);
+          const std::array<int, 64> want = reconstruct(shadow, quant);
+          for (std::size_t i = 0; i < 64; ++i) {
+            const long long d = got[i] - want[i];
+            sse += static_cast<std::uint64_t>(d * d);
+          }
+        }
+        const double denom = static_cast<double>(probes.size()) * 64.0 * 255.0 * 255.0;
+        estimate = static_cast<double>(sse) / denom;
+        governor.charge_monitor_macs(static_cast<std::uint64_t>(probes.size()) *
+                                     (kDctMuls + kScaleMuls   // shadow fdct + quantize
+                                      + 2 * (kScaleMuls + kDctMuls)));  // two reconstructions
+      }
+
+      const bool recompute = governor.observe(stripe, estimate);
+      if (!recompute) {
+        std::copy(out.blocks.begin(), out.blocks.end(), result.blocks.begin() + first);
+        break;
+      }
+      // Hard SLO violation: the stripe is recomputed at the escalated rung;
+      // the rejected attempt stays on the bill. The exact top rung is
+      // bit-identical to the shadow (estimate 0), so this terminates.
+    }
+  }
+
+  result.bytes = entropy_encode(result.blocks, image.width(), image.height(), quant.steps());
+  result.report = governor.report(1);
+  return result;
+}
+
+}  // namespace axmult::jpeg

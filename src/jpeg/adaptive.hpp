@@ -1,0 +1,53 @@
+// The JPEG encoder as an adaptive-precision tenant: stripes of block rows
+// are transformed at the rung an adapt::RungGovernor selects, with a
+// PSNR-drift shadow monitor as the SLO.
+//
+// Monitor: for a deterministic probe subset of each stripe's blocks the
+// encoder re-derives the quantized coefficients through the exact backend
+// (the shadow) and reconstructs both coefficient sets through the exact
+// dequantize + IDCT — i.e. it compares what a receiver would decode from
+// the approximate encode against what it would decode from the exact
+// encode. The drift estimate is that reconstruction pair's normalized MSE
+// (mse / 255^2); an SLO of "probe PSNR >= P dB" is the policy threshold
+// slo = 10^(-P/10). Probes come from one Xoshiro256 stream derived
+// seed -> stripe, so the whole adaptive run is bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "adapt/tenant.hpp"
+#include "apps/image.hpp"
+#include "jpeg/codec.hpp"
+
+namespace axmult::jpeg {
+
+struct AdaptiveOptions {
+  double slo_psnr_db = 38.0;       ///< probe-PSNR floor vs the exact shadow
+  std::size_t stripe_block_rows = 2;  ///< reconfiguration granularity
+  std::size_t probe_blocks = 4;    ///< shadow-monitored blocks per stripe
+  std::uint64_t seed = 1;          ///< probe-selection stream seed
+  adapt::PolicyConfig policy;      ///< slo is overwritten from slo_psnr_db
+};
+
+/// Normalized-MSE policy threshold of a PSNR floor in dB.
+[[nodiscard]] inline double slo_from_psnr(double psnr_db) noexcept {
+  return std::pow(10.0, -psnr_db / 10.0);
+}
+
+struct AdaptiveResult {
+  std::vector<std::uint8_t> bytes;  ///< the finished JFIF stream
+  std::vector<Block> blocks;        ///< quantized coefficients as encoded
+  adapt::Report report;             ///< ladder/swap/MAC/drift ledger
+  EncodeStats stats;                ///< lookups actually spent (recomputes included)
+};
+
+/// Adaptive encode of one image at `quality`, amortizing the ledger over
+/// one image. The ladder's swap flag is not used — JPEG stages run with
+/// the rung backend unswapped (use CodecPlan overrides for swap studies).
+[[nodiscard]] AdaptiveResult encode_adaptive(const apps::Image& image, int quality,
+                                             const adapt::Ladder& ladder,
+                                             const AdaptiveOptions& options);
+
+}  // namespace axmult::jpeg

@@ -1,0 +1,316 @@
+#include "jpeg/codec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "common/parallel_for.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/entropy.hpp"
+
+namespace axmult::jpeg {
+
+namespace {
+
+// JPEG marker bytes.
+constexpr std::uint8_t kMarker = 0xFF;
+constexpr std::uint8_t kSOI = 0xD8;
+constexpr std::uint8_t kEOI = 0xD9;
+constexpr std::uint8_t kAPP0 = 0xE0;
+constexpr std::uint8_t kDQT = 0xDB;
+constexpr std::uint8_t kSOF0 = 0xC0;
+constexpr std::uint8_t kDHT = 0xC4;
+constexpr std::uint8_t kSOS = 0xDA;
+
+void put16(std::vector<std::uint8_t>& out, unsigned v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_segment(std::vector<std::uint8_t>& out, std::uint8_t marker,
+                 const std::vector<std::uint8_t>& payload) {
+  out.push_back(kMarker);
+  out.push_back(marker);
+  put16(out, static_cast<unsigned>(payload.size() + 2));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void put_dht(std::vector<std::uint8_t>& payload, unsigned tc, unsigned th,
+             const HuffTable& table) {
+  payload.push_back(static_cast<std::uint8_t>((tc << 4) | th));
+  payload.insert(payload.end(), table.bits().begin(), table.bits().end());
+  payload.insert(payload.end(), table.vals().begin(), table.vals().end());
+}
+
+/// Per-stage lookup counters a worker accumulates locally and folds into
+/// the shared totals once — integer sums, order-independent.
+struct StageCounters {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+}  // namespace
+
+Block extract_block(const apps::Image& image, unsigned bx, unsigned by) {
+  Block block{};
+  for (unsigned y = 0; y < 8; ++y) {
+    for (unsigned x = 0; x < 8; ++x) {
+      block[y * 8 + x] =
+          static_cast<int>(image.clamped(static_cast<int>(bx * 8 + x),
+                                         static_cast<int>(by * 8 + y))) -
+          128;
+    }
+  }
+  return block;
+}
+
+std::vector<Block> encode_blocks(const apps::Image& image, const Quantizer& quant,
+                                 const CodecPlan& plan, unsigned threads,
+                                 EncodeStats* stats) {
+  if (image.width() == 0 || image.height() == 0) {
+    throw std::invalid_argument("jpeg::encode_blocks: empty image");
+  }
+  const unsigned bw = blocks_across(image.width());
+  const unsigned bh = blocks_across(image.height());
+  std::vector<Block> blocks(static_cast<std::size_t>(bw) * bh);
+  std::atomic<std::uint64_t> fdct_lookups{0};
+  std::atomic<std::uint64_t> quant_lookups{0};
+  parallel_chunks(bh, threads, [&] {
+    return [&](std::uint64_t by) {
+      StageCounters local;
+      for (unsigned bx = 0; bx < bw; ++bx) {
+        const Block shifted = extract_block(image, bx, static_cast<unsigned>(by));
+        const Block freq = fdct(shifted, plan.fdct, &local.a);
+        Block& q = blocks[by * bw + bx];
+        for (std::size_t i = 0; i < 64; ++i) {
+          q[i] = quant.quantize(freq[i], i, plan.quant, &local.b);
+        }
+      }
+      fdct_lookups.fetch_add(local.a, std::memory_order_relaxed);
+      quant_lookups.fetch_add(local.b, std::memory_order_relaxed);
+    };
+  });
+  if (stats != nullptr) {
+    stats->blocks += blocks.size();
+    stats->fdct_lookups += fdct_lookups.load();
+    stats->quant_lookups += quant_lookups.load();
+  }
+  return blocks;
+}
+
+std::vector<std::uint8_t> entropy_encode(const std::vector<Block>& blocks, unsigned width,
+                                         unsigned height, const std::array<int, 64>& steps) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kMarker);
+  out.push_back(kSOI);
+  // APP0: minimal JFIF 1.01 header, no thumbnail.
+  put_segment(out, kAPP0,
+              {'J', 'F', 'I', 'F', 0, 1, 1, 0 /* no density units */, 0, 1, 0, 1, 0, 0});
+  // DQT: table 0, 8-bit precision, zigzag order.
+  {
+    std::vector<std::uint8_t> payload;
+    payload.push_back(0x00);
+    const auto& zz = zigzag_order();
+    for (std::size_t i = 0; i < 64; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(steps[zz[i]]));
+    }
+    put_segment(out, kDQT, payload);
+  }
+  // SOF0: baseline, 8-bit samples, one component, no subsampling.
+  {
+    std::vector<std::uint8_t> payload;
+    payload.push_back(8);
+    put16(payload, height);
+    put16(payload, width);
+    payload.push_back(1);     // Nf
+    payload.push_back(1);     // component id
+    payload.push_back(0x11);  // H=1, V=1
+    payload.push_back(0);     // quant table 0
+    put_segment(out, kSOF0, payload);
+  }
+  // DHT: the Annex-K luma DC/AC tables.
+  {
+    std::vector<std::uint8_t> payload;
+    put_dht(payload, 0, 0, HuffTable::dc_luma());
+    put_dht(payload, 1, 0, HuffTable::ac_luma());
+    put_segment(out, kDHT, payload);
+  }
+  // SOS.
+  {
+    std::vector<std::uint8_t> payload;
+    payload.push_back(1);     // Ns
+    payload.push_back(1);     // component id
+    payload.push_back(0x00);  // DC table 0, AC table 0
+    payload.push_back(0);     // Ss
+    payload.push_back(63);    // Se
+    payload.push_back(0);     // Ah/Al
+    put_segment(out, kSOS, payload);
+  }
+  // Entropy-coded segment (DC prediction runs across the whole scan).
+  BitWriter writer;
+  int dc_pred = 0;
+  for (const Block& block : blocks) {
+    encode_block(writer, block, dc_pred, HuffTable::dc_luma(), HuffTable::ac_luma());
+  }
+  const std::vector<std::uint8_t> entropy = writer.finish();
+  out.insert(out.end(), entropy.begin(), entropy.end());
+  out.push_back(kMarker);
+  out.push_back(kEOI);
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const apps::Image& image, int quality, const CodecPlan& plan,
+                                 unsigned threads, EncodeStats* stats) {
+  const Quantizer quant(Component::kLuma, quality);
+  const std::vector<Block> blocks = encode_blocks(image, quant, plan, threads, stats);
+  return entropy_encode(blocks, image.width(), image.height(), quant.steps());
+}
+
+namespace {
+
+/// Minimal marker-level parser for the streams entropy_encode() emits
+/// (single-scan baseline, one component). Fails with one-line errors.
+struct ParsedStream {
+  unsigned width = 0;
+  unsigned height = 0;
+  std::array<int, 64> steps{};
+  const std::uint8_t* entropy = nullptr;
+  std::size_t entropy_size = 0;
+};
+
+ParsedStream parse_stream(const std::vector<std::uint8_t>& bytes) {
+  ParsedStream ps;
+  bool have_dqt = false;
+  bool have_sof = false;
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    if (pos + n > bytes.size()) throw std::runtime_error("jpeg::decode: truncated stream");
+  };
+  need(2);
+  if (bytes[0] != kMarker || bytes[1] != kSOI) {
+    throw std::runtime_error("jpeg::decode: missing SOI");
+  }
+  pos = 2;
+  for (;;) {
+    need(2);
+    if (bytes[pos] != kMarker) throw std::runtime_error("jpeg::decode: expected marker");
+    const std::uint8_t marker = bytes[pos + 1];
+    pos += 2;
+    if (marker == kEOI) throw std::runtime_error("jpeg::decode: EOI before SOS");
+    need(2);
+    const std::size_t len =
+        (static_cast<std::size_t>(bytes[pos]) << 8) | bytes[pos + 1];
+    if (len < 2) throw std::runtime_error("jpeg::decode: bad segment length");
+    need(len);
+    const std::uint8_t* seg = bytes.data() + pos + 2;
+    const std::size_t seg_len = len - 2;
+    switch (marker) {
+      case kDQT: {
+        if (seg_len < 65 || (seg[0] >> 4) != 0) {
+          throw std::runtime_error("jpeg::decode: unsupported DQT");
+        }
+        const auto& zz = zigzag_order();
+        for (std::size_t i = 0; i < 64; ++i) ps.steps[zz[i]] = seg[1 + i];
+        have_dqt = true;
+        break;
+      }
+      case kSOF0: {
+        if (seg_len < 8 || seg[0] != 8) {
+          throw std::runtime_error("jpeg::decode: unsupported SOF0");
+        }
+        ps.height = (static_cast<unsigned>(seg[1]) << 8) | seg[2];
+        ps.width = (static_cast<unsigned>(seg[3]) << 8) | seg[4];
+        if (seg[5] != 1 || seg[7] != 0x11) {
+          throw std::runtime_error("jpeg::decode: only single-component 1x1 scans supported");
+        }
+        have_sof = true;
+        break;
+      }
+      case kSOS: {
+        if (!have_dqt || !have_sof) {
+          throw std::runtime_error("jpeg::decode: SOS before DQT/SOF0");
+        }
+        if (seg_len < 6 || seg[0] != 1) {
+          throw std::runtime_error("jpeg::decode: unsupported SOS");
+        }
+        // Entropy data runs to the EOI marker (0xFF00 is stuffed data,
+        // which the BitReader undoes).
+        std::size_t end = pos + len;
+        while (end + 1 < bytes.size() &&
+               !(bytes[end] == kMarker && bytes[end + 1] != 0x00)) {
+          ++end;
+        }
+        ps.entropy = bytes.data() + pos + len;
+        ps.entropy_size = end - (pos + len);
+        return ps;
+      }
+      default:
+        break;  // APP0/DHT and friends: tables are fixed, skip the payload
+    }
+    pos += len;
+  }
+}
+
+}  // namespace
+
+Decoded decode(const std::vector<std::uint8_t>& bytes, const CodecPlan& plan,
+               unsigned threads) {
+  const ParsedStream ps = parse_stream(bytes);
+  if (ps.width == 0 || ps.height == 0) {
+    throw std::runtime_error("jpeg::decode: zero-sized frame");
+  }
+  Decoded result;
+  result.width = ps.width;
+  result.height = ps.height;
+  result.steps = ps.steps;
+  const Quantizer quant(ps.steps);
+
+  // Entropy decode (inherently serial: the DC prediction chain).
+  const unsigned bw = blocks_across(ps.width);
+  const unsigned bh = blocks_across(ps.height);
+  result.blocks.resize(static_cast<std::size_t>(bw) * bh);
+  BitReader reader(ps.entropy, ps.entropy_size);
+  int dc_pred = 0;
+  for (Block& block : result.blocks) {
+    block = decode_block(reader, dc_pred, HuffTable::dc_luma(), HuffTable::ac_luma());
+  }
+  if (reader.overrun()) {
+    throw std::runtime_error("jpeg::decode: entropy stream shorter than the frame");
+  }
+
+  // Dequantize + IDCT, parallel over block rows.
+  result.image = apps::Image(ps.width, ps.height);
+  std::atomic<std::uint64_t> dequant_lookups{0};
+  std::atomic<std::uint64_t> idct_lookups{0};
+  parallel_chunks(bh, threads, [&] {
+    return [&](std::uint64_t by) {
+      StageCounters local;
+      for (unsigned bx = 0; bx < bw; ++bx) {
+        const Block& q = result.blocks[by * bw + bx];
+        Block freq{};
+        for (std::size_t i = 0; i < 64; ++i) {
+          freq[i] = quant.dequantize(q[i], i, plan.dequant, &local.a);
+        }
+        const Block spatial = idct(freq, plan.idct, &local.b);
+        for (unsigned y = 0; y < 8; ++y) {
+          const unsigned py = static_cast<unsigned>(by) * 8 + y;
+          if (py >= ps.height) break;
+          for (unsigned x = 0; x < 8; ++x) {
+            const unsigned px = bx * 8 + x;
+            if (px >= ps.width) break;
+            result.image.at(px, py) =
+                static_cast<std::uint8_t>(std::clamp(spatial[y * 8 + x] + 128, 0, 255));
+          }
+        }
+      }
+      dequant_lookups.fetch_add(local.a, std::memory_order_relaxed);
+      idct_lookups.fetch_add(local.b, std::memory_order_relaxed);
+    };
+  });
+  result.stats.blocks = result.blocks.size();
+  result.stats.dequant_lookups = dequant_lookups.load();
+  result.stats.idct_lookups = idct_lookups.load();
+  return result;
+}
+
+}  // namespace axmult::jpeg

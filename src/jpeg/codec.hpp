@@ -1,0 +1,90 @@
+// Baseline-JPEG codec over grayscale images: level shift -> 8x8 fdct ->
+// quantize -> zigzag/RLE/Huffman -> JFIF bitstream, and the exact inverse.
+//
+// The emitted stream is a real single-component baseline JPEG (SOI, APP0,
+// DQT, SOF0, DHT, SOS, entropy-coded data, EOI) — decodable by any
+// baseline decoder when the exact backend is selected, and always by the
+// decoder here. The block-transform stages parallelize over block rows
+// (common::parallel_chunks); every per-block result is written by index
+// and every counter is an exact integer sum, so encode/decode are
+// bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/image.hpp"
+#include "jpeg/core.hpp"
+#include "jpeg/quant.hpp"
+
+namespace axmult::jpeg {
+
+/// Routed-multiply (table-lookup) counts per encode stage — the MAC work
+/// the energy model charges. Zero for plain-int stages.
+struct EncodeStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t fdct_lookups = 0;
+  std::uint64_t quant_lookups = 0;
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return fdct_lookups + quant_lookups; }
+};
+
+struct DecodeStats {
+  std::uint64_t blocks = 0;
+  std::uint64_t dequant_lookups = 0;
+  std::uint64_t idct_lookups = 0;
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return dequant_lookups + idct_lookups;
+  }
+};
+
+/// Block grid of an image (ceil division; partial blocks pad by edge
+/// replication on encode and are cropped on decode).
+[[nodiscard]] inline unsigned blocks_across(unsigned pixels) noexcept {
+  return (pixels + 7) / 8;
+}
+
+/// Extracts (level-shifted) block (bx, by), edge-replicating past the
+/// right/bottom borders.
+[[nodiscard]] Block extract_block(const apps::Image& image, unsigned bx, unsigned by);
+
+/// fdct + quantize of the whole image: quantized natural-order coefficient
+/// blocks in raster block order. The front half of encode(), exposed so
+/// tests and the adaptive encoder can work at the coefficient level.
+[[nodiscard]] std::vector<Block> encode_blocks(const apps::Image& image,
+                                               const Quantizer& quant, const CodecPlan& plan,
+                                               unsigned threads = 0,
+                                               EncodeStats* stats = nullptr);
+
+/// Entropy-encodes quantized coefficient blocks into a complete JFIF
+/// stream (markers included). `steps` lands in the DQT segment.
+[[nodiscard]] std::vector<std::uint8_t> entropy_encode(const std::vector<Block>& blocks,
+                                                       unsigned width, unsigned height,
+                                                       const std::array<int, 64>& steps);
+
+/// Full encode: image -> JFIF bytes at `quality` (IJG scale, luma table).
+[[nodiscard]] std::vector<std::uint8_t> encode(const apps::Image& image, int quality,
+                                               const CodecPlan& plan, unsigned threads = 0,
+                                               EncodeStats* stats = nullptr);
+
+struct Decoded {
+  apps::Image image;
+  std::vector<Block> blocks;      ///< quantized coefficients, raster block order
+  std::array<int, 64> steps{};    ///< quantization steps from the DQT segment
+  unsigned width = 0;
+  unsigned height = 0;
+  DecodeStats stats;
+};
+
+/// Full decode of a stream produced by encode(). Throws std::runtime_error
+/// (one line, never a crash) on malformed streams.
+[[nodiscard]] Decoded decode(const std::vector<std::uint8_t>& bytes, const CodecPlan& plan,
+                             unsigned threads = 0);
+
+/// Rate of a finished stream in bits per pixel.
+[[nodiscard]] inline double bits_per_pixel(std::size_t bytes, unsigned width,
+                                           unsigned height) noexcept {
+  return 8.0 * static_cast<double>(bytes) /
+         (static_cast<double>(width) * static_cast<double>(height));
+}
+
+}  // namespace axmult::jpeg

@@ -1,0 +1,66 @@
+// Shared vocabulary of the baseline-JPEG workload (src/jpeg/).
+//
+// Every multiply of the pipeline — forward/inverse DCT coefficients,
+// quantizer reciprocals, dequantizer steps — is routed through a
+// StagePlan: a selectable nn::MacBackend plus the operand-swap flag.
+// A null backend selects the plain int-multiply reference path; the
+// differential tests pin the exact backend bit-identical to it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nn/mac.hpp"
+
+namespace axmult::jpeg {
+
+/// One 8x8 block of DCT coefficients or (level-shifted) samples, row-major
+/// natural order: index = y * 8 + x.
+using Block = std::array<int, 64>;
+
+/// Backend routing of one pipeline stage. `backend == nullptr` is the
+/// plain C++ integer-multiply reference; otherwise every multiply goes
+/// through the backend's product table (nn::mul_wide limb composition for
+/// operands wider than the table). `swap` puts the data operand on the
+/// transposed port at every unit — the paper's Cas/Ccs wiring trick, free
+/// in hardware.
+struct StagePlan {
+  nn::MacBackendPtr backend;
+  bool swap = false;
+};
+
+/// Per-stage backend selection for the whole codec. Encode uses
+/// {fdct, quant}; decode uses {dequant, idct}.
+struct CodecPlan {
+  StagePlan fdct;
+  StagePlan quant;
+  StagePlan dequant;
+  StagePlan idct;
+
+  /// Same backend/swap on all four stages (null = plain int reference).
+  [[nodiscard]] static CodecPlan uniform(nn::MacBackendPtr backend, bool swap = false) {
+    StagePlan s{std::move(backend), swap};
+    return CodecPlan{s, s, s, s};
+  }
+};
+
+/// The stage's multiply: magnitudes only (signs are handled at the
+/// accumulate/reapply site, matching a sign-magnitude datapath).
+[[nodiscard]] inline std::uint64_t stage_mul(const StagePlan& stage, std::uint32_t a,
+                                             std::uint32_t b,
+                                             std::uint64_t* lookups = nullptr) noexcept {
+  if (stage.backend == nullptr) {
+    return static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+  }
+  return nn::mul_wide(*stage.backend, a, b, stage.swap, lookups);
+}
+
+/// Sign-magnitude rounding division by 2^shift (round half away from
+/// zero) — the post-MAC rescale of the fixed-point DCT.
+[[nodiscard]] inline int round_shift(long long value, unsigned shift) noexcept {
+  const long long half = 1LL << (shift - 1);
+  return value >= 0 ? static_cast<int>((value + half) >> shift)
+                    : -static_cast<int>((-value + half) >> shift);
+}
+
+}  // namespace axmult::jpeg

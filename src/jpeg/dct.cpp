@@ -1,0 +1,89 @@
+#include "jpeg/dct.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace axmult::jpeg {
+
+namespace {
+
+std::array<std::array<int, 8>, 8> make_coefficients() {
+  std::array<std::array<int, 8>, 8> c{};
+  for (int u = 0; u < 8; ++u) {
+    const double norm = u == 0 ? std::sqrt(0.125) : 0.5;
+    for (int x = 0; x < 8; ++x) {
+      c[u][x] = static_cast<int>(
+          std::lround(kDctScale * norm * std::cos((2 * x + 1) * u * M_PI / 16.0)));
+    }
+  }
+  return c;
+}
+
+/// One routed MAC row: sum of eight value x coefficient products, signs
+/// applied at the accumulate (sign-magnitude datapath), rescaled by the
+/// coefficient scale with round-half-away-from-zero.
+int mac_row(const int* values, std::size_t vstride, const int* coeffs, std::size_t cstride,
+            const StagePlan& stage, std::uint64_t* lookups) {
+  long long acc = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int v = values[static_cast<std::size_t>(i) * vstride];
+    const int c = coeffs[static_cast<std::size_t>(i) * cstride];
+    if (v == 0 || c == 0) continue;
+    const auto p = static_cast<long long>(
+        stage_mul(stage, static_cast<std::uint32_t>(std::abs(v)),
+                  static_cast<std::uint32_t>(std::abs(c)), lookups));
+    acc += ((v < 0) != (c < 0)) ? -p : p;
+  }
+  return round_shift(acc, kDctShift);
+}
+
+}  // namespace
+
+const std::array<std::array<int, 8>, 8>& dct_coefficients() {
+  static const std::array<std::array<int, 8>, 8> coeff = make_coefficients();
+  return coeff;
+}
+
+Block fdct(const Block& shifted, const StagePlan& stage, std::uint64_t* lookups) {
+  const auto& c = dct_coefficients();
+  // Rows: tmp[y][u] = sum_x shifted[y][x] * c[u][x].
+  Block tmp{};
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      tmp[y * 8 + u] = mac_row(&shifted[static_cast<std::size_t>(y) * 8], 1, c[u].data(), 1,
+                               stage, lookups);
+    }
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * c[v][y].
+  Block out{};
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      out[v * 8 + u] = mac_row(&tmp[static_cast<std::size_t>(u)], 8, c[v].data(), 1, stage,
+                               lookups);
+    }
+  }
+  return out;
+}
+
+Block idct(const Block& freq, const StagePlan& stage, std::uint64_t* lookups) {
+  const auto& c = dct_coefficients();
+  // Columns first: tmp[y][u] = sum_v freq[v][u] * c[v][y]  (C^T).
+  Block tmp{};
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      tmp[y * 8 + u] = mac_row(&freq[static_cast<std::size_t>(u)], 8, &c[0][y], 8, stage,
+                               lookups);
+    }
+  }
+  // Rows: out[y][x] = sum_u tmp[y][u] * c[u][x].
+  Block out{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      out[y * 8 + x] = mac_row(&tmp[static_cast<std::size_t>(y) * 8], 1, &c[0][x], 8, stage,
+                               lookups);
+    }
+  }
+  return out;
+}
+
+}  // namespace axmult::jpeg

@@ -1,0 +1,35 @@
+// Fixed-point 8x8 forward/inverse DCT-II with every coefficient multiply
+// routed through a selectable nn::MacBackend.
+//
+// Coefficients are scaled by 256 (max magnitude 128, so they fit the 8-bit
+// coefficient port of every catalog multiplier); each 1-D pass rescales by
+// a rounding >> 8. Intermediate values stay below 2^14, so the limb
+// composition in nn::mul_wide never sees more than two 8-bit limbs per
+// data operand — exactly the operand widths an 8x8-multiplier datapath
+// would stream.
+#pragma once
+
+#include "jpeg/core.hpp"
+
+namespace axmult::jpeg {
+
+/// Coefficient scale of the integer DCT (and the per-pass rescale shift).
+inline constexpr int kDctScale = 256;
+inline constexpr unsigned kDctShift = 8;
+
+/// c[u][x] = round(kDctScale * norm(u) * cos((2x+1) u pi / 16)), the matrix
+/// shared by the forward (C * X * C^T) and inverse (C^T * Y * C) passes.
+[[nodiscard]] const std::array<std::array<int, 8>, 8>& dct_coefficients();
+
+/// Forward 2-D DCT of level-shifted samples (callers pass pixel-128, range
+/// [-128, 127]). Output is the standard JPEG coefficient range (|DC| <=
+/// 1024, |AC| < 1024 for the exact path).
+[[nodiscard]] Block fdct(const Block& shifted, const StagePlan& stage,
+                         std::uint64_t* lookups = nullptr);
+
+/// Inverse 2-D DCT back to level-shifted samples (not clamped; callers add
+/// 128 and clamp to [0, 255]).
+[[nodiscard]] Block idct(const Block& freq, const StagePlan& stage,
+                         std::uint64_t* lookups = nullptr);
+
+}  // namespace axmult::jpeg

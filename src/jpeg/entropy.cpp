@@ -1,0 +1,252 @@
+#include "jpeg/entropy.hpp"
+
+#include <stdexcept>
+
+namespace axmult::jpeg {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// Annex K.3.3.1/K.3.3.2 code table specs.
+constexpr std::array<std::uint8_t, 16> kDcLumaBits = {0, 1, 5, 1, 1, 1, 1, 1,
+                                                      1, 0, 0, 0, 0, 0, 0, 0};
+constexpr std::array<std::uint8_t, 16> kDcChromaBits = {0, 3, 1, 1, 1, 1, 1, 1,
+                                                        1, 1, 1, 0, 0, 0, 0, 0};
+const std::vector<std::uint8_t> kDcVals = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+constexpr std::array<std::uint8_t, 16> kAcLumaBits = {0, 2, 1, 3, 3, 2, 4, 3,
+                                                      5, 5, 4, 4, 0, 0, 1, 0x7d};
+const std::vector<std::uint8_t> kAcLumaVals = {
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51,
+    0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1,
+    0x15, 0x52, 0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18,
+    0x19, 0x1a, 0x25, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+    0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57,
+    0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92,
+    0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+    0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3,
+    0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8,
+    0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf1, 0xf2,
+    0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa};
+
+constexpr std::array<std::uint8_t, 16> kAcChromaBits = {0, 2, 1, 2, 4, 4, 3, 4,
+                                                        7, 5, 4, 4, 0, 1, 2, 0x77};
+const std::vector<std::uint8_t> kAcChromaVals = {
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07,
+    0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09,
+    0x23, 0x33, 0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25,
+    0xf1, 0x17, 0x18, 0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38,
+    0x39, 0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56,
+    0x57, 0x58, 0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74,
+    0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5,
+    0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba,
+    0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6,
+    0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf2,
+    0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa};
+
+/// Low `size` bits of the standard coefficient encoding: v itself when
+/// positive, v - 1 (i.e. ones' complement of |v|) when negative.
+std::uint32_t coefficient_bits(int v, unsigned size) noexcept {
+  const int raw = v >= 0 ? v : v - 1;
+  return static_cast<std::uint32_t>(raw) & ((1u << size) - 1u);
+}
+
+/// Inverse: extends `bits` of width `size` back to the signed value.
+int extend_coefficient(std::uint32_t bits, unsigned size) noexcept {
+  if (size == 0) return 0;
+  const std::uint32_t half = 1u << (size - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - static_cast<int>((half << 1) - 1);
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 64>& zigzag_order() { return kZigzag; }
+
+std::array<int, 64> to_zigzag(const Block& natural) {
+  std::array<int, 64> zz{};
+  for (std::size_t i = 0; i < 64; ++i) zz[i] = natural[kZigzag[i]];
+  return zz;
+}
+
+Block from_zigzag(const std::array<int, 64>& zz) {
+  Block natural{};
+  for (std::size_t i = 0; i < 64; ++i) natural[kZigzag[i]] = zz[i];
+  return natural;
+}
+
+void BitWriter::put(std::uint32_t bits, unsigned count) {
+  // Accumulate MSB-first; flush whole bytes with 0xFF stuffing.
+  acc_ = (acc_ << count) | (bits & ((count < 32 ? (1u << count) : 0u) - 1u));
+  filled_ += count;
+  while (filled_ >= 8) {
+    const auto byte = static_cast<std::uint8_t>((acc_ >> (filled_ - 8)) & 0xFFu);
+    out_.push_back(byte);
+    if (byte == 0xFF) out_.push_back(0x00);
+    filled_ -= 8;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (filled_ > 0) put(0xFFu, 8 - filled_);  // pad with 1-bits to a byte edge
+  return std::move(out_);
+}
+
+std::uint32_t BitReader::get(unsigned count) {
+  while (filled_ < count) {
+    std::uint8_t byte = 0xFF;  // past-the-end reads see the pad value
+    if (pos_ < size_) {
+      byte = data_[pos_++];
+      if (byte == 0xFF) {
+        if (pos_ < size_ && data_[pos_] == 0x00) {
+          ++pos_;  // un-stuff
+        } else {
+          // A marker inside entropy data (or a truncated stream): stop
+          // consuming and report the overrun.
+          --pos_;
+          overrun_ = true;
+        }
+      }
+    } else {
+      overrun_ = true;
+    }
+    acc_ = (acc_ << 8) | byte;
+    filled_ += 8;
+  }
+  const std::uint32_t value = (acc_ >> (filled_ - count)) & ((count < 32 ? (1u << count) : 0u) - 1u);
+  filled_ -= count;
+  return value;
+}
+
+HuffTable::HuffTable(const std::array<std::uint8_t, 16>& bits, std::vector<std::uint8_t> vals)
+    : bits_(bits), vals_(std::move(vals)) {
+  std::size_t total = 0;
+  for (const std::uint8_t n : bits_) total += n;
+  if (total != vals_.size() || total > 256) {
+    throw std::invalid_argument("HuffTable: bits/vals mismatch");
+  }
+  // Canonical code assignment (T.81 Annex C).
+  std::uint32_t code = 0;
+  std::size_t k = 0;
+  for (unsigned len = 1; len <= 16; ++len) {
+    min_code_[len - 1] = static_cast<std::int32_t>(code);
+    val_ptr_[len - 1] = static_cast<std::int32_t>(k);
+    if (bits_[len - 1] == 0) {
+      max_code_[len - 1] = -1;
+    } else {
+      for (unsigned i = 0; i < bits_[len - 1]; ++i, ++k, ++code) {
+        code_[vals_[k]] = static_cast<std::uint16_t>(code);
+        length_[vals_[k]] = static_cast<std::uint8_t>(len);
+      }
+      max_code_[len - 1] = static_cast<std::int32_t>(code - 1);
+    }
+    code <<= 1;
+  }
+}
+
+const HuffTable& HuffTable::dc_luma() {
+  static const HuffTable t(kDcLumaBits, kDcVals);
+  return t;
+}
+const HuffTable& HuffTable::ac_luma() {
+  static const HuffTable t(kAcLumaBits, kAcLumaVals);
+  return t;
+}
+const HuffTable& HuffTable::dc_chroma() {
+  static const HuffTable t(kDcChromaBits, kDcVals);
+  return t;
+}
+const HuffTable& HuffTable::ac_chroma() {
+  static const HuffTable t(kAcChromaBits, kAcChromaVals);
+  return t;
+}
+
+void HuffTable::encode(BitWriter& out, std::uint8_t symbol) const {
+  const std::uint8_t len = length_[symbol];
+  if (len == 0) throw std::invalid_argument("HuffTable: symbol not in table");
+  out.put(code_[symbol], len);
+}
+
+std::uint8_t HuffTable::decode(BitReader& in) const {
+  std::int32_t code = static_cast<std::int32_t>(in.get_bit());
+  for (unsigned len = 1; len <= 16; ++len) {
+    if (max_code_[len - 1] >= 0 && code <= max_code_[len - 1]) {
+      return vals_[static_cast<std::size_t>(val_ptr_[len - 1] + code - min_code_[len - 1])];
+    }
+    code = (code << 1) | static_cast<std::int32_t>(in.get_bit());
+  }
+  throw std::runtime_error("HuffTable: invalid code in entropy stream");
+}
+
+unsigned magnitude_category(int v) noexcept {
+  unsigned mag = static_cast<unsigned>(v < 0 ? -v : v);
+  unsigned size = 0;
+  while (mag != 0) {
+    mag >>= 1;
+    ++size;
+  }
+  return size;
+}
+
+void encode_block(BitWriter& out, const Block& quantized, int& dc_pred, const HuffTable& dc,
+                  const HuffTable& ac) {
+  const std::array<int, 64> zz = to_zigzag(quantized);
+  // DC: differential, category + magnitude bits.
+  const int diff = zz[0] - dc_pred;
+  dc_pred = zz[0];
+  const unsigned dc_size = magnitude_category(diff);
+  dc.encode(out, static_cast<std::uint8_t>(dc_size));
+  if (dc_size > 0) out.put(coefficient_bits(diff, dc_size), dc_size);
+  // AC: (run, size) with ZRL (0xF0) for runs of 16 and EOB (0x00).
+  unsigned run = 0;
+  for (std::size_t i = 1; i < 64; ++i) {
+    if (zz[i] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      ac.encode(out, 0xF0);
+      run -= 16;
+    }
+    const unsigned size = magnitude_category(zz[i]);
+    ac.encode(out, static_cast<std::uint8_t>((run << 4) | size));
+    out.put(coefficient_bits(zz[i], size), size);
+    run = 0;
+  }
+  if (run > 0) ac.encode(out, 0x00);
+}
+
+Block decode_block(BitReader& in, int& dc_pred, const HuffTable& dc, const HuffTable& ac) {
+  std::array<int, 64> zz{};
+  const unsigned dc_size = dc.decode(in);
+  if (dc_size > 11) throw std::runtime_error("decode_block: DC category out of range");
+  const int diff = dc_size == 0 ? 0 : extend_coefficient(in.get(dc_size), dc_size);
+  dc_pred += diff;
+  zz[0] = dc_pred;
+  for (std::size_t i = 1; i < 64;) {
+    const std::uint8_t rs = ac.decode(in);
+    if (rs == 0x00) break;  // EOB
+    const unsigned run = rs >> 4;
+    const unsigned size = rs & 0x0F;
+    if (rs == 0xF0) {
+      i += 16;
+      if (i > 64) throw std::runtime_error("decode_block: ZRL overruns the block");
+      continue;
+    }
+    if (size == 0 || size > 10) throw std::runtime_error("decode_block: AC size out of range");
+    i += run;
+    if (i >= 64) throw std::runtime_error("decode_block: AC run overruns the block");
+    zz[i] = extend_coefficient(in.get(size), size);
+    ++i;
+  }
+  return from_zigzag(zz);
+}
+
+}  // namespace axmult::jpeg

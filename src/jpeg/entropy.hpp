@@ -1,0 +1,114 @@
+// Baseline-JPEG entropy layer: zigzag scan, DC differential + AC
+// run-length coding, and the Annex-K Huffman code tables over a byte-
+// stuffed MSB-first bitstream.
+//
+// This layer is exactly invertible by construction — decode_block()
+// returns the encoder's quantized coefficients bit-for-bit, which is what
+// makes the corpus golden values (and the rate side of the R-D study) a
+// pure function of the quantized coefficients.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/core.hpp"
+
+namespace axmult::jpeg {
+
+/// Zigzag position -> natural (row-major) index, ITU-T T.81 Figure 5.
+[[nodiscard]] const std::array<std::uint8_t, 64>& zigzag_order();
+
+/// Natural-order block -> zigzag-ordered coefficients and back.
+[[nodiscard]] std::array<int, 64> to_zigzag(const Block& natural);
+[[nodiscard]] Block from_zigzag(const std::array<int, 64>& zz);
+
+/// MSB-first bit writer with JPEG byte stuffing (0x00 after every 0xFF in
+/// the entropy-coded segment). finish() pads the tail with 1-bits.
+class BitWriter {
+ public:
+  void put(std::uint32_t bits, unsigned count);
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint32_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+/// MSB-first bit reader over an entropy-coded segment; un-stuffs 0xFF 0x00
+/// pairs. Reading past the end yields 1-bits (the encoder's padding), and
+/// `overrun()` reports whether that happened beyond the final pad byte.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint32_t get(unsigned count);
+  [[nodiscard]] std::uint32_t get_bit() { return get(1); }
+  [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
+  [[nodiscard]] bool overrun() const noexcept { return overrun_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  unsigned filled_ = 0;
+  bool overrun_ = false;
+};
+
+/// One Huffman code table: the (bits, vals) spec form plus the canonical
+/// encode map and the length-indexed decode arrays built from it.
+class HuffTable {
+ public:
+  HuffTable(const std::array<std::uint8_t, 16>& bits, std::vector<std::uint8_t> vals);
+
+  /// The Annex-K tables (K.3.3.1/K.3.3.2), shared immutable instances.
+  [[nodiscard]] static const HuffTable& dc_luma();
+  [[nodiscard]] static const HuffTable& ac_luma();
+  [[nodiscard]] static const HuffTable& dc_chroma();
+  [[nodiscard]] static const HuffTable& ac_chroma();
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bits() const noexcept { return bits_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& vals() const noexcept { return vals_; }
+
+  /// Canonical code / code length of a symbol (length 0 = not in table).
+  [[nodiscard]] std::uint16_t code(std::uint8_t symbol) const noexcept {
+    return code_[symbol];
+  }
+  [[nodiscard]] std::uint8_t length(std::uint8_t symbol) const noexcept {
+    return length_[symbol];
+  }
+
+  void encode(BitWriter& out, std::uint8_t symbol) const;
+  /// Next symbol off the bitstream; throws std::runtime_error on a code
+  /// outside the table (corrupt stream).
+  [[nodiscard]] std::uint8_t decode(BitReader& in) const;
+
+ private:
+  std::array<std::uint8_t, 16> bits_;
+  std::vector<std::uint8_t> vals_;
+  std::array<std::uint16_t, 256> code_{};
+  std::array<std::uint8_t, 256> length_{};
+  // Canonical decode state, indexed by code length - 1.
+  std::array<std::int32_t, 16> min_code_{};
+  std::array<std::int32_t, 16> max_code_{};  ///< -1 when no codes at this length
+  std::array<std::int32_t, 16> val_ptr_{};
+};
+
+/// Magnitude category of a coefficient value (number of bits of |v|).
+[[nodiscard]] unsigned magnitude_category(int v) noexcept;
+
+/// Encodes one quantized natural-order block: DC differential against
+/// `dc_pred` (updated), AC (run, size) pairs with ZRL/EOB.
+void encode_block(BitWriter& out, const Block& quantized, int& dc_pred, const HuffTable& dc,
+                  const HuffTable& ac);
+
+/// Exact inverse of encode_block. Throws std::runtime_error on streams
+/// that do not decode to a valid block.
+[[nodiscard]] Block decode_block(BitReader& in, int& dc_pred, const HuffTable& dc,
+                                 const HuffTable& ac);
+
+}  // namespace axmult::jpeg

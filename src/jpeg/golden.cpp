@@ -1,0 +1,225 @@
+#include "jpeg/golden.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "dse/jsonio.hpp"
+#include "jpeg/codec.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::jpeg {
+namespace {
+
+// Integer-only scene synthesis: the corpus must reproduce bit-identically
+// on every platform, so no libm call (sin/cos/sqrt) may shape a pixel.
+// Noise comes from the repo's own Xoshiro256.
+
+std::uint8_t clamp_pixel(long v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/// Diagonal gradient, two filled rectangles, a checkerboard band and mild
+/// uniform noise — smooth regions and block-aligned edges.
+apps::Image make_blocks_scene(unsigned width, unsigned height, std::uint64_t seed) {
+  apps::Image img(width, height);
+  Xoshiro256 rng(seed);
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      long v = 40 + static_cast<long>((120UL * x) / width) +
+               static_cast<long>((50UL * y) / height);
+      if (x >= width / 8 && x < width / 3 && y >= height / 6 && y < height / 2) v = 220;
+      if (x >= width / 2 && x < 3 * width / 4 && y >= height / 2 && y < 5 * height / 6) v = 25;
+      if (y >= 7 * height / 8) v = (((x / 4) + (y / 4)) % 2 == 0) ? 235 : 20;
+      v += static_cast<long>(rng.below(9)) - 4;
+      img.at(x, y) = clamp_pixel(v);
+    }
+  }
+  return img;
+}
+
+/// Concentric rings from the integer radius-squared — curved edges at
+/// every orientation, the worst case for block-transform ringing.
+apps::Image make_rings_scene(unsigned width, unsigned height, std::uint64_t seed) {
+  apps::Image img(width, height);
+  Xoshiro256 rng(seed);
+  const long cx = width / 2;
+  const long cy = height / 2;
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      const long dx = static_cast<long>(x) - cx;
+      const long dy = static_cast<long>(y) - cy;
+      const long r2 = dx * dx + dy * dy;
+      long v = ((r2 / 64) % 2 == 0) ? 190 : 60;
+      v += (r2 / 16) % 32;  // slow radial shading inside each ring
+      v += static_cast<long>(rng.below(7)) - 3;
+      img.at(x, y) = clamp_pixel(v);
+    }
+  }
+  return img;
+}
+
+/// Thin vertical strokes over a flat background plus salt-and-pepper
+/// impulses — text-like high-frequency content.
+apps::Image make_strokes_scene(unsigned width, unsigned height, std::uint64_t seed) {
+  apps::Image img(width, height);
+  Xoshiro256 rng(seed);
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      long v = 200;
+      if ((x % 7) < 2 && (y % 11) != 0) v = 30;       // vertical strokes
+      if (((x + y) % 13) == 0) v = 110;               // diagonal hatching
+      const std::uint64_t roll = rng.below(100);
+      if (roll == 0) v = 255;
+      if (roll == 1) v = 0;
+      img.at(x, y) = clamp_pixel(v);
+    }
+  }
+  return img;
+}
+
+std::string format_entry(const GoldenEntry& e) {
+  char ssim_buf[64];
+  std::snprintf(ssim_buf, sizeof(ssim_buf), "%.17g", e.ssim);
+  std::ostringstream line;
+  line << "{\"image\": \"" << e.image << "\", \"quality\": " << e.quality
+       << ", \"backend\": \"" << e.backend << "\", \"sse\": " << e.sse
+       << ", \"bytes\": " << e.bytes << ", \"ssim\": " << ssim_buf << "}";
+  return line.str();
+}
+
+GoldenEntry roundtrip(const NamedImage& named, int quality, const std::string& backend,
+                      unsigned threads) {
+  GoldenEntry entry;
+  entry.image = named.name;
+  entry.quality = quality;
+  entry.backend = backend;
+  const CodecPlan plan = CodecPlan::uniform(nn::shared_mac_backend(backend));
+  const std::vector<std::uint8_t> bytes = encode(named.image, quality, plan, threads);
+  const Decoded decoded = decode(bytes, plan, threads);
+  entry.bytes = bytes.size();
+  const auto& a = named.image.pixels();
+  const auto& b = decoded.image.pixels();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const long d = static_cast<long>(a[i]) - static_cast<long>(b[i]);
+    entry.sse += static_cast<std::uint64_t>(d * d);
+  }
+  entry.ssim = apps::ssim(named.image, decoded.image);
+  return entry;
+}
+
+}  // namespace
+
+const std::vector<NamedImage>& golden_corpus() {
+  static const std::vector<NamedImage> corpus = [] {
+    std::vector<NamedImage> c;
+    c.push_back({"blocks-96x64", make_blocks_scene(96, 64, 101)});
+    c.push_back({"rings-80x80", make_rings_scene(80, 80, 202)});
+    c.push_back({"strokes-72x48", make_strokes_scene(72, 48, 303)});
+    return c;
+  }();
+  return corpus;
+}
+
+const std::vector<int>& golden_qualities() {
+  static const std::vector<int> qualities = {25, 50, 90};
+  return qualities;
+}
+
+const std::vector<std::string>& golden_backends() {
+  static const std::vector<std::string> backends = {"exact", "ca8", "cc8", "trunc8_4"};
+  return backends;
+}
+
+std::vector<GoldenEntry> compute_golden_entries(unsigned threads) {
+  std::vector<GoldenEntry> entries;
+  for (const NamedImage& named : golden_corpus()) {
+    for (const int quality : golden_qualities()) {
+      for (const std::string& backend : golden_backends()) {
+        entries.push_back(roundtrip(named, quality, backend, threads));
+      }
+    }
+  }
+  return entries;
+}
+
+void write_golden_corpus(const std::vector<GoldenEntry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "{\"subject\": \"jpeg-corpus\", \"version\": 1, \"entries\": " << entries.size()
+      << "}\n";
+  for (const GoldenEntry& e : entries) out << format_entry(e) << "\n";
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<GoldenEntry> read_golden_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) throw std::runtime_error(path + ": empty golden file");
+  const auto subject = dse::jsonio::find_string(header, "subject");
+  const auto count = dse::jsonio::find_number(header, "entries");
+  if (!subject || *subject != "jpeg-corpus" || !count) {
+    throw std::runtime_error(path + ": not a jpeg-corpus golden file");
+  }
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    GoldenEntry e;
+    const auto image = dse::jsonio::find_string(line, "image");
+    const auto quality = dse::jsonio::find_number(line, "quality");
+    const auto backend = dse::jsonio::find_string(line, "backend");
+    const auto sse = dse::jsonio::find_number(line, "sse");
+    const auto bytes = dse::jsonio::find_number(line, "bytes");
+    const auto ssim_v = dse::jsonio::find_number(line, "ssim");
+    if (!image || !quality || !backend || !sse || !bytes || !ssim_v) {
+      throw std::runtime_error(path + ": malformed golden row: " + line);
+    }
+    e.image = *image;
+    e.quality = static_cast<int>(*quality);
+    e.backend = *backend;
+    e.sse = static_cast<std::uint64_t>(*sse);
+    e.bytes = static_cast<std::uint64_t>(*bytes);
+    e.ssim = *ssim_v;
+    entries.push_back(std::move(e));
+  }
+  if (entries.size() != static_cast<std::size_t>(*count)) {
+    throw std::runtime_error(path + ": row count does not match header");
+  }
+  return entries;
+}
+
+std::optional<std::string> replay_golden_corpus(const std::string& path, unsigned threads) {
+  const std::vector<GoldenEntry> frozen = read_golden_corpus(path);
+  for (const GoldenEntry& want : frozen) {
+    const NamedImage* named = nullptr;
+    for (const NamedImage& c : golden_corpus()) {
+      if (c.name == want.image) named = &c;
+    }
+    if (named == nullptr) {
+      return "golden image '" + want.image + "' is not in the corpus";
+    }
+    const GoldenEntry got = roundtrip(*named, want.quality, want.backend, threads);
+    const std::string triple =
+        want.image + " q" + std::to_string(want.quality) + " " + want.backend;
+    if (got.sse != want.sse) {
+      return triple + ": sse drifted (frozen " + std::to_string(want.sse) + ", got " +
+             std::to_string(got.sse) + ")";
+    }
+    if (got.bytes != want.bytes) {
+      return triple + ": stream size drifted (frozen " + std::to_string(want.bytes) +
+             ", got " + std::to_string(got.bytes) + ")";
+    }
+    if (std::fabs(got.ssim - want.ssim) > 1e-12) {
+      return triple + ": ssim drifted (frozen " + std::to_string(want.ssim) + ", got " +
+             std::to_string(got.ssim) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace axmult::jpeg

@@ -1,0 +1,67 @@
+// Corpus-level golden regression for the JPEG workload: the end-to-end
+// rate/distortion behavior of the codec frozen into a checked-in file, so
+// any later change to the DCT, the quantizer, the entropy coder or a
+// multiplier model that shifts a single reconstructed pixel or stream
+// byte fails loudly with the exact (image, quality, backend) triple.
+//
+// File format (the repo's hand-written JSON-lines dialect):
+//   line 1: {"subject": "jpeg-corpus", "version": 1, "entries": N}
+//   then N lines of {"image": "...", "quality": Q, "backend": "...",
+//                    "sse": S, "bytes": B, "ssim": X}
+// sse (integer sum of squared pixel differences vs the source) and bytes
+// are exact integers; ssim is arithmetic-only (apps::ssim) — all three
+// are bit-reproducible, so replay compares exactly (ssim to 1e-12). The
+// corpus images themselves are generated with pure integer arithmetic:
+// no libm call stands between a platform and the frozen numbers.
+//
+// Regenerate with `axjpeg golden --emit tests/golden/jpeg/corpus.golden`
+// after an intentional behavior change (see docs/JPEG.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/image.hpp"
+
+namespace axmult::jpeg {
+
+struct GoldenEntry {
+  std::string image;    ///< corpus image name
+  int quality = 0;      ///< IJG quality factor
+  std::string backend;  ///< registry backend on all four stages (unswapped)
+  std::uint64_t sse = 0;    ///< sum of squared pixel errors vs the source
+  std::uint64_t bytes = 0;  ///< finished JFIF stream size
+  double ssim = 0.0;        ///< apps::ssim vs the source
+};
+
+struct NamedImage {
+  std::string name;
+  apps::Image image;
+};
+
+/// The checked-in corpus: small integer-procedural scenes covering smooth
+/// gradients, hard edges, fine texture and impulse noise.
+[[nodiscard]] const std::vector<NamedImage>& golden_corpus();
+
+/// Qualities and backends the golden file freezes (crossed with every
+/// corpus image).
+[[nodiscard]] const std::vector<int>& golden_qualities();
+[[nodiscard]] const std::vector<std::string>& golden_backends();
+
+/// Round-trips the whole corpus through the current codec: one entry per
+/// (image, quality, backend).
+[[nodiscard]] std::vector<GoldenEntry> compute_golden_entries(unsigned threads = 0);
+
+void write_golden_corpus(const std::vector<GoldenEntry>& entries, const std::string& path);
+
+/// Throws std::runtime_error on unreadable or malformed files.
+[[nodiscard]] std::vector<GoldenEntry> read_golden_corpus(const std::string& path);
+
+/// Recomputes every entry of the file against the current codec; returns
+/// a failure description naming the first drifting triple and metric, or
+/// nullopt when everything matches.
+[[nodiscard]] std::optional<std::string> replay_golden_corpus(const std::string& path,
+                                                              unsigned threads = 0);
+
+}  // namespace axmult::jpeg

@@ -1,0 +1,78 @@
+#include "jpeg/quant.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace axmult::jpeg {
+
+namespace {
+
+/// ITU-T T.81 Annex K.1 luminance table.
+constexpr std::array<int, 64> kLumaBase = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+/// ITU-T T.81 Annex K.2 chrominance table.
+constexpr std::array<int, 64> kChromaBase = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+}  // namespace
+
+const std::array<int, 64>& base_quant_table(Component comp) {
+  return comp == Component::kLuma ? kLumaBase : kChromaBase;
+}
+
+std::array<int, 64> scaled_quant_table(Component comp, int quality) {
+  const int q = std::clamp(quality, 1, 100);
+  const int scale = q < 50 ? 5000 / q : 200 - 2 * q;
+  const auto& base = base_quant_table(comp);
+  std::array<int, 64> steps{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    steps[i] = std::clamp((base[i] * scale + 50) / 100, 1, 255);
+  }
+  return steps;
+}
+
+Quantizer::Quantizer(Component comp, int quality) : steps_(scaled_quant_table(comp, quality)) {
+  build_reciprocals();
+}
+
+Quantizer::Quantizer(const std::array<int, 64>& steps) : steps_(steps) {
+  for (const int s : steps_) {
+    if (s < 1 || s > 255) throw std::invalid_argument("Quantizer: step outside [1, 255]");
+  }
+  build_reciprocals();
+}
+
+void Quantizer::build_reciprocals() {
+  for (std::size_t i = 0; i < 64; ++i) {
+    recip_[i] = ((1 << kRecipShift) + steps_[i] / 2) / steps_[i];
+  }
+}
+
+int Quantizer::quantize(int coef, std::size_t index, const StagePlan& stage,
+                        std::uint64_t* lookups) const {
+  const auto mag = static_cast<std::uint32_t>(std::abs(coef));
+  const std::uint64_t scaled =
+      stage_mul(stage, mag, static_cast<std::uint32_t>(recip_[index]), lookups);
+  const auto level = static_cast<int>(
+      std::min<std::uint64_t>((scaled + (1u << (kRecipShift - 1))) >> kRecipShift,
+                              static_cast<std::uint64_t>(kMaxLevel)));
+  return coef < 0 ? -level : level;
+}
+
+int Quantizer::dequantize(int level, std::size_t index, const StagePlan& stage,
+                          std::uint64_t* lookups) const {
+  const auto mag = static_cast<std::uint32_t>(std::abs(level));
+  const auto coef = static_cast<int>(
+      stage_mul(stage, mag, static_cast<std::uint32_t>(steps_[index]), lookups));
+  return level < 0 ? -coef : coef;
+}
+
+}  // namespace axmult::jpeg

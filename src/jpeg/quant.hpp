@@ -1,0 +1,60 @@
+// JPEG quantization: the Annex-K luminance/chrominance base tables with
+// IJG-style quality scaling, and a multiplier-routed quantize/dequantize.
+//
+// Hardware JPEG encoders do not divide: the quantizer multiplies by a
+// fixed-point reciprocal, q = (|coef| * round(2^15 / step) + 2^14) >> 15,
+// sign reapplied — so both directions are multiplies and both route
+// through the selectable nn::MacBackend. The reciprocal fits 16 bits
+// (steps are clamped to [1, 255]), the coefficient fits 12, so the limb
+// composition uses at most two lookups per operand pair.
+#pragma once
+
+#include <array>
+
+#include "jpeg/core.hpp"
+
+namespace axmult::jpeg {
+
+/// Fixed-point reciprocal shift of the division-free quantizer.
+inline constexpr unsigned kRecipShift = 15;
+
+/// Quantized-coefficient clamp: |level| <= 1023 keeps every AC size within
+/// the baseline Huffman alphabet (<= 10) and every DC difference within
+/// category 11, even when an approximate multiplier overshoots.
+inline constexpr int kMaxLevel = 1023;
+
+enum class Component { kLuma, kChroma };
+
+/// The Annex-K base table of a component (natural order).
+[[nodiscard]] const std::array<int, 64>& base_quant_table(Component comp);
+
+/// IJG quality scaling: quality in [1, 100], steps clamped to [1, 255].
+[[nodiscard]] std::array<int, 64> scaled_quant_table(Component comp, int quality);
+
+class Quantizer {
+ public:
+  /// Encoder-side construction from a component and quality factor.
+  Quantizer(Component comp, int quality);
+  /// Decoder-side construction from the steps parsed out of a DQT segment
+  /// (every step must be in [1, 255]; throws std::invalid_argument).
+  explicit Quantizer(const std::array<int, 64>& steps);
+
+  [[nodiscard]] const std::array<int, 64>& steps() const noexcept { return steps_; }
+
+  /// round(coef / step) via the reciprocal multiply, clamped to
+  /// [-kMaxLevel, kMaxLevel]. `index` is the natural-order position.
+  [[nodiscard]] int quantize(int coef, std::size_t index, const StagePlan& stage,
+                             std::uint64_t* lookups = nullptr) const;
+
+  /// level * step, the exact inverse scaling.
+  [[nodiscard]] int dequantize(int level, std::size_t index, const StagePlan& stage,
+                               std::uint64_t* lookups = nullptr) const;
+
+ private:
+  void build_reciprocals();
+
+  std::array<int, 64> steps_{};
+  std::array<int, 64> recip_{};
+};
+
+}  // namespace axmult::jpeg

@@ -132,4 +132,41 @@ using MacBackendPtr = std::shared_ptr<const MacBackend>;
 /// The exact reference backend at `data_bits` operand width.
 [[nodiscard]] MacBackendPtr make_exact_backend(unsigned data_bits = 8);
 
+/// Widening multiply through the backend's product table: each operand is
+/// split into data_bits()-wide limbs and the partial products are recombined
+/// with exact shifted adds — the way a datapath composes wide MACs out of
+/// the paper's narrow multiplier units (recursion with accurate top-level
+/// summation). An exact backend therefore composes to the exact 32x32
+/// product; an approximate one applies its error to every limb pair.
+/// `swapped` routes every limb pair through the transposed table (the
+/// Cas/Ccs wiring trick at each unit). `lookups`, when non-null, is
+/// incremented once per table access — the MAC-count the energy models
+/// charge for.
+[[nodiscard]] inline std::uint64_t mul_wide(const MacBackend& mac, std::uint32_t a,
+                                            std::uint32_t b,
+                                            bool swapped = false,
+                                            std::uint64_t* lookups = nullptr) noexcept {
+  const unsigned limb = mac.data_bits();
+  const std::uint32_t mask = (limb >= 32) ? ~0u : ((1u << limb) - 1u);
+  std::uint64_t product = 0;
+  for (unsigned i = 0; i < 32; i += limb) {
+    const unsigned ai = (a >> i) & mask;
+    if (ai == 0) {
+      if ((a >> i) == 0) break;
+      continue;
+    }
+    for (unsigned j = 0; j < 32; j += limb) {
+      const unsigned bj = (b >> j) & mask;
+      if (bj == 0) {
+        if ((b >> j) == 0) break;
+        continue;
+      }
+      const std::uint64_t p = swapped ? mac.mul_swapped(ai, bj) : mac.mul(ai, bj);
+      product += p << (i + j);
+      if (lookups != nullptr) ++*lookups;
+    }
+  }
+  return product;
+}
+
 }  // namespace axmult::nn

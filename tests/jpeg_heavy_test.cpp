@@ -1,0 +1,73 @@
+// Full-catalog JPEG corpus sweep — every registry backend over every
+// corpus image at a range of qualities, asserting that no approximate
+// multiplier beats the exact pipeline on PSNR beyond dither luck.
+//
+// "Beyond dither luck": under coarse quantization a bounded multiplier
+// error occasionally rounds a coefficient *toward* the source where exact
+// rounds away, so low-error designs (the Ca family) can edge out exact by
+// up to ~0.12 dB on a single (image, quality) cell at q <= 10. That is
+// measurement noise of the quantizer, not fidelity created from nothing —
+// so the per-cell assertion carries a 0.15 dB tolerance, and the
+// corpus-mean PSNR per backend is asserted strictly below exact. Minutes
+// of CPU, so it is opt-in like the other exhaustive characterizations:
+// AXMULT_HEAVY=1 (ctest label `heavy`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "apps/image.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/golden.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::jpeg {
+namespace {
+
+class JpegHeavy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::getenv("AXMULT_HEAVY") == nullptr) {
+      GTEST_SKIP() << "set AXMULT_HEAVY=1 to run the full-catalog corpus sweep";
+    }
+  }
+};
+
+TEST_F(JpegHeavy, NoApproximateBackendBeatsExactPsnrOverTheCorpus) {
+  constexpr double kDitherMarginDb = 0.15;  // see the file header
+  const std::vector<int> qualities = {10, 25, 50, 75, 90, 100};
+  std::map<std::string, double> psnr_sum;  // backend[:swap] -> Σ psnr over cells
+  double exact_sum = 0.0;
+  std::size_t cells = 0;
+  for (const NamedImage& named : golden_corpus()) {
+    for (const int quality : qualities) {
+      const CodecPlan exact_plan = CodecPlan::uniform(nn::shared_mac_backend("exact"));
+      const Decoded exact_dec =
+          decode(encode(named.image, quality, exact_plan), exact_plan);
+      const double exact_psnr = apps::psnr(named.image, exact_dec.image);
+      exact_sum += exact_psnr;
+      ++cells;
+      for (const std::string& name : nn::mac_backend_names()) {
+        if (name == "exact") continue;
+        // Both the uniform pipeline and the swapped-port wiring.
+        for (const bool swap : {false, true}) {
+          const CodecPlan plan = CodecPlan::uniform(nn::shared_mac_backend(name), swap);
+          const Decoded dec = decode(encode(named.image, quality, plan), plan);
+          const double psnr = apps::psnr(named.image, dec.image);
+          EXPECT_LE(psnr, exact_psnr + kDitherMarginDb)
+              << named.name << " q" << quality << " " << name << (swap ? ":swap" : "");
+          psnr_sum[name + (swap ? ":swap" : "")] += psnr;
+        }
+      }
+    }
+  }
+  // Averaged over the corpus the luck washes out: every approximate
+  // backend must sit strictly below exact.
+  for (const auto& [label, sum] : psnr_sum) {
+    EXPECT_LT(sum / static_cast<double>(cells), exact_sum / static_cast<double>(cells))
+        << label;
+  }
+}
+
+}  // namespace
+}  // namespace axmult::jpeg

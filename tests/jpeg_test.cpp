@@ -1,0 +1,465 @@
+// Tests for the baseline-JPEG workload (src/jpeg/): entropy-layer hand
+// vectors, exact-backend roundtrip properties across the quality range,
+// the exact==plain-int differential, the mul_wide limb composition, the
+// adaptive (RungGovernor) encoder, and the checked-in corpus goldens.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "adapt/ladder.hpp"
+#include "adapt/tenant.hpp"
+#include "apps/image.hpp"
+#include "common/rng.hpp"
+#include "jpeg/adaptive.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/entropy.hpp"
+#include "jpeg/golden.hpp"
+#include "jpeg/quant.hpp"
+#include "nn/mac.hpp"
+
+namespace axmult::jpeg {
+namespace {
+
+apps::Image random_image(unsigned width, unsigned height, std::uint64_t seed) {
+  apps::Image img(width, height);
+  Xoshiro256 rng(seed);
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return img;
+}
+
+// ---------------------------------------------------------------- zigzag
+
+TEST(JpegZigzag, MatchesT81Figure5) {
+  const auto& zz = zigzag_order();
+  // The first and last diagonals of the standard scan, hand-checked.
+  const std::array<std::uint8_t, 10> head = {0, 1, 8, 16, 9, 2, 3, 10, 17, 24};
+  for (std::size_t i = 0; i < head.size(); ++i) EXPECT_EQ(zz[i], head[i]) << i;
+  EXPECT_EQ(zz[61], 55);
+  EXPECT_EQ(zz[62], 62);
+  EXPECT_EQ(zz[63], 63);
+  // A permutation: every natural index appears exactly once.
+  std::array<int, 64> seen{};
+  for (const auto idx : zz) ++seen[idx];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(JpegZigzag, RoundTripsAnyBlock) {
+  Block natural;
+  for (int i = 0; i < 64; ++i) natural[i] = i * 3 - 70;
+  EXPECT_EQ(from_zigzag(to_zigzag(natural)), natural);
+}
+
+// --------------------------------------------------------------- huffman
+
+TEST(JpegHuffman, DcLumaCanonicalCodesMatchAnnexK) {
+  const HuffTable& dc = HuffTable::dc_luma();
+  // K.3.3.1.1: category 0 is the single 2-bit code 00; categories 1-5 are
+  // the 3-bit codes 010..110; category 11 is the longest (9 bits).
+  EXPECT_EQ(dc.length(0), 2);
+  EXPECT_EQ(dc.code(0), 0b00);
+  for (std::uint8_t cat = 1; cat <= 5; ++cat) {
+    EXPECT_EQ(dc.length(cat), 3);
+    EXPECT_EQ(dc.code(cat), 0b010 + (cat - 1)) << int(cat);
+  }
+  EXPECT_EQ(dc.length(6), 4);
+  EXPECT_EQ(dc.code(6), 0b1110);
+  EXPECT_EQ(dc.length(11), 9);
+  EXPECT_EQ(dc.code(11), 0b111111110);
+}
+
+TEST(JpegHuffman, AcLumaEobAndZrlMatchAnnexK) {
+  const HuffTable& ac = HuffTable::ac_luma();
+  // The two structural symbols every JPEG text quotes: EOB = 1010 (4
+  // bits), ZRL = 11111111001 (11 bits). Symbol 0x01 (run 0, size 1) = 00.
+  EXPECT_EQ(ac.length(0x00), 4);
+  EXPECT_EQ(ac.code(0x00), 0b1010);
+  EXPECT_EQ(ac.length(0xF0), 11);
+  EXPECT_EQ(ac.code(0xF0), 0b11111111001);
+  EXPECT_EQ(ac.length(0x01), 2);
+  EXPECT_EQ(ac.code(0x01), 0b00);
+}
+
+TEST(JpegHuffman, EncodeDecodeEveryTableSymbol) {
+  for (const HuffTable* table : {&HuffTable::dc_luma(), &HuffTable::ac_luma(),
+                                 &HuffTable::dc_chroma(), &HuffTable::ac_chroma()}) {
+    BitWriter writer;
+    std::vector<std::uint8_t> symbols(table->vals());
+    for (const auto s : symbols) table->encode(writer, s);
+    const std::vector<std::uint8_t> bytes = writer.finish();
+    BitReader reader(bytes.data(), bytes.size());
+    for (const auto s : symbols) EXPECT_EQ(table->decode(reader), s);
+    EXPECT_FALSE(reader.overrun());
+  }
+}
+
+TEST(JpegBits, WriterStuffsFFAndReaderUnstuffs) {
+  BitWriter writer;
+  writer.put(0xFF, 8);
+  writer.put(0xA5, 8);
+  const std::vector<std::uint8_t> bytes = writer.finish();
+  ASSERT_EQ(bytes.size(), 3u);  // FF 00 A5
+  EXPECT_EQ(bytes[0], 0xFF);
+  EXPECT_EQ(bytes[1], 0x00);
+  EXPECT_EQ(bytes[2], 0xA5);
+  BitReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.get(8), 0xFFu);
+  EXPECT_EQ(reader.get(8), 0xA5u);
+  EXPECT_FALSE(reader.overrun());
+}
+
+TEST(JpegBits, RandomBitStringsRoundTrip) {
+  Xoshiro256 rng(99);
+  std::vector<std::pair<std::uint32_t, unsigned>> chunks;
+  BitWriter writer;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned count = 1 + static_cast<unsigned>(rng.below(16));
+    const std::uint32_t bits = static_cast<std::uint32_t>(rng.below(1u << count));
+    chunks.emplace_back(bits, count);
+    writer.put(bits, count);
+  }
+  const std::vector<std::uint8_t> bytes = writer.finish();
+  BitReader reader(bytes.data(), bytes.size());
+  for (const auto& [bits, count] : chunks) EXPECT_EQ(reader.get(count), bits);
+  EXPECT_FALSE(reader.overrun());
+}
+
+TEST(JpegEntropy, MagnitudeCategories) {
+  EXPECT_EQ(magnitude_category(0), 0u);
+  EXPECT_EQ(magnitude_category(1), 1u);
+  EXPECT_EQ(magnitude_category(-1), 1u);
+  EXPECT_EQ(magnitude_category(2), 2u);
+  EXPECT_EQ(magnitude_category(-3), 2u);
+  EXPECT_EQ(magnitude_category(255), 8u);
+  EXPECT_EQ(magnitude_category(-256), 9u);
+  EXPECT_EQ(magnitude_category(1023), 10u);
+}
+
+TEST(JpegEntropy, BlockRoundTripWithZrlEobAndDcChain) {
+  // Hand-built stress block: DC, an AC run longer than 16 (forces ZRL),
+  // negative values, and a tail of zeros (forces EOB).
+  Block a{};
+  a[0] = -17;  // DC
+  a[1] = 5;
+  a[40] = -1;  // in zigzag terms: a long zero run before this hits ZRL
+  Block b{};
+  b[0] = 200;  // large positive DC step after a negative one
+  b[63] = 1;   // last zigzag position: no EOB emitted
+
+  BitWriter writer;
+  int dc_pred = 0;
+  encode_block(writer, a, dc_pred, HuffTable::dc_luma(), HuffTable::ac_luma());
+  encode_block(writer, b, dc_pred, HuffTable::dc_luma(), HuffTable::ac_luma());
+  const std::vector<std::uint8_t> bytes = writer.finish();
+
+  BitReader reader(bytes.data(), bytes.size());
+  int dec_pred = 0;
+  EXPECT_EQ(decode_block(reader, dec_pred, HuffTable::dc_luma(), HuffTable::ac_luma()), a);
+  EXPECT_EQ(decode_block(reader, dec_pred, HuffTable::dc_luma(), HuffTable::ac_luma()), b);
+  EXPECT_EQ(dec_pred, dc_pred);
+  EXPECT_FALSE(reader.overrun());
+}
+
+TEST(JpegEntropy, RandomBlocksRoundTripAtFullLevelRange) {
+  Xoshiro256 rng(4321);
+  BitWriter writer;
+  std::vector<Block> blocks;
+  int dc_pred = 0;
+  for (int n = 0; n < 64; ++n) {
+    Block block{};
+    const unsigned density = 1 + static_cast<unsigned>(rng.below(32));
+    for (int i = 0; i < 64; ++i) {
+      if (rng.below(64) < density) {
+        block[i] = static_cast<int>(rng.below(2 * kMaxLevel + 1)) - kMaxLevel;
+      }
+    }
+    encode_block(writer, block, dc_pred, HuffTable::dc_luma(), HuffTable::ac_luma());
+    blocks.push_back(block);
+  }
+  const std::vector<std::uint8_t> bytes = writer.finish();
+  BitReader reader(bytes.data(), bytes.size());
+  int dec_pred = 0;
+  for (const Block& want : blocks) {
+    EXPECT_EQ(decode_block(reader, dec_pred, HuffTable::dc_luma(), HuffTable::ac_luma()),
+              want);
+  }
+  EXPECT_FALSE(reader.overrun());
+}
+
+// ------------------------------------------------------------- quant/dct
+
+TEST(JpegQuant, ReciprocalQuantizerIsAFaithfulRounder) {
+  // Power-of-two steps make the 2^15 reciprocal exact, so the quantizer
+  // must equal round-half-up division there; for every other step the
+  // reciprocal is a faithful rounder (off by at most the reciprocal's own
+  // half-ULP, i.e. the true quotient is within 0.5 + |c|/2^16 of q).
+  for (const int step : {1, 2, 3, 5, 16, 99, 128, 255}) {
+    std::array<int, 64> steps;
+    steps.fill(step);
+    const Quantizer quant(steps);
+    const StagePlan plain{};
+    const bool pow2 = (step & (step - 1)) == 0;
+    for (int coef = -1100; coef <= 1100; coef += 7) {
+      const int q = quant.quantize(coef, 0, plain);
+      if (pow2) {
+        const int expect = std::clamp(
+            (coef < 0 ? -1 : 1) * ((std::abs(coef) + step / 2) / step), -kMaxLevel, kMaxLevel);
+        EXPECT_EQ(q, expect) << "step " << step << " c " << coef;
+      } else {
+        const double quotient = static_cast<double>(coef) / step;
+        EXPECT_NEAR(q, quotient, 0.5 + std::abs(coef) / 65536.0)
+            << "step " << step << " c " << coef;
+      }
+      EXPECT_LE(std::abs(q), kMaxLevel);
+    }
+  }
+}
+
+TEST(JpegQuant, QualityScalingEndpoints) {
+  // Quality 50 is the unscaled Annex-K table; 100 clamps every step to 1;
+  // 1 saturates at 255 for the large base steps.
+  EXPECT_EQ(scaled_quant_table(Component::kLuma, 50), base_quant_table(Component::kLuma));
+  for (const int step : scaled_quant_table(Component::kLuma, 100)) EXPECT_EQ(step, 1);
+  const auto q1 = scaled_quant_table(Component::kLuma, 1);
+  EXPECT_EQ(q1[63], 255);
+  for (const int step : q1) {
+    EXPECT_GE(step, 1);
+    EXPECT_LE(step, 255);
+  }
+}
+
+TEST(JpegDct, PlainRoundTripIsNearLossless) {
+  Xoshiro256 rng(77);
+  const StagePlan plain{};
+  int worst = 0;
+  for (int n = 0; n < 50; ++n) {
+    Block shifted;
+    for (int i = 0; i < 64; ++i) shifted[i] = static_cast<int>(rng.below(256)) - 128;
+    const Block back = idct(fdct(shifted, plain), plain);
+    for (int i = 0; i < 64; ++i) worst = std::max(worst, std::abs(back[i] - shifted[i]));
+  }
+  // 256-scaled integer coefficients with per-pass rounding: the 2-D
+  // roundtrip stays within a few LSBs of the input everywhere.
+  EXPECT_LE(worst, 3);
+}
+
+TEST(JpegDct, ConstantBlockConcentratesInDc) {
+  const StagePlan plain{};
+  Block shifted;
+  shifted.fill(55);
+  const Block freq = fdct(shifted, plain);
+  for (int i = 1; i < 64; ++i) EXPECT_EQ(freq[i], 0) << i;
+  // DC gain of the orthonormal 2-D transform is 8x; the 256-scaled integer
+  // coefficients (round(256/sqrt(8)) = 91) overshoot by ~1% per pass.
+  EXPECT_NEAR(freq[0], 55 * 8, 10);
+}
+
+// ----------------------------------------------------------- mac routing
+
+TEST(JpegMac, MulWideExactBackendComposesToExactProduct) {
+  const auto exact = nn::shared_mac_backend("exact");
+  Xoshiro256 rng(5);
+  for (int n = 0; n < 2000; ++n) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.below(1u << 16));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.below(1u << 16));
+    EXPECT_EQ(nn::mul_wide(*exact, a, b), std::uint64_t{a} * b);
+    EXPECT_EQ(nn::mul_wide(*exact, a, b, /*swapped=*/true), std::uint64_t{a} * b);
+  }
+}
+
+TEST(JpegMac, MulWideCountsOneLookupPerLimbPair) {
+  const auto exact = nn::shared_mac_backend("exact");
+  std::uint64_t lookups = 0;
+  (void)nn::mul_wide(*exact, 0x1FF, 0x1FF, false, &lookups);  // 2 limbs x 2 limbs
+  EXPECT_EQ(lookups, 4u);
+  lookups = 0;
+  (void)nn::mul_wide(*exact, 0xFF, 0xFF, false, &lookups);  // 1 limb x 1 limb
+  EXPECT_EQ(lookups, 1u);
+  lookups = 0;
+  (void)nn::mul_wide(*exact, 0, 12345, false, &lookups);  // zero short-circuits
+  EXPECT_EQ(lookups, 0u);
+}
+
+TEST(JpegMac, ExactBackendPipelineBitIdenticalToPlainInt) {
+  const CodecPlan exact_plan = CodecPlan::uniform(nn::shared_mac_backend("exact"));
+  const CodecPlan plain_plan{};
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    const apps::Image image = random_image(48, 40, seed);
+    for (const int quality : {10, 50, 95}) {
+      const auto exact_bytes = encode(image, quality, exact_plan);
+      const auto plain_bytes = encode(image, quality, plain_plan);
+      EXPECT_EQ(exact_bytes, plain_bytes) << "q" << quality << " seed " << seed;
+      const Decoded via_exact = decode(exact_bytes, exact_plan);
+      const Decoded via_plain = decode(exact_bytes, plain_plan);
+      EXPECT_EQ(via_exact.image.pixels(), via_plain.image.pixels());
+    }
+  }
+}
+
+// -------------------------------------------------------------- roundtrip
+
+TEST(JpegCodec, ExactRoundTripAcrossTheQualityRange) {
+  const CodecPlan plan = CodecPlan::uniform(nn::shared_mac_backend("exact"));
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    // Odd sizes exercise the edge-replicated partial blocks.
+    const apps::Image image = random_image(33 + seed % 3, 25 + seed % 5, seed);
+    for (const int quality : {1, 10, 25, 50, 75, 90, 95, 100}) {
+      const Quantizer quant(Component::kLuma, quality);
+      const std::vector<Block> blocks = encode_blocks(image, quant, plan);
+      const auto bytes = encode(image, quality, plan);
+      const Decoded decoded = decode(bytes, plan);
+      // The entropy layer is lossless: coefficients and DQT steps survive.
+      EXPECT_EQ(decoded.blocks, blocks) << "q" << quality;
+      EXPECT_EQ(decoded.steps, quant.steps());
+      EXPECT_EQ(decoded.width, image.width());
+      EXPECT_EQ(decoded.height, image.height());
+      // The stream is a real JFIF file: SOI/EOI framing.
+      ASSERT_GE(bytes.size(), 4u);
+      EXPECT_EQ(bytes[0], 0xFF);
+      EXPECT_EQ(bytes[1], 0xD8);
+      EXPECT_EQ(bytes[bytes.size() - 2], 0xFF);
+      EXPECT_EQ(bytes.back(), 0xD9);
+    }
+    // Quality 100 (all steps 1) on noise is near-lossless.
+    const Decoded best = decode(encode(image, 100, plan), plan);
+    EXPECT_GT(apps::psnr(image, best.image), 40.0);
+  }
+}
+
+TEST(JpegCodec, ThreadCountDoesNotChangeTheStream) {
+  const apps::Image image = random_image(96, 72, 21);
+  const CodecPlan plan = CodecPlan::uniform(nn::shared_mac_backend("ca8"));
+  EncodeStats s1, s4;
+  const auto one = encode(image, 60, plan, 1, &s1);
+  const auto four = encode(image, 60, plan, 4, &s4);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(s1.fdct_lookups, s4.fdct_lookups);
+  EXPECT_EQ(s1.quant_lookups, s4.quant_lookups);
+  EXPECT_EQ(decode(one, plan, 1).image.pixels(), decode(one, plan, 4).image.pixels());
+}
+
+TEST(JpegCodec, MalformedStreamsThrowNotCrash) {
+  const CodecPlan plan{};
+  EXPECT_THROW((void)decode({}, plan), std::runtime_error);
+  EXPECT_THROW((void)decode({0x00, 0x01, 0x02}, plan), std::runtime_error);
+  auto bytes = encode(random_image(16, 16, 3), 50, plan);
+  bytes.resize(bytes.size() / 2);  // truncated mid-scan
+  EXPECT_THROW((void)decode(bytes, plan), std::runtime_error);
+}
+
+TEST(JpegCodec, ExampleSceneAnchor) {
+  // The examples/dct_compression.cpp configuration, anchored: exact
+  // pipeline at quality 75 lands in a sane rate/quality region.
+  const apps::Image scene = apps::make_test_scene(128, 128, 4242, 4.0);
+  const CodecPlan plan = CodecPlan::uniform(nn::shared_mac_backend("exact"));
+  const auto bytes = encode(scene, 75, plan);
+  const Decoded decoded = decode(bytes, plan);
+  const double db = apps::psnr(scene, decoded.image);
+  EXPECT_GT(db, 30.0);
+  EXPECT_LT(db, 45.0);
+  const double bpp = bits_per_pixel(bytes.size(), scene.width(), scene.height());
+  EXPECT_GT(bpp, 0.3);
+  EXPECT_LT(bpp, 4.0);
+}
+
+// --------------------------------------------------------------- adaptive
+
+TEST(JpegAdaptive, GovernorEscalatesOnHardViolationAndBillsSwaps) {
+  const adapt::Ladder ladder = adapt::make_ladder({"cc8", "exact"});
+  adapt::PolicyConfig policy;
+  policy.slo = 0.01;
+  policy.start_cheap = true;
+  adapt::RungGovernor governor(ladder, policy, "test");
+  EXPECT_EQ(governor.decide(0), 0u);
+  governor.charge_macs(0, 100);
+  // Hard violation: recompute required, rung escalated for the retry.
+  EXPECT_TRUE(governor.observe(0, 0.5));
+  EXPECT_EQ(governor.decide(0), ladder.top());
+  governor.charge_macs(ladder.top(), 100);
+  EXPECT_FALSE(governor.observe(0, 0.0));
+  const adapt::Report report = governor.report(1);
+  const auto& stats = report.layers.front();
+  EXPECT_EQ(stats.recomputes, 1u);
+  EXPECT_EQ(stats.swaps, 1u);  // the escalation moved the fabric
+  EXPECT_EQ(stats.panels, 2u);
+  EXPECT_EQ(report.total_macs, 200u);  // the rejected attempt stays billed
+}
+
+TEST(JpegAdaptive, StrictSloReproducesTheExactStream) {
+  // An unreachable drift floor forces every stripe to the exact rung, so
+  // the adaptive stream must equal the static exact encode byte for byte.
+  const apps::Image image = random_image(48, 48, 31);
+  const adapt::Ladder ladder = adapt::make_ladder({"cc8", "cas8", "exact"});
+  AdaptiveOptions opts;
+  opts.slo_psnr_db = 200.0;
+  const AdaptiveResult result = encode_adaptive(image, 60, ladder, opts);
+  const auto exact_bytes = encode(image, 60, CodecPlan{});
+  EXPECT_EQ(result.bytes, exact_bytes);
+  EXPECT_EQ(result.report.layers.front().worst_estimate, 0.0);
+}
+
+TEST(JpegAdaptive, DeterministicAndDecodable) {
+  const apps::Image image = apps::make_test_scene(96, 64, 9);
+  const adapt::Ladder ladder = adapt::make_ladder({"cc8", "cas8", "exact"});
+  AdaptiveOptions opts;
+  opts.slo_psnr_db = 36.0;
+  opts.stripe_block_rows = 1;
+  opts.policy.hold_windows = 2;
+  const AdaptiveResult a = encode_adaptive(image, 60, ladder, opts);
+  const AdaptiveResult b = encode_adaptive(image, 60, ladder, opts);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.report.total_macs, b.report.total_macs);
+  const Decoded decoded = decode(a.bytes, CodecPlan{});
+  EXPECT_EQ(decoded.width, image.width());
+  EXPECT_GT(apps::psnr(image, decoded.image), 25.0);
+  // The ledger saw every stripe and billed the shadow monitor.
+  EXPECT_GT(a.report.layers.front().windows, 0u);
+  EXPECT_GT(a.report.monitor_macs, 0u);
+}
+
+// ----------------------------------------------------------------- golden
+
+TEST(JpegGolden, CorpusReplaysClean) {
+  // Regenerate after intentional behavior changes with:
+  //   build/tools/axjpeg golden --emit --path tests/golden/jpeg/corpus.golden
+  const auto failure = replay_golden_corpus(std::string(AXJPEG_GOLDEN_DIR) +
+                                            "/jpeg/corpus.golden");
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(JpegGolden, WriteReadRoundTrip) {
+  const std::vector<GoldenEntry> entries = {
+      {"blocks-96x64", 50, "exact", 123456, 789, 0.98765432101234567},
+      {"rings-80x80", 90, "ca8", 1, 2, 1.0},
+  };
+  const std::string path = ::testing::TempDir() + "/corpus_roundtrip.golden";
+  write_golden_corpus(entries, path);
+  const std::vector<GoldenEntry> back = read_golden_corpus(path);
+  ASSERT_EQ(back.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(back[i].image, entries[i].image);
+    EXPECT_EQ(back[i].quality, entries[i].quality);
+    EXPECT_EQ(back[i].backend, entries[i].backend);
+    EXPECT_EQ(back[i].sse, entries[i].sse);
+    EXPECT_EQ(back[i].bytes, entries[i].bytes);
+    EXPECT_DOUBLE_EQ(back[i].ssim, entries[i].ssim);
+  }
+}
+
+TEST(JpegGolden, SsimIsOneOnIdenticalImagesAndBelowOnDamagedOnes) {
+  const apps::Image image = golden_corpus().front().image;
+  EXPECT_DOUBLE_EQ(apps::ssim(image, image), 1.0);
+  apps::Image damaged = image;
+  for (unsigned x = 0; x < damaged.width(); ++x) damaged.at(x, 0) ^= 0x40;
+  EXPECT_LT(apps::ssim(image, damaged), 1.0);
+  EXPECT_GT(apps::ssim(image, damaged), 0.0);
+}
+
+}  // namespace
+}  // namespace axmult::jpeg

@@ -1,0 +1,398 @@
+// axjpeg — the baseline-JPEG workload CLI.
+//
+//   axjpeg encode <in> <out.jpg> [options]   encode a PGM (or scene:)
+//   axjpeg decode <in.jpg> <out.pgm> [options]
+//   axjpeg sweep [options]                   rate/distortion table across
+//                                            backends on one image
+//   axjpeg report <in.jpg>                   stream anatomy (markers, DQT,
+//                                            rate) of an encoded file
+//   axjpeg golden [--emit] [--path FILE]     replay (or regenerate) the
+//                                            corpus golden file
+//   axjpeg smoke                             end-to-end asserts: entropy
+//                                            losslessness, exact==plain,
+//                                            exact >= approx PSNR, adaptive
+//                                            encode under a PSNR SLO
+//
+// Images: a path to a binary PGM, or "scene:WxH:SEED" for the procedural
+// test scene (apps::make_test_scene).
+//
+// Backend specs: "plain" (the int-multiply reference), any registry name
+// (nn::mac_backend_names: exact, ca8, cc8, cas8, ccs8, cb8, k8, w8,
+// trunc8_4, ca16, cc16, approx4), or "front" for the --front file's point
+// picked by --front-index. Append ":swap" for the operand-swapped port
+// wiring (Cas/Ccs trick), e.g. "ca8:swap".
+//
+// encode options:
+//   --quality Q        IJG quality factor 1..100        (default 75)
+//   --backend SPEC     all four stages                  (default exact)
+//   --fdct/--quant/--dequant/--idct SPEC   per-stage override
+//   --front FILE       axdse front JSON-lines file backing spec "front"
+//   --front-index I    point of the front to use        (default 0)
+//   --threads N        worker threads (0 = hardware)    (default 0)
+//   --adaptive         stripe-adaptive encode (RungGovernor tenant)
+//   --slo-psnr P       adaptive: probe-PSNR floor in dB (default 38)
+//   --ladder A,B,...   adaptive: rung backends          (default cc8,cas8,exact)
+//   --stripe-rows N    adaptive: block rows per stripe  (default 2)
+//   --probes K         adaptive: shadow probes/stripe   (default 4)
+//   --seed S           adaptive: probe stream seed      (default 1)
+//   --json FILE        adaptive: write the adapt::Report ledger JSON
+//
+// sweep options: --image SPEC (default scene:128x128:4242), --quality Q,
+//   --backends a,b,... | all (default exact,ca8,cc8,cas8,k8,trunc8_4),
+//   --front FILE / --front-index I (adds the front point), --threads N.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adapt/ladder.hpp"
+#include "apps/image.hpp"
+#include "jpeg/adaptive.hpp"
+#include "jpeg/codec.hpp"
+#include "jpeg/dct.hpp"
+#include "jpeg/golden.hpp"
+#include "jpeg/quant.hpp"
+#include "nn/mac.hpp"
+
+using namespace axmult;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: axjpeg <encode|decode|sweep|report|golden|smoke> [options]\n"
+               "  see the header of tools/axjpeg.cpp for the option list\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  int quality = 75;
+  std::string backend = "exact";
+  std::string fdct, quant, dequant, idct;  // per-stage overrides
+  std::string front;
+  std::size_t front_index = 0;
+  unsigned threads = 0;
+  bool adaptive = false;
+  double slo_psnr = 38.0;
+  std::string ladder = "cc8,cas8,exact";
+  std::size_t stripe_rows = 2;
+  std::size_t probes = 4;
+  std::uint64_t seed = 1;
+  std::string json;
+  std::string image = "scene:128x128:4242";
+  std::string backends = "exact,ca8,cc8,cas8,k8,trunc8_4";
+  bool emit = false;
+  std::string path = "tests/golden/jpeg/corpus.golden";
+};
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(start, comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--quality") a.quality = std::atoi(value().c_str());
+    else if (arg == "--backend") a.backend = value();
+    else if (arg == "--fdct") a.fdct = value();
+    else if (arg == "--quant") a.quant = value();
+    else if (arg == "--dequant") a.dequant = value();
+    else if (arg == "--idct") a.idct = value();
+    else if (arg == "--front") a.front = value();
+    else if (arg == "--front-index") a.front_index = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--threads") a.threads = static_cast<unsigned>(std::atoi(value().c_str()));
+    else if (arg == "--adaptive") a.adaptive = true;
+    else if (arg == "--slo-psnr") a.slo_psnr = std::atof(value().c_str());
+    else if (arg == "--ladder") a.ladder = value();
+    else if (arg == "--stripe-rows") a.stripe_rows = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--probes") a.probes = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--seed") a.seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--json") a.json = value();
+    else if (arg == "--image") a.image = value();
+    else if (arg == "--backends") a.backends = value();
+    else if (arg == "--emit") a.emit = true;
+    else if (arg == "--path") a.path = value();
+    else if (!arg.empty() && arg[0] == '-') usage();
+    else a.positional.push_back(arg);
+  }
+  return a;
+}
+
+/// "scene:WxH:SEED" or a PGM path.
+apps::Image load_image(const std::string& spec) {
+  if (spec.rfind("scene:", 0) == 0) {
+    unsigned width = 0, height = 0;
+    unsigned long long seed = 0;
+    if (std::sscanf(spec.c_str(), "scene:%ux%u:%llu", &width, &height, &seed) != 3 ||
+        width == 0 || height == 0) {
+      throw std::runtime_error("bad scene spec (want scene:WxH:SEED): " + spec);
+    }
+    return apps::make_test_scene(width, height, seed);
+  }
+  return apps::read_pgm(spec);
+}
+
+/// Backend spec -> StagePlan ("plain", registry name or "front", ":swap").
+jpeg::StagePlan parse_stage(const std::string& spec, const Args& a) {
+  std::string name = spec;
+  bool swap = false;
+  const std::size_t colon = name.find(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = name.substr(colon + 1);
+    if (suffix != "swap") throw std::runtime_error("bad backend suffix: " + spec);
+    swap = true;
+    name = name.substr(0, colon);
+  }
+  if (name == "plain") return jpeg::StagePlan{nullptr, swap};
+  if (name == "front") {
+    if (a.front.empty()) throw std::runtime_error("backend 'front' needs --front FILE");
+    const auto points = adapt::backends_from_front(a.front);
+    if (a.front_index >= points.size()) {
+      throw std::runtime_error("--front-index past the " + std::to_string(points.size()) +
+                               " usable front points");
+    }
+    return jpeg::StagePlan{points[a.front_index].backend, swap};
+  }
+  return jpeg::StagePlan{nn::shared_mac_backend(name), swap};
+}
+
+jpeg::CodecPlan parse_plan(const Args& a) {
+  jpeg::CodecPlan plan = jpeg::CodecPlan{
+      parse_stage(a.fdct.empty() ? a.backend : a.fdct, a),
+      parse_stage(a.quant.empty() ? a.backend : a.quant, a),
+      parse_stage(a.dequant.empty() ? a.backend : a.dequant, a),
+      parse_stage(a.idct.empty() ? a.backend : a.idct, a)};
+  return plan;
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+int run_encode(const Args& a) {
+  if (a.positional.size() != 2) usage();
+  const apps::Image image = load_image(a.positional[0]);
+  if (a.adaptive) {
+    const adapt::Ladder ladder = adapt::make_ladder(split_commas(a.ladder));
+    jpeg::AdaptiveOptions opts;
+    opts.slo_psnr_db = a.slo_psnr;
+    opts.stripe_block_rows = a.stripe_rows;
+    opts.probe_blocks = a.probes;
+    opts.seed = a.seed;
+    const jpeg::AdaptiveResult result = jpeg::encode_adaptive(image, a.quality, ladder, opts);
+    write_bytes(a.positional[1], result.bytes);
+    const auto& stats = result.report.layers.front();
+    std::printf("adaptive encode: %ux%u q%d -> %zu bytes (%.3f bpp), ladder %s\n",
+                image.width(), image.height(), a.quality, result.bytes.size(),
+                jpeg::bits_per_pixel(result.bytes.size(), image.width(), image.height()),
+                ladder.describe().c_str());
+    std::printf("  stripes %llu, recomputes %llu, swaps %llu, worst drift %.3g (slo %.3g)\n",
+                static_cast<unsigned long long>(stats.panels),
+                static_cast<unsigned long long>(stats.recomputes),
+                static_cast<unsigned long long>(stats.swaps), stats.worst_estimate,
+                result.report.slo);
+    std::printf("  %llu MACs + %llu monitor MACs, EDP/image %.6g au\n",
+                static_cast<unsigned long long>(result.report.total_macs),
+                static_cast<unsigned long long>(result.report.monitor_macs),
+                result.report.edp_per_inference_au);
+    if (!a.json.empty()) {
+      std::ofstream out(a.json);
+      out << result.report.to_json();
+      std::printf("  ledger -> %s\n", a.json.c_str());
+    }
+    return 0;
+  }
+  const jpeg::CodecPlan plan = parse_plan(a);
+  jpeg::EncodeStats stats;
+  const auto bytes = jpeg::encode(image, a.quality, plan, a.threads, &stats);
+  write_bytes(a.positional[1], bytes);
+  std::printf("encoded %ux%u q%d -> %zu bytes (%.3f bpp), %llu table lookups\n",
+              image.width(), image.height(), a.quality, bytes.size(),
+              jpeg::bits_per_pixel(bytes.size(), image.width(), image.height()),
+              static_cast<unsigned long long>(stats.lookups()));
+  return 0;
+}
+
+int run_decode(const Args& a) {
+  if (a.positional.size() != 2) usage();
+  const jpeg::CodecPlan plan = parse_plan(a);
+  const jpeg::Decoded decoded = jpeg::decode(read_bytes(a.positional[0]), plan, a.threads);
+  decoded.image.write_pgm(a.positional[1]);
+  std::printf("decoded %ux%u (%zu blocks), %llu table lookups -> %s\n", decoded.width,
+              decoded.height, decoded.blocks.size(),
+              static_cast<unsigned long long>(decoded.stats.lookups()),
+              a.positional[1].c_str());
+  return 0;
+}
+
+int run_sweep(const Args& a) {
+  const apps::Image image = load_image(a.image);
+  std::vector<std::string> names = a.backends == "all"
+                                       ? nn::mac_backend_names()
+                                       : split_commas(a.backends);
+  if (!a.front.empty()) names.push_back("front");
+  std::printf("%-12s %10s %10s %8s %12s %8s\n", "backend", "psnr_db", "ssim", "bpp",
+              "lookups", "luts");
+  for (const std::string& name : names) {
+    Args stage_args = a;
+    stage_args.backend = name;
+    stage_args.fdct.clear();
+    stage_args.quant.clear();
+    stage_args.dequant.clear();
+    stage_args.idct.clear();
+    const jpeg::CodecPlan plan = parse_plan(stage_args);
+    jpeg::EncodeStats es;
+    const auto bytes = jpeg::encode(image, a.quality, plan, a.threads, &es);
+    const jpeg::Decoded decoded = jpeg::decode(bytes, plan, a.threads);
+    const std::uint64_t luts = plan.fdct.backend ? plan.fdct.backend->cost().luts : 0;
+    std::printf("%-12s %10.3f %10.5f %8.3f %12llu %8llu\n", name.c_str(),
+                apps::psnr(image, decoded.image), apps::ssim(image, decoded.image),
+                jpeg::bits_per_pixel(bytes.size(), image.width(), image.height()),
+                static_cast<unsigned long long>(es.lookups() + decoded.stats.lookups()),
+                static_cast<unsigned long long>(luts));
+  }
+  return 0;
+}
+
+int run_report(const Args& a) {
+  if (a.positional.size() != 1) usage();
+  const auto bytes = read_bytes(a.positional[0]);
+  const jpeg::Decoded decoded = jpeg::decode(bytes, jpeg::CodecPlan{}, a.threads);
+  std::printf("%s: baseline JFIF, %ux%u, %zu bytes, %.3f bpp, %zu blocks\n",
+              a.positional[0].c_str(), decoded.width, decoded.height, bytes.size(),
+              jpeg::bits_per_pixel(bytes.size(), decoded.width, decoded.height),
+              decoded.blocks.size());
+  std::printf("quantization steps (natural order):\n");
+  for (int row = 0; row < 8; ++row) {
+    std::printf(" ");
+    for (int col = 0; col < 8; ++col) std::printf(" %3d", decoded.steps[row * 8 + col]);
+    std::printf("\n");
+  }
+  std::uint64_t nonzero = 0;
+  for (const jpeg::Block& b : decoded.blocks) {
+    for (int v : b) nonzero += v != 0;
+  }
+  std::printf("nonzero quantized coefficients: %llu of %zu\n",
+              static_cast<unsigned long long>(nonzero), decoded.blocks.size() * 64);
+  return 0;
+}
+
+int run_golden(const Args& a) {
+  if (a.emit) {
+    const auto entries = jpeg::compute_golden_entries(a.threads);
+    jpeg::write_golden_corpus(entries, a.path);
+    std::printf("axjpeg golden: wrote %zu entries -> %s\n", entries.size(), a.path.c_str());
+    return 0;
+  }
+  const auto failure = jpeg::replay_golden_corpus(a.path, a.threads);
+  if (failure) {
+    std::printf("axjpeg golden: FAIL %s\n", failure->c_str());
+    return 1;
+  }
+  std::printf("axjpeg golden: %s replayed clean\n", a.path.c_str());
+  return 0;
+}
+
+int run_smoke(const Args& a) {
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    std::printf("  %s %s\n", ok ? "ok  " : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  const apps::Image scene = apps::make_test_scene(96, 64, 7);
+  const int quality = 60;
+
+  // 1. Entropy layer is lossless: decode returns the exact quantized
+  //    coefficients the encoder produced, and the DQT steps survive.
+  const jpeg::CodecPlan exact_plan = jpeg::CodecPlan::uniform(nn::shared_mac_backend("exact"));
+  const jpeg::Quantizer quant(jpeg::Component::kLuma, quality);
+  const std::vector<jpeg::Block> blocks =
+      jpeg::encode_blocks(scene, quant, exact_plan, a.threads);
+  const auto bytes = jpeg::encode(scene, quality, exact_plan, a.threads);
+  const jpeg::Decoded decoded = jpeg::decode(bytes, exact_plan, a.threads);
+  check(decoded.blocks == blocks, "entropy roundtrip returns identical coefficients");
+  check(decoded.steps == quant.steps(), "DQT steps survive the stream");
+
+  // 2. The exact backend is bit-identical to the plain-int reference.
+  const auto plain_bytes = jpeg::encode(scene, quality, jpeg::CodecPlan{}, a.threads);
+  check(plain_bytes == bytes, "exact backend == plain int multiply, byte for byte");
+
+  // 3. No approximate backend beats exact PSNR.
+  const double exact_psnr = apps::psnr(scene, decoded.image);
+  bool none_beat = true;
+  for (const char* name : {"ca8", "cc8", "k8", "trunc8_4"}) {
+    const jpeg::CodecPlan plan = jpeg::CodecPlan::uniform(nn::shared_mac_backend(name));
+    const jpeg::Decoded d = jpeg::decode(jpeg::encode(scene, quality, plan, a.threads), plan,
+                                         a.threads);
+    if (apps::psnr(scene, d.image) > exact_psnr) {
+      std::printf("       %s beats exact PSNR\n", name);
+      none_beat = false;
+    }
+  }
+  check(none_beat, "exact >= every approximate backend on PSNR");
+
+  // 4. Adaptive encode terminates, honors the ladder and stays near the
+  //    exact pipeline (the policy cold-starts at the exact top).
+  const adapt::Ladder ladder = adapt::make_ladder({"cc8", "cas8", "exact"});
+  jpeg::AdaptiveOptions opts;
+  opts.slo_psnr_db = 36.0;
+  const jpeg::AdaptiveResult adaptive = jpeg::encode_adaptive(scene, quality, ladder, opts);
+  const jpeg::Decoded adecoded = jpeg::decode(adaptive.bytes, jpeg::CodecPlan{});
+  const double adaptive_psnr = apps::psnr(scene, adecoded.image);
+  check(adaptive_psnr >= exact_psnr - 3.0, "adaptive encode stays within 3 dB of exact");
+  check(adaptive.report.total_macs > 0 && adaptive.report.layers.front().windows > 0,
+        "adaptive ledger billed compute and monitoring");
+
+  std::printf("axjpeg smoke: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "encode") return run_encode(a);
+    if (cmd == "decode") return run_decode(a);
+    if (cmd == "sweep") return run_sweep(a);
+    if (cmd == "report") return run_report(a);
+    if (cmd == "golden") return run_golden(a);
+    if (cmd == "smoke") return run_smoke(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axjpeg: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
